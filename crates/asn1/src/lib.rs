@@ -1,0 +1,96 @@
+//! Strict DER (Distinguished Encoding Rules) encoder/decoder.
+//!
+//! This crate implements the subset of X.690 DER required to build and parse
+//! X.509 certificates from scratch: definite-length TLV framing, the
+//! universal types used by RFC 5280 (`INTEGER`, `BIT STRING`, `OCTET STRING`,
+//! `NULL`, `OBJECT IDENTIFIER`, `UTF8String`, `PrintableString`, `IA5String`,
+//! `UTCTime`, `GeneralizedTime`, `SEQUENCE`, `SET`, `BOOLEAN`) and
+//! context-specific tagging (both primitive, for `GeneralName`, and
+//! constructed, for the `[0] EXPLICIT` version field and `[3]` extensions).
+//!
+//! Design goals, in order: correctness (strict DER — minimal lengths,
+//! canonical integer encoding), simplicity, and zero surprises. The reader is
+//! zero-copy: it hands out subslices of the input buffer.
+//!
+//! # Example
+//!
+//! ```
+//! use mtls_asn1::{DerWriter, DerReader, Tag};
+//!
+//! let mut w = DerWriter::new();
+//! w.sequence(|w| {
+//!     w.integer_i64(42);
+//!     w.utf8_string("hello");
+//! });
+//! let der = w.finish();
+//!
+//! let mut r = DerReader::new(&der);
+//! let mut seq = r.read_sequence().unwrap();
+//! assert_eq!(seq.read_integer_i64().unwrap(), 42);
+//! assert_eq!(seq.read_string().unwrap(), "hello");
+//! assert!(seq.is_empty());
+//! ```
+
+pub mod oid;
+pub mod reader;
+pub mod tag;
+pub mod time;
+pub mod writer;
+
+pub use oid::Oid;
+pub use reader::DerReader;
+pub use tag::{Class, Tag};
+pub use time::Asn1Time;
+pub use writer::DerWriter;
+
+/// Errors produced while decoding DER.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The input ended before a complete TLV could be read.
+    Truncated,
+    /// A length octet sequence was not minimally encoded or exceeded 4 bytes.
+    BadLength,
+    /// The tag that was read does not match the tag the caller expected.
+    UnexpectedTag { expected: u8, got: u8 },
+    /// An INTEGER had a non-canonical (padded) encoding or was empty.
+    BadInteger,
+    /// An INTEGER did not fit in the requested native type.
+    IntegerOverflow,
+    /// An OBJECT IDENTIFIER was empty or had a malformed arc.
+    BadOid,
+    /// A string type contained bytes invalid for its character set.
+    BadString,
+    /// A UTCTime/GeneralizedTime was malformed.
+    BadTime,
+    /// A BIT STRING had an invalid unused-bits octet.
+    BadBitString,
+    /// A BOOLEAN content octet was not 0x00 or 0xFF (DER requires canonical).
+    BadBoolean,
+    /// Trailing bytes remained after a complete parse where none are allowed.
+    TrailingData,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "DER input truncated"),
+            Error::BadLength => write!(f, "non-minimal or oversized DER length"),
+            Error::UnexpectedTag { expected, got } => {
+                write!(f, "unexpected DER tag: expected 0x{expected:02x}, got 0x{got:02x}")
+            }
+            Error::BadInteger => write!(f, "non-canonical DER INTEGER"),
+            Error::IntegerOverflow => write!(f, "DER INTEGER does not fit native type"),
+            Error::BadOid => write!(f, "malformed OBJECT IDENTIFIER"),
+            Error::BadString => write!(f, "invalid characters for DER string type"),
+            Error::BadTime => write!(f, "malformed DER time"),
+            Error::BadBitString => write!(f, "malformed BIT STRING"),
+            Error::BadBoolean => write!(f, "non-canonical BOOLEAN"),
+            Error::TrailingData => write!(f, "trailing bytes after DER value"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias for DER operations.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,178 @@
+//! OBJECT IDENTIFIER values and their base-128 arc encoding.
+
+use crate::{Error, Result};
+
+/// An ASN.1 OBJECT IDENTIFIER: a sequence of unsigned integer arcs.
+///
+/// The first arc must be 0, 1, or 2 and the second arc < 40 when the first
+/// is 0 or 1, per X.660. Arcs are stored decoded; DER content bytes are
+/// produced on demand.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid {
+    arcs: Vec<u64>,
+}
+
+impl Oid {
+    /// Construct from raw arcs. Panics on fewer than two arcs or an invalid
+    /// leading pair — OIDs are compile-time constants in this codebase, so a
+    /// malformed literal is a programming error.
+    pub fn new(arcs: &[u64]) -> Oid {
+        assert!(arcs.len() >= 2, "an OID needs at least two arcs");
+        assert!(arcs[0] <= 2, "first OID arc must be 0..=2");
+        if arcs[0] < 2 {
+            assert!(arcs[1] < 40, "second OID arc must be < 40 when first is 0 or 1");
+        }
+        Oid { arcs: arcs.to_vec() }
+    }
+
+    /// The decoded arcs.
+    pub fn arcs(&self) -> &[u64] {
+        &self.arcs
+    }
+
+    /// Encode the OID content octets (without tag/length).
+    pub fn to_der_content(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.arcs.len() + 1);
+        let first = self.arcs[0] * 40 + self.arcs[1];
+        encode_base128(first, &mut out);
+        for &arc in &self.arcs[2..] {
+            encode_base128(arc, &mut out);
+        }
+        out
+    }
+
+    /// Decode OID content octets (without tag/length).
+    pub fn from_der_content(content: &[u8]) -> Result<Oid> {
+        if content.is_empty() {
+            return Err(Error::BadOid);
+        }
+        let mut arcs = Vec::new();
+        let mut iter = content.iter().copied().peekable();
+        let first = decode_base128(&mut iter)?;
+        if first < 40 {
+            arcs.push(0);
+            arcs.push(first);
+        } else if first < 80 {
+            arcs.push(1);
+            arcs.push(first - 40);
+        } else {
+            arcs.push(2);
+            arcs.push(first - 80);
+        }
+        while iter.peek().is_some() {
+            arcs.push(decode_base128(&mut iter)?);
+        }
+        Ok(Oid { arcs })
+    }
+
+    /// Dotted-decimal text form, e.g. `2.5.4.3`.
+    pub fn dotted(&self) -> String {
+        self.arcs
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+}
+
+impl std::fmt::Display for Oid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.dotted())
+    }
+}
+
+fn encode_base128(mut value: u64, out: &mut Vec<u8>) {
+    let mut stack = [0u8; 10];
+    let mut n = 0;
+    loop {
+        stack[n] = (value & 0x7F) as u8;
+        value >>= 7;
+        n += 1;
+        if value == 0 {
+            break;
+        }
+    }
+    for i in (0..n).rev() {
+        let mut byte = stack[i];
+        if i != 0 {
+            byte |= 0x80;
+        }
+        out.push(byte);
+    }
+}
+
+fn decode_base128<I: Iterator<Item = u8>>(iter: &mut std::iter::Peekable<I>) -> Result<u64> {
+    let mut value: u64 = 0;
+    let mut first = true;
+    loop {
+        let byte = iter.next().ok_or(Error::BadOid)?;
+        if first && byte == 0x80 {
+            // Leading 0x80 means a non-minimal arc encoding: reject (DER).
+            return Err(Error::BadOid);
+        }
+        first = false;
+        if value > (u64::MAX >> 7) {
+            return Err(Error::BadOid);
+        }
+        value = (value << 7) | u64::from(byte & 0x7F);
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_name_oid_round_trips() {
+        let oid = Oid::new(&[2, 5, 4, 3]);
+        let content = oid.to_der_content();
+        assert_eq!(content, vec![0x55, 0x04, 0x03]);
+        assert_eq!(Oid::from_der_content(&content).unwrap(), oid);
+        assert_eq!(oid.dotted(), "2.5.4.3");
+    }
+
+    #[test]
+    fn multi_byte_arc_round_trips() {
+        // 1.2.840.113549.1.1.11 (sha256WithRSAEncryption)
+        let oid = Oid::new(&[1, 2, 840, 113549, 1, 1, 11]);
+        let content = oid.to_der_content();
+        assert_eq!(
+            content,
+            vec![0x2A, 0x86, 0x48, 0x86, 0xF7, 0x0D, 0x01, 0x01, 0x0B]
+        );
+        assert_eq!(Oid::from_der_content(&content).unwrap(), oid);
+    }
+
+    #[test]
+    fn first_arc_two_allows_large_second_arc() {
+        let oid = Oid::new(&[2, 999, 3]);
+        let rt = Oid::from_der_content(&oid.to_der_content()).unwrap();
+        assert_eq!(rt, oid);
+    }
+
+    #[test]
+    fn empty_content_rejected() {
+        assert_eq!(Oid::from_der_content(&[]), Err(Error::BadOid));
+    }
+
+    #[test]
+    fn truncated_arc_rejected() {
+        // A continuation byte with nothing after it.
+        assert_eq!(Oid::from_der_content(&[0x2A, 0x86]), Err(Error::BadOid));
+    }
+
+    #[test]
+    fn non_minimal_arc_rejected() {
+        // 0x80 prefix pads the arc: forbidden in DER.
+        assert_eq!(Oid::from_der_content(&[0x2A, 0x80, 0x01]), Err(Error::BadOid));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two arcs")]
+    fn one_arc_panics() {
+        Oid::new(&[2]);
+    }
+}

@@ -1,0 +1,454 @@
+//! DER decoder.
+//!
+//! `DerReader` walks a byte slice, peeling TLVs. Constructed types return a
+//! nested reader borrowing the same buffer — no copies. Strictness follows
+//! DER: minimal lengths, canonical integers and booleans are enforced;
+//! anything else is an `Error`, because the consumers of this crate (the
+//! passive monitor, the analysis pipeline) must never silently mis-measure.
+
+use crate::oid::Oid;
+use crate::tag::Tag;
+use crate::time::Asn1Time;
+use crate::{Error, Result};
+
+/// A cursor over DER bytes.
+#[derive(Debug, Clone)]
+pub struct DerReader<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> DerReader<'a> {
+    /// Start reading at the beginning of `input`.
+    pub fn new(input: &'a [u8]) -> DerReader<'a> {
+        DerReader { input, pos: 0 }
+    }
+
+    /// Whether all input has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    /// Peek the next tag octet without consuming it.
+    pub fn peek_tag(&self) -> Option<Tag> {
+        self.input.get(self.pos).map(|&b| Tag(b))
+    }
+
+    /// Read one TLV of any tag; returns `(tag, content)`.
+    pub fn read_any(&mut self) -> Result<(Tag, &'a [u8])> {
+        let tag = Tag(*self.input.get(self.pos).ok_or(Error::Truncated)?);
+        self.pos += 1;
+        let len = self.read_length()?;
+        let end = self.pos.checked_add(len).ok_or(Error::BadLength)?;
+        if end > self.input.len() {
+            return Err(Error::Truncated);
+        }
+        let content = &self.input[self.pos..end];
+        self.pos = end;
+        Ok((tag, content))
+    }
+
+    /// Read one TLV and require a specific tag; returns the content.
+    pub fn read_expected(&mut self, expected: Tag) -> Result<&'a [u8]> {
+        let tag = Tag(*self.input.get(self.pos).ok_or(Error::Truncated)?);
+        if tag != expected {
+            return Err(Error::UnexpectedTag { expected: expected.octet(), got: tag.octet() });
+        }
+        let (_, content) = self.read_any()?;
+        Ok(content)
+    }
+
+    /// Read one complete TLV *including* its header, returned as raw bytes.
+    /// Used to capture `tbsCertificate` bytes for signing/fingerprinting.
+    pub fn read_raw_tlv(&mut self) -> Result<&'a [u8]> {
+        let start = self.pos;
+        self.read_any()?;
+        Ok(&self.input[start..self.pos])
+    }
+
+    /// Read a SEQUENCE and return a reader over its body.
+    pub fn read_sequence(&mut self) -> Result<DerReader<'a>> {
+        Ok(DerReader::new(self.read_expected(Tag::SEQUENCE)?))
+    }
+
+    /// Read a SET and return a reader over its body.
+    pub fn read_set(&mut self) -> Result<DerReader<'a>> {
+        Ok(DerReader::new(self.read_expected(Tag::SET)?))
+    }
+
+    /// Read an explicit context tag `[n]` and return a reader over its body.
+    pub fn read_explicit(&mut self, n: u8) -> Result<DerReader<'a>> {
+        Ok(DerReader::new(self.read_expected(Tag::context_constructed(n))?))
+    }
+
+    /// If the next TLV is the explicit context tag `[n]`, read it.
+    pub fn read_optional_explicit(&mut self, n: u8) -> Result<Option<DerReader<'a>>> {
+        if self.peek_tag() == Some(Tag::context_constructed(n)) {
+            Ok(Some(self.read_explicit(n)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Read a BOOLEAN (canonical DER only).
+    pub fn read_boolean(&mut self) -> Result<bool> {
+        let content = self.read_expected(Tag::BOOLEAN)?;
+        match content {
+            [0x00] => Ok(false),
+            [0xFF] => Ok(true),
+            _ => Err(Error::BadBoolean),
+        }
+    }
+
+    /// Read an INTEGER as i64 (rejects values that do not fit).
+    pub fn read_integer_i64(&mut self) -> Result<i64> {
+        let content = self.read_integer_bytes_signed()?;
+        if content.len() > 8 {
+            return Err(Error::IntegerOverflow);
+        }
+        let negative = content[0] & 0x80 != 0;
+        let mut acc: i64 = if negative { -1 } else { 0 };
+        for &b in content {
+            acc = (acc << 8) | i64::from(b);
+        }
+        Ok(acc)
+    }
+
+    /// Read an INTEGER, returning its canonical content bytes (two's
+    /// complement). Serial numbers use this to preserve full width.
+    pub fn read_integer_bytes_signed(&mut self) -> Result<&'a [u8]> {
+        let content = self.read_expected(Tag::INTEGER)?;
+        if content.is_empty() {
+            return Err(Error::BadInteger);
+        }
+        if content.len() > 1 {
+            // Reject padded encodings: 00 followed by a clear high bit, or
+            // FF followed by a set high bit.
+            if (content[0] == 0x00 && content[1] & 0x80 == 0)
+                || (content[0] == 0xFF && content[1] & 0x80 != 0)
+            {
+                return Err(Error::BadInteger);
+            }
+        }
+        Ok(content)
+    }
+
+    /// Read an INTEGER as unsigned magnitude bytes (the leading sign pad, if
+    /// any, is stripped). Rejects negative values.
+    pub fn read_integer_unsigned(&mut self) -> Result<&'a [u8]> {
+        let content = self.read_integer_bytes_signed()?;
+        if content[0] & 0x80 != 0 {
+            return Err(Error::BadInteger);
+        }
+        if content.len() > 1 && content[0] == 0 {
+            Ok(&content[1..])
+        } else {
+            Ok(content)
+        }
+    }
+
+    /// Read a BIT STRING; only zero-unused-bits values are accepted (all
+    /// RFC 5280 uses in this codebase are byte-aligned).
+    pub fn read_bit_string(&mut self) -> Result<&'a [u8]> {
+        let content = self.read_expected(Tag::BIT_STRING)?;
+        match content.split_first() {
+            Some((0, bits)) => Ok(bits),
+            _ => Err(Error::BadBitString),
+        }
+    }
+
+    /// Read an OCTET STRING.
+    pub fn read_octet_string(&mut self) -> Result<&'a [u8]> {
+        self.read_expected(Tag::OCTET_STRING)
+    }
+
+    /// Read a NULL.
+    pub fn read_null(&mut self) -> Result<()> {
+        let content = self.read_expected(Tag::NULL)?;
+        if content.is_empty() {
+            Ok(())
+        } else {
+            Err(Error::TrailingData)
+        }
+    }
+
+    /// Read an OBJECT IDENTIFIER.
+    pub fn read_oid(&mut self) -> Result<Oid> {
+        Oid::from_der_content(self.read_expected(Tag::OID)?)
+    }
+
+    /// Read any of the directory string types as UTF-8 text. Zero-copy for
+    /// the UTF-8-compatible types; see [`DerReader::read_string_lossy`] for
+    /// the legacy encodings (T61String, BMPString) that real-world DNs
+    /// still occasionally carry.
+    pub fn read_string(&mut self) -> Result<&'a str> {
+        let (tag, content) = self.read_any()?;
+        match tag {
+            Tag::UTF8_STRING => std::str::from_utf8(content).map_err(|_| Error::BadString),
+            Tag::PRINTABLE_STRING | Tag::IA5_STRING => {
+                if content.is_ascii() {
+                    // ASCII is valid UTF-8.
+                    Ok(std::str::from_utf8(content).expect("ascii is utf8"))
+                } else {
+                    Err(Error::BadString)
+                }
+            }
+            other => Err(Error::UnexpectedTag { expected: Tag::UTF8_STRING.octet(), got: other.octet() }),
+        }
+    }
+
+    /// Read any directory string type, including the legacy encodings:
+    /// T61String/TeletexString (treated as Latin-1, the universal de-facto
+    /// interpretation) and BMPString (UTF-16BE). Allocates only when a
+    /// conversion is required.
+    pub fn read_string_lossy(&mut self) -> Result<std::borrow::Cow<'a, str>> {
+        use std::borrow::Cow;
+        let (tag, content) = self.read_any()?;
+        match tag {
+            Tag::UTF8_STRING => std::str::from_utf8(content)
+                .map(Cow::Borrowed)
+                .map_err(|_| Error::BadString),
+            Tag::PRINTABLE_STRING | Tag::IA5_STRING => {
+                if content.is_ascii() {
+                    Ok(Cow::Borrowed(std::str::from_utf8(content).expect("ascii is utf8")))
+                } else {
+                    Err(Error::BadString)
+                }
+            }
+            Tag::T61_STRING => {
+                // De-facto Latin-1: every byte maps to the same code point.
+                Ok(Cow::Owned(content.iter().map(|&b| b as char).collect()))
+            }
+            Tag::BMP_STRING => {
+                if content.len() % 2 != 0 {
+                    return Err(Error::BadString);
+                }
+                let units: Vec<u16> = content
+                    .chunks_exact(2)
+                    .map(|c| u16::from_be_bytes([c[0], c[1]]))
+                    .collect();
+                String::from_utf16(&units)
+                    .map(Cow::Owned)
+                    .map_err(|_| Error::BadString)
+            }
+            other => Err(Error::UnexpectedTag { expected: Tag::UTF8_STRING.octet(), got: other.octet() }),
+        }
+    }
+
+    /// Read an ENUMERATED as i64 (canonical encoding enforced, as for
+    /// INTEGER).
+    pub fn read_enumerated(&mut self) -> Result<i64> {
+        let content = self.read_expected(Tag::ENUMERATED)?;
+        if content.is_empty() || content.len() > 8 {
+            return Err(Error::BadInteger);
+        }
+        if content.len() > 1
+            && ((content[0] == 0x00 && content[1] & 0x80 == 0)
+                || (content[0] == 0xFF && content[1] & 0x80 != 0))
+        {
+            return Err(Error::BadInteger);
+        }
+        let negative = content[0] & 0x80 != 0;
+        let mut acc: i64 = if negative { -1 } else { 0 };
+        for &b in content {
+            acc = (acc << 8) | i64::from(b);
+        }
+        Ok(acc)
+    }
+
+    /// Read a UTCTime or GeneralizedTime.
+    pub fn read_time(&mut self) -> Result<Asn1Time> {
+        let (tag, content) = self.read_any()?;
+        match tag {
+            Tag::UTC_TIME => Asn1Time::parse_utc_time(content),
+            Tag::GENERALIZED_TIME => Asn1Time::parse_generalized_time(content),
+            other => Err(Error::UnexpectedTag { expected: Tag::UTC_TIME.octet(), got: other.octet() }),
+        }
+    }
+
+    /// Require that nothing is left; decoding X.509 structures ends with this
+    /// so trailing garbage is an error rather than silently ignored.
+    pub fn expect_end(&self) -> Result<()> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(Error::TrailingData)
+        }
+    }
+
+    /// Decode a DER definite length at the cursor.
+    fn read_length(&mut self) -> Result<usize> {
+        let first = *self.input.get(self.pos).ok_or(Error::Truncated)?;
+        self.pos += 1;
+        if first < 0x80 {
+            return Ok(usize::from(first));
+        }
+        let n = usize::from(first & 0x7F);
+        if n == 0 || n > 4 {
+            // 0x80 = indefinite (BER only); > 4 bytes is out of scope.
+            return Err(Error::BadLength);
+        }
+        if self.pos + n > self.input.len() {
+            return Err(Error::Truncated);
+        }
+        let mut len: usize = 0;
+        for i in 0..n {
+            len = (len << 8) | usize::from(self.input[self.pos + i]);
+        }
+        self.pos += n;
+        // DER: long form must be necessary and minimal.
+        if len < 0x80 || (n > 1 && len < (1 << (8 * (n - 1)))) {
+            return Err(Error::BadLength);
+        }
+        Ok(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::DerWriter;
+
+    #[test]
+    fn round_trip_sequence() {
+        let mut w = DerWriter::new();
+        w.sequence(|w| {
+            w.integer_i64(-42);
+            w.boolean(false);
+            w.utf8_string("mtls");
+            w.null();
+        });
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        let mut seq = r.read_sequence().unwrap();
+        assert_eq!(seq.read_integer_i64().unwrap(), -42);
+        assert!(!seq.read_boolean().unwrap());
+        assert_eq!(seq.read_string().unwrap(), "mtls");
+        seq.read_null().unwrap();
+        seq.expect_end().unwrap();
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn rejects_indefinite_length() {
+        let der = [0x30, 0x80, 0x00, 0x00];
+        assert_eq!(DerReader::new(&der).read_any(), Err(Error::BadLength));
+    }
+
+    #[test]
+    fn rejects_non_minimal_long_form() {
+        // Length 5 encoded in long form 0x81 0x05: must be short form.
+        let der = [0x04, 0x81, 0x05, 1, 2, 3, 4, 5];
+        assert_eq!(DerReader::new(&der).read_any(), Err(Error::BadLength));
+    }
+
+    #[test]
+    fn rejects_truncated_content() {
+        let der = [0x04, 0x05, 1, 2, 3];
+        assert_eq!(DerReader::new(&der).read_any(), Err(Error::Truncated));
+    }
+
+    #[test]
+    fn rejects_padded_integer() {
+        let der = [0x02, 0x02, 0x00, 0x01];
+        assert_eq!(
+            DerReader::new(&der).read_integer_i64(),
+            Err(Error::BadInteger)
+        );
+    }
+
+    #[test]
+    fn rejects_empty_integer() {
+        let der = [0x02, 0x00];
+        assert_eq!(DerReader::new(&der).read_integer_i64(), Err(Error::BadInteger));
+    }
+
+    #[test]
+    fn rejects_noncanonical_boolean() {
+        let der = [0x01, 0x01, 0x01];
+        assert_eq!(DerReader::new(&der).read_boolean(), Err(Error::BadBoolean));
+    }
+
+    #[test]
+    fn unsigned_integer_strips_pad() {
+        let mut w = DerWriter::new();
+        w.integer_bytes(&[0xFF, 0x00]);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        assert_eq!(r.read_integer_unsigned().unwrap(), &[0xFF, 0x00]);
+    }
+
+    #[test]
+    fn raw_tlv_captures_header() {
+        let mut w = DerWriter::new();
+        w.integer_i64(7);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        assert_eq!(r.read_raw_tlv().unwrap(), &der[..]);
+    }
+
+    #[test]
+    fn optional_explicit_absent() {
+        let mut w = DerWriter::new();
+        w.integer_i64(1);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        assert!(r.read_optional_explicit(0).unwrap().is_none());
+        assert_eq!(r.read_integer_i64().unwrap(), 1);
+    }
+
+    #[test]
+    fn optional_explicit_present() {
+        let mut w = DerWriter::new();
+        w.explicit(0, |w| w.integer_i64(2));
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        let mut inner = r.read_optional_explicit(0).unwrap().unwrap();
+        assert_eq!(inner.read_integer_i64().unwrap(), 2);
+    }
+
+    #[test]
+    fn lossy_string_reads_legacy_encodings() {
+        // T61String "Mÿller" as Latin-1 bytes.
+        let der = [0x14, 0x06, b'M', 0xFF, b'l', b'l', b'e', b'r'];
+        let mut r = DerReader::new(&der);
+        assert_eq!(r.read_string_lossy().unwrap(), "M\u{ff}ller");
+
+        // BMPString "Ab" as UTF-16BE.
+        let der = [0x1E, 0x04, 0x00, b'A', 0x00, b'b'];
+        let mut r = DerReader::new(&der);
+        assert_eq!(r.read_string_lossy().unwrap(), "Ab");
+
+        // Odd-length BMPString is malformed.
+        let der = [0x1E, 0x03, 0x00, b'A', 0x00];
+        let mut r = DerReader::new(&der);
+        assert_eq!(r.read_string_lossy().unwrap_err(), Error::BadString);
+
+        // Unpaired surrogate is malformed UTF-16.
+        let der = [0x1E, 0x02, 0xD8, 0x00];
+        let mut r = DerReader::new(&der);
+        assert_eq!(r.read_string_lossy().unwrap_err(), Error::BadString);
+
+        // UTF-8 passes through borrowed.
+        let mut w = DerWriter::new();
+        w.utf8_string("plain");
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        assert!(matches!(r.read_string_lossy().unwrap(), std::borrow::Cow::Borrowed("plain")));
+    }
+
+    #[test]
+    fn long_content_round_trips() {
+        let payload = vec![0xAA; 5000];
+        let mut w = DerWriter::new();
+        w.octet_string(&payload);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        assert_eq!(r.read_octet_string().unwrap(), &payload[..]);
+    }
+}

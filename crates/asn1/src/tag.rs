@@ -1,0 +1,141 @@
+//! DER tag octets.
+//!
+//! Only low-tag-number form (tag numbers 0–30) is supported, which covers all
+//! of RFC 5280. A tag octet is `class(2 bits) | constructed(1 bit) | number(5 bits)`.
+
+/// The class bits of a DER tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    Universal,
+    Application,
+    ContextSpecific,
+    Private,
+}
+
+impl Class {
+    /// The two high bits of the identifier octet for this class.
+    pub fn bits(self) -> u8 {
+        match self {
+            Class::Universal => 0b0000_0000,
+            Class::Application => 0b0100_0000,
+            Class::ContextSpecific => 0b1000_0000,
+            Class::Private => 0b1100_0000,
+        }
+    }
+
+    /// Decode the class from an identifier octet.
+    pub fn from_octet(octet: u8) -> Class {
+        match octet >> 6 {
+            0 => Class::Universal,
+            1 => Class::Application,
+            2 => Class::ContextSpecific,
+            _ => Class::Private,
+        }
+    }
+}
+
+/// Well-known DER tags (identifier octets) used by the X.509 stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag(pub u8);
+
+impl Tag {
+    pub const BOOLEAN: Tag = Tag(0x01);
+    pub const INTEGER: Tag = Tag(0x02);
+    pub const BIT_STRING: Tag = Tag(0x03);
+    pub const OCTET_STRING: Tag = Tag(0x04);
+    pub const NULL: Tag = Tag(0x05);
+    pub const OID: Tag = Tag(0x06);
+    pub const ENUMERATED: Tag = Tag(0x0A);
+    pub const UTF8_STRING: Tag = Tag(0x0C);
+    pub const T61_STRING: Tag = Tag(0x14);
+    pub const BMP_STRING: Tag = Tag(0x1E);
+    pub const PRINTABLE_STRING: Tag = Tag(0x13);
+    pub const IA5_STRING: Tag = Tag(0x16);
+    pub const UTC_TIME: Tag = Tag(0x17);
+    pub const GENERALIZED_TIME: Tag = Tag(0x18);
+    pub const SEQUENCE: Tag = Tag(0x30);
+    pub const SET: Tag = Tag(0x31);
+
+    /// A context-specific primitive tag `[n]`.
+    pub fn context(n: u8) -> Tag {
+        debug_assert!(n <= 30, "only low-tag-number form is supported");
+        Tag(Class::ContextSpecific.bits() | n)
+    }
+
+    /// A context-specific constructed tag `[n]` (EXPLICIT wrappers).
+    pub fn context_constructed(n: u8) -> Tag {
+        debug_assert!(n <= 30, "only low-tag-number form is supported");
+        Tag(Class::ContextSpecific.bits() | 0b0010_0000 | n)
+    }
+
+    /// The raw identifier octet.
+    pub fn octet(self) -> u8 {
+        self.0
+    }
+
+    /// The class of this tag.
+    pub fn class(self) -> Class {
+        Class::from_octet(self.0)
+    }
+
+    /// Whether the constructed bit is set.
+    pub fn is_constructed(self) -> bool {
+        self.0 & 0b0010_0000 != 0
+    }
+
+    /// The tag number (low 5 bits).
+    pub fn number(self) -> u8 {
+        self.0 & 0b0001_1111
+    }
+}
+
+impl std::fmt::Display for Tag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x{:02x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universal_tags_have_universal_class() {
+        for t in [Tag::BOOLEAN, Tag::INTEGER, Tag::SEQUENCE, Tag::SET, Tag::OID] {
+            assert_eq!(t.class(), Class::Universal);
+        }
+    }
+
+    #[test]
+    fn sequence_and_set_are_constructed() {
+        assert!(Tag::SEQUENCE.is_constructed());
+        assert!(Tag::SET.is_constructed());
+        assert!(!Tag::INTEGER.is_constructed());
+    }
+
+    #[test]
+    fn context_tags() {
+        let t = Tag::context(2);
+        assert_eq!(t.class(), Class::ContextSpecific);
+        assert!(!t.is_constructed());
+        assert_eq!(t.number(), 2);
+
+        let t = Tag::context_constructed(3);
+        assert_eq!(t.class(), Class::ContextSpecific);
+        assert!(t.is_constructed());
+        assert_eq!(t.number(), 3);
+        assert_eq!(t.octet(), 0xA3);
+    }
+
+    #[test]
+    fn class_round_trips_through_octet() {
+        for class in [
+            Class::Universal,
+            Class::Application,
+            Class::ContextSpecific,
+            Class::Private,
+        ] {
+            assert_eq!(Class::from_octet(class.bits()), class);
+        }
+    }
+}

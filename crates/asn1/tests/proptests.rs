@@ -1,0 +1,131 @@
+//! Property-based tests: everything the writer emits, the reader must
+//! round-trip, and the reader must never panic on arbitrary bytes.
+
+use mtls_asn1::{time, Asn1Time, DerReader, DerWriter, Oid};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn integer_i64_round_trips(v in any::<i64>()) {
+        let mut w = DerWriter::new();
+        w.integer_i64(v);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        prop_assert_eq!(r.read_integer_i64().unwrap(), v);
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn integer_bytes_round_trips(bytes in proptest::collection::vec(any::<u8>(), 0..24)) {
+        let mut w = DerWriter::new();
+        w.integer_bytes(&bytes);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        let got = r.read_integer_unsigned().unwrap().to_vec();
+        // Compare magnitudes with leading zeros stripped.
+        let stripped: Vec<u8> = {
+            let s: &[u8] = &bytes;
+            let start = s.iter().take_while(|&&b| b == 0).count();
+            if start == s.len() { vec![0] } else { s[start..].to_vec() }
+        };
+        prop_assert_eq!(got, stripped);
+    }
+
+    #[test]
+    fn octet_string_round_trips(bytes in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let mut w = DerWriter::new();
+        w.octet_string(&bytes);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        prop_assert_eq!(r.read_octet_string().unwrap(), &bytes[..]);
+    }
+
+    #[test]
+    fn utf8_string_round_trips(s in "\\PC{0,200}") {
+        let mut w = DerWriter::new();
+        w.utf8_string(&s);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        prop_assert_eq!(r.read_string().unwrap(), s);
+    }
+
+    #[test]
+    fn oid_round_trips(
+        first in 0u64..=2,
+        second in 0u64..40,
+        rest in proptest::collection::vec(any::<u64>(), 0..8),
+    ) {
+        let mut arcs = vec![first, second];
+        arcs.extend(rest);
+        let oid = Oid::new(&arcs);
+        let rt = Oid::from_der_content(&oid.to_der_content()).unwrap();
+        prop_assert_eq!(rt, oid);
+    }
+
+    #[test]
+    fn time_round_trips(
+        year in 1600i32..2400,
+        month in 1u32..=12,
+        day_seed in 0u32..31,
+        hour in 0u32..24,
+        min in 0u32..60,
+        sec in 0u32..60,
+    ) {
+        let day = 1 + day_seed % time::days_in_month(year, month);
+        let t = Asn1Time::from_ymd_hms(year, month, day, hour, min, sec);
+        let mut w = DerWriter::new();
+        w.time(t);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        prop_assert_eq!(r.read_time().unwrap(), t);
+    }
+
+    #[test]
+    fn civil_date_round_trips(days in -200_000i64..200_000) {
+        let (y, m, d) = time::civil_from_days(days);
+        prop_assert_eq!(time::days_from_civil(y, m, d), days);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=time::days_in_month(y, m)).contains(&d));
+    }
+
+    #[test]
+    fn enumerated_round_trips(v in any::<i64>()) {
+        let mut w = DerWriter::new();
+        w.enumerated(v);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        prop_assert_eq!(r.read_enumerated().unwrap(), v);
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn reader_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut r = DerReader::new(&bytes);
+        // Walk as far as possible; errors are fine, panics are not.
+        while !r.is_empty() {
+            if r.read_any().is_err() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn nested_sequences_round_trip(depth in 1usize..30, payload in any::<i64>()) {
+        fn build(w: &mut DerWriter, depth: usize, payload: i64) {
+            if depth == 0 {
+                w.integer_i64(payload);
+            } else {
+                w.sequence(|w| build(w, depth - 1, payload));
+            }
+        }
+        let mut w = DerWriter::new();
+        build(&mut w, depth, payload);
+        let der = w.finish();
+
+        let mut r = DerReader::new(&der);
+        for _ in 0..depth {
+            r = r.read_sequence().unwrap();
+        }
+        prop_assert_eq!(r.read_integer_i64().unwrap(), payload);
+    }
+}

@@ -1,0 +1,151 @@
+//! Ablation benchmarks for the design decisions in DESIGN.md §4:
+//!
+//! 1. `ablate_intern` — fingerprint-keyed certificate interning vs
+//!    re-parsing/grouping full records by value.
+//! 2. `ablate_singlepass` — analyzers sharing one prebuilt corpus vs
+//!    rebuilding the corpus per analyzer.
+//! 3. `ablate_parallel` — running the independent analyzers on scoped
+//!    threads vs sequentially.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtls_bench::{build_corpus_unfiltered, corpus, sim_output};
+use mtls_core::analyze;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+/// Ablation 1: the census computed over the interned corpus vs a
+/// value-grouped scan of the raw x509 rows (what a naive pipeline would do
+/// for every analyzer).
+fn ablate_intern(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_intern");
+    let corpus = corpus();
+    group.bench_function("interned_census", |b| {
+        b.iter(|| black_box(analyze::cert_census::run(corpus).all.total))
+    });
+    let sim = sim_output();
+    group.bench_function("value_grouped_census", |b| {
+        b.iter(|| {
+            // Re-derive everything by value from the raw logs each time.
+            let mut by_fp: HashMap<&str, (bool, bool, bool)> = HashMap::new();
+            for conn in &sim.ssl {
+                let mtls = conn.is_mutual_tls();
+                if let Some(fp) = conn.cert_chain_fps.first() {
+                    let e = by_fp.entry(fp).or_default();
+                    e.0 = true;
+                    e.2 |= mtls;
+                }
+                if let Some(fp) = conn.client_cert_chain_fps.first() {
+                    let e = by_fp.entry(fp).or_default();
+                    e.1 = true;
+                    e.2 |= mtls;
+                }
+            }
+            // Join against the full record list by linear scan per record
+            // (the naive shape: no index).
+            let mut total_mtls = 0usize;
+            for rec in &sim.x509 {
+                if let Some((_, _, mtls)) = by_fp.get(rec.fingerprint.as_str()) {
+                    if *mtls {
+                        total_mtls += 1;
+                    }
+                }
+            }
+            black_box(total_mtls)
+        })
+    });
+    group.finish();
+}
+
+/// Ablation 2: one corpus feeding three analyzers vs rebuilding the corpus
+/// for each.
+fn ablate_singlepass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_singlepass");
+    group.sample_size(10);
+    group.bench_function("shared_corpus_three_analyzers", |b| {
+        let corpus = corpus();
+        b.iter(|| {
+            black_box(analyze::cert_census::run(corpus).all.total);
+            black_box(analyze::ports::run(corpus).inbound_mtls.total);
+            black_box(analyze::validity::run(corpus).very_long);
+        })
+    });
+    group.bench_function("rebuild_corpus_per_analyzer", |b| {
+        b.iter(|| {
+            black_box(analyze::cert_census::run(&build_corpus_unfiltered()).all.total);
+            black_box(analyze::ports::run(&build_corpus_unfiltered()).inbound_mtls.total);
+            black_box(analyze::validity::run(&build_corpus_unfiltered()).very_long);
+        })
+    });
+    group.finish();
+}
+
+/// Ablation 3: independent analyzers run sequentially vs on scoped threads.
+fn ablate_parallel(c: &mut Criterion) {
+    let corpus = corpus();
+    let mut group = c.benchmark_group("ablate_parallel");
+    group.bench_function("analyzers_sequential", |b| {
+        b.iter(|| {
+            black_box(analyze::prevalence::run(corpus).months.len());
+            black_box(analyze::ports::run(corpus).inbound_mtls.total);
+            black_box(analyze::inbound::run(corpus).total_conns);
+            black_box(analyze::outbound_flows::run(corpus).total);
+            black_box(analyze::serial_collisions::run(corpus).groups.len());
+            black_box(analyze::info_types::run(corpus, analyze::info_types::Slice::Mtls).columns.len());
+        })
+    });
+    group.bench_function("analyzers_scoped_threads", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                let h1 = s.spawn(|| analyze::prevalence::run(corpus).months.len());
+                let h2 = s.spawn(|| analyze::ports::run(corpus).inbound_mtls.total);
+                let h3 = s.spawn(|| analyze::inbound::run(corpus).total_conns);
+                let h4 = s.spawn(|| analyze::outbound_flows::run(corpus).total);
+                let h5 = s.spawn(|| analyze::serial_collisions::run(corpus).groups.len());
+                let h6 = s.spawn(|| {
+                    analyze::info_types::run(corpus, analyze::info_types::Slice::Mtls)
+                        .columns
+                        .len()
+                });
+                black_box((
+                    h1.join().expect("join"),
+                    h2.join().expect("join"),
+                    h3.join().expect("join"),
+                    h4.join().expect("join"),
+                    h5.join().expect("join"),
+                    h6.join().expect("join"),
+                ))
+            })
+        })
+    });
+    group.finish();
+}
+
+fn ablate_interception_thresholds(c: &mut Criterion) {
+    // DESIGN.md §4 ablation: the filter's (min_certs, candidate_share)
+    // cutoffs are not load-bearing — cost and verdict are stable across
+    // the threshold neighborhood (correctness is asserted in
+    // tests/pipeline.rs::interception_thresholds_are_not_load_bearing).
+    use mtls_core::pipeline::interception;
+    let sim = sim_output();
+    let meta = mtls_core::corpus::MetaKnowledge::from_sim(&sim.meta);
+    let mut group = c.benchmark_group("ablate_interception");
+    for (min_certs, share) in [(2usize, 0.5f64), (3, 0.8), (5, 0.95)] {
+        group.bench_function(format!("filter_min{min_certs}_share{share}"), |b| {
+            b.iter(|| {
+                let (excluded, issuers) =
+                    interception::filter_with(&sim.ssl, &sim.x509, &sim.ct, &meta, min_certs, share);
+                black_box((excluded.len(), issuers.len()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_intern,
+    ablate_singlepass,
+    ablate_parallel,
+    ablate_interception_thresholds
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Shared fixtures for the benchmark suite: one corpus, built once, reused
+//! by every per-experiment bench so Criterion measures analysis cost, not
+//! generation cost.
+
+use mtls_core::corpus::MetaKnowledge;
+use mtls_core::Corpus;
+use mtls_netsim::{generate, SimConfig, SimOutput};
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// The benchmark corpus scale (≈ 13 k connections, ≈ 5 k certificates).
+pub const BENCH_SCALE: f64 = 0.05;
+
+/// The simulator output, generated once.
+pub fn sim_output() -> &'static SimOutput {
+    static CELL: OnceLock<SimOutput> = OnceLock::new();
+    CELL.get_or_init(|| generate(&SimConfig { seed: 0xBEEF, scale: BENCH_SCALE, ..Default::default() }))
+}
+
+/// The built corpus (interception filter applied), built once.
+pub fn corpus() -> &'static Corpus {
+    static CELL: OnceLock<Corpus> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let sim = sim_output();
+        let meta = MetaKnowledge::from_sim(&sim.meta);
+        let (excluded, issuers) =
+            mtls_core::pipeline::interception::filter(&sim.ssl, &sim.x509, &sim.ct, &meta);
+        Corpus::build(&sim.ssl, &sim.x509, meta, &excluded, issuers)
+    })
+}
+
+/// An unfiltered corpus build (for the ablation benches).
+pub fn build_corpus_unfiltered() -> Corpus {
+    let sim = sim_output();
+    Corpus::build(
+        &sim.ssl,
+        &sim.x509,
+        MetaKnowledge::from_sim(&sim.meta),
+        &HashSet::new(),
+        vec![],
+    )
+}

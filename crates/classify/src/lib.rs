@@ -1,0 +1,187 @@
+//! Information-type classification for CN and SAN strings.
+//!
+//! Reproduces the paper's §6.1 methodology. Format-specific types are
+//! recognized first, in the paper's order — domain name, IP address, MAC
+//! address, SIP address, email address, university user account, localhost —
+//! then free text goes through a gazetteer-based named-entity recognizer
+//! (the stand-in for spaCy's `en_core_web_trf`; see DESIGN.md §1) that
+//! labels personal names and organization/product names. Whatever survives
+//! is *Unidentified* and is further broken down (Table 9) into non-random
+//! strings, issuer-recognizable strings, and random strings of the
+//! characteristic lengths 8/32/36.
+//!
+//! # Example
+//!
+//! ```
+//! use mtls_classify::{classify, ClassifyContext, InfoType};
+//!
+//! let ctx = ClassifyContext::default();
+//! assert_eq!(classify("www.example.org", ctx), InfoType::Domain);
+//! assert_eq!(classify("12:34:56:AB:CD:EF", ctx), InfoType::Mac);
+//! assert_eq!(classify("John Smith", ctx), InfoType::PersonalName);
+//! assert_eq!(classify("f3a9c2d17b604e5d", ctx), InfoType::Unidentified);
+//!
+//! // University user accounts only count when a campus CA issued the
+//! // certificate (§6.1.1).
+//! let campus = ClassifyContext { issuer_is_campus: true, ..ctx };
+//! assert_eq!(classify("hd7gr", campus), InfoType::UserAccount);
+//! ```
+
+pub mod domain;
+pub mod gazetteer;
+pub mod matchers;
+pub mod ner;
+pub mod random;
+
+pub use domain::{extract_domain, DomainParts};
+pub use ner::NerLabel;
+pub use random::{RandomClass, classify_random};
+
+/// The information types of Table 8, in the paper's row order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InfoType {
+    Domain,
+    Ip,
+    Mac,
+    Sip,
+    Email,
+    UserAccount,
+    PersonalName,
+    OrgProduct,
+    Localhost,
+    Unidentified,
+}
+
+impl InfoType {
+    /// Row label as printed in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            InfoType::Domain => "Domain",
+            InfoType::Ip => "IP",
+            InfoType::Mac => "MAC",
+            InfoType::Sip => "SIP",
+            InfoType::Email => "Email",
+            InfoType::UserAccount => "User account",
+            InfoType::PersonalName => "Personal name",
+            InfoType::OrgProduct => "Org/Product",
+            InfoType::Localhost => "Localhost",
+            InfoType::Unidentified => "Unidentified",
+        }
+    }
+
+    /// All types in table order.
+    pub const ALL: [InfoType; 10] = [
+        InfoType::Domain,
+        InfoType::Ip,
+        InfoType::Mac,
+        InfoType::Sip,
+        InfoType::Email,
+        InfoType::UserAccount,
+        InfoType::PersonalName,
+        InfoType::OrgProduct,
+        InfoType::Localhost,
+        InfoType::Unidentified,
+    ];
+}
+
+impl std::fmt::Display for InfoType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Context the classifier may consult, mirroring the paper's joint use of
+/// CN/SAN text and the certificate's issuer field.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassifyContext<'a> {
+    /// The certificate's issuer organization, if any.
+    pub issuer_org: Option<&'a str>,
+    /// Whether the issuer is one of the campus CAs (user accounts are only
+    /// credited when a campus CA issued the certificate — §6.1.1).
+    pub issuer_is_campus: bool,
+}
+
+/// Classify one CN or SAN string.
+pub fn classify(text: &str, ctx: ClassifyContext<'_>) -> InfoType {
+    let t = text.trim();
+    if t.is_empty() {
+        return InfoType::Unidentified;
+    }
+    if matchers::is_localhost(t) {
+        return InfoType::Localhost;
+    }
+    if matchers::is_ip(t) {
+        return InfoType::Ip;
+    }
+    if matchers::is_mac(t) {
+        return InfoType::Mac;
+    }
+    if matchers::is_sip(t) {
+        return InfoType::Sip;
+    }
+    if matchers::is_email(t) {
+        return InfoType::Email;
+    }
+    if domain::is_domain_name(t) {
+        return InfoType::Domain;
+    }
+    if ctx.issuer_is_campus && matchers::is_user_account(t) {
+        return InfoType::UserAccount;
+    }
+    match ner::label(t) {
+        Some(NerLabel::Person) => InfoType::PersonalName,
+        Some(NerLabel::OrgOrProduct) => InfoType::OrgProduct,
+        None => InfoType::Unidentified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(text: &str) -> InfoType {
+        classify(text, ClassifyContext::default())
+    }
+
+    fn campus(text: &str) -> InfoType {
+        classify(text, ClassifyContext { issuer_org: Some("Commonwealth University"), issuer_is_campus: true })
+    }
+
+    #[test]
+    fn precedence_matches_paper() {
+        assert_eq!(c("www.example.org"), InfoType::Domain);
+        assert_eq!(c("192.168.1.10"), InfoType::Ip);
+        assert_eq!(c("12:34:56:AB:CD:EF"), InfoType::Mac);
+        assert_eq!(c("sip:4434@voip.example.edu"), InfoType::Sip);
+        assert_eq!(c("someone@example.org"), InfoType::Email);
+        assert_eq!(c("localhost"), InfoType::Localhost);
+        assert_eq!(c("John Smith"), InfoType::PersonalName);
+        assert_eq!(c("WebRTC"), InfoType::OrgProduct);
+        assert_eq!(c("f3a9c2d17b604e5d"), InfoType::Unidentified);
+    }
+
+    #[test]
+    fn user_accounts_need_campus_issuer() {
+        assert_eq!(campus("hd7gr"), InfoType::UserAccount);
+        // Without the campus issuer the same string is unidentified.
+        assert_eq!(c("hd7gr"), InfoType::Unidentified);
+    }
+
+    #[test]
+    fn empty_is_unidentified() {
+        assert_eq!(c(""), InfoType::Unidentified);
+        assert_eq!(c("   "), InfoType::Unidentified);
+    }
+
+    #[test]
+    fn localhost_beats_domain() {
+        assert_eq!(c("localhost.localdomain"), InfoType::Localhost);
+    }
+
+    #[test]
+    fn table_row_order() {
+        assert_eq!(InfoType::ALL[0], InfoType::Domain);
+        assert_eq!(InfoType::ALL[9], InfoType::Unidentified);
+        assert_eq!(InfoType::UserAccount.label(), "User account");
+    }
+}

@@ -1,0 +1,209 @@
+//! The Table 9 taxonomy: non-random vs random unidentified strings,
+//! with random strings bucketed by recognizable feature (issuer, length).
+
+/// How an unidentified string is sub-classified (Table 9 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RandomClass {
+    /// Human-meaningful but unclassifiable text ("__transfer__", "Dtls").
+    NonRandom,
+    /// Random, but the issuer field identifies the generator
+    /// ("Microsoft Azure Sphere …", "Apple iPhone Device CA", campus CAs).
+    RandomByIssuer,
+    /// Random, 8 characters (short hashes).
+    RandomLen8,
+    /// Random, 32 characters (hex digests).
+    RandomLen32,
+    /// Random, 36 characters (UUID format).
+    RandomLen36,
+    /// Random, some other length.
+    RandomOther,
+}
+
+impl RandomClass {
+    /// Row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RandomClass::NonRandom => "Non-random",
+            RandomClass::RandomByIssuer => "Random - by Issuer",
+            RandomClass::RandomLen8 => "Random - strlen = 8",
+            RandomClass::RandomLen32 => "Random - strlen = 32",
+            RandomClass::RandomLen36 => "Random - strlen = 36",
+            RandomClass::RandomOther => "Random - other",
+        }
+    }
+
+    /// All rows in table order.
+    pub const ALL: [RandomClass; 6] = [
+        RandomClass::NonRandom,
+        RandomClass::RandomByIssuer,
+        RandomClass::RandomLen8,
+        RandomClass::RandomLen32,
+        RandomClass::RandomLen36,
+        RandomClass::RandomOther,
+    ];
+}
+
+/// UUID shape: 8-4-4-4-12 lowercase/uppercase hex.
+pub fn is_uuid(s: &str) -> bool {
+    let b = s.as_bytes();
+    if b.len() != 36 {
+        return false;
+    }
+    for (i, &c) in b.iter().enumerate() {
+        match i {
+            8 | 13 | 18 | 23 => {
+                if c != b'-' {
+                    return false;
+                }
+            }
+            _ => {
+                if !c.is_ascii_hexdigit() {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Shannon entropy in bits per character.
+pub fn shannon_entropy(s: &str) -> f64 {
+    if s.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0usize; 256];
+    for &b in s.as_bytes() {
+        counts[b as usize] += 1;
+    }
+    let n = s.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Heuristic: does this look machine-generated rather than human-written?
+///
+/// Hex/uuid/base64-ish strings of length >= 8 count as random; otherwise we
+/// require both reasonably high entropy and the absence of word-like
+/// structure (vowel rhythm, separators that delimit words).
+pub fn is_random_string(s: &str) -> bool {
+    let t = s.trim();
+    if t.len() < 8 || t.contains(' ') {
+        return false;
+    }
+    if is_uuid(t) {
+        return true;
+    }
+    let bytes = t.as_bytes();
+    let hexish = bytes.iter().all(|b| b.is_ascii_hexdigit());
+    if hexish && t.len() >= 8 {
+        // All-hex of meaningful length is a digest ("deadbeef" is famous
+        // but vanishingly rare as a real CN).
+        return true;
+    }
+    let alnum = bytes.iter().all(|b| b.is_ascii_alphanumeric());
+    if !alnum {
+        return false; // separators suggest structure ("__transfer__", "a.b")
+    }
+    let letters: Vec<u8> = bytes
+        .iter()
+        .filter(|b| b.is_ascii_alphabetic())
+        .map(|b| b.to_ascii_lowercase())
+        .collect();
+    if letters.is_empty() {
+        return true; // all digits, length >= 8
+    }
+    let vowels = letters
+        .iter()
+        .filter(|b| matches!(b, b'a' | b'e' | b'i' | b'o' | b'u'))
+        .count();
+    let vowel_ratio = vowels as f64 / letters.len() as f64;
+    let digits = bytes.iter().filter(|b| b.is_ascii_digit()).count();
+    let digit_ratio = digits as f64 / t.len() as f64;
+    // English-like text sits near 0.35–0.45 vowel ratio with few digits.
+    let entropy = shannon_entropy(&t.to_ascii_lowercase());
+    (vowel_ratio < 0.22 || digit_ratio > 0.3) && entropy > 3.0
+}
+
+/// Sub-classify an unidentified string. `issuer_recognizable` is supplied by
+/// the pipeline (it knows whether the issuer field names a generator such as
+/// Azure Sphere / Apple device CAs / the campus CA).
+pub fn classify_random(s: &str, issuer_recognizable: bool) -> RandomClass {
+    let t = s.trim();
+    if !is_random_string(t) {
+        return RandomClass::NonRandom;
+    }
+    if issuer_recognizable {
+        return RandomClass::RandomByIssuer;
+    }
+    match t.len() {
+        8 => RandomClass::RandomLen8,
+        32 => RandomClass::RandomLen32,
+        36 => RandomClass::RandomLen36,
+        _ => RandomClass::RandomOther,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uuid_detection() {
+        assert!(is_uuid("550e8400-e29b-41d4-a716-446655440000"));
+        assert!(is_uuid("550E8400-E29B-41D4-A716-446655440000"));
+        assert!(!is_uuid("550e8400e29b41d4a716446655440000")); // no dashes
+        assert!(!is_uuid("550e8400-e29b-41d4-a716-44665544000")); // short
+        assert!(!is_uuid("550e8400-e29b-41d4-a716-44665544zzzz"));
+    }
+
+    #[test]
+    fn hex_strings_are_random() {
+        assert!(is_random_string("f3a9c2d1"));
+        assert!(is_random_string("f3a9c2d17b604e5df3a9c2d17b604e5d"));
+        assert!(is_random_string("0123456789abcdef"));
+    }
+
+    #[test]
+    fn words_are_not_random() {
+        for s in ["__transfer__", "Dtls", "hmpp", "mail-gateway", "server name here", "database"] {
+            assert!(!is_random_string(s), "{s}");
+        }
+    }
+
+    #[test]
+    fn mixed_alnum_random() {
+        assert!(is_random_string("xk29vq84ztr7w3pn")); // low vowel ratio
+        assert!(is_random_string("a1b2c3d4e5f6g7h8")); // digit-heavy
+        assert!(!is_random_string("computerstation")); // vowel-rich word
+    }
+
+    #[test]
+    fn classify_buckets() {
+        assert_eq!(classify_random("__transfer__", false), RandomClass::NonRandom);
+        assert_eq!(classify_random("f3a9c2d1", true), RandomClass::RandomByIssuer);
+        assert_eq!(classify_random("f3a9c2d1", false), RandomClass::RandomLen8);
+        assert_eq!(
+            classify_random("f3a9c2d17b604e5df3a9c2d17b604e5d", false),
+            RandomClass::RandomLen32
+        );
+        assert_eq!(
+            classify_random("550e8400-e29b-41d4-a716-446655440000", false),
+            RandomClass::RandomLen36
+        );
+        assert_eq!(classify_random("f3a9c2d17b604e", false), RandomClass::RandomOther);
+    }
+
+    #[test]
+    fn entropy_sane() {
+        assert_eq!(shannon_entropy(""), 0.0);
+        assert_eq!(shannon_entropy("aaaa"), 0.0);
+        assert!(shannon_entropy("abcdefgh") > 2.9);
+        assert!(shannon_entropy("f3a9c2d17b604e5d") > 3.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Labelled-fixture evaluation of the classifier.
+//!
+//! The paper reports precision and recall of 0.9 for personal-name
+//! detection with its spaCy + manual-review pipeline (§6.1.1). This test
+//! measures the gazetteer NER against a labelled fixture set and asserts
+//! both stay at or above 0.9, plus exactness on the format matchers.
+
+use mtls_classify::{classify, ClassifyContext, InfoType};
+use proptest::prelude::*;
+
+/// (text, is_person) fixtures: a mix of true names, hard negatives that
+/// *look* like names, and miscellaneous CN content.
+const PERSON_FIXTURES: &[(&str, bool)] = &[
+    ("John Smith", true),
+    ("Mary Johnson", true),
+    ("Robert Williams", true),
+    ("Patricia Brown", true),
+    ("Michael Davis", true),
+    ("Linda Garcia", true),
+    ("David Rodriguez", true),
+    ("Elizabeth Martinez", true),
+    ("James Wilson", true),
+    ("Jennifer Anderson", true),
+    ("Wilson, James", true),
+    ("Sarah Q. Lee", true),
+    ("Hongying Dong", true),
+    ("Wei Zhang", true),
+    ("Priya Patel", true),
+    ("Carlos Silva", true),
+    ("Emma Thompson", true),
+    ("Noah King", true),
+    ("Grace Hill", true),
+    ("Olivia Walker", true),
+    // Hard negatives.
+    ("Hybrid Runbook Worker", false),
+    ("Internet Widgits Pty Ltd", false),
+    ("FXP DCAU Cert", false),
+    ("Android Keystore", false),
+    ("Default City", false),
+    ("Acme Widgets Inc", false),
+    ("mail-gateway-01", false),
+    ("WebRTC", false),
+    ("__transfer__", false),
+    ("550e8400-e29b-41d4-a716-446655440000", false),
+    ("server01.example.com", false),
+    ("Xq Zv", false),
+    ("General Purpose", false),
+    ("New York", false),
+    ("Santa Clara", false),
+];
+
+#[test]
+fn personal_name_precision_and_recall_at_least_090() {
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for &(text, truth) in PERSON_FIXTURES {
+        let predicted = classify(text, ClassifyContext::default()) == InfoType::PersonalName;
+        match (predicted, truth) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => {}
+        }
+    }
+    let precision = tp as f64 / (tp + fp).max(1) as f64;
+    let recall = tp as f64 / (tp + fn_).max(1) as f64;
+    assert!(precision >= 0.9, "precision {precision:.2} (tp={tp} fp={fp})");
+    assert!(recall >= 0.9, "recall {recall:.2} (tp={tp} fn={fn_})");
+}
+
+#[test]
+fn format_matchers_are_exact_on_fixture_set() {
+    let cases: &[(&str, InfoType)] = &[
+        ("portal.health.example.edu", InfoType::Domain),
+        ("*.amazonaws.com", InfoType::Domain),
+        ("10.0.0.1", InfoType::Ip),
+        ("2001:db8::dead:beef", InfoType::Ip),
+        ("AA:BB:CC:DD:EE:FF", InfoType::Mac),
+        ("sip:8003@voip.campus.example", InfoType::Sip),
+        ("jane.doe@example.org", InfoType::Email),
+        ("localhost", InfoType::Localhost),
+        ("box7.localdomain", InfoType::Localhost),
+        ("twilio", InfoType::OrgProduct),
+        ("hangouts", InfoType::OrgProduct),
+        ("IDrive Inc Certificate Authority", InfoType::OrgProduct),
+        ("f00dfeed", InfoType::Unidentified),
+        ("Dtls", InfoType::Unidentified),
+    ];
+    for (text, expected) in cases {
+        assert_eq!(classify(text, ClassifyContext::default()), *expected, "{text}");
+    }
+}
+
+proptest! {
+    #[test]
+    fn classifier_never_panics(s in "\\PC{0,80}") {
+        let _ = classify(&s, ClassifyContext::default());
+        let _ = classify(&s, ClassifyContext { issuer_org: Some("x"), issuer_is_campus: true });
+    }
+
+    #[test]
+    fn generated_uuids_are_unidentified(a in any::<u128>()) {
+        let bytes = a.to_be_bytes();
+        let hex = bytes.iter().map(|b| format!("{b:02x}")).collect::<String>();
+        let uuid = format!(
+            "{}-{}-{}-{}-{}",
+            &hex[0..8], &hex[8..12], &hex[12..16], &hex[16..20], &hex[20..32]
+        );
+        prop_assert_eq!(classify(&uuid, ClassifyContext::default()), InfoType::Unidentified);
+        prop_assert!(mtls_classify::random::is_random_string(&uuid));
+        prop_assert_eq!(
+            mtls_classify::classify_random(&uuid, false),
+            mtls_classify::RandomClass::RandomLen36
+        );
+    }
+
+    #[test]
+    fn mac_addresses_always_classified_mac(bytes in proptest::collection::vec(any::<u8>(), 6)) {
+        let mac = bytes.iter().map(|b| format!("{b:02X}")).collect::<Vec<_>>().join(":");
+        prop_assert_eq!(classify(&mac, ClassifyContext::default()), InfoType::Mac);
+    }
+}

@@ -1,0 +1,50 @@
+//! One analyzer per table/figure (DESIGN.md §3 maps experiment ids to
+//! modules). Every analyzer is a pure function of the [`Corpus`] returning
+//! a typed `Report` with a text rendering.
+//!
+//! [`Corpus`]: crate::corpus::Corpus
+
+pub mod audit;
+pub mod cert_census;
+pub mod cert_sharing;
+pub mod cn_san_usage;
+pub mod dummy_issuers;
+pub mod expired;
+pub mod generalization;
+pub mod incorrect_dates;
+pub mod info_types;
+pub mod inbound;
+pub mod interception_report;
+pub mod outbound_flows;
+pub mod ports;
+pub mod prevalence;
+pub mod serial_collisions;
+pub mod subnet_spread;
+pub mod tracking;
+pub mod unidentified;
+pub mod validity;
+
+/// Quantile over a sorted slice (nearest-rank).
+pub fn quantile(sorted: &[usize], q: f64) -> usize {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::quantile;
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let v = vec![1, 1, 1, 2, 3, 5, 8, 13, 21, 100];
+        assert_eq!(quantile(&v, 0.5), 3);
+        assert_eq!(quantile(&v, 0.75), 13);
+        assert_eq!(quantile(&v, 0.99), 100);
+        assert_eq!(quantile(&v, 1.0), 100);
+        assert_eq!(quantile(&[], 0.5), 0);
+        assert_eq!(quantile(&[7], 0.5), 7);
+    }
+}

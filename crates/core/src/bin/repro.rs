@@ -1,0 +1,120 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! Usage:
+//!   repro [--seed N] [--scale F] [--logs DIR] [--out FILE] [--tsv DIR]
+//!         [--from-logs DIR]
+//!
+//! `--from-logs DIR` skips generation and analyzes an existing log
+//! directory (unrotated or monthly-rotated, with meta.tsv and ct.log).
+//!
+//! Generates a synthetic corpus (or uses `--logs DIR` written earlier by
+//! the simulator), runs the full analysis pipeline, and prints every
+//! report. With `--out`, also writes the rendering to a file.
+
+use mtls_core::{run_pipeline_parallel, AnalysisInputs};
+use mtls_netsim::{generate, SimConfig};
+use std::io::Write;
+
+struct Args {
+    config: SimConfig,
+    logs_dir: Option<String>,
+    out_file: Option<String>,
+    tsv_dir: Option<String>,
+    from_logs: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut config = SimConfig::default();
+    let mut logs_dir = None;
+    let mut out_file = None;
+    let mut tsv_dir = None;
+    let mut from_logs = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                config.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--scale" => {
+                config.scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a float");
+            }
+            "--logs" => logs_dir = args.next(),
+            "--out" => out_file = args.next(),
+            "--tsv" => tsv_dir = args.next(),
+            "--from-logs" => from_logs = args.next(),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [--seed N] [--scale F] [--logs DIR] [--out FILE] [--tsv DIR] [--from-logs DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    Args { config, logs_dir, out_file, tsv_dir, from_logs }
+}
+
+fn main() {
+    let args = parse_args();
+
+    let inputs = if let Some(dir) = &args.from_logs {
+        eprintln!("loading logs from {dir}...");
+        let inputs = mtls_core::ingest::load_dir(std::path::Path::new(dir))
+            .unwrap_or_else(|e| {
+                eprintln!("failed to load {dir}: {e}");
+                std::process::exit(1);
+            });
+        eprintln!(
+            "  {} connections, {} unique certificates",
+            inputs.ssl.len(),
+            inputs.x509.len()
+        );
+        inputs
+    } else {
+        let config = args.config;
+        let t0 = std::time::Instant::now();
+        eprintln!(
+            "generating corpus (seed={}, scale={})...",
+            config.seed, config.scale
+        );
+        let sim = generate(&config);
+        eprintln!(
+            "  {} connections, {} unique certificates in {:?}",
+            sim.ssl.len(),
+            sim.x509.len(),
+            t0.elapsed()
+        );
+        if let Some(dir) = &args.logs_dir {
+            sim.write_to_dir(std::path::Path::new(dir)).expect("write logs");
+            eprintln!("  Zeek-format logs written to {dir}");
+        }
+        AnalysisInputs::from_sim(sim)
+    };
+
+    let t1 = std::time::Instant::now();
+    eprintln!("running analysis pipeline...");
+    let output = run_pipeline_parallel(inputs);
+    eprintln!("  analyzed in {:?}", t1.elapsed());
+
+    if let Some(dir) = &args.tsv_dir {
+        mtls_core::export::write_tsv(&output, std::path::Path::new(dir)).expect("write TSVs");
+        eprintln!("per-experiment TSVs written to {dir}");
+    }
+
+    let rendering = output.render_all();
+    println!("{rendering}");
+    if let Some(path) = args.out_file {
+        let mut f = std::fs::File::create(&path).expect("create output file");
+        f.write_all(rendering.as_bytes()).expect("write output");
+        eprintln!("report written to {path}");
+    }
+}

@@ -1,0 +1,530 @@
+//! The analysis corpus: the joined, enriched view of one log collection.
+
+use mtls_classify::extract_domain;
+use mtls_pki::{classify_issuer_org, IssuerCategory};
+use mtls_zeek::{Ipv4, SslRecord, X509Record};
+use std::collections::{HashMap, HashSet};
+
+/// Traffic direction relative to the university border.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Responder inside the university network.
+    Inbound,
+    /// Originator inside the university network.
+    Outbound,
+    /// Neither endpoint internal (routing artifacts; excluded from
+    /// direction-specific tables).
+    Transit,
+}
+
+/// The paper's inbound server associations (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ServerAssociation {
+    UniversityHealth,
+    UniversityServer,
+    UniversityVpn,
+    LocalOrganization,
+    ThirdPartyService,
+    Globus,
+    Unknown,
+}
+
+impl ServerAssociation {
+    /// Label as in Table 3.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServerAssociation::UniversityHealth => "University Health",
+            ServerAssociation::UniversityServer => "University Server",
+            ServerAssociation::UniversityVpn => "University VPN",
+            ServerAssociation::LocalOrganization => "Local Organization",
+            ServerAssociation::ThirdPartyService => "Third Party Services",
+            ServerAssociation::Globus => "Globus",
+            ServerAssociation::Unknown => "Unknown",
+        }
+    }
+
+    /// All variants in Table 3 order.
+    pub const ALL: [ServerAssociation; 7] = [
+        ServerAssociation::UniversityHealth,
+        ServerAssociation::UniversityServer,
+        ServerAssociation::UniversityVpn,
+        ServerAssociation::LocalOrganization,
+        ServerAssociation::ThirdPartyService,
+        ServerAssociation::Globus,
+        ServerAssociation::Unknown,
+    ];
+}
+
+/// Index of a deduplicated certificate in the corpus.
+pub type CertId = usize;
+
+/// One certificate with everything the analyzers ask about.
+#[derive(Debug, Clone)]
+pub struct CertInfo {
+    pub rec: X509Record,
+    /// Public-CA verdict (root-store membership of the issuer).
+    pub public: bool,
+    /// Issuer category per §4.2.
+    pub category: IssuerCategory,
+    /// Whether the issuer string names a recognizable generator (campus
+    /// CAs, Azure Sphere, Apple device CA) — Table 9's "by Issuer".
+    pub issuer_recognizable: bool,
+    /// Roles observed across all connections.
+    pub seen_as_server: bool,
+    pub seen_as_client: bool,
+    /// Used in at least one mutual-TLS connection.
+    pub in_mtls: bool,
+    /// Present in a client-only connection (no server chain).
+    pub in_client_only: bool,
+    /// Present in at least one non-mutual connection as server cert.
+    pub in_non_mtls_server: bool,
+    /// First/last connection timestamps (duration of activity).
+    pub first_seen: f64,
+    pub last_seen: f64,
+    /// Connection count.
+    pub conns: usize,
+    /// Distinct client IPs that presented or received this certificate.
+    pub client_ips: HashSet<Ipv4>,
+    /// Distinct /24s where the cert appeared as a server / as a client.
+    pub server_subnets: HashSet<Ipv4>,
+    pub client_subnets: HashSet<Ipv4>,
+    /// Excluded as TLS interception in preprocessing.
+    pub excluded: bool,
+}
+
+impl CertInfo {
+    /// Duration of activity in days (paper §5 definition).
+    pub fn activity_days(&self) -> i64 {
+        ((self.last_seen - self.first_seen) / 86_400.0).round() as i64
+    }
+
+    /// Shared by server and client endpoints (in any connections).
+    pub fn dual_role(&self) -> bool {
+        self.seen_as_server && self.seen_as_client
+    }
+}
+
+/// One connection with derived attributes.
+#[derive(Debug, Clone)]
+pub struct ConnInfo {
+    pub rec: SslRecord,
+    pub direction: Direction,
+    pub mtls: bool,
+    /// Leaf certificates (dedup ids), if chains were visible.
+    pub server_leaf: Option<CertId>,
+    pub client_leaf: Option<CertId>,
+    /// Registered domain of the SNI (or of cert names when SNI absent).
+    pub sld: Option<String>,
+    pub tld: Option<String>,
+    /// Inbound server association.
+    pub association: ServerAssociation,
+    /// Both endpoints presented the identical certificate.
+    pub same_cert_both_ends: bool,
+    /// Connection touches an interception-excluded certificate.
+    pub excluded: bool,
+}
+
+/// Out-of-band analysis knowledge (the paper had all of this too).
+#[derive(Debug, Clone)]
+pub struct MetaKnowledge {
+    pub university_net: (Ipv4, u8),
+    pub campus_issuer_orgs: Vec<String>,
+    pub public_ca_orgs: Vec<String>,
+    pub health_slds: Vec<String>,
+    pub university_slds: Vec<String>,
+    pub vpn_slds: Vec<String>,
+    pub localorg_slds: Vec<String>,
+    pub globus_slds: Vec<String>,
+    /// Publicly published provider prefixes (§3.3 attribution).
+    pub cloud_nets: Vec<(Ipv4, u8)>,
+    pub non_mtls_weight: f64,
+}
+
+impl MetaKnowledge {
+    /// Build from the simulator's metadata.
+    pub fn from_sim(meta: &mtls_netsim::SimMeta) -> MetaKnowledge {
+        MetaKnowledge {
+            university_net: meta.university_net,
+            campus_issuer_orgs: meta.campus_issuer_orgs.clone(),
+            public_ca_orgs: meta.public_ca_orgs.clone(),
+            health_slds: meta.health_slds.clone(),
+            university_slds: meta.university_slds.clone(),
+            vpn_slds: meta.vpn_slds.clone(),
+            localorg_slds: meta.localorg_slds.clone(),
+            globus_slds: meta.globus_slds.clone(),
+            cloud_nets: meta.cloud_nets.clone(),
+            non_mtls_weight: meta.non_mtls_weight,
+        }
+    }
+
+    /// Whether an address sits in a known provider prefix.
+    pub fn is_cloud(&self, ip: Ipv4) -> bool {
+        self.cloud_nets.iter().any(|(net, p)| ip.in_subnet(*net, *p))
+    }
+
+    fn is_internal(&self, ip: Ipv4) -> bool {
+        ip.in_subnet(self.university_net.0, self.university_net.1)
+    }
+
+    /// Root-store membership test on an issuer organization.
+    pub fn issuer_is_public(&self, issuer_org: Option<&str>) -> bool {
+        match issuer_org {
+            Some(org) => self.public_ca_orgs.iter().any(|p| p == org),
+            None => false,
+        }
+    }
+
+    /// Campus-CA test (user accounts, Education shortcuts).
+    pub fn issuer_is_campus(&self, issuer_org: Option<&str>) -> bool {
+        match issuer_org {
+            Some(org) => self.campus_issuer_orgs.iter().any(|p| p == org),
+            None => false,
+        }
+    }
+
+    fn association_for(&self, sld: Option<&str>) -> ServerAssociation {
+        let Some(sld) = sld else {
+            return ServerAssociation::Unknown;
+        };
+        let has = |v: &[String]| v.iter().any(|s| s == sld);
+        if has(&self.health_slds) {
+            ServerAssociation::UniversityHealth
+        } else if has(&self.university_slds) {
+            ServerAssociation::UniversityServer
+        } else if has(&self.vpn_slds) {
+            ServerAssociation::UniversityVpn
+        } else if has(&self.localorg_slds) {
+            ServerAssociation::LocalOrganization
+        } else if has(&self.globus_slds) {
+            ServerAssociation::Globus
+        } else {
+            ServerAssociation::ThirdPartyService
+        }
+    }
+}
+
+/// The fully joined corpus.
+pub struct Corpus {
+    pub certs: Vec<CertInfo>,
+    pub conns: Vec<ConnInfo>,
+    pub meta: MetaKnowledge,
+    pub fp_index: HashMap<String, CertId>,
+    /// Interception issuers identified during preprocessing.
+    pub interception_issuers: Vec<String>,
+    /// Count of certificates excluded as interception.
+    pub excluded_certs: usize,
+}
+
+impl Corpus {
+    /// Join and enrich. `excluded_fps` comes from the interception filter.
+    pub fn build(
+        ssl: &[SslRecord],
+        x509: &[X509Record],
+        meta: MetaKnowledge,
+        excluded_fps: &HashSet<String>,
+        interception_issuers: Vec<String>,
+    ) -> Corpus {
+        let mut fp_index: HashMap<String, CertId> = HashMap::with_capacity(x509.len());
+        let mut certs: Vec<CertInfo> = Vec::with_capacity(x509.len());
+        for rec in x509 {
+            let public = meta.issuer_is_public(rec.issuer_org.as_deref())
+                // The paper also accepts issuers whose *own* chain is
+                // anchored; the display-string membership stands in for it.
+                || meta
+                    .public_ca_orgs
+                    .iter()
+                    .any(|p| rec.issuer.contains(p.as_str()));
+            let category = classify_issuer_org(rec.issuer_org.as_deref(), public);
+            let issuer_recognizable = meta.issuer_is_campus(rec.issuer_org.as_deref())
+                || rec
+                    .issuer_org
+                    .as_deref()
+                    .map(|o| {
+                        o.contains("Azure Sphere")
+                            || o.contains("Apple iPhone Device")
+                            || o.contains("AT&T")
+                            || o.contains("Red Hat")
+                            || o.contains("Samsung")
+                    })
+                    .unwrap_or(false);
+            let excluded = excluded_fps.contains(&rec.fingerprint);
+            fp_index.insert(rec.fingerprint.clone(), certs.len());
+            certs.push(CertInfo {
+                rec: rec.clone(),
+                public,
+                category,
+                issuer_recognizable,
+                seen_as_server: false,
+                seen_as_client: false,
+                in_mtls: false,
+                in_client_only: false,
+                in_non_mtls_server: false,
+                first_seen: f64::INFINITY,
+                last_seen: f64::NEG_INFINITY,
+                conns: 0,
+                client_ips: HashSet::new(),
+                server_subnets: HashSet::new(),
+                client_subnets: HashSet::new(),
+                excluded,
+            });
+        }
+
+        let mut conns: Vec<ConnInfo> = Vec::with_capacity(ssl.len());
+        for rec in ssl {
+            let direction = match (meta.is_internal(rec.orig_h), meta.is_internal(rec.resp_h)) {
+                (true, _) => Direction::Outbound,
+                (false, true) => Direction::Inbound,
+                (false, false) => Direction::Transit,
+            };
+            let mtls = rec.is_mutual_tls();
+            let server_leaf = rec.cert_chain_fps.first().and_then(|fp| fp_index.get(fp)).copied();
+            let client_leaf = rec
+                .client_cert_chain_fps
+                .first()
+                .and_then(|fp| fp_index.get(fp))
+                .copied();
+
+            // SLD/TLD: from SNI, falling back to certificate names (§4.2).
+            let mut domain = rec.server_name.as_deref().and_then(extract_domain);
+            if domain.is_none() {
+                if let Some(cid) = server_leaf {
+                    let cert = &certs[cid];
+                    domain = cert
+                        .rec
+                        .san_dns
+                        .iter()
+                        .chain(cert.rec.subject_cn.iter())
+                        .find_map(|name| extract_domain(name));
+                }
+            }
+            if domain.is_none() {
+                if let Some(cid) = client_leaf {
+                    let cert = &certs[cid];
+                    domain = cert
+                        .rec
+                        .san_dns
+                        .iter()
+                        .chain(cert.rec.subject_cn.iter())
+                        .find_map(|name| extract_domain(name));
+                }
+            }
+            let sld = domain.as_ref().map(|d| d.registered_domain());
+            let tld = domain.as_ref().map(|d| d.tld.clone());
+            let association = if direction == Direction::Inbound {
+                meta.association_for(sld.as_deref())
+            } else {
+                ServerAssociation::Unknown
+            };
+            let same_cert_both_ends = mtls
+                && rec.cert_chain_fps.first() == rec.client_cert_chain_fps.first();
+            let mut excluded = false;
+
+            // Update certificate aggregates.
+            let ts = rec.ts;
+            for (fp, as_server) in rec
+                .cert_chain_fps
+                .iter()
+                .map(|f| (f, true))
+                .chain(rec.client_cert_chain_fps.iter().map(|f| (f, false)))
+            {
+                if let Some(&cid) = fp_index.get(fp) {
+                    let info = &mut certs[cid];
+                    if info.excluded {
+                        excluded = true;
+                    }
+                    if as_server {
+                        info.seen_as_server = true;
+                        info.server_subnets.insert(rec.resp_h.subnet24());
+                        if !mtls {
+                            info.in_non_mtls_server = true;
+                        }
+                    } else {
+                        info.seen_as_client = true;
+                        info.client_subnets.insert(rec.orig_h.subnet24());
+                    }
+                    if mtls {
+                        info.in_mtls = true;
+                    }
+                    if rec.is_client_only() && !as_server {
+                        info.in_client_only = true;
+                    }
+                    info.first_seen = info.first_seen.min(ts);
+                    info.last_seen = info.last_seen.max(ts);
+                    info.conns += 1;
+                    info.client_ips.insert(rec.orig_h);
+                }
+            }
+
+            conns.push(ConnInfo {
+                rec: rec.clone(),
+                direction,
+                mtls,
+                server_leaf,
+                client_leaf,
+                sld,
+                tld,
+                association,
+                same_cert_both_ends,
+                excluded,
+            });
+        }
+
+        let excluded_certs = certs.iter().filter(|c| c.excluded).count();
+        Corpus { certs, conns, meta, fp_index, interception_issuers, excluded_certs }
+    }
+
+    /// Certificates that survive interception filtering.
+    pub fn live_certs(&self) -> impl Iterator<Item = &CertInfo> {
+        self.certs.iter().filter(|c| !c.excluded)
+    }
+
+    /// Connections that survive interception filtering.
+    pub fn live_conns(&self) -> impl Iterator<Item = &ConnInfo> {
+        self.conns.iter().filter(|c| !c.excluded)
+    }
+
+    /// Mutual-TLS connections (live).
+    pub fn mtls_conns(&self) -> impl Iterator<Item = &ConnInfo> {
+        self.live_conns().filter(|c| c.mtls)
+    }
+
+    /// Look up a certificate.
+    pub fn cert(&self, id: CertId) -> &CertInfo {
+        &self.certs[id]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> MetaKnowledge {
+        MetaKnowledge {
+            university_net: (Ipv4::new(172, 29, 0, 0), 16),
+            campus_issuer_orgs: vec!["Commonwealth University".into()],
+            public_ca_orgs: vec!["DigiCert Inc".into()],
+            health_slds: vec!["campus-health.org".into()],
+            university_slds: vec!["campus-main.edu".into()],
+            vpn_slds: vec!["campus-vpn.net".into()],
+            localorg_slds: vec!["localorg-a.org".into()],
+            globus_slds: vec!["globus.org".into()],
+            cloud_nets: vec![(Ipv4::new(18, 204, 0, 0), 16)],
+            non_mtls_weight: 40.0,
+        }
+    }
+
+    fn x509(fp: &str, issuer_org: Option<&str>) -> X509Record {
+        X509Record {
+            ts: 0.0,
+            fingerprint: fp.into(),
+            version: 3,
+            serial: "01".into(),
+            subject: "CN=test".into(),
+            issuer: issuer_org.map(|o| format!("O={o}")).unwrap_or_default(),
+            issuer_org: issuer_org.map(str::to_owned),
+            subject_cn: Some("test".into()),
+            not_valid_before: 0,
+            not_valid_after: 86_400 * 365,
+            key_alg: "rsa".into(),
+            key_length: 2048,
+            sig_alg: "sha256WithRSAEncryption".into(),
+            san_dns: vec![],
+            san_email: vec![],
+            san_uri: vec![],
+            san_ip: vec![],
+            basic_constraints_ca: false,
+        }
+    }
+
+    fn conn(orig: Ipv4, resp: Ipv4, sni: Option<&str>, server_fp: &str, client_fp: Option<&str>) -> SslRecord {
+        SslRecord {
+            ts: 1_651_363_200.0,
+            uid: "C1".into(),
+            orig_h: orig,
+            orig_p: 50_000,
+            resp_h: resp,
+            resp_p: 443,
+            version: mtls_zeek::TlsVersion::Tls12,
+            server_name: sni.map(str::to_owned),
+            established: true,
+            cert_chain_fps: vec![server_fp.to_string()],
+            client_cert_chain_fps: client_fp.map(|f| vec![f.to_string()]).unwrap_or_default(),
+        }
+    }
+
+    #[test]
+    fn directions_and_associations() {
+        let internal = Ipv4::new(172, 29, 10, 5);
+        let external = Ipv4::new(98, 100, 1, 1);
+        let certs = vec![x509("aa", Some("Commonwealth University")), x509("bb", None)];
+        let ssl = vec![
+            conn(external, internal, Some("portal.campus-health.org"), "aa", Some("bb")),
+            conn(internal, external, Some("x.amazonaws.com"), "aa", Some("bb")),
+        ];
+        let corpus = Corpus::build(&ssl, &certs, meta(), &HashSet::new(), vec![]);
+        assert_eq!(corpus.conns[0].direction, Direction::Inbound);
+        assert_eq!(corpus.conns[0].association, ServerAssociation::UniversityHealth);
+        assert_eq!(corpus.conns[0].sld.as_deref(), Some("campus-health.org"));
+        assert_eq!(corpus.conns[1].direction, Direction::Outbound);
+        assert_eq!(corpus.conns[1].sld.as_deref(), Some("amazonaws.com"));
+        assert!(corpus.conns[0].mtls);
+    }
+
+    #[test]
+    fn issuer_categories_and_public() {
+        let certs = vec![
+            x509("aa", Some("DigiCert Inc")),
+            x509("bb", Some("Commonwealth University")),
+            x509("cc", None),
+            x509("dd", Some("Internet Widgits Pty Ltd")),
+        ];
+        let corpus = Corpus::build(&[], &certs, meta(), &HashSet::new(), vec![]);
+        assert!(corpus.certs[0].public);
+        assert_eq!(corpus.certs[0].category, IssuerCategory::Public);
+        assert_eq!(corpus.certs[1].category, IssuerCategory::Education);
+        assert!(corpus.certs[1].issuer_recognizable);
+        assert_eq!(corpus.certs[2].category, IssuerCategory::MissingIssuer);
+        assert_eq!(corpus.certs[3].category, IssuerCategory::Dummy);
+    }
+
+    #[test]
+    fn same_cert_both_ends_detected() {
+        let internal = Ipv4::new(172, 29, 20, 5);
+        let external = Ipv4::new(98, 100, 1, 1);
+        let certs = vec![x509("aa", Some("Globus Online"))];
+        let ssl = vec![conn(external, internal, None, "aa", Some("aa"))];
+        let corpus = Corpus::build(&ssl, &certs, meta(), &HashSet::new(), vec![]);
+        assert!(corpus.conns[0].same_cert_both_ends);
+        assert!(corpus.certs[0].dual_role());
+        assert_eq!(corpus.conns[0].association, ServerAssociation::Unknown);
+    }
+
+    #[test]
+    fn activity_span_accumulates() {
+        let internal = Ipv4::new(172, 29, 20, 5);
+        let external = Ipv4::new(98, 100, 1, 1);
+        let certs = vec![x509("aa", None), x509("bb", None)];
+        let mut c1 = conn(external, internal, None, "aa", Some("bb"));
+        let mut c2 = c1.clone();
+        c1.ts = 1_000_000.0;
+        c2.ts = 1_000_000.0 + 86_400.0 * 100.0;
+        let corpus = Corpus::build(&[c1, c2], &certs, meta(), &HashSet::new(), vec![]);
+        assert_eq!(corpus.certs[0].activity_days(), 100);
+        assert_eq!(corpus.certs[0].conns, 2);
+    }
+
+    #[test]
+    fn excluded_certs_taint_connections() {
+        let internal = Ipv4::new(172, 29, 20, 5);
+        let external = Ipv4::new(98, 100, 1, 1);
+        let certs = vec![x509("aa", Some("NetGuard Inspection CA 1")), x509("bb", None)];
+        let ssl = vec![conn(internal, external, Some("x.popular-video.com"), "aa", None)];
+        let mut excluded = HashSet::new();
+        excluded.insert("aa".to_string());
+        let corpus = Corpus::build(&ssl, &certs, meta(), &excluded, vec!["NetGuard Inspection CA 1".into()]);
+        assert!(corpus.conns[0].excluded);
+        assert_eq!(corpus.excluded_certs, 1);
+        assert_eq!(corpus.live_conns().count(), 0);
+        assert_eq!(corpus.live_certs().count(), 1);
+    }
+}

@@ -1,0 +1,326 @@
+//! Machine-readable export: one TSV file per experiment, suitable for
+//! plotting the paper's figures (gnuplot/matplotlib/vega all ingest TSV).
+
+use crate::pipeline::PipelineOutput;
+use std::io::Write;
+use std::path::Path;
+
+fn write_file(dir: &Path, name: &str, header: &str, rows: Vec<Vec<String>>) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(dir.join(name))?);
+    writeln!(f, "{header}")?;
+    for row in rows {
+        writeln!(f, "{}", row.join("\t"))?;
+    }
+    Ok(())
+}
+
+/// Write every experiment's data under `dir` (created if missing).
+pub fn write_tsv(out: &PipelineOutput, dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+
+    write_file(
+        dir,
+        "fig1_prevalence.tsv",
+        "month\tmtls_in\tmtls_out\tnon_mtls_sampled\tmtls_share",
+        out.fig1
+            .months
+            .iter()
+            .map(|m| {
+                vec![
+                    m.label.clone(),
+                    m.mtls_in.to_string(),
+                    m.mtls_out.to_string(),
+                    m.non_mtls_raw.to_string(),
+                    format!("{:.6}", m.share),
+                ]
+            })
+            .collect(),
+    )?;
+
+    write_file(
+        dir,
+        "tab1_census.tsv",
+        "category\ttotal\tmtls",
+        [
+            ("total", out.tab1.all),
+            ("server", out.tab1.server),
+            ("server_public", out.tab1.server_public),
+            ("server_private", out.tab1.server_private),
+            ("client", out.tab1.client),
+            ("client_public", out.tab1.client_public),
+            ("client_private", out.tab1.client_private),
+        ]
+        .iter()
+        .map(|(name, row)| vec![name.to_string(), row.total.to_string(), row.mtls.to_string()])
+        .collect(),
+    )?;
+
+    let port_rows = |cell: &crate::analyze::ports::RankedPorts, label: &str| {
+        cell.ranked
+            .iter()
+            .map(|(group, n)| {
+                vec![
+                    label.to_string(),
+                    group.label(),
+                    n.to_string(),
+                    format!("{:.6}", *n as f64 / cell.total.max(1) as f64),
+                ]
+            })
+            .collect::<Vec<_>>()
+    };
+    let mut rows = port_rows(&out.tab2.inbound_mtls, "inbound_mtls");
+    rows.extend(port_rows(&out.tab2.outbound_mtls, "outbound_mtls"));
+    rows.extend(port_rows(&out.tab2.inbound_plain, "inbound_plain"));
+    rows.extend(port_rows(&out.tab2.outbound_plain, "outbound_plain"));
+    write_file(dir, "tab2_ports.tsv", "cell\tport\tconns\tshare", rows)?;
+
+    write_file(
+        dir,
+        "tab3_inbound.tsv",
+        "association\tconn_share\tclient_share\tprimary_issuer\tprimary_share",
+        out.tab3
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.association.label().to_string(),
+                    format!("{:.6}", r.conn_share),
+                    format!("{:.6}", r.client_share),
+                    r.issuer_mix
+                        .first()
+                        .map(|(c, _)| c.label().to_string())
+                        .unwrap_or_default(),
+                    r.issuer_mix
+                        .first()
+                        .map(|(_, s)| format!("{s:.6}"))
+                        .unwrap_or_default(),
+                ]
+            })
+            .collect(),
+    )?;
+
+    write_file(
+        dir,
+        "fig2_flows.tsv",
+        "tld\tserver_issuer\tclient_issuer\tconns",
+        out.fig2
+            .flows
+            .iter()
+            .map(|f| {
+                vec![
+                    f.tld.clone(),
+                    if f.server_public { "public" } else { "private" }.to_string(),
+                    f.client_category.label().to_string(),
+                    f.conns.to_string(),
+                ]
+            })
+            .collect(),
+    )?;
+
+    write_file(
+        dir,
+        "ser1_collisions.tsv",
+        "issuer\tserial\tclient_certs\tserver_certs\tconns\tclients\tmedian_validity_days",
+        out.ser1
+            .groups
+            .iter()
+            .map(|g| {
+                vec![
+                    g.issuer.clone(),
+                    g.serial.clone(),
+                    g.client_certs.to_string(),
+                    g.server_certs.to_string(),
+                    g.conns.to_string(),
+                    g.clients.to_string(),
+                    g.median_validity_days.to_string(),
+                ]
+            })
+            .collect(),
+    )?;
+
+    write_file(
+        dir,
+        "fig3_incorrect_dates.tsv",
+        "sld\tside\tissuer\tnot_before_year\tnot_after_year\tcerts\tclients\tduration_days",
+        out.fig3
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.sld.clone().unwrap_or_default(),
+                    if r.client_side { "client" } else { "server" }.to_string(),
+                    r.issuer.clone(),
+                    r.not_before_year.to_string(),
+                    r.not_after_year.to_string(),
+                    r.certs.to_string(),
+                    r.clients.to_string(),
+                    r.duration_days.to_string(),
+                ]
+            })
+            .collect(),
+    )?;
+
+    write_file(
+        dir,
+        "fig4_validity.tsv",
+        "bucket_days\tpublic\tprivate",
+        out.fig4
+            .histogram
+            .iter()
+            .map(|(label, public, private)| {
+                vec![label.clone(), public.to_string(), private.to_string()]
+            })
+            .collect(),
+    )?;
+
+    write_file(
+        dir,
+        "fig5_expired.tsv",
+        "days_expired\tactivity_days\tpublic\tinbound\tissuer",
+        out.fig5
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.days_expired.to_string(),
+                    p.activity_days.to_string(),
+                    p.public.to_string(),
+                    p.inbound.to_string(),
+                    p.issuer_org.clone(),
+                ]
+            })
+            .collect(),
+    )?;
+
+    write_file(
+        dir,
+        "ext1_audit.tsv",
+        "violation\tconnections",
+        out.ext1
+            .by_violation
+            .iter()
+            .map(|(v, n)| vec![v.label().to_string(), n.to_string()])
+            .collect(),
+    )?;
+
+    write_file(
+        dir,
+        "gen1_generalization.tsv",
+        "metric\tmeasured\tpaper",
+        vec![
+            vec![
+                "inbound_device_mgmt_share".into(),
+                format!("{:.6}", out.gen1.inbound_device_mgmt_share),
+                ">0.30".into(),
+            ],
+            vec![
+                "inbound_health_share".into(),
+                format!("{:.6}", out.gen1.inbound_health_share),
+                "0.649".into(),
+            ],
+            vec![
+                "outbound_email_share".into(),
+                format!("{:.6}", out.gen1.outbound_email_share),
+                ">0.06".into(),
+            ],
+            vec![
+                "external_cloud_server_share".into(),
+                format!("{:.6}", out.gen1.external_cloud_server_share),
+                ">0.68".into(),
+            ],
+            vec![
+                "tls13_share".into(),
+                format!("{:.6}", out.gen1.tls13_share),
+                "0.4086".into(),
+            ],
+        ],
+    )?;
+
+    write_file(
+        dir,
+        "ext2_tracking.tsv",
+        "fingerprint\twindow_days\tsource_ips\tsource_subnets\tidentifies_user",
+        out.ext2
+            .worst
+            .iter()
+            .map(|t| {
+                vec![
+                    t.fingerprint.clone(),
+                    t.window_days.to_string(),
+                    t.source_ips.to_string(),
+                    t.source_subnets.to_string(),
+                    t.identifies_user.to_string(),
+                ]
+            })
+            .collect(),
+    )?;
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{CertOpts, CorpusBuilder, T0};
+    use crate::{pipeline, Corpus};
+
+    fn tiny_output() -> PipelineOutput {
+        let mut b = CorpusBuilder::new();
+        b.cert("s", CertOpts::default());
+        b.cert("c", CertOpts { cn: Some("dev"), ..Default::default() });
+        b.inbound(T0, 1, Some("x.campus-health.org"), "s", "c");
+        let corpus: Corpus = b.build();
+        // Assemble a PipelineOutput by running each analyzer directly.
+        use crate::analyze as a;
+        pipeline::PipelineOutput {
+            fig1: a::prevalence::run(&corpus),
+            tab1: a::cert_census::run(&corpus),
+            tab2: a::ports::run(&corpus),
+            tab3: a::inbound::run(&corpus),
+            fig2: a::outbound_flows::run(&corpus),
+            tab4: a::dummy_issuers::run(&corpus),
+            ser1: a::serial_collisions::run(&corpus),
+            tab5: a::cert_sharing::run(&corpus),
+            tab6: a::subnet_spread::run(&corpus),
+            fig3: a::incorrect_dates::run(&corpus),
+            fig4: a::validity::run(&corpus),
+            fig5: a::expired::run(&corpus),
+            tab7: a::cn_san_usage::run(&corpus),
+            tab8: a::info_types::run(&corpus, a::info_types::Slice::Mtls),
+            tab9: a::unidentified::run(&corpus),
+            tab13: a::info_types::run(&corpus, a::info_types::Slice::SharedCerts),
+            tab14: a::info_types::run(&corpus, a::info_types::Slice::NonMtlsServers),
+            pre1: a::interception_report::run(&corpus),
+            ext1: a::audit::run(&corpus),
+            ext2: a::tracking::run(&corpus),
+            gen1: a::generalization::run(&corpus),
+            corpus,
+        }
+    }
+
+    #[test]
+    fn writes_every_tsv() {
+        let out = tiny_output();
+        let dir = std::env::temp_dir().join(format!("mtlscope-export-{}", std::process::id()));
+        write_tsv(&out, &dir).expect("export");
+        for name in [
+            "fig1_prevalence.tsv",
+            "tab1_census.tsv",
+            "tab2_ports.tsv",
+            "tab3_inbound.tsv",
+            "fig2_flows.tsv",
+            "ser1_collisions.tsv",
+            "fig3_incorrect_dates.tsv",
+            "fig4_validity.tsv",
+            "fig5_expired.tsv",
+            "ext1_audit.tsv",
+            "ext2_tracking.tsv",
+            "gen1_generalization.tsv",
+        ] {
+            let text = std::fs::read_to_string(dir.join(name)).expect(name);
+            assert!(text.lines().count() >= 1, "{name} has a header");
+            assert!(text.lines().next().expect("header").contains('\t'));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,206 @@
+//! File-based ingestion: load a log directory written by the simulator (or
+//! by any producer of the same layout) into [`AnalysisInputs`].
+//!
+//! Layout accepted:
+//! * `ssl.log` / `x509.log` — unrotated singletons, or
+//! * `ssl.YYYY-MM.log` / `x509.YYYY-MM.log` — Zeek-style monthly rotation;
+//! * `ct.log` — tab-separated (domain, issuer, fingerprint) triples;
+//! * `meta.tsv` — the out-of-band knowledge (`key<TAB>value` lines).
+
+use crate::corpus::MetaKnowledge;
+use crate::pipeline::AnalysisInputs;
+use mtls_pki::ctlog::{CtEntry, CtLog};
+use mtls_zeek::Ipv4;
+use std::io::BufReader;
+use std::path::Path;
+
+/// Errors from loading a log directory.
+#[derive(Debug)]
+pub enum IngestError {
+    Io(std::io::Error),
+    Tsv(mtls_zeek::TsvError),
+    /// `meta.tsv` is missing a required key or has a malformed value.
+    BadMeta(String),
+}
+
+impl From<std::io::Error> for IngestError {
+    fn from(e: std::io::Error) -> IngestError {
+        IngestError::Io(e)
+    }
+}
+
+impl From<mtls_zeek::TsvError> for IngestError {
+    fn from(e: mtls_zeek::TsvError) -> IngestError {
+        IngestError::Tsv(e)
+    }
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "io error: {e}"),
+            IngestError::Tsv(e) => write!(f, "log parse error: {e}"),
+            IngestError::BadMeta(k) => write!(f, "meta.tsv: bad or missing key {k:?}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+fn parse_meta(path: &Path) -> Result<MetaKnowledge, IngestError> {
+    let text = std::fs::read_to_string(path)?;
+    let get = |key: &str| -> Result<String, IngestError> {
+        text.lines()
+            .find_map(|l| l.strip_prefix(&format!("{key}\t")))
+            .map(str::to_owned)
+            .ok_or_else(|| IngestError::BadMeta(key.to_string()))
+    };
+    // Lists are '|'-separated: organization names legitimately contain
+    // commas ("GoDaddy.com, Inc").
+    let list = |v: String| -> Vec<String> {
+        if v.is_empty() {
+            Vec::new()
+        } else {
+            v.split('|').map(str::to_owned).collect()
+        }
+    };
+    let net = get("university_net")?;
+    let (addr, prefix) = net
+        .split_once('/')
+        .ok_or_else(|| IngestError::BadMeta("university_net".into()))?;
+    let university_net = (
+        Ipv4::parse(addr).ok_or_else(|| IngestError::BadMeta("university_net".into()))?,
+        prefix
+            .parse::<u8>()
+            .map_err(|_| IngestError::BadMeta("university_net".into()))?,
+    );
+    let cloud_nets = list(get("cloud_nets").unwrap_or_default())
+        .into_iter()
+        .filter_map(|entry| {
+            let (addr, prefix) = entry.split_once('/')?;
+            Some((Ipv4::parse(addr)?, prefix.parse::<u8>().ok()?))
+        })
+        .collect();
+    Ok(MetaKnowledge {
+        university_net,
+        cloud_nets,
+        campus_issuer_orgs: list(get("campus_issuer_orgs")?),
+        public_ca_orgs: list(get("public_ca_orgs")?),
+        health_slds: list(get("health_slds")?),
+        university_slds: list(get("university_slds")?),
+        vpn_slds: list(get("vpn_slds")?),
+        localorg_slds: list(get("localorg_slds")?),
+        globus_slds: list(get("globus_slds")?),
+        non_mtls_weight: get("non_mtls_weight")?
+            .parse()
+            .map_err(|_| IngestError::BadMeta("non_mtls_weight".into()))?,
+    })
+}
+
+fn parse_ct(path: &Path) -> Result<CtLog, IngestError> {
+    if !path.exists() {
+        return Ok(CtLog::new()); // CT data is optional
+    }
+    let text = std::fs::read_to_string(path)?;
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let mut cols = line.splitn(3, '\t');
+        let (Some(domain), Some(issuer), Some(fp)) = (cols.next(), cols.next(), cols.next())
+        else {
+            continue;
+        };
+        entries.push(CtEntry {
+            domain: domain.to_string(),
+            issuer_display: issuer.to_string(),
+            fingerprint_hex: fp.to_string(),
+        });
+    }
+    Ok(CtLog::from_entries(entries))
+}
+
+/// Load a directory into pipeline inputs. Accepts both the unrotated and
+/// the monthly-rotated layouts.
+pub fn load_dir(dir: &Path) -> Result<AnalysisInputs, IngestError> {
+    let meta = parse_meta(&dir.join("meta.tsv"))?;
+    let ct = parse_ct(&dir.join("ct.log"))?;
+
+    let (ssl, x509) = if dir.join("ssl.log").exists() {
+        let ssl = mtls_zeek::read_ssl_log(BufReader::new(std::fs::File::open(
+            dir.join("ssl.log"),
+        )?))?;
+        let x509 = mtls_zeek::read_x509_log(BufReader::new(std::fs::File::open(
+            dir.join("x509.log"),
+        )?))?;
+        (ssl, x509)
+    } else {
+        mtls_zeek::read_monthly(dir)?
+    };
+
+    Ok(AnalysisInputs { ssl, x509, ct, meta })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_meta_is_reported() {
+        let dir = std::env::temp_dir().join(format!("mtlscope-ingest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("meta.tsv"), "university_net\t10.0.0.0/8\n").unwrap();
+        let err = match load_dir(&dir) {
+            Err(e) => e,
+            Ok(_) => panic!("incomplete meta must be rejected"),
+        };
+        assert!(matches!(err, IngestError::BadMeta(_)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_logs_error_instead_of_panicking() {
+        let dir = std::env::temp_dir().join(format!("mtlscope-ingest3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let meta = "university_net\t172.29.0.0/16\ncampus_issuer_orgs\tX\n\
+                    public_ca_orgs\t\nhealth_slds\t\nuniversity_slds\t\nvpn_slds\t\n\
+                    localorg_slds\t\nglobus_slds\t\nnon_mtls_weight\t10\n";
+        std::fs::write(dir.join("meta.tsv"), meta).unwrap();
+        // Garbage where a Zeek header should be, and raw bytes that are not
+        // UTF-8 at all.
+        std::fs::write(dir.join("ssl.log"), "#separator \\x09\nnot\ta\tvalid\trow\n").unwrap();
+        std::fs::write(dir.join("x509.log"), [0xFFu8, 0xFE, 0x00, 0x80]).unwrap();
+        assert!(load_dir(&dir).is_err());
+
+        // A malformed university_net is a BadMeta, not a panic.
+        std::fs::write(dir.join("meta.tsv"), meta.replace("/16", "/notaprefix")).unwrap();
+        assert!(matches!(load_dir(&dir), Err(IngestError::BadMeta(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ct_log_is_optional() {
+        let dir = std::env::temp_dir().join(format!("mtlscope-ingest2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let meta = "university_net\t172.29.0.0/16\ncampus_issuer_orgs\tX\n\
+                    public_ca_orgs\tGoDaddy.com, Inc|Entrust, Inc.\n\
+                    health_slds\t\nuniversity_slds\t\nvpn_slds\t\nlocalorg_slds\t\nglobus_slds\t\n\
+                    non_mtls_weight\t10\n";
+        std::fs::write(dir.join("meta.tsv"), meta).unwrap();
+        let mut ssl = Vec::new();
+        mtls_zeek::write_ssl_log(&mut ssl, &[]).unwrap();
+        std::fs::write(dir.join("ssl.log"), ssl).unwrap();
+        let mut x509 = Vec::new();
+        mtls_zeek::write_x509_log(&mut x509, &[]).unwrap();
+        std::fs::write(dir.join("x509.log"), x509).unwrap();
+
+        let inputs = load_dir(&dir).unwrap();
+        assert!(inputs.ct.is_empty());
+        assert!(inputs.ssl.is_empty());
+        assert_eq!(inputs.meta.non_mtls_weight, 10.0);
+        // Comma-bearing org names survive the list separator.
+        assert_eq!(
+            inputs.meta.public_ca_orgs,
+            vec!["GoDaddy.com, Inc".to_string(), "Entrust, Inc.".to_string()]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

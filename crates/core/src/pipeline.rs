@@ -1,0 +1,403 @@
+//! End-to-end pipeline: interception filtering → corpus → all analyzers.
+
+use crate::analyze;
+use crate::corpus::{Corpus, MetaKnowledge};
+use mtls_pki::CtLog;
+use mtls_zeek::{SslRecord, X509Record};
+use std::collections::{HashMap, HashSet};
+
+/// Everything the pipeline consumes.
+pub struct AnalysisInputs {
+    pub ssl: Vec<SslRecord>,
+    pub x509: Vec<X509Record>,
+    pub ct: CtLog,
+    pub meta: MetaKnowledge,
+}
+
+impl AnalysisInputs {
+    /// Adapt a simulator output.
+    pub fn from_sim(out: mtls_netsim::SimOutput) -> AnalysisInputs {
+        AnalysisInputs {
+            meta: MetaKnowledge::from_sim(&out.meta),
+            ssl: out.ssl,
+            x509: out.x509,
+            ct: out.ct,
+        }
+    }
+}
+
+/// The interception filter (§3.2.1): a server-leaf certificate is an
+/// interception *candidate* when its issuer is not publicly trusted and the
+/// CT log knows the certificate's domain under a *different* issuer. An
+/// issuer is labelled interception (the paper's manual-investigation step)
+/// when it has ≥ `MIN_CERTS` certificates and ≥ 80 % of them are
+/// candidates. Returns (excluded fingerprints, interception issuer list).
+pub mod interception {
+    use super::*;
+
+    const MIN_CERTS: usize = 3;
+    const CANDIDATE_SHARE: f64 = 0.8;
+
+    /// Run the filter with the paper's thresholds.
+    pub fn filter(
+        ssl: &[SslRecord],
+        x509: &[X509Record],
+        ct: &CtLog,
+        meta: &MetaKnowledge,
+    ) -> (HashSet<String>, Vec<String>) {
+        filter_with(ssl, x509, ct, meta, MIN_CERTS, CANDIDATE_SHARE)
+    }
+
+    /// Run the filter with explicit thresholds (ablation: the decision is
+    /// insensitive to the exact cutoffs because genuine middlebox issuers
+    /// are ~100 % candidates while real CAs are ~0 %).
+    pub fn filter_with(
+        ssl: &[SslRecord],
+        x509: &[X509Record],
+        ct: &CtLog,
+        meta: &MetaKnowledge,
+        min_certs: usize,
+        candidate_share: f64,
+    ) -> (HashSet<String>, Vec<String>) {
+        // Which fingerprints are used as server leaves?
+        let mut server_fps: HashSet<&str> = HashSet::new();
+        for rec in ssl {
+            if let Some(fp) = rec.cert_chain_fps.first() {
+                server_fps.insert(fp);
+            }
+        }
+
+        // Per private issuer: total server certs and candidate certs.
+        let mut per_issuer: HashMap<&str, (usize, usize, Vec<&str>)> = HashMap::new();
+        for cert in x509 {
+            if !server_fps.contains(cert.fingerprint.as_str()) {
+                continue;
+            }
+            if meta.issuer_is_public(cert.issuer_org.as_deref()) {
+                continue;
+            }
+            let Some(org) = cert.issuer_org.as_deref() else {
+                continue; // empty issuers are a different pathology
+            };
+            let mut candidate = false;
+            for domain in cert.san_dns.iter().chain(cert.subject_cn.iter()) {
+                if ct.contains_domain(domain) && !ct.domain_has_issuer(domain, &cert.issuer) {
+                    candidate = true;
+                    break;
+                }
+            }
+            let entry = per_issuer.entry(org).or_insert((0, 0, Vec::new()));
+            entry.0 += 1;
+            if candidate {
+                entry.1 += 1;
+                entry.2.push(&cert.fingerprint);
+            }
+        }
+
+        let mut excluded = HashSet::new();
+        let mut issuers = Vec::new();
+        for (org, (total, candidates, fps)) in per_issuer {
+            if total >= min_certs && (candidates as f64) / (total as f64) >= candidate_share {
+                issuers.push(org.to_string());
+                for fp in fps {
+                    excluded.insert(fp.to_string());
+                }
+            }
+        }
+        issuers.sort();
+        (excluded, issuers)
+    }
+}
+
+/// Every report the pipeline produces (one per experiment in DESIGN.md §3).
+pub struct PipelineOutput {
+    pub corpus: Corpus,
+    pub fig1: analyze::prevalence::Report,
+    pub tab1: analyze::cert_census::Report,
+    pub tab2: analyze::ports::Report,
+    pub tab3: analyze::inbound::Report,
+    pub fig2: analyze::outbound_flows::Report,
+    pub tab4: analyze::dummy_issuers::Report,
+    pub ser1: analyze::serial_collisions::Report,
+    pub tab5: analyze::cert_sharing::Report,
+    pub tab6: analyze::subnet_spread::Report,
+    pub fig3: analyze::incorrect_dates::Report,
+    pub fig4: analyze::validity::Report,
+    pub fig5: analyze::expired::Report,
+    pub tab7: analyze::cn_san_usage::Report,
+    pub tab8: analyze::info_types::Report,
+    pub tab9: analyze::unidentified::Report,
+    pub tab13: analyze::info_types::Report,
+    pub tab14: analyze::info_types::Report,
+    pub pre1: analyze::interception_report::Report,
+    /// Extension experiments (DESIGN.md §3: ext1/ext2).
+    pub ext1: analyze::audit::Report,
+    pub ext2: analyze::tracking::Report,
+    /// §3.3 dataset-generalization summary.
+    pub gen1: analyze::generalization::Report,
+}
+
+impl PipelineOutput {
+    /// Render every report in paper order.
+    pub fn render_all(&self) -> String {
+        let mut out = String::new();
+        for section in [
+            self.pre1.render(),
+            self.fig1.render(),
+            self.tab1.render(),
+            self.tab2.render(),
+            self.tab3.render(),
+            self.fig2.render(),
+            self.tab4.render(),
+            self.ser1.render(),
+            self.tab5.render(),
+            self.tab6.render(),
+            self.fig3.render(),
+            self.fig4.render(),
+            self.fig5.render(),
+            self.tab7.render(),
+            self.tab8.render(),
+            self.tab9.render(),
+            self.tab13.render(),
+            self.tab14.render(),
+            self.ext1.render(),
+            self.ext2.render(),
+            self.gen1.render(),
+        ] {
+            out.push_str(&section);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Run the full pipeline, analyzers sharded across scoped threads (the
+/// `ablate_parallel` bench measures ~2x on this corpus shape). Produces
+/// output identical to [`run_pipeline`].
+pub fn run_pipeline_parallel(inputs: AnalysisInputs) -> PipelineOutput {
+    let (excluded, issuers) =
+        interception::filter(&inputs.ssl, &inputs.x509, &inputs.ct, &inputs.meta);
+    let corpus = Corpus::build(&inputs.ssl, &inputs.x509, inputs.meta, &excluded, issuers);
+
+    let (shard1, shard2, shard3, shard4, shard5) = std::thread::scope(|s| {
+        let c = &corpus;
+        // Group analyzers into a handful of similarly-sized shards.
+        let h1 = s.spawn(move || {
+            (
+                analyze::prevalence::run(c),
+                analyze::cert_census::run(c),
+                analyze::ports::run(c),
+                analyze::cn_san_usage::run(c),
+            )
+        });
+        let h2 = s.spawn(move || {
+            (
+                analyze::inbound::run(c),
+                analyze::outbound_flows::run(c),
+                analyze::dummy_issuers::run(c),
+                analyze::cert_sharing::run(c),
+            )
+        });
+        let h3 = s.spawn(move || {
+            (
+                analyze::serial_collisions::run(c),
+                analyze::subnet_spread::run(c),
+                analyze::incorrect_dates::run(c),
+                analyze::validity::run(c),
+                analyze::expired::run(c),
+            )
+        });
+        let h4 = s.spawn(move || {
+            (
+                analyze::info_types::run(c, analyze::info_types::Slice::Mtls),
+                analyze::unidentified::run(c),
+                analyze::info_types::run(c, analyze::info_types::Slice::SharedCerts),
+                analyze::info_types::run(c, analyze::info_types::Slice::NonMtlsServers),
+            )
+        });
+        let h5 = s.spawn(move || {
+            (
+                analyze::audit::run(c),
+                analyze::tracking::run(c),
+                analyze::generalization::run(c),
+            )
+        });
+
+        (
+            h1.join().expect("shard 1"),
+            h2.join().expect("shard 2"),
+            h3.join().expect("shard 3"),
+            h4.join().expect("shard 4"),
+            h5.join().expect("shard 5"),
+        )
+    });
+    let (fig1, tab1, tab2, tab7) = shard1;
+    let (tab3, fig2, tab4, tab5) = shard2;
+    let (ser1, tab6, fig3, fig4, fig5) = shard3;
+    let (tab8, tab9, tab13, tab14) = shard4;
+    let (ext1, ext2, gen1) = shard5;
+    let pre1 = analyze::interception_report::run(&corpus);
+    PipelineOutput {
+        fig1,
+        tab1,
+        tab2,
+        tab3,
+        fig2,
+        tab4,
+        ser1,
+        tab5,
+        tab6,
+        fig3,
+        fig4,
+        fig5,
+        tab7,
+        tab8,
+        tab9,
+        tab13,
+        tab14,
+        pre1,
+        ext1,
+        ext2,
+        gen1,
+        corpus,
+    }
+}
+
+/// Run the full pipeline.
+pub fn run_pipeline(inputs: AnalysisInputs) -> PipelineOutput {
+    let (excluded, issuers) =
+        interception::filter(&inputs.ssl, &inputs.x509, &inputs.ct, &inputs.meta);
+    let corpus = Corpus::build(&inputs.ssl, &inputs.x509, inputs.meta, &excluded, issuers);
+
+    PipelineOutput {
+        fig1: analyze::prevalence::run(&corpus),
+        tab1: analyze::cert_census::run(&corpus),
+        tab2: analyze::ports::run(&corpus),
+        tab3: analyze::inbound::run(&corpus),
+        fig2: analyze::outbound_flows::run(&corpus),
+        tab4: analyze::dummy_issuers::run(&corpus),
+        ser1: analyze::serial_collisions::run(&corpus),
+        tab5: analyze::cert_sharing::run(&corpus),
+        tab6: analyze::subnet_spread::run(&corpus),
+        fig3: analyze::incorrect_dates::run(&corpus),
+        fig4: analyze::validity::run(&corpus),
+        fig5: analyze::expired::run(&corpus),
+        tab7: analyze::cn_san_usage::run(&corpus),
+        tab8: analyze::info_types::run(&corpus, analyze::info_types::Slice::Mtls),
+        tab9: analyze::unidentified::run(&corpus),
+        tab13: analyze::info_types::run(&corpus, analyze::info_types::Slice::SharedCerts),
+        tab14: analyze::info_types::run(&corpus, analyze::info_types::Slice::NonMtlsServers),
+        pre1: analyze::interception_report::run(&corpus),
+        ext1: analyze::audit::run(&corpus),
+        ext2: analyze::tracking::run(&corpus),
+        gen1: analyze::generalization::run(&corpus),
+        corpus,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{external, internal, meta, T0};
+    use mtls_zeek::{SslRecord, TlsVersion, X509Record};
+
+    fn x509(fp: &str, issuer_org: &str, cn: &str) -> X509Record {
+        X509Record {
+            ts: T0,
+            fingerprint: fp.into(),
+            version: 3,
+            serial: "01".into(),
+            subject: format!("CN={cn}"),
+            issuer: format!("O={issuer_org}"),
+            issuer_org: Some(issuer_org.into()),
+            subject_cn: Some(cn.into()),
+            not_valid_before: 0,
+            not_valid_after: i64::MAX / 2,
+            key_alg: "rsa".into(),
+            key_length: 2048,
+            sig_alg: "sha256WithRSAEncryption".into(),
+            san_dns: vec![cn.into()],
+            san_email: vec![],
+            san_uri: vec![],
+            san_ip: vec![],
+            basic_constraints_ca: false,
+        }
+    }
+
+    fn conn(server_fp: &str) -> SslRecord {
+        SslRecord {
+            ts: T0,
+            uid: format!("C{server_fp}"),
+            orig_h: internal(5),
+            orig_p: 40_000,
+            resp_h: external(5),
+            resp_p: 443,
+            version: TlsVersion::Tls12,
+            server_name: None,
+            established: true,
+            cert_chain_fps: vec![server_fp.into()],
+            client_cert_chain_fps: vec![],
+        }
+    }
+
+    /// A CT log where `popular.example.com` is known under DigiCert.
+    fn ct_with_real_site() -> CtLog {
+        let mut ct = CtLog::new();
+        use mtls_asn1::Asn1Time;
+        use mtls_crypto::Keypair;
+        use mtls_pki::CertificateAuthority;
+        use mtls_x509::{CertificateBuilder, DistinguishedName, GeneralName};
+        let ca = CertificateAuthority::new_root(
+            b"ct-digicert",
+            DistinguishedName::builder().organization("DigiCert Inc").build(),
+            Asn1Time::from_ymd(2022, 5, 1),
+        );
+        let key = Keypair::from_seed(b"site");
+        let real = ca.issue(
+            CertificateBuilder::new()
+                .subject(DistinguishedName::builder().common_name("popular.example.com").build())
+                .san(vec![GeneralName::Dns("popular.example.com".into())])
+                .validity(Asn1Time::from_ymd(2022, 5, 1), Asn1Time::from_ymd(2025, 5, 1))
+                .subject_key(key.key_id()),
+        );
+        ct.submit(&real);
+        ct
+    }
+
+    #[test]
+    fn interception_filter_flags_ct_mismatched_private_issuers() {
+        let ct = ct_with_real_site();
+        // Three proxy certs for the CT-known domain: flagged.
+        let x509s = vec![
+            x509("p1", "ProxyGuard CA", "popular.example.com"),
+            x509("p2", "ProxyGuard CA", "popular.example.com"),
+            x509("p3", "ProxyGuard CA", "popular.example.com"),
+            // A private CA for a domain CT never saw: spared.
+            x509("ok1", "Intranet CA", "internal.corp-only.com"),
+            x509("ok2", "Intranet CA", "internal2.corp-only.com"),
+            x509("ok3", "Intranet CA", "internal3.corp-only.com"),
+        ];
+        let ssl: Vec<SslRecord> =
+            ["p1", "p2", "p3", "ok1", "ok2", "ok3"].iter().map(|fp| conn(fp)).collect();
+        let (excluded, issuers) = interception::filter(&ssl, &x509s, &ct, &meta());
+        assert_eq!(issuers, vec!["ProxyGuard CA".to_string()]);
+        assert_eq!(excluded.len(), 3);
+        assert!(excluded.contains("p1") && !excluded.contains("ok1"));
+    }
+
+    #[test]
+    fn public_issuers_and_small_issuers_are_never_flagged() {
+        let ct = ct_with_real_site();
+        // A *public* CA reissuing the domain (renewal) must not be flagged,
+        // nor a private issuer with fewer than MIN_CERTS certificates.
+        let x509s = vec![
+            x509("d1", "DigiCert Inc", "popular.example.com"),
+            x509("d2", "Let's Encrypt", "popular.example.com"),
+            x509("tiny", "OneOff Proxy CA", "popular.example.com"),
+        ];
+        let ssl: Vec<SslRecord> = ["d1", "d2", "tiny"].iter().map(|fp| conn(fp)).collect();
+        let (excluded, issuers) = interception::filter(&ssl, &x509s, &ct, &meta());
+        assert!(excluded.is_empty(), "{excluded:?}");
+        assert!(issuers.is_empty(), "{issuers:?}");
+    }
+}

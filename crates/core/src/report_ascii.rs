@@ -1,0 +1,164 @@
+//! ASCII chart rendering for the reproduced figures: a line chart for time
+//! series (Fig. 1), horizontal bars for histograms (Fig. 4), and a scatter
+//! grid (Fig. 5). Terminal-only, zero dependencies.
+
+/// Render a single series as a fixed-height line chart with y-axis labels.
+/// `points` are (label, value); labels are shown sparsely on the x-axis.
+pub fn line_chart(title: &str, points: &[(String, f64)], height: usize) -> String {
+    if points.is_empty() {
+        return format!("== {title} ==\n(no data)\n");
+    }
+    let max = points.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
+    let min = points.iter().map(|(_, v)| *v).fold(f64::MAX, f64::min);
+    let span = (max - min).max(f64::EPSILON);
+    let rows = height.max(2);
+    let mut grid = vec![vec![' '; points.len()]; rows];
+    for (x, (_, v)) in points.iter().enumerate() {
+        let y = (((v - min) / span) * (rows - 1) as f64).round() as usize;
+        grid[rows - 1 - y][x] = '*';
+    }
+    let mut out = format!("== {title} ==\n");
+    for (i, row) in grid.iter().enumerate() {
+        let level = max - span * i as f64 / (rows - 1) as f64;
+        out.push_str(&format!("{level:>8.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(points.len())));
+    // Sparse x labels: first, middle, last.
+    let mut labels = vec![' '; points.len()];
+    let mark = |labels: &mut Vec<char>, idx: usize, text: &str| {
+        for (k, ch) in text.chars().enumerate() {
+            if idx + k < labels.len() {
+                labels[idx + k] = ch;
+            }
+        }
+    };
+    let first = &points[0].0;
+    let last = &points[points.len() - 1].0;
+    mark(&mut labels, 0, first);
+    if points.len() > first.len() + last.len() + 2 {
+        mark(&mut labels, points.len() - last.len(), last);
+    }
+    out.push_str(&format!("{:>8}  {}\n", "", labels.into_iter().collect::<String>()));
+    out
+}
+
+/// Render labelled horizontal bars scaled to the largest value.
+pub fn bar_chart(title: &str, bars: &[(String, usize)], width: usize) -> String {
+    let mut out = format!("== {title} ==\n");
+    if bars.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let max = bars.iter().map(|(_, v)| *v).max().unwrap_or(1).max(1);
+    let label_w = bars.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    for (label, value) in bars {
+        let filled = (value * width).div_ceil(max).min(width);
+        let filled = if *value > 0 { filled.max(1) } else { 0 };
+        out.push_str(&format!(
+            "{label:<label_w$} |{}{} {value}\n",
+            "#".repeat(filled),
+            " ".repeat(width - filled),
+        ));
+    }
+    out
+}
+
+/// Render a scatter of (x, y) points bucketed onto a character grid.
+/// Distinct marks can be attached per point (e.g. 'a' for Apple).
+pub fn scatter(
+    title: &str,
+    points: &[(f64, f64, char)],
+    x_label: &str,
+    y_label: &str,
+    cols: usize,
+    rows: usize,
+) -> String {
+    let mut out = format!("== {title} ==\n");
+    if points.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (mut x_min, mut x_max) = (f64::MAX, f64::MIN);
+    let (mut y_min, mut y_max) = (f64::MAX, f64::MIN);
+    for (x, y, _) in points {
+        x_min = x_min.min(*x);
+        x_max = x_max.max(*x);
+        y_min = y_min.min(*y);
+        y_max = y_max.max(*y);
+    }
+    let x_span = (x_max - x_min).max(f64::EPSILON);
+    let y_span = (y_max - y_min).max(f64::EPSILON);
+    let mut grid = vec![vec![' '; cols]; rows];
+    for (x, y, mark) in points {
+        let cx = (((x - x_min) / x_span) * (cols - 1) as f64).round() as usize;
+        let cy = (((y - y_min) / y_span) * (rows - 1) as f64).round() as usize;
+        grid[rows - 1 - cy][cx] = *mark;
+    }
+    out.push_str(&format!("{y_label} ({y_min:.0}..{y_max:.0})\n"));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str(&format!("+{}\n", "-".repeat(cols)));
+    out.push_str(&format!("{x_label} ({x_min:.0}..{x_max:.0})\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_shape() {
+        let points: Vec<(String, f64)> = (0..23)
+            .map(|i| (format!("m{i}"), 1.99 + 0.07 * i as f64))
+            .collect();
+        let s = line_chart("growth", &points, 8);
+        assert!(s.contains("== growth =="));
+        assert_eq!(s.matches('*').count(), 23);
+        assert!(s.contains("m0"), "first x label shown");
+        // Max appears on the top row region, min on the bottom.
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].contains('*'), "top row holds the maximum");
+    }
+
+    #[test]
+    fn line_chart_empty() {
+        assert!(line_chart("x", &[], 5).contains("(no data)"));
+    }
+
+    #[test]
+    fn bar_chart_scales() {
+        let bars = vec![
+            ("a".to_string(), 100usize),
+            ("bb".to_string(), 50),
+            ("ccc".to_string(), 0),
+        ];
+        let s = bar_chart("bars", &bars, 20);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[1].matches('#').count(), 20);
+        assert_eq!(lines[2].matches('#').count(), 10);
+        assert_eq!(lines[3].matches('#').count(), 0);
+        assert!(s.contains("ccc"));
+    }
+
+    #[test]
+    fn scatter_places_marks() {
+        let points = vec![(0.0, 0.0, 'a'), (100.0, 50.0, 'b')];
+        let s = scatter("sc", &points, "x", "y", 20, 5);
+        assert!(s.contains('a'));
+        assert!(s.contains('b'));
+        assert!(s.contains("x (0..100)"));
+        assert!(s.contains("y (0..50)"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let points: Vec<(String, f64)> = (0..5).map(|i| (format!("{i}"), 2.0)).collect();
+        let s = line_chart("flat", &points, 4);
+        assert_eq!(s.matches('*').count(), 5);
+    }
+}

@@ -1,0 +1,155 @@
+//! Test-only helpers: a fluent builder for small synthetic corpora so each
+//! analyzer can be unit-tested against hand-written scenarios.
+#![cfg(test)]
+
+use crate::corpus::{Corpus, MetaKnowledge};
+use mtls_zeek::{Ipv4, SslRecord, TlsVersion, X509Record};
+use std::collections::HashSet;
+
+/// The study's first day, as a float timestamp.
+pub const T0: f64 = 1_651_363_200.0;
+
+/// One day in seconds.
+pub const DAY: f64 = 86_400.0;
+
+/// Standard test meta: university = 172.29/16, one campus CA, DigiCert and
+/// Let's Encrypt as the public roster.
+pub fn meta() -> MetaKnowledge {
+    MetaKnowledge {
+        university_net: (Ipv4::new(172, 29, 0, 0), 16),
+        campus_issuer_orgs: vec!["Commonwealth University".into()],
+        public_ca_orgs: vec![
+            "DigiCert Inc".into(),
+            "Let's Encrypt".into(),
+            "Sectigo Limited".into(),
+            "Apple Inc.".into(),
+        ],
+        health_slds: vec!["campus-health.org".into()],
+        university_slds: vec!["campus-main.edu".into()],
+        vpn_slds: vec!["campus-vpn.net".into()],
+        localorg_slds: vec!["localorg-a.org".into()],
+        globus_slds: vec!["globus.org".into()],
+        cloud_nets: vec![(Ipv4::new(18, 204, 0, 0), 16)],
+        non_mtls_weight: 10.0,
+    }
+}
+
+/// An internal (university) IP with the given low bits.
+pub fn internal(n: u16) -> Ipv4 {
+    Ipv4::new(172, 29, (n >> 8) as u8, (n & 0xFF).max(1) as u8)
+}
+
+/// An external IP with the given low bits.
+pub fn external(n: u16) -> Ipv4 {
+    Ipv4::new(98, 100, (n >> 8) as u8, (n & 0xFF).max(1) as u8)
+}
+
+/// Fluent corpus builder.
+#[derive(Default)]
+pub struct CorpusBuilder {
+    certs: Vec<X509Record>,
+    ssl: Vec<SslRecord>,
+    uid: u64,
+}
+
+/// Options for a test certificate.
+pub struct CertOpts {
+    pub issuer_org: Option<&'static str>,
+    pub cn: Option<&'static str>,
+    pub san_dns: Vec<&'static str>,
+    pub serial: &'static str,
+    pub not_before: f64,
+    pub not_after: f64,
+    pub version: u8,
+    pub key_length: u16,
+}
+
+impl Default for CertOpts {
+    fn default() -> Self {
+        CertOpts {
+            issuer_org: Some("SomeOrg Inc"),
+            cn: Some("host.example.com"),
+            san_dns: vec![],
+            serial: "0A",
+            not_before: T0 - 30.0 * DAY,
+            not_after: T0 + 730.0 * DAY,
+            version: 3,
+            key_length: 2048,
+        }
+    }
+}
+
+impl CorpusBuilder {
+    pub fn new() -> CorpusBuilder {
+        CorpusBuilder::default()
+    }
+
+    /// Register a certificate under fingerprint `fp`.
+    pub fn cert(&mut self, fp: &str, opts: CertOpts) -> &mut Self {
+        self.certs.push(X509Record {
+            ts: T0,
+            fingerprint: fp.to_string(),
+            version: opts.version,
+            serial: opts.serial.to_string(),
+            subject: opts.cn.map(|c| format!("CN={c}")).unwrap_or_default(),
+            issuer: opts.issuer_org.map(|o| format!("O={o}")).unwrap_or_default(),
+            issuer_org: opts.issuer_org.map(str::to_owned),
+            subject_cn: opts.cn.map(str::to_owned),
+            not_valid_before: opts.not_before as i64,
+            not_valid_after: opts.not_after as i64,
+            key_alg: "rsa".into(),
+            key_length: opts.key_length,
+            sig_alg: "sha256WithRSAEncryption".into(),
+            san_dns: opts.san_dns.iter().map(|s| s.to_string()).collect(),
+            san_email: vec![],
+            san_uri: vec![],
+            san_ip: vec![],
+            basic_constraints_ca: false,
+        });
+        self
+    }
+
+    /// Add a connection. `server_fp`/`client_fp` of `""` means "no chain".
+    #[allow(clippy::too_many_arguments)]
+    pub fn conn(
+        &mut self,
+        ts: f64,
+        orig: Ipv4,
+        resp: Ipv4,
+        port: u16,
+        sni: Option<&str>,
+        server_fp: &str,
+        client_fp: &str,
+    ) -> &mut Self {
+        self.uid += 1;
+        self.ssl.push(SslRecord {
+            ts,
+            uid: format!("T{:06}", self.uid),
+            orig_h: orig,
+            orig_p: 40_000,
+            resp_h: resp,
+            resp_p: port,
+            version: TlsVersion::Tls12,
+            server_name: sni.map(str::to_owned),
+            established: true,
+            cert_chain_fps: if server_fp.is_empty() { vec![] } else { vec![server_fp.into()] },
+            client_cert_chain_fps: if client_fp.is_empty() { vec![] } else { vec![client_fp.into()] },
+        });
+        self
+    }
+
+    /// Inbound mTLS convenience (external client → internal server, 443).
+    pub fn inbound(&mut self, ts: f64, client_n: u16, sni: Option<&str>, sfp: &str, cfp: &str) -> &mut Self {
+        self.conn(ts, external(client_n), internal(10), 443, sni, sfp, cfp)
+    }
+
+    /// Outbound mTLS convenience (internal client → external server, 443).
+    pub fn outbound(&mut self, ts: f64, client_n: u16, sni: Option<&str>, sfp: &str, cfp: &str) -> &mut Self {
+        self.conn(ts, internal(client_n), external(10), 443, sni, sfp, cfp)
+    }
+
+    /// Build the corpus (no interception exclusions).
+    pub fn build(&self) -> Corpus {
+        Corpus::build(&self.ssl, &self.certs, meta(), &HashSet::new(), vec![])
+    }
+}

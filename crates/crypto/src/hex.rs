@@ -1,0 +1,69 @@
+//! Lowercase hex encoding/decoding for fingerprints and serial numbers.
+
+/// Encode bytes as lowercase hex.
+pub fn encode(bytes: &[u8]) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0x0F) as usize] as char);
+    }
+    out
+}
+
+/// Encode bytes as uppercase hex (Zeek logs serials in uppercase).
+pub fn encode_upper(bytes: &[u8]) -> String {
+    encode(bytes).to_ascii_uppercase()
+}
+
+/// Decode a hex string (either case). Returns `None` on odd length or
+/// non-hex characters.
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks_exact(2) {
+        let hi = hex_val(pair[0])?;
+        let lo = hex_val(pair[1])?;
+        out.push((hi << 4) | lo);
+    }
+    Some(out)
+}
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let data = [0x00, 0x01, 0xAB, 0xFF, 0x7F];
+        let s = encode(&data);
+        assert_eq!(s, "0001abff7f");
+        assert_eq!(decode(&s).unwrap(), data);
+        assert_eq!(decode(&encode_upper(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(decode("abc").is_none()); // odd length
+        assert!(decode("zz").is_none()); // bad chars
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn upper_case_matches_zeek_style() {
+        assert_eq!(encode_upper(&[0x03, 0xE8]), "03E8");
+        assert_eq!(encode_upper(&[0x00]), "00");
+    }
+}

@@ -1,0 +1,206 @@
+//! The simulated signature scheme ("simsig") used to sign synthetic
+//! certificates at scale.
+//!
+//! Real CAs sign with RSA/ECDSA; verifiers check with the CA's public key.
+//! Minting millions of certificates with real asymmetric crypto would
+//! dominate simulation time without changing anything the reproduced paper
+//! measures (see DESIGN.md §1). simsig keeps the *shape* of the trust
+//! relationships:
+//!
+//! * a [`Keypair`] is a 32-byte secret plus a [`KeyId`] derived from it —
+//!   the stand-in for a public key;
+//! * a [`Signature`] over a message is `HMAC-SHA256(secret, message)`;
+//! * verification resolves the signer's `KeyId` through a [`KeyRegistry`]
+//!   (the stand-in for "the verifier has the CA's public key") and recomputes
+//!   the tag.
+//!
+//! Forged signatures, swapped issuers, and tampered TBS bytes all fail
+//! verification, so the chain-validation logic in `mtls-pki` is genuinely
+//! exercised.
+
+use crate::hmac::hmac_sha256;
+use crate::sha256::sha256;
+use std::collections::HashMap;
+
+/// Identifies a verification key — the simsig analogue of a public key.
+/// Derived as `SHA-256(secret || "mtlscope-simsig-pub")`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyId(pub [u8; 32]);
+
+impl KeyId {
+    /// Hex form for logs and DER embedding.
+    pub fn to_hex(self) -> String {
+        crate::hex::encode(&self.0)
+    }
+}
+
+/// A signing keypair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Keypair {
+    secret: [u8; 32],
+    key_id: KeyId,
+}
+
+const PUB_DERIVE_SUFFIX: &[u8] = b"mtlscope-simsig-pub";
+
+impl Keypair {
+    /// Derive a keypair deterministically from seed material. The same seed
+    /// always yields the same keypair, which keeps simulation runs
+    /// reproducible.
+    pub fn from_seed(seed: &[u8]) -> Keypair {
+        let secret = sha256(seed);
+        let mut buf = Vec::with_capacity(32 + PUB_DERIVE_SUFFIX.len());
+        buf.extend_from_slice(&secret);
+        buf.extend_from_slice(PUB_DERIVE_SUFFIX);
+        Keypair { secret, key_id: KeyId(sha256(&buf)) }
+    }
+
+    /// The verification key identifier ("public key").
+    pub fn key_id(&self) -> KeyId {
+        self.key_id
+    }
+
+    /// Sign a message.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        Signature(hmac_sha256(&self.secret, message))
+    }
+
+    /// Verify locally (used by the registry; callers go through
+    /// [`KeyRegistry::verify`]).
+    fn verify(&self, message: &[u8], sig: &Signature) -> bool {
+        // Constant-time-ish comparison; timing is irrelevant in a simulator
+        // but the idiom is cheap to keep.
+        let expected = self.sign(message);
+        let mut diff = 0u8;
+        for (a, b) in expected.0.iter().zip(sig.0.iter()) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+/// A 32-byte signature tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature(pub [u8; 32]);
+
+impl Signature {
+    /// Raw bytes, for embedding in the certificate BIT STRING.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Parse from raw bytes; `None` unless exactly 32 bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Signature> {
+        bytes.try_into().ok().map(Signature)
+    }
+}
+
+/// Maps key identifiers to keypairs — the simulation's stand-in for the
+/// out-of-band distribution of CA public keys.
+#[derive(Debug, Default, Clone)]
+pub struct KeyRegistry {
+    keys: HashMap<KeyId, Keypair>,
+}
+
+impl KeyRegistry {
+    /// Empty registry.
+    pub fn new() -> KeyRegistry {
+        KeyRegistry::default()
+    }
+
+    /// Register a keypair so signatures by it can be verified.
+    pub fn register(&mut self, keypair: Keypair) {
+        self.keys.insert(keypair.key_id(), keypair);
+    }
+
+    /// Whether a key is known.
+    pub fn contains(&self, key_id: KeyId) -> bool {
+        self.keys.contains_key(&key_id)
+    }
+
+    /// Verify `sig` over `message` by the key identified by `signer`.
+    /// Returns `false` for unknown signers as well as bad tags.
+    pub fn verify(&self, signer: KeyId, message: &[u8], sig: &Signature) -> bool {
+        self.keys
+            .get(&signer)
+            .map(|kp| kp.verify(message, sig))
+            .unwrap_or(false)
+    }
+
+    /// Number of registered keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = Keypair::from_seed(b"globus-online-ca");
+        let b = Keypair::from_seed(b"globus-online-ca");
+        assert_eq!(a, b);
+        assert_eq!(a.key_id(), b.key_id());
+    }
+
+    #[test]
+    fn different_seeds_different_keys() {
+        let a = Keypair::from_seed(b"ca-1");
+        let b = Keypair::from_seed(b"ca-2");
+        assert_ne!(a.key_id(), b.key_id());
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let kp = Keypair::from_seed(b"test");
+        let mut reg = KeyRegistry::new();
+        reg.register(kp.clone());
+        let sig = kp.sign(b"tbs certificate bytes");
+        assert!(reg.verify(kp.key_id(), b"tbs certificate bytes", &sig));
+    }
+
+    #[test]
+    fn tampered_message_fails() {
+        let kp = Keypair::from_seed(b"test");
+        let mut reg = KeyRegistry::new();
+        reg.register(kp.clone());
+        let sig = kp.sign(b"original");
+        assert!(!reg.verify(kp.key_id(), b"tampered", &sig));
+    }
+
+    #[test]
+    fn wrong_signer_fails() {
+        let kp1 = Keypair::from_seed(b"ca-1");
+        let kp2 = Keypair::from_seed(b"ca-2");
+        let mut reg = KeyRegistry::new();
+        reg.register(kp1.clone());
+        reg.register(kp2.clone());
+        let sig = kp1.sign(b"msg");
+        assert!(!reg.verify(kp2.key_id(), b"msg", &sig));
+    }
+
+    #[test]
+    fn unknown_signer_fails() {
+        let kp = Keypair::from_seed(b"unregistered");
+        let reg = KeyRegistry::new();
+        let sig = kp.sign(b"msg");
+        assert!(!reg.verify(kp.key_id(), b"msg", &sig));
+    }
+
+    #[test]
+    fn signature_byte_round_trip() {
+        let kp = Keypair::from_seed(b"x");
+        let sig = kp.sign(b"y");
+        let rt = Signature::from_bytes(sig.as_bytes()).unwrap();
+        assert_eq!(rt, sig);
+        assert!(Signature::from_bytes(&[0u8; 31]).is_none());
+        assert!(Signature::from_bytes(&[0u8; 33]).is_none());
+    }
+}

@@ -1,0 +1,165 @@
+//! The study calendar: May 2022 – March 2024, 23 months, with the traffic
+//! trends of Figure 1.
+
+use mtls_asn1::{time, Asn1Time};
+use rand::Rng;
+
+/// A calendar month in the study window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Month {
+    pub year: i32,
+    pub month: u32,
+}
+
+impl Month {
+    /// The study's 23 months in order.
+    pub fn study_months() -> Vec<Month> {
+        let mut out = Vec::with_capacity(23);
+        let mut y = 2022;
+        let mut m = 5;
+        for _ in 0..23 {
+            out.push(Month { year: y, month: m });
+            m += 1;
+            if m > 12 {
+                m = 1;
+                y += 1;
+            }
+        }
+        out
+    }
+
+    /// Zero-based index within the study window.
+    pub fn index(self) -> usize {
+        let months_from_epoch = |mo: Month| mo.year * 12 + mo.month as i32 - 1;
+        (months_from_epoch(self) - months_from_epoch(Month { year: 2022, month: 5 })) as usize
+    }
+
+    /// First instant of the month.
+    pub fn start(self) -> Asn1Time {
+        Asn1Time::from_ymd(self.year, self.month, 1)
+    }
+
+    /// Number of days in the month.
+    pub fn days(self) -> u32 {
+        time::days_in_month(self.year, self.month)
+    }
+
+    /// `YYYY-MM` label.
+    pub fn label(self) -> String {
+        format!("{:04}-{:02}", self.year, self.month)
+    }
+
+    /// Uniform random timestamp inside the month.
+    pub fn sample_ts(self, rng: &mut impl Rng) -> f64 {
+        let start = self.start().unix() as f64;
+        start + rng.gen_range(0.0..(self.days() as f64 * 86_400.0))
+    }
+
+    /// The month containing a Unix timestamp.
+    pub fn of_ts(ts: f64) -> Month {
+        let (y, m, ..) = Asn1Time::from_unix(ts as i64).to_civil();
+        Month { year: y, month: m }
+    }
+}
+
+/// Relative mutual-TLS volume per month (daily rate in millions, from the
+/// paper: 1.26 M/day in May 2022 rising to 2.36 M/day in March 2024, with
+/// an extra inbound surge from university health services Oct–Dec 2023
+/// onward). Index by `Month::index()`.
+pub fn mtls_month_weight(index: usize, inbound: bool) -> f64 {
+    let n = 22.0;
+    let base = 1.0 + 1.3 * (index as f64 / n);
+    // The health surge: "nearly twofold increase in traffic to the
+    // university health services from October 2023 to December 2023".
+    // Months 17 (Oct 2023) onward carry the surge on the inbound side.
+    if inbound && index >= 17 {
+        base * 1.55
+    } else {
+        base
+    }
+}
+
+/// Relative non-mTLS volume per month: roughly flat (total TLS grew only
+/// slightly while the mTLS share doubled).
+pub fn non_mtls_month_weight(_index: usize) -> f64 {
+    1.0
+}
+
+/// Distribute `total` items over the 23 months proportionally to `weight`,
+/// rounding while preserving the total.
+pub fn spread_over_months(total: usize, weight: impl Fn(usize) -> f64) -> Vec<usize> {
+    let months = Month::study_months();
+    let weights: Vec<f64> = (0..months.len()).map(&weight).collect();
+    let sum: f64 = weights.iter().sum();
+    let mut out = Vec::with_capacity(months.len());
+    let mut assigned = 0usize;
+    let mut acc = 0.0f64;
+    for w in &weights {
+        acc += w;
+        let target = ((acc / sum) * total as f64).round() as usize;
+        out.push(target - assigned);
+        assigned = target;
+    }
+    debug_assert_eq!(assigned, total);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn study_window_shape() {
+        let months = Month::study_months();
+        assert_eq!(months.len(), 23);
+        assert_eq!(months[0], Month { year: 2022, month: 5 });
+        assert_eq!(months[22], Month { year: 2024, month: 3 });
+        for (i, m) in months.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Month { year: 2022, month: 5 }.label(), "2022-05");
+        assert_eq!(Month { year: 2024, month: 3 }.label(), "2024-03");
+    }
+
+    #[test]
+    fn sample_ts_stays_in_month() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for m in Month::study_months() {
+            for _ in 0..20 {
+                let ts = m.sample_ts(&mut rng);
+                assert_eq!(Month::of_ts(ts), m, "{}", m.label());
+            }
+        }
+    }
+
+    #[test]
+    fn growth_is_monotone_without_surge() {
+        for i in 1..23 {
+            assert!(mtls_month_weight(i, false) > mtls_month_weight(i - 1, false));
+        }
+        // Surge kicks in at month 17 on the inbound side.
+        assert!(mtls_month_weight(17, true) > mtls_month_weight(17, false) * 1.3);
+    }
+
+    #[test]
+    fn spread_preserves_total() {
+        for total in [0usize, 1, 22, 23, 1000, 99_999] {
+            let spread = spread_over_months(total, |i| mtls_month_weight(i, false));
+            assert_eq!(spread.iter().sum::<usize>(), total, "total={total}");
+        }
+    }
+
+    #[test]
+    fn spread_follows_weights() {
+        let spread = spread_over_months(100_000, |i| mtls_month_weight(i, false));
+        assert!(spread[22] > spread[0], "growth should show in the spread");
+        let ratio = spread[22] as f64 / spread[0] as f64;
+        assert!((1.5..2.5).contains(&ratio), "ratio {ratio}");
+    }
+}

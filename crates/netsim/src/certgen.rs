@@ -1,0 +1,334 @@
+//! Certificate minting helpers and CN/SAN content generators.
+
+use mtls_asn1::Asn1Time;
+use mtls_classify::gazetteer::{GIVEN_NAMES, SURNAMES};
+use mtls_crypto::Keypair;
+use mtls_pki::CertificateAuthority;
+use mtls_x509::{
+    Certificate, CertificateBuilder, DistinguishedName, ExtendedKeyUsage, GeneralName,
+    KeyAlgorithm, SignatureAlgorithm, Version,
+};
+use rand::Rng;
+
+/// How the serial number is chosen.
+#[derive(Debug, Clone)]
+pub enum Serial {
+    /// Unique random 12-byte serial (well-behaved issuers).
+    Random,
+    /// A fixed value — the §5.1.2 collision populations (`00`, `01`,
+    /// `024680`, `03E8`).
+    Fixed(Vec<u8>),
+}
+
+/// Which ExtendedKeyUsage to stamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Usage {
+    Server,
+    Client,
+    Both,
+    /// No EKU at all (most private-CA certs in the wild).
+    None,
+}
+
+/// Everything needed to mint one leaf.
+pub struct MintSpec<'a> {
+    pub ca: &'a CertificateAuthority,
+    /// When set, the issuer DN is this instead of the CA's name — the
+    /// *MissingIssuer* (empty DN) and hand-rolled-dummy populations.
+    pub issuer_override: Option<DistinguishedName>,
+    pub subject_cn: Option<String>,
+    pub subject_org: Option<String>,
+    pub san: Vec<GeneralName>,
+    pub serial: Serial,
+    pub not_before: Asn1Time,
+    pub not_after: Asn1Time,
+    pub version: Version,
+    pub key: KeyAlgorithm,
+    pub usage: Usage,
+}
+
+impl<'a> MintSpec<'a> {
+    /// A plain v3 RSA-2048 leaf with a random serial and no EKU.
+    pub fn new(ca: &'a CertificateAuthority, not_before: Asn1Time, not_after: Asn1Time) -> MintSpec<'a> {
+        MintSpec {
+            ca,
+            issuer_override: None,
+            subject_cn: None,
+            subject_org: None,
+            san: Vec::new(),
+            serial: Serial::Random,
+            not_before,
+            not_after,
+            version: Version::V3,
+            key: KeyAlgorithm::Rsa { bits: 2048 },
+            usage: Usage::None,
+        }
+    }
+
+    pub fn cn(mut self, cn: impl Into<String>) -> Self {
+        self.subject_cn = Some(cn.into());
+        self
+    }
+
+    pub fn org(mut self, org: impl Into<String>) -> Self {
+        self.subject_org = Some(org.into());
+        self
+    }
+
+    pub fn san_dns(mut self, names: &[&str]) -> Self {
+        self.san
+            .extend(names.iter().map(|n| GeneralName::Dns((*n).to_string())));
+        self
+    }
+
+    pub fn san(mut self, names: Vec<GeneralName>) -> Self {
+        self.san.extend(names);
+        self
+    }
+
+    pub fn serial(mut self, serial: Serial) -> Self {
+        self.serial = serial;
+        self
+    }
+
+    pub fn version(mut self, v: Version) -> Self {
+        self.version = v;
+        self
+    }
+
+    pub fn key(mut self, key: KeyAlgorithm) -> Self {
+        self.key = key;
+        self
+    }
+
+    pub fn usage(mut self, usage: Usage) -> Self {
+        self.usage = usage;
+        self
+    }
+
+    pub fn issuer_override(mut self, dn: DistinguishedName) -> Self {
+        self.issuer_override = Some(dn);
+        self
+    }
+
+    /// Mint the certificate. Randomness (subject key, random serial) comes
+    /// from `rng`, so corpora are reproducible.
+    pub fn mint(self, rng: &mut impl Rng) -> Certificate {
+        let key_seed: [u8; 16] = rng.gen();
+        let subject_key = Keypair::from_seed(&key_seed);
+        let mut subject = DistinguishedName::builder();
+        if let Some(org) = &self.subject_org {
+            subject = subject.organization(org.clone());
+        }
+        if let Some(cn) = &self.subject_cn {
+            subject = subject.common_name(cn.clone());
+        }
+        let serial_bytes = match self.serial {
+            Serial::Random => {
+                let mut b = vec![0u8; 12];
+                rng.fill(&mut b[..]);
+                b[0] &= 0x7F; // keep it positive-looking
+                b
+            }
+            Serial::Fixed(b) => b,
+        };
+        let mut builder = CertificateBuilder::new()
+            .version(self.version)
+            .serial(&serial_bytes)
+            .subject(subject.build())
+            .validity(self.not_before, self.not_after)
+            .key_algorithm(self.key)
+            .signature_algorithm(if matches!(self.key, KeyAlgorithm::EcdsaP256) {
+                SignatureAlgorithm::EcdsaWithSha256
+            } else {
+                SignatureAlgorithm::Sha256WithRsa
+            })
+            .san(self.san);
+        builder = match self.usage {
+            Usage::Server => builder.extended_key_usage(ExtendedKeyUsage {
+                server_auth: true,
+                client_auth: false,
+                other: vec![],
+            }),
+            Usage::Client => builder.extended_key_usage(ExtendedKeyUsage {
+                server_auth: false,
+                client_auth: true,
+                other: vec![],
+            }),
+            Usage::Both => builder.extended_key_usage(ExtendedKeyUsage::both()),
+            Usage::None => builder,
+        };
+        let builder = builder.subject_key(subject_key.key_id());
+        match self.issuer_override {
+            Some(dn) => self.ca.issue_verbatim(builder.issuer(dn)),
+            None => self.ca.issue(builder),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Content generators (CN/SAN text with known ground truth).
+// ---------------------------------------------------------------------------
+
+/// Lowercase hex string of the given length.
+pub fn random_hex(rng: &mut impl Rng, len: usize) -> String {
+    const HEX: &[u8] = b"0123456789abcdef";
+    (0..len).map(|_| HEX[rng.gen_range(0..16)] as char).collect()
+}
+
+/// A UUID-formatted random string (36 chars).
+pub fn random_uuid(rng: &mut impl Rng) -> String {
+    format!(
+        "{}-{}-{}-{}-{}",
+        random_hex(rng, 8),
+        random_hex(rng, 4),
+        random_hex(rng, 4),
+        random_hex(rng, 4),
+        random_hex(rng, 12)
+    )
+}
+
+/// A consonant-heavy random alphanumeric string (reads as machine noise to
+/// the Table 9 detector).
+pub fn random_alnum(rng: &mut impl Rng, len: usize) -> String {
+    const CHARS: &[u8] = b"bcdfghjklmnpqrstvwxz0123456789";
+    (0..len).map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char).collect()
+}
+
+/// `Given Surname` drawn from the shared gazetteer, title-cased so the
+/// classifier's recall is exercised honestly.
+pub fn person_name(rng: &mut impl Rng) -> String {
+    let title = |s: &str| {
+        let mut c = s.chars();
+        match c.next() {
+            Some(f) => f.to_ascii_uppercase().to_string() + c.as_str(),
+            None => String::new(),
+        }
+    };
+    let given = GIVEN_NAMES[rng.gen_range(0..GIVEN_NAMES.len())];
+    let sur = SURNAMES[rng.gen_range(0..SURNAMES.len())];
+    format!("{} {}", title(given), title(sur))
+}
+
+/// A campus user id matching the format `classify::matchers::is_user_account`
+/// recognizes (e.g. `hd7gr`).
+pub fn user_account(rng: &mut impl Rng) -> String {
+    const L: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    let mut s = String::new();
+    for _ in 0..rng.gen_range(2..=3) {
+        s.push(L[rng.gen_range(0..26)] as char);
+    }
+    s.push(char::from(b'0' + rng.gen_range(0..10u8)));
+    for _ in 0..2 {
+        s.push(L[rng.gen_range(0..26)] as char);
+    }
+    s
+}
+
+/// A MAC address string.
+pub fn mac_address(rng: &mut impl Rng) -> String {
+    (0..6)
+        .map(|_| format!("{:02X}", rng.gen::<u8>()))
+        .collect::<Vec<_>>()
+        .join(":")
+}
+
+/// A SIP URI.
+pub fn sip_address(rng: &mut impl Rng) -> String {
+    format!("sip:{}@voip.campus-main.edu", rng.gen_range(1000..9999))
+}
+
+/// An email address.
+pub fn email_address(rng: &mut impl Rng) -> String {
+    format!("{}@campus-main.edu", user_account(rng))
+}
+
+/// A hostname under the given registered domain.
+pub fn hostname(rng: &mut impl Rng, domain: &str) -> String {
+    const PREFIX: &[&str] = &["www", "api", "portal", "edge", "mx", "smtp", "vpn", "node", "app", "svc"];
+    format!(
+        "{}{}.{}",
+        PREFIX[rng.gen_range(0..PREFIX.len())],
+        rng.gen_range(0..100),
+        domain
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtls_classify::{classify, ClassifyContext, InfoType};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn generators_produce_classifiable_content() {
+        let mut r = rng();
+        let ctx = ClassifyContext::default();
+        let campus = ClassifyContext { issuer_org: Some("x"), issuer_is_campus: true };
+        for _ in 0..50 {
+            assert_eq!(classify(&person_name(&mut r), ctx), InfoType::PersonalName);
+            assert_eq!(classify(&user_account(&mut r), campus), InfoType::UserAccount);
+            assert_eq!(classify(&mac_address(&mut r), ctx), InfoType::Mac);
+            assert_eq!(classify(&sip_address(&mut r), ctx), InfoType::Sip);
+            assert_eq!(classify(&email_address(&mut r), ctx), InfoType::Email);
+            assert_eq!(classify(&hostname(&mut r, "example.com"), ctx), InfoType::Domain);
+            assert_eq!(classify(&random_hex(&mut r, 32), ctx), InfoType::Unidentified);
+            assert_eq!(classify(&random_uuid(&mut r), ctx), InfoType::Unidentified);
+        }
+    }
+
+    #[test]
+    fn random_strings_detected_as_random() {
+        let mut r = rng();
+        for _ in 0..50 {
+            assert!(mtls_classify::random::is_random_string(&random_hex(&mut r, 8)));
+            assert!(mtls_classify::random::is_random_string(&random_uuid(&mut r)));
+            let alnum = random_alnum(&mut r, 16);
+            assert!(mtls_classify::random::is_random_string(&alnum), "{alnum}");
+        }
+    }
+
+    #[test]
+    fn mint_with_fixed_serial_and_override() {
+        let mut r = rng();
+        let world_start = Asn1Time::from_ymd(2022, 5, 1);
+        let ca = CertificateAuthority::new_root(
+            b"t",
+            DistinguishedName::builder().organization("T").build(),
+            world_start,
+        );
+        let cert = MintSpec::new(&ca, world_start, world_start.add_days(14))
+            .cn("transfer")
+            .serial(Serial::Fixed(vec![0x00]))
+            .issuer_override(DistinguishedName::empty())
+            .usage(Usage::Both)
+            .mint(&mut r);
+        assert_eq!(cert.serial().to_hex(), "00");
+        assert!(cert.issuer().is_empty());
+        assert_eq!(cert.subject().common_name(), Some("transfer"));
+        // Round-trips through DER.
+        let rt = Certificate::from_der(&cert.to_der()).unwrap();
+        assert_eq!(rt, cert);
+    }
+
+    #[test]
+    fn random_serials_are_unique() {
+        let mut r = rng();
+        let world_start = Asn1Time::from_ymd(2022, 5, 1);
+        let ca = CertificateAuthority::new_root(
+            b"t2",
+            DistinguishedName::builder().organization("T2").build(),
+            world_start,
+        );
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let cert = MintSpec::new(&ca, world_start, world_start.add_days(90)).mint(&mut r);
+            assert!(seen.insert(cert.serial().to_hex()));
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Simulation configuration.
+
+/// Knobs for one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+    /// Linear volume multiplier. `1.0` produces the default corpus
+    /// (~200–250 k connection records, ~20–40 k unique certificates —
+    /// roughly 1/10⁴ of the paper's connection volume and 1/250 of its
+    /// certificate volume; see DESIGN.md §1 on stratified scaling).
+    /// Integration tests use `0.01`–`0.05`.
+    pub scale: f64,
+    /// Whether to include the non-mTLS strata (Table 2's right half,
+    /// Table 14, Figure 1's denominator). On by default; some examples
+    /// disable it to focus on mutual TLS.
+    pub include_non_mtls: bool,
+    /// Whether to plant TLS-interception traffic (§3.2.1).
+    pub include_interception: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { seed: 0x6d746c73, scale: 1.0, include_non_mtls: true, include_interception: true }
+    }
+}
+
+impl SimConfig {
+    /// Scale an absolute default count.
+    pub fn scaled(&self, base: usize) -> usize {
+        ((base as f64) * self.scale).round().max(1.0) as usize
+    }
+
+    /// Scale a count that may legitimately go to zero at tiny scales.
+    pub fn scaled_may_vanish(&self, base: usize) -> usize {
+        ((base as f64) * self.scale).round() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling() {
+        let cfg = SimConfig { scale: 0.5, ..SimConfig::default() };
+        assert_eq!(cfg.scaled(100), 50);
+        assert_eq!(cfg.scaled(1), 1); // floor of 1
+        assert_eq!(cfg.scaled_may_vanish(1), 1);
+        let tiny = SimConfig { scale: 0.001, ..SimConfig::default() };
+        assert_eq!(tiny.scaled(100), 1);
+        assert_eq!(tiny.scaled_may_vanish(100), 0);
+    }
+}

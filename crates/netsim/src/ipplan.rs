@@ -1,0 +1,150 @@
+//! The address plan: university subnets (used to split inbound/outbound,
+//! as the paper does with the real university's prefixes) and external
+//! provider blocks.
+
+use mtls_zeek::Ipv4;
+use rand::Rng;
+
+/// A /16-style block with a generator for hosts inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Block {
+    pub network: Ipv4,
+    pub prefix_len: u8,
+}
+
+impl Block {
+    /// Random host inside the block (avoids .0 and .255 in the last octet).
+    pub fn sample(self, rng: &mut impl Rng) -> Ipv4 {
+        let host_bits = 32 - u32::from(self.prefix_len);
+        let span = 1u32 << host_bits;
+        loop {
+            let ip = Ipv4(self.network.0 | rng.gen_range(1..span - 1));
+            let last = ip.octets()[3];
+            if last != 0 && last != 255 {
+                return ip;
+            }
+        }
+    }
+
+    /// Deterministic host `n` inside the block (wraps; avoids .0/.255 by
+    /// stepping past them).
+    pub fn host(self, n: u32) -> Ipv4 {
+        let host_bits = 32 - u32::from(self.prefix_len);
+        let span = (1u32 << host_bits) - 2;
+        // Map n into [1, span], then fix up .0/.255 collisions.
+        let mut ip = Ipv4(self.network.0 | (1 + n % span));
+        let last = ip.octets()[3];
+        if last == 0 || last == 255 {
+            ip = Ipv4(ip.0 ^ 1);
+        }
+        ip
+    }
+
+    /// Membership test.
+    pub fn contains(self, ip: Ipv4) -> bool {
+        ip.in_subnet(self.network, self.prefix_len)
+    }
+}
+
+/// The whole plan. Addresses are fictional but structured like a real
+/// campus: one /16 for the university with carved-out /24-granularity pools.
+#[derive(Debug, Clone)]
+pub struct IpPlan {
+    /// The university's announced block; "internal" means inside this.
+    pub university: Block,
+    /// Health-system servers.
+    pub health: Block,
+    /// General university servers.
+    pub servers: Block,
+    /// VPN concentrators.
+    pub vpn: Block,
+    /// Client NAT pools (most clients egress from few addresses).
+    pub nat: Block,
+    /// Non-NAT client space (labs, wired offices).
+    pub clients: Block,
+    /// External provider blocks.
+    pub aws: Block,
+    pub rapid7: Block,
+    pub gp_cloud: Block,
+    pub apple: Block,
+    pub microsoft: Block,
+    pub misc_external: Block,
+    /// External client space (inbound originators).
+    pub external_clients: Block,
+}
+
+impl IpPlan {
+    /// The fixed plan used by every simulation run.
+    pub fn standard() -> IpPlan {
+        let b = |a, bb, c, d, p| Block { network: Ipv4::new(a, bb, c, d), prefix_len: p };
+        IpPlan {
+            university: b(172, 29, 0, 0, 16),
+            health: b(172, 29, 10, 0, 23),
+            servers: b(172, 29, 20, 0, 22),
+            vpn: b(172, 29, 30, 0, 24),
+            nat: b(172, 29, 40, 0, 26),
+            clients: b(172, 29, 64, 0, 18),
+            aws: b(18, 204, 0, 0, 16),
+            rapid7: b(34, 226, 0, 0, 16),
+            gp_cloud: b(35, 190, 0, 0, 16),
+            apple: b(17, 250, 0, 0, 16),
+            microsoft: b(20, 42, 0, 0, 16),
+            misc_external: b(45, 60, 0, 0, 14),
+            external_clients: b(98, 100, 0, 0, 14),
+        }
+    }
+
+    /// The paper's internal/external test.
+    pub fn is_internal(&self, ip: Ipv4) -> bool {
+        self.university.contains(ip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pools_nest_inside_university() {
+        let plan = IpPlan::standard();
+        for pool in [plan.health, plan.servers, plan.vpn, plan.nat, plan.clients] {
+            assert!(plan.university.contains(pool.network), "{:?}", pool);
+        }
+        for pool in [plan.aws, plan.rapid7, plan.apple, plan.external_clients] {
+            assert!(!plan.university.contains(pool.network), "{:?}", pool);
+        }
+    }
+
+    #[test]
+    fn sampled_hosts_stay_inside() {
+        let plan = IpPlan::standard();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let ip = plan.health.sample(&mut rng);
+            assert!(plan.health.contains(ip));
+            assert!(plan.is_internal(ip));
+            let last = ip.octets()[3];
+            assert!(last != 0 && last != 255);
+        }
+    }
+
+    #[test]
+    fn deterministic_hosts() {
+        let plan = IpPlan::standard();
+        assert_eq!(plan.vpn.host(5), plan.vpn.host(5));
+        assert!(plan.vpn.contains(plan.vpn.host(1000)));
+        // NAT pool is tiny: many ns collapse onto few addresses.
+        let a = plan.nat.host(0);
+        let b = plan.nat.host(62);
+        assert_eq!(a, b, "62-host pool wraps");
+    }
+
+    #[test]
+    fn internal_external_split() {
+        let plan = IpPlan::standard();
+        assert!(plan.is_internal(Ipv4::new(172, 29, 99, 7)));
+        assert!(!plan.is_internal(Ipv4::new(8, 8, 8, 8)));
+    }
+}

@@ -1,0 +1,115 @@
+//! Certificates with incorrect dates (Fig. 3, Tables 11–12, §5.3.1).
+//!
+//! `notBefore` does not precede `notAfter`; every connection still
+//! establishes. The IDrive and SDS populations use inverted-date
+//! certificates at *both* endpoints.
+
+use crate::certgen::{hostname, random_alnum, MintSpec, Usage};
+use crate::config::SimConfig;
+use crate::emit::{ConnSpec, Emitter};
+use crate::scenarios::{mtls_version, ts_in_window};
+use crate::targets;
+use crate::world::World;
+use mtls_asn1::Asn1Time;
+use mtls_x509::Certificate;
+use rand::Rng;
+
+/// Mid-year timestamps for the planted years; the ayoba row uses identical
+/// timestamps for both fields (the one Fig. 3 exception).
+fn year_ts(year: i32, identical_pair: bool) -> (Asn1Time, Asn1Time) {
+    let t = Asn1Time::from_ymd(year, 6, 15);
+    if identical_pair {
+        (t, t)
+    } else {
+        (t, t.add_secs(3600))
+    }
+}
+
+/// Run the scenario.
+pub fn run(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mut impl Rng) {
+    for row in targets::INCORRECT_DATES_ROWS {
+        let ca = world.private_ca(row.issuer);
+        let n_clients = config.scaled(row.clients);
+        let identical = row.not_before_year == row.not_after_year;
+
+        let (nb, _) = year_ts(row.not_before_year, identical);
+        let (na, _) = if identical {
+            (nb, nb)
+        } else {
+            year_ts(row.not_after_year, false)
+        };
+
+        // Server side: IDrive/SDS server rows carry inverted dates too;
+        // otherwise a plain private server cert.
+        let server_cert: Certificate = if !row.client_side {
+            MintSpec::new(&ca, nb, na)
+                .cn(if row.sld.is_empty() {
+                    random_alnum(rng, 10)
+                } else {
+                    hostname(rng, row.sld)
+                })
+                .usage(Usage::Server)
+                .mint(rng)
+        } else {
+            let sca = world.private_ca(row.issuer);
+            MintSpec::new(&sca, world.start.add_days(-30), world.start.add_days(760))
+                .cn(if row.sld.is_empty() {
+                    random_alnum(rng, 10)
+                } else {
+                    hostname(rng, row.sld)
+                })
+                .usage(Usage::Server)
+                .mint(rng)
+        };
+        let sni = if row.sld.is_empty() {
+            None
+        } else {
+            server_cert.subject().common_name().map(str::to_owned)
+        };
+        let server_ip = world.plan.misc_external.sample(rng);
+
+        for _ in 0..n_clients {
+            let client_ip = world.plan.clients.sample(rng);
+            // Client side: inverted dates when the row says so. For the
+            // IDrive and SDS *server* rows the clients are inverted too —
+            // Table 12's "incorrect dates at both endpoints".
+            let both_ends = !row.client_side
+                && (row.issuer.starts_with("IDrive") || row.issuer == "SDS");
+            let client_cert = if row.client_side || both_ends {
+                // The paired client population is issued a year earlier in
+                // the IDrive case (2019 vs 2020), per Table 12.
+                let (cnb, cna) = if both_ends && row.issuer.starts_with("IDrive") {
+                    (year_ts(row.not_before_year - 1, false).0, year_ts(row.not_after_year - 1, false).0)
+                } else {
+                    (nb, na)
+                };
+                MintSpec::new(&ca, cnb, cna)
+                    .cn(format!("device-{}", random_alnum(rng, 8)))
+                    .usage(Usage::Client)
+                    .mint(rng)
+            } else {
+                MintSpec::new(&ca, world.start.add_days(-30), world.start.add_days(760))
+                    .cn(format!("device-{}", random_alnum(rng, 8)))
+                    .usage(Usage::Client)
+                    .mint(rng)
+            };
+            for _ in 0..rng.gen_range(1..=3) {
+                em.connection(
+                    ConnSpec {
+                        ts: ts_in_window(rng, row.duration_days),
+                        orig: client_ip,
+                        resp: server_ip,
+                        resp_port: 443,
+                        version: mtls_version(rng),
+                        sni: sni.clone(),
+                        server_chain: vec![&server_cert],
+                        client_chain: vec![&client_cert],
+                        established: true, // the paper's headline concern
+                        resumed: false,
+                    },
+                rng,
+            );
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Dummy-issuer populations (Table 4, Appendix B / Table 10, §5.1.1).
+//!
+//! Certificates keep the default organization strings their tooling ships
+//! with ("Internet Widgits Pty Ltd" is OpenSSL's). Includes the v1 and
+//! 1024-bit-RSA sub-populations the paper calls out, and the Table 10
+//! connections where *both* endpoints present dummy-issued certificates.
+
+use crate::certgen::{hostname, random_alnum, MintSpec, Usage};
+use crate::config::SimConfig;
+use crate::emit::{ConnSpec, Emitter};
+use crate::scenarios::{mtls_version, ts_in_window};
+use crate::targets::{self, DummySide};
+use crate::world::World;
+use mtls_x509::{Certificate, KeyAlgorithm, Version};
+use mtls_zeek::Ipv4;
+use rand::Rng;
+
+/// Run the scenario.
+pub fn run(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mut impl Rng) {
+    plant_v1_and_weak_keys(world, em, rng);
+
+    for row in targets::DUMMY_ROWS {
+        let ca = world.private_ca(row.issuer);
+        let validity = (world.start.add_days(-10), world.start.add_days(760));
+        let n_servers = config.scaled(row.servers);
+        let n_clients = config.scaled(row.clients);
+        let n_conns = config.scaled(row.conns);
+
+        // Server endpoints. For Client-side rows the server uses a normal
+        // issuer; for Server/Both rows it uses the dummy issuer.
+        let servers: Vec<(Ipv4, Option<String>, Certificate)> = (0..n_servers)
+            .map(|_| {
+                let sld = row.slds[rng.gen_range(0..row.slds.len())];
+                let sni = if sld.is_empty() { None } else { Some(hostname(rng, sld)) };
+                let ip = if row.inbound {
+                    world.plan.servers.sample(rng)
+                } else {
+                    world.plan.misc_external.sample(rng)
+                };
+                let cert = match row.side {
+                    DummySide::Server | DummySide::Both => {
+                        MintSpec::new(&ca, validity.0, validity.1)
+                            .cn(sni.clone().unwrap_or_else(|| random_alnum(rng, 10)))
+                            .org(row.issuer)
+                            .usage(Usage::Server)
+                            .mint(rng)
+                    }
+                    DummySide::Client => {
+                        // Ordinary private server; the dummy is client-side.
+                        let server_ca = world.private_ca("NodeRunner");
+                        MintSpec::new(&server_ca, validity.0, validity.1)
+                            .cn(sni.clone().unwrap_or_else(|| random_alnum(rng, 10)))
+                            .mint(rng)
+                    }
+                };
+                (ip, sni, cert)
+            })
+            .collect();
+
+        // Client endpoints.
+        let clients: Vec<(Ipv4, Certificate)> = (0..n_clients)
+            .map(|_| {
+                let ip = if row.inbound {
+                    world.plan.external_clients.sample(rng)
+                } else {
+                    world.plan.clients.sample(rng)
+                };
+                let cert = match row.side {
+                    DummySide::Client | DummySide::Both => MintSpec::new(&ca, validity.0, validity.1)
+                        .cn(random_alnum(rng, 12))
+                        .org(row.issuer)
+                        .mint(rng),
+                    DummySide::Server => {
+                        // Ordinary private client; the dummy is server-side.
+                        let client_ca = world.private_ca("");
+                        MintSpec::new(&client_ca, validity.0, validity.1)
+                            .cn(random_alnum(rng, 12))
+                            .issuer_override(mtls_x509::DistinguishedName::empty())
+                            .mint(rng)
+                    }
+                };
+                (ip, cert)
+            })
+            .collect();
+
+        // The Table 10 fireboard.io population has the longest duration of
+        // activity (618 days); other rows are spread across the window.
+        let duration = if row.side == DummySide::Both && row.slds == ["fireboard.io"] {
+            618
+        } else if row.side == DummySide::Both && row.slds == ["amazonaws.com"] {
+            17
+        } else if row.side == DummySide::Both {
+            1
+        } else {
+            700
+        };
+
+        for _ in 0..n_conns {
+            let ts = ts_in_window(rng, duration);
+            let server = &servers[rng.gen_range(0..servers.len())];
+            let client = &clients[rng.gen_range(0..clients.len())];
+            em.connection(
+                ConnSpec {
+                    ts,
+                    orig: client.0,
+                    resp: server.0,
+                    resp_port: 443,
+                    version: mtls_version(rng),
+                    sni: server.1.clone(),
+                    server_chain: vec![&server.2],
+                    client_chain: vec![&client.1],
+                    established: true,
+                    resumed: false,
+                },
+                rng,
+            );
+        }
+    }
+}
+
+/// §5.1.1's sub-populations, planted verbatim at every scale: exactly 3
+/// "Internet Widgits Pty Ltd" v1 client certificates (154 connection
+/// tuples in the paper) and exactly 13 "Unspecified" clients with
+/// 1024-bit RSA keys (83 tuples).
+fn plant_v1_and_weak_keys(world: &World, em: &mut Emitter, rng: &mut impl Rng) {
+    let validity = (world.start.add_days(-10), world.start.add_days(760));
+    let server_ca = world.private_ca("NodeRunner");
+    let server = MintSpec::new(&server_ca, validity.0, validity.1)
+        .cn(hostname(rng, "devboard.com"))
+        .usage(Usage::Server)
+        .mint(rng);
+    let server_ip = world.plan.misc_external.sample(rng);
+
+    fn emit<R: Rng>(
+        cert: &Certificate,
+        server: &Certificate,
+        server_ip: Ipv4,
+        world: &World,
+        em: &mut Emitter,
+        rng: &mut R,
+    ) {
+        let orig = world.plan.clients.sample(rng);
+        for _ in 0..rng.gen_range(2..6) {
+            em.connection(
+                ConnSpec {
+                    ts: ts_in_window(rng, 650),
+                    orig,
+                    resp: server_ip,
+                    resp_port: 443,
+                    version: mtls_zeek::TlsVersion::Tls12,
+                    sni: Some(server.subject().common_name().expect("cn").to_string()),
+                    server_chain: vec![server],
+                    client_chain: vec![cert],
+                    established: true,
+                    resumed: false,
+                },
+                rng,
+            );
+        }
+    }
+
+    let widgits = world.private_ca("Internet Widgits Pty Ltd");
+    for _ in 0..targets::DUMMY_V1_CERTS {
+        let cert = MintSpec::new(&widgits, validity.0, validity.1)
+            .cn(random_alnum(rng, 12))
+            .org("Internet Widgits Pty Ltd")
+            .version(Version::V1)
+            .mint(rng);
+        emit(&cert, &server, server_ip, world, em, rng);
+    }
+    let unspecified = world.private_ca("Unspecified");
+    for _ in 0..targets::DUMMY_WEAK_RSA_CERTS {
+        let cert = MintSpec::new(&unspecified, validity.0, validity.1)
+            .cn(random_alnum(rng, 12))
+            .org("Unspecified")
+            .key(KeyAlgorithm::Rsa { bits: 1024 })
+            .mint(rng);
+        emit(&cert, &server, server_ip, world, em, rng);
+    }
+}

@@ -1,0 +1,83 @@
+//! TLS interception (§3.2.1).
+//!
+//! Cloud security proxies terminate outbound TLS on behalf of managed
+//! clients: the border monitor therefore sees the *proxy's* certificate for
+//! the destination domain, issued by an interception CA that never appears
+//! in root stores or in CT. The paper identified 186 such issuers and
+//! excluded 8.4 % of unique certificates. The analysis pipeline's
+//! preprocessing must find and exclude these (experiment `pre1`) by
+//! comparing the observed issuer with the CT-logged issuer for the domain.
+
+use crate::certgen::{hostname, MintSpec, Usage};
+use crate::config::SimConfig;
+use crate::emit::{ConnSpec, Emitter};
+use crate::scenarios::{plainish_version, spread_ts};
+use crate::targets;
+use crate::world::World;
+use crate::calendar::{self, Month};
+use mtls_x509::Certificate;
+use rand::Rng;
+
+/// Run the scenario.
+pub fn run(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mut impl Rng) {
+    if !config.include_interception {
+        return;
+    }
+    let n_issuers = config.scaled(targets::INTERCEPTION_ISSUERS);
+    let n_certs = config.scaled(targets::INTERCEPTION_CERTS);
+    let n_conns = config.scaled(targets::INTERCEPTION_CONNS);
+
+    // Domains that also exist legitimately: their *real* certificates were
+    // CT-logged by `scenarios::nonmtls`, so the SLD pool must overlap.
+    let slds = [
+        "popular-video.com", "search-portal.com", "social-feed.com", "news-hub.org",
+        "shop-central.com", "stream-cdn.net", "docs-suite.com",
+    ];
+    let vendor_stems = [
+        "NetGuard Inspection", "CloudShield Proxy", "PerimeterX TLS", "SecureGate",
+        "InspectorWorks", "TrafficLens",
+    ];
+    let issuers: Vec<String> = (0..n_issuers)
+        .map(|i| format!("{} CA {}", vendor_stems[i % vendor_stems.len()], i / vendor_stems.len() + 1))
+        .collect();
+
+    let validity = (world.start.add_days(-10), world.start.add_days(760));
+    let certs: Vec<(String, Certificate)> = (0..n_certs)
+        .map(|_| {
+            let issuer = &issuers[rng.gen_range(0..issuers.len())];
+            let ca = world.private_ca(issuer);
+            let sld = slds[rng.gen_range(0..slds.len())];
+            let host = hostname(rng, sld);
+            // Interception CAs impersonate the real host; they do NOT log
+            // to CT — exactly the discrepancy the filter keys on.
+            let cert = MintSpec::new(&ca, validity.0, validity.1)
+                .cn(host.clone())
+                .san_dns(&[&host, sld])
+                .usage(Usage::Server)
+                .mint(rng);
+            (host, cert)
+        })
+        .collect();
+
+    let months = Month::study_months();
+    let spread = calendar::spread_over_months(n_conns, calendar::non_mtls_month_weight);
+    for k in 0..n_conns {
+        let ts = spread_ts(rng, k, &spread, &months);
+        let (host, cert) = &certs[rng.gen_range(0..certs.len())];
+        em.connection(
+            ConnSpec {
+                ts,
+                orig: world.plan.nat.sample(rng),
+                resp: world.plan.misc_external.sample(rng),
+                resp_port: 443,
+                version: plainish_version(rng),
+                sni: Some(host.clone()),
+                server_chain: vec![cert],
+                client_chain: vec![],
+                established: true,
+                    resumed: false,
+            },
+                rng,
+            );
+    }
+}

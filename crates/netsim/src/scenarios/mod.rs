@@ -1,0 +1,277 @@
+//! Scenario modules and shared helpers.
+//!
+//! Each scenario plants one family of phenomena from the paper; `lib.rs`
+//! runs them in a fixed order. Scenarios communicate only through the
+//! [`Emitter`](crate::emit::Emitter) and the shared world, so they can be
+//! read (and calibrated) independently.
+
+pub mod dates;
+pub mod dummies;
+pub mod expired;
+pub mod inbound;
+pub mod interception;
+pub mod nonmtls;
+pub mod outbound;
+pub mod privservers;
+pub mod serials;
+pub mod sharing;
+pub mod tunnel;
+pub mod webrtc;
+
+use crate::calendar::{self, Month};
+use mtls_zeek::TlsVersion;
+use rand::Rng;
+
+/// Pick an index from a weight table.
+pub fn pick_weighted(rng: &mut impl Rng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// Sample a cleartext TLS version for an mTLS-visible connection: mostly
+/// 1.2 with a thin tail of legacy stacks.
+pub fn mtls_version(rng: &mut impl Rng) -> TlsVersion {
+    match pick_weighted(rng, &[0.955, 0.03, 0.015]) {
+        0 => TlsVersion::Tls12,
+        1 => TlsVersion::Tls11,
+        _ => TlsVersion::Tls10,
+    }
+}
+
+/// Version mix for non-mTLS traffic where the certificate must remain
+/// visible (interception analysis needs to *see* the proxy cert).
+pub fn plainish_version(rng: &mut impl Rng) -> TlsVersion {
+    if rng.gen_bool(0.95) {
+        TlsVersion::Tls12
+    } else {
+        TlsVersion::Tls11
+    }
+}
+
+/// Sample a timestamp for item `k` of `n` spread over the study window
+/// with the given per-month weighting.
+pub fn spread_ts(
+    rng: &mut impl Rng,
+    k: usize,
+    spread: &[usize],
+    months: &[Month],
+) -> f64 {
+    let mut acc = 0usize;
+    for (i, &count) in spread.iter().enumerate() {
+        acc += count;
+        if k < acc {
+            return months[i].sample_ts(rng);
+        }
+    }
+    months[months.len() - 1].sample_ts(rng)
+}
+
+/// Monthly spread for a volume over the full window with mTLS growth.
+pub fn mtls_spread(total: usize, inbound: bool) -> (Vec<usize>, Vec<Month>) {
+    let months = Month::study_months();
+    let spread = calendar::spread_over_months(total, |i| calendar::mtls_month_weight(i, inbound));
+    (spread, months)
+}
+
+/// A timestamp uniform inside a window of `duration_days` starting at the
+/// study start (for populations whose *duration of activity* the paper
+/// reports).
+pub fn ts_in_window(rng: &mut impl Rng, duration_days: i64) -> f64 {
+    let start = Month { year: 2022, month: 5 }.start().unix() as f64;
+    let span = (duration_days.clamp(1, 700) as f64) * 86_400.0;
+    start + rng.gen_range(0.0..span)
+}
+
+/// Quotas for CN/SAN content that must appear in client certificates
+/// (Tables 8–9). Scenarios draw from the quotas until exhausted, then fall
+/// back to issuer-recognizable random strings.
+pub struct ContentQuotas {
+    pub personal_names: usize,
+    pub user_accounts: usize,
+    pub sip: usize,
+    pub email: usize,
+    pub mac: usize,
+    pub domain: usize,
+    pub localhost: usize,
+    pub lenovo: usize,
+    pub android: usize,
+    pub unidentified: usize,
+    /// SAN quotas (client private SAN column of Table 8).
+    pub san_personal_names: usize,
+    pub san_domain: usize,
+    pub san_random: usize,
+}
+
+impl ContentQuotas {
+    /// Initialize from the scaled targets.
+    pub fn new(config: &crate::config::SimConfig) -> ContentQuotas {
+        use crate::targets as t;
+        ContentQuotas {
+            personal_names: config.scaled(t::CLIENT_PRIVATE_PERSONAL_NAMES),
+            user_accounts: config.scaled(t::CLIENT_PRIVATE_USER_ACCOUNTS),
+            sip: config.scaled(t::CLIENT_PRIVATE_SIP),
+            email: config.scaled(t::CLIENT_PRIVATE_EMAIL),
+            mac: config.scaled(t::CLIENT_PRIVATE_MAC),
+            domain: config.scaled(t::CLIENT_PRIVATE_DOMAIN),
+            localhost: config.scaled(t::CLIENT_PRIVATE_LOCALHOST),
+            lenovo: config.scaled(t::CLIENT_PRIVATE_LENOVO),
+            android: config.scaled(t::CLIENT_PRIVATE_ANDROID),
+            unidentified: config.scaled(t::CLIENT_PRIVATE_UNIDENTIFIED),
+            san_personal_names: config.scaled(20),
+            san_domain: config.scaled(30),
+            san_random: config.scaled(80),
+        }
+    }
+
+    fn take(counter: &mut usize) -> bool {
+        if *counter > 0 {
+            *counter -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// CN for a campus-CA-issued (Education) client certificate: personal
+    /// names and user accounts live here (the paper: 93 % of personal-name
+    /// certs come from campus CAs).
+    pub fn campus_client_cn(&mut self, rng: &mut impl Rng) -> String {
+        use crate::certgen as g;
+        if Self::take(&mut self.user_accounts) {
+            return g::user_account(rng);
+        }
+        if Self::take(&mut self.personal_names) {
+            return g::person_name(rng);
+        }
+        // Issuer-recognizable random device ids (Table 9 "by Issuer").
+        g::random_alnum(rng, 16)
+    }
+
+    /// CN for a non-campus private client certificate (corporate fleets,
+    /// missing-issuer agents, IoT).
+    pub fn generic_client_cn(&mut self, rng: &mut impl Rng) -> String {
+        use crate::certgen as g;
+        if Self::take(&mut self.mac) {
+            return g::mac_address(rng);
+        }
+        if Self::take(&mut self.sip) {
+            return g::sip_address(rng);
+        }
+        if Self::take(&mut self.email) {
+            return g::email_address(rng);
+        }
+        if Self::take(&mut self.domain) {
+            return g::hostname(rng, "fleet-devices.net");
+        }
+        if Self::take(&mut self.localhost) {
+            return "localhost".to_string();
+        }
+        if Self::take(&mut self.lenovo) {
+            return format!("Lenovo ThinkPad {}", g::random_alnum(rng, 4).to_uppercase());
+        }
+        if Self::take(&mut self.android) {
+            return "Android Keystore".to_string();
+        }
+        // Everything else is unidentified; both the explicit quota and the
+        // unlimited fallback follow Table 9's client mix.
+        Self::take(&mut self.unidentified);
+        {
+            let mix = crate::targets::UNIDENT_CLIENT_MIX;
+            let weights: Vec<f64> = mix.iter().map(|(f, _)| *f).collect();
+            match mix[pick_weighted(rng, &weights)].1 {
+                "nonrandom" => ["__transfer__", "Dtls", "hmpp", "edge node"]
+                    [rng.gen_range(0..4)]
+                .to_string(),
+                "len8" => g::random_hex(rng, 8),
+                "len32" => g::random_hex(rng, 32),
+                "len36" => g::random_uuid(rng),
+                // "byissuer" strings are random too; their distinguishing
+                // feature is the issuer, which the caller controls.
+                _ => {
+                    let len = rng.gen_range(10..24);
+                    g::random_alnum(rng, len)
+                }
+            }
+        }
+    }
+
+    /// Optional SAN content for a campus client certificate.
+    pub fn campus_client_san(&mut self, rng: &mut impl Rng) -> Vec<mtls_x509::GeneralName> {
+        use crate::certgen as g;
+        use mtls_x509::GeneralName;
+        if Self::take(&mut self.san_personal_names) {
+            vec![GeneralName::Dns(g::person_name(rng))]
+        } else if Self::take(&mut self.san_domain) {
+            vec![GeneralName::Dns(g::hostname(rng, "campus-main.edu"))]
+        } else if Self::take(&mut self.san_random) {
+            vec![GeneralName::Dns(g::random_hex(rng, 32))]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pick_weighted_respects_zero_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let i = pick_weighted(&mut rng, &[0.0, 1.0, 0.0]);
+            assert_eq!(i, 1);
+        }
+    }
+
+    #[test]
+    fn mtls_versions_are_cleartext() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            assert!(mtls_version(&mut rng).certs_visible());
+        }
+    }
+
+    #[test]
+    fn quotas_exhaust_then_fall_back() {
+        let cfg = crate::config::SimConfig { scale: 0.05, ..Default::default() };
+        let mut q = ContentQuotas::new(&cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut accounts = 0;
+        let mut names = 0;
+        for _ in 0..500 {
+            let cn = q.campus_client_cn(&mut rng);
+            if mtls_classify::matchers::is_user_account(&cn) {
+                accounts += 1;
+            } else if cn.contains(' ') {
+                names += 1;
+            }
+        }
+        assert!(accounts >= 1, "user-account quota consumed");
+        assert!(names >= 1, "personal-name quota consumed");
+        assert_eq!(q.user_accounts, 0);
+        assert_eq!(q.personal_names, 0);
+    }
+
+    #[test]
+    fn ts_in_window_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let start = Month { year: 2022, month: 5 }.start().unix() as f64;
+        for days in [1i64, 100, 700, 9999] {
+            for _ in 0..20 {
+                let ts = ts_in_window(&mut rng, days);
+                assert!(ts >= start);
+                assert!(ts <= start + 700.0 * 86_400.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Miscellaneous private mutual-TLS servers — the Table 8 server × private
+//! CN populations that are not WebRTC: SIP endpoints live in
+//! `scenarios::webrtc`; this module plants the unidentified strings
+//! (Table 9's server mix), the small domain/IP/localhost populations, and
+//! the paper's exactly-six personal-name server certificates.
+
+use crate::certgen::{self, person_name, random_alnum, random_hex, random_uuid, MintSpec};
+use crate::config::SimConfig;
+use crate::emit::{ConnSpec, Emitter};
+use crate::scenarios::{mtls_version, pick_weighted, ts_in_window};
+use crate::targets;
+use crate::world::World;
+use mtls_asn1::Asn1Time;
+use mtls_x509::{Certificate, DistinguishedName, GeneralName};
+use mtls_zeek::Ipv4;
+use rand::Rng;
+
+fn emit_server<R: Rng>(
+    cn: String,
+    san: Vec<GeneralName>,
+    clients: &[(Ipv4, Certificate)],
+    validity: (Asn1Time, Asn1Time),
+    world: &World,
+    em: &mut Emitter,
+    rng: &mut R,
+) {
+    let ca = world.private_ca(
+        ["NodeRunner", "telemetryd", "sensor-hub", "MeshWorks"][rng.gen_range(0..4)],
+    );
+    let cert = MintSpec::new(&ca, validity.0, validity.1).cn(cn).san(san).mint(rng);
+    // One-off private backends are overwhelmingly cloud-hosted (§3.3).
+    let resp = if rng.gen_bool(0.8) {
+        world.plan.aws.sample(rng)
+    } else {
+        world.plan.gp_cloud.sample(rng)
+    };
+    for _ in 0..rng.gen_range(1..=2) {
+        let client = &clients[rng.gen_range(0..clients.len())];
+        em.connection(
+            ConnSpec {
+                ts: ts_in_window(rng, 700),
+                orig: client.0,
+                resp,
+                resp_port: 443,
+                version: mtls_version(rng),
+                sni: None,
+                server_chain: vec![&cert],
+                client_chain: vec![&client.1],
+                established: true,
+                    resumed: false,
+            },
+            rng,
+        );
+    }
+}
+
+/// Run the scenario.
+pub fn run(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mut impl Rng) {
+    // A small client fleet shared across these one-off servers.
+    let validity = (world.start.add_days(-30), world.start.add_days(760));
+    let client_ca = world.private_ca("");
+    let clients: Vec<(Ipv4, Certificate)> = (0..config.scaled(40).max(1))
+        .map(|_| {
+            let cn = em.quotas.generic_client_cn(rng);
+            (
+                world.plan.clients.sample(rng),
+                MintSpec::new(&client_ca, validity.0, validity.1)
+                    .cn(cn)
+                    .issuer_override(DistinguishedName::empty())
+                    .mint(rng),
+            )
+        })
+        .collect();
+
+    // Unidentified CNs, following Table 9's server mix. A slice of the
+    // random strings also gets the paper's "CN + 'TLS' + digits" SAN
+    // pattern (§6.3.2).
+    let n_unident = config.scaled(targets::SERVER_PRIVATE_UNIDENTIFIED);
+    let weights: Vec<f64> = targets::UNIDENT_SERVER_MIX.iter().map(|(f, _)| *f).collect();
+    for _ in 0..n_unident {
+        let cn = match targets::UNIDENT_SERVER_MIX[pick_weighted(rng, &weights)].1 {
+            "nonrandom" => ["__transfer__", "Dtls", "hmpp", "relay node"][rng.gen_range(0..4)]
+                .to_string(),
+            "byissuer" => random_alnum(rng, 16),
+            "len8" => random_hex(rng, 8),
+            "len32" => random_hex(rng, 32),
+            "len36" => random_uuid(rng),
+            _ => {
+                let len = rng.gen_range(10..24);
+                random_alnum(rng, len)
+            }
+        };
+        let san = if rng.gen_bool(0.02) {
+            vec![GeneralName::Dns(format!("{cn} TLS {}", rng.gen_range(100..99_999)))]
+        } else {
+            Vec::new()
+        };
+        emit_server(cn, san, &clients, validity, world, em, rng);
+    }
+
+    // Domains, IPs, localhost, and the six personal names.
+    for _ in 0..config.scaled(targets::SERVER_PRIVATE_DOMAIN) {
+        let cn = certgen::hostname(rng, "intranet-apps.net");
+        emit_server(cn, Vec::new(), &clients, validity, world, em, rng);
+    }
+    for _ in 0..config.scaled(targets::SERVER_PRIVATE_IP) {
+        let cn = format!(
+            "{}.{}.{}.{}",
+            rng.gen_range(1..223),
+            rng.gen_range(0..255),
+            rng.gen_range(0..255),
+            rng.gen_range(1..254)
+        );
+        emit_server(cn, Vec::new(), &clients, validity, world, em, rng);
+    }
+    for _ in 0..config.scaled(targets::SERVER_PRIVATE_LOCALHOST) {
+        emit_server(
+            "localhost.localdomain".to_string(),
+            Vec::new(),
+            &clients,
+            validity,
+            world,
+            em,
+            rng,
+        );
+    }
+    for _ in 0..config.scaled(targets::SERVER_PRIVATE_PERSONAL_NAMES) {
+        emit_server(person_name(rng), Vec::new(), &clients, validity, world, em, rng);
+    }
+}

@@ -1,0 +1,237 @@
+//! Dummy serial-number collisions (§5.1.2).
+//!
+//! * Globus FXP: 14-day certificates, serial `00`, issuer "Globus Online" /
+//!   CN "FXP DCAU Cert", SNI literally "FXP DCAU Cert", the *same*
+//!   certificate presented by both endpoints of each transfer connection
+//!   (this is also the bulk of Table 5's same-connection sharing).
+//! * ViptelaClient: every certificate — client- or server-side — carries
+//!   serial `024680` with sub-15-day validity (Local Organization servers).
+//! * GuardiCore: all client certs serial `01`, all server certs `03E8`,
+//!   missing SNI, > 2-year validity, persists the whole study.
+//! * Small `01`/`02`/`03` collision populations at Local Organization.
+
+use crate::certgen::{random_alnum, MintSpec, Serial, Usage};
+use crate::config::SimConfig;
+use crate::emit::{ConnSpec, Emitter};
+use crate::scenarios::mtls_version;
+use crate::targets;
+use crate::world::World;
+use mtls_zeek::{Ipv4, TlsVersion};
+use rand::Rng;
+
+/// Run the scenario.
+pub fn run(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mut impl Rng) {
+    globus_fxp(config, world, em, rng, /*inbound=*/ true);
+    globus_fxp(config, world, em, rng, /*inbound=*/ false);
+    viptela(config, world, em, rng);
+    guardicore(config, world, em, rng);
+    localorg_small_collisions(config, world, em, rng);
+}
+
+fn globus_fxp(
+    config: &SimConfig,
+    world: &World,
+    em: &mut Emitter,
+    rng: &mut impl Rng,
+    inbound: bool,
+) {
+    let ca = world.private_ca_with_cn("Globus Online", "FXP DCAU Cert");
+    let clients = config.scaled(if inbound {
+        targets::GLOBUS_FXP_INBOUND_CLIENTS
+    } else {
+        targets::GLOBUS_FXP_OUTBOUND_CLIENTS
+    });
+    let lifetime = targets::GLOBUS_CERT_LIFETIME_DAYS;
+    let study_days = 700i64;
+
+    for c in 0..clients {
+        let client_ip = if inbound {
+            world.plan.external_clients.sample(rng)
+        } else {
+            world.plan.clients.sample(rng)
+        };
+        let server_ip = if inbound {
+            world.plan.servers.sample(rng)
+        } else {
+            world.plan.misc_external.sample(rng)
+        };
+        // Reissue every 14 days for the whole window; each period's cert is
+        // used on BOTH endpoints of 1–3 transfer connections.
+        let mut day = (c as i64) % lifetime; // stagger issuance
+        while day < study_days {
+            let t0 = world.start.add_days(day);
+            let cert = MintSpec::new(&ca, t0, t0.add_days(lifetime))
+                .cn(format!("transfer-{}", random_alnum(rng, 8)))
+                .serial(Serial::Fixed(vec![0x00]))
+                .usage(Usage::Both)
+                .mint(rng);
+            let conns = rng.gen_range(1..=3);
+            for _ in 0..conns {
+                let ts = t0.unix() as f64 + rng.gen_range(0.0..(lifetime as f64) * 86_400.0);
+                em.connection(
+                    ConnSpec {
+                        ts,
+                        orig: client_ip,
+                        resp: server_ip,
+                        resp_port: rng.gen_range(50_000..=51_000),
+                        version: TlsVersion::Tls12,
+                        sni: Some("FXP DCAU Cert".to_string()),
+                        server_chain: vec![&cert],
+                        client_chain: vec![&cert],
+                        established: true,
+                    resumed: false,
+                    },
+                rng,
+            );
+            }
+            day += lifetime;
+        }
+    }
+}
+
+fn viptela(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mut impl Rng) {
+    let ca = world.private_ca("ViptelaClient");
+    let clients = config.scaled(targets::VIPTELA_CLIENTS);
+    let server_ip = world.plan.servers.sample(rng);
+    let serial = Serial::Fixed(vec![0x02, 0x46, 0x80]);
+
+    // Pre-mint a small server fleet, also serial 024680, short validity.
+    let servers: Vec<_> = (0..config.scaled(6).max(1))
+        .map(|_| {
+            let t0 = world.start.add_days(rng.gen_range(0..690));
+            MintSpec::new(&ca, t0, t0.add_days(rng.gen_range(7..15)))
+                .cn(format!("vedge-{}", random_alnum(rng, 6)))
+                .serial(serial.clone())
+                .usage(Usage::Both)
+                .mint(rng)
+        })
+        .collect();
+
+    for _ in 0..clients {
+        let client_ip = world.plan.external_clients.sample(rng);
+        let t0 = world.start.add_days(rng.gen_range(0..690));
+        let cert = MintSpec::new(&ca, t0, t0.add_days(rng.gen_range(7..15)))
+            .cn(format!("vclient-{}", random_alnum(rng, 6)))
+            .serial(serial.clone())
+            .usage(Usage::Both)
+            .mint(rng);
+        let server = &servers[rng.gen_range(0..servers.len())];
+        for _ in 0..rng.gen_range(2..6) {
+            let ts = t0.unix() as f64 + rng.gen_range(0.0..7.0 * 86_400.0);
+            em.connection(
+                ConnSpec {
+                    ts,
+                    orig: client_ip,
+                    resp: server_ip,
+                    resp_port: 443,
+                    version: mtls_version(rng),
+                    sni: Some("sdwan.mesh-relay.net".to_string()),
+                    server_chain: vec![server],
+                    client_chain: vec![&cert],
+                    established: true,
+                    resumed: false,
+                },
+                rng,
+            );
+        }
+    }
+}
+
+fn guardicore(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mut impl Rng) {
+    let ca = world.private_ca("GuardiCore");
+    // Planted near-verbatim: this population is small and fully described.
+    let n_clients = config.scaled(targets::GUARDICORE_CLIENT_CERTS);
+    let n_servers = config.scaled(targets::GUARDICORE_SERVER_CERTS);
+    let n_conns = config.scaled(targets::GUARDICORE_CONNS);
+
+    let validity = (world.start.add_days(-30), world.start.add_days(830)); // > 2 years
+    let client_certs: Vec<_> = (0..n_clients)
+        .map(|_| {
+            MintSpec::new(&ca, validity.0, validity.1)
+                .cn(format!("gc-agent-{}", random_alnum(rng, 8)))
+                .serial(Serial::Fixed(vec![0x01]))
+                .usage(Usage::Client)
+                .mint(rng)
+        })
+        .collect();
+    let server_certs: Vec<_> = (0..n_servers)
+        .map(|_| {
+            MintSpec::new(&ca, validity.0, validity.1)
+                .cn(format!("gc-aggregator-{}", random_alnum(rng, 8)))
+                .serial(Serial::Fixed(vec![0x03, 0xE8]))
+                .usage(Usage::Server)
+                .mint(rng)
+        })
+        .collect();
+
+    let client_ips: Vec<Ipv4> = (0..n_clients.max(1))
+        .map(|_| world.plan.clients.sample(rng))
+        .collect();
+    // GuardiCore aggregators are SaaS endpoints — cloud-hosted.
+    let server_ips: Vec<Ipv4> = (0..4).map(|_| world.plan.aws.sample(rng)).collect();
+
+    for k in 0..n_conns {
+        // Persist across the whole study window.
+        let day = (k as i64 * 700) / n_conns.max(1) as i64;
+        let ts = world.start.add_days(day).unix() as f64 + rng.gen_range(0.0..86_400.0);
+        let ci = rng.gen_range(0..client_certs.len().max(1));
+        em.connection(
+            ConnSpec {
+                ts,
+                orig: client_ips[ci % client_ips.len()],
+                resp: server_ips[rng.gen_range(0..server_ips.len())],
+                resp_port: 443,
+                version: TlsVersion::Tls12,
+                sni: None,
+                server_chain: vec![&server_certs[rng.gen_range(0..server_certs.len())]],
+                client_chain: vec![&client_certs[ci]],
+                established: true,
+                    resumed: false,
+            },
+                rng,
+            );
+    }
+}
+
+/// Serials 01/02/03 colliding within one Local Organization issuer.
+fn localorg_small_collisions(
+    config: &SimConfig,
+    world: &World,
+    em: &mut Emitter,
+    rng: &mut impl Rng,
+) {
+    let ca = world.private_ca("Riverside Network Cooperative");
+    let server_ip = world.plan.servers.sample(rng);
+    for (serial_byte, n) in [(0x01u8, 14usize), (0x02, 9), (0x03, 7)] {
+        let n = config.scaled(n);
+        let t0 = world.start.add_days(rng.gen_range(0..600));
+        let server = MintSpec::new(&ca, t0, t0.add_days(14))
+            .cn("gw.localorg-a.org")
+            .serial(Serial::Fixed(vec![serial_byte]))
+            .usage(Usage::Both)
+            .mint(rng);
+        for _ in 0..n {
+            let cert = MintSpec::new(&ca, t0, t0.add_days(rng.gen_range(7..15)))
+                .cn(format!("lo-device-{}", random_alnum(rng, 6)))
+                .serial(Serial::Fixed(vec![serial_byte]))
+                .usage(Usage::Client)
+                .mint(rng);
+            let ts = t0.unix() as f64 + rng.gen_range(0.0..7.0 * 86_400.0);
+            em.connection(
+                ConnSpec {
+                    ts,
+                    orig: world.plan.external_clients.sample(rng),
+                    resp: server_ip,
+                    resp_port: 443,
+                    version: mtls_version(rng),
+                    sni: Some("gw.localorg-a.org".to_string()),
+                    server_chain: vec![&server],
+                    client_chain: vec![&cert],
+                    established: true,
+                    resumed: false,
+                },
+                rng,
+            );
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! University tunneling services — Table 1's footnote: 5.66 % of client
+//! certificates appear in connections with *no* server certificate at all
+//! (the client authenticates into a tunnel endpoint whose own side of the
+//! handshake carries no chain the monitor can see).
+
+use crate::certgen::MintSpec;
+use crate::config::SimConfig;
+use crate::emit::{ConnSpec, Emitter};
+use crate::scenarios::{mtls_version, ts_in_window};
+use crate::world::World;
+use rand::Rng;
+
+/// Client certificates that only ever appear in client-only connections,
+/// at scale 1.0. Calibrated so the client-cert mTLS share lands near the
+/// paper's 94.34 % (the remaining ~5.66 % is this population).
+pub const TUNNEL_CLIENT_CERTS: usize = 2_200;
+
+/// Run the scenario.
+pub fn run(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mut impl Rng) {
+    let n = config.scaled(TUNNEL_CLIENT_CERTS);
+    let validity = (world.start.add_days(-60), world.start.add_days(760));
+    let tunnel_ip = world.plan.vpn.host(9);
+
+    for _ in 0..n {
+        let cn = em.quotas.campus_client_cn(rng);
+        let cert = MintSpec::new(&world.campus_vpn_ca, validity.0, validity.1)
+            .cn(cn)
+            .mint(rng);
+        let orig = world.plan.external_clients.sample(rng);
+        for _ in 0..rng.gen_range(1..=2) {
+            em.connection(
+                ConnSpec {
+                    ts: ts_in_window(rng, 700),
+                    orig,
+                    resp: tunnel_ip,
+                    resp_port: 443,
+                    version: mtls_version(rng),
+                    sni: Some("tunnel.campus-vpn.net".to_string()),
+                    server_chain: vec![],
+                    client_chain: vec![&cert],
+                    established: true,
+                    resumed: false,
+                },
+                rng,
+            );
+        }
+    }
+}

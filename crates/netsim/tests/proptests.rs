@@ -1,0 +1,61 @@
+//! Property tests for the generator: any (seed, scale) must produce a
+//! structurally sound, deterministic corpus.
+
+use mtls_netsim::{generate, SimConfig};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    // Each case generates a small corpus; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn corpus_is_sound_for_any_seed(seed in any::<u64>()) {
+        let cfg = SimConfig { seed, scale: 0.004, ..Default::default() };
+        let out = generate(&cfg);
+
+        // Referential integrity: every fingerprint resolves.
+        let known: HashSet<&str> = out.x509.iter().map(|c| c.fingerprint.as_str()).collect();
+        for rec in &out.ssl {
+            for fp in rec.cert_chain_fps.iter().chain(&rec.client_cert_chain_fps) {
+                prop_assert!(known.contains(fp.as_str()));
+            }
+        }
+        // Unique fingerprints in x509.log.
+        prop_assert_eq!(known.len(), out.x509.len());
+        // Timestamps inside the collection window.
+        for rec in &out.ssl {
+            prop_assert!((1_651_363_200.0..=1_711_843_199.0).contains(&rec.ts), "{}", rec.ts);
+        }
+        // ts-sorted output.
+        for pair in out.ssl.windows(2) {
+            prop_assert!(pair[0].ts <= pair[1].ts);
+        }
+        // TLS 1.3 records never carry chains.
+        for rec in &out.ssl {
+            if rec.version == mtls_zeek::TlsVersion::Tls13 {
+                prop_assert!(rec.cert_chain_fps.is_empty());
+            }
+        }
+        // Strata weight is positive and finite.
+        prop_assert!(out.meta.non_mtls_weight.is_finite() && out.meta.non_mtls_weight > 0.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic(seed in any::<u64>()) {
+        let cfg = SimConfig { seed, scale: 0.003, ..Default::default() };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        prop_assert_eq!(a.ssl, b.ssl);
+        prop_assert_eq!(a.x509, b.x509);
+        prop_assert_eq!(a.meta, b.meta);
+    }
+
+    #[test]
+    fn scale_monotonicity(seed in any::<u64>()) {
+        let small = generate(&SimConfig { seed, scale: 0.003, ..Default::default() });
+        let large = generate(&SimConfig { seed, scale: 0.012, ..Default::default() });
+        prop_assert!(large.ssl.len() > small.ssl.len());
+        prop_assert!(large.x509.len() > small.x509.len());
+    }
+}

@@ -1,0 +1,190 @@
+//! Certificate authorities.
+//!
+//! A [`CertificateAuthority`] owns a simsig keypair and a CA certificate
+//! (self-signed for roots, parent-signed for intermediates), and issues leaf
+//! certificates by finishing a caller-supplied [`CertificateBuilder`] with
+//! its own issuer DN and signature. Issuance also registers the CA's key in
+//! a shared [`KeyRegistry`] so chains can be verified later, and optionally
+//! appends to a CT log (public CAs do; private CAs mostly do not — exactly
+//! the asymmetry the paper's interception filter exploits).
+
+use mtls_asn1::Asn1Time;
+use mtls_crypto::{KeyRegistry, Keypair};
+use mtls_x509::{Certificate, CertificateBuilder, DistinguishedName};
+
+/// A certificate authority (root or intermediate).
+#[derive(Debug, Clone)]
+pub struct CertificateAuthority {
+    name: DistinguishedName,
+    keypair: Keypair,
+    certificate: Certificate,
+    /// Depth: 0 for roots, parent.depth + 1 for intermediates.
+    depth: u8,
+}
+
+impl CertificateAuthority {
+    /// Create a self-signed root CA. The validity window is generous
+    /// (20 years around `now`) — root lifetimes are not under study.
+    pub fn new_root(seed: &[u8], name: DistinguishedName, now: Asn1Time) -> CertificateAuthority {
+        let keypair = Keypair::from_seed(seed);
+        let certificate = CertificateBuilder::new()
+            .serial(&mtls_crypto::sha256(seed)[..8])
+            .issuer(name.clone())
+            .subject(name.clone())
+            .validity(now.add_days(-3650), now.add_days(3650))
+            .ca(Some(3))
+            .subject_key(keypair.key_id())
+            .key_identifiers(keypair.key_id()) // self-signed: AKI == SKI
+            .sign(&keypair);
+        CertificateAuthority { name, keypair, certificate, depth: 0 }
+    }
+
+    /// Create an intermediate CA signed by `parent`.
+    pub fn new_intermediate(
+        parent: &CertificateAuthority,
+        seed: &[u8],
+        name: DistinguishedName,
+        now: Asn1Time,
+    ) -> CertificateAuthority {
+        let keypair = Keypair::from_seed(seed);
+        let certificate = CertificateBuilder::new()
+            .serial(&mtls_crypto::sha256(seed)[..8])
+            .issuer(parent.name.clone())
+            .subject(name.clone())
+            .validity(now.add_days(-1825), now.add_days(1825))
+            .ca(Some(0))
+            .subject_key(keypair.key_id())
+            .key_identifiers(parent.keypair.key_id())
+            .sign(&parent.keypair);
+        CertificateAuthority { name, keypair, certificate, depth: parent.depth + 1 }
+    }
+
+    /// The CA's subject DN (== the issuer DN it stamps on leaves).
+    pub fn name(&self) -> &DistinguishedName {
+        &self.name
+    }
+
+    /// The CA's own certificate.
+    pub fn certificate(&self) -> &Certificate {
+        &self.certificate
+    }
+
+    /// The CA's keypair (used by tests and by deliberate-misuse scenarios).
+    pub fn keypair(&self) -> &Keypair {
+        &self.keypair
+    }
+
+    /// 0 for roots, 1+ for intermediates.
+    pub fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    /// Register the CA's verification key.
+    pub fn register_key(&self, registry: &mut KeyRegistry) {
+        registry.register(self.keypair.clone());
+    }
+
+    /// Issue a leaf: the builder's issuer DN is overwritten with this CA's
+    /// name, SKI/AKI key-identifier extensions are appended, and the result
+    /// is signed with this CA's key.
+    pub fn issue(&self, builder: CertificateBuilder) -> Certificate {
+        builder
+            .issuer(self.name.clone())
+            .key_identifiers(self.keypair.key_id())
+            .sign(&self.keypair)
+    }
+
+    /// Issue *without* touching the builder's issuer DN. This is how the
+    /// simulator mints certificates whose issuer field is empty or a dummy
+    /// string even though some key signed them — the *MissingIssuer* and
+    /// *Dummy* populations of the paper.
+    pub fn issue_verbatim(&self, builder: CertificateBuilder) -> Certificate {
+        builder.sign(&self.keypair)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> Asn1Time {
+        Asn1Time::from_ymd(2022, 5, 1)
+    }
+
+    fn root() -> CertificateAuthority {
+        CertificateAuthority::new_root(
+            b"test-root",
+            DistinguishedName::builder().organization("Test Trust Services").common_name("Test Root R1").build(),
+            t0(),
+        )
+    }
+
+    #[test]
+    fn root_is_self_signed_ca() {
+        let ca = root();
+        assert!(ca.certificate().is_ca());
+        assert!(ca.certificate().is_self_issued());
+        assert_eq!(ca.depth(), 0);
+
+        let mut reg = KeyRegistry::new();
+        ca.register_key(&mut reg);
+        assert!(ca.certificate().verify_signature(&reg, ca.keypair().key_id()));
+    }
+
+    #[test]
+    fn intermediate_chains_to_root() {
+        let r = root();
+        let int = CertificateAuthority::new_intermediate(
+            &r,
+            b"test-int",
+            DistinguishedName::builder().organization("Test Trust Services").common_name("Test CA 1").build(),
+            t0(),
+        );
+        assert_eq!(int.depth(), 1);
+        assert_eq!(int.certificate().issuer(), r.name());
+        let mut reg = KeyRegistry::new();
+        r.register_key(&mut reg);
+        assert!(int.certificate().verify_signature(&reg, r.keypair().key_id()));
+    }
+
+    #[test]
+    fn issue_stamps_issuer_dn() {
+        let r = root();
+        let leaf_key = Keypair::from_seed(b"leaf");
+        let cert = r.issue(
+            CertificateBuilder::new()
+                .subject(DistinguishedName::builder().common_name("leaf.example").build())
+                .validity(t0(), t0().add_days(90))
+                .subject_key(leaf_key.key_id()),
+        );
+        assert_eq!(cert.issuer(), r.name());
+        let mut reg = KeyRegistry::new();
+        r.register_key(&mut reg);
+        assert!(cert.verify_signature(&reg, r.keypair().key_id()));
+    }
+
+    #[test]
+    fn issue_verbatim_keeps_builder_issuer() {
+        let r = root();
+        let leaf_key = Keypair::from_seed(b"leaf");
+        let cert = r.issue_verbatim(
+            CertificateBuilder::new()
+                .issuer(DistinguishedName::empty())
+                .subject(DistinguishedName::builder().common_name("anon").build())
+                .validity(t0(), t0().add_days(90))
+                .subject_key(leaf_key.key_id()),
+        );
+        assert!(cert.issuer().is_empty());
+        // Signature still verifies against the signing CA's key.
+        let mut reg = KeyRegistry::new();
+        r.register_key(&mut reg);
+        assert!(cert.verify_signature(&reg, r.keypair().key_id()));
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = root();
+        let b = root();
+        assert_eq!(a.certificate().fingerprint(), b.certificate().fingerprint());
+    }
+}

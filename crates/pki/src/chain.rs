@@ -1,0 +1,380 @@
+//! Certificate-chain building and validation.
+//!
+//! Mirrors what Zeek (via Mozilla NSS) does for the paper's dataset: given a
+//! presented chain, find an issuing path from the leaf to a trust anchor,
+//! verifying signatures and validity windows along the way. The outcome
+//! distinguishes the failure modes the paper discusses — untrusted (private)
+//! roots, expired certificates, incorrect dates, broken signatures.
+
+use crate::truststore::TrustAnchors;
+use mtls_asn1::Asn1Time;
+use mtls_crypto::KeyRegistry;
+use mtls_x509::Certificate;
+
+/// Why a chain failed to validate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainError {
+    /// No presented certificate (or anchor) names the child's issuer.
+    IssuerNotFound,
+    /// A signature did not verify against the issuer's key.
+    BadSignature,
+    /// A certificate in the path is outside its validity window.
+    Expired,
+    /// A certificate has `notBefore` after `notAfter`.
+    IncorrectDates,
+    /// A path was built and verified but terminates at an anchor absent
+    /// from every root program — the paper's "private CA" case.
+    UntrustedRoot,
+    /// A non-leaf link in the path is not marked CA in BasicConstraints.
+    NotACa,
+    /// The chain exceeded the maximum supported depth (defensive bound).
+    TooDeep,
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ChainError::IssuerNotFound => "issuer not found among presented certificates",
+            ChainError::BadSignature => "signature verification failed",
+            ChainError::Expired => "certificate outside validity window",
+            ChainError::IncorrectDates => "notBefore does not precede notAfter",
+            ChainError::UntrustedRoot => "path terminates at an untrusted (private) root",
+            ChainError::NotACa => "intermediate is not a CA certificate",
+            ChainError::TooDeep => "chain too deep",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// A successfully validated path, leaf first.
+#[derive(Debug, Clone)]
+pub struct ValidatedChain {
+    /// Indexes into the presented pool: `path[0]` is the leaf.
+    pub path: Vec<usize>,
+    /// Whether the terminating anchor is in ≥ 1 root program.
+    pub publicly_trusted: bool,
+}
+
+const MAX_DEPTH: usize = 8;
+
+/// Validate `leaf` against a pool of presented `candidates` (intermediates
+/// and/or roots), the trust anchors, and the key registry, at time `now`.
+///
+/// Returns the found path (and whether its terminus is publicly trusted) or
+/// the first error encountered on the best path. Like NSS, self-signed
+/// leaves are accepted structurally but report `UntrustedRoot` unless
+/// anchored.
+pub fn validate_chain(
+    leaf: &Certificate,
+    candidates: &[Certificate],
+    anchors: &TrustAnchors,
+    registry: &KeyRegistry,
+    now: Asn1Time,
+) -> Result<ValidatedChain, ChainError> {
+    // Date sanity on the leaf first — the paper's incorrect-dates
+    // population fails here regardless of trust.
+    if leaf.has_incorrect_dates() {
+        return Err(ChainError::IncorrectDates);
+    }
+    if !leaf.is_valid_at(now) {
+        return Err(ChainError::Expired);
+    }
+
+    let mut path: Vec<usize> = Vec::new();
+    let mut current: Certificate = leaf.clone();
+    let mut used = vec![false; candidates.len()];
+
+    for _hop in 0..MAX_DEPTH {
+        // Self-issued terminus: check signature against its own key.
+        if current.is_self_issued() {
+            let self_key = current.public_key().key_id;
+            if !current.verify_signature(registry, self_key) {
+                return Err(ChainError::BadSignature);
+            }
+            let publicly_trusted =
+                anchors.is_anchored(&current) || anchors.is_public_issuer(current.issuer());
+            if !publicly_trusted {
+                return Err(ChainError::UntrustedRoot);
+            }
+            return Ok(ValidatedChain { path, publicly_trusted });
+        }
+
+        // Anchored-by-DN terminus: the issuer is a store member even though
+        // its certificate was not presented (common for real chains where
+        // the root is omitted).
+        if anchors.is_public_issuer(current.issuer()) {
+            // Find the anchor's key if any candidate matches; otherwise
+            // accept on DN membership alone, as the paper's methodology does.
+            return Ok(ValidatedChain { path, publicly_trusted: true });
+        }
+
+        // Find the issuing certificate among the candidates: prefer the
+        // AuthorityKeyIdentifier → SubjectKeyIdentifier match (exact, no
+        // string comparison), fall back to subject-DN matching for the
+        // key-id-less private certificates the paper's dataset is full of.
+        let child_aki = current.authority_key_identifier();
+        let next = candidates
+            .iter()
+            .enumerate()
+            .find(|(i, c)| {
+                !used[*i]
+                    && child_aki.is_some()
+                    && c.subject_key_identifier() == child_aki
+                    && current.verify_signature(registry, c.public_key().key_id)
+            })
+            .or_else(|| {
+                candidates.iter().enumerate().find(|(i, c)| {
+                    !used[*i]
+                        && c.subject() == current.issuer()
+                        && current.verify_signature(registry, c.public_key().key_id)
+                })
+            });
+        let Some((idx, issuer_cert)) = next else {
+            // A subject-name match whose key fails distinguishes
+            // BadSignature from IssuerNotFound.
+            let name_match = candidates
+                .iter()
+                .enumerate()
+                .any(|(i, c)| !used[i] && c.subject() == current.issuer());
+            return Err(if name_match {
+                ChainError::BadSignature
+            } else {
+                ChainError::IssuerNotFound
+            });
+        };
+
+        if !issuer_cert.is_ca() {
+            return Err(ChainError::NotACa);
+        }
+        if issuer_cert.has_incorrect_dates() {
+            return Err(ChainError::IncorrectDates);
+        }
+        if !issuer_cert.is_valid_at(now) {
+            return Err(ChainError::Expired);
+        }
+
+        used[idx] = true;
+        path.push(idx);
+
+        if anchors.is_anchored(issuer_cert) {
+            return Ok(ValidatedChain { path, publicly_trusted: true });
+        }
+        current = issuer_cert.clone();
+    }
+
+    Err(ChainError::TooDeep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::CertificateAuthority;
+    use crate::truststore::RootProgram;
+    use mtls_crypto::Keypair;
+    use mtls_x509::{CertificateBuilder, DistinguishedName};
+
+    fn t0() -> Asn1Time {
+        Asn1Time::from_ymd(2023, 1, 1)
+    }
+
+    struct Fixture {
+        root: CertificateAuthority,
+        int: CertificateAuthority,
+        anchors: TrustAnchors,
+        registry: KeyRegistry,
+    }
+
+    fn fixture(trusted: bool) -> Fixture {
+        let root = CertificateAuthority::new_root(
+            b"chain-root",
+            DistinguishedName::builder().organization("Chain Test Org").common_name("Chain Root").build(),
+            t0(),
+        );
+        let int = CertificateAuthority::new_intermediate(
+            &root,
+            b"chain-int",
+            DistinguishedName::builder().organization("Chain Test Org").common_name("Chain Sub CA").build(),
+            t0(),
+        );
+        let mut anchors = TrustAnchors::new();
+        if trusted {
+            anchors.add_to(&[RootProgram::MozillaNss], root.certificate());
+        }
+        let mut registry = KeyRegistry::new();
+        root.register_key(&mut registry);
+        int.register_key(&mut registry);
+        Fixture { root, int, anchors, registry }
+    }
+
+    fn leaf(ca: &CertificateAuthority, seed: &[u8]) -> Certificate {
+        let k = Keypair::from_seed(seed);
+        ca.issue(
+            CertificateBuilder::new()
+                .subject(DistinguishedName::builder().common_name("leaf.test").build())
+                .validity(t0().add_days(-30), t0().add_days(335))
+                .subject_key(k.key_id()),
+        )
+    }
+
+    #[test]
+    fn two_hop_chain_validates() {
+        let f = fixture(true);
+        let leaf = leaf(&f.int, b"l1");
+        let pool = vec![f.int.certificate().clone(), f.root.certificate().clone()];
+        let v = validate_chain(&leaf, &pool, &f.anchors, &f.registry, t0()).unwrap();
+        assert!(v.publicly_trusted);
+        assert_eq!(v.path, vec![0]); // stops at the anchored root's DN? no — int found first, then root anchored
+    }
+
+    #[test]
+    fn untrusted_root_reports_private() {
+        let f = fixture(false);
+        let leaf = leaf(&f.int, b"l2");
+        let pool = vec![f.int.certificate().clone(), f.root.certificate().clone()];
+        let err = validate_chain(&leaf, &pool, &f.anchors, &f.registry, t0()).unwrap_err();
+        assert_eq!(err, ChainError::UntrustedRoot);
+    }
+
+    #[test]
+    fn missing_intermediate_reports_issuer_not_found() {
+        let f = fixture(true);
+        let leaf = leaf(&f.int, b"l3");
+        let pool = vec![f.root.certificate().clone()]; // intermediate absent
+        let err = validate_chain(&leaf, &pool, &f.anchors, &f.registry, t0()).unwrap_err();
+        assert_eq!(err, ChainError::IssuerNotFound);
+    }
+
+    #[test]
+    fn expired_leaf_rejected() {
+        let f = fixture(true);
+        let k = Keypair::from_seed(b"expired");
+        let leaf = f.int.issue(
+            CertificateBuilder::new()
+                .subject(DistinguishedName::builder().common_name("old.test").build())
+                .validity(t0().add_days(-400), t0().add_days(-35))
+                .subject_key(k.key_id()),
+        );
+        let pool = vec![f.int.certificate().clone(), f.root.certificate().clone()];
+        let err = validate_chain(&leaf, &pool, &f.anchors, &f.registry, t0()).unwrap_err();
+        assert_eq!(err, ChainError::Expired);
+    }
+
+    #[test]
+    fn incorrect_dates_rejected() {
+        let f = fixture(true);
+        let k = Keypair::from_seed(b"baddate");
+        let leaf = f.int.issue(
+            CertificateBuilder::new()
+                .subject(DistinguishedName::builder().common_name("weird.test").build())
+                .validity(t0().add_days(100), t0().add_days(-100))
+                .subject_key(k.key_id()),
+        );
+        let pool = vec![f.int.certificate().clone()];
+        let err = validate_chain(&leaf, &pool, &f.anchors, &f.registry, t0()).unwrap_err();
+        assert_eq!(err, ChainError::IncorrectDates);
+    }
+
+    #[test]
+    fn forged_signature_detected() {
+        let f = fixture(true);
+        // Leaf claims the intermediate's DN as issuer but is signed by an
+        // unrelated key.
+        let mallory = Keypair::from_seed(b"mallory");
+        let k = Keypair::from_seed(b"victim");
+        let forged = CertificateBuilder::new()
+            .issuer(f.int.name().clone())
+            .subject(DistinguishedName::builder().common_name("forged.test").build())
+            .validity(t0().add_days(-1), t0().add_days(364))
+            .subject_key(k.key_id())
+            .sign(&mallory);
+        let pool = vec![f.int.certificate().clone(), f.root.certificate().clone()];
+        // The intermediate's DN is in the trust stores (added via
+        // add_certificate of the root only), so the DN shortcut must not
+        // fire here; signature check runs and fails.
+        let err = validate_chain(&forged, &pool, &f.anchors, &f.registry, t0()).unwrap_err();
+        assert_eq!(err, ChainError::BadSignature);
+    }
+
+    #[test]
+    fn self_signed_untrusted_leaf() {
+        let f = fixture(true);
+        let k = Keypair::from_seed(b"selfsigned");
+        let dn = DistinguishedName::builder().organization("Internet Widgits Pty Ltd").build();
+        let cert = CertificateBuilder::new()
+            .issuer(dn.clone())
+            .subject(dn)
+            .validity(t0().add_days(-1), t0().add_days(3650))
+            .subject_key(k.key_id())
+            .sign(&k);
+        let mut registry = f.registry.clone();
+        registry.register(k);
+        let err = validate_chain(&cert, &[], &f.anchors, &registry, t0()).unwrap_err();
+        assert_eq!(err, ChainError::UntrustedRoot);
+    }
+
+    #[test]
+    fn leaf_with_public_issuer_dn_validates_without_presented_chain() {
+        let f = fixture(true);
+        // Add the intermediate itself to a store: now leaves issued by it
+        // are public even with an empty presented pool.
+        let mut anchors = f.anchors.clone();
+        anchors.add_to(&[RootProgram::Apple], f.int.certificate());
+        let leaf = leaf(&f.int, b"l4");
+        let v = validate_chain(&leaf, &[], &anchors, &f.registry, t0()).unwrap();
+        assert!(v.publicly_trusted);
+        assert!(v.path.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod aki_tests {
+    use super::*;
+    use crate::ca::CertificateAuthority;
+    use crate::truststore::RootProgram;
+    use mtls_crypto::Keypair;
+    use mtls_x509::{CertificateBuilder, DistinguishedName};
+
+    /// Two intermediates with the *identical* DN but different keys:
+    /// AKI/SKI matching must pick the right one even though DN matching is
+    /// ambiguous (the pool lists the wrong twin first).
+    #[test]
+    fn aki_disambiguates_same_name_issuers() {
+        let t0 = Asn1Time::from_ymd(2023, 1, 1);
+        let root = CertificateAuthority::new_root(
+            b"twin-root",
+            DistinguishedName::builder().organization("Twin Org").common_name("Twin Root").build(),
+            t0,
+        );
+        let twin_dn = DistinguishedName::builder().organization("Twin Org").common_name("Twin Sub CA").build();
+        let int_a = CertificateAuthority::new_intermediate(&root, b"twin-a", twin_dn.clone(), t0);
+        let int_b = CertificateAuthority::new_intermediate(&root, b"twin-b", twin_dn.clone(), t0);
+        assert_eq!(int_a.name(), int_b.name());
+        assert_ne!(
+            int_a.certificate().fingerprint(),
+            int_b.certificate().fingerprint()
+        );
+
+        let mut anchors = TrustAnchors::new();
+        anchors.add_to(&[RootProgram::MozillaNss], root.certificate());
+        let mut registry = KeyRegistry::new();
+        root.register_key(&mut registry);
+        int_a.register_key(&mut registry);
+        int_b.register_key(&mut registry);
+
+        let k = Keypair::from_seed(b"twin-leaf");
+        let leaf = int_b.issue(
+            CertificateBuilder::new()
+                .subject(DistinguishedName::builder().common_name("leaf.twin").build())
+                .validity(t0.add_days(-1), t0.add_days(90))
+                .subject_key(k.key_id()),
+        );
+        // Pool order puts the WRONG twin first: DN-matching alone would try
+        // int_a and fail the signature; AKI matching goes straight to int_b.
+        let pool = vec![int_a.certificate().clone(), int_b.certificate().clone()];
+        let v = validate_chain(&leaf, &pool, &anchors, &registry, t0).unwrap();
+        assert!(v.publicly_trusted);
+        assert_eq!(v.path, vec![1], "AKI selected the correct twin");
+    }
+}

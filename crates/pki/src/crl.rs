@@ -1,0 +1,454 @@
+//! Certificate Revocation Lists (RFC 5280 §5).
+//!
+//! The paper's §2.1 and §7 flag revocation as a central management burden of
+//! client authentication: "using the same certificate at both endpoints
+//! poses significant challenges in certificate management, such as
+//! difficulties with revocation and renewal". This module implements the
+//! machinery those arguments are about — DER-encoded `CertificateList`
+//! structures issued and signed by a CA, entry reason codes, and a
+//! revocation check that slots into chain validation — so operators using
+//! this library can actually revoke the pathological certificates the
+//! analyzers surface.
+
+use crate::ca::CertificateAuthority;
+use mtls_asn1::{Asn1Time, DerReader, DerWriter, Oid};
+use mtls_crypto::{KeyRegistry, Signature};
+use mtls_x509::{DistinguishedName, SerialNumber};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// id-ce-cRLReasons (2.5.29.21).
+fn reason_code_oid() -> &'static Oid {
+    static CELL: OnceLock<Oid> = OnceLock::new();
+    CELL.get_or_init(|| Oid::new(&[2, 5, 29, 21]))
+}
+
+/// sha256WithRSAEncryption — the declared CRL signature algorithm.
+fn sig_alg_oid() -> &'static Oid {
+    static CELL: OnceLock<Oid> = OnceLock::new();
+    CELL.get_or_init(|| Oid::new(&[1, 2, 840, 113549, 1, 1, 11]))
+}
+
+/// RFC 5280 CRLReason codes (the subset with defined semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RevocationReason {
+    Unspecified,
+    KeyCompromise,
+    CaCompromise,
+    AffiliationChanged,
+    Superseded,
+    CessationOfOperation,
+    CertificateHold,
+    PrivilegeWithdrawn,
+}
+
+impl RevocationReason {
+    /// The RFC 5280 reason code value.
+    pub fn code(self) -> i64 {
+        match self {
+            RevocationReason::Unspecified => 0,
+            RevocationReason::KeyCompromise => 1,
+            RevocationReason::CaCompromise => 2,
+            RevocationReason::AffiliationChanged => 3,
+            RevocationReason::Superseded => 4,
+            RevocationReason::CessationOfOperation => 5,
+            RevocationReason::CertificateHold => 6,
+            RevocationReason::PrivilegeWithdrawn => 9,
+        }
+    }
+
+    /// Inverse of [`RevocationReason::code`].
+    pub fn from_code(code: i64) -> Option<RevocationReason> {
+        Some(match code {
+            0 => RevocationReason::Unspecified,
+            1 => RevocationReason::KeyCompromise,
+            2 => RevocationReason::CaCompromise,
+            3 => RevocationReason::AffiliationChanged,
+            4 => RevocationReason::Superseded,
+            5 => RevocationReason::CessationOfOperation,
+            6 => RevocationReason::CertificateHold,
+            9 => RevocationReason::PrivilegeWithdrawn,
+            _ => return None,
+        })
+    }
+}
+
+/// One revoked-certificate entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RevokedEntry {
+    pub serial: SerialNumber,
+    pub revoked_at: Asn1Time,
+    pub reason: RevocationReason,
+}
+
+/// A parsed (or freshly issued) CRL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertificateRevocationList {
+    issuer: DistinguishedName,
+    this_update: Asn1Time,
+    next_update: Asn1Time,
+    entries: Vec<RevokedEntry>,
+    /// Serial-keyed index for O(1) revocation checks.
+    index: HashMap<Vec<u8>, usize>,
+    signature: Signature,
+    tbs_der: Vec<u8>,
+    der: Vec<u8>,
+}
+
+impl CertificateRevocationList {
+    pub fn issuer(&self) -> &DistinguishedName {
+        &self.issuer
+    }
+
+    pub fn this_update(&self) -> Asn1Time {
+        self.this_update
+    }
+
+    pub fn next_update(&self) -> Asn1Time {
+        self.next_update
+    }
+
+    pub fn entries(&self) -> &[RevokedEntry] {
+        &self.entries
+    }
+
+    /// The full DER encoding.
+    pub fn to_der(&self) -> Vec<u8> {
+        self.der.clone()
+    }
+
+    /// Whether the CRL is stale at `at` (past nextUpdate).
+    pub fn is_stale(&self, at: Asn1Time) -> bool {
+        at > self.next_update
+    }
+
+    /// Revocation lookup.
+    pub fn is_revoked(&self, serial: &SerialNumber) -> Option<&RevokedEntry> {
+        self.index.get(serial.as_bytes()).map(|&i| &self.entries[i])
+    }
+
+    /// Verify the CRL's signature against the issuing CA's key.
+    pub fn verify_signature(&self, registry: &KeyRegistry, signer: mtls_crypto::KeyId) -> bool {
+        registry.verify(signer, &self.tbs_der, &self.signature)
+    }
+
+    /// Parse a CRL from DER.
+    pub fn from_der(der: &[u8]) -> mtls_asn1::Result<CertificateRevocationList> {
+        let mut top = DerReader::new(der);
+        let mut outer = top.read_sequence()?;
+        top.expect_end()?;
+
+        let tbs_der = outer.read_raw_tlv()?.to_vec();
+        let mut tbs_outer = DerReader::new(&tbs_der);
+        let mut tbs = tbs_outer.read_sequence()?;
+
+        // version (v2 = 1)
+        let _version = tbs.read_integer_i64()?;
+        // signature AlgorithmIdentifier
+        let mut alg = tbs.read_sequence()?;
+        let _oid = alg.read_oid()?;
+        if !alg.is_empty() {
+            alg.read_null()?;
+        }
+        let issuer = DistinguishedName::decode(&mut tbs)
+            .map_err(|_| mtls_asn1::Error::BadString)?;
+        let this_update = tbs.read_time()?;
+        let next_update = tbs.read_time()?;
+
+        let mut entries = Vec::new();
+        if !tbs.is_empty() {
+            let mut list = tbs.read_sequence()?;
+            while !list.is_empty() {
+                let mut entry = list.read_sequence()?;
+                let serial = SerialNumber::new(entry.read_integer_unsigned()?);
+                let revoked_at = entry.read_time()?;
+                // crlEntryExtensions: one reasonCode extension.
+                let mut reason = RevocationReason::Unspecified;
+                if !entry.is_empty() {
+                    let mut exts = entry.read_sequence()?;
+                    while !exts.is_empty() {
+                        let mut ext = exts.read_sequence()?;
+                        let oid = ext.read_oid()?;
+                        let value = ext.read_octet_string()?;
+                        if &oid == reason_code_oid() {
+                            let mut v = DerReader::new(value);
+                            if let Some(r) = RevocationReason::from_code(v.read_enumerated()?) {
+                                reason = r;
+                            }
+                        }
+                    }
+                }
+                entry.expect_end()?;
+                entries.push(RevokedEntry { serial, revoked_at, reason });
+            }
+        }
+        tbs.expect_end()?;
+
+        // signatureAlgorithm + signatureValue
+        let mut alg2 = outer.read_sequence()?;
+        let _ = alg2.read_oid()?;
+        if !alg2.is_empty() {
+            alg2.read_null()?;
+        }
+        let bits = outer.read_bit_string()?;
+        outer.expect_end()?;
+        let signature = Signature::from_bytes(bits).ok_or(mtls_asn1::Error::BadBitString)?;
+
+        let index = entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.serial.as_bytes().to_vec(), i))
+            .collect();
+        Ok(CertificateRevocationList {
+            issuer,
+            this_update,
+            next_update,
+            entries,
+            index,
+            signature,
+            tbs_der,
+            der: der.to_vec(),
+        })
+    }
+}
+
+/// Builds and signs a CRL for one CA.
+#[derive(Debug)]
+pub struct CrlBuilder {
+    this_update: Asn1Time,
+    next_update: Asn1Time,
+    entries: Vec<RevokedEntry>,
+}
+
+impl CrlBuilder {
+    /// Start a CRL valid from `this_update` until `next_update`.
+    pub fn new(this_update: Asn1Time, next_update: Asn1Time) -> CrlBuilder {
+        CrlBuilder { this_update, next_update, entries: Vec::new() }
+    }
+
+    /// Revoke a serial. RFC 5280 lists each certificate at most once; a
+    /// second call for the same serial is ignored (first entry wins).
+    pub fn revoke(mut self, serial: SerialNumber, at: Asn1Time, reason: RevocationReason) -> Self {
+        if self.entries.iter().any(|e| e.serial == serial) {
+            return self;
+        }
+        self.entries.push(RevokedEntry { serial, revoked_at: at, reason });
+        self
+    }
+
+    /// Sign with the issuing CA and produce the CRL.
+    pub fn sign(self, ca: &CertificateAuthority) -> CertificateRevocationList {
+        let mut tbs = DerWriter::with_capacity(256);
+        tbs.sequence(|w| {
+            w.integer_i64(1); // v2
+            w.sequence(|w| {
+                w.oid(sig_alg_oid());
+                w.null();
+            });
+            ca.name().encode(w);
+            w.time(self.this_update);
+            w.time(self.next_update);
+            if !self.entries.is_empty() {
+                w.sequence(|w| {
+                    for entry in &self.entries {
+                        w.sequence(|w| {
+                            w.integer_bytes(entry.serial.as_bytes());
+                            w.time(entry.revoked_at);
+                            w.sequence(|w| {
+                                w.sequence(|w| {
+                                    w.oid(reason_code_oid());
+                                    let mut inner = DerWriter::new();
+                                    inner.enumerated(entry.reason.code());
+                                    w.octet_string(&inner.finish());
+                                });
+                            });
+                        });
+                    }
+                });
+            }
+        });
+        let tbs_der = tbs.finish();
+        let signature = ca.keypair().sign(&tbs_der);
+
+        let mut outer = DerWriter::with_capacity(tbs_der.len() + 96);
+        outer.sequence(|w| {
+            w.raw(&tbs_der);
+            w.sequence(|w| {
+                w.oid(sig_alg_oid());
+                w.null();
+            });
+            w.bit_string(signature.as_bytes());
+        });
+        let der = outer.finish();
+
+        let index = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.serial.as_bytes().to_vec(), i))
+            .collect();
+        CertificateRevocationList {
+            issuer: ca.name().clone(),
+            this_update: self.this_update,
+            next_update: self.next_update,
+            entries: self.entries,
+            index,
+            signature,
+            tbs_der,
+            der,
+        }
+    }
+}
+
+/// Chain-validation hook: look the certificate's serial up in its issuer's
+/// CRL, if one is provided. `None` CRL means "no revocation data" — the
+/// caller decides whether that is acceptable (soft-fail, which is what real
+/// clients overwhelmingly do, and part of why the paper's expired/shared
+/// certificates keep working).
+pub fn check_revocation(
+    cert: &mtls_x509::Certificate,
+    crl: Option<&CertificateRevocationList>,
+    at: Asn1Time,
+) -> Result<(), RevocationReason> {
+    let Some(crl) = crl else {
+        return Ok(()); // soft-fail
+    };
+    if crl.is_stale(at) {
+        return Ok(()); // stale CRL: also soft-fail, as deployed software does
+    }
+    if crl.issuer() != cert.issuer() {
+        return Ok(()); // wrong CRL for this issuer
+    }
+    match crl.is_revoked(cert.serial()) {
+        Some(entry) if entry.revoked_at <= at => Err(entry.reason),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::CertificateAuthority;
+    use mtls_crypto::Keypair;
+    use mtls_x509::CertificateBuilder;
+
+    fn t0() -> Asn1Time {
+        Asn1Time::from_ymd(2023, 1, 1)
+    }
+
+    fn ca() -> CertificateAuthority {
+        CertificateAuthority::new_root(
+            b"crl-ca",
+            DistinguishedName::builder().organization("CRL Test Org").build(),
+            t0(),
+        )
+    }
+
+    fn crl() -> CertificateRevocationList {
+        CrlBuilder::new(t0(), t0().add_days(7))
+            .revoke(SerialNumber::new(&[0x10]), t0(), RevocationReason::KeyCompromise)
+            .revoke(
+                SerialNumber::new(&[0xAB, 0xCD]),
+                t0().add_days(1),
+                RevocationReason::Superseded,
+            )
+            .sign(&ca())
+    }
+
+    #[test]
+    fn der_round_trip() {
+        let original = crl();
+        let parsed = CertificateRevocationList::from_der(&original.to_der()).unwrap();
+        assert_eq!(parsed, original);
+        assert_eq!(parsed.entries().len(), 2);
+        assert_eq!(parsed.entries()[0].reason, RevocationReason::KeyCompromise);
+    }
+
+    #[test]
+    fn signature_verifies() {
+        let authority = ca();
+        let list = crl();
+        let mut reg = KeyRegistry::new();
+        authority.register_key(&mut reg);
+        assert!(list.verify_signature(&reg, authority.keypair().key_id()));
+        let other = Keypair::from_seed(b"other");
+        assert!(!list.verify_signature(&reg, other.key_id()));
+    }
+
+    #[test]
+    fn revocation_lookup() {
+        let list = crl();
+        assert!(list.is_revoked(&SerialNumber::new(&[0x10])).is_some());
+        assert!(list.is_revoked(&SerialNumber::new(&[0xAB, 0xCD])).is_some());
+        assert!(list.is_revoked(&SerialNumber::new(&[0x11])).is_none());
+    }
+
+    #[test]
+    fn staleness() {
+        let list = crl();
+        assert!(!list.is_stale(t0().add_days(6)));
+        assert!(list.is_stale(t0().add_days(8)));
+    }
+
+    #[test]
+    fn check_revocation_semantics() {
+        let authority = ca();
+        let key = Keypair::from_seed(b"leaf");
+        let revoked = authority.issue(
+            CertificateBuilder::new()
+                .serial(&[0x10])
+                .validity(t0(), t0().add_days(365))
+                .subject_key(key.key_id()),
+        );
+        let fine = authority.issue(
+            CertificateBuilder::new()
+                .serial(&[0x77])
+                .validity(t0(), t0().add_days(365))
+                .subject_key(key.key_id()),
+        );
+        let list = crl();
+        let now = t0().add_days(2);
+        assert_eq!(
+            check_revocation(&revoked, Some(&list), now),
+            Err(RevocationReason::KeyCompromise)
+        );
+        assert_eq!(check_revocation(&fine, Some(&list), now), Ok(()));
+        // Soft-fail paths: no CRL, stale CRL, wrong issuer.
+        assert_eq!(check_revocation(&revoked, None, now), Ok(()));
+        assert_eq!(check_revocation(&revoked, Some(&list), t0().add_days(30)), Ok(()));
+        let other_ca = CertificateAuthority::new_root(
+            b"other",
+            DistinguishedName::builder().organization("Other Org").build(),
+            t0(),
+        );
+        let other_crl = CrlBuilder::new(t0(), t0().add_days(7))
+            .revoke(SerialNumber::new(&[0x10]), t0(), RevocationReason::Unspecified)
+            .sign(&other_ca);
+        assert_eq!(check_revocation(&revoked, Some(&other_crl), now), Ok(()));
+    }
+
+    #[test]
+    fn reason_codes_round_trip() {
+        for reason in [
+            RevocationReason::Unspecified,
+            RevocationReason::KeyCompromise,
+            RevocationReason::CaCompromise,
+            RevocationReason::AffiliationChanged,
+            RevocationReason::Superseded,
+            RevocationReason::CessationOfOperation,
+            RevocationReason::CertificateHold,
+            RevocationReason::PrivilegeWithdrawn,
+        ] {
+            assert_eq!(RevocationReason::from_code(reason.code()), Some(reason));
+        }
+        assert_eq!(RevocationReason::from_code(42), None);
+    }
+
+    #[test]
+    fn empty_crl_round_trips() {
+        let list = CrlBuilder::new(t0(), t0().add_days(7)).sign(&ca());
+        let parsed = CertificateRevocationList::from_der(&list.to_der()).unwrap();
+        assert!(parsed.entries().is_empty());
+        assert!(parsed.is_revoked(&SerialNumber::new(&[1])).is_none());
+    }
+}

@@ -1,0 +1,159 @@
+//! A simulated Certificate Transparency log.
+//!
+//! The paper uses crt.sh to find "the original issuer of the corresponding
+//! domain" when filtering TLS-interception certificates (§3.2.1): if the
+//! observed leaf's issuer differs from the CT-logged issuer for that domain,
+//! the connection is flagged as intercepted. This module reproduces the data
+//! the filter needs: public CAs append (domain → issuer organization)
+//! entries at issuance time; interception middleboxes do not.
+
+use mtls_x509::Certificate;
+use std::collections::HashMap;
+
+/// One log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtEntry {
+    pub domain: String,
+    pub issuer_display: String,
+    pub fingerprint_hex: String,
+}
+
+/// Append-only CT log with a domain index.
+#[derive(Debug, Default, Clone)]
+pub struct CtLog {
+    entries: Vec<CtEntry>,
+    by_domain: HashMap<String, Vec<usize>>,
+}
+
+impl CtLog {
+    /// Empty log.
+    pub fn new() -> CtLog {
+        CtLog::default()
+    }
+
+    /// Append a certificate for every DNS name it covers (SAN dNSName plus
+    /// CN as crt.sh effectively indexes both).
+    pub fn submit(&mut self, cert: &Certificate) {
+        let issuer_display = cert.issuer().to_display_string();
+        let fp = cert.fingerprint().to_hex();
+        let mut domains = cert.san_dns();
+        if let Some(cn) = cert.subject().common_name() {
+            if !domains.iter().any(|d| d == cn) {
+                domains.push(cn.to_string());
+            }
+        }
+        for domain in domains {
+            let idx = self.entries.len();
+            self.entries.push(CtEntry {
+                domain: domain.clone(),
+                issuer_display: issuer_display.clone(),
+                fingerprint_hex: fp.clone(),
+            });
+            self.by_domain.entry(domain).or_default().push(idx);
+        }
+    }
+
+    /// All logged issuer strings for a domain, in submission order.
+    pub fn issuers_for_domain(&self, domain: &str) -> Vec<&str> {
+        self.by_domain
+            .get(domain)
+            .map(|idxs| idxs.iter().map(|&i| self.entries[i].issuer_display.as_str()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether any logged certificate for `domain` has the given issuer —
+    /// the interception filter's comparison.
+    pub fn domain_has_issuer(&self, domain: &str, issuer_display: &str) -> bool {
+        self.issuers_for_domain(domain).contains(&issuer_display)
+    }
+
+    /// Whether the domain appears in the log at all.
+    pub fn contains_domain(&self, domain: &str) -> bool {
+        self.by_domain.contains_key(domain)
+    }
+
+    /// All entries, in submission order.
+    pub fn entries(&self) -> &[CtEntry] {
+        &self.entries
+    }
+
+    /// Rebuild a log from stored entries (the file-based pipeline's path).
+    pub fn from_entries(entries: Vec<CtEntry>) -> CtLog {
+        let mut by_domain: HashMap<String, Vec<usize>> = HashMap::new();
+        for (idx, entry) in entries.iter().enumerate() {
+            by_domain.entry(entry.domain.clone()).or_default().push(idx);
+        }
+        CtLog { entries, by_domain }
+    }
+
+    /// Total entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::CertificateAuthority;
+    use mtls_asn1::Asn1Time;
+    use mtls_crypto::Keypair;
+    use mtls_x509::{CertificateBuilder, DistinguishedName, GeneralName};
+
+    fn cert_for(domain: &str, org: &str) -> Certificate {
+        let ca = CertificateAuthority::new_root(
+            org.as_bytes(),
+            DistinguishedName::builder().organization(org).build(),
+            Asn1Time::from_ymd(2022, 5, 1),
+        );
+        let k = Keypair::from_seed(domain.as_bytes());
+        ca.issue(
+            CertificateBuilder::new()
+                .subject(DistinguishedName::builder().common_name(domain).build())
+                .san(vec![GeneralName::Dns(domain.into())])
+                .validity(Asn1Time::from_ymd(2022, 5, 1), Asn1Time::from_ymd(2022, 8, 1))
+                .subject_key(k.key_id()),
+        )
+    }
+
+    #[test]
+    fn submit_and_lookup() {
+        let mut log = CtLog::new();
+        let cert = cert_for("www.example.org", "Let's Encrypt");
+        log.submit(&cert);
+        assert!(log.contains_domain("www.example.org"));
+        assert!(log.domain_has_issuer("www.example.org", "O=Let's Encrypt"));
+        assert!(!log.domain_has_issuer("www.example.org", "O=Proxy Corp"));
+        assert!(!log.contains_domain("other.example.org"));
+    }
+
+    #[test]
+    fn multiple_issuers_per_domain() {
+        let mut log = CtLog::new();
+        log.submit(&cert_for("dual.example.org", "DigiCert Inc"));
+        log.submit(&cert_for("dual.example.org", "Sectigo Limited"));
+        let issuers = log.issuers_for_domain("dual.example.org");
+        assert_eq!(issuers.len(), 2);
+        assert!(log.domain_has_issuer("dual.example.org", "O=DigiCert Inc"));
+        assert!(log.domain_has_issuer("dual.example.org", "O=Sectigo Limited"));
+    }
+
+    #[test]
+    fn cn_is_indexed_once_when_equal_to_san() {
+        let mut log = CtLog::new();
+        log.submit(&cert_for("one.example.org", "CA"));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = CtLog::new();
+        assert!(log.is_empty());
+        assert!(log.issuers_for_domain("nope").is_empty());
+    }
+}

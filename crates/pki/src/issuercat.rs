@@ -1,0 +1,301 @@
+//! Issuer categorization (paper §4.2 "Methodology").
+//!
+//! The paper buckets client-certificate issuers into *Public* plus seven
+//! private sub-categories by fuzzy-matching the issuer organization string.
+//! This module reproduces that procedure: normalization, a small edit-
+//! distance fuzzy match against known dummy strings, keyword gazetteers for
+//! education/government/web-hosting, and a corporate-suffix heuristic.
+//! Precedence mirrors the paper: missing issuer is checked first, public
+//! trust is decided externally (trust stores), dummy strings beat the
+//! corporate-suffix rule ("Internet Widgits Pty Ltd" ends in "Ltd" but is an
+//! OpenSSL default, not a corporation).
+
+/// The issuer categories of Table 3 / Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IssuerCategory {
+    /// Issuer (or chain) found in CCADB or a major trust store.
+    Public,
+    /// Private — recognized corporation name.
+    Corporation,
+    /// Private — universities and schools.
+    Education,
+    /// Private — government bodies.
+    Government,
+    /// Private — web-hosting providers.
+    WebHosting,
+    /// Private — software/protocol default strings (OpenSSL et al.).
+    Dummy,
+    /// Private — organization present but unrecognized.
+    Others,
+    /// Private — issuer organization absent.
+    MissingIssuer,
+}
+
+impl IssuerCategory {
+    /// Label as printed in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            IssuerCategory::Public => "Public",
+            IssuerCategory::Corporation => "Private - Corporation",
+            IssuerCategory::Education => "Private - Education",
+            IssuerCategory::Government => "Private - Government",
+            IssuerCategory::WebHosting => "Private - WebHosting",
+            IssuerCategory::Dummy => "Private - Dummy",
+            IssuerCategory::Others => "Private - Others",
+            IssuerCategory::MissingIssuer => "Private - MissingIssuer",
+        }
+    }
+
+    /// All categories, for table rendering.
+    pub const ALL: [IssuerCategory; 8] = [
+        IssuerCategory::Public,
+        IssuerCategory::Corporation,
+        IssuerCategory::Education,
+        IssuerCategory::Government,
+        IssuerCategory::WebHosting,
+        IssuerCategory::Dummy,
+        IssuerCategory::Others,
+        IssuerCategory::MissingIssuer,
+    ];
+}
+
+impl std::fmt::Display for IssuerCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Software/protocol default organization strings (§5.1.1, Table 4).
+pub const DUMMY_ORGS: &[&str] = &[
+    "Internet Widgits Pty Ltd", // OpenSSL default
+    "Default Company Ltd",
+    "Unspecified",
+    "Acme Co",
+    "Example Inc",
+    "SomeOrganization",
+];
+
+const EDUCATION_KEYWORDS: &[&str] = &[
+    "university", "college", "school", "academy", "institute of technology", "polytechnic",
+    "education",
+];
+
+const GOVERNMENT_KEYWORDS: &[&str] = &[
+    "government", "ministry", "federal", "municipal", "city of", "state of", "county of",
+    "national institute", "public health", "department of",
+];
+
+const WEBHOSTING_NAMES: &[&str] = &[
+    "cpanel", "plesk", "bluehost", "hostgator", "dreamhost", "ovh", "hetzner", "namecheap",
+    "hostinger", "webhost", "siteground", "ionos",
+];
+
+const CORPORATE_SUFFIXES: &[&str] = &[
+    "inc", "incorporated", "llc", "ltd", "limited", "corp", "corporation", "co", "gmbh", "plc",
+    "pty", "sa", "srl", "ag", "bv", "technologies", "systems", "labs", "software",
+    "association",
+];
+
+/// Lowercase, strip punctuation, collapse whitespace.
+pub fn normalize_org(org: &str) -> String {
+    let mut out = String::with_capacity(org.len());
+    let mut last_space = true;
+    for ch in org.chars() {
+        let c = ch.to_ascii_lowercase();
+        if c.is_alphanumeric() {
+            out.push(c);
+            last_space = false;
+        } else if !last_space {
+            out.push(' ');
+            last_space = true;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Byte-wise Levenshtein distance with an early-exit cap.
+pub fn edit_distance_capped(a: &str, b: &str, cap: usize) -> usize {
+    let a = a.as_bytes();
+    let b = b.as_bytes();
+    if a.len().abs_diff(b.len()) > cap {
+        return cap + 1;
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        let mut row_min = cur[0];
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+            row_min = row_min.min(cur[j + 1]);
+        }
+        if row_min > cap {
+            return cap + 1;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Whether the organization fuzzily matches a known dummy default
+/// (edit distance ≤ 2 after normalization).
+pub fn is_dummy_org(org: &str) -> bool {
+    let norm = normalize_org(org);
+    DUMMY_ORGS
+        .iter()
+        .any(|d| edit_distance_capped(&norm, &normalize_org(d), 2) <= 2)
+}
+
+/// Classify a (possibly absent) issuer organization string. `is_public` is
+/// the externally-decided trust-store verdict and wins outright.
+pub fn classify_issuer_org(org: Option<&str>, is_public: bool) -> IssuerCategory {
+    if is_public {
+        return IssuerCategory::Public;
+    }
+    let Some(org) = org.map(str::trim).filter(|s| !s.is_empty()) else {
+        return IssuerCategory::MissingIssuer;
+    };
+    let norm = normalize_org(org);
+    if norm.is_empty() {
+        return IssuerCategory::MissingIssuer;
+    }
+    if is_dummy_org(org) {
+        return IssuerCategory::Dummy;
+    }
+    if EDUCATION_KEYWORDS.iter().any(|k| norm.contains(k)) {
+        return IssuerCategory::Education;
+    }
+    if GOVERNMENT_KEYWORDS.iter().any(|k| norm.contains(k)) {
+        return IssuerCategory::Government;
+    }
+    if WEBHOSTING_NAMES.iter().any(|k| norm.contains(k)) || norm.contains("hosting") {
+        return IssuerCategory::WebHosting;
+    }
+    // Corporate-suffix heuristic: last token is a recognized legal suffix,
+    // or the name has >= 2 tokens and any token is a strong suffix.
+    let tokens: Vec<&str> = norm.split(' ').collect();
+    if let Some(last) = tokens.last() {
+        if CORPORATE_SUFFIXES.contains(last) && tokens.len() >= 2 {
+            return IssuerCategory::Corporation;
+        }
+    }
+    if tokens.len() >= 2 && tokens.iter().any(|t| matches!(*t, "inc" | "llc" | "gmbh" | "corp")) {
+        return IssuerCategory::Corporation;
+    }
+    IssuerCategory::Others
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_wins() {
+        assert_eq!(classify_issuer_org(Some("DigiCert Inc"), true), IssuerCategory::Public);
+        assert_eq!(classify_issuer_org(None, true), IssuerCategory::Public);
+    }
+
+    #[test]
+    fn missing_issuer() {
+        assert_eq!(classify_issuer_org(None, false), IssuerCategory::MissingIssuer);
+        assert_eq!(classify_issuer_org(Some(""), false), IssuerCategory::MissingIssuer);
+        assert_eq!(classify_issuer_org(Some("   "), false), IssuerCategory::MissingIssuer);
+    }
+
+    #[test]
+    fn dummy_strings_beat_corporate_suffix() {
+        assert_eq!(
+            classify_issuer_org(Some("Internet Widgits Pty Ltd"), false),
+            IssuerCategory::Dummy
+        );
+        assert_eq!(classify_issuer_org(Some("Default Company Ltd"), false), IssuerCategory::Dummy);
+        assert_eq!(classify_issuer_org(Some("Unspecified"), false), IssuerCategory::Dummy);
+        assert_eq!(classify_issuer_org(Some("Acme Co"), false), IssuerCategory::Dummy);
+    }
+
+    #[test]
+    fn dummy_fuzzy_variants() {
+        // Trailing punctuation, case, small typos.
+        assert!(is_dummy_org("internet widgits pty ltd."));
+        assert!(is_dummy_org("Internet Widgits Pty Ltd "));
+        assert!(is_dummy_org("Internet Widgit Pty Ltd")); // 1 deletion
+        assert!(!is_dummy_org("Honeywell International Inc"));
+    }
+
+    #[test]
+    fn education() {
+        assert_eq!(
+            classify_issuer_org(Some("Commonwealth University"), false),
+            IssuerCategory::Education
+        );
+        assert_eq!(
+            classify_issuer_org(Some("Riverside Community College"), false),
+            IssuerCategory::Education
+        );
+    }
+
+    #[test]
+    fn government() {
+        assert_eq!(
+            classify_issuer_org(Some("Ministry of Finance"), false),
+            IssuerCategory::Government
+        );
+        assert_eq!(classify_issuer_org(Some("City of Springfield"), false), IssuerCategory::Government);
+    }
+
+    #[test]
+    fn webhosting() {
+        assert_eq!(classify_issuer_org(Some("cPanel, Inc."), false), IssuerCategory::WebHosting);
+        assert_eq!(
+            classify_issuer_org(Some("Acme Hosting Services"), false),
+            IssuerCategory::WebHosting
+        );
+    }
+
+    #[test]
+    fn corporations() {
+        for org in [
+            "Honeywell International Inc",
+            "Outset Medical, Inc.",
+            "IDrive Inc Certificate Authority",
+            "American Psychiatric Association",
+            "Splunk Inc",
+        ] {
+            assert_eq!(classify_issuer_org(Some(org), false), IssuerCategory::Corporation, "{org}");
+        }
+    }
+
+    #[test]
+    fn others() {
+        for org in ["ViptelaClient", "GuardiCore", "rcgen", "SDS", "IceLink", "media-server", "Globus Online"] {
+            assert_eq!(classify_issuer_org(Some(org), false), IssuerCategory::Others, "{org}");
+        }
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(normalize_org("  GoDaddy.com,  Inc. "), "godaddy com inc");
+        assert_eq!(normalize_org("A-B_C"), "a b c");
+        assert_eq!(normalize_org("...."), "");
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance_capped("abc", "abc", 2), 0);
+        assert_eq!(edit_distance_capped("abc", "abd", 2), 1);
+        assert_eq!(edit_distance_capped("abc", "xyz", 2), 3); // capped: cap+1
+        assert_eq!(edit_distance_capped("", "ab", 2), 2);
+        assert_eq!(edit_distance_capped("kitten", "sitting", 5), 3);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(IssuerCategory::MissingIssuer.label(), "Private - MissingIssuer");
+        assert_eq!(IssuerCategory::Public.label(), "Public");
+        assert_eq!(IssuerCategory::ALL.len(), 8);
+    }
+}

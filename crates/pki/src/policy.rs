@@ -1,0 +1,409 @@
+//! Client-authentication validation policies.
+//!
+//! The paper's central security finding is that mutual-TLS deployments
+//! *accept* certificates a careful validator would reject — expired ones,
+//! inverted validity windows, empty issuers, colliding dummy serials, weak
+//! keys, certificates shared between endpoints — "prompting a critical
+//! re-evaluation of client-side authentication validation procedures in
+//! over 13 million connections" (§1), and §7 proposes adversarial testing
+//! of validator implementations as future work.
+//!
+//! This module implements that validator: a configurable [`ValidationPolicy`]
+//! that evaluates a presented certificate (plus connection context) and
+//! returns every [`Violation`] found. `mtls-core`'s audit analyzer replays a
+//! corpus through it to reproduce the 13-million-connections headline, and
+//! the adversarial test-suite in `tests/` probes it with the paper's §5
+//! pathologies.
+
+use crate::issuercat::is_dummy_org;
+use crate::truststore::TrustAnchors;
+use mtls_asn1::Asn1Time;
+use mtls_x509::{Certificate, Version};
+
+/// Everything a strict validator would object to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Violation {
+    /// The certificate is expired at validation time.
+    Expired,
+    /// `notBefore` is in the future at validation time.
+    NotYetValid,
+    /// `notBefore` does not precede `notAfter` (§5.3.1).
+    IncorrectDates,
+    /// Issuer DN carries no organization at all (§4.2.2's 37.84 %).
+    MissingIssuer,
+    /// Issuer organization is a software default string (§5.1.1).
+    DummyIssuer,
+    /// Issuer is not anchored in any configured root program.
+    UntrustedIssuer,
+    /// RSA modulus below the configured minimum (NIST SP 800-57: 2048).
+    WeakKey,
+    /// X.509 v1 — no extensions, no modern validation surface (§5.1.1).
+    ObsoleteVersion,
+    /// Validity period exceeds the configured maximum (§5.3.2's 27–228-year
+    /// certificates).
+    ExcessiveValidity,
+    /// The same certificate was presented by the other endpoint of this
+    /// connection (§5.2.1).
+    SharedWithPeer,
+    /// Deprecated signature hash (SHA-1 / MD5).
+    DeprecatedSignatureAlgorithm,
+}
+
+impl Violation {
+    /// Human-readable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Violation::Expired => "expired",
+            Violation::NotYetValid => "not yet valid",
+            Violation::IncorrectDates => "incorrect dates (notBefore >= notAfter)",
+            Violation::MissingIssuer => "missing issuer organization",
+            Violation::DummyIssuer => "dummy issuer organization",
+            Violation::UntrustedIssuer => "issuer not in any root program",
+            Violation::WeakKey => "key below minimum strength",
+            Violation::ObsoleteVersion => "X.509 v1",
+            Violation::ExcessiveValidity => "excessive validity period",
+            Violation::SharedWithPeer => "same certificate as peer endpoint",
+            Violation::DeprecatedSignatureAlgorithm => "deprecated signature algorithm",
+        }
+    }
+
+    /// All violations, in report order.
+    pub const ALL: [Violation; 11] = [
+        Violation::Expired,
+        Violation::NotYetValid,
+        Violation::IncorrectDates,
+        Violation::MissingIssuer,
+        Violation::DummyIssuer,
+        Violation::UntrustedIssuer,
+        Violation::WeakKey,
+        Violation::ObsoleteVersion,
+        Violation::ExcessiveValidity,
+        Violation::SharedWithPeer,
+        Violation::DeprecatedSignatureAlgorithm,
+    ];
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A configurable client-certificate validation policy.
+///
+/// [`ValidationPolicy::strict`] models what the paper argues deployments
+/// *should* enforce; [`ValidationPolicy::lax`] models what the measured
+/// deployments evidently do (accept almost anything); enterprise deployments
+/// sit in between ([`ValidationPolicy::enterprise`] allows private anchors
+/// but rejects the §5 pathologies).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidationPolicy {
+    /// Reject certificates outside their validity window.
+    pub check_validity_window: bool,
+    /// Reject inverted/equal validity dates.
+    pub check_date_sanity: bool,
+    /// Reject empty issuer organizations.
+    pub require_issuer: bool,
+    /// Reject software-default issuer strings.
+    pub reject_dummy_issuers: bool,
+    /// Require the issuer to be anchored in a root program.
+    pub require_trusted_issuer: bool,
+    /// Minimum RSA modulus size in bits (0 disables the check).
+    pub min_rsa_bits: u16,
+    /// Reject X.509 v1 certificates.
+    pub reject_v1: bool,
+    /// Maximum validity period in days (0 disables the check).
+    pub max_validity_days: i64,
+    /// Reject a certificate identical to the peer's.
+    pub reject_shared_with_peer: bool,
+    /// Reject SHA-1 / MD5 signature algorithms.
+    pub reject_deprecated_signatures: bool,
+}
+
+impl ValidationPolicy {
+    /// What validation *should* look like (CA/B-flavoured).
+    pub fn strict() -> ValidationPolicy {
+        ValidationPolicy {
+            check_validity_window: true,
+            check_date_sanity: true,
+            require_issuer: true,
+            reject_dummy_issuers: true,
+            require_trusted_issuer: true,
+            min_rsa_bits: 2048,
+            reject_v1: true,
+            max_validity_days: 825,
+            reject_shared_with_peer: true,
+            reject_deprecated_signatures: true,
+        }
+    }
+
+    /// Private-PKI enterprise posture: private anchors are fine, the §5
+    /// pathologies are not.
+    pub fn enterprise() -> ValidationPolicy {
+        ValidationPolicy {
+            require_trusted_issuer: false,
+            max_validity_days: 3_650,
+            ..ValidationPolicy::strict()
+        }
+    }
+
+    /// What the measured deployments evidently enforce: nothing beyond
+    /// "a certificate was presented".
+    pub fn lax() -> ValidationPolicy {
+        ValidationPolicy {
+            check_validity_window: false,
+            check_date_sanity: false,
+            require_issuer: false,
+            reject_dummy_issuers: false,
+            require_trusted_issuer: false,
+            min_rsa_bits: 0,
+            reject_v1: false,
+            max_validity_days: 0,
+            reject_shared_with_peer: false,
+            reject_deprecated_signatures: false,
+        }
+    }
+
+    /// Evaluate a parsed certificate. `peer_same_cert` says whether the
+    /// other endpoint presented the identical certificate; `anchors` is
+    /// consulted only when `require_trusted_issuer` is set.
+    pub fn evaluate(
+        &self,
+        cert: &Certificate,
+        at: Asn1Time,
+        peer_same_cert: bool,
+        anchors: Option<&TrustAnchors>,
+    ) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        let inverted = cert.has_incorrect_dates();
+        if self.check_date_sanity && inverted {
+            violations.push(Violation::IncorrectDates);
+        }
+        if self.check_validity_window && !inverted {
+            if cert.is_expired_at(at) {
+                violations.push(Violation::Expired);
+            } else if at < cert.not_before() {
+                violations.push(Violation::NotYetValid);
+            }
+        }
+        let issuer_org = cert.issuer().organization();
+        if self.require_issuer && issuer_org.map(str::trim).is_none_or(str::is_empty) {
+            violations.push(Violation::MissingIssuer);
+        }
+        if self.reject_dummy_issuers {
+            if let Some(org) = issuer_org {
+                if is_dummy_org(org) {
+                    violations.push(Violation::DummyIssuer);
+                }
+            }
+        }
+        if self.require_trusted_issuer {
+            let trusted = anchors
+                .map(|a| a.is_public_issuer(cert.issuer()))
+                .unwrap_or(false);
+            if !trusted {
+                violations.push(Violation::UntrustedIssuer);
+            }
+        }
+        if self.min_rsa_bits > 0 {
+            if let mtls_x509::KeyAlgorithm::Rsa { bits } = cert.public_key().algorithm {
+                if bits < self.min_rsa_bits {
+                    violations.push(Violation::WeakKey);
+                }
+            }
+        }
+        if self.reject_v1 && cert.version() == Version::V1 {
+            violations.push(Violation::ObsoleteVersion);
+        }
+        if self.max_validity_days > 0
+            && !inverted
+            && cert.validity_days() > self.max_validity_days
+        {
+            violations.push(Violation::ExcessiveValidity);
+        }
+        if self.reject_shared_with_peer && peer_same_cert {
+            violations.push(Violation::SharedWithPeer);
+        }
+        if self.reject_deprecated_signatures && cert.signature_algorithm().is_deprecated() {
+            violations.push(Violation::DeprecatedSignatureAlgorithm);
+        }
+        violations
+    }
+
+    /// Convenience: would this policy accept the certificate?
+    pub fn accepts(
+        &self,
+        cert: &Certificate,
+        at: Asn1Time,
+        peer_same_cert: bool,
+        anchors: Option<&TrustAnchors>,
+    ) -> bool {
+        self.evaluate(cert, at, peer_same_cert, anchors).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::CertificateAuthority;
+    use crate::truststore::RootProgram;
+    use mtls_crypto::Keypair;
+    use mtls_x509::{CertificateBuilder, DistinguishedName, KeyAlgorithm};
+
+    fn now() -> Asn1Time {
+        Asn1Time::from_ymd(2023, 6, 1)
+    }
+
+    fn ca(org: &str) -> CertificateAuthority {
+        CertificateAuthority::new_root(
+            org.as_bytes(),
+            DistinguishedName::builder().organization(org).build(),
+            now(),
+        )
+    }
+
+    fn healthy_cert() -> Certificate {
+        let k = Keypair::from_seed(b"healthy");
+        ca("Good Corp Inc").issue(
+            CertificateBuilder::new()
+                .subject(DistinguishedName::builder().common_name("agent-1").build())
+                .validity(now().add_days(-10), now().add_days(90))
+                .subject_key(k.key_id()),
+        )
+    }
+
+    #[test]
+    fn lax_accepts_everything() {
+        let policy = ValidationPolicy::lax();
+        let k = Keypair::from_seed(b"awful");
+        let awful = CertificateBuilder::new()
+            .version(Version::V1)
+            .issuer(DistinguishedName::empty())
+            .subject(DistinguishedName::empty())
+            .validity(now().add_days(100), now().add_days(-60_000))
+            .key_algorithm(KeyAlgorithm::Rsa { bits: 1024 })
+            .signature_algorithm(mtls_x509::SignatureAlgorithm::Md5WithRsa)
+            .subject_key(k.key_id())
+            .sign(&Keypair::from_seed(b"nobody"));
+        assert!(policy.accepts(&awful, now(), true, None));
+    }
+
+    #[test]
+    fn strict_flags_each_pathology_separately() {
+        let policy = ValidationPolicy::enterprise();
+        let at = now();
+
+        let k = Keypair::from_seed(b"x");
+        let issuer = ca("Plain Org Inc");
+
+        // Expired.
+        let expired = issuer.issue(
+            CertificateBuilder::new()
+                .validity(at.add_days(-1_365), at.add_days(-1_000))
+                .subject_key(k.key_id()),
+        );
+        assert_eq!(policy.evaluate(&expired, at, false, None), vec![Violation::Expired]);
+
+        // Inverted dates (reported instead of Expired, not alongside).
+        let inverted = issuer.issue(
+            CertificateBuilder::new()
+                .validity(at, at.add_days(-60_000))
+                .subject_key(k.key_id()),
+        );
+        assert_eq!(policy.evaluate(&inverted, at, false, None), vec![Violation::IncorrectDates]);
+
+        // Missing issuer.
+        let missing = issuer.issue_verbatim(
+            CertificateBuilder::new()
+                .issuer(DistinguishedName::empty())
+                .validity(at.add_days(-1), at.add_days(30))
+                .subject_key(k.key_id()),
+        );
+        assert_eq!(policy.evaluate(&missing, at, false, None), vec![Violation::MissingIssuer]);
+
+        // Dummy issuer.
+        let dummy = ca("Internet Widgits Pty Ltd").issue(
+            CertificateBuilder::new()
+                .validity(at.add_days(-1), at.add_days(30))
+                .subject_key(k.key_id()),
+        );
+        assert_eq!(policy.evaluate(&dummy, at, false, None), vec![Violation::DummyIssuer]);
+
+        // Weak key.
+        let weak = issuer.issue(
+            CertificateBuilder::new()
+                .validity(at.add_days(-1), at.add_days(30))
+                .key_algorithm(KeyAlgorithm::Rsa { bits: 1024 })
+                .subject_key(k.key_id()),
+        );
+        assert_eq!(policy.evaluate(&weak, at, false, None), vec![Violation::WeakKey]);
+
+        // Excessive validity (the 83,432-day certificate).
+        let forever = issuer.issue(
+            CertificateBuilder::new()
+                .validity(at.add_days(-1), at.add_days(83_432))
+                .subject_key(k.key_id()),
+        );
+        assert_eq!(
+            policy.evaluate(&forever, at, false, None),
+            vec![Violation::ExcessiveValidity]
+        );
+
+        // Shared with peer.
+        let healthy = healthy_cert();
+        assert_eq!(
+            policy.evaluate(&healthy, at, true, None),
+            vec![Violation::SharedWithPeer]
+        );
+
+        // Healthy, not shared: accepted.
+        assert!(policy.accepts(&healthy, at, false, None));
+    }
+
+    #[test]
+    fn v1_and_deprecated_signature_flagged() {
+        let policy = ValidationPolicy::enterprise();
+        let k = Keypair::from_seed(b"old");
+        let signer = Keypair::from_seed(b"oldca");
+        let old = CertificateBuilder::new()
+            .version(Version::V1)
+            .issuer(DistinguishedName::builder().organization("Legacy Inc").build())
+            .validity(now().add_days(-1), now().add_days(30))
+            .signature_algorithm(mtls_x509::SignatureAlgorithm::Sha1WithRsa)
+            .subject_key(k.key_id())
+            .sign(&signer);
+        let v = policy.evaluate(&old, now(), false, None);
+        assert!(v.contains(&Violation::ObsoleteVersion));
+        assert!(v.contains(&Violation::DeprecatedSignatureAlgorithm));
+    }
+
+    #[test]
+    fn strict_requires_anchored_issuer() {
+        let policy = ValidationPolicy::strict();
+        let healthy = healthy_cert();
+        // No anchors given: untrusted.
+        assert!(policy
+            .evaluate(&healthy, now(), false, None)
+            .contains(&Violation::UntrustedIssuer));
+        // Anchored: clean.
+        let issuer = ca("Good Corp Inc");
+        let mut anchors = TrustAnchors::new();
+        anchors.add_to(&[RootProgram::MozillaNss], issuer.certificate());
+        assert!(policy.accepts(&healthy, now(), false, Some(&anchors)));
+    }
+
+    #[test]
+    fn not_yet_valid_detected() {
+        let policy = ValidationPolicy::enterprise();
+        let k = Keypair::from_seed(b"future");
+        let cert = ca("Future Org Inc").issue(
+            CertificateBuilder::new()
+                .validity(now().add_days(30), now().add_days(365))
+                .subject_key(k.key_id()),
+        );
+        assert_eq!(
+            policy.evaluate(&cert, now(), false, None),
+            vec![Violation::NotYetValid]
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the PKI substrate: CRLs round-trip for arbitrary
+//! entry sets, policies never panic and are monotone (strict flags ⊇
+//! enterprise flags for the shared rule set), and issuer categorization is
+//! total.
+
+use mtls_asn1::Asn1Time;
+use mtls_crypto::Keypair;
+use mtls_pki::crl::{CertificateRevocationList, CrlBuilder, RevocationReason};
+use mtls_pki::{classify_issuer_org, CertificateAuthority, ValidationPolicy};
+use mtls_x509::{CertificateBuilder, DistinguishedName, KeyAlgorithm, SerialNumber, Version};
+use proptest::prelude::*;
+
+fn t0() -> Asn1Time {
+    Asn1Time::from_ymd(2023, 1, 1)
+}
+
+fn arb_reason() -> impl Strategy<Value = RevocationReason> {
+    prop_oneof![
+        Just(RevocationReason::Unspecified),
+        Just(RevocationReason::KeyCompromise),
+        Just(RevocationReason::CaCompromise),
+        Just(RevocationReason::AffiliationChanged),
+        Just(RevocationReason::Superseded),
+        Just(RevocationReason::CessationOfOperation),
+        Just(RevocationReason::CertificateHold),
+        Just(RevocationReason::PrivilegeWithdrawn),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn crl_round_trips(
+        entries in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 1..12), 0i64..700, arb_reason()),
+            0..40,
+        ),
+        validity_days in 1i64..30,
+    ) {
+        let ca = CertificateAuthority::new_root(
+            b"prop-crl-ca",
+            DistinguishedName::builder().organization("Prop CRL Org").build(),
+            t0(),
+        );
+        let mut builder = CrlBuilder::new(t0(), t0().add_days(validity_days));
+        for (serial, day, reason) in &entries {
+            builder = builder.revoke(SerialNumber::new(serial), t0().add_days(*day), *reason);
+        }
+        let crl = builder.sign(&ca);
+        let parsed = CertificateRevocationList::from_der(&crl.to_der()).unwrap();
+        prop_assert_eq!(&parsed, &crl);
+        // Every entry is findable by its canonical serial; with duplicate
+        // serials in the input, the first entry wins (RFC 5280 lists each
+        // certificate once).
+        let mut first: std::collections::HashMap<Vec<u8>, RevocationReason> = Default::default();
+        for (serial, _, reason) in &entries {
+            let canonical = SerialNumber::new(serial).as_bytes().to_vec();
+            first.entry(canonical).or_insert(*reason);
+        }
+        for (serial, expected) in &first {
+            let hit = parsed.is_revoked(&SerialNumber::new(serial));
+            prop_assert!(hit.is_some());
+            prop_assert_eq!(hit.map(|e| e.reason), Some(*expected));
+        }
+    }
+
+    #[test]
+    fn crl_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = CertificateRevocationList::from_der(&bytes);
+    }
+
+    #[test]
+    fn policy_never_panics_and_lax_accepts(
+        nb_days in -40_000i64..40_000,
+        len_days in -40_000i64..90_000,
+        bits_sel in 0usize..3,
+        v1 in any::<bool>(),
+        empty_issuer in any::<bool>(),
+        shared in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let signer = Keypair::from_seed(&seed.to_le_bytes());
+        let key = Keypair::from_seed(&seed.wrapping_add(1).to_le_bytes());
+        let nb = t0().add_days(nb_days);
+        let issuer = if empty_issuer {
+            DistinguishedName::empty()
+        } else {
+            DistinguishedName::builder().organization("Prop Org Inc").build()
+        };
+        let cert = CertificateBuilder::new()
+            .version(if v1 { Version::V1 } else { Version::V3 })
+            .issuer(issuer)
+            .validity(nb, nb.add_days(len_days))
+            .key_algorithm([
+                KeyAlgorithm::Rsa { bits: 1024 },
+                KeyAlgorithm::Rsa { bits: 2048 },
+                KeyAlgorithm::EcdsaP256,
+            ][bits_sel])
+            .subject_key(key.key_id())
+            .sign(&signer);
+
+        for policy in [ValidationPolicy::strict(), ValidationPolicy::enterprise(), ValidationPolicy::lax()] {
+            let violations = policy.evaluate(&cert, t0(), shared, None);
+            // No duplicates.
+            let mut dedup = violations.clone();
+            dedup.sort();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), violations.len());
+        }
+        prop_assert!(ValidationPolicy::lax().accepts(&cert, t0(), shared, None));
+        // Enterprise's rule set is a subset of strict's: anything enterprise
+        // flags, strict flags too.
+        let ent = ValidationPolicy::enterprise().evaluate(&cert, t0(), shared, None);
+        let strict = ValidationPolicy::strict().evaluate(&cert, t0(), shared, None);
+        for v in &ent {
+            // strict uses a tighter max validity, so ExcessiveValidity can
+            // differ only in strict's favour; everything else must carry.
+            prop_assert!(strict.contains(v), "{v:?} flagged by enterprise but not strict");
+        }
+    }
+
+    #[test]
+    fn issuer_classification_is_total_and_stable(org in "\\PC{0,60}") {
+        let a = classify_issuer_org(Some(&org), false);
+        let b = classify_issuer_org(Some(&org), false);
+        prop_assert_eq!(a, b);
+        // Public verdict always wins.
+        prop_assert_eq!(
+            classify_issuer_org(Some(&org), true),
+            mtls_pki::IssuerCategory::Public
+        );
+    }
+}

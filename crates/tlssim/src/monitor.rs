@@ -1,0 +1,290 @@
+//! The passive monitor: Zeek's observational model.
+//!
+//! Given a direction-tagged transcript, [`observe`] runs content-based
+//! protocol detection and reassembles what a span-port analyzer can know:
+//! the negotiated version, the SNI, the server and client certificate
+//! chains (when the version leaves them in the clear), and whether the
+//! handshake completed. Anything after ServerHello in a TLS 1.3 connection
+//! is opaque, so certificate fields stay empty — precisely the blind spot
+//! the paper quantifies.
+
+use crate::handshake::{Direction, TranscriptRecord};
+use crate::msgs::{
+    parse_certificate_body, parse_envelope, ClientHello, ServerHello, HS_CERTIFICATE,
+    HS_CERTIFICATE_REQUEST, HS_CLIENT_HELLO, HS_FINISHED, HS_SERVER_HELLO,
+};
+use crate::wire::{looks_like_tls, read_record, ContentType, WireError};
+use mtls_zeek::TlsVersion;
+
+/// What a passive observer learned about one connection.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConnectionObservation {
+    /// Negotiated version (from ServerHello, incl. supported_versions).
+    pub version: Option<TlsVersion>,
+    /// SNI from the ClientHello.
+    pub sni: Option<String>,
+    /// Server certificate chain DER blobs (leaf first). Empty under 1.3.
+    pub server_cert_ders: Vec<Vec<u8>>,
+    /// Client certificate chain DER blobs (leaf first). Empty under 1.3.
+    pub client_cert_ders: Vec<Vec<u8>>,
+    /// Whether a CertificateRequest was seen (clear-text versions only).
+    pub client_cert_requested: bool,
+    /// Whether the connection reached Finished/application data both ways.
+    pub established: bool,
+}
+
+impl ConnectionObservation {
+    /// The paper's mTLS predicate applied at observation level.
+    pub fn is_mutual_tls(&self) -> bool {
+        !self.server_cert_ders.is_empty() && !self.client_cert_ders.is_empty()
+    }
+}
+
+/// Run DPD + passive handshake parsing over a transcript.
+///
+/// Returns `Err(NotTls)` if the stream does not look like TLS (the DPD
+/// rejection path), otherwise best-effort observation — mid-stream parse
+/// errors terminate analysis but keep what was already extracted, matching
+/// how a real monitor degrades on truncated captures.
+pub fn observe(transcript: &[TranscriptRecord]) -> Result<ConnectionObservation, WireError> {
+    let first_client: Vec<u8> = transcript
+        .iter()
+        .filter(|r| r.direction == Direction::ClientToServer)
+        .flat_map(|r| r.bytes.iter().copied())
+        .collect();
+    if !looks_like_tls(&first_client) {
+        return Err(WireError::NotTls);
+    }
+
+    let mut obs = ConnectionObservation::default();
+    let mut saw_client_activity_after_hello = false;
+    let mut saw_server_finished = false;
+    let mut saw_client_finished = false;
+
+    for rec in transcript {
+        let mut cursor = &rec.bytes[..];
+        let Ok((header, payload)) = read_record(&mut cursor) else {
+            break; // truncated capture: keep what we have
+        };
+        match header.content_type {
+            ContentType::Handshake => {
+                // A record may carry several handshake messages; walk them.
+                let mut hs = &payload[..];
+                while !hs.is_empty() {
+                    let Ok((msg_type, body)) = parse_envelope(hs) else {
+                        break;
+                    };
+                    let consumed = 4 + body.len();
+                    match (rec.direction, msg_type) {
+                        (Direction::ClientToServer, HS_CLIENT_HELLO) => {
+                            if let Ok(ch) = ClientHello::parse(body) {
+                                obs.sni = ch.sni;
+                            }
+                        }
+                        (Direction::ServerToClient, HS_SERVER_HELLO) => {
+                            if let Ok(sh) = ServerHello::parse(body) {
+                                obs.version = Some(sh.version);
+                            }
+                        }
+                        (Direction::ServerToClient, HS_CERTIFICATE) => {
+                            if let Ok(chain) = parse_certificate_body(body) {
+                                obs.server_cert_ders = chain;
+                            }
+                        }
+                        (Direction::ServerToClient, HS_CERTIFICATE_REQUEST) => {
+                            obs.client_cert_requested = true;
+                        }
+                        (Direction::ClientToServer, HS_CERTIFICATE) => {
+                            if let Ok(chain) = parse_certificate_body(body) {
+                                obs.client_cert_ders = chain;
+                            }
+                        }
+                        (Direction::ServerToClient, HS_FINISHED) => {
+                            saw_server_finished = true;
+                        }
+                        (Direction::ClientToServer, HS_FINISHED) => {
+                            saw_client_finished = true;
+                        }
+                        _ => {}
+                    }
+                    hs = &hs[consumed..];
+                }
+            }
+            ContentType::ApplicationData => {
+                if rec.direction == Direction::ClientToServer {
+                    saw_client_activity_after_hello = true;
+                }
+            }
+            ContentType::Alert | ContentType::ChangeCipherSpec => {}
+        }
+    }
+
+    // Establishment: clear-text versions show both Finished messages;
+    // TLS 1.3 shows client-direction application data after the hellos.
+    obs.established = (saw_server_finished && saw_client_finished)
+        || (obs.version == Some(TlsVersion::Tls13) && saw_client_activity_after_hello);
+    Ok(obs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handshake::{simulate_handshake, HandshakeConfig};
+
+    fn der(n: u8) -> Vec<u8> {
+        vec![0x30, 3, n, n, n]
+    }
+
+    fn mutual_cfg(version: TlsVersion) -> HandshakeConfig {
+        HandshakeConfig {
+            version,
+            sni: Some("portal.health.example.edu".into()),
+            server_chain: vec![der(1), der(2)],
+            request_client_cert: true,
+            client_chain: vec![der(3), der(4)],
+            established: true,
+            resumed: false,
+            random_seed: 99,
+        }
+    }
+
+    #[test]
+    fn observes_mutual_tls12() {
+        let obs = observe(&simulate_handshake(&mutual_cfg(TlsVersion::Tls12))).unwrap();
+        assert_eq!(obs.version, Some(TlsVersion::Tls12));
+        assert_eq!(obs.sni.as_deref(), Some("portal.health.example.edu"));
+        assert_eq!(obs.server_cert_ders, vec![der(1), der(2)]);
+        assert_eq!(obs.client_cert_ders, vec![der(3), der(4)]);
+        assert!(obs.client_cert_requested);
+        assert!(obs.established);
+        assert!(obs.is_mutual_tls());
+    }
+
+    #[test]
+    fn tls13_is_opaque() {
+        let obs = observe(&simulate_handshake(&mutual_cfg(TlsVersion::Tls13))).unwrap();
+        assert_eq!(obs.version, Some(TlsVersion::Tls13));
+        assert_eq!(obs.sni.as_deref(), Some("portal.health.example.edu"));
+        assert!(obs.server_cert_ders.is_empty());
+        assert!(obs.client_cert_ders.is_empty());
+        assert!(!obs.is_mutual_tls()); // the blind spot, quantified in §3.3
+        assert!(obs.established);
+    }
+
+    #[test]
+    fn plain_tls_has_no_client_chain() {
+        let cfg = HandshakeConfig {
+            version: TlsVersion::Tls12,
+            server_chain: vec![der(9)],
+            ..Default::default()
+        };
+        let obs = observe(&simulate_handshake(&cfg)).unwrap();
+        assert!(!obs.client_cert_requested);
+        assert!(obs.client_cert_ders.is_empty());
+        assert!(!obs.is_mutual_tls());
+        assert!(obs.established);
+    }
+
+    #[test]
+    fn failed_handshake_not_established() {
+        let cfg = HandshakeConfig {
+            version: TlsVersion::Tls12,
+            server_chain: vec![der(1)],
+            established: false,
+            ..Default::default()
+        };
+        let obs = observe(&simulate_handshake(&cfg)).unwrap();
+        assert!(!obs.established);
+        assert_eq!(obs.server_cert_ders, vec![der(1)]);
+    }
+
+    #[test]
+    fn non_tls_stream_rejected_by_dpd() {
+        let fake = vec![TranscriptRecord {
+            direction: Direction::ClientToServer,
+            bytes: b"GET / HTTP/1.1\r\n\r\n".to_vec(),
+        }];
+        assert_eq!(observe(&fake), Err(WireError::NotTls));
+    }
+
+    #[test]
+    fn empty_client_cert_message_observed_as_empty() {
+        let cfg = HandshakeConfig {
+            version: TlsVersion::Tls12,
+            server_chain: vec![der(1)],
+            request_client_cert: true,
+            client_chain: vec![],
+            ..Default::default()
+        };
+        let obs = observe(&simulate_handshake(&cfg)).unwrap();
+        assert!(obs.client_cert_requested);
+        assert!(obs.client_cert_ders.is_empty());
+        assert!(!obs.is_mutual_tls());
+    }
+
+    #[test]
+    fn truncated_capture_degrades_gracefully() {
+        let mut t = simulate_handshake(&mutual_cfg(TlsVersion::Tls12));
+        // Cut the last record short.
+        let last = t.last_mut().unwrap();
+        last.bytes.truncate(3);
+        let obs = observe(&t).unwrap();
+        // Certificates were before the cut; they survive.
+        assert!(obs.is_mutual_tls());
+    }
+
+    #[test]
+    fn client_only_chain_connection() {
+        // No server chain, client chain present (tunneling pattern).
+        let cfg = HandshakeConfig {
+            version: TlsVersion::Tls12,
+            server_chain: vec![],
+            request_client_cert: true,
+            client_chain: vec![der(5)],
+            ..Default::default()
+        };
+        let obs = observe(&simulate_handshake(&cfg)).unwrap();
+        assert!(obs.server_cert_ders.is_empty());
+        assert_eq!(obs.client_cert_ders, vec![der(5)]);
+        assert!(!obs.is_mutual_tls());
+    }
+}
+
+#[cfg(test)]
+mod resumption_tests {
+    use super::*;
+    use crate::handshake::{simulate_handshake, HandshakeConfig};
+
+    #[test]
+    fn resumed_sessions_show_no_certificates() {
+        let cfg = HandshakeConfig {
+            version: TlsVersion::Tls12,
+            sni: Some("cached.example.com".into()),
+            server_chain: vec![vec![0x30, 1, 0]],
+            request_client_cert: true,
+            client_chain: vec![vec![0x30, 1, 1]],
+            established: true,
+            resumed: true,
+            random_seed: 5,
+        };
+        let obs = observe(&simulate_handshake(&cfg)).unwrap();
+        assert_eq!(obs.version, Some(TlsVersion::Tls12));
+        assert_eq!(obs.sni.as_deref(), Some("cached.example.com"));
+        assert!(obs.server_cert_ders.is_empty(), "abbreviated handshake");
+        assert!(obs.client_cert_ders.is_empty());
+        assert!(!obs.client_cert_requested);
+        assert!(obs.established, "Finished still flows both ways");
+    }
+
+    #[test]
+    fn failed_resumption_not_established() {
+        let cfg = HandshakeConfig {
+            version: TlsVersion::Tls12,
+            resumed: true,
+            established: false,
+            ..Default::default()
+        };
+        let obs = observe(&simulate_handshake(&cfg)).unwrap();
+        assert!(!obs.established);
+    }
+}

@@ -1,0 +1,270 @@
+//! Fluent certificate construction.
+//!
+//! The builder is deliberately permissive: the reproduced paper's whole
+//! point is that real-world mutual-TLS certificates are *mis*configured —
+//! empty issuers, colliding dummy serials, `notBefore` after `notAfter`,
+//! 228-year validity periods. The builder lets the simulator mint all of
+//! them; policy checks live in `mtls-pki`, where validation happens.
+
+use crate::cert::{Certificate, SerialNumber, SignatureAlgorithm, Version};
+use crate::ext::{
+    aki_extension, san_extension, ski_extension, BasicConstraints, Extension, ExtendedKeyUsage,
+    KeyUsage,
+};
+use crate::name::DistinguishedName;
+use crate::san::GeneralName;
+use crate::spki::{KeyAlgorithm, PublicKeyInfo};
+use mtls_asn1::Asn1Time;
+use mtls_crypto::{KeyId, Keypair};
+
+/// Builder for [`Certificate`].
+#[derive(Debug, Clone)]
+pub struct CertificateBuilder {
+    version: Version,
+    serial: SerialNumber,
+    signature_algorithm: SignatureAlgorithm,
+    issuer: DistinguishedName,
+    not_before: Asn1Time,
+    not_after: Asn1Time,
+    subject: DistinguishedName,
+    key_algorithm: KeyAlgorithm,
+    subject_key: Option<KeyId>,
+    extensions: Vec<Extension>,
+    /// When set, sign() appends SubjectKeyIdentifier (from the subject key)
+    /// and AuthorityKeyIdentifier (from this value) extensions.
+    auto_key_ids: Option<KeyId>,
+}
+
+impl Default for CertificateBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CertificateBuilder {
+    /// A v3, SHA256-RSA, 2048-bit builder with a one-year validity starting
+    /// at the Unix epoch; every field is expected to be overridden.
+    pub fn new() -> CertificateBuilder {
+        CertificateBuilder {
+            version: Version::V3,
+            serial: SerialNumber::new(&[1]),
+            signature_algorithm: SignatureAlgorithm::Sha256WithRsa,
+            issuer: DistinguishedName::empty(),
+            not_before: Asn1Time::from_unix(0),
+            not_after: Asn1Time::from_unix(0).add_days(365),
+            subject: DistinguishedName::empty(),
+            key_algorithm: KeyAlgorithm::Rsa { bits: 2048 },
+            subject_key: None,
+            extensions: Vec::new(),
+            auto_key_ids: None,
+        }
+    }
+
+    /// Certificate version (v1 certificates carry no extensions; any added
+    /// extensions are dropped at signing time, as on the wire).
+    pub fn version(mut self, v: Version) -> Self {
+        self.version = v;
+        self
+    }
+
+    /// Serial number magnitude bytes.
+    pub fn serial(mut self, bytes: &[u8]) -> Self {
+        self.serial = SerialNumber::new(bytes);
+        self
+    }
+
+    /// Declared signature algorithm.
+    pub fn signature_algorithm(mut self, alg: SignatureAlgorithm) -> Self {
+        self.signature_algorithm = alg;
+        self
+    }
+
+    /// Issuer DN.
+    pub fn issuer(mut self, dn: DistinguishedName) -> Self {
+        self.issuer = dn;
+        self
+    }
+
+    /// Subject DN.
+    pub fn subject(mut self, dn: DistinguishedName) -> Self {
+        self.subject = dn;
+        self
+    }
+
+    /// Validity window. No ordering requirement: misconfigured certificates
+    /// (notBefore > notAfter) are mintable by design.
+    pub fn validity(mut self, not_before: Asn1Time, not_after: Asn1Time) -> Self {
+        self.not_before = not_before;
+        self.not_after = not_after;
+        self
+    }
+
+    /// Declared key algorithm/size (defaults to RSA-2048).
+    pub fn key_algorithm(mut self, alg: KeyAlgorithm) -> Self {
+        self.key_algorithm = alg;
+        self
+    }
+
+    /// The subject's simsig key id (required).
+    pub fn subject_key(mut self, key_id: KeyId) -> Self {
+        self.subject_key = Some(key_id);
+        self
+    }
+
+    /// Add a SubjectAltName extension.
+    pub fn san(mut self, names: Vec<GeneralName>) -> Self {
+        if !names.is_empty() {
+            self.extensions.push(san_extension(&names));
+        }
+        self
+    }
+
+    /// Add BasicConstraints.
+    pub fn basic_constraints(mut self, bc: BasicConstraints) -> Self {
+        self.extensions.push(bc.to_extension());
+        self
+    }
+
+    /// Mark as a CA certificate (BasicConstraints CA=true).
+    pub fn ca(self, path_len: Option<u8>) -> Self {
+        self.basic_constraints(BasicConstraints { ca: true, path_len })
+    }
+
+    /// Add KeyUsage.
+    pub fn key_usage(mut self, ku: KeyUsage) -> Self {
+        self.extensions.push(ku.to_extension());
+        self
+    }
+
+    /// Add ExtendedKeyUsage.
+    pub fn extended_key_usage(mut self, eku: ExtendedKeyUsage) -> Self {
+        self.extensions.push(eku.to_extension());
+        self
+    }
+
+    /// Add an arbitrary raw extension.
+    pub fn extension(mut self, ext: Extension) -> Self {
+        self.extensions.push(ext);
+        self
+    }
+
+    /// Append SubjectKeyIdentifier/AuthorityKeyIdentifier extensions at
+    /// signing time: SKI from the subject key, AKI from `issuer_key`.
+    /// Well-run CAs set these; hand-rolled pathological certificates in the
+    /// wild (and in the simulator's dummy populations) usually do not.
+    pub fn key_identifiers(mut self, issuer_key: KeyId) -> Self {
+        self.auto_key_ids = Some(issuer_key);
+        self
+    }
+
+    /// Sign with the issuing CA's keypair and produce the certificate.
+    ///
+    /// Panics if `subject_key` was never set — a certificate without a
+    /// public key is not representable on the wire.
+    pub fn sign(self, issuer_key: &Keypair) -> Certificate {
+        let subject_key = self.subject_key.expect("subject_key is required");
+        let mut extensions = self.extensions;
+        if let Some(issuer_key) = self.auto_key_ids {
+            extensions.push(ski_extension(&subject_key.0));
+            extensions.push(aki_extension(&issuer_key.0));
+        }
+        let extensions = if self.version == Version::V1 { Vec::new() } else { extensions };
+        Certificate::assemble(
+            self.version,
+            self.serial,
+            self.signature_algorithm,
+            self.issuer,
+            self.not_before,
+            self.not_after,
+            self.subject,
+            PublicKeyInfo { algorithm: self.key_algorithm, key_id: subject_key },
+            extensions,
+            issuer_key,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_produce_a_valid_v3_cert() {
+        let ca = Keypair::from_seed(b"d-ca");
+        let leaf = Keypair::from_seed(b"d-leaf");
+        let cert = CertificateBuilder::new().subject_key(leaf.key_id()).sign(&ca);
+        assert_eq!(cert.version(), Version::V3);
+        assert_eq!(cert.serial().to_hex(), "01");
+        let parsed = Certificate::from_der(&cert.to_der()).unwrap();
+        assert_eq!(parsed, cert);
+    }
+
+    #[test]
+    fn v1_drops_extensions() {
+        let ca = Keypair::from_seed(b"ca");
+        let leaf = Keypair::from_seed(b"leaf");
+        let cert = CertificateBuilder::new()
+            .version(Version::V1)
+            .san(vec![GeneralName::Dns("dropped.example".into())])
+            .subject_key(leaf.key_id())
+            .sign(&ca);
+        assert!(cert.extensions().is_empty());
+        assert!(cert.san_dns().is_empty());
+    }
+
+    #[test]
+    fn ca_builder_sets_basic_constraints() {
+        let root = Keypair::from_seed(b"root");
+        let cert = CertificateBuilder::new()
+            .issuer(DistinguishedName::builder().organization("Root").build())
+            .subject(DistinguishedName::builder().organization("Root").build())
+            .ca(Some(2))
+            .subject_key(root.key_id())
+            .sign(&root);
+        assert!(cert.is_ca());
+        assert!(cert.is_self_issued());
+    }
+
+    #[test]
+    fn eku_and_key_usage_round_trip() {
+        let ca = Keypair::from_seed(b"ca");
+        let leaf = Keypair::from_seed(b"leaf");
+        let cert = CertificateBuilder::new()
+            .key_usage(KeyUsage { digital_signature: true, key_encipherment: true })
+            .extended_key_usage(ExtendedKeyUsage::both())
+            .subject_key(leaf.key_id())
+            .sign(&ca);
+        let parsed = Certificate::from_der(&cert.to_der()).unwrap();
+        assert_eq!(parsed.extensions().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "subject_key is required")]
+    fn missing_subject_key_panics() {
+        let ca = Keypair::from_seed(b"ca");
+        CertificateBuilder::new().sign(&ca);
+    }
+
+    #[test]
+    fn empty_san_list_adds_no_extension() {
+        let ca = Keypair::from_seed(b"ca");
+        let leaf = Keypair::from_seed(b"leaf");
+        let cert = CertificateBuilder::new()
+            .san(vec![])
+            .subject_key(leaf.key_id())
+            .sign(&ca);
+        assert!(cert.extensions().is_empty());
+    }
+
+    #[test]
+    fn weak_key_certificate() {
+        let ca = Keypair::from_seed(b"ca");
+        let leaf = Keypair::from_seed(b"leaf");
+        let cert = CertificateBuilder::new()
+            .key_algorithm(KeyAlgorithm::Rsa { bits: 1024 })
+            .subject_key(leaf.key_id())
+            .sign(&ca);
+        let parsed = Certificate::from_der(&cert.to_der()).unwrap();
+        assert!(parsed.public_key().algorithm.is_weak());
+    }
+}

@@ -1,0 +1,329 @@
+//! X.509 v3 extensions: the generic envelope plus typed decoders for the
+//! extensions the measurement pipeline inspects (BasicConstraints, KeyUsage,
+//! ExtendedKeyUsage, SubjectAltName).
+
+use crate::san::{decode_san, encode_san};
+use crate::{oids, GeneralName, Result};
+use mtls_asn1::{DerReader, DerWriter, Oid};
+
+/// A raw extension: OID, criticality, and the DER-encoded inner value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Extension {
+    pub oid: Oid,
+    pub critical: bool,
+    pub value: Vec<u8>,
+}
+
+impl Extension {
+    /// Encode as `SEQUENCE { extnID, critical DEFAULT FALSE, extnValue }`.
+    pub fn encode(&self, w: &mut DerWriter) {
+        w.sequence(|w| {
+            w.oid(&self.oid);
+            if self.critical {
+                w.boolean(true); // DEFAULT FALSE is omitted when false (DER)
+            }
+            w.octet_string(&self.value);
+        });
+    }
+
+    /// Decode one extension.
+    pub fn decode(r: &mut DerReader<'_>) -> Result<Extension> {
+        let mut seq = r.read_sequence()?;
+        let oid = seq.read_oid()?;
+        let critical = if seq.peek_tag() == Some(mtls_asn1::Tag::BOOLEAN) {
+            seq.read_boolean()?
+        } else {
+            false
+        };
+        let value = seq.read_octet_string()?.to_vec();
+        seq.expect_end()?;
+        Ok(Extension { oid, critical, value })
+    }
+}
+
+/// BasicConstraints (`id-ce 19`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BasicConstraints {
+    /// Whether the subject is a CA.
+    pub ca: bool,
+    /// Optional maximum chain depth below this certificate.
+    pub path_len: Option<u8>,
+}
+
+impl BasicConstraints {
+    /// Build the extension envelope (critical, per CA/B practice).
+    pub fn to_extension(self) -> Extension {
+        let mut w = DerWriter::new();
+        w.sequence(|w| {
+            if self.ca {
+                w.boolean(true);
+                if let Some(n) = self.path_len {
+                    w.integer_i64(i64::from(n));
+                }
+            }
+            // cA DEFAULT FALSE: omitted entirely for end-entity certs.
+        });
+        Extension { oid: oids::basic_constraints().clone(), critical: true, value: w.finish() }
+    }
+
+    /// Parse from the extension inner value.
+    pub fn from_value(value: &[u8]) -> Result<BasicConstraints> {
+        let mut r = DerReader::new(value);
+        let mut seq = r.read_sequence()?;
+        let mut out = BasicConstraints::default();
+        if seq.peek_tag() == Some(mtls_asn1::Tag::BOOLEAN) {
+            out.ca = seq.read_boolean()?;
+        }
+        if !seq.is_empty() {
+            out.path_len = Some(seq.read_integer_i64()? as u8);
+        }
+        seq.expect_end()?;
+        Ok(out)
+    }
+}
+
+/// KeyUsage bits (`id-ce 15`). Only the two bits the pipeline reads are
+/// modelled individually; the raw byte is preserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KeyUsage {
+    pub digital_signature: bool,
+    pub key_encipherment: bool,
+}
+
+impl KeyUsage {
+    /// Build the extension envelope.
+    pub fn to_extension(self) -> Extension {
+        let mut bits: u8 = 0;
+        if self.digital_signature {
+            bits |= 0b1000_0000; // bit 0
+        }
+        if self.key_encipherment {
+            bits |= 0b0010_0000; // bit 2
+        }
+        // KeyUsage is a BIT STRING with possibly-unused trailing bits; we
+        // emit a full byte with zero unused bits for simplicity (legal DER,
+        // matches what many real issuers do).
+        let mut w = DerWriter::new();
+        w.bit_string(&[bits]);
+        Extension { oid: oids::key_usage().clone(), critical: true, value: w.finish() }
+    }
+
+    /// Parse from the extension inner value.
+    pub fn from_value(value: &[u8]) -> Result<KeyUsage> {
+        let mut r = DerReader::new(value);
+        let bits = r.read_bit_string()?;
+        let b = bits.first().copied().unwrap_or(0);
+        Ok(KeyUsage {
+            digital_signature: b & 0b1000_0000 != 0,
+            key_encipherment: b & 0b0010_0000 != 0,
+        })
+    }
+}
+
+/// ExtendedKeyUsage (`id-ce 37`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExtendedKeyUsage {
+    pub server_auth: bool,
+    pub client_auth: bool,
+    /// Purposes other than serverAuth/clientAuth, preserved for round-trip.
+    pub other: Vec<Oid>,
+}
+
+impl ExtendedKeyUsage {
+    /// Convenience: both serverAuth and clientAuth (common for mTLS certs).
+    pub fn both() -> ExtendedKeyUsage {
+        ExtendedKeyUsage { server_auth: true, client_auth: true, other: Vec::new() }
+    }
+
+    /// Build the extension envelope.
+    pub fn to_extension(&self) -> Extension {
+        let mut w = DerWriter::new();
+        w.sequence(|w| {
+            if self.server_auth {
+                w.oid(oids::kp_server_auth());
+            }
+            if self.client_auth {
+                w.oid(oids::kp_client_auth());
+            }
+            for oid in &self.other {
+                w.oid(oid);
+            }
+        });
+        Extension { oid: oids::ext_key_usage().clone(), critical: false, value: w.finish() }
+    }
+
+    /// Parse from the extension inner value.
+    pub fn from_value(value: &[u8]) -> Result<ExtendedKeyUsage> {
+        let mut r = DerReader::new(value);
+        let mut seq = r.read_sequence()?;
+        let mut out = ExtendedKeyUsage::default();
+        while !seq.is_empty() {
+            let oid = seq.read_oid()?;
+            if &oid == oids::kp_server_auth() {
+                out.server_auth = true;
+            } else if &oid == oids::kp_client_auth() {
+                out.client_auth = true;
+            } else {
+                out.other.push(oid);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// SubjectKeyIdentifier (`id-ce 14`): the subject key's identifier, used by
+/// chain builders to match a child's AuthorityKeyIdentifier without DN
+/// string comparison.
+pub fn ski_extension(key_id: &[u8]) -> Extension {
+    let mut w = DerWriter::new();
+    w.octet_string(key_id);
+    Extension {
+        oid: oids::subject_key_identifier().clone(),
+        critical: false,
+        value: w.finish(),
+    }
+}
+
+/// Parse a SubjectKeyIdentifier inner value.
+pub fn parse_ski_extension(value: &[u8]) -> Result<Vec<u8>> {
+    let mut r = DerReader::new(value);
+    let ski = r.read_octet_string()?.to_vec();
+    r.expect_end()?;
+    Ok(ski)
+}
+
+/// AuthorityKeyIdentifier (`id-ce 35`), keyIdentifier form only
+/// (`SEQUENCE { [0] IMPLICIT KeyIdentifier }`).
+pub fn aki_extension(key_id: &[u8]) -> Extension {
+    let mut w = DerWriter::new();
+    w.sequence(|w| {
+        w.context_primitive(0, key_id);
+    });
+    Extension {
+        oid: oids::authority_key_identifier().clone(),
+        critical: false,
+        value: w.finish(),
+    }
+}
+
+/// Parse an AuthorityKeyIdentifier inner value (keyIdentifier form).
+pub fn parse_aki_extension(value: &[u8]) -> Result<Option<Vec<u8>>> {
+    let mut r = DerReader::new(value);
+    let mut seq = r.read_sequence()?;
+    while !seq.is_empty() {
+        let (tag, content) = seq.read_any()?;
+        if tag == mtls_asn1::Tag::context(0) {
+            return Ok(Some(content.to_vec()));
+        }
+        // issuer/serial forms are ignored (never minted here).
+    }
+    Ok(None)
+}
+
+/// Build a SubjectAltName extension from GeneralNames.
+pub fn san_extension(names: &[GeneralName]) -> Extension {
+    Extension {
+        oid: oids::subject_alt_name().clone(),
+        critical: false,
+        value: encode_san(names),
+    }
+}
+
+/// Parse a SubjectAltName extension inner value.
+pub fn parse_san_extension(value: &[u8]) -> Result<Vec<GeneralName>> {
+    decode_san(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_ext(ext: &Extension) -> Extension {
+        let mut w = DerWriter::new();
+        ext.encode(&mut w);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        Extension::decode(&mut r).unwrap()
+    }
+
+    #[test]
+    fn basic_constraints_ca_round_trips() {
+        let bc = BasicConstraints { ca: true, path_len: Some(1) };
+        let ext = bc.to_extension();
+        let rt = round_trip_ext(&ext);
+        assert!(rt.critical);
+        assert_eq!(BasicConstraints::from_value(&rt.value).unwrap(), bc);
+    }
+
+    #[test]
+    fn basic_constraints_leaf_round_trips() {
+        let bc = BasicConstraints { ca: false, path_len: None };
+        let ext = bc.to_extension();
+        assert_eq!(BasicConstraints::from_value(&ext.value).unwrap(), bc);
+    }
+
+    #[test]
+    fn key_usage_round_trips() {
+        for (ds, ke) in [(true, true), (true, false), (false, true), (false, false)] {
+            let ku = KeyUsage { digital_signature: ds, key_encipherment: ke };
+            let ext = ku.to_extension();
+            assert_eq!(KeyUsage::from_value(&ext.value).unwrap(), ku);
+        }
+    }
+
+    #[test]
+    fn eku_round_trips() {
+        let eku = ExtendedKeyUsage::both();
+        let ext = eku.to_extension();
+        let rt = ExtendedKeyUsage::from_value(&ext.value).unwrap();
+        assert!(rt.server_auth && rt.client_auth);
+
+        let custom = ExtendedKeyUsage {
+            server_auth: false,
+            client_auth: true,
+            other: vec![Oid::new(&[1, 3, 6, 1, 5, 5, 7, 3, 8])],
+        };
+        let rt = ExtendedKeyUsage::from_value(&custom.to_extension().value).unwrap();
+        assert_eq!(rt, custom);
+    }
+
+    #[test]
+    fn san_extension_round_trips() {
+        let names = vec![GeneralName::Dns("a.example".into())];
+        let ext = san_extension(&names);
+        assert!(!ext.critical);
+        assert_eq!(parse_san_extension(&ext.value).unwrap(), names);
+    }
+
+    #[test]
+    fn ski_round_trips() {
+        let ext = ski_extension(&[0xAA; 32]);
+        assert!(!ext.critical);
+        assert_eq!(parse_ski_extension(&ext.value).unwrap(), vec![0xAA; 32]);
+    }
+
+    #[test]
+    fn aki_round_trips() {
+        let ext = aki_extension(&[0xBB; 32]);
+        assert_eq!(parse_aki_extension(&ext.value).unwrap(), Some(vec![0xBB; 32]));
+        // Empty AKI sequence: keyIdentifier absent.
+        let mut w = DerWriter::new();
+        w.sequence(|_| {});
+        assert_eq!(parse_aki_extension(&w.finish()).unwrap(), None);
+    }
+
+    #[test]
+    fn non_critical_flag_is_omitted_in_der() {
+        // DER: DEFAULT FALSE must not be encoded.
+        let ext = san_extension(&[GeneralName::Dns("x".into())]);
+        let mut w = DerWriter::new();
+        ext.encode(&mut w);
+        let der = w.finish();
+        // No BOOLEAN tag (0x01) directly after the OID TLV inside.
+        let rt = {
+            let mut r = DerReader::new(&der);
+            Extension::decode(&mut r).unwrap()
+        };
+        assert!(!rt.critical);
+    }
+}

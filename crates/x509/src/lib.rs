@@ -1,0 +1,92 @@
+//! X.509 certificate model, built on the `mtls-asn1` DER codec.
+//!
+//! Implements the subset of RFC 5280 the reproduced measurement study
+//! observes in the wild: v1 and v3 certificates, RDN-sequence names with the
+//! common attribute types, UTCTime/GeneralizedTime validity (including the
+//! *incorrect* orderings the paper reports — `notBefore` after `notAfter` is
+//! representable and round-trips), serial numbers of arbitrary width
+//! (including the dummy `00`, `01`, `024680`, `03E8` values from §5.1.2),
+//! SubjectAltName with typed GeneralNames, BasicConstraints, KeyUsage, and
+//! ExtendedKeyUsage.
+//!
+//! Certificates are signed with the simsig scheme from `mtls-crypto`
+//! (see DESIGN.md §1 for why this substitution is sound); the *declared*
+//! algorithm (`sha256WithRSAEncryption`, 1024-bit RSA, …) is carried
+//! faithfully so key-strength analyses behave like they would on real data.
+//!
+//! # Example
+//!
+//! ```
+//! use mtls_x509::{CertificateBuilder, DistinguishedName, GeneralName};
+//! use mtls_asn1::Asn1Time;
+//! use mtls_crypto::Keypair;
+//!
+//! let ca_key = Keypair::from_seed(b"example-ca");
+//! let leaf_key = Keypair::from_seed(b"example-leaf");
+//! let cert = CertificateBuilder::new()
+//!     .serial(&[0x01, 0x02])
+//!     .issuer(DistinguishedName::builder().organization("Example CA").common_name("Example Root").build())
+//!     .subject(DistinguishedName::builder().common_name("host.example.org").build())
+//!     .validity(Asn1Time::from_ymd(2023, 1, 1), Asn1Time::from_ymd(2024, 1, 1))
+//!     .san(vec![GeneralName::Dns("host.example.org".into())])
+//!     .subject_key(leaf_key.key_id())
+//!     .sign(&ca_key);
+//!
+//! let der = cert.to_der();
+//! let parsed = mtls_x509::Certificate::from_der(&der).unwrap();
+//! assert_eq!(parsed.subject().common_name(), Some("host.example.org"));
+//! assert_eq!(parsed.fingerprint(), cert.fingerprint());
+//! ```
+
+pub mod builder;
+pub mod cert;
+pub mod ext;
+pub mod name;
+pub mod oids;
+pub mod san;
+pub mod spki;
+
+pub use builder::CertificateBuilder;
+pub use cert::{Certificate, Fingerprint, SerialNumber, SignatureAlgorithm, Version};
+pub use ext::{BasicConstraints, Extension, ExtendedKeyUsage, KeyUsage};
+pub use name::{AttributeType, DistinguishedName, DnBuilder};
+pub use san::GeneralName;
+pub use spki::{KeyAlgorithm, PublicKeyInfo};
+
+/// Errors from parsing or validating certificate structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Underlying DER decode failure.
+    Der(mtls_asn1::Error),
+    /// The version integer was not 0 (v1), 1 (v2), or 2 (v3).
+    BadVersion(i64),
+    /// A GeneralName had an IP payload that was not 4 or 16 bytes.
+    BadIpAddress,
+    /// The subjectPublicKey BIT STRING was too short to carry a key id.
+    BadPublicKey,
+    /// The signature BIT STRING was not a valid simsig tag.
+    BadSignature,
+}
+
+impl From<mtls_asn1::Error> for Error {
+    fn from(e: mtls_asn1::Error) -> Error {
+        Error::Der(e)
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Der(e) => write!(f, "DER error: {e}"),
+            Error::BadVersion(v) => write!(f, "unsupported certificate version {v}"),
+            Error::BadIpAddress => write!(f, "iPAddress GeneralName must be 4 or 16 bytes"),
+            Error::BadPublicKey => write!(f, "subjectPublicKey too short"),
+            Error::BadSignature => write!(f, "malformed signature bits"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;

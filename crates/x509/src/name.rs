@@ -1,0 +1,361 @@
+//! X.501 distinguished names (RDN sequences).
+//!
+//! A [`DistinguishedName`] is an ordered list of attribute/value pairs. Each
+//! RDN is encoded as a single-valued SET (multi-valued RDNs do not occur in
+//! the reproduced dataset's analysis and are rejected on parse for
+//! strictness).
+
+use crate::oids;
+use crate::Result;
+use mtls_asn1::{writer, DerReader, DerWriter, Oid};
+
+/// The attribute types the measurement pipeline distinguishes. Everything
+/// else is preserved as `Other` so round-tripping is lossless.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttributeType {
+    CommonName,
+    Surname,
+    SerialNumber,
+    Country,
+    Locality,
+    State,
+    Organization,
+    OrganizationalUnit,
+    EmailAddress,
+    DomainComponent,
+    Other(Oid),
+}
+
+impl AttributeType {
+    /// The attribute's OID.
+    pub fn oid(&self) -> Oid {
+        match self {
+            AttributeType::CommonName => oids::common_name().clone(),
+            AttributeType::Surname => oids::surname().clone(),
+            AttributeType::SerialNumber => oids::attr_serial_number().clone(),
+            AttributeType::Country => oids::country().clone(),
+            AttributeType::Locality => oids::locality().clone(),
+            AttributeType::State => oids::state().clone(),
+            AttributeType::Organization => oids::organization().clone(),
+            AttributeType::OrganizationalUnit => oids::organizational_unit().clone(),
+            AttributeType::EmailAddress => oids::email_address().clone(),
+            AttributeType::DomainComponent => oids::domain_component().clone(),
+            AttributeType::Other(oid) => oid.clone(),
+        }
+    }
+
+    /// Map an OID back to a known attribute type.
+    pub fn from_oid(oid: Oid) -> AttributeType {
+        if &oid == oids::common_name() {
+            AttributeType::CommonName
+        } else if &oid == oids::surname() {
+            AttributeType::Surname
+        } else if &oid == oids::attr_serial_number() {
+            AttributeType::SerialNumber
+        } else if &oid == oids::country() {
+            AttributeType::Country
+        } else if &oid == oids::locality() {
+            AttributeType::Locality
+        } else if &oid == oids::state() {
+            AttributeType::State
+        } else if &oid == oids::organization() {
+            AttributeType::Organization
+        } else if &oid == oids::organizational_unit() {
+            AttributeType::OrganizationalUnit
+        } else if &oid == oids::email_address() {
+            AttributeType::EmailAddress
+        } else if &oid == oids::domain_component() {
+            AttributeType::DomainComponent
+        } else {
+            AttributeType::Other(oid)
+        }
+    }
+
+    /// Short name used in the `CN=..., O=...` rendering.
+    pub fn short_name(&self) -> String {
+        match self {
+            AttributeType::CommonName => "CN".into(),
+            AttributeType::Surname => "SN".into(),
+            AttributeType::SerialNumber => "serialNumber".into(),
+            AttributeType::Country => "C".into(),
+            AttributeType::Locality => "L".into(),
+            AttributeType::State => "ST".into(),
+            AttributeType::Organization => "O".into(),
+            AttributeType::OrganizationalUnit => "OU".into(),
+            AttributeType::EmailAddress => "emailAddress".into(),
+            AttributeType::DomainComponent => "DC".into(),
+            AttributeType::Other(oid) => oid.dotted(),
+        }
+    }
+}
+
+/// An ordered distinguished name.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct DistinguishedName {
+    attrs: Vec<(AttributeType, String)>,
+}
+
+impl DistinguishedName {
+    /// An empty name (RFC 5280 allows it; the paper's *MissingIssuer*
+    /// category is exactly certificates whose issuer has no organization).
+    pub fn empty() -> DistinguishedName {
+        DistinguishedName::default()
+    }
+
+    /// Start building a name.
+    pub fn builder() -> DnBuilder {
+        DnBuilder::default()
+    }
+
+    /// All attributes in order.
+    pub fn attributes(&self) -> &[(AttributeType, String)] {
+        &self.attrs
+    }
+
+    /// First value of the given attribute type.
+    pub fn get(&self, ty: &AttributeType) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(t, _)| t == ty)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The CommonName, if present.
+    pub fn common_name(&self) -> Option<&str> {
+        self.get(&AttributeType::CommonName)
+    }
+
+    /// The Organization, if present.
+    pub fn organization(&self) -> Option<&str> {
+        self.get(&AttributeType::Organization)
+    }
+
+    /// The OrganizationalUnit, if present.
+    pub fn organizational_unit(&self) -> Option<&str> {
+        self.get(&AttributeType::OrganizationalUnit)
+    }
+
+    /// Whether the name carries no attributes at all.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Encode as an RDNSequence.
+    pub fn encode(&self, w: &mut DerWriter) {
+        w.sequence(|w| {
+            for (ty, value) in &self.attrs {
+                w.set(|w| {
+                    w.sequence(|w| {
+                        w.oid(&ty.oid());
+                        // PrintableString where legal, else UTF8String —
+                        // mirrors OpenSSL defaults.
+                        if writer::is_printable_string(value) {
+                            w.printable_string(value);
+                        } else {
+                            w.utf8_string(value);
+                        }
+                    });
+                });
+            }
+        });
+    }
+
+    /// Decode an RDNSequence.
+    pub fn decode(r: &mut DerReader<'_>) -> Result<DistinguishedName> {
+        let mut seq = r.read_sequence()?;
+        let mut attrs = Vec::new();
+        while !seq.is_empty() {
+            let mut set = seq.read_set()?;
+            let mut atv = set.read_sequence()?;
+            let oid = atv.read_oid()?;
+            // Legacy encodings (TeletexString, BMPString) occur in real DNs;
+            // accept them too.
+            let value = atv.read_string_lossy()?.into_owned();
+            atv.expect_end()?;
+            set.expect_end()?;
+            attrs.push((AttributeType::from_oid(oid), value));
+        }
+        Ok(DistinguishedName { attrs })
+    }
+
+    /// `CN=foo, O=bar` rendering (empty string for an empty name).
+    pub fn to_display_string(&self) -> String {
+        self.attrs
+            .iter()
+            .map(|(t, v)| format!("{}={}", t.short_name(), v))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+impl std::fmt::Display for DistinguishedName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_display_string())
+    }
+}
+
+/// Fluent constructor for [`DistinguishedName`].
+#[derive(Debug, Default)]
+pub struct DnBuilder {
+    attrs: Vec<(AttributeType, String)>,
+}
+
+impl DnBuilder {
+    /// Append an arbitrary attribute.
+    pub fn attr(mut self, ty: AttributeType, value: impl Into<String>) -> DnBuilder {
+        self.attrs.push((ty, value.into()));
+        self
+    }
+
+    /// Append `C=`.
+    pub fn country(self, v: impl Into<String>) -> DnBuilder {
+        self.attr(AttributeType::Country, v)
+    }
+
+    /// Append `ST=`.
+    pub fn state(self, v: impl Into<String>) -> DnBuilder {
+        self.attr(AttributeType::State, v)
+    }
+
+    /// Append `L=`.
+    pub fn locality(self, v: impl Into<String>) -> DnBuilder {
+        self.attr(AttributeType::Locality, v)
+    }
+
+    /// Append `O=`.
+    pub fn organization(self, v: impl Into<String>) -> DnBuilder {
+        self.attr(AttributeType::Organization, v)
+    }
+
+    /// Append `OU=`.
+    pub fn organizational_unit(self, v: impl Into<String>) -> DnBuilder {
+        self.attr(AttributeType::OrganizationalUnit, v)
+    }
+
+    /// Append `CN=`.
+    pub fn common_name(self, v: impl Into<String>) -> DnBuilder {
+        self.attr(AttributeType::CommonName, v)
+    }
+
+    /// Append `emailAddress=`.
+    pub fn email(self, v: impl Into<String>) -> DnBuilder {
+        self.attr(AttributeType::EmailAddress, v)
+    }
+
+    /// Finish.
+    pub fn build(self) -> DistinguishedName {
+        DistinguishedName { attrs: self.attrs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(dn: &DistinguishedName) -> DistinguishedName {
+        let mut w = DerWriter::new();
+        dn.encode(&mut w);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        let out = DistinguishedName::decode(&mut r).unwrap();
+        r.expect_end().unwrap();
+        out
+    }
+
+    #[test]
+    fn simple_name_round_trips() {
+        let dn = DistinguishedName::builder()
+            .country("US")
+            .organization("Globus Online")
+            .common_name("FXP DCAU Cert")
+            .build();
+        assert_eq!(round_trip(&dn), dn);
+        assert_eq!(dn.common_name(), Some("FXP DCAU Cert"));
+        assert_eq!(dn.organization(), Some("Globus Online"));
+        assert_eq!(dn.to_display_string(), "C=US, O=Globus Online, CN=FXP DCAU Cert");
+    }
+
+    #[test]
+    fn empty_name_round_trips() {
+        let dn = DistinguishedName::empty();
+        assert_eq!(round_trip(&dn), dn);
+        assert!(dn.is_empty());
+        assert_eq!(dn.to_display_string(), "");
+        assert_eq!(dn.organization(), None);
+    }
+
+    #[test]
+    fn non_printable_values_use_utf8() {
+        let dn = DistinguishedName::builder()
+            .common_name("usuário@example")
+            .build();
+        assert_eq!(round_trip(&dn), dn);
+    }
+
+    #[test]
+    fn unknown_attribute_preserved() {
+        let custom = AttributeType::Other(Oid::new(&[1, 3, 6, 1, 4, 1, 99999, 1]));
+        let dn = DistinguishedName::builder()
+            .attr(custom.clone(), "custom-value")
+            .build();
+        let rt = round_trip(&dn);
+        assert_eq!(rt.get(&custom), Some("custom-value"));
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let dn = DistinguishedName::builder()
+            .common_name("first")
+            .organization("second")
+            .build();
+        let rt = round_trip(&dn);
+        assert_eq!(rt.attributes()[0].0, AttributeType::CommonName);
+        assert_eq!(rt.attributes()[1].0, AttributeType::Organization);
+    }
+
+    #[test]
+    fn duplicate_attributes_get_returns_first() {
+        let dn = DistinguishedName::builder()
+            .organizational_unit("ou-1")
+            .organizational_unit("ou-2")
+            .build();
+        assert_eq!(dn.organizational_unit(), Some("ou-1"));
+        assert_eq!(round_trip(&dn), dn);
+    }
+
+    #[test]
+    fn legacy_string_encodings_decode() {
+        // Hand-build an RDNSequence whose CN uses T61String (Latin-1).
+        let mut w = DerWriter::new();
+        w.sequence(|w| {
+            w.set(|w| {
+                w.sequence(|w| {
+                    w.oid(oids::common_name());
+                    w.tlv(mtls_asn1::Tag::T61_STRING, &[b'M', 0xFC, b'n', b'z']); // "Münz"
+                });
+            });
+        });
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        let dn = DistinguishedName::decode(&mut r).unwrap();
+        assert_eq!(dn.common_name(), Some("M\u{fc}nz"));
+    }
+
+    #[test]
+    fn attribute_type_oid_round_trip() {
+        for ty in [
+            AttributeType::CommonName,
+            AttributeType::Surname,
+            AttributeType::SerialNumber,
+            AttributeType::Country,
+            AttributeType::Locality,
+            AttributeType::State,
+            AttributeType::Organization,
+            AttributeType::OrganizationalUnit,
+            AttributeType::EmailAddress,
+            AttributeType::DomainComponent,
+        ] {
+            assert_eq!(AttributeType::from_oid(ty.oid()), ty);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Well-known OBJECT IDENTIFIER constants used by the certificate model.
+
+use mtls_asn1::Oid;
+use std::sync::OnceLock;
+
+macro_rules! oid_const {
+    ($(#[$doc:meta])* $name:ident => [$($arc:expr),+]) => {
+        $(#[$doc])*
+        pub fn $name() -> &'static Oid {
+            static CELL: OnceLock<Oid> = OnceLock::new();
+            CELL.get_or_init(|| Oid::new(&[$($arc),+]))
+        }
+    };
+}
+
+// Attribute types (X.520).
+oid_const!(
+    /// id-at-commonName (2.5.4.3)
+    common_name => [2, 5, 4, 3]
+);
+oid_const!(
+    /// id-at-surname (2.5.4.4)
+    surname => [2, 5, 4, 4]
+);
+oid_const!(
+    /// id-at-serialNumber (2.5.4.5)
+    attr_serial_number => [2, 5, 4, 5]
+);
+oid_const!(
+    /// id-at-countryName (2.5.4.6)
+    country => [2, 5, 4, 6]
+);
+oid_const!(
+    /// id-at-localityName (2.5.4.7)
+    locality => [2, 5, 4, 7]
+);
+oid_const!(
+    /// id-at-stateOrProvinceName (2.5.4.8)
+    state => [2, 5, 4, 8]
+);
+oid_const!(
+    /// id-at-organizationName (2.5.4.10)
+    organization => [2, 5, 4, 10]
+);
+oid_const!(
+    /// id-at-organizationalUnitName (2.5.4.11)
+    organizational_unit => [2, 5, 4, 11]
+);
+oid_const!(
+    /// pkcs-9 emailAddress (1.2.840.113549.1.9.1)
+    email_address => [1, 2, 840, 113549, 1, 9, 1]
+);
+oid_const!(
+    /// domainComponent (0.9.2342.19200300.100.1.25)
+    domain_component => [0, 9, 2342, 19200300, 100, 1, 25]
+);
+
+// Extensions (RFC 5280).
+oid_const!(
+    /// id-ce-subjectKeyIdentifier (2.5.29.14)
+    subject_key_identifier => [2, 5, 29, 14]
+);
+oid_const!(
+    /// id-ce-authorityKeyIdentifier (2.5.29.35)
+    authority_key_identifier => [2, 5, 29, 35]
+);
+oid_const!(
+    /// id-ce-subjectAltName (2.5.29.17)
+    subject_alt_name => [2, 5, 29, 17]
+);
+oid_const!(
+    /// id-ce-basicConstraints (2.5.29.19)
+    basic_constraints => [2, 5, 29, 19]
+);
+oid_const!(
+    /// id-ce-keyUsage (2.5.29.15)
+    key_usage => [2, 5, 29, 15]
+);
+oid_const!(
+    /// id-ce-extKeyUsage (2.5.29.37)
+    ext_key_usage => [2, 5, 29, 37]
+);
+
+// Extended key usage purposes.
+oid_const!(
+    /// id-kp-serverAuth (1.3.6.1.5.5.7.3.1)
+    kp_server_auth => [1, 3, 6, 1, 5, 5, 7, 3, 1]
+);
+oid_const!(
+    /// id-kp-clientAuth (1.3.6.1.5.5.7.3.2)
+    kp_client_auth => [1, 3, 6, 1, 5, 5, 7, 3, 2]
+);
+
+// Public-key algorithms.
+oid_const!(
+    /// rsaEncryption (1.2.840.113549.1.1.1)
+    rsa_encryption => [1, 2, 840, 113549, 1, 1, 1]
+);
+oid_const!(
+    /// id-ecPublicKey (1.2.840.10045.2.1)
+    ec_public_key => [1, 2, 840, 10045, 2, 1]
+);
+
+// Signature algorithms (declared; actual tags are simsig, see mtls-crypto).
+oid_const!(
+    /// sha256WithRSAEncryption (1.2.840.113549.1.1.11)
+    sha256_with_rsa => [1, 2, 840, 113549, 1, 1, 11]
+);
+oid_const!(
+    /// sha1WithRSAEncryption (1.2.840.113549.1.1.5)
+    sha1_with_rsa => [1, 2, 840, 113549, 1, 1, 5]
+);
+oid_const!(
+    /// ecdsa-with-SHA256 (1.2.840.10045.4.3.2)
+    ecdsa_with_sha256 => [1, 2, 840, 10045, 4, 3, 2]
+);
+oid_const!(
+    /// md5WithRSAEncryption (1.2.840.113549.1.1.4)
+    md5_with_rsa => [1, 2, 840, 113549, 1, 1, 4]
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dotted_forms() {
+        assert_eq!(common_name().dotted(), "2.5.4.3");
+        assert_eq!(subject_alt_name().dotted(), "2.5.29.17");
+        assert_eq!(sha256_with_rsa().dotted(), "1.2.840.113549.1.1.11");
+        assert_eq!(kp_client_auth().dotted(), "1.3.6.1.5.5.7.3.2");
+        assert_eq!(domain_component().dotted(), "0.9.2342.19200300.100.1.25");
+    }
+
+    #[test]
+    fn oids_are_distinct() {
+        let all = [
+            common_name(),
+            surname(),
+            attr_serial_number(),
+            country(),
+            locality(),
+            state(),
+            organization(),
+            organizational_unit(),
+            email_address(),
+            subject_alt_name(),
+            basic_constraints(),
+            key_usage(),
+            ext_key_usage(),
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

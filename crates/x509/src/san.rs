@@ -1,0 +1,184 @@
+//! SubjectAltName `GeneralName` values (RFC 5280 §4.2.1.6).
+//!
+//! The paper's Table 8 analyzes the SAN *DNS* type in depth precisely
+//! because real-world certificates abuse it: free text, personal names, MAC
+//! addresses and product names all show up in `dNSName`. The model therefore
+//! carries dNSName as an arbitrary string rather than validating it as a
+//! hostname — the *classifier* decides what the string actually is.
+
+use crate::{Error, Result};
+use mtls_asn1::{DerReader, DerWriter, Tag};
+
+/// Context tag numbers from the GeneralName CHOICE.
+const TAG_EMAIL: u8 = 1; // rfc822Name
+const TAG_DNS: u8 = 2; // dNSName
+const TAG_URI: u8 = 6; // uniformResourceIdentifier
+const TAG_IP: u8 = 7; // iPAddress
+
+/// One SAN entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GeneralName {
+    /// `rfc822Name` — an email address.
+    Email(String),
+    /// `dNSName` — nominally a domain name; in practice free text.
+    Dns(String),
+    /// `uniformResourceIdentifier`.
+    Uri(String),
+    /// `iPAddress` — 4 octets (v4) or 16 octets (v6).
+    Ip(Vec<u8>),
+    /// Any other CHOICE arm, preserved as raw (tag number, bytes).
+    Other(u8, Vec<u8>),
+}
+
+impl GeneralName {
+    /// Encode into a writer as one context-tagged primitive.
+    pub fn encode(&self, w: &mut DerWriter) {
+        match self {
+            GeneralName::Email(s) => w.context_primitive(TAG_EMAIL, s.as_bytes()),
+            GeneralName::Dns(s) => w.context_primitive(TAG_DNS, s.as_bytes()),
+            GeneralName::Uri(s) => w.context_primitive(TAG_URI, s.as_bytes()),
+            GeneralName::Ip(bytes) => w.context_primitive(TAG_IP, bytes),
+            GeneralName::Other(tag, bytes) => w.context_primitive(*tag, bytes),
+        }
+    }
+
+    /// Decode one GeneralName TLV.
+    pub fn decode(r: &mut DerReader<'_>) -> Result<GeneralName> {
+        let (tag, content) = r.read_any()?;
+        if tag.class() != mtls_asn1::Class::ContextSpecific {
+            return Err(Error::Der(mtls_asn1::Error::UnexpectedTag {
+                expected: Tag::context(TAG_DNS).octet(),
+                got: tag.octet(),
+            }));
+        }
+        let text = || {
+            std::str::from_utf8(content)
+                .map(str::to_owned)
+                .map_err(|_| Error::Der(mtls_asn1::Error::BadString))
+        };
+        match tag.number() {
+            TAG_EMAIL => Ok(GeneralName::Email(text()?)),
+            TAG_DNS => Ok(GeneralName::Dns(text()?)),
+            TAG_URI => Ok(GeneralName::Uri(text()?)),
+            TAG_IP => {
+                if content.len() == 4 || content.len() == 16 {
+                    Ok(GeneralName::Ip(content.to_vec()))
+                } else {
+                    Err(Error::BadIpAddress)
+                }
+            }
+            n => Ok(GeneralName::Other(n, content.to_vec())),
+        }
+    }
+
+    /// The dNSName payload, if this entry is one.
+    pub fn as_dns(&self) -> Option<&str> {
+        match self {
+            GeneralName::Dns(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Dotted-quad / colon-hex rendering of an iPAddress entry.
+    pub fn ip_display(&self) -> Option<String> {
+        match self {
+            GeneralName::Ip(bytes) if bytes.len() == 4 => {
+                Some(format!("{}.{}.{}.{}", bytes[0], bytes[1], bytes[2], bytes[3]))
+            }
+            GeneralName::Ip(bytes) if bytes.len() == 16 => {
+                let groups: Vec<String> = bytes
+                    .chunks_exact(2)
+                    .map(|c| format!("{:x}", (u16::from(c[0]) << 8) | u16::from(c[1])))
+                    .collect();
+                Some(groups.join(":"))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Encode a full SubjectAltName extension value (`SEQUENCE OF GeneralName`).
+pub fn encode_san(names: &[GeneralName]) -> Vec<u8> {
+    let mut w = DerWriter::new();
+    w.sequence(|w| {
+        for name in names {
+            name.encode(w);
+        }
+    });
+    w.finish()
+}
+
+/// Decode a full SubjectAltName extension value.
+pub fn decode_san(der: &[u8]) -> Result<Vec<GeneralName>> {
+    let mut r = DerReader::new(der);
+    let mut seq = r.read_sequence()?;
+    let mut names = Vec::new();
+    while !seq.is_empty() {
+        names.push(GeneralName::decode(&mut seq)?);
+    }
+    r.expect_end()?;
+    Ok(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn san_round_trips_all_types() {
+        let names = vec![
+            GeneralName::Dns("host.example.org".into()),
+            GeneralName::Email("user@example.org".into()),
+            GeneralName::Uri("https://example.org/x".into()),
+            GeneralName::Ip(vec![192, 168, 1, 1]),
+            GeneralName::Ip(vec![0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1]),
+            GeneralName::Other(0, vec![1, 2, 3]),
+        ];
+        let der = encode_san(&names);
+        assert_eq!(decode_san(&der).unwrap(), names);
+    }
+
+    #[test]
+    fn empty_san_round_trips() {
+        let der = encode_san(&[]);
+        assert_eq!(decode_san(&der).unwrap(), Vec::<GeneralName>::new());
+    }
+
+    #[test]
+    fn dns_entries_may_be_free_text() {
+        // The paper's key observation: dNSName is abused for arbitrary text.
+        let names = vec![
+            GeneralName::Dns("John Smith".into()),
+            GeneralName::Dns("12:34:56:AB:CD:EF".into()),
+        ];
+        let der = encode_san(&names);
+        let rt = decode_san(&der).unwrap();
+        assert_eq!(rt[0].as_dns(), Some("John Smith"));
+        assert_eq!(rt[1].as_dns(), Some("12:34:56:AB:CD:EF"));
+    }
+
+    #[test]
+    fn bad_ip_length_rejected() {
+        let mut w = DerWriter::new();
+        w.sequence(|w| w.context_primitive(TAG_IP, &[1, 2, 3]));
+        assert_eq!(decode_san(&w.finish()), Err(Error::BadIpAddress));
+    }
+
+    #[test]
+    fn ip_display_forms() {
+        assert_eq!(
+            GeneralName::Ip(vec![10, 0, 0, 7]).ip_display().unwrap(),
+            "10.0.0.7"
+        );
+        let v6 = GeneralName::Ip(vec![0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1]);
+        assert_eq!(v6.ip_display().unwrap(), "2001:db8:0:0:0:0:0:1");
+        assert_eq!(GeneralName::Dns("x".into()).ip_display(), None);
+    }
+
+    #[test]
+    fn universal_tag_rejected() {
+        let mut w = DerWriter::new();
+        w.sequence(|w| w.utf8_string("not-a-general-name"));
+        assert!(decode_san(&w.finish()).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! SubjectPublicKeyInfo.
+//!
+//! The simulation embeds the 32-byte simsig [`KeyId`] in the
+//! `subjectPublicKey` BIT STRING, zero-padded to the *declared* key size so
+//! that key-strength analyses (e.g. the paper's finding of 1024-bit RSA keys
+//! behind dummy issuers) read the same way they would on real certificates.
+
+use crate::{oids, Error, Result};
+use mtls_asn1::{DerReader, DerWriter};
+use mtls_crypto::KeyId;
+
+/// The declared public-key algorithm and size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyAlgorithm {
+    /// RSA with the given modulus size in bits (1024, 2048, 4096…).
+    Rsa { bits: u16 },
+    /// ECDSA P-256 (the only curve the simulation mints).
+    EcdsaP256,
+}
+
+impl KeyAlgorithm {
+    /// Nominal key size in bits.
+    pub fn bits(self) -> u16 {
+        match self {
+            KeyAlgorithm::Rsa { bits } => bits,
+            KeyAlgorithm::EcdsaP256 => 256,
+        }
+    }
+
+    /// Whether NIST SP 800-57 disallows this strength (post-2013 rule the
+    /// paper cites: RSA < 2048 bits).
+    pub fn is_weak(self) -> bool {
+        matches!(self, KeyAlgorithm::Rsa { bits } if bits < 2048)
+    }
+}
+
+/// A subject public key: declared algorithm plus the simsig key identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PublicKeyInfo {
+    pub algorithm: KeyAlgorithm,
+    pub key_id: KeyId,
+}
+
+impl PublicKeyInfo {
+    /// A 2048-bit-RSA-shaped key record for the given key id (the common
+    /// case when minting).
+    pub fn rsa2048(key_id: KeyId) -> PublicKeyInfo {
+        PublicKeyInfo { algorithm: KeyAlgorithm::Rsa { bits: 2048 }, key_id }
+    }
+
+    /// Encode as `SEQUENCE { AlgorithmIdentifier, BIT STRING }`.
+    pub fn encode(&self, w: &mut DerWriter) {
+        w.sequence(|w| {
+            w.sequence(|w| match self.algorithm {
+                KeyAlgorithm::Rsa { .. } => {
+                    w.oid(oids::rsa_encryption());
+                    w.null();
+                }
+                KeyAlgorithm::EcdsaP256 => {
+                    w.oid(oids::ec_public_key());
+                }
+            });
+            // Key bits: the 32-byte key id, zero-padded to the declared
+            // size (so bit-length analysis sees 1024/2048/... bits).
+            let total = usize::from(self.algorithm.bits()) / 8;
+            let mut bits = vec![0u8; total.max(32)];
+            bits[..32].copy_from_slice(&self.key_id.0);
+            w.bit_string(&bits);
+        });
+    }
+
+    /// Decode.
+    pub fn decode(r: &mut DerReader<'_>) -> Result<PublicKeyInfo> {
+        let mut seq = r.read_sequence()?;
+        let mut alg = seq.read_sequence()?;
+        let oid = alg.read_oid()?;
+        let is_rsa = &oid == oids::rsa_encryption();
+        if is_rsa {
+            alg.read_null()?;
+        }
+        let bits = seq.read_bit_string()?;
+        if bits.len() < 32 {
+            return Err(Error::BadPublicKey);
+        }
+        let key_id = KeyId(bits[..32].try_into().expect("32 bytes"));
+        let algorithm = if is_rsa {
+            KeyAlgorithm::Rsa { bits: (bits.len() * 8) as u16 }
+        } else {
+            KeyAlgorithm::EcdsaP256
+        };
+        seq.expect_end()?;
+        Ok(PublicKeyInfo { algorithm, key_id })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtls_crypto::Keypair;
+
+    fn round_trip(info: PublicKeyInfo) -> PublicKeyInfo {
+        let mut w = DerWriter::new();
+        info.encode(&mut w);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        let out = PublicKeyInfo::decode(&mut r).unwrap();
+        r.expect_end().unwrap();
+        out
+    }
+
+    #[test]
+    fn rsa2048_round_trips() {
+        let key = Keypair::from_seed(b"k");
+        let info = PublicKeyInfo::rsa2048(key.key_id());
+        assert_eq!(round_trip(info), info);
+        assert_eq!(info.algorithm.bits(), 2048);
+        assert!(!info.algorithm.is_weak());
+    }
+
+    #[test]
+    fn rsa1024_is_weak_and_round_trips() {
+        let key = Keypair::from_seed(b"weak");
+        let info = PublicKeyInfo {
+            algorithm: KeyAlgorithm::Rsa { bits: 1024 },
+            key_id: key.key_id(),
+        };
+        let rt = round_trip(info);
+        assert_eq!(rt, info);
+        assert!(rt.algorithm.is_weak());
+    }
+
+    #[test]
+    fn ecdsa_round_trips() {
+        let key = Keypair::from_seed(b"ec");
+        let info = PublicKeyInfo { algorithm: KeyAlgorithm::EcdsaP256, key_id: key.key_id() };
+        let rt = round_trip(info);
+        assert_eq!(rt.key_id, info.key_id);
+        assert_eq!(rt.algorithm, KeyAlgorithm::EcdsaP256);
+        assert!(!rt.algorithm.is_weak());
+    }
+
+    #[test]
+    fn short_key_bits_rejected() {
+        let mut w = DerWriter::new();
+        w.sequence(|w| {
+            w.sequence(|w| {
+                w.oid(oids::rsa_encryption());
+                w.null();
+            });
+            w.bit_string(&[0u8; 16]);
+        });
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        assert_eq!(PublicKeyInfo::decode(&mut r), Err(Error::BadPublicKey));
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests: arbitrary certificates built by the builder must
+//! round-trip through DER bit-for-bit, and derived predicates must be
+//! consistent with the inputs.
+
+use mtls_asn1::Asn1Time;
+use mtls_crypto::Keypair;
+use mtls_x509::{
+    Certificate, CertificateBuilder, DistinguishedName, ExtendedKeyUsage, GeneralName,
+    KeyAlgorithm, KeyUsage, SignatureAlgorithm, Version,
+};
+use proptest::prelude::*;
+
+fn arb_dn() -> impl Strategy<Value = DistinguishedName> {
+    (
+        proptest::option::of("[a-zA-Z0-9 .-]{1,40}"),
+        proptest::option::of("[a-zA-Z0-9 .-]{1,40}"),
+        proptest::option::of("[A-Z]{2}"),
+    )
+        .prop_map(|(o, cn, c)| {
+            let mut b = DistinguishedName::builder();
+            if let Some(c) = c {
+                b = b.country(c);
+            }
+            if let Some(o) = o {
+                b = b.organization(o);
+            }
+            if let Some(cn) = cn {
+                b = b.common_name(cn);
+            }
+            b.build()
+        })
+}
+
+fn arb_san() -> impl Strategy<Value = Vec<GeneralName>> {
+    proptest::collection::vec(
+        prop_oneof![
+            "[a-z0-9.-]{1,30}".prop_map(GeneralName::Dns),
+            "[a-z0-9]{1,10}@[a-z]{1,10}\\.com".prop_map(GeneralName::Email),
+            proptest::collection::vec(any::<u8>(), 4).prop_map(GeneralName::Ip),
+            proptest::collection::vec(any::<u8>(), 16).prop_map(GeneralName::Ip),
+        ],
+        0..4,
+    )
+}
+
+fn arb_alg() -> impl Strategy<Value = SignatureAlgorithm> {
+    prop_oneof![
+        Just(SignatureAlgorithm::Sha256WithRsa),
+        Just(SignatureAlgorithm::Sha1WithRsa),
+        Just(SignatureAlgorithm::EcdsaWithSha256),
+        Just(SignatureAlgorithm::Md5WithRsa),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn certificate_round_trips(
+        serial in proptest::collection::vec(any::<u8>(), 1..20),
+        issuer in arb_dn(),
+        subject in arb_dn(),
+        san in arb_san(),
+        alg in arb_alg(),
+        v1 in any::<bool>(),
+        nb_days in -80_000i64..80_000,
+        len_days in -5_000i64..90_000,
+        rsa_bits_sel in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let ca = Keypair::from_seed(&seed.to_le_bytes());
+        let leaf = Keypair::from_seed(&seed.wrapping_add(1).to_le_bytes());
+        let not_before = Asn1Time::from_ymd(2000, 1, 1).add_days(nb_days);
+        let not_after = not_before.add_days(len_days);
+        let key_alg = [
+            KeyAlgorithm::Rsa { bits: 1024 },
+            KeyAlgorithm::Rsa { bits: 2048 },
+            KeyAlgorithm::EcdsaP256,
+        ][rsa_bits_sel];
+
+        let cert = CertificateBuilder::new()
+            .version(if v1 { Version::V1 } else { Version::V3 })
+            .serial(&serial)
+            .signature_algorithm(alg)
+            .issuer(issuer.clone())
+            .subject(subject.clone())
+            .validity(not_before, not_after)
+            .san(san.clone())
+            .key_algorithm(key_alg)
+            .key_usage(KeyUsage { digital_signature: true, key_encipherment: false })
+            .extended_key_usage(ExtendedKeyUsage::both())
+            .subject_key(leaf.key_id())
+            .sign(&ca);
+
+        let der = cert.to_der();
+        let parsed = Certificate::from_der(&der).unwrap();
+        prop_assert_eq!(&parsed, &cert);
+        prop_assert_eq!(parsed.to_der(), der);
+        prop_assert_eq!(parsed.issuer(), &issuer);
+        prop_assert_eq!(parsed.subject(), &subject);
+        prop_assert_eq!(parsed.not_before(), not_before);
+        prop_assert_eq!(parsed.not_after(), not_after);
+        prop_assert_eq!(parsed.has_incorrect_dates(), not_before >= not_after);
+        if !v1 {
+            let dns: Vec<String> = san.iter().filter_map(|n| n.as_dns().map(str::to_owned)).collect();
+            prop_assert_eq!(parsed.san_dns(), dns);
+        }
+
+        // Signature must verify with the right key and fail with a wrong one.
+        let mut reg = mtls_crypto::KeyRegistry::new();
+        reg.register(ca.clone());
+        reg.register(leaf.clone());
+        prop_assert!(parsed.verify_signature(&reg, ca.key_id()));
+        prop_assert!(!parsed.verify_signature(&reg, leaf.key_id()));
+    }
+
+    #[test]
+    fn fingerprints_are_injective_over_serials(
+        s1 in proptest::collection::vec(any::<u8>(), 1..8),
+        s2 in proptest::collection::vec(any::<u8>(), 1..8),
+    ) {
+        // Same everything but serial => equal fingerprints iff equal DER
+        // serial encodings (leading zeros are stripped by DER).
+        let strip = |v: &[u8]| {
+            let s: Vec<u8> = v.iter().copied().skip_while(|&b| b == 0).collect();
+            if s.is_empty() { vec![0] } else { s }
+        };
+        let ca = Keypair::from_seed(b"fp-ca");
+        let leaf = Keypair::from_seed(b"fp-leaf");
+        let build = |serial: &[u8]| {
+            CertificateBuilder::new()
+                .serial(serial)
+                .subject_key(leaf.key_id())
+                .sign(&ca)
+        };
+        let c1 = build(&s1);
+        let c2 = build(&s2);
+        prop_assert_eq!(c1.fingerprint() == c2.fingerprint(), strip(&s1) == strip(&s2));
+    }
+
+    #[test]
+    fn from_der_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = Certificate::from_der(&bytes);
+    }
+}

@@ -1,0 +1,187 @@
+//! Monthly log rotation.
+//!
+//! Real Zeek deployments rotate logs; a 23-month collection is hundreds of
+//! files, not two. This module writes a corpus as per-month files
+//! (`ssl.2022-05.log`, `x509.2022-05.log`, …) and reads such a directory
+//! back in chronological order, so the pipeline can ingest either layout.
+
+use crate::records::{SslRecord, X509Record};
+use crate::tsv::{read_ssl_log, read_x509_log, write_ssl_log, write_x509_log, TsvError};
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::path::Path;
+
+/// `YYYY-MM` for a Unix-seconds timestamp (proleptic Gregorian).
+fn month_key(ts: f64) -> String {
+    // Days since epoch → civil date, reusing the zeek-local arithmetic to
+    // avoid a dependency on mtls-asn1 here.
+    let days = (ts as i64).div_euclid(86_400);
+    let (y, m) = civil_year_month(days);
+    format!("{y:04}-{m:02}")
+}
+
+/// (year, month) from days-since-epoch (Howard Hinnant's algorithm).
+fn civil_year_month(z: i64) -> (i64, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (y + i64::from(m <= 2), m)
+}
+
+/// Write per-month `ssl.YYYY-MM.log` / `x509.YYYY-MM.log` files.
+pub fn write_monthly(dir: &Path, ssl: &[SslRecord], x509: &[X509Record]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut ssl_by_month: BTreeMap<String, Vec<SslRecord>> = BTreeMap::new();
+    for rec in ssl {
+        ssl_by_month.entry(month_key(rec.ts)).or_default().push(rec.clone());
+    }
+    let mut x509_by_month: BTreeMap<String, Vec<X509Record>> = BTreeMap::new();
+    for rec in x509 {
+        x509_by_month.entry(month_key(rec.ts)).or_default().push(rec.clone());
+    }
+    for (month, records) in &ssl_by_month {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(
+            dir.join(format!("ssl.{month}.log")),
+        )?);
+        write_ssl_log(&mut f, records)?;
+    }
+    for (month, records) in &x509_by_month {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(
+            dir.join(format!("x509.{month}.log")),
+        )?);
+        write_x509_log(&mut f, records)?;
+    }
+    Ok(())
+}
+
+/// Read a rotated directory back, concatenated in filename (chronological)
+/// order. Files not matching the `ssl.*.log` / `x509.*.log` patterns are
+/// ignored, as are the unrotated `ssl.log`/`x509.log` singletons.
+pub fn read_monthly(dir: &Path) -> Result<(Vec<SslRecord>, Vec<X509Record>), TsvError> {
+    let mut ssl_files: Vec<std::path::PathBuf> = Vec::new();
+    let mut x509_files: Vec<std::path::PathBuf> = Vec::new();
+    for entry in std::fs::read_dir(dir).map_err(TsvError::Io)? {
+        let path = entry.map_err(TsvError::Io)?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name.starts_with("ssl.") && name.ends_with(".log") && name != "ssl.log" {
+            ssl_files.push(path);
+        } else if name.starts_with("x509.") && name.ends_with(".log") && name != "x509.log" {
+            x509_files.push(path);
+        }
+    }
+    ssl_files.sort();
+    x509_files.sort();
+
+    let mut ssl = Vec::new();
+    for path in ssl_files {
+        let f = std::fs::File::open(&path).map_err(TsvError::Io)?;
+        ssl.extend(read_ssl_log(BufReader::new(f))?);
+    }
+    let mut x509 = Vec::new();
+    for path in x509_files {
+        let f = std::fs::File::open(&path).map_err(TsvError::Io)?;
+        x509.extend(read_x509_log(BufReader::new(f))?);
+    }
+    Ok((ssl, x509))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip::Ipv4;
+    use crate::records::TlsVersion;
+
+    fn ssl_at(ts: f64, uid: &str) -> SslRecord {
+        SslRecord {
+            ts,
+            uid: uid.to_string(),
+            orig_h: Ipv4::new(10, 0, 0, 1),
+            orig_p: 1,
+            resp_h: Ipv4::new(10, 0, 0, 2),
+            resp_p: 443,
+            version: TlsVersion::Tls12,
+            server_name: None,
+            established: true,
+            cert_chain_fps: vec![],
+            client_cert_chain_fps: vec![],
+        }
+    }
+
+    fn x509_at(ts: f64, fp: &str) -> X509Record {
+        X509Record {
+            ts,
+            fingerprint: fp.to_string(),
+            version: 3,
+            serial: "01".into(),
+            subject: String::new(),
+            issuer: String::new(),
+            issuer_org: None,
+            subject_cn: None,
+            not_valid_before: 0,
+            not_valid_after: 1,
+            key_alg: "rsa".into(),
+            key_length: 2048,
+            sig_alg: String::new(),
+            san_dns: vec![],
+            san_email: vec![],
+            san_uri: vec![],
+            san_ip: vec![],
+            basic_constraints_ca: false,
+        }
+    }
+
+    const MAY_2022: f64 = 1_651_363_200.0;
+    const JUN_2022: f64 = 1_654_041_600.0;
+
+    #[test]
+    fn month_keys() {
+        assert_eq!(month_key(MAY_2022), "2022-05");
+        assert_eq!(month_key(MAY_2022 + 86_400.0 * 30.0), "2022-05");
+        assert_eq!(month_key(JUN_2022), "2022-06");
+        assert_eq!(month_key(0.0), "1970-01");
+    }
+
+    #[test]
+    fn rotation_round_trips_in_order() {
+        let ssl = vec![
+            ssl_at(MAY_2022, "a"),
+            ssl_at(MAY_2022 + 60.0, "b"),
+            ssl_at(JUN_2022, "c"),
+        ];
+        let x509 = vec![x509_at(MAY_2022, "f1"), x509_at(JUN_2022, "f2")];
+        let dir = std::env::temp_dir().join(format!("mtlscope-rotate-{}", std::process::id()));
+        write_monthly(&dir, &ssl, &x509).unwrap();
+
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(names.contains(&"ssl.2022-05.log".to_string()));
+        assert!(names.contains(&"ssl.2022-06.log".to_string()));
+        assert!(names.contains(&"x509.2022-05.log".to_string()));
+
+        let (ssl_rt, x509_rt) = read_monthly(&dir).unwrap();
+        assert_eq!(ssl_rt, ssl, "chronological concatenation");
+        assert_eq!(x509_rt, x509);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ignores_unrelated_files() {
+        let dir = std::env::temp_dir().join(format!("mtlscope-rotate2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("notes.txt"), "hi").unwrap();
+        std::fs::write(dir.join("ssl.log"), "unrotated singleton").unwrap();
+        let (ssl, x509) = read_monthly(&dir).unwrap();
+        assert!(ssl.is_empty());
+        assert!(x509.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

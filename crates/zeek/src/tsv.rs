@@ -1,0 +1,537 @@
+//! Zeek-TSV serialization.
+//!
+//! The format matches Zeek's ASCII writer closely enough that real tooling
+//! habits transfer: `#separator \x09`, `#set_separator ,`, `#unset_field -`,
+//! `#empty_field (empty)`, `#path`, `#fields`, `#types` headers, one record
+//! per line, vectors comma-joined. Values containing the separator, the set
+//! separator, or newlines are escaped as `\xNN` on write and unescaped on
+//! read (Zeek itself forbids them; escaping keeps the round-trip total).
+
+use crate::ip::Ipv4;
+use crate::records::{SslRecord, TlsVersion, X509Record};
+use std::io::{BufRead, Write};
+
+/// Errors from reading a Zeek-TSV stream.
+#[derive(Debug)]
+pub enum TsvError {
+    Io(std::io::Error),
+    /// A data line had the wrong number of columns.
+    ColumnCount { line: usize, expected: usize, got: usize },
+    /// A field failed to parse.
+    BadField { line: usize, field: &'static str, value: String },
+    /// The `#fields` header is missing or does not match the expected schema.
+    BadHeader,
+}
+
+impl From<std::io::Error> for TsvError {
+    fn from(e: std::io::Error) -> TsvError {
+        TsvError::Io(e)
+    }
+}
+
+impl std::fmt::Display for TsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TsvError::Io(e) => write!(f, "io error: {e}"),
+            TsvError::ColumnCount { line, expected, got } => {
+                write!(f, "line {line}: expected {expected} columns, got {got}")
+            }
+            TsvError::BadField { line, field, value } => {
+                write!(f, "line {line}: bad value for {field}: {value:?}")
+            }
+            TsvError::BadHeader => write!(f, "missing or mismatched #fields header"),
+        }
+    }
+}
+
+impl std::error::Error for TsvError {}
+
+const UNSET: &str = "-";
+const EMPTY: &str = "(empty)";
+
+fn escape(s: &str) -> String {
+    if !s.contains(['\t', '\n', '\r', ',', '\\']) {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for ch in s.chars() {
+        match ch {
+            '\t' => out.push_str("\\x09"),
+            '\n' => out.push_str("\\x0a"),
+            '\r' => out.push_str("\\x0d"),
+            ',' => out.push_str("\\x2c"),
+            '\\' => out.push_str("\\x5c"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    if !s.contains("\\x") {
+        return s.to_string();
+    }
+    let bytes = s.as_bytes();
+    let mut out = String::with_capacity(s.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'\\'
+            && i + 3 < bytes.len()
+            && bytes[i + 1] == b'x'
+            && bytes[i + 2].is_ascii_hexdigit()
+            && bytes[i + 3].is_ascii_hexdigit()
+        {
+            let hi = (bytes[i + 2] as char).to_digit(16).expect("hex");
+            let lo = (bytes[i + 3] as char).to_digit(16).expect("hex");
+            out.push(((hi * 16 + lo) as u8) as char);
+            i += 4;
+        } else {
+            // Safe because we walk char boundaries only for ASCII escapes;
+            // re-find the char at byte i.
+            let ch = s[i..].chars().next().expect("in range");
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+    out
+}
+
+fn opt_str(v: &Option<String>) -> String {
+    match v {
+        // A literal value equal to the unset/empty markers must be escaped
+        // or it would read back as None (Zeek's format is ambiguous here).
+        Some(s) if s == UNSET => "\\x2d".to_string(),
+        Some(s) if s == EMPTY => escape_markers(s),
+        Some(s) if !s.is_empty() => escape(s),
+        _ => UNSET.to_string(),
+    }
+}
+
+/// Escape every character of a marker-colliding value.
+fn escape_markers(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() * 4);
+    for b in s.bytes() {
+        out.push_str(&format!("\\x{b:02x}"));
+    }
+    out
+}
+
+fn vec_str(v: &[String]) -> String {
+    if v.is_empty() {
+        EMPTY.to_string()
+    } else {
+        let joined = v.iter().map(|s| escape(s)).collect::<Vec<_>>().join(",");
+        // A one-element vector whose value collides with a marker must be
+        // escaped or it would read back as unset/empty.
+        if joined == UNSET || joined == EMPTY {
+            escape_markers(&joined)
+        } else {
+            joined
+        }
+    }
+}
+
+fn parse_opt(s: &str) -> Option<String> {
+    if s == UNSET || s.is_empty() {
+        None
+    } else {
+        Some(unescape(s))
+    }
+}
+
+fn parse_vec(s: &str) -> Vec<String> {
+    if s == EMPTY || s == UNSET || s.is_empty() {
+        Vec::new()
+    } else {
+        s.split(',').map(unescape).collect()
+    }
+}
+
+const SSL_FIELDS: &[&str] = &[
+    "ts", "uid", "id.orig_h", "id.orig_p", "id.resp_h", "id.resp_p", "version", "server_name",
+    "established", "cert_chain_fps", "client_cert_chain_fps",
+];
+
+const X509_FIELDS: &[&str] = &[
+    "ts",
+    "fingerprint",
+    "certificate.version",
+    "certificate.serial",
+    "certificate.subject",
+    "certificate.issuer",
+    "certificate.issuer_org",
+    "certificate.subject_cn",
+    "certificate.not_valid_before",
+    "certificate.not_valid_after",
+    "certificate.key_alg",
+    "certificate.key_length",
+    "certificate.sig_alg",
+    "san.dns",
+    "san.email",
+    "san.uri",
+    "san.ip",
+    "basic_constraints.ca",
+];
+
+fn write_header(w: &mut impl Write, path: &str, fields: &[&str], types: &[&str]) -> std::io::Result<()> {
+    writeln!(w, "#separator \\x09")?;
+    writeln!(w, "#set_separator\t,")?;
+    writeln!(w, "#empty_field\t(empty)")?;
+    writeln!(w, "#unset_field\t-")?;
+    writeln!(w, "#path\t{path}")?;
+    writeln!(w, "#fields\t{}", fields.join("\t"))?;
+    writeln!(w, "#types\t{}", types.join("\t"))?;
+    Ok(())
+}
+
+/// Write an `ssl.log` stream.
+pub fn write_ssl_log(w: &mut impl Write, records: &[SslRecord]) -> std::io::Result<()> {
+    let types = [
+        "time", "string", "addr", "port", "addr", "port", "string", "string", "bool",
+        "vector[string]", "vector[string]",
+    ];
+    write_header(w, "ssl", SSL_FIELDS, &types)?;
+    for r in records {
+        writeln!(
+            w,
+            // `{}` on f64 emits the shortest representation that parses
+            // back to the identical bits — lossless round-trips matter more
+            // here than Zeek's cosmetic fixed-width 6 decimals.
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            r.ts,
+            escape(&r.uid),
+            r.orig_h,
+            r.orig_p,
+            r.resp_h,
+            r.resp_p,
+            r.version.zeek_name(),
+            opt_str(&r.server_name),
+            if r.established { "T" } else { "F" },
+            vec_str(&r.cert_chain_fps),
+            vec_str(&r.client_cert_chain_fps),
+        )?;
+    }
+    writeln!(w, "#close")?;
+    Ok(())
+}
+
+/// Write an `x509.log` stream.
+pub fn write_x509_log(w: &mut impl Write, records: &[X509Record]) -> std::io::Result<()> {
+    let types = [
+        "time", "string", "count", "string", "string", "string", "string", "string", "time",
+        "time", "string", "count", "string", "vector[string]", "vector[string]",
+        "vector[string]", "vector[string]", "bool",
+    ];
+    write_header(w, "x509", X509_FIELDS, &types)?;
+    for r in records {
+        writeln!(
+            w,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            r.ts,
+            escape(&r.fingerprint),
+            r.version,
+            escape(&r.serial),
+            escape(&r.subject),
+            escape(&r.issuer),
+            opt_str(&r.issuer_org),
+            opt_str(&r.subject_cn),
+            r.not_valid_before,
+            r.not_valid_after,
+            escape(&r.key_alg),
+            r.key_length,
+            escape(&r.sig_alg),
+            vec_str(&r.san_dns),
+            vec_str(&r.san_email),
+            vec_str(&r.san_uri),
+            vec_str(&r.san_ip),
+            if r.basic_constraints_ca { "T" } else { "F" },
+        )?;
+    }
+    writeln!(w, "#close")?;
+    Ok(())
+}
+
+struct LineParser<'a> {
+    cols: Vec<&'a str>,
+    line_no: usize,
+}
+
+impl<'a> LineParser<'a> {
+    fn col(&self, i: usize) -> &'a str {
+        self.cols[i]
+    }
+
+    fn parse<T: std::str::FromStr>(&self, i: usize, field: &'static str) -> Result<T, TsvError> {
+        self.cols[i].parse().map_err(|_| TsvError::BadField {
+            line: self.line_no,
+            field,
+            value: self.cols[i].to_string(),
+        })
+    }
+
+    fn ip(&self, i: usize, field: &'static str) -> Result<Ipv4, TsvError> {
+        Ipv4::parse(self.cols[i]).ok_or_else(|| TsvError::BadField {
+            line: self.line_no,
+            field,
+            value: self.cols[i].to_string(),
+        })
+    }
+
+    fn boolean(&self, i: usize, field: &'static str) -> Result<bool, TsvError> {
+        match self.cols[i] {
+            "T" => Ok(true),
+            "F" => Ok(false),
+            v => Err(TsvError::BadField { line: self.line_no, field, value: v.to_string() }),
+        }
+    }
+}
+
+fn data_lines<R: BufRead>(
+    reader: R,
+    expected_fields: &[&str],
+) -> Result<Vec<(usize, String)>, TsvError> {
+    let mut out = Vec::new();
+    let mut fields_seen = false;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if let Some(rest) = line.strip_prefix("#fields\t") {
+            if rest.split('\t').collect::<Vec<_>>() != expected_fields {
+                return Err(TsvError::BadHeader);
+            }
+            fields_seen = true;
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        out.push((idx + 1, line));
+    }
+    if !fields_seen {
+        return Err(TsvError::BadHeader);
+    }
+    Ok(out)
+}
+
+/// Read an `ssl.log` stream written by [`write_ssl_log`] (or real Zeek with
+/// the same field subset).
+pub fn read_ssl_log<R: BufRead>(reader: R) -> Result<Vec<SslRecord>, TsvError> {
+    let mut records = Vec::new();
+    for (line_no, line) in data_lines(reader, SSL_FIELDS)? {
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() != SSL_FIELDS.len() {
+            return Err(TsvError::ColumnCount {
+                line: line_no,
+                expected: SSL_FIELDS.len(),
+                got: cols.len(),
+            });
+        }
+        let p = LineParser { cols, line_no };
+        let version = TlsVersion::from_zeek_name(p.col(6)).ok_or_else(|| TsvError::BadField {
+            line: line_no,
+            field: "version",
+            value: p.col(6).to_string(),
+        })?;
+        records.push(SslRecord {
+            ts: p.parse(0, "ts")?,
+            uid: unescape(p.col(1)),
+            orig_h: p.ip(2, "id.orig_h")?,
+            orig_p: p.parse(3, "id.orig_p")?,
+            resp_h: p.ip(4, "id.resp_h")?,
+            resp_p: p.parse(5, "id.resp_p")?,
+            version,
+            server_name: parse_opt(p.col(7)),
+            established: p.boolean(8, "established")?,
+            cert_chain_fps: parse_vec(p.col(9)),
+            client_cert_chain_fps: parse_vec(p.col(10)),
+        });
+    }
+    Ok(records)
+}
+
+/// Read an `x509.log` stream written by [`write_x509_log`].
+pub fn read_x509_log<R: BufRead>(reader: R) -> Result<Vec<X509Record>, TsvError> {
+    let mut records = Vec::new();
+    for (line_no, line) in data_lines(reader, X509_FIELDS)? {
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() != X509_FIELDS.len() {
+            return Err(TsvError::ColumnCount {
+                line: line_no,
+                expected: X509_FIELDS.len(),
+                got: cols.len(),
+            });
+        }
+        let p = LineParser { cols, line_no };
+        records.push(X509Record {
+            ts: p.parse(0, "ts")?,
+            fingerprint: unescape(p.col(1)),
+            version: p.parse(2, "certificate.version")?,
+            serial: unescape(p.col(3)),
+            subject: unescape(p.col(4)),
+            issuer: unescape(p.col(5)),
+            issuer_org: parse_opt(p.col(6)),
+            subject_cn: parse_opt(p.col(7)),
+            not_valid_before: p.parse(8, "certificate.not_valid_before")?,
+            not_valid_after: p.parse(9, "certificate.not_valid_after")?,
+            key_alg: unescape(p.col(10)),
+            key_length: p.parse(11, "certificate.key_length")?,
+            sig_alg: unescape(p.col(12)),
+            san_dns: parse_vec(p.col(13)),
+            san_email: parse_vec(p.col(14)),
+            san_uri: parse_vec(p.col(15)),
+            san_ip: parse_vec(p.col(16)),
+            basic_constraints_ca: p.boolean(17, "basic_constraints.ca")?,
+        });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample_ssl() -> SslRecord {
+        SslRecord {
+            ts: 1_651_363_200.25,
+            uid: "CAbc123".into(),
+            orig_h: Ipv4::new(10, 1, 2, 3),
+            orig_p: 51234,
+            resp_h: Ipv4::new(93, 184, 216, 34),
+            resp_p: 443,
+            version: TlsVersion::Tls12,
+            server_name: Some("www.example.org".into()),
+            established: true,
+            cert_chain_fps: vec!["aa11".into(), "bb22".into()],
+            client_cert_chain_fps: vec!["cc33".into()],
+        }
+    }
+
+    fn sample_x509() -> X509Record {
+        X509Record {
+            ts: 1_651_363_200.0,
+            fingerprint: "aa11".into(),
+            version: 3,
+            serial: "03E8".into(),
+            subject: "CN=www.example.org".into(),
+            issuer: "O=GuardiCore".into(),
+            issuer_org: Some("GuardiCore".into()),
+            subject_cn: Some("www.example.org".into()),
+            not_valid_before: 1_600_000_000,
+            not_valid_after: 1_700_000_000,
+            key_alg: "rsa".into(),
+            key_length: 2048,
+            sig_alg: "sha256WithRSAEncryption".into(),
+            san_dns: vec!["www.example.org".into(), "example.org".into()],
+            san_email: vec![],
+            san_uri: vec![],
+            san_ip: vec!["10.0.0.1".into()],
+            basic_constraints_ca: false,
+        }
+    }
+
+    #[test]
+    fn ssl_round_trip() {
+        let records = vec![
+            sample_ssl(),
+            SslRecord {
+                server_name: None,
+                cert_chain_fps: vec![],
+                client_cert_chain_fps: vec![],
+                version: TlsVersion::Tls13,
+                established: false,
+                ..sample_ssl()
+            },
+        ];
+        let mut buf = Vec::new();
+        write_ssl_log(&mut buf, &records).unwrap();
+        let parsed = read_ssl_log(Cursor::new(buf)).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn x509_round_trip() {
+        let records = vec![
+            sample_x509(),
+            X509Record {
+                issuer_org: None,
+                subject_cn: None,
+                san_dns: vec![],
+                san_ip: vec![],
+                // Incorrect dates representable.
+                not_valid_before: 1_700_000_000,
+                not_valid_after: -3_000_000_000,
+                basic_constraints_ca: true,
+                ..sample_x509()
+            },
+        ];
+        let mut buf = Vec::new();
+        write_x509_log(&mut buf, &records).unwrap();
+        let parsed = read_x509_log(Cursor::new(buf)).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn values_with_separators_escape() {
+        let mut rec = sample_x509();
+        rec.subject = "CN=bad\tname, O=with,comma".into();
+        rec.san_dns = vec!["a,b".into(), "c\\d".into()];
+        let mut buf = Vec::new();
+        write_x509_log(&mut buf, &[rec.clone()]).unwrap();
+        let parsed = read_x509_log(Cursor::new(buf)).unwrap();
+        assert_eq!(parsed[0].subject, rec.subject);
+        assert_eq!(parsed[0].san_dns, rec.san_dns);
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let text = "#fields\tts\tnope\n1.0\tx\n";
+        assert!(matches!(read_ssl_log(Cursor::new(text)), Err(TsvError::BadHeader)));
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let text = "1.0\tx\n";
+        assert!(matches!(read_ssl_log(Cursor::new(text)), Err(TsvError::BadHeader)));
+    }
+
+    #[test]
+    fn column_count_enforced() {
+        let mut buf = Vec::new();
+        write_ssl_log(&mut buf, &[sample_ssl()]).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("1.0\tonly_two\n");
+        assert!(matches!(
+            read_ssl_log(Cursor::new(text)),
+            Err(TsvError::ColumnCount { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let mut buf = Vec::new();
+        write_ssl_log(&mut buf, &[sample_ssl()]).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("\n# trailing comment\n");
+        assert_eq!(read_ssl_log(Cursor::new(text)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn marker_collisions_round_trip() {
+        // SNI literally "-" or "(empty)", and vectors containing them.
+        let mut rec = sample_ssl();
+        rec.server_name = Some("-".into());
+        rec.cert_chain_fps = vec!["-".into()];
+        rec.client_cert_chain_fps = vec!["(empty)".into()];
+        let mut buf = Vec::new();
+        write_ssl_log(&mut buf, std::slice::from_ref(&rec)).unwrap();
+        let parsed = read_ssl_log(Cursor::new(buf)).unwrap();
+        assert_eq!(parsed, vec![rec]);
+    }
+
+    #[test]
+    fn escape_unescape_inverse() {
+        for s in ["plain", "tab\there", "a,b", "back\\slash", "nl\nend", "\\x41 literal"] {
+            assert_eq!(unescape(&escape(s)), s, "{s:?}");
+        }
+    }
+}

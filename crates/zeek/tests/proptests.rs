@@ -1,0 +1,153 @@
+//! Property tests: arbitrary records must round-trip through Zeek-TSV.
+
+use mtls_zeek::{read_ssl_log, read_x509_log, write_ssl_log, write_x509_log};
+use mtls_zeek::{Ipv4, SslRecord, TlsVersion, X509Record};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn arb_version() -> impl Strategy<Value = TlsVersion> {
+    prop_oneof![
+        Just(TlsVersion::Tls10),
+        Just(TlsVersion::Tls11),
+        Just(TlsVersion::Tls12),
+        Just(TlsVersion::Tls13),
+    ]
+}
+
+// Strings with no control characters (Zeek never logs them) but with
+// tabs/commas/backslashes allowed to exercise escaping.
+fn arb_field() -> impl Strategy<Value = String> {
+    "[ -~]{0,40}"
+}
+
+fn arb_vec_field() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[ -~]{1,20}", 0..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ssl_records_round_trip(
+        ts in 0f64..3e9,
+        uid in "[A-Za-z0-9]{1,12}",
+        ip_a in any::<u32>(),
+        ip_b in any::<u32>(),
+        port_a in any::<u16>(),
+        port_b in any::<u16>(),
+        version in arb_version(),
+        sni in proptest::option::of("[a-z0-9.-]{1,30}"),
+        established in any::<bool>(),
+        server_fps in arb_vec_field(),
+        client_fps in arb_vec_field(),
+    ) {
+        let rec = SslRecord {
+            ts,
+            uid,
+            orig_h: Ipv4(ip_a),
+            orig_p: port_a,
+            resp_h: Ipv4(ip_b),
+            resp_p: port_b,
+            version,
+            server_name: sni,
+            established,
+            cert_chain_fps: server_fps,
+            client_cert_chain_fps: client_fps,
+        };
+        let mut buf = Vec::new();
+        write_ssl_log(&mut buf, std::slice::from_ref(&rec)).unwrap();
+        let parsed = read_ssl_log(Cursor::new(buf)).unwrap();
+        prop_assert_eq!(parsed, vec![rec]);
+    }
+
+    #[test]
+    fn x509_records_round_trip(
+        fingerprint in "[a-f0-9]{8}",
+        serial in "[A-F0-9]{2,16}",
+        subject in arb_field(),
+        issuer in arb_field(),
+        issuer_org in proptest::option::of("[ -~]{1,30}"),
+        subject_cn in proptest::option::of("[ -~]{1,30}"),
+        nvb in -10_000_000_000i64..10_000_000_000,
+        nva in -10_000_000_000i64..10_000_000_000,
+        key_length in prop_oneof![Just(1024u16), Just(2048), Just(256)],
+        san_dns in arb_vec_field(),
+        san_email in arb_vec_field(),
+        ca in any::<bool>(),
+    ) {
+        let rec = X509Record {
+            ts: 1.0,
+            fingerprint,
+            version: 3,
+            serial,
+            subject,
+            issuer,
+            issuer_org,
+            subject_cn,
+            not_valid_before: nvb,
+            not_valid_after: nva,
+            key_alg: "rsa".into(),
+            key_length,
+            sig_alg: "sha256WithRSAEncryption".into(),
+            san_dns,
+            san_email,
+            san_uri: vec![],
+            san_ip: vec![],
+            basic_constraints_ca: ca,
+        };
+        let mut buf = Vec::new();
+        write_x509_log(&mut buf, std::slice::from_ref(&rec)).unwrap();
+        let parsed = read_x509_log(Cursor::new(buf)).unwrap();
+        prop_assert_eq!(parsed, vec![rec]);
+    }
+
+    #[test]
+    fn ipv4_parse_display_round_trip(raw in any::<u32>()) {
+        let ip = Ipv4(raw);
+        prop_assert_eq!(Ipv4::parse(&ip.to_string()), Some(ip));
+        prop_assert!(ip.in_subnet(ip.subnet24(), 24));
+    }
+}
+
+// Failure injection: the readers accept whatever a disk hands them —
+// arbitrary text and mutated valid logs must yield Ok or Err, never panic.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn readers_never_panic_on_arbitrary_text(text in "\\PC{0,600}") {
+        let _ = read_ssl_log(Cursor::new(text.clone().into_bytes()));
+        let _ = read_x509_log(Cursor::new(text.into_bytes()));
+    }
+
+    #[test]
+    fn readers_never_panic_on_mutated_logs(
+        cut in 0usize..600,
+        insert_at in 0usize..600,
+        junk in "\\PC{0,40}",
+    ) {
+        let rec = SslRecord {
+            ts: 1_651_363_200.25,
+            uid: "Cmut1".into(),
+            orig_h: Ipv4::new(172, 29, 0, 9),
+            orig_p: 40_000,
+            resp_h: Ipv4::new(9, 9, 9, 9),
+            resp_p: 443,
+            version: TlsVersion::Tls12,
+            server_name: Some("mut.example.com".into()),
+            established: true,
+            cert_chain_fps: vec!["aa".into()],
+            client_cert_chain_fps: vec!["bb".into()],
+        };
+        let mut buf = Vec::new();
+        write_ssl_log(&mut buf, std::slice::from_ref(&rec)).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        // The serialized log is pure ASCII, so any index is a char boundary.
+        text.truncate(cut.min(text.len()));
+        let at = insert_at.min(text.len());
+        if text.is_char_boundary(at) {
+            text.insert_str(at, &junk);
+        }
+        let _ = read_ssl_log(Cursor::new(text.into_bytes()));
+    }
+}

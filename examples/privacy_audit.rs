@@ -1,0 +1,72 @@
+//! Privacy audit: use the classifier the way a network operator would —
+//! scan a corpus of certificates for PII in CN/SAN fields (the paper's §6)
+//! and print an audit report with concrete findings.
+//!
+//!     cargo run --release --example privacy_audit [scale]
+
+use mtlscope::classify::{classify, ClassifyContext, InfoType};
+use mtlscope::core::corpus::MetaKnowledge;
+use mtlscope::netsim::{generate, SimConfig};
+use std::collections::BTreeMap;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let sim = generate(&SimConfig { seed: 7, scale, ..Default::default() });
+    let meta = MetaKnowledge::from_sim(&sim.meta);
+    println!("auditing {} unique certificates for PII...\n", sim.x509.len());
+
+    let mut findings: BTreeMap<&'static str, Vec<String>> = BTreeMap::new();
+    let mut counts: BTreeMap<InfoType, usize> = BTreeMap::new();
+
+    for cert in &sim.x509 {
+        let ctx = ClassifyContext {
+            issuer_org: cert.issuer_org.as_deref(),
+            issuer_is_campus: meta.issuer_is_campus(cert.issuer_org.as_deref()),
+        };
+        for (field, value) in cert
+            .subject_cn
+            .iter()
+            .map(|cn| ("CN", cn))
+            .chain(cert.san_dns.iter().map(|s| ("SAN", s)))
+        {
+            let ty = classify(value, ctx);
+            *counts.entry(ty).or_insert(0) += 1;
+            let bucket = match ty {
+                InfoType::PersonalName => "personal names",
+                InfoType::UserAccount => "user account ids",
+                InfoType::Email => "email addresses",
+                InfoType::Mac => "MAC addresses (device tracking)",
+                InfoType::Sip => "SIP extensions (telephony metadata)",
+                _ => continue,
+            };
+            findings
+                .entry(bucket)
+                .or_default()
+                .push(format!("{field}={value:<40} issuer={:?}", cert.issuer_org.as_deref().unwrap_or("-")));
+        }
+    }
+
+    println!("== PII findings (certificates observable in cleartext pre-TLS 1.3) ==");
+    for (bucket, items) in &findings {
+        println!("\n{} — {} occurrences; examples:", bucket, items.len());
+        for item in items.iter().take(4) {
+            println!("  {item}");
+        }
+    }
+
+    println!("\n== full information-type census ==");
+    let total: usize = counts.values().sum();
+    for ty in InfoType::ALL {
+        let n = counts.get(&ty).copied().unwrap_or(0);
+        println!("  {:<14} {:>7}  ({:.2}%)", ty.label(), n, 100.0 * n as f64 / total.max(1) as f64);
+    }
+
+    println!(
+        "\nThe paper's mitigation advice (§7): client certificates should carry\n\
+         only what authentication needs — none of the {} PII strings above.",
+        findings.values().map(Vec::len).sum::<usize>()
+    );
+}

@@ -1,0 +1,350 @@
+//! Calibration tests: the *shapes* of the paper's findings (DESIGN.md §6).
+//! Absolute counts are scale-dependent; these assertions check orderings,
+//! dominant categories, approximate ratios, and crossover locations, which
+//! must hold for the reproduction to be meaningful.
+
+use mtlscope::classify::InfoType;
+use mtlscope::core::analyze::info_types::Cell;
+use mtlscope::core::analyze::ports::PortGroup;
+use mtlscope::core::{run_pipeline, AnalysisInputs, PipelineOutput, ServerAssociation};
+use mtlscope::netsim::{generate, SimConfig};
+use mtlscope::pki::IssuerCategory;
+use std::sync::OnceLock;
+
+fn output() -> &'static PipelineOutput {
+    static CELL: OnceLock<PipelineOutput> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let sim = generate(&SimConfig { seed: 20240704, scale: 0.08, ..Default::default() });
+        run_pipeline(AnalysisInputs::from_sim(sim))
+    })
+}
+
+#[test]
+fn fig1_mtls_share_roughly_doubles() {
+    // Paper: 1.99 % → 3.61 % over 23 months.
+    let fig1 = &output().fig1;
+    assert!((0.015..0.03).contains(&fig1.share_start), "start {}", fig1.share_start);
+    assert!((0.028..0.05).contains(&fig1.share_end), "end {}", fig1.share_end);
+    assert!(fig1.growth() > 1.4, "growth {}", fig1.growth());
+    // The Rapid7 disappearance: outbound mTLS drops from Oct to Nov 2023.
+    let by_label = |l: &str| {
+        fig1.months
+            .iter()
+            .find(|m| m.label == l)
+            .map(|m| m.mtls_out)
+            .expect("month present")
+    };
+    assert!(by_label("2023-11") < by_label("2023-10"), "Rapid7 drop missing");
+    // The health surge: inbound jumps at Oct 2023.
+    let inb = |l: &str| {
+        fig1.months
+            .iter()
+            .find(|m| m.label == l)
+            .map(|m| m.mtls_in)
+            .expect("month present")
+    };
+    assert!(inb("2023-10") as f64 > inb("2023-09") as f64 * 1.2, "health surge missing");
+}
+
+#[test]
+fn tab1_private_cas_dominate_mtls() {
+    let t = &output().tab1;
+    // Paper: 94.34 % of client certs are used in mTLS; private CAs dominate.
+    let client_share = t.client.mtls as f64 / t.client.total.max(1) as f64;
+    assert!((0.88..1.0).contains(&client_share), "client mTLS share {client_share}");
+    // mTLS server certs are overwhelmingly private (paper: 2.27 M private
+    // vs 6.9 k public).
+    assert!(t.server_private.mtls > 50 * t.server_public.mtls.max(1));
+    // Public server certs are mostly NOT in mTLS (paper: 0.22 %).
+    let pub_share = t.server_public.mtls as f64 / t.server_public.total.max(1) as f64;
+    assert!(pub_share < 0.10, "public server mTLS share {pub_share}");
+}
+
+#[test]
+fn tab2_port_rankings() {
+    let tab2 = &output().tab2;
+    // Inbound mTLS: 443 first, FileWave 20017 second, LDAPS 636 third.
+    let ranked: Vec<PortGroup> = tab2.inbound_mtls.ranked.iter().map(|(g, _)| *g).collect();
+    assert_eq!(ranked[0], PortGroup::Port(443));
+    assert_eq!(ranked[1], PortGroup::Port(20017));
+    assert_eq!(ranked[2], PortGroup::Port(636));
+    let filewave = tab2.inbound_mtls.share(PortGroup::Port(20017));
+    assert!((0.15..0.35).contains(&filewave), "FileWave {filewave} (paper 24.89%)");
+    // Outbound: HTTPS dominates; MQTT 8883 is the top non-HTTPS service.
+    assert_eq!(tab2.outbound_mtls.ranked[0].0, PortGroup::Port(443));
+    assert!(tab2.outbound_mtls.share(PortGroup::Port(443)) > 0.8);
+    // Non-mTLS outbound is ~99 % HTTPS (paper 99.15 %).
+    assert!(tab2.outbound_plain.share(PortGroup::Port(443)) > 0.97);
+}
+
+#[test]
+fn tab3_association_shapes() {
+    let tab3 = &output().tab3;
+    let row = |a| tab3.row(a).expect("association present");
+    // Health dominates connections (paper 64.91 %) with Education issuers.
+    let health = row(ServerAssociation::UniversityHealth);
+    assert!((0.50..0.75).contains(&health.conn_share), "health {}", health.conn_share);
+    assert_eq!(health.issuer_mix[0].0, IssuerCategory::Education);
+    assert!(health.issuer_mix[0].1 > 0.9);
+    // University Server: MissingIssuer primary (paper 95.84 %).
+    let server = row(ServerAssociation::UniversityServer);
+    assert!((0.20..0.40).contains(&server.conn_share));
+    assert_eq!(server.issuer_mix[0].0, IssuerCategory::MissingIssuer);
+    assert!(server.issuer_mix[0].1 > 0.7);
+    // VPN: tiny connection share, much larger client share, Education.
+    let vpn = row(ServerAssociation::UniversityVpn);
+    assert!(vpn.conn_share < 0.01);
+    assert!(vpn.client_share > 5.0 * vpn.conn_share);
+    assert_eq!(vpn.issuer_mix[0].0, IssuerCategory::Education);
+    // Local Organization: Public primary (paper 96.62 %).
+    let local = row(ServerAssociation::LocalOrganization);
+    assert_eq!(local.issuer_mix[0].0, IssuerCategory::Public);
+    // Unknown: larger client share than connection share; missing issuers
+    // lead (at small test scales the planted Globus populations can tie,
+    // so top-2 membership with a meaningful share is asserted).
+    let unknown = row(ServerAssociation::Unknown);
+    assert!(unknown.client_share > unknown.conn_share);
+    let missing = unknown
+        .issuer_mix
+        .iter()
+        .position(|(c, _)| *c == IssuerCategory::MissingIssuer)
+        .expect("missing-issuer bucket present");
+    assert!(missing <= 1, "missing-issuer rank {missing}");
+    assert!(unknown.issuer_mix[missing].1 > 0.3);
+}
+
+#[test]
+fn fig2_outbound_flow_shapes() {
+    let fig2 = &output().fig2;
+    // Top three SLDs in the paper's order: amazonaws > rapid7 > gpcloud.
+    let a = fig2.sld_share("amazonaws.com");
+    let r = fig2.sld_share("rapid7.com");
+    let g = fig2.sld_share("gpcloudservice.com");
+    assert!(a > r && r > g, "ordering broken: {a} {r} {g}");
+    assert!((0.15..0.35).contains(&a), "amazonaws {a} (paper 28.51%)");
+    assert!((0.05..0.20).contains(&g), "gpcloud {g} (paper 13.33%)");
+    // ~45.71 % of public-server conns have missing-issuer clients.
+    assert!(
+        (0.30..0.60).contains(&fig2.public_server_missing_client),
+        "{}",
+        fig2.public_server_missing_client
+    );
+    // Overall missing-issuer share near the paper's 37.84 %.
+    assert!((0.20..0.50).contains(&fig2.missing_issuer_share), "{}", fig2.missing_issuer_share);
+}
+
+#[test]
+fn ser1_globus_collision_dominates() {
+    let ser1 = &output().ser1;
+    let globus = ser1.group("Globus Online", "00").expect("Globus collision present");
+    // The paper: 38,965 colliding certs — the largest by far, shared by
+    // both endpoints, 14-day validity.
+    assert!(globus.client_certs >= 2 * serial_runner_up(ser1), "Globus must dominate");
+    assert!(globus.median_validity_days <= 15);
+    // GuardiCore: client serial 01, server serial 03E8, validity > 2 years.
+    let gc_client = ser1.group("GuardiCore", "01").expect("GuardiCore 01");
+    let gc_server = ser1.group("GuardiCore", "03E8").expect("GuardiCore 03E8");
+    assert!(gc_client.client_certs > 0 && gc_client.server_certs == 0);
+    assert!(gc_server.server_certs > 0 && gc_server.client_certs == 0);
+    assert!(gc_client.median_validity_days > 730);
+    // ViptelaClient 024680 on both sides.
+    let vip = ser1.group("ViptelaClient", "024680").expect("Viptela");
+    assert!(vip.client_certs > 0 && vip.server_certs > 0);
+    assert!(vip.median_validity_days < 15);
+}
+
+fn serial_runner_up(ser1: &mtlscope::core::analyze::serial_collisions::Report) -> usize {
+    ser1.groups
+        .iter()
+        .filter(|g| !g.issuer.contains("Globus"))
+        .map(|g| g.client_certs + g.server_certs)
+        .max()
+        .unwrap_or(1)
+}
+
+#[test]
+fn tab5_sharing_rows_present() {
+    let tab5 = &output().tab5;
+    // Globus missing-SNI sharing on both directions (Table 5's headline),
+    // plus the publicly-trusted examples.
+    assert!(tab5.row(None, "Globus Online").is_some());
+    assert!(tab5.row(Some("tablodash"), "Outset").is_some());
+    assert!(tab5.row(Some("leidos"), "IdenTrust").is_some());
+    let psych = tab5.row(Some("psych"), "American Psychiatric").expect("psych.org row");
+    // Paper: 424 days. At the test scale only ~2 clients × few conns are
+    // drawn inside that window, so only a loose lower bound is stable.
+    assert!(psych.duration_days > 30, "long-lived sharing population: {}", psych.duration_days);
+    assert!(tab5.inbound_conns > 0 && tab5.outbound_conns > 0);
+}
+
+#[test]
+fn tab6_client_spread_has_heavier_tail() {
+    let tab6 = &output().tab6;
+    // Paper: client 99th (43) >> server 99th (7).
+    assert!(tab6.client_quantiles[2] > tab6.server_quantiles[2]);
+    assert_eq!(tab6.server_quantiles[0], 1);
+    // Let's Encrypt leads the issuer mix (paper 51.58 %).
+    assert_eq!(tab6.issuer_mix[0].0, "Let's Encrypt");
+    assert!((0.35..0.70).contains(&tab6.issuer_mix[0].1));
+}
+
+#[test]
+fn fig3_incorrect_dates_shapes() {
+    let fig3 = &output().fig3;
+    // IDrive's inverted pair (2019/2020 → 1849/1850) on both sides.
+    assert!(fig3.row("IDrive", true).is_some(), "IDrive client row");
+    let idrive_client = fig3.row("IDrive", true).expect("checked");
+    assert_eq!(idrive_client.not_after_year, 1849);
+    // SDS epoch-to-1831 on both sides, and both-endpoint populations exist.
+    assert!(fig3.row("SDS", true).is_some());
+    assert!(!fig3.both_ends.is_empty(), "Table 12 populations");
+    assert!(fig3
+        .both_ends
+        .iter()
+        .any(|(sld, issuer, ..)| sld.as_deref() == Some("idrive.com") && issuer.contains("IDrive")));
+}
+
+#[test]
+fn fig4_validity_extremes() {
+    let fig4 = &output().fig4;
+    assert!(fig4.very_long > 0, "10000-40000-day population");
+    // The 83,432-day outlier (planted verbatim at any scale).
+    assert_eq!(fig4.max_days, 83_432);
+    assert!(fig4.max_issuer.contains("TMDX"));
+    // Its category mix: missing-issuer + corporations dominate (paper
+    // 45.73 % / 37.58 %).
+    let top: Vec<IssuerCategory> = fig4.very_long_categories.iter().take(2).map(|(c, _)| *c).collect();
+    assert!(top.contains(&IssuerCategory::MissingIssuer));
+    assert!(top.contains(&IssuerCategory::Corporation));
+}
+
+#[test]
+fn fig5_expired_apple_cluster() {
+    let fig5 = &output().fig5;
+    // The ~1000-day cluster is overwhelmingly Apple (paper 337/339).
+    assert!(fig5.outbound_cluster_total > 0);
+    assert!(
+        fig5.outbound_cluster_apple * 10 >= fig5.outbound_cluster_total * 8,
+        "Apple {} of {}",
+        fig5.outbound_cluster_apple,
+        fig5.outbound_cluster_total
+    );
+    // Inbound: VPN leads (paper 45.83 %); at the test scale the expired
+    // population is ~5 certificates, so top-2 membership is asserted.
+    let vpn_rank = fig5
+        .inbound_assoc
+        .iter()
+        .position(|(a, _)| *a == ServerAssociation::UniversityVpn)
+        .expect("VPN present");
+    assert!(vpn_rank <= 1, "VPN rank {vpn_rank}");
+}
+
+#[test]
+fn tab7_cn_dominates_san() {
+    let t7 = &output().tab7;
+    // CN ≈ 99.8 % everywhere; SAN < 2 % for private CAs (paper Table 7).
+    for row in [t7.server, t7.client, t7.server_private, t7.client_private] {
+        assert!(row.cn_nonempty as f64 / row.total.max(1) as f64 > 0.98);
+    }
+    assert!((t7.server_private.san_nonempty as f64 / t7.server_private.total.max(1) as f64) < 0.02);
+    assert!((t7.client_private.san_nonempty as f64 / t7.client_private.total.max(1) as f64) < 0.02);
+    // Public-CA server certs use SAN universally.
+    assert!(
+        t7.server_public.san_nonempty as f64 / t7.server_public.total.max(1) as f64 > 0.95
+    );
+}
+
+#[test]
+fn tab8_sensitive_content_shapes() {
+    let t8 = &output().tab8;
+    // Public server certs: only domains.
+    let (_, dom) = t8.cn_share(Cell::ServerPublic, InfoType::Domain);
+    assert!(dom > 0.99);
+    // Private server certs: Org/Product dominates (WebRTC; paper 79.3 %).
+    let (_, orgp) = t8.cn_share(Cell::ServerPrivate, InfoType::OrgProduct);
+    assert!((0.6..0.95).contains(&orgp), "org/product {orgp}");
+    // Exactly-six personal-name server certs (planted verbatim).
+    let (n, _) = t8.cn_share(Cell::ServerPrivate, InfoType::PersonalName);
+    assert!(n >= 1, "personal-name server certs present");
+    // Private client certs carry user accounts and personal names.
+    let (accounts, _) = t8.cn_share(Cell::ClientPrivate, InfoType::UserAccount);
+    let (names, _) = t8.cn_share(Cell::ClientPrivate, InfoType::PersonalName);
+    assert!(accounts > 0 && names > 0);
+    assert!(names > accounts, "paper: 43,539 names vs 18,603 accounts");
+    // Public client certs: unidentified dominates (paper 59.95 %).
+    let (_, unident) = t8.cn_share(Cell::ClientPublic, InfoType::Unidentified);
+    assert!((0.4..0.8).contains(&unident), "client/public unident {unident}");
+}
+
+#[test]
+fn tab9_random_string_shapes() {
+    use mtlscope::classify::RandomClass;
+    use mtlscope::core::analyze::unidentified::Col;
+    let t9 = &output().tab9;
+    // Server/private CN: len-8 strings dominate the random classes
+    // (paper 46 %), and ~20 % are non-random.
+    let len8 = t9.share(Col::ServerPrivateCn, RandomClass::RandomLen8);
+    assert!((0.3..0.6).contains(&len8), "len8 {len8}");
+    let nonrandom = t9.share(Col::ServerPrivateCn, RandomClass::NonRandom);
+    assert!((0.1..0.35).contains(&nonrandom), "nonrandom {nonrandom}");
+    // Client/private CN: len-32 leads the random classes (paper 39 %).
+    let len32 = t9.share(Col::ClientPrivateCn, RandomClass::RandomLen32);
+    assert!(len32 > 0.2, "len32 {len32}");
+    // Client/private SAN: recognizable by issuer (paper 94 %).
+    let by_issuer = t9.share(Col::ClientPrivateSan, RandomClass::RandomByIssuer);
+    assert!(by_issuer > 0.8, "by-issuer {by_issuer}");
+}
+
+#[test]
+fn tab13_shared_certs_nonrandom_transfer_strings() {
+    let t13 = &output().tab13;
+    // Shared private certs: unidentified dominates (paper 84.88 %), CN-only.
+    let col = &t13.columns[&Cell::ServerPrivate];
+    let unident = col.cn.get(&InfoType::Unidentified).copied().unwrap_or(0);
+    assert!(unident as f64 / col.cn_total.max(1) as f64 > 0.5);
+    // Shared public certs: domains only (paper 100 %).
+    let pub_col = &t13.columns[&Cell::ServerPublic];
+    let dom = pub_col.cn.get(&InfoType::Domain).copied().unwrap_or(0);
+    assert!(dom as f64 / pub_col.cn_total.max(1) as f64 > 0.9);
+}
+
+#[test]
+fn tab14_non_mtls_mostly_public_with_sans() {
+    let out = output();
+    // Paper: non-mTLS server certs are 85 % public-CA-issued…
+    let census = &out.tab1;
+    let non_mtls_public = census.server_public.total - census.server_public.mtls;
+    let non_mtls_private = census.server_private.total - census.server_private.mtls;
+    let share = non_mtls_public as f64 / (non_mtls_public + non_mtls_private).max(1) as f64;
+    assert!((0.6..0.95).contains(&share), "public share {share}");
+    // …and private ones still leak PII (user accounts / personal names).
+    let col = &out.tab14.columns[&Cell::ServerPrivate];
+    let pii = col.cn.get(&InfoType::PersonalName).copied().unwrap_or(0)
+        + col.cn.get(&InfoType::UserAccount).copied().unwrap_or(0)
+        + col.cn.get(&InfoType::Sip).copied().unwrap_or(0);
+    assert!(pii > 0, "Table 14 PII populations present");
+}
+
+#[test]
+fn pre1_interception_share_near_paper() {
+    let pre1 = &output().pre1;
+    // Paper: 186 issuers, 8.4 % of certificates excluded.
+    assert!(pre1.issuers.len() >= 5);
+    assert!((0.02..0.15).contains(&pre1.excluded_share()), "{}", pre1.excluded_share());
+}
+
+#[test]
+fn dummy_issuer_shapes() {
+    let tab4 = &output().tab4;
+    // The §5.1.1 sub-populations are planted verbatim.
+    assert_eq!(tab4.v1_client_certs, 3);
+    assert_eq!(tab4.weak_key_client_certs, 13);
+    // Table 10: fireboard.io has the longest both-endpoint activity.
+    let fireboard = tab4
+        .both
+        .iter()
+        .find(|b| b.sld.as_deref() == Some("fireboard.io"))
+        .expect("fireboard row");
+    assert!(fireboard.duration_days > 500, "paper: 618 days");
+    assert!(tab4.both.iter().all(|b| b.issuer == "Internet Widgits Pty Ltd"));
+}
