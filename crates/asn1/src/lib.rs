@@ -76,7 +76,10 @@ impl std::fmt::Display for Error {
             Error::Truncated => write!(f, "DER input truncated"),
             Error::BadLength => write!(f, "non-minimal or oversized DER length"),
             Error::UnexpectedTag { expected, got } => {
-                write!(f, "unexpected DER tag: expected 0x{expected:02x}, got 0x{got:02x}")
+                write!(
+                    f,
+                    "unexpected DER tag: expected 0x{expected:02x}, got 0x{got:02x}"
+                )
             }
             Error::BadInteger => write!(f, "non-canonical DER INTEGER"),
             Error::IntegerOverflow => write!(f, "DER INTEGER does not fit native type"),

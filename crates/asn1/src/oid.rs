@@ -20,9 +20,14 @@ impl Oid {
         assert!(arcs.len() >= 2, "an OID needs at least two arcs");
         assert!(arcs[0] <= 2, "first OID arc must be 0..=2");
         if arcs[0] < 2 {
-            assert!(arcs[1] < 40, "second OID arc must be < 40 when first is 0 or 1");
+            assert!(
+                arcs[1] < 40,
+                "second OID arc must be < 40 when first is 0 or 1"
+            );
         }
-        Oid { arcs: arcs.to_vec() }
+        Oid {
+            arcs: arcs.to_vec(),
+        }
     }
 
     /// The decoded arcs.
@@ -167,7 +172,10 @@ mod tests {
     #[test]
     fn non_minimal_arc_rejected() {
         // 0x80 prefix pads the arc: forbidden in DER.
-        assert_eq!(Oid::from_der_content(&[0x2A, 0x80, 0x01]), Err(Error::BadOid));
+        assert_eq!(
+            Oid::from_der_content(&[0x2A, 0x80, 0x01]),
+            Err(Error::BadOid)
+        );
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl<'a> DerReader<'a> {
     pub fn read_expected(&mut self, expected: Tag) -> Result<&'a [u8]> {
         let tag = Tag(*self.input.get(self.pos).ok_or(Error::Truncated)?);
         if tag != expected {
-            return Err(Error::UnexpectedTag { expected: expected.octet(), got: tag.octet() });
+            return Err(Error::UnexpectedTag {
+                expected: expected.octet(),
+                got: tag.octet(),
+            });
         }
         let (_, content) = self.read_any()?;
         Ok(content)
@@ -83,7 +86,9 @@ impl<'a> DerReader<'a> {
 
     /// Read an explicit context tag `[n]` and return a reader over its body.
     pub fn read_explicit(&mut self, n: u8) -> Result<DerReader<'a>> {
-        Ok(DerReader::new(self.read_expected(Tag::context_constructed(n))?))
+        Ok(DerReader::new(
+            self.read_expected(Tag::context_constructed(n))?,
+        ))
     }
 
     /// If the next TLV is the explicit context tag `[n]`, read it.
@@ -198,7 +203,10 @@ impl<'a> DerReader<'a> {
                     Err(Error::BadString)
                 }
             }
-            other => Err(Error::UnexpectedTag { expected: Tag::UTF8_STRING.octet(), got: other.octet() }),
+            other => Err(Error::UnexpectedTag {
+                expected: Tag::UTF8_STRING.octet(),
+                got: other.octet(),
+            }),
         }
     }
 
@@ -215,7 +223,9 @@ impl<'a> DerReader<'a> {
                 .map_err(|_| Error::BadString),
             Tag::PRINTABLE_STRING | Tag::IA5_STRING => {
                 if content.is_ascii() {
-                    Ok(Cow::Borrowed(std::str::from_utf8(content).expect("ascii is utf8")))
+                    Ok(Cow::Borrowed(
+                        std::str::from_utf8(content).expect("ascii is utf8"),
+                    ))
                 } else {
                     Err(Error::BadString)
                 }
@@ -236,7 +246,10 @@ impl<'a> DerReader<'a> {
                     .map(Cow::Owned)
                     .map_err(|_| Error::BadString)
             }
-            other => Err(Error::UnexpectedTag { expected: Tag::UTF8_STRING.octet(), got: other.octet() }),
+            other => Err(Error::UnexpectedTag {
+                expected: Tag::UTF8_STRING.octet(),
+                got: other.octet(),
+            }),
         }
     }
 
@@ -267,7 +280,10 @@ impl<'a> DerReader<'a> {
         match tag {
             Tag::UTC_TIME => Asn1Time::parse_utc_time(content),
             Tag::GENERALIZED_TIME => Asn1Time::parse_generalized_time(content),
-            other => Err(Error::UnexpectedTag { expected: Tag::UTC_TIME.octet(), got: other.octet() }),
+            other => Err(Error::UnexpectedTag {
+                expected: Tag::UTC_TIME.octet(),
+                got: other.octet(),
+            }),
         }
     }
 
@@ -365,7 +381,10 @@ mod tests {
     #[test]
     fn rejects_empty_integer() {
         let der = [0x02, 0x00];
-        assert_eq!(DerReader::new(&der).read_integer_i64(), Err(Error::BadInteger));
+        assert_eq!(
+            DerReader::new(&der).read_integer_i64(),
+            Err(Error::BadInteger)
+        );
     }
 
     #[test]
@@ -439,7 +458,10 @@ mod tests {
         w.utf8_string("plain");
         let der = w.finish();
         let mut r = DerReader::new(&der);
-        assert!(matches!(r.read_string_lossy().unwrap(), std::borrow::Cow::Borrowed("plain")));
+        assert!(matches!(
+            r.read_string_lossy().unwrap(),
+            std::borrow::Cow::Borrowed("plain")
+        ));
     }
 
     #[test]

@@ -101,7 +101,13 @@ mod tests {
 
     #[test]
     fn universal_tags_have_universal_class() {
-        for t in [Tag::BOOLEAN, Tag::INTEGER, Tag::SEQUENCE, Tag::SET, Tag::OID] {
+        for t in [
+            Tag::BOOLEAN,
+            Tag::INTEGER,
+            Tag::SEQUENCE,
+            Tag::SET,
+            Tag::OID,
+        ] {
             assert_eq!(t.class(), Class::Universal);
         }
     }

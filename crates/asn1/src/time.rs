@@ -26,7 +26,14 @@ impl Asn1Time {
 
     /// From a civil date/time (UTC). Panics on out-of-range month/day/time
     /// components; callers construct these from validated parses or literals.
-    pub fn from_ymd_hms(year: i32, month: u32, day: u32, hour: u32, min: u32, sec: u32) -> Asn1Time {
+    pub fn from_ymd_hms(
+        year: i32,
+        month: u32,
+        day: u32,
+        hour: u32,
+        min: u32,
+        sec: u32,
+    ) -> Asn1Time {
         assert!((1..=12).contains(&month), "month out of range");
         assert!((1..=31).contains(&day), "day out of range");
         assert!(hour < 24 && min < 60 && sec < 60, "time out of range");
@@ -68,12 +75,16 @@ impl Asn1Time {
 
     /// Add a whole number of days (may be negative).
     pub fn add_days(self, days: i64) -> Asn1Time {
-        Asn1Time { unix: self.unix + days * DAY }
+        Asn1Time {
+            unix: self.unix + days * DAY,
+        }
     }
 
     /// Add seconds (may be negative).
     pub fn add_secs(self, secs: i64) -> Asn1Time {
-        Asn1Time { unix: self.unix + secs }
+        Asn1Time {
+            unix: self.unix + secs,
+        }
     }
 
     /// Whole days from `self` to `other` (truncated toward zero).
@@ -252,8 +263,14 @@ mod tests {
             Asn1Time::parse_utc_time(b"991231235959Z").unwrap().year(),
             1999
         );
-        assert_eq!(Asn1Time::parse_utc_time(b"490101000000Z").unwrap().year(), 2049);
-        assert_eq!(Asn1Time::parse_utc_time(b"500101000000Z").unwrap().year(), 1950);
+        assert_eq!(
+            Asn1Time::parse_utc_time(b"490101000000Z").unwrap().year(),
+            2049
+        );
+        assert_eq!(
+            Asn1Time::parse_utc_time(b"500101000000Z").unwrap().year(),
+            1950
+        );
     }
 
     #[test]

@@ -24,7 +24,9 @@ impl DerWriter {
     /// A writer with pre-allocated capacity, for hot paths that know their
     /// approximate output size (certificate minting mints millions).
     pub fn with_capacity(cap: usize) -> DerWriter {
-        DerWriter { buf: Vec::with_capacity(cap) }
+        DerWriter {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Consume the writer and return the encoded bytes.
@@ -56,7 +58,10 @@ impl DerWriter {
 
     /// Write a constructed value: the closure fills the body.
     pub fn constructed(&mut self, tag: Tag, f: impl FnOnce(&mut DerWriter)) {
-        debug_assert!(tag.is_constructed(), "constructed() needs a constructed tag");
+        debug_assert!(
+            tag.is_constructed(),
+            "constructed() needs a constructed tag"
+        );
         let mut inner = DerWriter::new();
         f(&mut inner);
         self.tlv(tag, &inner.buf);
@@ -168,7 +173,11 @@ impl DerWriter {
     /// Write a time value, choosing UTCTime vs GeneralizedTime per RFC 5280.
     pub fn time(&mut self, t: Asn1Time) {
         let (s, is_utc) = t.to_der_string();
-        let tag = if is_utc { Tag::UTC_TIME } else { Tag::GENERALIZED_TIME };
+        let tag = if is_utc {
+            Tag::UTC_TIME
+        } else {
+            Tag::GENERALIZED_TIME
+        };
         self.tlv(tag, s.as_bytes());
     }
 }
@@ -208,7 +217,10 @@ pub(crate) fn write_length(buf: &mut Vec<u8>, len: usize) {
 pub fn is_printable_string(s: &str) -> bool {
     s.bytes().all(|b| {
         b.is_ascii_alphanumeric()
-            || matches!(b, b' ' | b'\'' | b'(' | b')' | b'+' | b',' | b'-' | b'.' | b'/' | b':' | b'=' | b'?')
+            || matches!(
+                b,
+                b' ' | b'\'' | b'(' | b')' | b'+' | b',' | b'-' | b'.' | b'/' | b':' | b'=' | b'?'
+            )
     })
 }
 
@@ -282,7 +294,10 @@ mod tests {
             w.sequence(|w| w.null());
             w.boolean(true);
         });
-        assert_eq!(w.finish(), vec![0x30, 0x07, 0x30, 0x02, 0x05, 0x00, 0x01, 0x01, 0xFF]);
+        assert_eq!(
+            w.finish(),
+            vec![0x30, 0x07, 0x30, 0x02, 0x05, 0x00, 0x01, 0x01, 0xFF]
+        );
     }
 
     #[test]

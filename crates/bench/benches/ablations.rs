@@ -71,8 +71,16 @@ fn ablate_singlepass(c: &mut Criterion) {
     });
     group.bench_function("rebuild_corpus_per_analyzer", |b| {
         b.iter(|| {
-            black_box(analyze::cert_census::run(&build_corpus_unfiltered()).all.total);
-            black_box(analyze::ports::run(&build_corpus_unfiltered()).inbound_mtls.total);
+            black_box(
+                analyze::cert_census::run(&build_corpus_unfiltered())
+                    .all
+                    .total,
+            );
+            black_box(
+                analyze::ports::run(&build_corpus_unfiltered())
+                    .inbound_mtls
+                    .total,
+            );
             black_box(analyze::validity::run(&build_corpus_unfiltered()).very_long);
         })
     });
@@ -90,7 +98,11 @@ fn ablate_parallel(c: &mut Criterion) {
             black_box(analyze::inbound::run(corpus).total_conns);
             black_box(analyze::outbound_flows::run(corpus).total);
             black_box(analyze::serial_collisions::run(corpus).groups.len());
-            black_box(analyze::info_types::run(corpus, analyze::info_types::Slice::Mtls).columns.len());
+            black_box(
+                analyze::info_types::run(corpus, analyze::info_types::Slice::Mtls)
+                    .columns
+                    .len(),
+            );
         })
     });
     group.bench_function("analyzers_scoped_threads", |b| {
@@ -132,8 +144,16 @@ fn ablate_interception_thresholds(c: &mut Criterion) {
     for (min_certs, share) in [(2usize, 0.5f64), (3, 0.8), (5, 0.95)] {
         group.bench_function(format!("filter_min{min_certs}_share{share}"), |b| {
             b.iter(|| {
-                let (excluded, issuers) =
-                    interception::filter_with(&sim.ssl, &sim.x509, &sim.ct, &meta, min_certs, share);
+                let mut interner = mtls_intern::Interner::new();
+                let (excluded, issuers) = interception::filter_with(
+                    &sim.ssl,
+                    &sim.x509,
+                    &sim.ct,
+                    &meta,
+                    min_certs,
+                    share,
+                    &mut interner,
+                );
                 black_box((excluded.len(), issuers.len()))
             })
         });

@@ -12,12 +12,16 @@ use mtls_core::{run_pipeline, AnalysisInputs};
 use mtls_netsim::{generate, SimConfig};
 use std::hint::black_box;
 
-fn bench_generation(c: &mut Criterion)  {
+fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("generation");
     group.sample_size(10);
     group.bench_function("bench_gen_corpus_scale_0.01", |b| {
         b.iter(|| {
-            let out = generate(&SimConfig { seed: 7, scale: 0.01, ..Default::default() });
+            let out = generate(&SimConfig {
+                seed: 7,
+                scale: 0.01,
+                ..Default::default()
+            });
             black_box(out.ssl.len())
         })
     });
@@ -50,8 +54,13 @@ fn bench_experiments(c: &mut Criterion) {
         let sim = sim_output();
         let meta = MetaKnowledge::from_sim(&sim.meta);
         b.iter(|| {
+            let mut interner = mtls_intern::Interner::new();
             black_box(mtls_core::pipeline::interception::filter(
-                &sim.ssl, &sim.x509, &sim.ct, &meta,
+                &sim.ssl,
+                &sim.x509,
+                &sim.ct,
+                &meta,
+                &mut interner,
             ))
         })
     });

@@ -18,13 +18,25 @@ fn fixture_cert() -> Certificate {
     let leaf = Keypair::from_seed(b"bench-leaf");
     CertificateBuilder::new()
         .serial(&[0x12, 0x34, 0x56, 0x78, 0x9A])
-        .issuer(DistinguishedName::builder().organization("Bench CA").common_name("Bench CA R1").build())
-        .subject(DistinguishedName::builder().common_name("bench.example.com").build())
+        .issuer(
+            DistinguishedName::builder()
+                .organization("Bench CA")
+                .common_name("Bench CA R1")
+                .build(),
+        )
+        .subject(
+            DistinguishedName::builder()
+                .common_name("bench.example.com")
+                .build(),
+        )
         .san(vec![
             GeneralName::Dns("bench.example.com".into()),
             GeneralName::Dns("alt.example.com".into()),
         ])
-        .validity(Asn1Time::from_ymd(2023, 1, 1), Asn1Time::from_ymd(2024, 1, 1))
+        .validity(
+            Asn1Time::from_ymd(2023, 1, 1),
+            Asn1Time::from_ymd(2024, 1, 1),
+        )
         .subject_key(leaf.key_id())
         .sign(&ca)
 }
@@ -34,7 +46,9 @@ fn bench_crypto(c: &mut Criterion) {
     let data = vec![0xABu8; 4096];
     group.throughput(Throughput::Bytes(data.len() as u64));
     group.bench_function("sha256_4k", |b| b.iter(|| black_box(sha256(&data))));
-    group.bench_function("hmac_sha256_4k", |b| b.iter(|| black_box(hmac_sha256(b"key", &data))));
+    group.bench_function("hmac_sha256_4k", |b| {
+        b.iter(|| black_box(hmac_sha256(b"key", &data)))
+    });
     group.finish();
 }
 
@@ -84,7 +98,10 @@ fn bench_x509(c: &mut Criterion) {
             let cert = CertificateBuilder::new()
                 .serial(&[1, 2, 3])
                 .subject(DistinguishedName::builder().common_name("x").build())
-                .validity(Asn1Time::from_ymd(2023, 1, 1), Asn1Time::from_ymd(2024, 1, 1))
+                .validity(
+                    Asn1Time::from_ymd(2023, 1, 1),
+                    Asn1Time::from_ymd(2024, 1, 1),
+                )
                 .subject_key(leaf.key_id())
                 .sign(&ca);
             black_box(cert.fingerprint())
@@ -102,13 +119,19 @@ fn bench_chain_validation(c: &mut Criterion) {
     let now = Asn1Time::from_ymd(2023, 6, 1);
     let root = CertificateAuthority::new_root(
         b"bench-root",
-        DistinguishedName::builder().organization("Bench Trust").common_name("Root").build(),
+        DistinguishedName::builder()
+            .organization("Bench Trust")
+            .common_name("Root")
+            .build(),
         now,
     );
     let int = CertificateAuthority::new_intermediate(
         &root,
         b"bench-int",
-        DistinguishedName::builder().organization("Bench Trust").common_name("Sub CA").build(),
+        DistinguishedName::builder()
+            .organization("Bench Trust")
+            .common_name("Sub CA")
+            .build(),
         now,
     );
     let mut anchors = TrustAnchors::new();
@@ -119,7 +142,11 @@ fn bench_chain_validation(c: &mut Criterion) {
     let leaf_key = Keypair::from_seed(b"bench-chain-leaf");
     let leaf = int.issue(
         CertificateBuilder::new()
-            .subject(DistinguishedName::builder().common_name("leaf.bench").build())
+            .subject(
+                DistinguishedName::builder()
+                    .common_name("leaf.bench")
+                    .build(),
+            )
             .validity(now.add_days(-30), now.add_days(335))
             .subject_key(leaf_key.key_id()),
     );
@@ -168,7 +195,13 @@ fn bench_zeek_tsv(c: &mut Criterion) {
     let mut encoded = Vec::new();
     mtls_zeek::write_ssl_log(&mut encoded, records).expect("write");
     group.bench_function("read_ssl_log_2k", |b| {
-        b.iter(|| black_box(mtls_zeek::read_ssl_log(Cursor::new(&encoded)).expect("read").len()))
+        b.iter(|| {
+            black_box(
+                mtls_zeek::read_ssl_log(Cursor::new(&encoded))
+                    .expect("read")
+                    .len(),
+            )
+        })
     });
     group.finish();
 }
@@ -187,7 +220,10 @@ fn bench_classifier(c: &mut Criterion) {
         "f3a9c2d17b604e5d",
         "__transfer__",
     ];
-    let ctx = ClassifyContext { issuer_org: Some("Commonwealth University"), issuer_is_campus: true };
+    let ctx = ClassifyContext {
+        issuer_org: Some("Commonwealth University"),
+        issuer_is_campus: true,
+    };
     let mut group = c.benchmark_group("classify");
     group.throughput(Throughput::Elements(inputs.len() as u64));
     group.bench_function("classify_mixed_batch", |b| {
@@ -215,7 +251,9 @@ fn bench_policy_and_crl(c: &mut Criterion) {
 
     let ca = CertificateAuthority::new_root(
         b"bench-crl-ca",
-        DistinguishedName::builder().organization("Bench CRL Org").build(),
+        DistinguishedName::builder()
+            .organization("Bench CRL Org")
+            .build(),
         at,
     );
     let mut builder = CrlBuilder::new(at, at.add_days(7));

@@ -4,8 +4,8 @@
 
 use mtls_core::corpus::MetaKnowledge;
 use mtls_core::Corpus;
+use mtls_intern::Interner;
 use mtls_netsim::{generate, SimConfig, SimOutput};
-use std::collections::HashSet;
 use std::sync::OnceLock;
 
 /// The benchmark corpus scale (≈ 13 k connections, ≈ 5 k certificates).
@@ -14,7 +14,13 @@ pub const BENCH_SCALE: f64 = 0.05;
 /// The simulator output, generated once.
 pub fn sim_output() -> &'static SimOutput {
     static CELL: OnceLock<SimOutput> = OnceLock::new();
-    CELL.get_or_init(|| generate(&SimConfig { seed: 0xBEEF, scale: BENCH_SCALE, ..Default::default() }))
+    CELL.get_or_init(|| {
+        generate(&SimConfig {
+            seed: 0xBEEF,
+            scale: BENCH_SCALE,
+            ..Default::default()
+        })
+    })
 }
 
 /// The built corpus (interception filter applied), built once.
@@ -23,9 +29,22 @@ pub fn corpus() -> &'static Corpus {
     CELL.get_or_init(|| {
         let sim = sim_output();
         let meta = MetaKnowledge::from_sim(&sim.meta);
-        let (excluded, issuers) =
-            mtls_core::pipeline::interception::filter(&sim.ssl, &sim.x509, &sim.ct, &meta);
-        Corpus::build(&sim.ssl, &sim.x509, meta, &excluded, issuers)
+        let mut interner = Interner::with_capacity(sim.x509.len());
+        let (excluded, issuers) = mtls_core::pipeline::interception::filter(
+            &sim.ssl,
+            &sim.x509,
+            &sim.ct,
+            &meta,
+            &mut interner,
+        );
+        Corpus::build(
+            sim.ssl.clone(),
+            sim.x509.clone(),
+            meta,
+            &excluded,
+            issuers,
+            interner,
+        )
     })
 }
 
@@ -33,10 +52,11 @@ pub fn corpus() -> &'static Corpus {
 pub fn build_corpus_unfiltered() -> Corpus {
     let sim = sim_output();
     Corpus::build(
-        &sim.ssl,
-        &sim.x509,
+        sim.ssl.clone(),
+        sim.x509.clone(),
         MetaKnowledge::from_sim(&sim.meta),
-        &HashSet::new(),
+        &Default::default(),
         vec![],
+        Interner::new(),
     )
 }

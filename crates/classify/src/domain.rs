@@ -7,9 +7,9 @@
 
 /// Single-label public suffixes.
 const TLDS: &[&str] = &[
-    "com", "org", "net", "edu", "gov", "mil", "int", "io", "me", "co", "cn", "top", "info",
-    "biz", "us", "uk", "de", "fr", "jp", "au", "ca", "nl", "se", "no", "ch", "it", "es", "eu",
-    "kr", "in", "br", "ru", "xyz", "dev", "app", "cloud", "online", "site", "tech", "ai",
+    "com", "org", "net", "edu", "gov", "mil", "int", "io", "me", "co", "cn", "top", "info", "biz",
+    "us", "uk", "de", "fr", "jp", "au", "ca", "nl", "se", "no", "ch", "it", "es", "eu", "kr", "in",
+    "br", "ru", "xyz", "dev", "app", "cloud", "online", "site", "tech", "ai",
     // "og" is not a real IANA TLD, but the reproduced paper's Table 5
     // contains the literal SLD "acr.og"; treated as a suffix for fidelity.
     "og",
@@ -17,8 +17,8 @@ const TLDS: &[&str] = &[
 
 /// Multi-label public suffixes (longest match wins).
 const MULTI_SUFFIXES: &[&str] = &[
-    "co.uk", "ac.uk", "gov.uk", "org.uk", "com.au", "edu.au", "gov.au", "co.jp", "ac.jp",
-    "com.cn", "edu.cn", "gov.cn", "com.br", "co.kr", "co.in",
+    "co.uk", "ac.uk", "gov.uk", "org.uk", "com.au", "edu.au", "gov.au", "co.jp", "ac.jp", "com.cn",
+    "edu.cn", "gov.cn", "com.br", "co.kr", "co.in",
 ];
 
 /// The pieces `tldextract` returns.
@@ -42,7 +42,8 @@ impl DomainParts {
 fn is_label(s: &str) -> bool {
     !s.is_empty()
         && s.len() <= 63
-        && s.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
         && !s.starts_with('-')
         && !s.ends_with('-')
 }
@@ -61,7 +62,13 @@ pub fn extract_domain(s: &str) -> Option<DomainParts> {
     if s.is_empty() || s.contains(' ') || s.contains('@') || !s.contains('.') {
         return None;
     }
-    let lower = s.to_ascii_lowercase();
+    // SNIs and SAN entries are lowercase in the overwhelming majority of
+    // records; only allocate a lowered copy when one actually differs.
+    let lower: std::borrow::Cow<'_, str> = if s.bytes().any(|b| b.is_ascii_uppercase()) {
+        std::borrow::Cow::Owned(s.to_ascii_lowercase())
+    } else {
+        std::borrow::Cow::Borrowed(s)
+    };
     let labels: Vec<&str> = lower.split('.').collect();
     if labels.len() < 2 {
         return None;
@@ -75,17 +82,23 @@ pub fn extract_domain(s: &str) -> Option<DomainParts> {
         }
     }
 
-    // Longest-suffix match: try two-label suffixes first.
+    // Longest-suffix match: try two-label suffixes first (compared
+    // piecewise — no temporary allocation).
+    let last = labels[labels.len() - 1];
     let suffix_len = if labels.len() >= 3 {
-        let two = format!("{}.{}", labels[labels.len() - 2], labels[labels.len() - 1]);
-        if MULTI_SUFFIXES.contains(&two.as_str()) {
+        let second_last = labels[labels.len() - 2];
+        let is_multi = MULTI_SUFFIXES.iter().any(|suf| {
+            suf.split_once('.')
+                .is_some_and(|(a, b)| a == second_last && b == last)
+        });
+        if is_multi {
             2
-        } else if TLDS.contains(&labels[labels.len() - 1]) {
+        } else if TLDS.contains(&last) {
             1
         } else {
             return None;
         }
-    } else if TLDS.contains(&labels[labels.len() - 1]) {
+    } else if TLDS.contains(&last) {
         1
     } else {
         return None;
@@ -100,7 +113,11 @@ pub fn extract_domain(s: &str) -> Option<DomainParts> {
     }
     let tld = labels[labels.len() - suffix_len..].join(".");
     let subdomain = labels[..labels.len() - suffix_len - 1].join(".");
-    Some(DomainParts { tld, sld: sld.to_string(), subdomain })
+    Some(DomainParts {
+        tld,
+        sld: sld.to_string(),
+        subdomain,
+    })
 }
 
 #[cfg(test)]

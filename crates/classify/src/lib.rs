@@ -35,7 +35,7 @@ pub mod random;
 
 pub use domain::{extract_domain, DomainParts};
 pub use ner::NerLabel;
-pub use random::{RandomClass, classify_random};
+pub use random::{classify_random, RandomClass};
 
 /// The information types of Table 8, in the paper's row order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -144,7 +144,13 @@ mod tests {
     }
 
     fn campus(text: &str) -> InfoType {
-        classify(text, ClassifyContext { issuer_org: Some("Commonwealth University"), issuer_is_campus: true })
+        classify(
+            text,
+            ClassifyContext {
+                issuer_org: Some("Commonwealth University"),
+                issuer_is_campus: true,
+            },
+        )
     }
 
     #[test]

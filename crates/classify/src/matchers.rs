@@ -91,7 +91,9 @@ pub fn is_user_account(s: &str) -> bool {
     }
     let tail = &b[letters + 1..];
     (2..=3).contains(&tail.len())
-        && tail.iter().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())
+        && tail
+            .iter()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())
 }
 
 /// Localhost / localdomain markers.
@@ -165,7 +167,16 @@ mod tests {
         for ok in ["hd7gr", "ys3kz", "ab1cd", "xyz9ab", "ab1c2"] {
             assert!(is_user_account(ok), "{ok}");
         }
-        for bad in ["a1bcd", "abcd1e", "hd7g", "toolong9xx", "HD7GR", "1a2b3", "john", ""] {
+        for bad in [
+            "a1bcd",
+            "abcd1e",
+            "hd7g",
+            "toolong9xx",
+            "HD7GR",
+            "1a2b3",
+            "john",
+            "",
+        ] {
             assert!(!is_user_account(bad), "{bad}");
         }
     }

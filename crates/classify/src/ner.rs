@@ -6,9 +6,7 @@
 //! gazetteer membership or a legal-suffix heuristic. Per the paper, the
 //! product and organization labels are merged into one *Org/Product* bucket.
 
-use crate::gazetteer::{
-    contains_ci, GIVEN_NAMES, ORGANIZATIONS, ORG_SUFFIXES, PRODUCTS, SURNAMES,
-};
+use crate::gazetteer::{contains_ci, GIVEN_NAMES, ORGANIZATIONS, ORG_SUFFIXES, PRODUCTS, SURNAMES};
 
 /// NER verdicts (already merged the way Table 8 reports them).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,9 +24,7 @@ fn is_title_case(token: &str) -> bool {
 }
 
 fn alpha_tokens(text: &str) -> Vec<&str> {
-    text.split([' ', '\t'])
-        .filter(|t| !t.is_empty())
-        .collect()
+    text.split([' ', '\t']).filter(|t| !t.is_empty()).collect()
 }
 
 /// Personal-name detector.
@@ -75,7 +71,13 @@ pub fn is_org_or_product(text: &str) -> bool {
     // "twilio:gateway-7", "Apple iPhone Device").
     let norm: String = lower
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '&' { c } else { ' ' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '&' {
+                c
+            } else {
+                ' '
+            }
+        })
         .collect();
     let tokens: Vec<&str> = norm.split(' ').filter(|x| !x.is_empty()).collect();
     if tokens
@@ -85,7 +87,11 @@ pub fn is_org_or_product(text: &str) -> bool {
         return true;
     }
     // Multi-word phrase hits ("hybrid runbook worker" inside a longer CN).
-    if PRODUCTS.iter().chain(ORGANIZATIONS.iter()).any(|e| e.contains(' ') && norm.contains(e)) {
+    if PRODUCTS
+        .iter()
+        .chain(ORGANIZATIONS.iter())
+        .any(|e| e.contains(' ') && norm.contains(e))
+    {
         return true;
     }
     // Legal-suffix heuristic: >= 2 tokens ending in a corporate suffix.

@@ -171,7 +171,14 @@ mod tests {
 
     #[test]
     fn words_are_not_random() {
-        for s in ["__transfer__", "Dtls", "hmpp", "mail-gateway", "server name here", "database"] {
+        for s in [
+            "__transfer__",
+            "Dtls",
+            "hmpp",
+            "mail-gateway",
+            "server name here",
+            "database",
+        ] {
             assert!(!is_random_string(s), "{s}");
         }
     }
@@ -185,8 +192,14 @@ mod tests {
 
     #[test]
     fn classify_buckets() {
-        assert_eq!(classify_random("__transfer__", false), RandomClass::NonRandom);
-        assert_eq!(classify_random("f3a9c2d1", true), RandomClass::RandomByIssuer);
+        assert_eq!(
+            classify_random("__transfer__", false),
+            RandomClass::NonRandom
+        );
+        assert_eq!(
+            classify_random("f3a9c2d1", true),
+            RandomClass::RandomByIssuer
+        );
         assert_eq!(classify_random("f3a9c2d1", false), RandomClass::RandomLen8);
         assert_eq!(
             classify_random("f3a9c2d17b604e5df3a9c2d17b604e5d", false),
@@ -196,7 +209,10 @@ mod tests {
             classify_random("550e8400-e29b-41d4-a716-446655440000", false),
             RandomClass::RandomLen36
         );
-        assert_eq!(classify_random("f3a9c2d17b604e", false), RandomClass::RandomOther);
+        assert_eq!(
+            classify_random("f3a9c2d17b604e", false),
+            RandomClass::RandomOther
+        );
     }
 
     #[test]

@@ -65,7 +65,10 @@ fn personal_name_precision_and_recall_at_least_090() {
     }
     let precision = tp as f64 / (tp + fp).max(1) as f64;
     let recall = tp as f64 / (tp + fn_).max(1) as f64;
-    assert!(precision >= 0.9, "precision {precision:.2} (tp={tp} fp={fp})");
+    assert!(
+        precision >= 0.9,
+        "precision {precision:.2} (tp={tp} fp={fp})"
+    );
     assert!(recall >= 0.9, "recall {recall:.2} (tp={tp} fn={fn_})");
 }
 
@@ -88,7 +91,11 @@ fn format_matchers_are_exact_on_fixture_set() {
         ("Dtls", InfoType::Unidentified),
     ];
     for (text, expected) in cases {
-        assert_eq!(classify(text, ClassifyContext::default()), *expected, "{text}");
+        assert_eq!(
+            classify(text, ClassifyContext::default()),
+            *expected,
+            "{text}"
+        );
     }
 }
 

@@ -51,7 +51,11 @@ pub fn evaluate_record(
             v.push(Violation::NotYetValid);
         }
     }
-    let org = rec.issuer_org.as_deref().map(str::trim).filter(|s| !s.is_empty());
+    let org = rec
+        .issuer_org
+        .as_deref()
+        .map(str::trim)
+        .filter(|s| !s.is_empty());
     if policy.require_issuer && org.is_none() {
         v.push(Violation::MissingIssuer);
     }
@@ -67,8 +71,7 @@ pub fn evaluate_record(
     if policy.reject_v1 && rec.version == 1 {
         v.push(Violation::ObsoleteVersion);
     }
-    if policy.max_validity_days > 0 && !inverted && rec.validity_days() > policy.max_validity_days
-    {
+    if policy.max_validity_days > 0 && !inverted && rec.validity_days() > policy.max_validity_days {
         v.push(Violation::ExcessiveValidity);
     }
     if policy.reject_shared_with_peer && peer_same_cert {
@@ -99,10 +102,16 @@ pub fn run_with(corpus: &Corpus, policy: &ValidationPolicy) -> Report {
         if !conn.rec.established {
             continue;
         }
-        let Some(cid) = conn.client_leaf else { continue };
+        let Some(cid) = conn.client_leaf else {
+            continue;
+        };
         total += 1;
-        let violations =
-            evaluate_record(policy, corpus.cert(cid), conn.rec.ts, conn.same_cert_both_ends);
+        let violations = evaluate_record(
+            policy,
+            corpus.cert(cid),
+            conn.rec.ts,
+            conn.same_cert_both_ends,
+        );
         if violations.is_empty() {
             continue;
         }
@@ -136,7 +145,11 @@ impl Report {
             &["violation", "connections", "% of flagged"],
         );
         for (v, n) in &self.by_violation {
-            t.row(vec![v.label().to_string(), count(*n), pct(*n, self.flagged_conns)]);
+            t.row(vec![
+                v.label().to_string(),
+                count(*n),
+                pct(*n, self.flagged_conns),
+            ]);
         }
         let mut s = t.render();
         s.push_str(&format!(
@@ -160,24 +173,71 @@ mod tests {
     fn flags_every_pathology_class() {
         let mut b = CorpusBuilder::new();
         b.cert("srv", CertOpts::default());
-        b.cert("ok", CertOpts { cn: Some("fine"), issuer_org: Some("Good Corp Inc"), ..Default::default() });
-        b.cert("expired", CertOpts {
-            cn: Some("old"),
-            not_before: T0 - 900.0 * DAY,
-            not_after: T0 - 100.0 * DAY,
-            ..Default::default()
-        });
-        b.cert("missing", CertOpts { cn: Some("anon"), issuer_org: None, ..Default::default() });
-        b.cert("dummy", CertOpts { cn: Some("d"), issuer_org: Some("Internet Widgits Pty Ltd"), ..Default::default() });
-        b.cert("weak", CertOpts { cn: Some("w"), key_length: 1024, ..Default::default() });
-        b.cert("v1", CertOpts { cn: Some("v"), version: 1, ..Default::default() });
-        b.cert("forever", CertOpts {
-            cn: Some("f"),
-            not_before: T0 - DAY,
-            not_after: T0 + 40_000.0 * DAY,
-            ..Default::default()
-        });
-        b.cert("sharer", CertOpts { cn: Some("s"), ..Default::default() });
+        b.cert(
+            "ok",
+            CertOpts {
+                cn: Some("fine"),
+                issuer_org: Some("Good Corp Inc"),
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "expired",
+            CertOpts {
+                cn: Some("old"),
+                not_before: T0 - 900.0 * DAY,
+                not_after: T0 - 100.0 * DAY,
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "missing",
+            CertOpts {
+                cn: Some("anon"),
+                issuer_org: None,
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "dummy",
+            CertOpts {
+                cn: Some("d"),
+                issuer_org: Some("Internet Widgits Pty Ltd"),
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "weak",
+            CertOpts {
+                cn: Some("w"),
+                key_length: 1024,
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "v1",
+            CertOpts {
+                cn: Some("v"),
+                version: 1,
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "forever",
+            CertOpts {
+                cn: Some("f"),
+                not_before: T0 - DAY,
+                not_after: T0 + 40_000.0 * DAY,
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "sharer",
+            CertOpts {
+                cn: Some("s"),
+                ..Default::default()
+            },
+        );
 
         b.inbound(T0, 1, None, "srv", "ok");
         b.inbound(T0, 2, None, "srv", "expired");
@@ -207,7 +267,16 @@ mod tests {
     fn lax_policy_flags_nothing() {
         let mut b = CorpusBuilder::new();
         b.cert("srv", CertOpts::default());
-        b.cert("dummy", CertOpts { cn: Some("d"), issuer_org: Some("Unspecified"), version: 1, key_length: 512, ..Default::default() });
+        b.cert(
+            "dummy",
+            CertOpts {
+                cn: Some("d"),
+                issuer_org: Some("Unspecified"),
+                version: 1,
+                key_length: 512,
+                ..Default::default()
+            },
+        );
         b.inbound(T0, 1, None, "srv", "dummy");
         let r = run_with(&b.build(), &ValidationPolicy::lax());
         assert_eq!(r.flagged_conns, 0);
@@ -217,10 +286,20 @@ mod tests {
     fn strict_policy_rejects_private_anchors_too() {
         let mut b = CorpusBuilder::new();
         b.cert("srv", CertOpts::default());
-        b.cert("priv", CertOpts { cn: Some("p"), issuer_org: Some("Good Corp Inc"), ..Default::default() });
+        b.cert(
+            "priv",
+            CertOpts {
+                cn: Some("p"),
+                issuer_org: Some("Good Corp Inc"),
+                ..Default::default()
+            },
+        );
         b.inbound(T0, 1, None, "srv", "priv");
         let r = run_with(&b.build(), &ValidationPolicy::strict());
         assert_eq!(r.flagged_conns, 1);
-        assert!(r.by_violation.iter().any(|(v, _)| *v == Violation::UntrustedIssuer));
+        assert!(r
+            .by_violation
+            .iter()
+            .any(|(v, _)| *v == Violation::UntrustedIssuer));
     }
 }

@@ -101,13 +101,37 @@ mod tests {
     #[test]
     fn counts_roles_and_trust() {
         let mut b = CorpusBuilder::new();
-        b.cert("pub-srv", CertOpts { issuer_org: Some("DigiCert Inc"), ..Default::default() });
-        b.cert("prv-srv", CertOpts { issuer_org: Some("NodeRunner"), ..Default::default() });
-        b.cert("prv-cli", CertOpts { issuer_org: None, ..Default::default() });
-        b.cert("dual", CertOpts { issuer_org: Some("Globus Online"), ..Default::default() });
-        b.inbound(T0, 1, None, "pub-srv", "");           // plain, public server
-        b.inbound(T0, 2, None, "prv-srv", "prv-cli");     // mTLS
-        b.inbound(T0, 3, None, "dual", "dual");           // shared both ends
+        b.cert(
+            "pub-srv",
+            CertOpts {
+                issuer_org: Some("DigiCert Inc"),
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "prv-srv",
+            CertOpts {
+                issuer_org: Some("NodeRunner"),
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "prv-cli",
+            CertOpts {
+                issuer_org: None,
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "dual",
+            CertOpts {
+                issuer_org: Some("Globus Online"),
+                ..Default::default()
+            },
+        );
+        b.inbound(T0, 1, None, "pub-srv", ""); // plain, public server
+        b.inbound(T0, 2, None, "prv-srv", "prv-cli"); // mTLS
+        b.inbound(T0, 3, None, "dual", "dual"); // shared both ends
         let r = run(&b.build());
 
         assert_eq!(r.all.total, 4);

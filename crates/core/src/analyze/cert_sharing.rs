@@ -46,7 +46,9 @@ pub fn run(corpus: &Corpus) -> Report {
         if !conn.same_cert_both_ends {
             continue;
         }
-        let Some(cid) = conn.server_leaf else { continue };
+        let Some(cid) = conn.server_leaf else {
+            continue;
+        };
         shared.insert(cid);
         let cert = corpus.cert(cid);
         let inbound = conn.direction == Direction::Inbound;
@@ -93,7 +95,12 @@ pub fn run(corpus: &Corpus) -> Report {
             .then_with(|| a.sld.cmp(&b.sld))
     });
 
-    Report { rows, inbound_conns, outbound_conns, shared_certs: shared.len() }
+    Report {
+        rows,
+        inbound_conns,
+        outbound_conns,
+        shared_certs: shared.len(),
+    }
 }
 
 impl Report {
@@ -113,14 +120,27 @@ impl Report {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Table 5: same certificate presented by BOTH endpoints of a connection",
-            &["dir", "sld", "issuer org", "trust", "clients", "conns", "duration (days)"],
+            &[
+                "dir",
+                "sld",
+                "issuer org",
+                "trust",
+                "clients",
+                "conns",
+                "duration (days)",
+            ],
         );
         for row in &self.rows {
             t.row(vec![
                 if row.inbound { "In." } else { "Out." }.to_string(),
                 row.sld.clone().unwrap_or_else(|| "- (missing SNI)".into()),
                 row.issuer.clone(),
-                if row.public_issuer { "public" } else { "private" }.to_string(),
+                if row.public_issuer {
+                    "public"
+                } else {
+                    "private"
+                }
+                .to_string(),
                 count(row.clients),
                 count(row.conns),
                 row.duration_days.to_string(),
@@ -145,11 +165,30 @@ mod tests {
     #[test]
     fn same_cert_rows_and_duration() {
         let mut b = CorpusBuilder::new();
-        b.cert("shared", CertOpts { issuer_org: Some("Outset Medical"), cn: Some("x.tablodash.com"), ..Default::default() });
+        b.cert(
+            "shared",
+            CertOpts {
+                issuer_org: Some("Outset Medical"),
+                cn: Some("x.tablodash.com"),
+                ..Default::default()
+            },
+        );
         b.cert("normal-s", CertOpts::default());
-        b.cert("normal-c", CertOpts { cn: Some("dev1"), ..Default::default() });
+        b.cert(
+            "normal-c",
+            CertOpts {
+                cn: Some("dev1"),
+                ..Default::default()
+            },
+        );
         b.inbound(T0, 1, Some("x.tablodash.com"), "shared", "shared");
-        b.inbound(T0 + 100.0 * DAY, 2, Some("x.tablodash.com"), "shared", "shared");
+        b.inbound(
+            T0 + 100.0 * DAY,
+            2,
+            Some("x.tablodash.com"),
+            "shared",
+            "shared",
+        );
         b.inbound(T0, 3, Some("y.campus-main.edu"), "normal-s", "normal-c");
         let r = run(&b.build());
 
@@ -165,7 +204,14 @@ mod tests {
     #[test]
     fn public_issuer_flag_carries() {
         let mut b = CorpusBuilder::new();
-        b.cert("pubshared", CertOpts { issuer_org: Some("DigiCert Inc"), cn: Some("x.gpo.gov"), ..Default::default() });
+        b.cert(
+            "pubshared",
+            CertOpts {
+                issuer_org: Some("DigiCert Inc"),
+                cn: Some("x.gpo.gov"),
+                ..Default::default()
+            },
+        );
         b.outbound(T0, 1, Some("x.gpo.gov"), "pubshared", "pubshared");
         let r = run(&b.build());
         let row = r.row(Some("gpo.gov"), "DigiCert").expect("row");

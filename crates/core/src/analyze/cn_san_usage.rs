@@ -61,7 +61,12 @@ pub fn run(corpus: &Corpus) -> Report {
         if !cert.rec.san_ip.is_empty() {
             r.san_ip_nonempty += 1;
         }
-        let cn = cert.rec.subject_cn.as_deref().map(|s| !s.is_empty()).unwrap_or(false);
+        let cn = cert
+            .rec
+            .subject_cn
+            .as_deref()
+            .map(|s| !s.is_empty())
+            .unwrap_or(false);
         let san = !cert.rec.san_dns.is_empty();
         if cert.seen_as_server {
             r.server.add(cn, san);
@@ -127,9 +132,29 @@ mod tests {
     #[test]
     fn counts_non_empty_fields_per_class() {
         let mut b = CorpusBuilder::new();
-        b.cert("pub-s", CertOpts { issuer_org: Some("DigiCert Inc"), san_dns: vec!["a.example.com"], ..Default::default() });
-        b.cert("prv-s", CertOpts { issuer_org: Some("NodeRunner"), ..Default::default() }); // CN only
-        b.cert("no-cn", CertOpts { cn: None, issuer_org: None, ..Default::default() });
+        b.cert(
+            "pub-s",
+            CertOpts {
+                issuer_org: Some("DigiCert Inc"),
+                san_dns: vec!["a.example.com"],
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "prv-s",
+            CertOpts {
+                issuer_org: Some("NodeRunner"),
+                ..Default::default()
+            },
+        ); // CN only
+        b.cert(
+            "no-cn",
+            CertOpts {
+                cn: None,
+                issuer_org: None,
+                ..Default::default()
+            },
+        );
         b.inbound(T0, 1, None, "pub-s", "no-cn");
         b.inbound(T0, 2, None, "prv-s", "no-cn");
         let r = run(&b.build());

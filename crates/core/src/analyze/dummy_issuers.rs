@@ -97,9 +97,11 @@ pub fn run(corpus: &Corpus) -> Report {
                 .issuer_org
                 .clone()
                 .unwrap_or_default();
-            let entry = both_acc
-                .entry((conn.sld.clone(), org))
-                .or_insert((HashSet::new(), f64::INFINITY, f64::NEG_INFINITY));
+            let entry = both_acc.entry((conn.sld.clone(), org)).or_insert((
+                HashSet::new(),
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+            ));
             entry.0.insert(conn.rec.orig_h);
             entry.1 = entry.1.min(conn.rec.ts);
             entry.2 = entry.2.max(conn.rec.ts);
@@ -136,7 +138,12 @@ pub fn run(corpus: &Corpus) -> Report {
         }
     }
 
-    Report { rows, both, v1_client_certs: v1, weak_key_client_certs: weak }
+    Report {
+        rows,
+        both,
+        v1_client_certs: v1,
+        weak_key_client_certs: weak,
+    }
 }
 
 impl Report {
@@ -144,7 +151,15 @@ impl Report {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Table 4: certificates with dummy issuers in mutual TLS",
-            &["direction", "side", "dummy issuer org", "servers", "clients", "conns", "slds"],
+            &[
+                "direction",
+                "side",
+                "dummy issuer org",
+                "servers",
+                "clients",
+                "conns",
+                "slds",
+            ],
         );
         for ((org, side, inbound), row) in &self.rows {
             let mut slds: Vec<&str> = row.slds.iter().map(|s| s.as_str()).collect();
@@ -190,30 +205,51 @@ mod tests {
     #[test]
     fn groups_sides_directions_and_subpopulations() {
         let mut b = CorpusBuilder::new();
-        b.cert("srv", CertOpts { issuer_org: Some("NodeRunner"), ..Default::default() });
-        b.cert("dummy-c", CertOpts {
-            issuer_org: Some("Internet Widgits Pty Ltd"),
-            cn: Some("blob1"),
-            version: 1,
-            ..Default::default()
-        });
-        b.cert("dummy-weak", CertOpts {
-            issuer_org: Some("Unspecified"),
-            cn: Some("blob2"),
-            key_length: 1024,
-            ..Default::default()
-        });
-        b.cert("dummy-s", CertOpts {
-            issuer_org: Some("Acme Co"),
-            cn: Some("node7.acme-fleet.com"),
-            ..Default::default()
-        });
+        b.cert(
+            "srv",
+            CertOpts {
+                issuer_org: Some("NodeRunner"),
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "dummy-c",
+            CertOpts {
+                issuer_org: Some("Internet Widgits Pty Ltd"),
+                cn: Some("blob1"),
+                version: 1,
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "dummy-weak",
+            CertOpts {
+                issuer_org: Some("Unspecified"),
+                cn: Some("blob2"),
+                key_length: 1024,
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "dummy-s",
+            CertOpts {
+                issuer_org: Some("Acme Co"),
+                cn: Some("node7.acme-fleet.com"),
+                ..Default::default()
+            },
+        );
         b.inbound(T0, 1, Some("gw.localorg-a.org"), "srv", "dummy-c");
         b.outbound(T0, 2, Some("x.cn-registry.cn"), "srv", "dummy-weak");
         b.outbound(T0, 3, Some("node7.acme-fleet.com"), "dummy-s", "dummy-weak");
         // Both endpoints dummy, 10 days apart.
         b.outbound(T0, 4, Some("a.fireboard.io"), "dummy-s", "dummy-c");
-        b.outbound(T0 + 10.0 * DAY, 4, Some("a.fireboard.io"), "dummy-s", "dummy-c");
+        b.outbound(
+            T0 + 10.0 * DAY,
+            4,
+            Some("a.fireboard.io"),
+            "dummy-s",
+            "dummy-c",
+        );
         let r = run(&b.build());
 
         let key = ("Internet Widgits Pty Ltd".to_string(), "client", true);
@@ -241,8 +277,20 @@ mod tests {
     #[test]
     fn non_dummy_certs_do_not_appear() {
         let mut b = CorpusBuilder::new();
-        b.cert("s", CertOpts { issuer_org: Some("DigiCert Inc"), ..Default::default() });
-        b.cert("c", CertOpts { issuer_org: Some("Honeywell International Inc"), ..Default::default() });
+        b.cert(
+            "s",
+            CertOpts {
+                issuer_org: Some("DigiCert Inc"),
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "c",
+            CertOpts {
+                issuer_org: Some("Honeywell International Inc"),
+                ..Default::default()
+            },
+        );
         b.outbound(T0, 1, Some("x.amazonaws.com"), "s", "c");
         let r = run(&b.build());
         assert!(r.rows.is_empty());

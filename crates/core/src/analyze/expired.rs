@@ -38,7 +38,9 @@ pub fn run(corpus: &Corpus) -> Report {
     let mut seen: HashSet<usize> = HashSet::new();
 
     for conn in corpus.mtls_conns() {
-        let Some(cid) = conn.client_leaf else { continue };
+        let Some(cid) = conn.client_leaf else {
+            continue;
+        };
         let cert = corpus.cert(cid);
         if conn.rec.ts <= cert.rec.not_valid_after as f64 || cert.rec.has_incorrect_dates() {
             continue;
@@ -119,7 +121,11 @@ impl Report {
             &["association", "conns", "%"],
         );
         for (assoc, n) in &self.inbound_assoc {
-            t.row(vec![assoc.label().to_string(), count(*n), pct(*n, conn_total)]);
+            t.row(vec![
+                assoc.label().to_string(),
+                count(*n),
+                pct(*n, conn_total),
+            ]);
         }
         s.push_str(&t.render());
         let out_points: Vec<(f64, f64, char)> = self
@@ -150,7 +156,9 @@ impl Report {
         s.push_str(&format!(
             "Figure 5b cluster (~1000 days expired, outbound): {} certs, {} Apple, {} Microsoft\n\
              (paper: 339-cert cluster, 337 Apple, 2 Microsoft)\n",
-            self.outbound_cluster_total, self.outbound_cluster_apple, self.outbound_cluster_microsoft
+            self.outbound_cluster_total,
+            self.outbound_cluster_apple,
+            self.outbound_cluster_microsoft
         ));
         s
     }
@@ -166,23 +174,35 @@ mod tests {
         let mut b = CorpusBuilder::new();
         b.cert("srv", CertOpts::default());
         // Expired ~1000 days before first observation, Apple-issued.
-        b.cert("apple", CertOpts {
-            cn: Some("u1"),
-            issuer_org: Some("Apple Inc."),
-            not_before: T0 - 1_365.0 * DAY,
-            not_after: T0 - 1_000.0 * DAY,
-            ..Default::default()
-        });
+        b.cert(
+            "apple",
+            CertOpts {
+                cn: Some("u1"),
+                issuer_org: Some("Apple Inc."),
+                not_before: T0 - 1_365.0 * DAY,
+                not_after: T0 - 1_000.0 * DAY,
+                ..Default::default()
+            },
+        );
         // Freshly valid cert: not in scope.
-        b.cert("valid", CertOpts { cn: Some("u2"), ..Default::default() });
+        b.cert(
+            "valid",
+            CertOpts {
+                cn: Some("u2"),
+                ..Default::default()
+            },
+        );
         // Inbound expired cert at the VPN.
-        b.cert("vpn-cli", CertOpts {
-            cn: Some("u3"),
-            issuer_org: None,
-            not_before: T0 - 400.0 * DAY,
-            not_after: T0 - 50.0 * DAY,
-            ..Default::default()
-        });
+        b.cert(
+            "vpn-cli",
+            CertOpts {
+                cn: Some("u3"),
+                issuer_org: None,
+                not_before: T0 - 400.0 * DAY,
+                not_after: T0 - 50.0 * DAY,
+                ..Default::default()
+            },
+        );
         b.outbound(T0, 1, Some("gs.apple.com"), "srv", "apple");
         b.outbound(T0 + 90.0 * DAY, 1, Some("gs.apple.com"), "srv", "apple");
         b.outbound(T0, 2, Some("x.amazonaws.com"), "srv", "valid");
@@ -190,7 +210,11 @@ mod tests {
         let r = run(&b.build());
 
         assert_eq!(r.points.len(), 2);
-        let apple = r.points.iter().find(|p| p.issuer_org.contains("Apple")).expect("apple point");
+        let apple = r
+            .points
+            .iter()
+            .find(|p| p.issuer_org.contains("Apple"))
+            .expect("apple point");
         assert_eq!(apple.days_expired, 1_000);
         assert_eq!(apple.activity_days, 90);
         assert!(!apple.inbound);
@@ -203,12 +227,15 @@ mod tests {
     fn inverted_dates_are_not_expired() {
         let mut b = CorpusBuilder::new();
         b.cert("srv", CertOpts::default());
-        b.cert("weird", CertOpts {
-            cn: Some("w"),
-            not_before: T0,
-            not_after: T0 - 60_000.0 * DAY, // year ~1850
-            ..Default::default()
-        });
+        b.cert(
+            "weird",
+            CertOpts {
+                cn: Some("w"),
+                not_before: T0,
+                not_after: T0 - 60_000.0 * DAY, // year ~1850
+                ..Default::default()
+            },
+        );
         b.outbound(T0, 1, None, "srv", "weird");
         let r = run(&b.build());
         assert!(r.points.is_empty(), "Figure 3 population, not Figure 5");

@@ -129,14 +129,60 @@ mod tests {
     fn computes_each_bullet() {
         let mut b = CorpusBuilder::new();
         b.cert("s", CertOpts::default());
-        b.cert("c", CertOpts { cn: Some("dev"), ..Default::default() });
+        b.cert(
+            "c",
+            CertOpts {
+                cn: Some("dev"),
+                ..Default::default()
+            },
+        );
         // Inbound: one FileWave, one health 443.
-        b.conn(T0, external(1), internal(1), 20_017, Some("x.campus-main.edu"), "s", "c");
-        b.conn(T0, external(2), internal(1), 443, Some("p.campus-health.org"), "s", "c");
+        b.conn(
+            T0,
+            external(1),
+            internal(1),
+            20_017,
+            Some("x.campus-main.edu"),
+            "s",
+            "c",
+        );
+        b.conn(
+            T0,
+            external(2),
+            internal(1),
+            443,
+            Some("p.campus-health.org"),
+            "s",
+            "c",
+        );
         // Outbound: one SMTP, one amazonaws, one misc.
-        b.conn(T0, internal(1), external(10), 25, Some("mx.mailrelay.com"), "s", "c");
-        b.conn(T0, internal(2), external(11), 443, Some("e.amazonaws.com"), "s", "c");
-        b.conn(T0, internal(3), external(12), 443, Some("n.devboard.com"), "s", "c");
+        b.conn(
+            T0,
+            internal(1),
+            external(10),
+            25,
+            Some("mx.mailrelay.com"),
+            "s",
+            "c",
+        );
+        b.conn(
+            T0,
+            internal(2),
+            external(11),
+            443,
+            Some("e.amazonaws.com"),
+            "s",
+            "c",
+        );
+        b.conn(
+            T0,
+            internal(3),
+            external(12),
+            443,
+            Some("n.devboard.com"),
+            "s",
+            "c",
+        );
         let r = run(&b.build());
 
         assert!((r.inbound_device_mgmt_share - 0.5).abs() < 1e-12);

@@ -67,7 +67,9 @@ pub fn run(corpus: &Corpus) -> Report {
                 .map(|(cat, ips)| (*cat, ips.len() as f64 / acc.clients.len().max(1) as f64))
                 .collect();
             issuer_mix.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1).expect("no NaN").then_with(|| a.0.cmp(&b.0))
+                b.1.partial_cmp(&a.1)
+                    .expect("no NaN")
+                    .then_with(|| a.0.cmp(&b.0))
             });
             Some(Row {
                 association: *assoc,
@@ -84,7 +86,11 @@ pub fn run(corpus: &Corpus) -> Report {
             .then_with(|| a.association.cmp(&b.association))
     });
 
-    Report { rows, total_conns, total_clients: all_clients.len() }
+    Report {
+        rows,
+        total_conns,
+        total_clients: all_clients.len(),
+    }
 }
 
 impl Report {
@@ -97,7 +103,15 @@ impl Report {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Table 3: inbound mutual TLS by server association",
-            &["server association", "% conns", "% clients", "primary issuer", "%", "secondary issuer", "%"],
+            &[
+                "server association",
+                "% conns",
+                "% clients",
+                "primary issuer",
+                "%",
+                "secondary issuer",
+                "%",
+            ],
         );
         for row in &self.rows {
             let primary = row.issuer_mix.first();
@@ -106,10 +120,18 @@ impl Report {
                 row.association.label().to_string(),
                 pct_f(row.conn_share),
                 pct_f(row.client_share),
-                primary.map(|(c, _)| c.label().to_string()).unwrap_or_else(|| "-".into()),
-                primary.map(|(_, s)| pct_f(*s)).unwrap_or_else(|| "-".into()),
-                secondary.map(|(c, _)| c.label().to_string()).unwrap_or_else(|| "-".into()),
-                secondary.map(|(_, s)| pct_f(*s)).unwrap_or_else(|| "-".into()),
+                primary
+                    .map(|(c, _)| c.label().to_string())
+                    .unwrap_or_else(|| "-".into()),
+                primary
+                    .map(|(_, s)| pct_f(*s))
+                    .unwrap_or_else(|| "-".into()),
+                secondary
+                    .map(|(c, _)| c.label().to_string())
+                    .unwrap_or_else(|| "-".into()),
+                secondary
+                    .map(|(_, s)| pct_f(*s))
+                    .unwrap_or_else(|| "-".into()),
             ]);
         }
         t.render()
@@ -125,8 +147,20 @@ mod tests {
     fn association_and_issuer_mix_by_clients() {
         let mut b = CorpusBuilder::new();
         b.cert("srv", CertOpts::default());
-        b.cert("edu", CertOpts { issuer_org: Some("Commonwealth University"), ..Default::default() });
-        b.cert("missing", CertOpts { issuer_org: None, ..Default::default() });
+        b.cert(
+            "edu",
+            CertOpts {
+                issuer_org: Some("Commonwealth University"),
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "missing",
+            CertOpts {
+                issuer_org: None,
+                ..Default::default()
+            },
+        );
         // Three health clients with campus certs, one with a missing issuer.
         for n in 1..=3 {
             b.inbound(T0, n, Some("portal.campus-health.org"), "srv", "edu");
@@ -134,12 +168,28 @@ mod tests {
         b.inbound(T0, 4, Some("portal.campus-health.org"), "srv", "missing");
         // One unknown-association conn (no SNI, unhelpful cert names on
         // both sides so the SLD fallback finds nothing).
-        b.cert("anon-s", CertOpts { cn: Some("blob"), issuer_org: None, ..Default::default() });
-        b.cert("anon-c", CertOpts { cn: Some("blob2"), issuer_org: None, ..Default::default() });
+        b.cert(
+            "anon-s",
+            CertOpts {
+                cn: Some("blob"),
+                issuer_org: None,
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "anon-c",
+            CertOpts {
+                cn: Some("blob2"),
+                issuer_org: None,
+                ..Default::default()
+            },
+        );
         b.inbound(T0, 5, None, "anon-s", "anon-c");
         let r = run(&b.build());
 
-        let health = r.row(ServerAssociation::UniversityHealth).expect("health row");
+        let health = r
+            .row(ServerAssociation::UniversityHealth)
+            .expect("health row");
         assert!((health.conn_share - 4.0 / 5.0).abs() < 1e-12);
         assert!((health.client_share - 4.0 / 5.0).abs() < 1e-12);
         assert_eq!(health.issuer_mix[0].0, IssuerCategory::Education);

@@ -86,10 +86,14 @@ pub fn run(corpus: &Corpus) -> Report {
         }
         if let (Some(_), Some(c_id)) = (s_bad, c_bad) {
             let cert = corpus.cert(c_id);
-            let key = (conn.sld.clone(), cert.rec.issuer_org.clone().unwrap_or_default());
-            let e = both_acc
-                .entry(key)
-                .or_insert((HashSet::new(), f64::INFINITY, f64::NEG_INFINITY));
+            let key = (
+                conn.sld.clone(),
+                cert.rec.issuer_org.clone().unwrap_or_default(),
+            );
+            let e =
+                both_acc
+                    .entry(key)
+                    .or_insert((HashSet::new(), f64::INFINITY, f64::NEG_INFINITY));
             e.0.insert(conn.rec.orig_h);
             e.1 = e.1.min(conn.rec.ts);
             e.2 = e.2.max(conn.rec.ts);
@@ -120,11 +124,20 @@ pub fn run(corpus: &Corpus) -> Report {
     let both_ends: Vec<(Option<String>, String, usize, i64)> = both_acc
         .into_iter()
         .map(|((sld, issuer), (clients, first, last))| {
-            (sld, issuer, clients.len(), ((last - first) / 86_400.0).round() as i64)
+            (
+                sld,
+                issuer,
+                clients.len(),
+                ((last - first) / 86_400.0).round() as i64,
+            )
         })
         .collect();
 
-    Report { rows, both_ends, total_certs: bad.len() }
+    Report {
+        rows,
+        both_ends,
+        total_certs: bad.len(),
+    }
 }
 
 impl Report {
@@ -139,7 +152,15 @@ impl Report {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Figure 3 / Table 11: certificates with incorrect dates",
-            &["sld", "side", "issuer", "(nb, na) years", "certs", "clients", "duration (d)"],
+            &[
+                "sld",
+                "side",
+                "issuer",
+                "(nb, na) years",
+                "certs",
+                "clients",
+                "duration (d)",
+            ],
         );
         for row in &self.rows {
             t.row(vec![
@@ -166,7 +187,10 @@ impl Report {
             ]);
         }
         s.push_str(&t2.render());
-        s.push_str(&format!("total incorrect-date certificates: {}\n", self.total_certs));
+        s.push_str(&format!(
+            "total incorrect-date certificates: {}\n",
+            self.total_certs
+        ));
         s
     }
 }
@@ -179,13 +203,37 @@ mod tests {
     #[test]
     fn inverted_and_identical_dates_detected() {
         let mut b = CorpusBuilder::new();
-        b.cert("srv", CertOpts { issuer_org: Some("IDrive Inc Certificate Authority"), cn: Some("b.idrive.com"),
-            not_before: T0 - 100.0 * DAY, not_after: T0 - 60_000.0 * DAY, ..Default::default() });
-        b.cert("cli", CertOpts { issuer_org: Some("IDrive Inc Certificate Authority"), cn: Some("dev-1"),
-            not_before: T0 - 200.0 * DAY, not_after: T0 - 63_000.0 * DAY, ..Default::default() });
+        b.cert(
+            "srv",
+            CertOpts {
+                issuer_org: Some("IDrive Inc Certificate Authority"),
+                cn: Some("b.idrive.com"),
+                not_before: T0 - 100.0 * DAY,
+                not_after: T0 - 60_000.0 * DAY,
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "cli",
+            CertOpts {
+                issuer_org: Some("IDrive Inc Certificate Authority"),
+                cn: Some("dev-1"),
+                not_before: T0 - 200.0 * DAY,
+                not_after: T0 - 63_000.0 * DAY,
+                ..Default::default()
+            },
+        );
         // The ayoba-style identical pair.
-        b.cert("same", CertOpts { issuer_org: Some("OpenPGP to X.509 Bridge"), cn: Some("peer"),
-            not_before: T0, not_after: T0, ..Default::default() });
+        b.cert(
+            "same",
+            CertOpts {
+                issuer_org: Some("OpenPGP to X.509 Bridge"),
+                cn: Some("peer"),
+                not_before: T0,
+                not_after: T0,
+                ..Default::default()
+            },
+        );
         b.cert("ok-s", CertOpts::default());
         b.outbound(T0, 1, Some("b.idrive.com"), "srv", "cli");
         b.outbound(T0 + 490.0 * DAY, 1, Some("b.idrive.com"), "srv", "cli");
@@ -202,14 +250,21 @@ mod tests {
         assert!(r
             .both_ends
             .iter()
-            .any(|(sld, issuer, ..)| sld.as_deref() == Some("idrive.com") && issuer.contains("IDrive")));
+            .any(|(sld, issuer, ..)| sld.as_deref() == Some("idrive.com")
+                && issuer.contains("IDrive")));
     }
 
     #[test]
     fn healthy_certs_ignored() {
         let mut b = CorpusBuilder::new();
         b.cert("s", CertOpts::default());
-        b.cert("c", CertOpts { cn: Some("dev"), ..Default::default() });
+        b.cert(
+            "c",
+            CertOpts {
+                cn: Some("dev"),
+                ..Default::default()
+            },
+        );
         b.outbound(T0, 1, None, "s", "c");
         let r = run(&b.build());
         assert_eq!(r.total_certs, 0);

@@ -100,14 +100,26 @@ pub fn run(corpus: &Corpus, slice: Slice) -> Report {
             Slice::SharedCerts => {
                 // Table 13 groups only by issuer class (shared certs are by
                 // definition both roles); reuse the server cells.
-                cells.push(if cert.public { Cell::ServerPublic } else { Cell::ServerPrivate });
+                cells.push(if cert.public {
+                    Cell::ServerPublic
+                } else {
+                    Cell::ServerPrivate
+                });
             }
             Slice::Mtls => {
                 if cert.seen_as_server {
-                    cells.push(if cert.public { Cell::ServerPublic } else { Cell::ServerPrivate });
+                    cells.push(if cert.public {
+                        Cell::ServerPublic
+                    } else {
+                        Cell::ServerPrivate
+                    });
                 }
                 if cert.seen_as_client {
-                    cells.push(if cert.public { Cell::ClientPublic } else { Cell::ClientPrivate });
+                    cells.push(if cert.public {
+                        Cell::ClientPublic
+                    } else {
+                        Cell::ClientPrivate
+                    });
                 }
             }
         }
@@ -193,12 +205,55 @@ mod tests {
 
     fn corpus() -> crate::corpus::Corpus {
         let mut b = CorpusBuilder::new();
-        b.cert("pub-s", CertOpts { issuer_org: Some("DigiCert Inc"), cn: Some("a.example.com"), san_dns: vec!["a.example.com"], ..Default::default() });
-        b.cert("webrtc-s", CertOpts { issuer_org: Some("WebRTC"), cn: Some("WebRTC"), ..Default::default() });
-        b.cert("name-c", CertOpts { issuer_org: Some("Commonwealth University"), cn: Some("John Smith"), ..Default::default() });
-        b.cert("acct-c", CertOpts { issuer_org: Some("Commonwealth University"), cn: Some("hd7gr"), ..Default::default() });
-        b.cert("shared", CertOpts { issuer_org: Some("Globus Online"), cn: Some("__transfer__"), ..Default::default() });
-        b.cert("plain-s", CertOpts { issuer_org: Some("NodeRunner"), cn: Some("hmpp"), ..Default::default() });
+        b.cert(
+            "pub-s",
+            CertOpts {
+                issuer_org: Some("DigiCert Inc"),
+                cn: Some("a.example.com"),
+                san_dns: vec!["a.example.com"],
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "webrtc-s",
+            CertOpts {
+                issuer_org: Some("WebRTC"),
+                cn: Some("WebRTC"),
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "name-c",
+            CertOpts {
+                issuer_org: Some("Commonwealth University"),
+                cn: Some("John Smith"),
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "acct-c",
+            CertOpts {
+                issuer_org: Some("Commonwealth University"),
+                cn: Some("hd7gr"),
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "shared",
+            CertOpts {
+                issuer_org: Some("Globus Online"),
+                cn: Some("__transfer__"),
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "plain-s",
+            CertOpts {
+                issuer_org: Some("NodeRunner"),
+                cn: Some("hmpp"),
+                ..Default::default()
+            },
+        );
         b.inbound(T0, 1, None, "pub-s", "name-c");
         b.inbound(T0, 2, None, "webrtc-s", "acct-c");
         b.inbound(T0, 3, None, "shared", "shared"); // dual role
@@ -240,13 +295,22 @@ mod tests {
     #[test]
     fn san_multi_type_counts_once_per_type() {
         let mut b = CorpusBuilder::new();
-        b.cert("multi", CertOpts {
-            issuer_org: Some("NodeRunner"),
-            cn: Some("x"),
-            san_dns: vec!["a.example.com", "b.example.com", "John Smith"],
-            ..Default::default()
-        });
-        b.cert("cli", CertOpts { cn: Some("d"), ..Default::default() });
+        b.cert(
+            "multi",
+            CertOpts {
+                issuer_org: Some("NodeRunner"),
+                cn: Some("x"),
+                san_dns: vec!["a.example.com", "b.example.com", "John Smith"],
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "cli",
+            CertOpts {
+                cn: Some("d"),
+                ..Default::default()
+            },
+        );
         b.inbound(T0, 1, None, "multi", "cli");
         let r = run(&b.build(), Slice::Mtls);
         let (dom, _) = r.san_share(Cell::ServerPrivate, InfoType::Domain);

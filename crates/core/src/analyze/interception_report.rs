@@ -33,11 +33,20 @@ impl Report {
             "Preprocessing: TLS-interception filtering (section 3.2.1)",
             &["metric", "value"],
         );
-        t.row(vec!["interception issuers".into(), count(self.issuers.len())]);
-        t.row(vec!["certificates excluded".into(), count(self.excluded_certs)]);
+        t.row(vec![
+            "interception issuers".into(),
+            count(self.issuers.len()),
+        ]);
+        t.row(vec![
+            "certificates excluded".into(),
+            count(self.excluded_certs),
+        ]);
         t.row(vec![
             "% of unique certificates".into(),
-            format!("{}% (paper 8.4%)", pct(self.excluded_certs, self.total_certs)),
+            format!(
+                "{}% (paper 8.4%)",
+                pct(self.excluded_certs, self.total_certs)
+            ),
         ]);
         let mut s = t.render();
         for issuer in self.issuers.iter().take(5) {
@@ -50,8 +59,8 @@ impl Report {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mtls_intern::{FxHashSet, Interner, Symbol};
     use mtls_zeek::X509Record;
-    use std::collections::HashSet;
 
     #[test]
     fn reports_exclusion_share() {
@@ -76,14 +85,15 @@ mod tests {
             basic_constraints_ca: false,
         };
         let certs = vec![rec("a"), rec("b"), rec("c"), rec("d")];
-        let mut excluded = HashSet::new();
-        excluded.insert("a".to_string());
+        let mut interner = Interner::new();
+        let excluded: FxHashSet<Symbol> = [interner.intern("a")].into_iter().collect();
         let corpus = crate::corpus::Corpus::build(
-            &[],
-            &certs,
+            vec![],
+            certs,
             crate::testutil::meta(),
             &excluded,
             vec!["ProxyCo CA".into()],
+            interner,
         );
         let r = run(&corpus);
         assert_eq!(r.excluded_certs, 1);

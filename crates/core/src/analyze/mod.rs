@@ -11,9 +11,9 @@ pub mod cn_san_usage;
 pub mod dummy_issuers;
 pub mod expired;
 pub mod generalization;
+pub mod inbound;
 pub mod incorrect_dates;
 pub mod info_types;
-pub mod inbound;
 pub mod interception_report;
 pub mod outbound_flows;
 pub mod ports;

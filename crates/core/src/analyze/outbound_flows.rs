@@ -68,7 +68,9 @@ pub fn run(corpus: &Corpus) -> Report {
             continue;
         };
         total += 1;
-        *flows.entry((tld.clone(), server_public, client_cat)).or_insert(0) += 1;
+        *flows
+            .entry((tld.clone(), server_public, client_cat))
+            .or_insert(0) += 1;
         *slds.entry(sld.clone()).or_insert(0) += 1;
     }
 
@@ -94,7 +96,9 @@ pub fn run(corpus: &Corpus) -> Report {
         .map(|(sld, n)| (sld, n as f64 / total.max(1) as f64))
         .collect();
     top_slds.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).expect("no NaN").then_with(|| a.0.cmp(&b.0))
+        b.1.partial_cmp(&a.1)
+            .expect("no NaN")
+            .then_with(|| a.0.cmp(&b.0))
     });
 
     Report {
@@ -155,17 +159,55 @@ mod tests {
     #[test]
     fn flows_slds_and_missing_issuer_stats() {
         let mut b = CorpusBuilder::new();
-        b.cert("pub-s", CertOpts { issuer_org: Some("DigiCert Inc"), ..Default::default() });
-        b.cert("prv-s", CertOpts { issuer_org: Some("Splunk"), ..Default::default() });
-        b.cert("missing-c", CertOpts { issuer_org: None, ..Default::default() });
-        b.cert("corp-c", CertOpts { issuer_org: Some("Honeywell International Inc"), ..Default::default() });
+        b.cert(
+            "pub-s",
+            CertOpts {
+                issuer_org: Some("DigiCert Inc"),
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "prv-s",
+            CertOpts {
+                issuer_org: Some("Splunk"),
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "missing-c",
+            CertOpts {
+                issuer_org: None,
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "corp-c",
+            CertOpts {
+                issuer_org: Some("Honeywell International Inc"),
+                ..Default::default()
+            },
+        );
         b.outbound(T0, 1, Some("x.amazonaws.com"), "pub-s", "missing-c");
         b.outbound(T0, 2, Some("y.amazonaws.com"), "pub-s", "corp-c");
         b.outbound(T0, 3, Some("z.splunkcloud.com"), "prv-s", "corp-c");
         // No SNI and no domain-like names on either side: outside the figure
         // (the corpus would otherwise fall back to certificate names).
-        b.cert("anon-s", CertOpts { cn: Some("gc-node"), issuer_org: Some("GuardiCore"), ..Default::default() });
-        b.cert("anon-c", CertOpts { cn: Some("gc-agent"), issuer_org: None, ..Default::default() });
+        b.cert(
+            "anon-s",
+            CertOpts {
+                cn: Some("gc-node"),
+                issuer_org: Some("GuardiCore"),
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "anon-c",
+            CertOpts {
+                cn: Some("gc-agent"),
+                issuer_org: None,
+                ..Default::default()
+            },
+        );
         b.outbound(T0, 4, None, "anon-s", "anon-c");
         let r = run(&b.build());
 

@@ -94,8 +94,12 @@ fn rank(counts: HashMap<PortGroup, usize>) -> RankedPorts {
 
 /// Run the analyzer.
 pub fn run(corpus: &Corpus) -> Report {
-    let mut cells: [HashMap<PortGroup, usize>; 4] =
-        [HashMap::new(), HashMap::new(), HashMap::new(), HashMap::new()];
+    let mut cells: [HashMap<PortGroup, usize>; 4] = [
+        HashMap::new(),
+        HashMap::new(),
+        HashMap::new(),
+        HashMap::new(),
+    ];
     for conn in corpus.live_conns() {
         let idx = match (conn.direction, conn.mtls) {
             (Direction::Inbound, true) => 0,
@@ -104,7 +108,9 @@ pub fn run(corpus: &Corpus) -> Report {
             (Direction::Outbound, false) => 3,
             (Direction::Transit, _) => continue,
         };
-        *cells[idx].entry(PortGroup::of(conn.rec.resp_p)).or_insert(0) += 1;
+        *cells[idx]
+            .entry(PortGroup::of(conn.rec.resp_p))
+            .or_insert(0) += 1;
     }
     let [a, b, c, d] = cells;
     Report {

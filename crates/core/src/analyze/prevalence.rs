@@ -74,7 +74,11 @@ pub fn run(corpus: &Corpus) -> Report {
         .collect();
     let share_start = months.first().map(|m| m.share).unwrap_or(0.0);
     let share_end = months.last().map(|m| m.share).unwrap_or(0.0);
-    Report { months, share_start, share_end }
+    Report {
+        months,
+        share_start,
+        share_end,
+    }
 }
 
 impl Report {
@@ -91,7 +95,13 @@ impl Report {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Figure 1: mutual-TLS share of TLS connections (monthly)",
-            &["month", "mTLS in", "mTLS out", "non-mTLS (sampled)", "mTLS share %"],
+            &[
+                "month",
+                "mTLS in",
+                "mTLS out",
+                "non-mTLS (sampled)",
+                "mTLS share %",
+            ],
         );
         for m in &self.months {
             t.row(vec![

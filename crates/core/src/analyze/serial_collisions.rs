@@ -145,7 +145,15 @@ impl Report {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Serial-number collisions within the same issuer (section 5.1.2)",
-            &["issuer", "serial", "client certs", "server certs", "conns", "clients", "median validity (d)"],
+            &[
+                "issuer",
+                "serial",
+                "client certs",
+                "server certs",
+                "conns",
+                "clients",
+                "median validity (d)",
+            ],
         );
         for g in self.groups.iter().take(12) {
             t.row(vec![
@@ -177,13 +185,45 @@ mod tests {
         let mut b = CorpusBuilder::new();
         // Two client certs and one server cert share serial 00 under one CA.
         for fp in ["a", "b"] {
-            b.cert(fp, CertOpts { issuer_org: Some("Globus Online"), serial: "00", cn: Some("t1"), ..Default::default() });
+            b.cert(
+                fp,
+                CertOpts {
+                    issuer_org: Some("Globus Online"),
+                    serial: "00",
+                    cn: Some("t1"),
+                    ..Default::default()
+                },
+            );
         }
-        b.cert("srv00", CertOpts { issuer_org: Some("Globus Online"), serial: "00", cn: Some("t2"), ..Default::default() });
+        b.cert(
+            "srv00",
+            CertOpts {
+                issuer_org: Some("Globus Online"),
+                serial: "00",
+                cn: Some("t2"),
+                ..Default::default()
+            },
+        );
         // Same serial, *different* issuer: no collision across issuers.
-        b.cert("other", CertOpts { issuer_org: Some("GuardiCore"), serial: "00", cn: Some("t3"), ..Default::default() });
+        b.cert(
+            "other",
+            CertOpts {
+                issuer_org: Some("GuardiCore"),
+                serial: "00",
+                cn: Some("t3"),
+                ..Default::default()
+            },
+        );
         // Unique serial: never a collision.
-        b.cert("uniq", CertOpts { issuer_org: Some("Globus Online"), serial: "0BEEF0", cn: Some("t4"), ..Default::default() });
+        b.cert(
+            "uniq",
+            CertOpts {
+                issuer_org: Some("Globus Online"),
+                serial: "0BEEF0",
+                cn: Some("t4"),
+                ..Default::default()
+            },
+        );
 
         b.inbound(T0, 1, None, "srv00", "a");
         b.inbound(T0, 2, None, "srv00", "b");
@@ -206,7 +246,15 @@ mod tests {
     fn both_endpoint_collisions_counted() {
         let mut b = CorpusBuilder::new();
         for fp in ["x", "y"] {
-            b.cert(fp, CertOpts { issuer_org: Some("ViptelaClient"), serial: "024680", cn: Some(if fp == "x" { "cx" } else { "cy" }), ..Default::default() });
+            b.cert(
+                fp,
+                CertOpts {
+                    issuer_org: Some("ViptelaClient"),
+                    serial: "024680",
+                    cn: Some(if fp == "x" { "cx" } else { "cy" }),
+                    ..Default::default()
+                },
+            );
         }
         b.outbound(T0, 7, None, "x", "y");
         let r = run(&b.build());

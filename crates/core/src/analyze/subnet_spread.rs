@@ -70,7 +70,9 @@ pub fn run(corpus: &Corpus) -> Report {
         .map(|(org, n)| (org, n as f64 / qualifying.len().max(1) as f64))
         .collect();
     issuer_mix.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).expect("no NaN").then_with(|| a.0.cmp(&b.0))
+        b.1.partial_cmp(&a.1)
+            .expect("no NaN")
+            .then_with(|| a.0.cmp(&b.0))
     });
 
     Report {
@@ -99,7 +101,10 @@ impl Report {
                 .collect(),
         );
         let mut s = t.render();
-        s.push_str(&format!("cross-shared certificates: {}\n", self.cross_shared_certs));
+        s.push_str(&format!(
+            "cross-shared certificates: {}\n",
+            self.cross_shared_certs
+        ));
         for (org, share) in self.issuer_mix.iter().take(4) {
             s.push_str(&format!(
                 "  issuer {:.1}%: {}\n",
@@ -119,7 +124,14 @@ mod tests {
     #[test]
     fn same_connection_sharing_does_not_qualify() {
         let mut b = CorpusBuilder::new();
-        b.cert("fxp", CertOpts { issuer_org: Some("Globus Online"), cn: Some("t"), ..Default::default() });
+        b.cert(
+            "fxp",
+            CertOpts {
+                issuer_org: Some("Globus Online"),
+                cn: Some("t"),
+                ..Default::default()
+            },
+        );
         b.inbound(T0, 1, None, "fxp", "fxp"); // 5.2.1, not 5.2.2
         let r = run(&b.build());
         assert_eq!(r.cross_shared_certs, 0);
@@ -128,12 +140,42 @@ mod tests {
     #[test]
     fn distinct_role_usage_counts_subnets() {
         let mut b = CorpusBuilder::new();
-        b.cert("dual", CertOpts { issuer_org: Some("Let's Encrypt"), cn: Some("x.shared-svc.com"), san_dns: vec!["x.shared-svc.com"], ..Default::default() });
+        b.cert(
+            "dual",
+            CertOpts {
+                issuer_org: Some("Let's Encrypt"),
+                cn: Some("x.shared-svc.com"),
+                san_dns: vec!["x.shared-svc.com"],
+                ..Default::default()
+            },
+        );
         b.cert("peer-s", CertOpts::default());
-        b.cert("peer-c", CertOpts { cn: Some("agent1"), ..Default::default() });
+        b.cert(
+            "peer-c",
+            CertOpts {
+                cn: Some("agent1"),
+                ..Default::default()
+            },
+        );
         // As server from two distinct /24s (distinct resp subnets).
-        b.conn(T0, external(1), internal(0x0100), 443, Some("x.shared-svc.com"), "dual", "peer-c");
-        b.conn(T0, external(2), internal(0x0200), 443, Some("x.shared-svc.com"), "dual", "peer-c");
+        b.conn(
+            T0,
+            external(1),
+            internal(0x0100),
+            443,
+            Some("x.shared-svc.com"),
+            "dual",
+            "peer-c",
+        );
+        b.conn(
+            T0,
+            external(2),
+            internal(0x0200),
+            443,
+            Some("x.shared-svc.com"),
+            "dual",
+            "peer-c",
+        );
         // As client from three distinct /24s (distinct orig subnets).
         for n in [0x0100u16, 0x0200, 0x0300] {
             b.conn(T0, internal(n), external(9), 443, None, "peer-s", "dual");

@@ -77,7 +77,10 @@ pub fn run(corpus: &Corpus) -> Report {
         });
     }
 
-    let mut windows: Vec<usize> = tracked.iter().map(|t| t.window_days.max(0) as usize).collect();
+    let mut windows: Vec<usize> = tracked
+        .iter()
+        .map(|t| t.window_days.max(0) as usize)
+        .collect();
     windows.sort_unstable();
     let window_quantiles = [
         quantile(&windows, 0.50),
@@ -130,7 +133,13 @@ impl Report {
         );
         let mut t = Table::new(
             "Worst tracking exposures",
-            &["fingerprint (prefix)", "window (d)", "ips", "/24s", "identifies user"],
+            &[
+                "fingerprint (prefix)",
+                "window (d)",
+                "ips",
+                "/24s",
+                "identifies user",
+            ],
         );
         for w in &self.worst {
             t.row(vec![
@@ -156,16 +165,60 @@ mod tests {
         let mut b = CorpusBuilder::new();
         b.cert("srv", CertOpts::default());
         // A named user tracked for 200 days across two /24s.
-        b.cert("named", CertOpts { cn: Some("John Smith"), issuer_org: Some("Commonwealth University"), ..Default::default() });
+        b.cert(
+            "named",
+            CertOpts {
+                cn: Some("John Smith"),
+                issuer_org: Some("Commonwealth University"),
+                ..Default::default()
+            },
+        );
         b.conn(T0, external(0x0101), internal(9), 443, None, "srv", "named");
-        b.conn(T0 + 200.0 * DAY, external(0x0201), internal(9), 443, None, "srv", "named");
+        b.conn(
+            T0 + 200.0 * DAY,
+            external(0x0201),
+            internal(9),
+            443,
+            None,
+            "srv",
+            "named",
+        );
         // An anonymous device seen twice in one day from one address.
-        b.cert("anon", CertOpts { cn: Some("f3a9c2d1"), issuer_org: None, ..Default::default() });
+        b.cert(
+            "anon",
+            CertOpts {
+                cn: Some("f3a9c2d1"),
+                issuer_org: None,
+                ..Default::default()
+            },
+        );
         b.conn(T0, external(0x0301), internal(9), 443, None, "srv", "anon");
-        b.conn(T0 + 3_600.0, external(0x0301), internal(9), 443, None, "srv", "anon");
+        b.conn(
+            T0 + 3_600.0,
+            external(0x0301),
+            internal(9),
+            443,
+            None,
+            "srv",
+            "anon",
+        );
         // A single-connection cert: not trackable.
-        b.cert("oneshot", CertOpts { cn: Some("x"), ..Default::default() });
-        b.conn(T0, external(0x0401), internal(9), 443, None, "srv", "oneshot");
+        b.cert(
+            "oneshot",
+            CertOpts {
+                cn: Some("x"),
+                ..Default::default()
+            },
+        );
+        b.conn(
+            T0,
+            external(0x0401),
+            internal(9),
+            443,
+            None,
+            "srv",
+            "oneshot",
+        );
         let r = run(&b.build());
 
         assert_eq!(r.trackable, 2);
@@ -181,7 +234,14 @@ mod tests {
     fn user_accounts_count_as_identity() {
         let mut b = CorpusBuilder::new();
         b.cert("srv", CertOpts::default());
-        b.cert("acct", CertOpts { cn: Some("hd7gr"), issuer_org: Some("Commonwealth University"), ..Default::default() });
+        b.cert(
+            "acct",
+            CertOpts {
+                cn: Some("hd7gr"),
+                issuer_org: Some("Commonwealth University"),
+                ..Default::default()
+            },
+        );
         b.conn(T0, external(1), internal(9), 443, None, "srv", "acct");
         b.conn(T0 + DAY, external(1), internal(9), 443, None, "srv", "acct");
         let r = run(&b.build());

@@ -98,14 +98,24 @@ impl Report {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Table 9: unidentified strings — random vs non-random",
-            &["class", "server/private CN", "client/public CN", "client/private CN", "client/private SAN"],
+            &[
+                "class",
+                "server/private CN",
+                "client/public CN",
+                "client/private CN",
+                "client/private SAN",
+            ],
         );
         for class in RandomClass::ALL {
             let mut row = vec![class.label().to_string()];
             for col in Col::ALL {
                 let n = self.counts.get(&(col, class)).copied().unwrap_or(0);
                 let total = self.totals.get(&col).copied().unwrap_or(0);
-                row.push(if total == 0 { "-".into() } else { format!("{}%", pct(n, total)) });
+                row.push(if total == 0 {
+                    "-".into()
+                } else {
+                    format!("{}%", pct(n, total))
+                });
             }
             t.row(row);
         }
@@ -121,10 +131,38 @@ mod tests {
     #[test]
     fn classifies_random_strings_by_column() {
         let mut b = CorpusBuilder::new();
-        b.cert("srv-hex8", CertOpts { issuer_org: Some("WebRTC"), cn: Some("f3a9c2d1"), ..Default::default() });
-        b.cert("cli-campus", CertOpts { issuer_org: Some("Commonwealth University"), cn: Some("f3a9c2d17b604e5d"), ..Default::default() });
-        b.cert("cli-hex32", CertOpts { issuer_org: None, cn: Some("f3a9c2d17b604e5df3a9c2d17b604e5d"), ..Default::default() });
-        b.cert("cli-word", CertOpts { issuer_org: None, cn: Some("__transfer__"), ..Default::default() });
+        b.cert(
+            "srv-hex8",
+            CertOpts {
+                issuer_org: Some("WebRTC"),
+                cn: Some("f3a9c2d1"),
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "cli-campus",
+            CertOpts {
+                issuer_org: Some("Commonwealth University"),
+                cn: Some("f3a9c2d17b604e5d"),
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "cli-hex32",
+            CertOpts {
+                issuer_org: None,
+                cn: Some("f3a9c2d17b604e5df3a9c2d17b604e5d"),
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "cli-word",
+            CertOpts {
+                issuer_org: None,
+                cn: Some("__transfer__"),
+                ..Default::default()
+            },
+        );
         b.inbound(T0, 1, None, "srv-hex8", "cli-campus");
         b.inbound(T0, 2, None, "srv-hex8", "cli-hex32");
         b.inbound(T0, 3, None, "srv-hex8", "cli-word");
@@ -132,9 +170,21 @@ mod tests {
 
         assert!((r.share(Col::ServerPrivateCn, RandomClass::RandomLen8) - 1.0).abs() < 1e-12);
         // Campus issuer is recognizable -> "by Issuer" regardless of shape.
-        assert_eq!(r.counts.get(&(Col::ClientPrivateCn, RandomClass::RandomByIssuer)), Some(&1));
-        assert_eq!(r.counts.get(&(Col::ClientPrivateCn, RandomClass::RandomLen32)), Some(&1));
-        assert_eq!(r.counts.get(&(Col::ClientPrivateCn, RandomClass::NonRandom)), Some(&1));
+        assert_eq!(
+            r.counts
+                .get(&(Col::ClientPrivateCn, RandomClass::RandomByIssuer)),
+            Some(&1)
+        );
+        assert_eq!(
+            r.counts
+                .get(&(Col::ClientPrivateCn, RandomClass::RandomLen32)),
+            Some(&1)
+        );
+        assert_eq!(
+            r.counts
+                .get(&(Col::ClientPrivateCn, RandomClass::NonRandom)),
+            Some(&1)
+        );
         assert_eq!(r.totals[&Col::ClientPrivateCn], 3);
         assert!(r.render().contains("Table 9"));
     }
@@ -142,10 +192,27 @@ mod tests {
     #[test]
     fn identified_strings_do_not_appear() {
         let mut b = CorpusBuilder::new();
-        b.cert("srv", CertOpts { issuer_org: Some("NodeRunner"), cn: Some("host.example.com"), ..Default::default() });
-        b.cert("cli", CertOpts { issuer_org: None, cn: Some("John Smith"), ..Default::default() });
+        b.cert(
+            "srv",
+            CertOpts {
+                issuer_org: Some("NodeRunner"),
+                cn: Some("host.example.com"),
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "cli",
+            CertOpts {
+                issuer_org: None,
+                cn: Some("John Smith"),
+                ..Default::default()
+            },
+        );
         b.inbound(T0, 1, None, "srv", "cli");
         let r = run(&b.build());
-        assert!(r.totals.is_empty(), "domains and names are not unidentified");
+        assert!(
+            r.totals.is_empty(),
+            "domains and names are not unidentified"
+        );
     }
 }

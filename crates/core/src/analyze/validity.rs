@@ -73,10 +73,18 @@ pub fn run(corpus: &Corpus) -> Report {
         .map(|(c, n)| (c, n as f64 / very_long.max(1) as f64))
         .collect();
     very_long_categories.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).expect("no NaN").then_with(|| a.0.cmp(&b.0))
+        b.1.partial_cmp(&a.1)
+            .expect("no NaN")
+            .then_with(|| a.0.cmp(&b.0))
     });
 
-    Report { histogram: hist, very_long, very_long_categories, max_days, max_issuer }
+    Report {
+        histogram: hist,
+        very_long,
+        very_long_categories,
+        max_days,
+        max_issuer,
+    }
 }
 
 impl Report {
@@ -124,18 +132,70 @@ mod tests {
     fn buckets_long_tail_and_max() {
         let mut b = CorpusBuilder::new();
         b.cert("srv", CertOpts::default());
-        b.cert("short", CertOpts { cn: Some("d1"), issuer_org: None, not_before: T0, not_after: T0 + 14.0 * DAY, ..Default::default() });
-        b.cert("year", CertOpts { cn: Some("d2"), issuer_org: Some("DigiCert Inc"), not_before: T0, not_after: T0 + 397.0 * DAY, ..Default::default() });
-        b.cert("decade", CertOpts { cn: Some("d3"), issuer_org: Some("Blue Ridge Instruments Inc"), not_before: T0, not_after: T0 + 20_000.0 * DAY, ..Default::default() });
-        b.cert("extreme", CertOpts { cn: Some("d4"), issuer_org: Some("TMDX Devices Inc"), not_before: T0, not_after: T0 + 83_432.0 * DAY, ..Default::default() });
-        b.cert("inverted", CertOpts { cn: Some("d5"), issuer_org: None, not_before: T0, not_after: T0 - DAY, ..Default::default() });
-        for (n, fp) in ["short", "year", "decade", "extreme", "inverted"].iter().enumerate() {
+        b.cert(
+            "short",
+            CertOpts {
+                cn: Some("d1"),
+                issuer_org: None,
+                not_before: T0,
+                not_after: T0 + 14.0 * DAY,
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "year",
+            CertOpts {
+                cn: Some("d2"),
+                issuer_org: Some("DigiCert Inc"),
+                not_before: T0,
+                not_after: T0 + 397.0 * DAY,
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "decade",
+            CertOpts {
+                cn: Some("d3"),
+                issuer_org: Some("Blue Ridge Instruments Inc"),
+                not_before: T0,
+                not_after: T0 + 20_000.0 * DAY,
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "extreme",
+            CertOpts {
+                cn: Some("d4"),
+                issuer_org: Some("TMDX Devices Inc"),
+                not_before: T0,
+                not_after: T0 + 83_432.0 * DAY,
+                ..Default::default()
+            },
+        );
+        b.cert(
+            "inverted",
+            CertOpts {
+                cn: Some("d5"),
+                issuer_org: None,
+                not_before: T0,
+                not_after: T0 - DAY,
+                ..Default::default()
+            },
+        );
+        for (n, fp) in ["short", "year", "decade", "extreme", "inverted"]
+            .iter()
+            .enumerate()
+        {
             b.outbound(T0, n as u16 + 1, None, "srv", fp);
         }
         let r = run(&b.build());
 
         let bucket = |label: &str| {
-            r.histogram.iter().find(|(l, ..)| l == label).map(|(_, pu, pr)| (*pu, *pr)).expect("bucket")
+            r.histogram
+                .iter()
+                .find(|(l, ..)| l == label)
+                .map(|(_, pu, pr)| (*pu, *pr))
+                .expect("bucket")
         };
         assert_eq!(bucket("<=30"), (0, 1));
         assert_eq!(bucket("91-398"), (1, 0)); // public
@@ -154,7 +214,13 @@ mod tests {
     fn server_only_certs_are_out_of_scope() {
         let mut b = CorpusBuilder::new();
         b.cert("srv", CertOpts::default());
-        b.cert("cli", CertOpts { cn: Some("d"), ..Default::default() });
+        b.cert(
+            "cli",
+            CertOpts {
+                cn: Some("d"),
+                ..Default::default()
+            },
+        );
         b.outbound(T0, 1, None, "srv", "cli");
         let r = run(&b.build());
         let total: usize = r.histogram.iter().map(|(_, a, b)| a + b).sum();

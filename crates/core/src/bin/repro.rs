@@ -60,7 +60,13 @@ fn parse_args() -> Args {
             }
         }
     }
-    Args { config, logs_dir, out_file, tsv_dir, from_logs }
+    Args {
+        config,
+        logs_dir,
+        out_file,
+        tsv_dir,
+        from_logs,
+    }
 }
 
 fn main() {
@@ -68,11 +74,10 @@ fn main() {
 
     let inputs = if let Some(dir) = &args.from_logs {
         eprintln!("loading logs from {dir}...");
-        let inputs = mtls_core::ingest::load_dir(std::path::Path::new(dir))
-            .unwrap_or_else(|e| {
-                eprintln!("failed to load {dir}: {e}");
-                std::process::exit(1);
-            });
+        let inputs = mtls_core::ingest::load_dir(std::path::Path::new(dir)).unwrap_or_else(|e| {
+            eprintln!("failed to load {dir}: {e}");
+            std::process::exit(1);
+        });
         eprintln!(
             "  {} connections, {} unique certificates",
             inputs.ssl.len(),
@@ -94,7 +99,8 @@ fn main() {
             t0.elapsed()
         );
         if let Some(dir) = &args.logs_dir {
-            sim.write_to_dir(std::path::Path::new(dir)).expect("write logs");
+            sim.write_to_dir(std::path::Path::new(dir))
+                .expect("write logs");
             eprintln!("  Zeek-format logs written to {dir}");
         }
         AnalysisInputs::from_sim(sim)

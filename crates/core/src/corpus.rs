@@ -1,9 +1,9 @@
 //! The analysis corpus: the joined, enriched view of one log collection.
 
 use mtls_classify::extract_domain;
+use mtls_intern::{FxBuildHasher, FxHashMap, FxHashSet, Interner, Symbol};
 use mtls_pki::{classify_issuer_org, IssuerCategory};
 use mtls_zeek::{Ipv4, SslRecord, X509Record};
-use std::collections::{HashMap, HashSet};
 
 /// Traffic direction relative to the university border.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -84,10 +84,10 @@ pub struct CertInfo {
     /// Connection count.
     pub conns: usize,
     /// Distinct client IPs that presented or received this certificate.
-    pub client_ips: HashSet<Ipv4>,
+    pub client_ips: FxHashSet<Ipv4>,
     /// Distinct /24s where the cert appeared as a server / as a client.
-    pub server_subnets: HashSet<Ipv4>,
-    pub client_subnets: HashSet<Ipv4>,
+    pub server_subnets: FxHashSet<Ipv4>,
+    pub client_subnets: FxHashSet<Ipv4>,
     /// Excluded as TLS interception in preprocessing.
     pub excluded: bool,
 }
@@ -159,7 +159,9 @@ impl MetaKnowledge {
 
     /// Whether an address sits in a known provider prefix.
     pub fn is_cloud(&self, ip: Ipv4) -> bool {
-        self.cloud_nets.iter().any(|(net, p)| ip.in_subnet(*net, *p))
+        self.cloud_nets
+            .iter()
+            .any(|(net, p)| ip.in_subnet(*net, *p))
     }
 
     fn is_internal(&self, ip: Ipv4) -> bool {
@@ -208,7 +210,12 @@ pub struct Corpus {
     pub certs: Vec<CertInfo>,
     pub conns: Vec<ConnInfo>,
     pub meta: MetaKnowledge,
-    pub fp_index: HashMap<String, CertId>,
+    /// Fingerprint symbol → certificate, keyed into [`Corpus::interner`].
+    /// String-based callers go through [`Corpus::cert_by_fp`].
+    pub fp_index: FxHashMap<Symbol, CertId>,
+    /// The interner the fingerprint symbols live in (shared with the
+    /// interception filter that ran before the build).
+    interner: Interner,
     /// Interception issuers identified during preprocessing.
     pub interception_issuers: Vec<String>,
     /// Count of certificates excluded as interception.
@@ -216,15 +223,23 @@ pub struct Corpus {
 }
 
 impl Corpus {
-    /// Join and enrich. `excluded_fps` comes from the interception filter.
+    /// Join and enrich. `excluded_fps` comes from the interception filter
+    /// and its symbols must belong to `interner` (pass a fresh
+    /// [`Interner`] with an empty exclusion set when filtering is off).
+    ///
+    /// Takes the records by value: every record is *moved* into its
+    /// `CertInfo`/`ConnInfo` slot, so the corpus build allocates no second
+    /// copy of the log strings it was just handed by the parser.
     pub fn build(
-        ssl: &[SslRecord],
-        x509: &[X509Record],
+        ssl: Vec<SslRecord>,
+        x509: Vec<X509Record>,
         meta: MetaKnowledge,
-        excluded_fps: &HashSet<String>,
+        excluded_fps: &FxHashSet<Symbol>,
         interception_issuers: Vec<String>,
+        mut interner: Interner,
     ) -> Corpus {
-        let mut fp_index: HashMap<String, CertId> = HashMap::with_capacity(x509.len());
+        let mut fp_index: FxHashMap<Symbol, CertId> =
+            FxHashMap::with_capacity_and_hasher(x509.len(), FxBuildHasher);
         let mut certs: Vec<CertInfo> = Vec::with_capacity(x509.len());
         for rec in x509 {
             let public = meta.issuer_is_public(rec.issuer_org.as_deref())
@@ -247,10 +262,11 @@ impl Corpus {
                             || o.contains("Samsung")
                     })
                     .unwrap_or(false);
-            let excluded = excluded_fps.contains(&rec.fingerprint);
-            fp_index.insert(rec.fingerprint.clone(), certs.len());
+            let fp_sym = interner.intern(&rec.fingerprint);
+            let excluded = excluded_fps.contains(&fp_sym);
+            fp_index.insert(fp_sym, certs.len());
             certs.push(CertInfo {
-                rec: rec.clone(),
+                rec,
                 public,
                 category,
                 issuer_recognizable,
@@ -262,12 +278,17 @@ impl Corpus {
                 first_seen: f64::INFINITY,
                 last_seen: f64::NEG_INFINITY,
                 conns: 0,
-                client_ips: HashSet::new(),
-                server_subnets: HashSet::new(),
-                client_subnets: HashSet::new(),
+                client_ips: FxHashSet::default(),
+                server_subnets: FxHashSet::default(),
+                client_subnets: FxHashSet::default(),
                 excluded,
             });
         }
+
+        // Fingerprint lookups from here on are read-only: an Fx hash of
+        // the string once, then integer-keyed map hits.
+        let interner = interner;
+        let lookup = |fp: &String| interner.get(fp).and_then(|sym| fp_index.get(&sym)).copied();
 
         let mut conns: Vec<ConnInfo> = Vec::with_capacity(ssl.len());
         for rec in ssl {
@@ -277,12 +298,8 @@ impl Corpus {
                 (false, false) => Direction::Transit,
             };
             let mtls = rec.is_mutual_tls();
-            let server_leaf = rec.cert_chain_fps.first().and_then(|fp| fp_index.get(fp)).copied();
-            let client_leaf = rec
-                .client_cert_chain_fps
-                .first()
-                .and_then(|fp| fp_index.get(fp))
-                .copied();
+            let server_leaf = rec.cert_chain_fps.first().and_then(lookup);
+            let client_leaf = rec.client_cert_chain_fps.first().and_then(lookup);
 
             // SLD/TLD: from SNI, falling back to certificate names (§4.2).
             let mut domain = rec.server_name.as_deref().and_then(extract_domain);
@@ -315,8 +332,8 @@ impl Corpus {
             } else {
                 ServerAssociation::Unknown
             };
-            let same_cert_both_ends = mtls
-                && rec.cert_chain_fps.first() == rec.client_cert_chain_fps.first();
+            let same_cert_both_ends =
+                mtls && rec.cert_chain_fps.first() == rec.client_cert_chain_fps.first();
             let mut excluded = false;
 
             // Update certificate aggregates.
@@ -327,7 +344,7 @@ impl Corpus {
                 .map(|f| (f, true))
                 .chain(rec.client_cert_chain_fps.iter().map(|f| (f, false)))
             {
-                if let Some(&cid) = fp_index.get(fp) {
+                if let Some(cid) = lookup(fp) {
                     let info = &mut certs[cid];
                     if info.excluded {
                         excluded = true;
@@ -356,7 +373,7 @@ impl Corpus {
             }
 
             conns.push(ConnInfo {
-                rec: rec.clone(),
+                rec,
                 direction,
                 mtls,
                 server_leaf,
@@ -370,7 +387,28 @@ impl Corpus {
         }
 
         let excluded_certs = certs.iter().filter(|c| c.excluded).count();
-        Corpus { certs, conns, meta, fp_index, interception_issuers, excluded_certs }
+        Corpus {
+            certs,
+            conns,
+            meta,
+            fp_index,
+            interner,
+            interception_issuers,
+            excluded_certs,
+        }
+    }
+
+    /// Resolve a fingerprint string to its certificate, if present.
+    pub fn cert_by_fp(&self, fp: &str) -> Option<CertId> {
+        self.interner
+            .get(fp)
+            .and_then(|sym| self.fp_index.get(&sym))
+            .copied()
+    }
+
+    /// The interner backing [`Corpus::fp_index`].
+    pub fn interner(&self) -> &Interner {
+        &self.interner
     }
 
     /// Certificates that survive interception filtering.
@@ -397,6 +435,18 @@ impl Corpus {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Build with interception filtering off.
+    fn build_unfiltered(ssl: &[SslRecord], x509: &[X509Record], meta: MetaKnowledge) -> Corpus {
+        Corpus::build(
+            ssl.to_vec(),
+            x509.to_vec(),
+            meta,
+            &FxHashSet::default(),
+            vec![],
+            Interner::new(),
+        )
+    }
 
     fn meta() -> MetaKnowledge {
         MetaKnowledge {
@@ -436,7 +486,13 @@ mod tests {
         }
     }
 
-    fn conn(orig: Ipv4, resp: Ipv4, sni: Option<&str>, server_fp: &str, client_fp: Option<&str>) -> SslRecord {
+    fn conn(
+        orig: Ipv4,
+        resp: Ipv4,
+        sni: Option<&str>,
+        server_fp: &str,
+        client_fp: Option<&str>,
+    ) -> SslRecord {
         SslRecord {
             ts: 1_651_363_200.0,
             uid: "C1".into(),
@@ -456,14 +512,32 @@ mod tests {
     fn directions_and_associations() {
         let internal = Ipv4::new(172, 29, 10, 5);
         let external = Ipv4::new(98, 100, 1, 1);
-        let certs = vec![x509("aa", Some("Commonwealth University")), x509("bb", None)];
-        let ssl = vec![
-            conn(external, internal, Some("portal.campus-health.org"), "aa", Some("bb")),
-            conn(internal, external, Some("x.amazonaws.com"), "aa", Some("bb")),
+        let certs = vec![
+            x509("aa", Some("Commonwealth University")),
+            x509("bb", None),
         ];
-        let corpus = Corpus::build(&ssl, &certs, meta(), &HashSet::new(), vec![]);
+        let ssl = vec![
+            conn(
+                external,
+                internal,
+                Some("portal.campus-health.org"),
+                "aa",
+                Some("bb"),
+            ),
+            conn(
+                internal,
+                external,
+                Some("x.amazonaws.com"),
+                "aa",
+                Some("bb"),
+            ),
+        ];
+        let corpus = build_unfiltered(&ssl, &certs, meta());
         assert_eq!(corpus.conns[0].direction, Direction::Inbound);
-        assert_eq!(corpus.conns[0].association, ServerAssociation::UniversityHealth);
+        assert_eq!(
+            corpus.conns[0].association,
+            ServerAssociation::UniversityHealth
+        );
         assert_eq!(corpus.conns[0].sld.as_deref(), Some("campus-health.org"));
         assert_eq!(corpus.conns[1].direction, Direction::Outbound);
         assert_eq!(corpus.conns[1].sld.as_deref(), Some("amazonaws.com"));
@@ -478,7 +552,7 @@ mod tests {
             x509("cc", None),
             x509("dd", Some("Internet Widgits Pty Ltd")),
         ];
-        let corpus = Corpus::build(&[], &certs, meta(), &HashSet::new(), vec![]);
+        let corpus = build_unfiltered(&[], &certs, meta());
         assert!(corpus.certs[0].public);
         assert_eq!(corpus.certs[0].category, IssuerCategory::Public);
         assert_eq!(corpus.certs[1].category, IssuerCategory::Education);
@@ -493,7 +567,7 @@ mod tests {
         let external = Ipv4::new(98, 100, 1, 1);
         let certs = vec![x509("aa", Some("Globus Online"))];
         let ssl = vec![conn(external, internal, None, "aa", Some("aa"))];
-        let corpus = Corpus::build(&ssl, &certs, meta(), &HashSet::new(), vec![]);
+        let corpus = build_unfiltered(&ssl, &certs, meta());
         assert!(corpus.conns[0].same_cert_both_ends);
         assert!(corpus.certs[0].dual_role());
         assert_eq!(corpus.conns[0].association, ServerAssociation::Unknown);
@@ -508,7 +582,7 @@ mod tests {
         let mut c2 = c1.clone();
         c1.ts = 1_000_000.0;
         c2.ts = 1_000_000.0 + 86_400.0 * 100.0;
-        let corpus = Corpus::build(&[c1, c2], &certs, meta(), &HashSet::new(), vec![]);
+        let corpus = build_unfiltered(&[c1, c2], &certs, meta());
         assert_eq!(corpus.certs[0].activity_days(), 100);
         assert_eq!(corpus.certs[0].conns, 2);
     }
@@ -517,11 +591,27 @@ mod tests {
     fn excluded_certs_taint_connections() {
         let internal = Ipv4::new(172, 29, 20, 5);
         let external = Ipv4::new(98, 100, 1, 1);
-        let certs = vec![x509("aa", Some("NetGuard Inspection CA 1")), x509("bb", None)];
-        let ssl = vec![conn(internal, external, Some("x.popular-video.com"), "aa", None)];
-        let mut excluded = HashSet::new();
-        excluded.insert("aa".to_string());
-        let corpus = Corpus::build(&ssl, &certs, meta(), &excluded, vec!["NetGuard Inspection CA 1".into()]);
+        let certs = vec![
+            x509("aa", Some("NetGuard Inspection CA 1")),
+            x509("bb", None),
+        ];
+        let ssl = vec![conn(
+            internal,
+            external,
+            Some("x.popular-video.com"),
+            "aa",
+            None,
+        )];
+        let mut interner = Interner::new();
+        let excluded: FxHashSet<Symbol> = [interner.intern("aa")].into_iter().collect();
+        let corpus = Corpus::build(
+            ssl,
+            certs,
+            meta(),
+            &excluded,
+            vec!["NetGuard Inspection CA 1".into()],
+            interner,
+        );
         assert!(corpus.conns[0].excluded);
         assert_eq!(corpus.excluded_certs, 1);
         assert_eq!(corpus.live_conns().count(), 0);

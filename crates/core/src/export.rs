@@ -51,7 +51,13 @@ pub fn write_tsv(out: &PipelineOutput, dir: &Path) -> std::io::Result<()> {
             ("client_private", out.tab1.client_private),
         ]
         .iter()
-        .map(|(name, row)| vec![name.to_string(), row.total.to_string(), row.mtls.to_string()])
+        .map(|(name, row)| {
+            vec![
+                name.to_string(),
+                row.total.to_string(),
+                row.mtls.to_string(),
+            ]
+        })
         .collect(),
     )?;
 
@@ -267,7 +273,13 @@ mod tests {
     fn tiny_output() -> PipelineOutput {
         let mut b = CorpusBuilder::new();
         b.cert("s", CertOpts::default());
-        b.cert("c", CertOpts { cn: Some("dev"), ..Default::default() });
+        b.cert(
+            "c",
+            CertOpts {
+                cn: Some("dev"),
+                ..Default::default()
+            },
+        );
         b.inbound(T0, 1, Some("x.campus-health.org"), "s", "c");
         let corpus: Corpus = b.build();
         // Assemble a PipelineOutput by running each analyzer directly.

@@ -49,10 +49,17 @@ impl std::error::Error for IngestError {}
 
 fn parse_meta(path: &Path) -> Result<MetaKnowledge, IngestError> {
     let text = std::fs::read_to_string(path)?;
+    // One pass over the file into a key → value map (first occurrence
+    // wins, matching the old first-match scan).
+    let mut kv: mtls_intern::FxHashMap<&str, &str> = mtls_intern::FxHashMap::default();
+    for line in text.lines() {
+        if let Some((key, value)) = line.split_once('\t') {
+            kv.entry(key).or_insert(value);
+        }
+    }
     let get = |key: &str| -> Result<String, IngestError> {
-        text.lines()
-            .find_map(|l| l.strip_prefix(&format!("{key}\t")))
-            .map(str::to_owned)
+        kv.get(key)
+            .map(|v| (*v).to_owned())
             .ok_or_else(|| IngestError::BadMeta(key.to_string()))
     };
     // Lists are '|'-separated: organization names legitimately contain
@@ -105,8 +112,7 @@ fn parse_ct(path: &Path) -> Result<CtLog, IngestError> {
     let mut entries = Vec::new();
     for line in text.lines() {
         let mut cols = line.splitn(3, '\t');
-        let (Some(domain), Some(issuer), Some(fp)) = (cols.next(), cols.next(), cols.next())
-        else {
+        let (Some(domain), Some(issuer), Some(fp)) = (cols.next(), cols.next(), cols.next()) else {
             continue;
         };
         entries.push(CtEntry {
@@ -120,23 +126,68 @@ fn parse_ct(path: &Path) -> Result<CtLog, IngestError> {
 
 /// Load a directory into pipeline inputs. Accepts both the unrotated and
 /// the monthly-rotated layouts.
+///
+/// The four inputs are independent files, so `meta.tsv` and `ct.log`
+/// parse on their own scoped threads while the Zeek logs load (rotated
+/// shards additionally fan out inside [`mtls_zeek::read_monthly`]).
+/// Output is identical to [`load_dir_serial`].
 pub fn load_dir(dir: &Path) -> Result<AnalysisInputs, IngestError> {
+    std::thread::scope(|s| {
+        let meta_handle = s.spawn(|| parse_meta(&dir.join("meta.tsv")));
+        let ct_handle = s.spawn(|| parse_ct(&dir.join("ct.log")));
+
+        let logs = if dir.join("ssl.log").exists() {
+            let ssl_handle = s.spawn(|| -> Result<_, IngestError> {
+                Ok(mtls_zeek::read_ssl_log(BufReader::new(
+                    std::fs::File::open(dir.join("ssl.log"))?,
+                ))?)
+            });
+            let x509 = mtls_zeek::read_x509_log(BufReader::new(std::fs::File::open(
+                dir.join("x509.log"),
+            )?));
+            ssl_handle
+                .join()
+                .expect("ssl reader panicked")
+                .and_then(|ssl| Ok((ssl, x509?)))
+        } else {
+            mtls_zeek::read_monthly(dir).map_err(IngestError::from)
+        };
+
+        // Surface errors in the serial loader's order: meta, ct, logs.
+        let meta = meta_handle.join().expect("meta parser panicked")?;
+        let ct = ct_handle.join().expect("ct parser panicked")?;
+        let (ssl, x509) = logs?;
+        Ok(AnalysisInputs {
+            ssl,
+            x509,
+            ct,
+            meta,
+        })
+    })
+}
+
+/// Serial reference loader: same contract and output as [`load_dir`], one
+/// file at a time. Kept as the equivalence and benchmark baseline.
+pub fn load_dir_serial(dir: &Path) -> Result<AnalysisInputs, IngestError> {
     let meta = parse_meta(&dir.join("meta.tsv"))?;
     let ct = parse_ct(&dir.join("ct.log"))?;
 
     let (ssl, x509) = if dir.join("ssl.log").exists() {
-        let ssl = mtls_zeek::read_ssl_log(BufReader::new(std::fs::File::open(
-            dir.join("ssl.log"),
-        )?))?;
-        let x509 = mtls_zeek::read_x509_log(BufReader::new(std::fs::File::open(
-            dir.join("x509.log"),
-        )?))?;
+        let ssl =
+            mtls_zeek::read_ssl_log(BufReader::new(std::fs::File::open(dir.join("ssl.log"))?))?;
+        let x509 =
+            mtls_zeek::read_x509_log(BufReader::new(std::fs::File::open(dir.join("x509.log"))?))?;
         (ssl, x509)
     } else {
-        mtls_zeek::read_monthly(dir)?
+        mtls_zeek::read_monthly_serial(dir)?
     };
 
-    Ok(AnalysisInputs { ssl, x509, ct, meta })
+    Ok(AnalysisInputs {
+        ssl,
+        x509,
+        ct,
+        meta,
+    })
 }
 
 #[cfg(test)]
@@ -166,7 +217,11 @@ mod tests {
         std::fs::write(dir.join("meta.tsv"), meta).unwrap();
         // Garbage where a Zeek header should be, and raw bytes that are not
         // UTF-8 at all.
-        std::fs::write(dir.join("ssl.log"), "#separator \\x09\nnot\ta\tvalid\trow\n").unwrap();
+        std::fs::write(
+            dir.join("ssl.log"),
+            "#separator \\x09\nnot\ta\tvalid\trow\n",
+        )
+        .unwrap();
         std::fs::write(dir.join("x509.log"), [0xFFu8, 0xFE, 0x00, 0x80]).unwrap();
         assert!(load_dir(&dir).is_err());
 

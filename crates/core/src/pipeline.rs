@@ -2,11 +2,12 @@
 
 use crate::analyze;
 use crate::corpus::{Corpus, MetaKnowledge};
+use mtls_intern::{FxHashMap, FxHashSet, Interner, Symbol};
 use mtls_pki::CtLog;
 use mtls_zeek::{SslRecord, X509Record};
-use std::collections::{HashMap, HashSet};
 
 /// Everything the pipeline consumes.
+#[derive(Clone)]
 pub struct AnalysisInputs {
     pub ssl: Vec<SslRecord>,
     pub x509: Vec<X509Record>,
@@ -38,14 +39,16 @@ pub mod interception {
     const MIN_CERTS: usize = 3;
     const CANDIDATE_SHARE: f64 = 0.8;
 
-    /// Run the filter with the paper's thresholds.
+    /// Run the filter with the paper's thresholds. Excluded fingerprints
+    /// come back as symbols in `interner`, ready for [`Corpus::build`].
     pub fn filter(
         ssl: &[SslRecord],
         x509: &[X509Record],
         ct: &CtLog,
         meta: &MetaKnowledge,
-    ) -> (HashSet<String>, Vec<String>) {
-        filter_with(ssl, x509, ct, meta, MIN_CERTS, CANDIDATE_SHARE)
+        interner: &mut Interner,
+    ) -> (FxHashSet<Symbol>, Vec<String>) {
+        filter_with(ssl, x509, ct, meta, MIN_CERTS, CANDIDATE_SHARE, interner)
     }
 
     /// Run the filter with explicit thresholds (ablation: the decision is
@@ -58,9 +61,10 @@ pub mod interception {
         meta: &MetaKnowledge,
         min_certs: usize,
         candidate_share: f64,
-    ) -> (HashSet<String>, Vec<String>) {
+        interner: &mut Interner,
+    ) -> (FxHashSet<Symbol>, Vec<String>) {
         // Which fingerprints are used as server leaves?
-        let mut server_fps: HashSet<&str> = HashSet::new();
+        let mut server_fps: FxHashSet<&str> = FxHashSet::default();
         for rec in ssl {
             if let Some(fp) = rec.cert_chain_fps.first() {
                 server_fps.insert(fp);
@@ -68,7 +72,7 @@ pub mod interception {
         }
 
         // Per private issuer: total server certs and candidate certs.
-        let mut per_issuer: HashMap<&str, (usize, usize, Vec<&str>)> = HashMap::new();
+        let mut per_issuer: FxHashMap<&str, (usize, usize, Vec<Symbol>)> = FxHashMap::default();
         for cert in x509 {
             if !server_fps.contains(cert.fingerprint.as_str()) {
                 continue;
@@ -86,22 +90,25 @@ pub mod interception {
                     break;
                 }
             }
+            let fp_sym = if candidate {
+                Some(interner.intern(&cert.fingerprint))
+            } else {
+                None
+            };
             let entry = per_issuer.entry(org).or_insert((0, 0, Vec::new()));
             entry.0 += 1;
-            if candidate {
+            if let Some(sym) = fp_sym {
                 entry.1 += 1;
-                entry.2.push(&cert.fingerprint);
+                entry.2.push(sym);
             }
         }
 
-        let mut excluded = HashSet::new();
+        let mut excluded = FxHashSet::default();
         let mut issuers = Vec::new();
         for (org, (total, candidates, fps)) in per_issuer {
             if total >= min_certs && (candidates as f64) / (total as f64) >= candidate_share {
                 issuers.push(org.to_string());
-                for fp in fps {
-                    excluded.insert(fp.to_string());
-                }
+                excluded.extend(fps);
             }
         }
         issuers.sort();
@@ -171,13 +178,88 @@ impl PipelineOutput {
     }
 }
 
+/// Interception filter → interned corpus, shared by both pipeline
+/// entrypoints.
+pub fn build_corpus(inputs: AnalysisInputs) -> Corpus {
+    let mut interner = Interner::with_capacity(inputs.x509.len());
+    let (excluded, issuers) = interception::filter(
+        &inputs.ssl,
+        &inputs.x509,
+        &inputs.ct,
+        &inputs.meta,
+        &mut interner,
+    );
+    Corpus::build(
+        inputs.ssl,
+        inputs.x509,
+        inputs.meta,
+        &excluded,
+        issuers,
+        interner,
+    )
+}
+
+/// One report per analyzer — the intermediate the assembly helper folds
+/// into [`PipelineOutput`], however the analyzers were scheduled.
+struct Reports {
+    fig1: analyze::prevalence::Report,
+    tab1: analyze::cert_census::Report,
+    tab2: analyze::ports::Report,
+    tab3: analyze::inbound::Report,
+    fig2: analyze::outbound_flows::Report,
+    tab4: analyze::dummy_issuers::Report,
+    ser1: analyze::serial_collisions::Report,
+    tab5: analyze::cert_sharing::Report,
+    tab6: analyze::subnet_spread::Report,
+    fig3: analyze::incorrect_dates::Report,
+    fig4: analyze::validity::Report,
+    fig5: analyze::expired::Report,
+    tab7: analyze::cn_san_usage::Report,
+    tab8: analyze::info_types::Report,
+    tab9: analyze::unidentified::Report,
+    tab13: analyze::info_types::Report,
+    tab14: analyze::info_types::Report,
+    ext1: analyze::audit::Report,
+    ext2: analyze::tracking::Report,
+    gen1: analyze::generalization::Report,
+}
+
+/// The single assembly point for [`PipelineOutput`] (the interception
+/// report runs here because it reads corpus-level preprocessing state,
+/// not analyzer output).
+fn assemble(corpus: Corpus, r: Reports) -> PipelineOutput {
+    let pre1 = analyze::interception_report::run(&corpus);
+    PipelineOutput {
+        fig1: r.fig1,
+        tab1: r.tab1,
+        tab2: r.tab2,
+        tab3: r.tab3,
+        fig2: r.fig2,
+        tab4: r.tab4,
+        ser1: r.ser1,
+        tab5: r.tab5,
+        tab6: r.tab6,
+        fig3: r.fig3,
+        fig4: r.fig4,
+        fig5: r.fig5,
+        tab7: r.tab7,
+        tab8: r.tab8,
+        tab9: r.tab9,
+        tab13: r.tab13,
+        tab14: r.tab14,
+        pre1,
+        ext1: r.ext1,
+        ext2: r.ext2,
+        gen1: r.gen1,
+        corpus,
+    }
+}
+
 /// Run the full pipeline, analyzers sharded across scoped threads (the
 /// `ablate_parallel` bench measures ~2x on this corpus shape). Produces
 /// output identical to [`run_pipeline`].
 pub fn run_pipeline_parallel(inputs: AnalysisInputs) -> PipelineOutput {
-    let (excluded, issuers) =
-        interception::filter(&inputs.ssl, &inputs.x509, &inputs.ct, &inputs.meta);
-    let corpus = Corpus::build(&inputs.ssl, &inputs.x509, inputs.meta, &excluded, issuers);
+    let corpus = build_corpus(inputs);
 
     let (shard1, shard2, shard3, shard4, shard5) = std::thread::scope(|s| {
         let c = &corpus;
@@ -236,8 +318,7 @@ pub fn run_pipeline_parallel(inputs: AnalysisInputs) -> PipelineOutput {
     let (ser1, tab6, fig3, fig4, fig5) = shard3;
     let (tab8, tab9, tab13, tab14) = shard4;
     let (ext1, ext2, gen1) = shard5;
-    let pre1 = analyze::interception_report::run(&corpus);
-    PipelineOutput {
+    let reports = Reports {
         fig1,
         tab1,
         tab2,
@@ -255,21 +336,18 @@ pub fn run_pipeline_parallel(inputs: AnalysisInputs) -> PipelineOutput {
         tab9,
         tab13,
         tab14,
-        pre1,
         ext1,
         ext2,
         gen1,
-        corpus,
-    }
+    };
+    assemble(corpus, reports)
 }
 
-/// Run the full pipeline.
+/// Run the full pipeline serially (reference implementation; prefer
+/// [`run_pipeline_parallel`]).
 pub fn run_pipeline(inputs: AnalysisInputs) -> PipelineOutput {
-    let (excluded, issuers) =
-        interception::filter(&inputs.ssl, &inputs.x509, &inputs.ct, &inputs.meta);
-    let corpus = Corpus::build(&inputs.ssl, &inputs.x509, inputs.meta, &excluded, issuers);
-
-    PipelineOutput {
+    let corpus = build_corpus(inputs);
+    let reports = Reports {
         fig1: analyze::prevalence::run(&corpus),
         tab1: analyze::cert_census::run(&corpus),
         tab2: analyze::ports::run(&corpus),
@@ -287,12 +365,11 @@ pub fn run_pipeline(inputs: AnalysisInputs) -> PipelineOutput {
         tab9: analyze::unidentified::run(&corpus),
         tab13: analyze::info_types::run(&corpus, analyze::info_types::Slice::SharedCerts),
         tab14: analyze::info_types::run(&corpus, analyze::info_types::Slice::NonMtlsServers),
-        pre1: analyze::interception_report::run(&corpus),
         ext1: analyze::audit::run(&corpus),
         ext2: analyze::tracking::run(&corpus),
         gen1: analyze::generalization::run(&corpus),
-        corpus,
-    }
+    };
+    assemble(corpus, reports)
 }
 
 #[cfg(test)]
@@ -349,15 +426,24 @@ mod tests {
         use mtls_x509::{CertificateBuilder, DistinguishedName, GeneralName};
         let ca = CertificateAuthority::new_root(
             b"ct-digicert",
-            DistinguishedName::builder().organization("DigiCert Inc").build(),
+            DistinguishedName::builder()
+                .organization("DigiCert Inc")
+                .build(),
             Asn1Time::from_ymd(2022, 5, 1),
         );
         let key = Keypair::from_seed(b"site");
         let real = ca.issue(
             CertificateBuilder::new()
-                .subject(DistinguishedName::builder().common_name("popular.example.com").build())
+                .subject(
+                    DistinguishedName::builder()
+                        .common_name("popular.example.com")
+                        .build(),
+                )
                 .san(vec![GeneralName::Dns("popular.example.com".into())])
-                .validity(Asn1Time::from_ymd(2022, 5, 1), Asn1Time::from_ymd(2025, 5, 1))
+                .validity(
+                    Asn1Time::from_ymd(2022, 5, 1),
+                    Asn1Time::from_ymd(2025, 5, 1),
+                )
                 .subject_key(key.key_id()),
         );
         ct.submit(&real);
@@ -377,12 +463,16 @@ mod tests {
             x509("ok2", "Intranet CA", "internal2.corp-only.com"),
             x509("ok3", "Intranet CA", "internal3.corp-only.com"),
         ];
-        let ssl: Vec<SslRecord> =
-            ["p1", "p2", "p3", "ok1", "ok2", "ok3"].iter().map(|fp| conn(fp)).collect();
-        let (excluded, issuers) = interception::filter(&ssl, &x509s, &ct, &meta());
+        let ssl: Vec<SslRecord> = ["p1", "p2", "p3", "ok1", "ok2", "ok3"]
+            .iter()
+            .map(|fp| conn(fp))
+            .collect();
+        let mut interner = Interner::new();
+        let (excluded, issuers) = interception::filter(&ssl, &x509s, &ct, &meta(), &mut interner);
         assert_eq!(issuers, vec!["ProxyGuard CA".to_string()]);
         assert_eq!(excluded.len(), 3);
-        assert!(excluded.contains("p1") && !excluded.contains("ok1"));
+        let has = |fp: &str| interner.get(fp).is_some_and(|sym| excluded.contains(&sym));
+        assert!(has("p1") && !has("ok1"));
     }
 
     #[test]
@@ -396,7 +486,8 @@ mod tests {
             x509("tiny", "OneOff Proxy CA", "popular.example.com"),
         ];
         let ssl: Vec<SslRecord> = ["d1", "d2", "tiny"].iter().map(|fp| conn(fp)).collect();
-        let (excluded, issuers) = interception::filter(&ssl, &x509s, &ct, &meta());
+        let mut interner = Interner::new();
+        let (excluded, issuers) = interception::filter(&ssl, &x509s, &ct, &meta(), &mut interner);
         assert!(excluded.is_empty(), "{excluded:?}");
         assert!(issuers.is_empty(), "{issuers:?}");
     }

@@ -40,7 +40,11 @@ pub fn line_chart(title: &str, points: &[(String, f64)], height: usize) -> Strin
     if points.len() > first.len() + last.len() + 2 {
         mark(&mut labels, points.len() - last.len(), last);
     }
-    out.push_str(&format!("{:>8}  {}\n", "", labels.into_iter().collect::<String>()));
+    out.push_str(&format!(
+        "{:>8}  {}\n",
+        "",
+        labels.into_iter().collect::<String>()
+    ));
     out
 }
 
@@ -52,7 +56,11 @@ pub fn bar_chart(title: &str, bars: &[(String, usize)], width: usize) -> String 
         return out;
     }
     let max = bars.iter().map(|(_, v)| *v).max().unwrap_or(1).max(1);
-    let label_w = bars.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let label_w = bars
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
     for (label, value) in bars {
         let filled = (value * width).div_ceil(max).min(width);
         let filled = if *value > 0 { filled.max(1) } else { 0 };

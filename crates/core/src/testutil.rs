@@ -3,8 +3,8 @@
 #![cfg(test)]
 
 use crate::corpus::{Corpus, MetaKnowledge};
+use mtls_intern::Interner;
 use mtls_zeek::{Ipv4, SslRecord, TlsVersion, X509Record};
-use std::collections::HashSet;
 
 /// The study's first day, as a float timestamp.
 pub const T0: f64 = 1_651_363_200.0;
@@ -92,7 +92,10 @@ impl CorpusBuilder {
             version: opts.version,
             serial: opts.serial.to_string(),
             subject: opts.cn.map(|c| format!("CN={c}")).unwrap_or_default(),
-            issuer: opts.issuer_org.map(|o| format!("O={o}")).unwrap_or_default(),
+            issuer: opts
+                .issuer_org
+                .map(|o| format!("O={o}"))
+                .unwrap_or_default(),
             issuer_org: opts.issuer_org.map(str::to_owned),
             subject_cn: opts.cn.map(str::to_owned),
             not_valid_before: opts.not_before as i64,
@@ -132,24 +135,53 @@ impl CorpusBuilder {
             version: TlsVersion::Tls12,
             server_name: sni.map(str::to_owned),
             established: true,
-            cert_chain_fps: if server_fp.is_empty() { vec![] } else { vec![server_fp.into()] },
-            client_cert_chain_fps: if client_fp.is_empty() { vec![] } else { vec![client_fp.into()] },
+            cert_chain_fps: if server_fp.is_empty() {
+                vec![]
+            } else {
+                vec![server_fp.into()]
+            },
+            client_cert_chain_fps: if client_fp.is_empty() {
+                vec![]
+            } else {
+                vec![client_fp.into()]
+            },
         });
         self
     }
 
     /// Inbound mTLS convenience (external client → internal server, 443).
-    pub fn inbound(&mut self, ts: f64, client_n: u16, sni: Option<&str>, sfp: &str, cfp: &str) -> &mut Self {
+    pub fn inbound(
+        &mut self,
+        ts: f64,
+        client_n: u16,
+        sni: Option<&str>,
+        sfp: &str,
+        cfp: &str,
+    ) -> &mut Self {
         self.conn(ts, external(client_n), internal(10), 443, sni, sfp, cfp)
     }
 
     /// Outbound mTLS convenience (internal client → external server, 443).
-    pub fn outbound(&mut self, ts: f64, client_n: u16, sni: Option<&str>, sfp: &str, cfp: &str) -> &mut Self {
+    pub fn outbound(
+        &mut self,
+        ts: f64,
+        client_n: u16,
+        sni: Option<&str>,
+        sfp: &str,
+        cfp: &str,
+    ) -> &mut Self {
         self.conn(ts, internal(client_n), external(10), 443, sni, sfp, cfp)
     }
 
     /// Build the corpus (no interception exclusions).
     pub fn build(&self) -> Corpus {
-        Corpus::build(&self.ssl, &self.certs, meta(), &HashSet::new(), vec![])
+        Corpus::build(
+            self.ssl.clone(),
+            self.certs.clone(),
+            meta(),
+            &Default::default(),
+            vec![],
+            Interner::new(),
+        )
     }
 }

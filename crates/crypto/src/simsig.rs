@@ -52,7 +52,10 @@ impl Keypair {
         let mut buf = Vec::with_capacity(32 + PUB_DERIVE_SUFFIX.len());
         buf.extend_from_slice(&secret);
         buf.extend_from_slice(PUB_DERIVE_SUFFIX);
-        Keypair { secret, key_id: KeyId(sha256(&buf)) }
+        Keypair {
+            secret,
+            key_id: KeyId(sha256(&buf)),
+        }
     }
 
     /// The verification key identifier ("public key").

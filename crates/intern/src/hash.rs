@@ -1,0 +1,157 @@
+//! FxHash: the multiply-xor hash rustc uses for its internal tables.
+//!
+//! SipHash (std's default) is DoS-resistant but costs ~1 ns/byte with a
+//! long setup; ingest keys here are trusted measurement data
+//! (fingerprints, issuer organizations, IPv4 integers), so the cheaper
+//! function is the right trade. The implementation follows the classic
+//! `rustc_hash` formulation: fold 8 bytes at a time with
+//! `(h rotl 5 ^ word) * K`.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiply constant (π-derived, as in `rustc_hash`).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hasher state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            // Mix the length in so "ab\0" and "ab" with a trailing NUL
+            // byte do not collide trivially.
+            word[7] = rest.len() as u8;
+            self.add_word(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+}
+
+/// Zero-sized builder for [`FxHasher`]; `BuildHasherDefault` keeps map
+/// construction `const`-friendly and allocation-free.
+pub type FxBuildHasherDefault = BuildHasherDefault<FxHasher>;
+
+/// Unit-struct spelling of the builder (usable as a value: `FxBuildHasher`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxBuildHasher;
+
+impl std::hash::BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// A `HashMap` keyed by the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed by the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        FxBuildHasher.hash_one(&v)
+    }
+
+    #[test]
+    fn distinct_keys_hash_differently() {
+        let inputs = [
+            "",
+            "a",
+            "b",
+            "ab",
+            "ba",
+            "abcdefgh",
+            "abcdefghi",
+            "sha256:aa11",
+        ];
+        let hashes: Vec<u64> = inputs.iter().map(hash_of).collect();
+        for i in 0..hashes.len() {
+            for j in (i + 1)..hashes.len() {
+                assert_ne!(hashes[i], hashes[j], "{:?} vs {:?}", inputs[i], inputs[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_zero_bytes_do_not_collide() {
+        assert_ne!(hash_of([1u8, 0].as_slice()), hash_of([1u8].as_slice()));
+        assert_ne!(hash_of("x\0"), hash_of("x"));
+    }
+
+    #[test]
+    fn maps_work_with_fx() {
+        let mut m: FxHashMap<String, usize> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(format!("fp{i}"), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get("fp512"), Some(&512));
+
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(0xC0A8_0001);
+        assert!(s.contains(&0xC0A8_0001));
+    }
+
+    #[test]
+    fn integer_hashing_spreads_sequential_keys() {
+        // /24-subnet integers differ only in high bits; a multiply-based
+        // hash must still spread them across buckets.
+        let hashes: FxHashSet<u64> = (0u32..4096).map(|i| hash_of(i << 8)).collect();
+        assert_eq!(hashes.len(), 4096);
+    }
+}

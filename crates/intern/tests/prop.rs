@@ -1,0 +1,86 @@
+//! Property tests for the interner: round-trip, dedup, and stability
+//! under arbitrary interleavings of repeated and fresh strings.
+
+use mtls_intern::{FxHashMap, Interner, Symbol};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every interned string resolves back to itself, regardless of
+    /// content (unicode, embedded NULs, empties) or order.
+    #[test]
+    fn round_trip(strings in proptest::collection::vec("\\PC{0,64}", 0..100)) {
+        let mut interner = Interner::new();
+        let syms: Vec<(Symbol, String)> = strings
+            .iter()
+            .map(|s| (interner.intern(s), s.clone()))
+            .collect();
+        for (sym, s) in &syms {
+            prop_assert_eq!(interner.resolve(*sym), s.as_str());
+        }
+    }
+
+    /// Symbols are equal exactly when the strings are equal, and the
+    /// number of distinct symbols matches the number of distinct strings.
+    #[test]
+    fn dedup_matches_string_equality(strings in proptest::collection::vec("[a-f]{0,4}", 0..200)) {
+        let mut interner = Interner::new();
+        let mut reference: FxHashMap<String, Symbol> = FxHashMap::default();
+        for s in &strings {
+            let sym = interner.intern(s);
+            match reference.get(s) {
+                Some(&prev) => prop_assert_eq!(prev, sym),
+                None => {
+                    reference.insert(s.clone(), sym);
+                }
+            }
+        }
+        prop_assert_eq!(interner.len(), reference.len());
+        // `get` agrees with `intern` after the fact.
+        for (s, &sym) in &reference {
+            prop_assert_eq!(interner.get(s), Some(sym));
+        }
+    }
+
+    /// Interning more strings never invalidates earlier symbols, even
+    /// across arena chunk rollovers (long strings force rollover).
+    #[test]
+    fn earlier_symbols_stable_across_growth(
+        early in proptest::collection::vec("[a-z]{1,8}", 1..20),
+        late in proptest::collection::vec("[A-Z]{512,1024}", 1..40),
+    ) {
+        let mut interner = Interner::new();
+        let anchors: Vec<(Symbol, String)> =
+            early.iter().map(|s| (interner.intern(s), s.clone())).collect();
+        for s in &late {
+            interner.intern(s);
+        }
+        for (sym, s) in &anchors {
+            prop_assert_eq!(interner.resolve(*sym), s.as_str());
+        }
+    }
+}
+
+/// A built interner is shared by reference across scoped threads (the
+/// shape the parallel pipeline uses); concurrent resolves agree.
+#[test]
+fn shared_reads_across_threads() {
+    let mut interner = Interner::new();
+    let syms: Vec<(Symbol, String)> = (0..500)
+        .map(|n| {
+            let s = format!("issuer-{n}");
+            (interner.intern(&s), s)
+        })
+        .collect();
+    let (interner, syms) = (&interner, &syms);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(move || {
+                for (sym, s) in syms {
+                    assert_eq!(interner.resolve(*sym), s.as_str());
+                }
+            });
+        }
+    });
+}

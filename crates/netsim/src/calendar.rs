@@ -31,7 +31,11 @@ impl Month {
     /// Zero-based index within the study window.
     pub fn index(self) -> usize {
         let months_from_epoch = |mo: Month| mo.year * 12 + mo.month as i32 - 1;
-        (months_from_epoch(self) - months_from_epoch(Month { year: 2022, month: 5 })) as usize
+        (months_from_epoch(self)
+            - months_from_epoch(Month {
+                year: 2022,
+                month: 5,
+            })) as usize
     }
 
     /// First instant of the month.
@@ -114,8 +118,20 @@ mod tests {
     fn study_window_shape() {
         let months = Month::study_months();
         assert_eq!(months.len(), 23);
-        assert_eq!(months[0], Month { year: 2022, month: 5 });
-        assert_eq!(months[22], Month { year: 2024, month: 3 });
+        assert_eq!(
+            months[0],
+            Month {
+                year: 2022,
+                month: 5
+            }
+        );
+        assert_eq!(
+            months[22],
+            Month {
+                year: 2024,
+                month: 3
+            }
+        );
         for (i, m) in months.iter().enumerate() {
             assert_eq!(m.index(), i);
         }
@@ -123,8 +139,22 @@ mod tests {
 
     #[test]
     fn labels() {
-        assert_eq!(Month { year: 2022, month: 5 }.label(), "2022-05");
-        assert_eq!(Month { year: 2024, month: 3 }.label(), "2024-03");
+        assert_eq!(
+            Month {
+                year: 2022,
+                month: 5
+            }
+            .label(),
+            "2022-05"
+        );
+        assert_eq!(
+            Month {
+                year: 2024,
+                month: 3
+            }
+            .label(),
+            "2024-03"
+        );
     }
 
     #[test]

@@ -49,7 +49,11 @@ pub struct MintSpec<'a> {
 
 impl<'a> MintSpec<'a> {
     /// A plain v3 RSA-2048 leaf with a random serial and no EKU.
-    pub fn new(ca: &'a CertificateAuthority, not_before: Asn1Time, not_after: Asn1Time) -> MintSpec<'a> {
+    pub fn new(
+        ca: &'a CertificateAuthority,
+        not_before: Asn1Time,
+        not_after: Asn1Time,
+    ) -> MintSpec<'a> {
         MintSpec {
             ca,
             issuer_override: None,
@@ -173,7 +177,9 @@ impl<'a> MintSpec<'a> {
 /// Lowercase hex string of the given length.
 pub fn random_hex(rng: &mut impl Rng, len: usize) -> String {
     const HEX: &[u8] = b"0123456789abcdef";
-    (0..len).map(|_| HEX[rng.gen_range(0..16)] as char).collect()
+    (0..len)
+        .map(|_| HEX[rng.gen_range(0..16)] as char)
+        .collect()
 }
 
 /// A UUID-formatted random string (36 chars).
@@ -192,7 +198,9 @@ pub fn random_uuid(rng: &mut impl Rng) -> String {
 /// the Table 9 detector).
 pub fn random_alnum(rng: &mut impl Rng, len: usize) -> String {
     const CHARS: &[u8] = b"bcdfghjklmnpqrstvwxz0123456789";
-    (0..len).map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char).collect()
+    (0..len)
+        .map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char)
+        .collect()
 }
 
 /// `Given Surname` drawn from the shared gazetteer, title-cased so the
@@ -245,7 +253,9 @@ pub fn email_address(rng: &mut impl Rng) -> String {
 
 /// A hostname under the given registered domain.
 pub fn hostname(rng: &mut impl Rng, domain: &str) -> String {
-    const PREFIX: &[&str] = &["www", "api", "portal", "edge", "mx", "smtp", "vpn", "node", "app", "svc"];
+    const PREFIX: &[&str] = &[
+        "www", "api", "portal", "edge", "mx", "smtp", "vpn", "node", "app", "svc",
+    ];
     format!(
         "{}{}.{}",
         PREFIX[rng.gen_range(0..PREFIX.len())],
@@ -269,15 +279,27 @@ mod tests {
     fn generators_produce_classifiable_content() {
         let mut r = rng();
         let ctx = ClassifyContext::default();
-        let campus = ClassifyContext { issuer_org: Some("x"), issuer_is_campus: true };
+        let campus = ClassifyContext {
+            issuer_org: Some("x"),
+            issuer_is_campus: true,
+        };
         for _ in 0..50 {
             assert_eq!(classify(&person_name(&mut r), ctx), InfoType::PersonalName);
-            assert_eq!(classify(&user_account(&mut r), campus), InfoType::UserAccount);
+            assert_eq!(
+                classify(&user_account(&mut r), campus),
+                InfoType::UserAccount
+            );
             assert_eq!(classify(&mac_address(&mut r), ctx), InfoType::Mac);
             assert_eq!(classify(&sip_address(&mut r), ctx), InfoType::Sip);
             assert_eq!(classify(&email_address(&mut r), ctx), InfoType::Email);
-            assert_eq!(classify(&hostname(&mut r, "example.com"), ctx), InfoType::Domain);
-            assert_eq!(classify(&random_hex(&mut r, 32), ctx), InfoType::Unidentified);
+            assert_eq!(
+                classify(&hostname(&mut r, "example.com"), ctx),
+                InfoType::Domain
+            );
+            assert_eq!(
+                classify(&random_hex(&mut r, 32), ctx),
+                InfoType::Unidentified
+            );
             assert_eq!(classify(&random_uuid(&mut r), ctx), InfoType::Unidentified);
         }
     }
@@ -286,8 +308,12 @@ mod tests {
     fn random_strings_detected_as_random() {
         let mut r = rng();
         for _ in 0..50 {
-            assert!(mtls_classify::random::is_random_string(&random_hex(&mut r, 8)));
-            assert!(mtls_classify::random::is_random_string(&random_uuid(&mut r)));
+            assert!(mtls_classify::random::is_random_string(&random_hex(
+                &mut r, 8
+            )));
+            assert!(mtls_classify::random::is_random_string(&random_uuid(
+                &mut r
+            )));
             let alnum = random_alnum(&mut r, 16);
             assert!(mtls_classify::random::is_random_string(&alnum), "{alnum}");
         }

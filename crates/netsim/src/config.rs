@@ -21,7 +21,12 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { seed: 0x6d746c73, scale: 1.0, include_non_mtls: true, include_interception: true }
+        SimConfig {
+            seed: 0x6d746c73,
+            scale: 1.0,
+            include_non_mtls: true,
+            include_interception: true,
+        }
     }
 }
 
@@ -43,11 +48,17 @@ mod tests {
 
     #[test]
     fn scaling() {
-        let cfg = SimConfig { scale: 0.5, ..SimConfig::default() };
+        let cfg = SimConfig {
+            scale: 0.5,
+            ..SimConfig::default()
+        };
         assert_eq!(cfg.scaled(100), 50);
         assert_eq!(cfg.scaled(1), 1); // floor of 1
         assert_eq!(cfg.scaled_may_vanish(1), 1);
-        let tiny = SimConfig { scale: 0.001, ..SimConfig::default() };
+        let tiny = SimConfig {
+            scale: 0.001,
+            ..SimConfig::default()
+        };
         assert_eq!(tiny.scaled(100), 1);
         assert_eq!(tiny.scaled_may_vanish(100), 0);
     }

@@ -170,14 +170,23 @@ impl Emitter {
     pub fn finish(mut self, world: &World) -> SimOutput {
         // Stable output order: by timestamp, then uid (scenarios run in
         // sequence, so raw order is scenario-grouped otherwise).
-        self.ssl
-            .sort_by(|a, b| a.ts.partial_cmp(&b.ts).expect("no NaN ts").then(a.uid.cmp(&b.uid)));
-        self.x509
-            .sort_by(|a, b| a.ts.partial_cmp(&b.ts).expect("no NaN ts").then(a.fingerprint.cmp(&b.fingerprint)));
+        self.ssl.sort_by(|a, b| {
+            a.ts.partial_cmp(&b.ts)
+                .expect("no NaN ts")
+                .then(a.uid.cmp(&b.uid))
+        });
+        self.x509.sort_by(|a, b| {
+            a.ts.partial_cmp(&b.ts)
+                .expect("no NaN ts")
+                .then(a.fingerprint.cmp(&b.fingerprint))
+        });
 
         // Calibrate the non-mTLS strata weight so the first month's mTLS
         // share lands on the paper's 1.99 % (Fig. 1).
-        let first = Month { year: 2022, month: 5 };
+        let first = Month {
+            year: 2022,
+            month: 5,
+        };
         let mut mtls_m1 = 0usize;
         let mut non_m1 = 0usize;
         for rec in &self.ssl {
@@ -197,7 +206,10 @@ impl Emitter {
         };
 
         let meta = SimMeta {
-            university_net: (world.plan.university.network, world.plan.university.prefix_len),
+            university_net: (
+                world.plan.university.network,
+                world.plan.university.prefix_len,
+            ),
             campus_issuer_orgs: world.campus_issuer_orgs(),
             public_ca_orgs: world.public_cas.iter().map(|c| c.org.to_string()).collect(),
             health_slds: vec!["campus-health.org".into(), "health-portal.com".into()],
@@ -210,13 +222,21 @@ impl Emitter {
                 (world.plan.rapid7.network, world.plan.rapid7.prefix_len),
                 (world.plan.gp_cloud.network, world.plan.gp_cloud.prefix_len),
                 (world.plan.apple.network, world.plan.apple.prefix_len),
-                (world.plan.microsoft.network, world.plan.microsoft.prefix_len),
+                (
+                    world.plan.microsoft.network,
+                    world.plan.microsoft.prefix_len,
+                ),
             ],
             non_mtls_weight,
             seed: self.config.seed,
             scale: self.config.scale,
         };
-        SimOutput { ssl: self.ssl, x509: self.x509, ct: self.ct, meta }
+        SimOutput {
+            ssl: self.ssl,
+            x509: self.x509,
+            ct: self.ct,
+            meta,
+        }
     }
 }
 
@@ -298,13 +318,25 @@ impl SimOutput {
         // interception filter works when the pipeline runs from files.
         let mut ct = std::io::BufWriter::new(std::fs::File::create(dir.join("ct.log"))?);
         for entry in self.ct.entries() {
-            writeln!(ct, "{}\t{}\t{}", entry.domain, entry.issuer_display, entry.fingerprint_hex)?;
+            writeln!(
+                ct,
+                "{}\t{}\t{}",
+                entry.domain, entry.issuer_display, entry.fingerprint_hex
+            )?;
         }
 
         let mut meta = std::io::BufWriter::new(std::fs::File::create(dir.join("meta.tsv"))?);
         let m = &self.meta;
-        writeln!(meta, "university_net\t{}/{}", m.university_net.0, m.university_net.1)?;
-        writeln!(meta, "campus_issuer_orgs\t{}", m.campus_issuer_orgs.join("|"))?;
+        writeln!(
+            meta,
+            "university_net\t{}/{}",
+            m.university_net.0, m.university_net.1
+        )?;
+        writeln!(
+            meta,
+            "campus_issuer_orgs\t{}",
+            m.campus_issuer_orgs.join("|")
+        )?;
         writeln!(meta, "public_ca_orgs\t{}", m.public_ca_orgs.join("|"))?;
         writeln!(meta, "health_slds\t{}", m.health_slds.join("|"))?;
         writeln!(meta, "university_slds\t{}", m.university_slds.join("|"))?;
@@ -349,8 +381,12 @@ mod tests {
             DistinguishedName::builder().organization("E").build(),
             t0,
         );
-        let server = MintSpec::new(&ca, t0, t0.add_days(90)).cn("s.example.com").mint(&mut rng);
-        let client = MintSpec::new(&ca, t0, t0.add_days(90)).cn("c-device").mint(&mut rng);
+        let server = MintSpec::new(&ca, t0, t0.add_days(90))
+            .cn("s.example.com")
+            .mint(&mut rng);
+        let client = MintSpec::new(&ca, t0, t0.add_days(90))
+            .cn("c-device")
+            .mint(&mut rng);
 
         for i in 0..5 {
             em.connection(
@@ -373,7 +409,11 @@ mod tests {
         assert_eq!(out.ssl.len(), 5);
         assert_eq!(out.x509.len(), 2, "certs interned once");
         assert!(out.ssl.iter().all(|r| r.is_mutual_tls()));
-        assert_eq!(out.x509[0].ts, t0.unix() as f64, "first-seen timestamp kept");
+        assert_eq!(
+            out.x509[0].ts,
+            t0.unix() as f64,
+            "first-seen timestamp kept"
+        );
     }
 
     #[test]
@@ -388,7 +428,9 @@ mod tests {
             DistinguishedName::builder().organization("E2").build(),
             t0,
         );
-        let server = MintSpec::new(&ca, t0, t0.add_days(90)).cn("h.example.com").mint(&mut rng);
+        let server = MintSpec::new(&ca, t0, t0.add_days(90))
+            .cn("h.example.com")
+            .mint(&mut rng);
         em.connection(
             ConnSpec {
                 ts: t0.unix() as f64,
@@ -400,7 +442,7 @@ mod tests {
                 server_chain: vec![&server],
                 client_chain: vec![],
                 established: true,
-                    resumed: false,
+                resumed: false,
             },
             &mut rng,
         );
@@ -422,7 +464,9 @@ mod tests {
             DistinguishedName::builder().organization("E3").build(),
             t0,
         );
-        let server = MintSpec::new(&ca, t0, t0.add_days(30)).cn("w.example.com").mint(&mut rng);
+        let server = MintSpec::new(&ca, t0, t0.add_days(30))
+            .cn("w.example.com")
+            .mint(&mut rng);
         em.connection(
             ConnSpec {
                 ts: t0.unix() as f64,
@@ -434,7 +478,7 @@ mod tests {
                 server_chain: vec![&server],
                 client_chain: vec![],
                 established: true,
-                    resumed: false,
+                resumed: false,
             },
             &mut rng,
         );

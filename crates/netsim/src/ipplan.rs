@@ -76,7 +76,10 @@ pub struct IpPlan {
 impl IpPlan {
     /// The fixed plan used by every simulation run.
     pub fn standard() -> IpPlan {
-        let b = |a, bb, c, d, p| Block { network: Ipv4::new(a, bb, c, d), prefix_len: p };
+        let b = |a, bb, c, d, p| Block {
+            network: Ipv4::new(a, bb, c, d),
+            prefix_len: p,
+        };
         IpPlan {
             university: b(172, 29, 0, 0, 16),
             health: b(172, 29, 10, 0, 23),

@@ -86,14 +86,25 @@ mod tests {
 
     #[test]
     fn tiny_corpus_is_deterministic() {
-        let cfg = SimConfig { seed: 7, scale: 0.01, ..SimConfig::default() };
+        let cfg = SimConfig {
+            seed: 7,
+            scale: 0.01,
+            ..SimConfig::default()
+        };
         let a = generate(&cfg);
         let b = generate(&cfg);
         assert_eq!(a.ssl.len(), b.ssl.len());
         assert_eq!(a.x509.len(), b.x509.len());
-        assert_eq!(a.ssl.first().map(|r| r.uid.clone()), b.ssl.first().map(|r| r.uid.clone()));
+        assert_eq!(
+            a.ssl.first().map(|r| r.uid.clone()),
+            b.ssl.first().map(|r| r.uid.clone())
+        );
         // Different seed, different corpus.
-        let c = generate(&SimConfig { seed: 8, scale: 0.01, ..SimConfig::default() });
+        let c = generate(&SimConfig {
+            seed: 8,
+            scale: 0.01,
+            ..SimConfig::default()
+        });
         assert_ne!(
             a.ssl.iter().map(|r| r.uid.as_str()).collect::<Vec<_>>(),
             c.ssl.iter().map(|r| r.uid.as_str()).collect::<Vec<_>>()
@@ -102,7 +113,11 @@ mod tests {
 
     #[test]
     fn tiny_corpus_contains_mutual_and_plain_tls() {
-        let cfg = SimConfig { seed: 1, scale: 0.02, ..SimConfig::default() };
+        let cfg = SimConfig {
+            seed: 1,
+            scale: 0.02,
+            ..SimConfig::default()
+        };
         let out = generate(&cfg);
         let mutual = out.ssl.iter().filter(|r| r.is_mutual_tls()).count();
         let plain = out.ssl.iter().filter(|r| !r.is_mutual_tls()).count();

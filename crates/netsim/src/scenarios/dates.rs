@@ -73,13 +73,16 @@ pub fn run(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mut impl R
             // Client side: inverted dates when the row says so. For the
             // IDrive and SDS *server* rows the clients are inverted too —
             // Table 12's "incorrect dates at both endpoints".
-            let both_ends = !row.client_side
-                && (row.issuer.starts_with("IDrive") || row.issuer == "SDS");
+            let both_ends =
+                !row.client_side && (row.issuer.starts_with("IDrive") || row.issuer == "SDS");
             let client_cert = if row.client_side || both_ends {
                 // The paired client population is issued a year earlier in
                 // the IDrive case (2019 vs 2020), per Table 12.
                 let (cnb, cna) = if both_ends && row.issuer.starts_with("IDrive") {
-                    (year_ts(row.not_before_year - 1, false).0, year_ts(row.not_after_year - 1, false).0)
+                    (
+                        year_ts(row.not_before_year - 1, false).0,
+                        year_ts(row.not_after_year - 1, false).0,
+                    )
                 } else {
                     (nb, na)
                 };
@@ -107,8 +110,8 @@ pub fn run(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mut impl R
                         established: true, // the paper's headline concern
                         resumed: false,
                     },
-                rng,
-            );
+                    rng,
+                );
             }
         }
     }

@@ -31,7 +31,11 @@ pub fn run(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mut impl R
         let servers: Vec<(Ipv4, Option<String>, Certificate)> = (0..n_servers)
             .map(|_| {
                 let sld = row.slds[rng.gen_range(0..row.slds.len())];
-                let sni = if sld.is_empty() { None } else { Some(hostname(rng, sld)) };
+                let sni = if sld.is_empty() {
+                    None
+                } else {
+                    Some(hostname(rng, sld))
+                };
                 let ip = if row.inbound {
                     world.plan.servers.sample(rng)
                 } else {
@@ -66,10 +70,12 @@ pub fn run(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mut impl R
                     world.plan.clients.sample(rng)
                 };
                 let cert = match row.side {
-                    DummySide::Client | DummySide::Both => MintSpec::new(&ca, validity.0, validity.1)
-                        .cn(random_alnum(rng, 12))
-                        .org(row.issuer)
-                        .mint(rng),
+                    DummySide::Client | DummySide::Both => {
+                        MintSpec::new(&ca, validity.0, validity.1)
+                            .cn(random_alnum(rng, 12))
+                            .org(row.issuer)
+                            .mint(rng)
+                    }
                     DummySide::Server => {
                         // Ordinary private client; the dummy is server-side.
                         let client_ca = world.private_ca("");

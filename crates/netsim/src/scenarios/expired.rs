@@ -3,13 +3,13 @@
 //! (§5.3.2): 10 000–40 000-day client certs and the single 83 432-day
 //! outlier associated with tmdxdev.com.
 
+use crate::certgen::random_uuid;
 use crate::certgen::{hostname, random_alnum, MintSpec, Usage};
 use crate::config::SimConfig;
 use crate::emit::{ConnSpec, Emitter};
 use crate::scenarios::{mtls_version, pick_weighted, ts_in_window};
 use crate::targets;
 use crate::world::{World, APPLE_DEVICE_ISSUER};
-use crate::certgen::random_uuid;
 use mtls_x509::DistinguishedName;
 use rand::Rng;
 
@@ -23,7 +23,12 @@ pub fn run(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mut impl R
 /// Fig. 5b: the tight cluster — Apple-issued client certs, expired about
 /// 1 000 days at first observation, talking to apple.com; plus two
 /// Microsoft ones (azure.com / azure-automation.net).
-fn expired_outbound_cluster(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mut impl Rng) {
+fn expired_outbound_cluster(
+    config: &SimConfig,
+    world: &World,
+    em: &mut Emitter,
+    rng: &mut impl Rng,
+) {
     let apple_ca = &world.public_ca(APPLE_DEVICE_ISSUER).intermediate;
     // Planted verbatim (already 1/10 of the paper's 337); the cluster must
     // dominate the two Microsoft certs at every scale.
@@ -31,11 +36,15 @@ fn expired_outbound_cluster(config: &SimConfig, world: &World, em: &mut Emitter,
     let _ = config;
     let server_ca = &world.public_ca("Apple Inc.").intermediate;
     let server_host = "gs.apple.com".to_string();
-    let server_cert = MintSpec::new(server_ca, world.start.add_days(-30), world.start.add_days(760))
-        .cn(server_host.clone())
-        .san_dns(&[&server_host])
-        .usage(Usage::Server)
-        .mint(rng);
+    let server_cert = MintSpec::new(
+        server_ca,
+        world.start.add_days(-30),
+        world.start.add_days(760),
+    )
+    .cn(server_host.clone())
+    .san_dns(&[&server_host])
+    .usage(Usage::Server)
+    .mint(rng);
     em.submit_ct(&server_cert);
     let server_ip = world.plan.apple.sample(rng);
 
@@ -80,11 +89,12 @@ fn expired_outbound_cluster(config: &SimConfig, world: &World, em: &mut Emitter,
             .usage(Usage::Client)
             .mint(rng);
         let host = hostname(rng, sld);
-        let server_cert = MintSpec::new(ms_ca, world.start.add_days(-30), world.start.add_days(760))
-            .cn(host.clone())
-            .san_dns(&[&host])
-            .usage(Usage::Server)
-            .mint(rng);
+        let server_cert =
+            MintSpec::new(ms_ca, world.start.add_days(-30), world.start.add_days(760))
+                .cn(host.clone())
+                .san_dns(&[&host])
+                .usage(Usage::Server)
+                .mint(rng);
         em.submit_ct(&server_cert);
         for _ in 0..5 {
             em.connection(
@@ -107,11 +117,7 @@ fn expired_outbound_cluster(config: &SimConfig, world: &World, em: &mut Emitter,
 }
 
 /// A campus-issued server for one inbound association.
-fn mk_server(
-    world: &World,
-    sld: &str,
-    rng: &mut impl Rng,
-) -> (String, mtls_x509::Certificate) {
+fn mk_server(world: &World, sld: &str, rng: &mut impl Rng) -> (String, mtls_x509::Certificate) {
     let host = hostname(rng, sld);
     let cert = MintSpec::new(
         &world.campus_server_ca,
@@ -225,7 +231,9 @@ fn long_validity(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mut 
             }
             1 => {
                 let ca = world.private_ca("Blue Ridge Instruments Inc");
-                MintSpec::new(&ca, nb, na).cn(random_alnum(rng, 12)).mint(rng)
+                MintSpec::new(&ca, nb, na)
+                    .cn(random_alnum(rng, 12))
+                    .mint(rng)
             }
             2 => {
                 let ca = world.private_ca("Internet Widgits Pty Ltd");
@@ -236,23 +244,32 @@ fn long_validity(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mut 
             }
             _ => {
                 let ca = world.private_ca("telemetryd");
-                MintSpec::new(&ca, nb, na).cn(random_alnum(rng, 12)).mint(rng)
+                MintSpec::new(&ca, nb, na)
+                    .cn(random_alnum(rng, 12))
+                    .mint(rng)
             }
         };
         let si = pick_weighted(rng, &sld_weights);
         let sld = slds[si];
         let (sni, server_cert) = if sld.is_empty() {
             let ca = world.private_ca("NodeRunner");
-            (None, MintSpec::new(&ca, world.start.add_days(-30), world.start.add_days(760))
-                .cn(random_alnum(rng, 10))
-                .mint(rng))
+            (
+                None,
+                MintSpec::new(&ca, world.start.add_days(-30), world.start.add_days(760))
+                    .cn(random_alnum(rng, 10))
+                    .mint(rng),
+            )
         } else {
             let host = hostname(rng, sld);
-            let c = MintSpec::new(server_ca, world.start.add_days(-30), world.start.add_days(760))
-                .cn(host.clone())
-                .san_dns(&[&host])
-                .usage(Usage::Server)
-                .mint(rng);
+            let c = MintSpec::new(
+                server_ca,
+                world.start.add_days(-30),
+                world.start.add_days(760),
+            )
+            .cn(host.clone())
+            .san_dns(&[&host])
+            .usage(Usage::Server)
+            .mint(rng);
             em.submit_ct(&c);
             (Some(host), c)
         };
@@ -267,10 +284,10 @@ fn long_validity(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mut 
                 server_chain: vec![&server_cert],
                 client_chain: vec![&cert],
                 established: true,
-                    resumed: false,
+                resumed: false,
             },
-                rng,
-            );
+            rng,
+        );
     }
 
     // The 228-year outlier (planted verbatim).
@@ -303,9 +320,9 @@ fn long_validity(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mut 
                 server_chain: vec![&server],
                 client_chain: vec![&outlier],
                 established: true,
-                    resumed: false,
+                resumed: false,
             },
-                rng,
-            );
+            rng,
+        );
     }
 }

@@ -53,12 +53,7 @@ fn association_sld(assoc: &str) -> Option<&'static str> {
     }
 }
 
-fn build_servers(
-    assoc: &str,
-    count: usize,
-    world: &World,
-    rng: &mut impl Rng,
-) -> Vec<Server> {
+fn build_servers(assoc: &str, count: usize, world: &World, rng: &mut impl Rng) -> Vec<Server> {
     let validity = (world.start.add_days(-30), world.start.add_days(760));
     let block = match assoc {
         "health" => world.plan.health,
@@ -77,14 +72,20 @@ fn build_servers(
                         "vpn" => &world.campus_vpn_ca,
                         "localorg" => &world.public_ca("Let's Encrypt").intermediate,
                         "thirdparty" => &world.public_ca("DigiCert Inc").intermediate,
-                        "globus" => return {
-                            let ca = world.private_ca("Globus Online");
-                            let cert = MintSpec::new(&ca, validity.0, validity.1)
-                                .cn(host.clone())
-                                .usage(Usage::Server)
-                                .mint(rng);
-                            Server { ip, sni: Some(host), cert }
-                        },
+                        "globus" => {
+                            return {
+                                let ca = world.private_ca("Globus Online");
+                                let cert = MintSpec::new(&ca, validity.0, validity.1)
+                                    .cn(host.clone())
+                                    .usage(Usage::Server)
+                                    .mint(rng);
+                                Server {
+                                    ip,
+                                    sni: Some(host),
+                                    cert,
+                                }
+                            }
+                        }
                         _ => &world.campus_server_ca,
                     };
                     let cert = MintSpec::new(ca, validity.0, validity.1)

@@ -8,13 +8,13 @@
 //! preprocessing must find and exclude these (experiment `pre1`) by
 //! comparing the observed issuer with the CT-logged issuer for the domain.
 
+use crate::calendar::{self, Month};
 use crate::certgen::{hostname, MintSpec, Usage};
 use crate::config::SimConfig;
 use crate::emit::{ConnSpec, Emitter};
 use crate::scenarios::{plainish_version, spread_ts};
 use crate::targets;
 use crate::world::World;
-use crate::calendar::{self, Month};
 use mtls_x509::Certificate;
 use rand::Rng;
 
@@ -30,15 +30,30 @@ pub fn run(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mut impl R
     // Domains that also exist legitimately: their *real* certificates were
     // CT-logged by `scenarios::nonmtls`, so the SLD pool must overlap.
     let slds = [
-        "popular-video.com", "search-portal.com", "social-feed.com", "news-hub.org",
-        "shop-central.com", "stream-cdn.net", "docs-suite.com",
+        "popular-video.com",
+        "search-portal.com",
+        "social-feed.com",
+        "news-hub.org",
+        "shop-central.com",
+        "stream-cdn.net",
+        "docs-suite.com",
     ];
     let vendor_stems = [
-        "NetGuard Inspection", "CloudShield Proxy", "PerimeterX TLS", "SecureGate",
-        "InspectorWorks", "TrafficLens",
+        "NetGuard Inspection",
+        "CloudShield Proxy",
+        "PerimeterX TLS",
+        "SecureGate",
+        "InspectorWorks",
+        "TrafficLens",
     ];
     let issuers: Vec<String> = (0..n_issuers)
-        .map(|i| format!("{} CA {}", vendor_stems[i % vendor_stems.len()], i / vendor_stems.len() + 1))
+        .map(|i| {
+            format!(
+                "{} CA {}",
+                vendor_stems[i % vendor_stems.len()],
+                i / vendor_stems.len() + 1
+            )
+        })
         .collect();
 
     let validity = (world.start.add_days(-10), world.start.add_days(760));
@@ -75,9 +90,9 @@ pub fn run(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mut impl R
                 server_chain: vec![cert],
                 client_chain: vec![],
                 established: true,
-                    resumed: false,
+                resumed: false,
             },
-                rng,
-            );
+            rng,
+        );
     }
 }

@@ -57,12 +57,7 @@ pub fn plainish_version(rng: &mut impl Rng) -> TlsVersion {
 
 /// Sample a timestamp for item `k` of `n` spread over the study window
 /// with the given per-month weighting.
-pub fn spread_ts(
-    rng: &mut impl Rng,
-    k: usize,
-    spread: &[usize],
-    months: &[Month],
-) -> f64 {
+pub fn spread_ts(rng: &mut impl Rng, k: usize, spread: &[usize], months: &[Month]) -> f64 {
     let mut acc = 0usize;
     for (i, &count) in spread.iter().enumerate() {
         acc += count;
@@ -84,7 +79,12 @@ pub fn mtls_spread(total: usize, inbound: bool) -> (Vec<usize>, Vec<Month>) {
 /// study start (for populations whose *duration of activity* the paper
 /// reports).
 pub fn ts_in_window(rng: &mut impl Rng, duration_days: i64) -> f64 {
-    let start = Month { year: 2022, month: 5 }.start().unix() as f64;
+    let start = Month {
+        year: 2022,
+        month: 5,
+    }
+    .start()
+    .unix() as f64;
     let span = (duration_days.clamp(1, 700) as f64) * 86_400.0;
     start + rng.gen_range(0.0..span)
 }
@@ -186,9 +186,9 @@ impl ContentQuotas {
             let mix = crate::targets::UNIDENT_CLIENT_MIX;
             let weights: Vec<f64> = mix.iter().map(|(f, _)| *f).collect();
             match mix[pick_weighted(rng, &weights)].1 {
-                "nonrandom" => ["__transfer__", "Dtls", "hmpp", "edge node"]
-                    [rng.gen_range(0..4)]
-                .to_string(),
+                "nonrandom" => {
+                    ["__transfer__", "Dtls", "hmpp", "edge node"][rng.gen_range(0..4)].to_string()
+                }
                 "len8" => g::random_hex(rng, 8),
                 "len32" => g::random_hex(rng, 32),
                 "len36" => g::random_uuid(rng),
@@ -243,7 +243,10 @@ mod tests {
 
     #[test]
     fn quotas_exhaust_then_fall_back() {
-        let cfg = crate::config::SimConfig { scale: 0.05, ..Default::default() };
+        let cfg = crate::config::SimConfig {
+            scale: 0.05,
+            ..Default::default()
+        };
         let mut q = ContentQuotas::new(&cfg);
         let mut rng = StdRng::seed_from_u64(3);
         let mut accounts = 0;
@@ -265,7 +268,12 @@ mod tests {
     #[test]
     fn ts_in_window_bounds() {
         let mut rng = StdRng::seed_from_u64(4);
-        let start = Month { year: 2022, month: 5 }.start().unix() as f64;
+        let start = Month {
+            year: 2022,
+            month: 5,
+        }
+        .start()
+        .unix() as f64;
         for days in [1i64, 100, 700, 9999] {
             for _ in 0..20 {
                 let ts = ts_in_window(&mut rng, days);

@@ -2,13 +2,13 @@
 //! right half, Table 14's certificate content, and the TLS 1.3 blind spot
 //! (§3.3 — 40.86 % of connections log no certificates at all).
 
+use crate::calendar::{self, Month};
 use crate::certgen::{self, hostname, MintSpec, Usage};
 use crate::config::SimConfig;
 use crate::emit::{ConnSpec, Emitter};
 use crate::scenarios::{pick_weighted, spread_ts};
 use crate::targets;
 use crate::world::World;
-use crate::calendar::{self, Month};
 use mtls_x509::Certificate;
 use mtls_zeek::{Ipv4, TlsVersion};
 use rand::Rng;
@@ -58,7 +58,9 @@ fn private_server_cn(rng: &mut impl Rng, q: &mut Table14Quotas) -> String {
     // Table 14 private CN mix: Org/Product 73.56 %, Domain 13.27 %,
     // Unidentified 11.02 % (39 % of those non-random: 'hmpp', 'Dtls'…).
     match pick_weighted(rng, &[0.7356, 0.1327, 0.1102, 0.0215]) {
-        0 => ["WebRTC", "twilio", "hangouts", "Lenovo ThinkCentre"][rng.gen_range(0..4)].to_string(),
+        0 => {
+            ["WebRTC", "twilio", "hangouts", "Lenovo ThinkCentre"][rng.gen_range(0..4)].to_string()
+        }
         1 => hostname(rng, "intranet-apps.net"),
         2 => {
             if rng.gen_bool(0.39) {
@@ -67,7 +69,13 @@ fn private_server_cn(rng: &mut impl Rng, q: &mut Table14Quotas) -> String {
                 certgen::random_hex(rng, 32)
             }
         }
-        _ => format!("{}.{}.{}.{}", rng.gen_range(1..255), rng.gen_range(0..255), rng.gen_range(0..255), rng.gen_range(1..255)),
+        _ => format!(
+            "{}.{}.{}.{}",
+            rng.gen_range(1..255),
+            rng.gen_range(0..255),
+            rng.gen_range(0..255),
+            rng.gen_range(1..255)
+        ),
     }
 }
 
@@ -125,7 +133,9 @@ fn build_sites(
                     "GoDaddy.com, Inc",
                     "Amazon Trust Services",
                 ];
-                let ca = &world.public_ca(orgs[rng.gen_range(0..orgs.len())]).intermediate;
+                let ca = &world
+                    .public_ca(orgs[rng.gen_range(0..orgs.len())])
+                    .intermediate;
                 (0..8)
                     .map(|e| {
                         let nb = world.start.add_days(e * 90 - 10);
@@ -141,7 +151,8 @@ fn build_sites(
             } else {
                 // Private non-mTLS servers: the Table 14 population. They
                 // rotate too (device firmware reissues), with the same CN.
-                let ca = world.private_ca(["NodeRunner", "intranet-ca", "DvTel"][rng.gen_range(0..3)]);
+                let ca =
+                    world.private_ca(["NodeRunner", "intranet-ca", "DvTel"][rng.gen_range(0..3)]);
                 let cn = private_server_cn(rng, quotas);
                 let with_san = rng.gen_bool(0.105); // Table 14a: 10.54 %
                 (0..8)
@@ -180,11 +191,29 @@ fn outbound(
         (8443, 0.0029),
     ];
     let slds = [
-        "popular-video.com", "search-portal.com", "social-feed.com", "news-hub.org",
-        "cdn-metrics.com", "shop-central.com", "apple.com", "azure.com", "mail-host.net",
-        "stream-cdn.net", "git-forge.io", "docs-suite.com",
+        "popular-video.com",
+        "search-portal.com",
+        "social-feed.com",
+        "news-hub.org",
+        "cdn-metrics.com",
+        "shop-central.com",
+        "apple.com",
+        "azure.com",
+        "mail-host.net",
+        "stream-cdn.net",
+        "git-forge.io",
+        "docs-suite.com",
     ];
-    let sites = build_sites(config.scaled(3_500), 0.85, false, &slds, world, em, rng, quotas);
+    let sites = build_sites(
+        config.scaled(3_500),
+        0.85,
+        false,
+        &slds,
+        world,
+        em,
+        rng,
+        quotas,
+    );
     let months = Month::study_months();
     let spread = calendar::spread_over_months(total, calendar::non_mtls_month_weight);
 
@@ -236,8 +265,22 @@ fn inbound(
         (52_730, 0.0198),
         (9443, 0.0601),
     ];
-    let slds = ["campus-main.edu", "univ-apps.com", "campus-health.org", "localorg-a.org"];
-    let sites = build_sites(config.scaled(2_200), 0.80, true, &slds, world, em, rng, quotas);
+    let slds = [
+        "campus-main.edu",
+        "univ-apps.com",
+        "campus-health.org",
+        "localorg-a.org",
+    ];
+    let sites = build_sites(
+        config.scaled(2_200),
+        0.80,
+        true,
+        &slds,
+        world,
+        em,
+        rng,
+        quotas,
+    );
     let months = Month::study_months();
     let spread = calendar::spread_over_months(total, calendar::non_mtls_month_weight);
 
@@ -263,9 +306,9 @@ fn inbound(
                 server_chain: vec![&site.certs[epoch_of(ts, world.start.unix() as f64)]],
                 client_chain: vec![],
                 established: rng.gen_bool(0.96),
-                    resumed: false,
+                resumed: false,
             },
-                rng,
-            );
+            rng,
+        );
     }
 }

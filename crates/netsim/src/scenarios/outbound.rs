@@ -1,6 +1,7 @@
 //! Bulk outbound mutual TLS (Table 2's outbound column, Fig. 2's flows,
 //! the Fig. 1 outbound series including the Rapid7 disappearance).
 
+use crate::calendar::{self, Month};
 use crate::certgen::{hostname, random_alnum, random_uuid, MintSpec, Usage};
 use crate::config::SimConfig;
 use crate::emit::{ConnSpec, Emitter};
@@ -8,7 +9,6 @@ use crate::ipplan::Block;
 use crate::scenarios::{mtls_version, pick_weighted, spread_ts};
 use crate::targets::{self, OutboundRow};
 use crate::world::{World, APPLE_DEVICE_ISSUER, AZURE_SPHERE_ISSUER};
-use crate::calendar::{self, Month};
 use mtls_x509::{Certificate, DistinguishedName};
 use mtls_zeek::Ipv4;
 use rand::Rng;
@@ -113,7 +113,14 @@ fn client_cert(
         }
         2 => {
             // Others: unrecognizable private issuers.
-            let orgs = ["AT&T Services", "Red Hat", "Samsung SDS", "AgentMesh", "telemetryd", "rcgen"];
+            let orgs = [
+                "AT&T Services",
+                "Red Hat",
+                "Samsung SDS",
+                "AgentMesh",
+                "telemetryd",
+                "rcgen",
+            ];
             let ca = world.private_ca(orgs[rng.gen_range(0..orgs.len())]);
             MintSpec::new(&ca, validity.0, validity.1)
                 .cn(em.quotas.generic_client_cn(rng))
@@ -167,7 +174,10 @@ fn public_client_cert(
                 em.quotas_public_personal_names -= 1;
                 ("Sectigo Limited", crate::certgen::person_name(rng))
             } else if rng.gen_bool(0.4) {
-                ("IdenTrust", format!("endpoint{}.webex.com", rng.gen_range(0..50)))
+                (
+                    "IdenTrust",
+                    format!("endpoint{}.webex.com", rng.gen_range(0..50)),
+                )
             } else {
                 ("Entrust, Inc.", random_uuid(rng))
             }

@@ -24,10 +24,12 @@ fn emit_server<R: Rng>(
     em: &mut Emitter,
     rng: &mut R,
 ) {
-    let ca = world.private_ca(
-        ["NodeRunner", "telemetryd", "sensor-hub", "MeshWorks"][rng.gen_range(0..4)],
-    );
-    let cert = MintSpec::new(&ca, validity.0, validity.1).cn(cn).san(san).mint(rng);
+    let ca = world
+        .private_ca(["NodeRunner", "telemetryd", "sensor-hub", "MeshWorks"][rng.gen_range(0..4)]);
+    let cert = MintSpec::new(&ca, validity.0, validity.1)
+        .cn(cn)
+        .san(san)
+        .mint(rng);
     // One-off private backends are overwhelmingly cloud-hosted (§3.3).
     let resp = if rng.gen_bool(0.8) {
         world.plan.aws.sample(rng)
@@ -47,7 +49,7 @@ fn emit_server<R: Rng>(
                 server_chain: vec![&cert],
                 client_chain: vec![&client.1],
                 established: true,
-                    resumed: false,
+                resumed: false,
             },
             rng,
         );
@@ -76,11 +78,15 @@ pub fn run(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mut impl R
     // random strings also gets the paper's "CN + 'TLS' + digits" SAN
     // pattern (§6.3.2).
     let n_unident = config.scaled(targets::SERVER_PRIVATE_UNIDENTIFIED);
-    let weights: Vec<f64> = targets::UNIDENT_SERVER_MIX.iter().map(|(f, _)| *f).collect();
+    let weights: Vec<f64> = targets::UNIDENT_SERVER_MIX
+        .iter()
+        .map(|(f, _)| *f)
+        .collect();
     for _ in 0..n_unident {
         let cn = match targets::UNIDENT_SERVER_MIX[pick_weighted(rng, &weights)].1 {
-            "nonrandom" => ["__transfer__", "Dtls", "hmpp", "relay node"][rng.gen_range(0..4)]
-                .to_string(),
+            "nonrandom" => {
+                ["__transfer__", "Dtls", "hmpp", "relay node"][rng.gen_range(0..4)].to_string()
+            }
             "byissuer" => random_alnum(rng, 16),
             "len8" => random_hex(rng, 8),
             "len32" => random_hex(rng, 32),
@@ -91,7 +97,10 @@ pub fn run(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mut impl R
             }
         };
         let san = if rng.gen_bool(0.02) {
-            vec![GeneralName::Dns(format!("{cn} TLS {}", rng.gen_range(100..99_999)))]
+            vec![GeneralName::Dns(format!(
+                "{cn} TLS {}",
+                rng.gen_range(100..99_999)
+            ))]
         } else {
             Vec::new()
         };
@@ -125,6 +134,14 @@ pub fn run(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mut impl R
         );
     }
     for _ in 0..config.scaled(targets::SERVER_PRIVATE_PERSONAL_NAMES) {
-        emit_server(person_name(rng), Vec::new(), &clients, validity, world, em, rng);
+        emit_server(
+            person_name(rng),
+            Vec::new(),
+            &clients,
+            validity,
+            world,
+            em,
+            rng,
+        );
     }
 }

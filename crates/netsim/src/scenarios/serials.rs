@@ -79,10 +79,10 @@ fn globus_fxp(
                         server_chain: vec![&cert],
                         client_chain: vec![&cert],
                         established: true,
-                    resumed: false,
+                        resumed: false,
                     },
-                rng,
-            );
+                    rng,
+                );
             }
             day += lifetime;
         }
@@ -186,10 +186,10 @@ fn guardicore(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mut imp
                 server_chain: vec![&server_certs[rng.gen_range(0..server_certs.len())]],
                 client_chain: vec![&client_certs[ci]],
                 established: true,
-                    resumed: false,
+                resumed: false,
             },
-                rng,
-            );
+            rng,
+        );
     }
 }
 

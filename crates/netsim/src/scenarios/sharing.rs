@@ -56,7 +56,11 @@ fn same_connection(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mu
         } else {
             world.plan.misc_external.sample(rng)
         };
-        let port = if row.sld == "tablodash.com" { 9093 } else { 443 };
+        let port = if row.sld == "tablodash.com" {
+            9093
+        } else {
+            443
+        };
         for _ in 0..n_clients {
             let client_ip = if row.inbound {
                 world.plan.external_clients.sample(rng)
@@ -78,10 +82,10 @@ fn same_connection(config: &SimConfig, world: &World, em: &mut Emitter, rng: &mu
                         server_chain: vec![&cert],
                         client_chain: vec![&cert],
                         established: true,
-                    resumed: false,
+                        resumed: false,
                     },
-                rng,
-            );
+                    rng,
+                );
             }
         }
     }
@@ -173,14 +177,20 @@ fn cross_connection(config: &SimConfig, world: &World, em: &mut Emitter, rng: &m
             c
         } else {
             let ca = world.private_ca("MeshWorks");
-            MintSpec::new(&ca, validity.0, validity.1).cn(host.clone()).usage(Usage::Both).mint(rng)
+            MintSpec::new(&ca, validity.0, validity.1)
+                .cn(host.clone())
+                .usage(Usage::Both)
+                .mint(rng)
         };
 
         // As a server: the cert sits on hosts in `n_srv` distinct /24s.
         // The first certificate is the deterministic 100th-percentile
         // outlier (the paper's Table 6 maxima are single extremal certs).
-        let n_srv =
-            if i == 0 { spread_max(false, config) } else { subnet_spread(rng, false, config) };
+        let n_srv = if i == 0 {
+            spread_max(false, config)
+        } else {
+            subnet_spread(rng, false, config)
+        };
         for s in 0..n_srv {
             let resp = Ipv4(world.plan.university.network.0 + ((s as u32 % 250) << 8) + 10);
             let client = &pool[rng.gen_range(0..pool.len())];
@@ -202,8 +212,11 @@ fn cross_connection(config: &SimConfig, world: &World, em: &mut Emitter, rng: &m
         }
 
         // As a client: the cert roams across `n_cli` distinct /24s.
-        let n_cli =
-            if i == 1 { spread_max(true, config) } else { subnet_spread(rng, true, config) };
+        let n_cli = if i == 1 {
+            spread_max(true, config)
+        } else {
+            subnet_spread(rng, true, config)
+        };
         let some_server_ca = world.private_ca("MeshWorks");
         let server = MintSpec::new(&some_server_ca, validity.0, validity.1)
             .cn(hostname(rng, "shared-svc.com"))

@@ -51,22 +51,92 @@ pub struct InboundRow {
 }
 
 pub const INBOUND_ROWS: &[InboundRow] = &[
-    InboundRow { association: "health", port: 443, port_hi: 443, frac: 0.3567 },
-    InboundRow { association: "health", port: 20017, port_hi: 20017, frac: 0.2100 },
-    InboundRow { association: "health", port: 636, port_hi: 636, frac: 0.0465 },
-    InboundRow { association: "health", port: 9093, port_hi: 9093, frac: 0.0026 },
-    InboundRow { association: "health", port: 8443, port_hi: 8443, frac: 0.0300 },
-    InboundRow { association: "server", port: 443, port_hi: 443, frac: 0.2498 },
-    InboundRow { association: "server", port: 20017, port_hi: 20017, frac: 0.0389 },
-    InboundRow { association: "server", port: 636, port_hi: 636, frac: 0.0168 },
-    InboundRow { association: "vpn", port: 443, port_hi: 443, frac: 0.0030 },
-    InboundRow { association: "localorg", port: 443, port_hi: 443, frac: 0.0253 },
-    InboundRow { association: "thirdparty", port: 443, port_hi: 443, frac: 0.0031 },
-    InboundRow { association: "globus", port: 50_000, port_hi: 51_000, frac: 0.0006 },
+    InboundRow {
+        association: "health",
+        port: 443,
+        port_hi: 443,
+        frac: 0.3567,
+    },
+    InboundRow {
+        association: "health",
+        port: 20017,
+        port_hi: 20017,
+        frac: 0.2100,
+    },
+    InboundRow {
+        association: "health",
+        port: 636,
+        port_hi: 636,
+        frac: 0.0465,
+    },
+    InboundRow {
+        association: "health",
+        port: 9093,
+        port_hi: 9093,
+        frac: 0.0026,
+    },
+    InboundRow {
+        association: "health",
+        port: 8443,
+        port_hi: 8443,
+        frac: 0.0300,
+    },
+    InboundRow {
+        association: "server",
+        port: 443,
+        port_hi: 443,
+        frac: 0.2498,
+    },
+    InboundRow {
+        association: "server",
+        port: 20017,
+        port_hi: 20017,
+        frac: 0.0389,
+    },
+    InboundRow {
+        association: "server",
+        port: 636,
+        port_hi: 636,
+        frac: 0.0168,
+    },
+    InboundRow {
+        association: "vpn",
+        port: 443,
+        port_hi: 443,
+        frac: 0.0030,
+    },
+    InboundRow {
+        association: "localorg",
+        port: 443,
+        port_hi: 443,
+        frac: 0.0253,
+    },
+    InboundRow {
+        association: "thirdparty",
+        port: 443,
+        port_hi: 443,
+        frac: 0.0031,
+    },
+    InboundRow {
+        association: "globus",
+        port: 50_000,
+        port_hi: 51_000,
+        frac: 0.0006,
+    },
     // "Unknown": SNI missing or not a domain; dominated by the Globus FXP
     // population (SNI literally "FXP DCAU Cert") on the Globus port range.
-    InboundRow { association: "unknown-fxp", port: 50_000, port_hi: 51_000, frac: 0.0117 },
-    InboundRow { association: "unknown", port: 443, port_hi: 443, frac: 0.0050 },
+    InboundRow {
+        association: "unknown-fxp",
+        port: 50_000,
+        port_hi: 51_000,
+        frac: 0.0117,
+    },
+    InboundRow {
+        association: "unknown",
+        port: 443,
+        port_hi: 443,
+        frac: 0.0050,
+    },
 ];
 
 /// Client-pool share per association (Table 3 "% clients").
@@ -112,22 +182,120 @@ pub struct OutboundRow {
 /// (§3.3 item 3); MQTT 3.69 %, Splunk 9997 1.48 % (Table 2). The
 /// missing-issuer marginal lands near 37.84 %.
 pub const OUTBOUND_ROWS: &[OutboundRow] = &[
-    OutboundRow { sld: "amazonaws.com", port: 443, frac: 0.2451, server_public: true, client_mix: [0.58, 0.23, 0.17, 0.02], ends_oct_2023: false },
-    OutboundRow { sld: "amazonaws.com", port: 8883, frac: 0.0369, server_public: true, client_mix: [0.20, 0.55, 0.25, 0.00], ends_oct_2023: false },
-    OutboundRow { sld: "rapid7.com", port: 443, frac: 0.2744, server_public: true, client_mix: [0.55, 0.31, 0.14, 0.00], ends_oct_2023: true },
-    OutboundRow { sld: "gpcloudservice.com", port: 443, frac: 0.1333, server_public: true, client_mix: [0.50, 0.15, 0.35, 0.00], ends_oct_2023: false },
-    OutboundRow { sld: "apple.com", port: 443, frac: 0.0400, server_public: true, client_mix: [0.02, 0.03, 0.05, 0.90], ends_oct_2023: false },
-    OutboundRow { sld: "azure.com", port: 443, frac: 0.0300, server_public: true, client_mix: [0.05, 0.15, 0.10, 0.70], ends_oct_2023: false },
-    OutboundRow { sld: "splunkcloud.com", port: 9997, frac: 0.0148, server_public: false, client_mix: [0.10, 0.80, 0.10, 0.00], ends_oct_2023: false },
+    OutboundRow {
+        sld: "amazonaws.com",
+        port: 443,
+        frac: 0.2451,
+        server_public: true,
+        client_mix: [0.58, 0.23, 0.17, 0.02],
+        ends_oct_2023: false,
+    },
+    OutboundRow {
+        sld: "amazonaws.com",
+        port: 8883,
+        frac: 0.0369,
+        server_public: true,
+        client_mix: [0.20, 0.55, 0.25, 0.00],
+        ends_oct_2023: false,
+    },
+    OutboundRow {
+        sld: "rapid7.com",
+        port: 443,
+        frac: 0.2744,
+        server_public: true,
+        client_mix: [0.55, 0.31, 0.14, 0.00],
+        ends_oct_2023: true,
+    },
+    OutboundRow {
+        sld: "gpcloudservice.com",
+        port: 443,
+        frac: 0.1333,
+        server_public: true,
+        client_mix: [0.50, 0.15, 0.35, 0.00],
+        ends_oct_2023: false,
+    },
+    OutboundRow {
+        sld: "apple.com",
+        port: 443,
+        frac: 0.0400,
+        server_public: true,
+        client_mix: [0.02, 0.03, 0.05, 0.90],
+        ends_oct_2023: false,
+    },
+    OutboundRow {
+        sld: "azure.com",
+        port: 443,
+        frac: 0.0300,
+        server_public: true,
+        client_mix: [0.05, 0.15, 0.10, 0.70],
+        ends_oct_2023: false,
+    },
+    OutboundRow {
+        sld: "splunkcloud.com",
+        port: 9997,
+        frac: 0.0148,
+        server_public: false,
+        client_mix: [0.10, 0.80, 0.10, 0.00],
+        ends_oct_2023: false,
+    },
     // Email: SMTP + SMTPS ≈ 6.7 % of outbound mTLS.
-    OutboundRow { sld: "mailrelay.com", port: 25, frac: 0.0338, server_public: true, client_mix: [0.30, 0.30, 0.30, 0.10], ends_oct_2023: false },
-    OutboundRow { sld: "mailrelay.com", port: 465, frac: 0.0332, server_public: true, client_mix: [0.30, 0.30, 0.30, 0.10], ends_oct_2023: false },
+    OutboundRow {
+        sld: "mailrelay.com",
+        port: 25,
+        frac: 0.0338,
+        server_public: true,
+        client_mix: [0.30, 0.30, 0.30, 0.10],
+        ends_oct_2023: false,
+    },
+    OutboundRow {
+        sld: "mailrelay.com",
+        port: 465,
+        frac: 0.0332,
+        server_public: true,
+        client_mix: [0.30, 0.30, 0.30, 0.10],
+        ends_oct_2023: false,
+    },
     // Long tail of miscellaneous destinations.
-    OutboundRow { sld: "fireboard.io", port: 443, frac: 0.0080, server_public: false, client_mix: [0.20, 0.40, 0.40, 0.00], ends_oct_2023: false },
-    OutboundRow { sld: "iot-telemetry.net", port: 8883, frac: 0.0200, server_public: false, client_mix: [0.45, 0.25, 0.30, 0.00], ends_oct_2023: false },
-    OutboundRow { sld: "cdn-metrics.com", port: 443, frac: 0.0420, server_public: true, client_mix: [0.62, 0.12, 0.24, 0.02], ends_oct_2023: false },
-    OutboundRow { sld: "partner-billing.com", port: 3128, frac: 0.0300, server_public: true, client_mix: [0.30, 0.40, 0.28, 0.02], ends_oct_2023: false },
-    OutboundRow { sld: "edu-exchange.org", port: 443, frac: 0.0585, server_public: true, client_mix: [0.35, 0.20, 0.40, 0.05], ends_oct_2023: false },
+    OutboundRow {
+        sld: "fireboard.io",
+        port: 443,
+        frac: 0.0080,
+        server_public: false,
+        client_mix: [0.20, 0.40, 0.40, 0.00],
+        ends_oct_2023: false,
+    },
+    OutboundRow {
+        sld: "iot-telemetry.net",
+        port: 8883,
+        frac: 0.0200,
+        server_public: false,
+        client_mix: [0.45, 0.25, 0.30, 0.00],
+        ends_oct_2023: false,
+    },
+    OutboundRow {
+        sld: "cdn-metrics.com",
+        port: 443,
+        frac: 0.0420,
+        server_public: true,
+        client_mix: [0.62, 0.12, 0.24, 0.02],
+        ends_oct_2023: false,
+    },
+    OutboundRow {
+        sld: "partner-billing.com",
+        port: 3128,
+        frac: 0.0300,
+        server_public: true,
+        client_mix: [0.30, 0.40, 0.28, 0.02],
+        ends_oct_2023: false,
+    },
+    OutboundRow {
+        sld: "edu-exchange.org",
+        port: 443,
+        frac: 0.0585,
+        server_public: true,
+        client_mix: [0.35, 0.20, 0.40, 0.05],
+        ends_oct_2023: false,
+    },
 ];
 
 // ---------------------------------------------------------------------------
@@ -258,16 +426,86 @@ pub struct SharingRow {
 }
 
 pub const SHARING_ROWS: &[SharingRow] = &[
-    SharingRow { sld: "", issuer: "Globus Online", clients: 70, duration_days: 700, public_issuer: false, inbound: true },
-    SharingRow { sld: "tablodash.com", issuer: "Outset Medical", clients: 30, duration_days: 700, public_issuer: false, inbound: true },
-    SharingRow { sld: "", issuer: "Globus Online", clients: 11, duration_days: 699, public_issuer: false, inbound: false },
-    SharingRow { sld: "psych.org", issuer: "American Psychiatric Association", clients: 26, duration_days: 424, public_issuer: false, inbound: false },
-    SharingRow { sld: "splunkcloud.com", issuer: "Splunk", clients: 4, duration_days: 114, public_issuer: false, inbound: false },
-    SharingRow { sld: "leidos.com", issuer: "IdenTrust", clients: 52, duration_days: 554, public_issuer: true, inbound: false },
-    SharingRow { sld: "acr.og", issuer: "GoDaddy.com, Inc", clients: 24, duration_days: 364, public_issuer: true, inbound: false },
-    SharingRow { sld: "sapns2.com", issuer: "GoDaddy.com, Inc", clients: 1, duration_days: 5, public_issuer: true, inbound: false },
-    SharingRow { sld: "bluetriton.com", issuer: "DigiCert Inc", clients: 1, duration_days: 1, public_issuer: true, inbound: false },
-    SharingRow { sld: "gpo.gov", issuer: "DigiCert Inc", clients: 1, duration_days: 1, public_issuer: true, inbound: false },
+    SharingRow {
+        sld: "",
+        issuer: "Globus Online",
+        clients: 70,
+        duration_days: 700,
+        public_issuer: false,
+        inbound: true,
+    },
+    SharingRow {
+        sld: "tablodash.com",
+        issuer: "Outset Medical",
+        clients: 30,
+        duration_days: 700,
+        public_issuer: false,
+        inbound: true,
+    },
+    SharingRow {
+        sld: "",
+        issuer: "Globus Online",
+        clients: 11,
+        duration_days: 699,
+        public_issuer: false,
+        inbound: false,
+    },
+    SharingRow {
+        sld: "psych.org",
+        issuer: "American Psychiatric Association",
+        clients: 26,
+        duration_days: 424,
+        public_issuer: false,
+        inbound: false,
+    },
+    SharingRow {
+        sld: "splunkcloud.com",
+        issuer: "Splunk",
+        clients: 4,
+        duration_days: 114,
+        public_issuer: false,
+        inbound: false,
+    },
+    SharingRow {
+        sld: "leidos.com",
+        issuer: "IdenTrust",
+        clients: 52,
+        duration_days: 554,
+        public_issuer: true,
+        inbound: false,
+    },
+    SharingRow {
+        sld: "acr.og",
+        issuer: "GoDaddy.com, Inc",
+        clients: 24,
+        duration_days: 364,
+        public_issuer: true,
+        inbound: false,
+    },
+    SharingRow {
+        sld: "sapns2.com",
+        issuer: "GoDaddy.com, Inc",
+        clients: 1,
+        duration_days: 5,
+        public_issuer: true,
+        inbound: false,
+    },
+    SharingRow {
+        sld: "bluetriton.com",
+        issuer: "DigiCert Inc",
+        clients: 1,
+        duration_days: 1,
+        public_issuer: true,
+        inbound: false,
+    },
+    SharingRow {
+        sld: "gpo.gov",
+        issuer: "DigiCert Inc",
+        clients: 1,
+        duration_days: 1,
+        public_issuer: true,
+        inbound: false,
+    },
 ];
 
 /// §5.2.2: certificates seen as server in some connections and client in
@@ -307,18 +545,111 @@ pub enum DummySide {
 /// Table 10 (both sides): fireboard.io 9 clients / 618 days,
 /// amazonaws.com 7 / 17, missing SNI 1 / 1.
 pub const DUMMY_ROWS: &[DummyRow] = &[
-    DummyRow { issuer: "Default Company Ltd", side: DummySide::Client, inbound: true, servers: 6, clients: 10, conns: 80, slds: &["localorg-a.org"] },
-    DummyRow { issuer: "Internet Widgits Pty Ltd", side: DummySide::Client, inbound: true, servers: 5, clients: 10, conns: 70, slds: &["localorg-a.org"] },
-    DummyRow { issuer: "Unspecified", side: DummySide::Client, inbound: true, servers: 40, clients: 70, conns: 400, slds: &[""] },
-    DummyRow { issuer: "Internet Widgits Pty Ltd", side: DummySide::Client, inbound: false, servers: 73, clients: 276, conns: 1_800, slds: &["devboard.com", "fireboard.io"] },
-    DummyRow { issuer: "Default Company Ltd", side: DummySide::Client, inbound: false, servers: 2, clients: 17, conns: 60, slds: &["cn-registry.cn", "apex-metrics.top"] },
-    DummyRow { issuer: "Internet Widgits Pty Ltd", side: DummySide::Server, inbound: false, servers: 511, clients: 600, conns: 3_689, slds: &["devboard.com", "edu-exchange.org", "fireboard.io"] },
-    DummyRow { issuer: "Default Company Ltd", side: DummySide::Server, inbound: false, servers: 147, clients: 160, conns: 331, slds: &["devboard.com", "edu-exchange.org", "cn-registry.cn", "labs-mirror.co"] },
-    DummyRow { issuer: "Acme Co", side: DummySide::Server, inbound: false, servers: 20, clients: 20, conns: 26, slds: &["acme-fleet.com"] },
+    DummyRow {
+        issuer: "Default Company Ltd",
+        side: DummySide::Client,
+        inbound: true,
+        servers: 6,
+        clients: 10,
+        conns: 80,
+        slds: &["localorg-a.org"],
+    },
+    DummyRow {
+        issuer: "Internet Widgits Pty Ltd",
+        side: DummySide::Client,
+        inbound: true,
+        servers: 5,
+        clients: 10,
+        conns: 70,
+        slds: &["localorg-a.org"],
+    },
+    DummyRow {
+        issuer: "Unspecified",
+        side: DummySide::Client,
+        inbound: true,
+        servers: 40,
+        clients: 70,
+        conns: 400,
+        slds: &[""],
+    },
+    DummyRow {
+        issuer: "Internet Widgits Pty Ltd",
+        side: DummySide::Client,
+        inbound: false,
+        servers: 73,
+        clients: 276,
+        conns: 1_800,
+        slds: &["devboard.com", "fireboard.io"],
+    },
+    DummyRow {
+        issuer: "Default Company Ltd",
+        side: DummySide::Client,
+        inbound: false,
+        servers: 2,
+        clients: 17,
+        conns: 60,
+        slds: &["cn-registry.cn", "apex-metrics.top"],
+    },
+    DummyRow {
+        issuer: "Internet Widgits Pty Ltd",
+        side: DummySide::Server,
+        inbound: false,
+        servers: 511,
+        clients: 600,
+        conns: 3_689,
+        slds: &["devboard.com", "edu-exchange.org", "fireboard.io"],
+    },
+    DummyRow {
+        issuer: "Default Company Ltd",
+        side: DummySide::Server,
+        inbound: false,
+        servers: 147,
+        clients: 160,
+        conns: 331,
+        slds: &[
+            "devboard.com",
+            "edu-exchange.org",
+            "cn-registry.cn",
+            "labs-mirror.co",
+        ],
+    },
+    DummyRow {
+        issuer: "Acme Co",
+        side: DummySide::Server,
+        inbound: false,
+        servers: 20,
+        clients: 20,
+        conns: 26,
+        slds: &["acme-fleet.com"],
+    },
     // Appendix B (Table 10): dummy at both endpoints, all Internet Widgits.
-    DummyRow { issuer: "Internet Widgits Pty Ltd", side: DummySide::Both, inbound: false, servers: 3, clients: 9, conns: 620, slds: &["fireboard.io"] },
-    DummyRow { issuer: "Internet Widgits Pty Ltd", side: DummySide::Both, inbound: false, servers: 2, clients: 7, conns: 40, slds: &["amazonaws.com"] },
-    DummyRow { issuer: "Internet Widgits Pty Ltd", side: DummySide::Both, inbound: false, servers: 1, clients: 1, conns: 1, slds: &[""] },
+    DummyRow {
+        issuer: "Internet Widgits Pty Ltd",
+        side: DummySide::Both,
+        inbound: false,
+        servers: 3,
+        clients: 9,
+        conns: 620,
+        slds: &["fireboard.io"],
+    },
+    DummyRow {
+        issuer: "Internet Widgits Pty Ltd",
+        side: DummySide::Both,
+        inbound: false,
+        servers: 2,
+        clients: 7,
+        conns: 40,
+        slds: &["amazonaws.com"],
+    },
+    DummyRow {
+        issuer: "Internet Widgits Pty Ltd",
+        side: DummySide::Both,
+        inbound: false,
+        servers: 1,
+        clients: 1,
+        conns: 1,
+        slds: &[""],
+    },
 ];
 
 /// §5.1.1: among dummy-issuer client certs, 3 "Internet Widgits" v1
@@ -345,20 +676,132 @@ pub struct IncorrectDatesRow {
 /// Table 11, clients scaled ~1/10 where large (IDrive 2 887 → 289;
 /// Honeywell 1 599/1 864 → 160/186), small rows verbatim.
 pub const INCORRECT_DATES_ROWS: &[IncorrectDatesRow] = &[
-    IncorrectDatesRow { sld: "", issuer: "rcgen", client_side: true, not_before_year: 1975, not_after_year: 1757, clients: 2, duration_days: 42 },
-    IncorrectDatesRow { sld: "idrive.com", issuer: "IDrive Inc Certificate Authority", client_side: true, not_before_year: 2019, not_after_year: 1849, clients: 289, duration_days: 701 },
-    IncorrectDatesRow { sld: "idrive.com", issuer: "IDrive Inc Certificate Authority", client_side: false, not_before_year: 2020, not_after_year: 1850, clients: 72, duration_days: 701 },
-    IncorrectDatesRow { sld: "clouddevice.io", issuer: "Honeywell International Inc", client_side: true, not_before_year: 2021, not_after_year: 1815, clients: 160, duration_days: 701 },
-    IncorrectDatesRow { sld: "clouddevice.io", issuer: "Honeywell International Inc", client_side: true, not_before_year: 2023, not_after_year: 1815, clients: 46, duration_days: 258 },
-    IncorrectDatesRow { sld: "alarmnet.com", issuer: "Honeywell International Inc", client_side: true, not_before_year: 2021, not_after_year: 1815, clients: 186, duration_days: 696 },
-    IncorrectDatesRow { sld: "alarmnet.com", issuer: "Honeywell International Inc", client_side: true, not_before_year: 2023, not_after_year: 1815, clients: 70, duration_days: 252 },
-    IncorrectDatesRow { sld: "", issuer: "SDS", client_side: true, not_before_year: 1970, not_after_year: 1831, clients: 17, duration_days: 474 },
-    IncorrectDatesRow { sld: "", issuer: "SDS", client_side: false, not_before_year: 1970, not_after_year: 1831, clients: 17, duration_days: 474 },
-    IncorrectDatesRow { sld: "ayoba.me", issuer: "OpenPGP to X.509 Bridge", client_side: true, not_before_year: 2022, not_after_year: 2022, clients: 15, duration_days: 147 },
-    IncorrectDatesRow { sld: "ibackup.com", issuer: "IDrive Inc Certificate Authority", client_side: true, not_before_year: 2019, not_after_year: 1849, clients: 4, duration_days: 311 },
-    IncorrectDatesRow { sld: "crestron.io", issuer: "Crestron Electronics Inc", client_side: true, not_before_year: 2020, not_after_year: 1816, clients: 3, duration_days: 1 },
-    IncorrectDatesRow { sld: "", issuer: "media-server", client_side: false, not_before_year: 2157, not_after_year: 2023, clients: 2, duration_days: 106 },
-    IncorrectDatesRow { sld: "", issuer: "IceLink", client_side: true, not_before_year: 2048, not_after_year: 1996, clients: 1, duration_days: 1 },
+    IncorrectDatesRow {
+        sld: "",
+        issuer: "rcgen",
+        client_side: true,
+        not_before_year: 1975,
+        not_after_year: 1757,
+        clients: 2,
+        duration_days: 42,
+    },
+    IncorrectDatesRow {
+        sld: "idrive.com",
+        issuer: "IDrive Inc Certificate Authority",
+        client_side: true,
+        not_before_year: 2019,
+        not_after_year: 1849,
+        clients: 289,
+        duration_days: 701,
+    },
+    IncorrectDatesRow {
+        sld: "idrive.com",
+        issuer: "IDrive Inc Certificate Authority",
+        client_side: false,
+        not_before_year: 2020,
+        not_after_year: 1850,
+        clients: 72,
+        duration_days: 701,
+    },
+    IncorrectDatesRow {
+        sld: "clouddevice.io",
+        issuer: "Honeywell International Inc",
+        client_side: true,
+        not_before_year: 2021,
+        not_after_year: 1815,
+        clients: 160,
+        duration_days: 701,
+    },
+    IncorrectDatesRow {
+        sld: "clouddevice.io",
+        issuer: "Honeywell International Inc",
+        client_side: true,
+        not_before_year: 2023,
+        not_after_year: 1815,
+        clients: 46,
+        duration_days: 258,
+    },
+    IncorrectDatesRow {
+        sld: "alarmnet.com",
+        issuer: "Honeywell International Inc",
+        client_side: true,
+        not_before_year: 2021,
+        not_after_year: 1815,
+        clients: 186,
+        duration_days: 696,
+    },
+    IncorrectDatesRow {
+        sld: "alarmnet.com",
+        issuer: "Honeywell International Inc",
+        client_side: true,
+        not_before_year: 2023,
+        not_after_year: 1815,
+        clients: 70,
+        duration_days: 252,
+    },
+    IncorrectDatesRow {
+        sld: "",
+        issuer: "SDS",
+        client_side: true,
+        not_before_year: 1970,
+        not_after_year: 1831,
+        clients: 17,
+        duration_days: 474,
+    },
+    IncorrectDatesRow {
+        sld: "",
+        issuer: "SDS",
+        client_side: false,
+        not_before_year: 1970,
+        not_after_year: 1831,
+        clients: 17,
+        duration_days: 474,
+    },
+    IncorrectDatesRow {
+        sld: "ayoba.me",
+        issuer: "OpenPGP to X.509 Bridge",
+        client_side: true,
+        not_before_year: 2022,
+        not_after_year: 2022,
+        clients: 15,
+        duration_days: 147,
+    },
+    IncorrectDatesRow {
+        sld: "ibackup.com",
+        issuer: "IDrive Inc Certificate Authority",
+        client_side: true,
+        not_before_year: 2019,
+        not_after_year: 1849,
+        clients: 4,
+        duration_days: 311,
+    },
+    IncorrectDatesRow {
+        sld: "crestron.io",
+        issuer: "Crestron Electronics Inc",
+        client_side: true,
+        not_before_year: 2020,
+        not_after_year: 1816,
+        clients: 3,
+        duration_days: 1,
+    },
+    IncorrectDatesRow {
+        sld: "",
+        issuer: "media-server",
+        client_side: false,
+        not_before_year: 2157,
+        not_after_year: 2023,
+        clients: 2,
+        duration_days: 106,
+    },
+    IncorrectDatesRow {
+        sld: "",
+        issuer: "IceLink",
+        client_side: true,
+        not_before_year: 2048,
+        not_after_year: 1996,
+        clients: 1,
+        duration_days: 1,
+    },
 ];
 
 // ---------------------------------------------------------------------------
@@ -421,7 +864,11 @@ mod tests {
     #[test]
     fn outbound_top_slds_match_fig2() {
         let sld = |name: &str| -> f64 {
-            OUTBOUND_ROWS.iter().filter(|r| r.sld == name).map(|r| r.frac).sum()
+            OUTBOUND_ROWS
+                .iter()
+                .filter(|r| r.sld == name)
+                .map(|r| r.frac)
+                .sum()
         };
         assert!((sld("amazonaws.com") - 0.2820).abs() < 0.01);
         assert!((sld("rapid7.com") - 0.2744).abs() < 1e-9);

@@ -53,15 +53,31 @@ const PUBLIC_CA_ROSTER: &[(&str, &[RootProgram])] = &[
     ("GoDaddy.com, Inc", &RootProgram::ALL),
     ("IdenTrust", &RootProgram::ALL),
     ("Amazon Trust Services", &RootProgram::ALL),
-    ("Apple Inc.", &[RootProgram::Apple, RootProgram::Ccadb, RootProgram::MozillaNss]),
-    ("Microsoft Corporation", &[RootProgram::Microsoft, RootProgram::Ccadb]),
+    (
+        "Apple Inc.",
+        &[
+            RootProgram::Apple,
+            RootProgram::Ccadb,
+            RootProgram::MozillaNss,
+        ],
+    ),
+    (
+        "Microsoft Corporation",
+        &[RootProgram::Microsoft, RootProgram::Ccadb],
+    ),
     ("Entrust, Inc.", &RootProgram::ALL),
     // FNMT-RCM: the issuer behind every unidentifiable public-CA server CN
     // in the paper (§6.3.1). Only in CCADB here, still public.
     ("FNMT-RCM", &[RootProgram::Ccadb]),
     // Device-fleet CAs: public, with generator-recognizable issuer CNs.
-    (AZURE_SPHERE_ISSUER, &[RootProgram::Microsoft, RootProgram::Ccadb]),
-    (APPLE_DEVICE_ISSUER, &[RootProgram::Apple, RootProgram::Ccadb]),
+    (
+        AZURE_SPHERE_ISSUER,
+        &[RootProgram::Microsoft, RootProgram::Ccadb],
+    ),
+    (
+        APPLE_DEVICE_ISSUER,
+        &[RootProgram::Apple, RootProgram::Ccadb],
+    ),
 ];
 
 impl World {
@@ -90,13 +106,20 @@ impl World {
             );
             anchors.add_to(programs, root.certificate());
             anchors.add_to(programs, intermediate.certificate());
-            public_cas.push(PublicCa { org, root, intermediate });
+            public_cas.push(PublicCa {
+                org,
+                root,
+                intermediate,
+            });
         }
 
         let campus = |seed: &str, org: &str, cn: &str| {
             CertificateAuthority::new_root(
                 format!("campus:{}:{}", seed, config.seed).as_bytes(),
-                DistinguishedName::builder().organization(org).common_name(cn).build(),
+                DistinguishedName::builder()
+                    .organization(org)
+                    .common_name(cn)
+                    .build(),
                 start,
             )
         };
@@ -135,11 +158,7 @@ impl World {
                 } else {
                     DistinguishedName::builder().organization(org).build()
                 };
-                CertificateAuthority::new_root(
-                    format!("priv:{org}").as_bytes(),
-                    name,
-                    self.start,
-                )
+                CertificateAuthority::new_root(format!("priv:{org}").as_bytes(), name, self.start)
             })
             .clone()
     }
@@ -154,7 +173,10 @@ impl World {
             .or_insert_with(|| {
                 CertificateAuthority::new_root(
                     format!("priv-cn:{key}").as_bytes(),
-                    DistinguishedName::builder().organization(org).common_name(cn).build(),
+                    DistinguishedName::builder()
+                        .organization(org)
+                        .common_name(cn)
+                        .build(),
                     self.start,
                 )
             })
@@ -199,14 +221,24 @@ mod tests {
         let w = world();
         for ca in &w.public_cas {
             assert!(w.anchors.is_anchored(ca.root.certificate()), "{}", ca.org);
-            assert!(w.anchors.is_public_issuer(ca.intermediate.certificate().issuer()), "{}", ca.org);
+            assert!(
+                w.anchors
+                    .is_public_issuer(ca.intermediate.certificate().issuer()),
+                "{}",
+                ca.org
+            );
         }
     }
 
     #[test]
     fn campus_cas_are_private() {
         let w = world();
-        for ca in [&w.campus_user_ca, &w.campus_health_ca, &w.campus_vpn_ca, &w.campus_server_ca] {
+        for ca in [
+            &w.campus_user_ca,
+            &w.campus_health_ca,
+            &w.campus_vpn_ca,
+            &w.campus_server_ca,
+        ] {
             assert!(!w.anchors.is_anchored(ca.certificate()));
             assert!(!w.anchors.is_public_issuer(ca.name()));
         }
@@ -234,7 +266,10 @@ mod tests {
         let w = world();
         assert_eq!(w.public_ca("DigiCert Inc").org, "DigiCert Inc");
         assert_eq!(
-            w.public_ca("GoDaddy.com, Inc").intermediate.name().common_name(),
+            w.public_ca("GoDaddy.com, Inc")
+                .intermediate
+                .name()
+                .common_name(),
             Some("GoDaddy Secure Certificate Authority - G2")
         );
     }

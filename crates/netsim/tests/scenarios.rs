@@ -10,7 +10,11 @@ fn run_one(
     scale: f64,
     scenario: impl Fn(&SimConfig, &World, &mut Emitter, &mut StdRng),
 ) -> SimOutput {
-    let config = SimConfig { seed: 42, scale, ..Default::default() };
+    let config = SimConfig {
+        seed: 42,
+        scale,
+        ..Default::default()
+    };
     let mut rng = StdRng::seed_from_u64(config.seed);
     let world = World::build(&config, &mut rng);
     let mut emitter = Emitter::new(&config, &world);
@@ -34,7 +38,11 @@ fn webrtc_plants_ephemeral_self_signed_pairs() {
         .iter()
         .filter(|c| c.subject_cn.as_deref() == Some("WebRTC"))
         .count();
-    assert!(webrtc * 2 > out.x509.len(), "{webrtc} of {}", out.x509.len());
+    assert!(
+        webrtc * 2 > out.x509.len(),
+        "{webrtc} of {}",
+        out.x509.len()
+    );
     // Ephemeral: none lives longer than ~a month.
     for cert in &out.x509 {
         assert!(cert.validity_days() <= 31);
@@ -50,7 +58,10 @@ fn serials_plants_the_collision_populations() {
             .filter(|c| c.serial == s && c.issuer.contains(issuer))
             .count()
     };
-    assert!(serial_count("00", "Globus Online") > 10, "Globus serial-00 certs");
+    assert!(
+        serial_count("00", "Globus Online") > 10,
+        "Globus serial-00 certs"
+    );
     assert!(serial_count("01", "GuardiCore") > 0);
     assert!(serial_count("03E8", "GuardiCore") > 0);
     assert!(serial_count("024680", "ViptelaClient") > 0);
@@ -91,8 +102,7 @@ fn expired_plants_the_apple_cluster() {
         .x509
         .iter()
         .filter(|c| {
-            c.issuer.contains("Apple iPhone Device")
-                && (c.not_valid_after as f64) < 1_651_363_200.0
+            c.issuer.contains("Apple iPhone Device") && (c.not_valid_after as f64) < 1_651_363_200.0
         })
         .count();
     assert_eq!(apple_expired, 34, "planted verbatim at any scale");
@@ -113,7 +123,12 @@ fn tunnel_plants_client_only_connections() {
 #[test]
 fn dummies_plants_the_default_issuers() {
     let out = run_one(0.05, scenarios::dummies::run);
-    for issuer in ["Internet Widgits Pty Ltd", "Default Company Ltd", "Unspecified", "Acme Co"] {
+    for issuer in [
+        "Internet Widgits Pty Ltd",
+        "Default Company Ltd",
+        "Unspecified",
+        "Acme Co",
+    ] {
         assert!(
             out.x509.iter().any(|c| c.issuer.contains(issuer)),
             "missing {issuer}"
@@ -135,7 +150,12 @@ fn dummies_plants_the_default_issuers() {
 
 #[test]
 fn interception_goes_dark_without_the_flag() {
-    let config = SimConfig { seed: 1, scale: 0.05, include_interception: false, ..Default::default() };
+    let config = SimConfig {
+        seed: 1,
+        scale: 0.05,
+        include_interception: false,
+        ..Default::default()
+    };
     let mut rng = StdRng::seed_from_u64(config.seed);
     let world = World::build(&config, &mut rng);
     let mut emitter = Emitter::new(&config, &world);
@@ -169,21 +189,30 @@ fn sharing_plants_both_endpoint_certificates() {
         .count();
     assert!(shared > 0, "same-connection sharing present");
     // tablodash.com rides the Outset port.
-    assert!(out
-        .ssl
-        .iter()
-        .any(|c| c.server_name.as_deref().map(|s| s.contains("tablodash")).unwrap_or(false)
-            && c.resp_p == 9093));
+    assert!(out.ssl.iter().any(|c| c
+        .server_name
+        .as_deref()
+        .map(|s| s.contains("tablodash"))
+        .unwrap_or(false)
+        && c.resp_p == 9093));
 }
 
 #[test]
 fn nonmtls_respects_the_flag_and_rotates_certs() {
-    let config = SimConfig { seed: 9, scale: 0.02, include_non_mtls: false, ..Default::default() };
+    let config = SimConfig {
+        seed: 9,
+        scale: 0.02,
+        include_non_mtls: false,
+        ..Default::default()
+    };
     let mut rng = StdRng::seed_from_u64(config.seed);
     let world = World::build(&config, &mut rng);
     let mut emitter = Emitter::new(&config, &world);
     scenarios::nonmtls::run(&config, &world, &mut emitter, &mut rng);
-    assert!(emitter.finish(&world).ssl.is_empty(), "flag disables the stratum");
+    assert!(
+        emitter.finish(&world).ssl.is_empty(),
+        "flag disables the stratum"
+    );
 
     let out = run_one(0.02, scenarios::nonmtls::run);
     assert!(out.ssl.iter().all(|c| !c.is_mutual_tls()));

@@ -36,7 +36,12 @@ impl CertificateAuthority {
             .subject_key(keypair.key_id())
             .key_identifiers(keypair.key_id()) // self-signed: AKI == SKI
             .sign(&keypair);
-        CertificateAuthority { name, keypair, certificate, depth: 0 }
+        CertificateAuthority {
+            name,
+            keypair,
+            certificate,
+            depth: 0,
+        }
     }
 
     /// Create an intermediate CA signed by `parent`.
@@ -56,7 +61,12 @@ impl CertificateAuthority {
             .subject_key(keypair.key_id())
             .key_identifiers(parent.keypair.key_id())
             .sign(&parent.keypair);
-        CertificateAuthority { name, keypair, certificate, depth: parent.depth + 1 }
+        CertificateAuthority {
+            name,
+            keypair,
+            certificate,
+            depth: parent.depth + 1,
+        }
     }
 
     /// The CA's subject DN (== the issuer DN it stamps on leaves).
@@ -114,7 +124,10 @@ mod tests {
     fn root() -> CertificateAuthority {
         CertificateAuthority::new_root(
             b"test-root",
-            DistinguishedName::builder().organization("Test Trust Services").common_name("Test Root R1").build(),
+            DistinguishedName::builder()
+                .organization("Test Trust Services")
+                .common_name("Test Root R1")
+                .build(),
             t0(),
         )
     }
@@ -128,7 +141,9 @@ mod tests {
 
         let mut reg = KeyRegistry::new();
         ca.register_key(&mut reg);
-        assert!(ca.certificate().verify_signature(&reg, ca.keypair().key_id()));
+        assert!(ca
+            .certificate()
+            .verify_signature(&reg, ca.keypair().key_id()));
     }
 
     #[test]
@@ -137,14 +152,19 @@ mod tests {
         let int = CertificateAuthority::new_intermediate(
             &r,
             b"test-int",
-            DistinguishedName::builder().organization("Test Trust Services").common_name("Test CA 1").build(),
+            DistinguishedName::builder()
+                .organization("Test Trust Services")
+                .common_name("Test CA 1")
+                .build(),
             t0(),
         );
         assert_eq!(int.depth(), 1);
         assert_eq!(int.certificate().issuer(), r.name());
         let mut reg = KeyRegistry::new();
         r.register_key(&mut reg);
-        assert!(int.certificate().verify_signature(&reg, r.keypair().key_id()));
+        assert!(int
+            .certificate()
+            .verify_signature(&reg, r.keypair().key_id()));
     }
 
     #[test]
@@ -153,7 +173,11 @@ mod tests {
         let leaf_key = Keypair::from_seed(b"leaf");
         let cert = r.issue(
             CertificateBuilder::new()
-                .subject(DistinguishedName::builder().common_name("leaf.example").build())
+                .subject(
+                    DistinguishedName::builder()
+                        .common_name("leaf.example")
+                        .build(),
+                )
                 .validity(t0(), t0().add_days(90))
                 .subject_key(leaf_key.key_id()),
         );

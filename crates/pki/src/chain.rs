@@ -98,7 +98,10 @@ pub fn validate_chain(
             if !publicly_trusted {
                 return Err(ChainError::UntrustedRoot);
             }
-            return Ok(ValidatedChain { path, publicly_trusted });
+            return Ok(ValidatedChain {
+                path,
+                publicly_trusted,
+            });
         }
 
         // Anchored-by-DN terminus: the issuer is a store member even though
@@ -107,7 +110,10 @@ pub fn validate_chain(
         if anchors.is_public_issuer(current.issuer()) {
             // Find the anchor's key if any candidate matches; otherwise
             // accept on DN membership alone, as the paper's methodology does.
-            return Ok(ValidatedChain { path, publicly_trusted: true });
+            return Ok(ValidatedChain {
+                path,
+                publicly_trusted: true,
+            });
         }
 
         // Find the issuing certificate among the candidates: prefer the
@@ -159,7 +165,10 @@ pub fn validate_chain(
         path.push(idx);
 
         if anchors.is_anchored(issuer_cert) {
-            return Ok(ValidatedChain { path, publicly_trusted: true });
+            return Ok(ValidatedChain {
+                path,
+                publicly_trusted: true,
+            });
         }
         current = issuer_cert.clone();
     }
@@ -189,13 +198,19 @@ mod tests {
     fn fixture(trusted: bool) -> Fixture {
         let root = CertificateAuthority::new_root(
             b"chain-root",
-            DistinguishedName::builder().organization("Chain Test Org").common_name("Chain Root").build(),
+            DistinguishedName::builder()
+                .organization("Chain Test Org")
+                .common_name("Chain Root")
+                .build(),
             t0(),
         );
         let int = CertificateAuthority::new_intermediate(
             &root,
             b"chain-int",
-            DistinguishedName::builder().organization("Chain Test Org").common_name("Chain Sub CA").build(),
+            DistinguishedName::builder()
+                .organization("Chain Test Org")
+                .common_name("Chain Sub CA")
+                .build(),
             t0(),
         );
         let mut anchors = TrustAnchors::new();
@@ -205,14 +220,23 @@ mod tests {
         let mut registry = KeyRegistry::new();
         root.register_key(&mut registry);
         int.register_key(&mut registry);
-        Fixture { root, int, anchors, registry }
+        Fixture {
+            root,
+            int,
+            anchors,
+            registry,
+        }
     }
 
     fn leaf(ca: &CertificateAuthority, seed: &[u8]) -> Certificate {
         let k = Keypair::from_seed(seed);
         ca.issue(
             CertificateBuilder::new()
-                .subject(DistinguishedName::builder().common_name("leaf.test").build())
+                .subject(
+                    DistinguishedName::builder()
+                        .common_name("leaf.test")
+                        .build(),
+                )
                 .validity(t0().add_days(-30), t0().add_days(335))
                 .subject_key(k.key_id()),
         )
@@ -267,7 +291,11 @@ mod tests {
         let k = Keypair::from_seed(b"baddate");
         let leaf = f.int.issue(
             CertificateBuilder::new()
-                .subject(DistinguishedName::builder().common_name("weird.test").build())
+                .subject(
+                    DistinguishedName::builder()
+                        .common_name("weird.test")
+                        .build(),
+                )
                 .validity(t0().add_days(100), t0().add_days(-100))
                 .subject_key(k.key_id()),
         );
@@ -285,7 +313,11 @@ mod tests {
         let k = Keypair::from_seed(b"victim");
         let forged = CertificateBuilder::new()
             .issuer(f.int.name().clone())
-            .subject(DistinguishedName::builder().common_name("forged.test").build())
+            .subject(
+                DistinguishedName::builder()
+                    .common_name("forged.test")
+                    .build(),
+            )
             .validity(t0().add_days(-1), t0().add_days(364))
             .subject_key(k.key_id())
             .sign(&mallory);
@@ -301,7 +333,9 @@ mod tests {
     fn self_signed_untrusted_leaf() {
         let f = fixture(true);
         let k = Keypair::from_seed(b"selfsigned");
-        let dn = DistinguishedName::builder().organization("Internet Widgits Pty Ltd").build();
+        let dn = DistinguishedName::builder()
+            .organization("Internet Widgits Pty Ltd")
+            .build();
         let cert = CertificateBuilder::new()
             .issuer(dn.clone())
             .subject(dn)
@@ -344,10 +378,16 @@ mod aki_tests {
         let t0 = Asn1Time::from_ymd(2023, 1, 1);
         let root = CertificateAuthority::new_root(
             b"twin-root",
-            DistinguishedName::builder().organization("Twin Org").common_name("Twin Root").build(),
+            DistinguishedName::builder()
+                .organization("Twin Org")
+                .common_name("Twin Root")
+                .build(),
             t0,
         );
-        let twin_dn = DistinguishedName::builder().organization("Twin Org").common_name("Twin Sub CA").build();
+        let twin_dn = DistinguishedName::builder()
+            .organization("Twin Org")
+            .common_name("Twin Sub CA")
+            .build();
         let int_a = CertificateAuthority::new_intermediate(&root, b"twin-a", twin_dn.clone(), t0);
         let int_b = CertificateAuthority::new_intermediate(&root, b"twin-b", twin_dn.clone(), t0);
         assert_eq!(int_a.name(), int_b.name());
@@ -366,7 +406,11 @@ mod aki_tests {
         let k = Keypair::from_seed(b"twin-leaf");
         let leaf = int_b.issue(
             CertificateBuilder::new()
-                .subject(DistinguishedName::builder().common_name("leaf.twin").build())
+                .subject(
+                    DistinguishedName::builder()
+                        .common_name("leaf.twin")
+                        .build(),
+                )
                 .validity(t0.add_days(-1), t0.add_days(90))
                 .subject_key(k.key_id()),
         );

@@ -150,8 +150,8 @@ impl CertificateRevocationList {
         if !alg.is_empty() {
             alg.read_null()?;
         }
-        let issuer = DistinguishedName::decode(&mut tbs)
-            .map_err(|_| mtls_asn1::Error::BadString)?;
+        let issuer =
+            DistinguishedName::decode(&mut tbs).map_err(|_| mtls_asn1::Error::BadString)?;
         let this_update = tbs.read_time()?;
         let next_update = tbs.read_time()?;
 
@@ -179,7 +179,11 @@ impl CertificateRevocationList {
                     }
                 }
                 entry.expect_end()?;
-                entries.push(RevokedEntry { serial, revoked_at, reason });
+                entries.push(RevokedEntry {
+                    serial,
+                    revoked_at,
+                    reason,
+                });
             }
         }
         tbs.expect_end()?;
@@ -223,7 +227,11 @@ pub struct CrlBuilder {
 impl CrlBuilder {
     /// Start a CRL valid from `this_update` until `next_update`.
     pub fn new(this_update: Asn1Time, next_update: Asn1Time) -> CrlBuilder {
-        CrlBuilder { this_update, next_update, entries: Vec::new() }
+        CrlBuilder {
+            this_update,
+            next_update,
+            entries: Vec::new(),
+        }
     }
 
     /// Revoke a serial. RFC 5280 lists each certificate at most once; a
@@ -232,7 +240,11 @@ impl CrlBuilder {
         if self.entries.iter().any(|e| e.serial == serial) {
             return self;
         }
-        self.entries.push(RevokedEntry { serial, revoked_at: at, reason });
+        self.entries.push(RevokedEntry {
+            serial,
+            revoked_at: at,
+            reason,
+        });
         self
     }
 
@@ -339,14 +351,20 @@ mod tests {
     fn ca() -> CertificateAuthority {
         CertificateAuthority::new_root(
             b"crl-ca",
-            DistinguishedName::builder().organization("CRL Test Org").build(),
+            DistinguishedName::builder()
+                .organization("CRL Test Org")
+                .build(),
             t0(),
         )
     }
 
     fn crl() -> CertificateRevocationList {
         CrlBuilder::new(t0(), t0().add_days(7))
-            .revoke(SerialNumber::new(&[0x10]), t0(), RevocationReason::KeyCompromise)
+            .revoke(
+                SerialNumber::new(&[0x10]),
+                t0(),
+                RevocationReason::KeyCompromise,
+            )
             .revoke(
                 SerialNumber::new(&[0xAB, 0xCD]),
                 t0().add_days(1),
@@ -415,14 +433,23 @@ mod tests {
         assert_eq!(check_revocation(&fine, Some(&list), now), Ok(()));
         // Soft-fail paths: no CRL, stale CRL, wrong issuer.
         assert_eq!(check_revocation(&revoked, None, now), Ok(()));
-        assert_eq!(check_revocation(&revoked, Some(&list), t0().add_days(30)), Ok(()));
+        assert_eq!(
+            check_revocation(&revoked, Some(&list), t0().add_days(30)),
+            Ok(())
+        );
         let other_ca = CertificateAuthority::new_root(
             b"other",
-            DistinguishedName::builder().organization("Other Org").build(),
+            DistinguishedName::builder()
+                .organization("Other Org")
+                .build(),
             t0(),
         );
         let other_crl = CrlBuilder::new(t0(), t0().add_days(7))
-            .revoke(SerialNumber::new(&[0x10]), t0(), RevocationReason::Unspecified)
+            .revoke(
+                SerialNumber::new(&[0x10]),
+                t0(),
+                RevocationReason::Unspecified,
+            )
             .sign(&other_ca);
         assert_eq!(check_revocation(&revoked, Some(&other_crl), now), Ok(()));
     }

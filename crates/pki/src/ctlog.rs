@@ -7,8 +7,8 @@
 //! the filter needs: public CAs append (domain → issuer organization)
 //! entries at issuance time; interception middleboxes do not.
 
+use mtls_intern::FxHashMap;
 use mtls_x509::Certificate;
-use std::collections::HashMap;
 
 /// One log entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,7 +22,7 @@ pub struct CtEntry {
 #[derive(Debug, Default, Clone)]
 pub struct CtLog {
     entries: Vec<CtEntry>,
-    by_domain: HashMap<String, Vec<usize>>,
+    by_domain: FxHashMap<String, Vec<usize>>,
 }
 
 impl CtLog {
@@ -57,14 +57,21 @@ impl CtLog {
     pub fn issuers_for_domain(&self, domain: &str) -> Vec<&str> {
         self.by_domain
             .get(domain)
-            .map(|idxs| idxs.iter().map(|&i| self.entries[i].issuer_display.as_str()).collect())
+            .map(|idxs| {
+                idxs.iter()
+                    .map(|&i| self.entries[i].issuer_display.as_str())
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
     /// Whether any logged certificate for `domain` has the given issuer —
     /// the interception filter's comparison.
     pub fn domain_has_issuer(&self, domain: &str, issuer_display: &str) -> bool {
-        self.issuers_for_domain(domain).contains(&issuer_display)
+        self.by_domain.get(domain).is_some_and(|idxs| {
+            idxs.iter()
+                .any(|&i| self.entries[i].issuer_display == issuer_display)
+        })
     }
 
     /// Whether the domain appears in the log at all.
@@ -79,7 +86,7 @@ impl CtLog {
 
     /// Rebuild a log from stored entries (the file-based pipeline's path).
     pub fn from_entries(entries: Vec<CtEntry>) -> CtLog {
-        let mut by_domain: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut by_domain: FxHashMap<String, Vec<usize>> = FxHashMap::default();
         for (idx, entry) in entries.iter().enumerate() {
             by_domain.entry(entry.domain.clone()).or_default().push(idx);
         }
@@ -116,7 +123,10 @@ mod tests {
             CertificateBuilder::new()
                 .subject(DistinguishedName::builder().common_name(domain).build())
                 .san(vec![GeneralName::Dns(domain.into())])
-                .validity(Asn1Time::from_ymd(2022, 5, 1), Asn1Time::from_ymd(2022, 8, 1))
+                .validity(
+                    Asn1Time::from_ymd(2022, 5, 1),
+                    Asn1Time::from_ymd(2022, 8, 1),
+                )
                 .subject_key(k.key_id()),
         )
     }

@@ -76,23 +76,63 @@ pub const DUMMY_ORGS: &[&str] = &[
 ];
 
 const EDUCATION_KEYWORDS: &[&str] = &[
-    "university", "college", "school", "academy", "institute of technology", "polytechnic",
+    "university",
+    "college",
+    "school",
+    "academy",
+    "institute of technology",
+    "polytechnic",
     "education",
 ];
 
 const GOVERNMENT_KEYWORDS: &[&str] = &[
-    "government", "ministry", "federal", "municipal", "city of", "state of", "county of",
-    "national institute", "public health", "department of",
+    "government",
+    "ministry",
+    "federal",
+    "municipal",
+    "city of",
+    "state of",
+    "county of",
+    "national institute",
+    "public health",
+    "department of",
 ];
 
 const WEBHOSTING_NAMES: &[&str] = &[
-    "cpanel", "plesk", "bluehost", "hostgator", "dreamhost", "ovh", "hetzner", "namecheap",
-    "hostinger", "webhost", "siteground", "ionos",
+    "cpanel",
+    "plesk",
+    "bluehost",
+    "hostgator",
+    "dreamhost",
+    "ovh",
+    "hetzner",
+    "namecheap",
+    "hostinger",
+    "webhost",
+    "siteground",
+    "ionos",
 ];
 
 const CORPORATE_SUFFIXES: &[&str] = &[
-    "inc", "incorporated", "llc", "ltd", "limited", "corp", "corporation", "co", "gmbh", "plc",
-    "pty", "sa", "srl", "ag", "bv", "technologies", "systems", "labs", "software",
+    "inc",
+    "incorporated",
+    "llc",
+    "ltd",
+    "limited",
+    "corp",
+    "corporation",
+    "co",
+    "gmbh",
+    "plc",
+    "pty",
+    "sa",
+    "srl",
+    "ag",
+    "bv",
+    "technologies",
+    "systems",
+    "labs",
+    "software",
     "association",
 ];
 
@@ -183,7 +223,11 @@ pub fn classify_issuer_org(org: Option<&str>, is_public: bool) -> IssuerCategory
             return IssuerCategory::Corporation;
         }
     }
-    if tokens.len() >= 2 && tokens.iter().any(|t| matches!(*t, "inc" | "llc" | "gmbh" | "corp")) {
+    if tokens.len() >= 2
+        && tokens
+            .iter()
+            .any(|t| matches!(*t, "inc" | "llc" | "gmbh" | "corp"))
+    {
         return IssuerCategory::Corporation;
     }
     IssuerCategory::Others
@@ -195,15 +239,27 @@ mod tests {
 
     #[test]
     fn public_wins() {
-        assert_eq!(classify_issuer_org(Some("DigiCert Inc"), true), IssuerCategory::Public);
+        assert_eq!(
+            classify_issuer_org(Some("DigiCert Inc"), true),
+            IssuerCategory::Public
+        );
         assert_eq!(classify_issuer_org(None, true), IssuerCategory::Public);
     }
 
     #[test]
     fn missing_issuer() {
-        assert_eq!(classify_issuer_org(None, false), IssuerCategory::MissingIssuer);
-        assert_eq!(classify_issuer_org(Some(""), false), IssuerCategory::MissingIssuer);
-        assert_eq!(classify_issuer_org(Some("   "), false), IssuerCategory::MissingIssuer);
+        assert_eq!(
+            classify_issuer_org(None, false),
+            IssuerCategory::MissingIssuer
+        );
+        assert_eq!(
+            classify_issuer_org(Some(""), false),
+            IssuerCategory::MissingIssuer
+        );
+        assert_eq!(
+            classify_issuer_org(Some("   "), false),
+            IssuerCategory::MissingIssuer
+        );
     }
 
     #[test]
@@ -212,9 +268,18 @@ mod tests {
             classify_issuer_org(Some("Internet Widgits Pty Ltd"), false),
             IssuerCategory::Dummy
         );
-        assert_eq!(classify_issuer_org(Some("Default Company Ltd"), false), IssuerCategory::Dummy);
-        assert_eq!(classify_issuer_org(Some("Unspecified"), false), IssuerCategory::Dummy);
-        assert_eq!(classify_issuer_org(Some("Acme Co"), false), IssuerCategory::Dummy);
+        assert_eq!(
+            classify_issuer_org(Some("Default Company Ltd"), false),
+            IssuerCategory::Dummy
+        );
+        assert_eq!(
+            classify_issuer_org(Some("Unspecified"), false),
+            IssuerCategory::Dummy
+        );
+        assert_eq!(
+            classify_issuer_org(Some("Acme Co"), false),
+            IssuerCategory::Dummy
+        );
     }
 
     #[test]
@@ -244,12 +309,18 @@ mod tests {
             classify_issuer_org(Some("Ministry of Finance"), false),
             IssuerCategory::Government
         );
-        assert_eq!(classify_issuer_org(Some("City of Springfield"), false), IssuerCategory::Government);
+        assert_eq!(
+            classify_issuer_org(Some("City of Springfield"), false),
+            IssuerCategory::Government
+        );
     }
 
     #[test]
     fn webhosting() {
-        assert_eq!(classify_issuer_org(Some("cPanel, Inc."), false), IssuerCategory::WebHosting);
+        assert_eq!(
+            classify_issuer_org(Some("cPanel, Inc."), false),
+            IssuerCategory::WebHosting
+        );
         assert_eq!(
             classify_issuer_org(Some("Acme Hosting Services"), false),
             IssuerCategory::WebHosting
@@ -265,14 +336,30 @@ mod tests {
             "American Psychiatric Association",
             "Splunk Inc",
         ] {
-            assert_eq!(classify_issuer_org(Some(org), false), IssuerCategory::Corporation, "{org}");
+            assert_eq!(
+                classify_issuer_org(Some(org), false),
+                IssuerCategory::Corporation,
+                "{org}"
+            );
         }
     }
 
     #[test]
     fn others() {
-        for org in ["ViptelaClient", "GuardiCore", "rcgen", "SDS", "IceLink", "media-server", "Globus Online"] {
-            assert_eq!(classify_issuer_org(Some(org), false), IssuerCategory::Others, "{org}");
+        for org in [
+            "ViptelaClient",
+            "GuardiCore",
+            "rcgen",
+            "SDS",
+            "IceLink",
+            "media-server",
+            "Globus Online",
+        ] {
+            assert_eq!(
+                classify_issuer_org(Some(org), false),
+                IssuerCategory::Others,
+                "{org}"
+            );
         }
     }
 
@@ -294,7 +381,10 @@ mod tests {
 
     #[test]
     fn labels_match_paper() {
-        assert_eq!(IssuerCategory::MissingIssuer.label(), "Private - MissingIssuer");
+        assert_eq!(
+            IssuerCategory::MissingIssuer.label(),
+            "Private - MissingIssuer"
+        );
         assert_eq!(IssuerCategory::Public.label(), "Public");
         assert_eq!(IssuerCategory::ALL.len(), 8);
     }

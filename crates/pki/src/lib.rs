@@ -58,16 +58,16 @@
 
 pub mod ca;
 pub mod chain;
-pub mod ctlog;
 pub mod crl;
+pub mod ctlog;
 pub mod issuercat;
 pub mod policy;
 pub mod truststore;
 
 pub use ca::CertificateAuthority;
 pub use chain::{validate_chain, ChainError, ValidatedChain};
-pub use ctlog::CtLog;
 pub use crl::{CertificateRevocationList, CrlBuilder, RevocationReason};
+pub use ctlog::CtLog;
 pub use issuercat::{classify_issuer_org, IssuerCategory};
 pub use policy::{ValidationPolicy, Violation};
 pub use truststore::{RootProgram, TrustAnchors, TrustStore};

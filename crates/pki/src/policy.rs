@@ -215,9 +215,7 @@ impl ValidationPolicy {
         if self.reject_v1 && cert.version() == Version::V1 {
             violations.push(Violation::ObsoleteVersion);
         }
-        if self.max_validity_days > 0
-            && !inverted
-            && cert.validity_days() > self.max_validity_days
+        if self.max_validity_days > 0 && !inverted && cert.validity_days() > self.max_validity_days
         {
             violations.push(Violation::ExcessiveValidity);
         }
@@ -302,7 +300,10 @@ mod tests {
                 .validity(at.add_days(-1_365), at.add_days(-1_000))
                 .subject_key(k.key_id()),
         );
-        assert_eq!(policy.evaluate(&expired, at, false, None), vec![Violation::Expired]);
+        assert_eq!(
+            policy.evaluate(&expired, at, false, None),
+            vec![Violation::Expired]
+        );
 
         // Inverted dates (reported instead of Expired, not alongside).
         let inverted = issuer.issue(
@@ -310,7 +311,10 @@ mod tests {
                 .validity(at, at.add_days(-60_000))
                 .subject_key(k.key_id()),
         );
-        assert_eq!(policy.evaluate(&inverted, at, false, None), vec![Violation::IncorrectDates]);
+        assert_eq!(
+            policy.evaluate(&inverted, at, false, None),
+            vec![Violation::IncorrectDates]
+        );
 
         // Missing issuer.
         let missing = issuer.issue_verbatim(
@@ -319,7 +323,10 @@ mod tests {
                 .validity(at.add_days(-1), at.add_days(30))
                 .subject_key(k.key_id()),
         );
-        assert_eq!(policy.evaluate(&missing, at, false, None), vec![Violation::MissingIssuer]);
+        assert_eq!(
+            policy.evaluate(&missing, at, false, None),
+            vec![Violation::MissingIssuer]
+        );
 
         // Dummy issuer.
         let dummy = ca("Internet Widgits Pty Ltd").issue(
@@ -327,7 +334,10 @@ mod tests {
                 .validity(at.add_days(-1), at.add_days(30))
                 .subject_key(k.key_id()),
         );
-        assert_eq!(policy.evaluate(&dummy, at, false, None), vec![Violation::DummyIssuer]);
+        assert_eq!(
+            policy.evaluate(&dummy, at, false, None),
+            vec![Violation::DummyIssuer]
+        );
 
         // Weak key.
         let weak = issuer.issue(
@@ -336,7 +346,10 @@ mod tests {
                 .key_algorithm(KeyAlgorithm::Rsa { bits: 1024 })
                 .subject_key(k.key_id()),
         );
-        assert_eq!(policy.evaluate(&weak, at, false, None), vec![Violation::WeakKey]);
+        assert_eq!(
+            policy.evaluate(&weak, at, false, None),
+            vec![Violation::WeakKey]
+        );
 
         // Excessive validity (the 83,432-day certificate).
         let forever = issuer.issue(
@@ -367,7 +380,11 @@ mod tests {
         let signer = Keypair::from_seed(b"oldca");
         let old = CertificateBuilder::new()
             .version(Version::V1)
-            .issuer(DistinguishedName::builder().organization("Legacy Inc").build())
+            .issuer(
+                DistinguishedName::builder()
+                    .organization("Legacy Inc")
+                    .build(),
+            )
             .validity(now().add_days(-1), now().add_days(30))
             .signature_algorithm(mtls_x509::SignatureAlgorithm::Sha1WithRsa)
             .subject_key(k.key_id())

@@ -146,7 +146,10 @@ mod tests {
     fn public_root() -> CertificateAuthority {
         CertificateAuthority::new_root(
             b"public-root",
-            DistinguishedName::builder().organization("DigiCert Inc").common_name("DigiCert Global Root").build(),
+            DistinguishedName::builder()
+                .organization("DigiCert Inc")
+                .common_name("DigiCert Global Root")
+                .build(),
             t0(),
         )
     }
@@ -154,7 +157,10 @@ mod tests {
     fn private_root() -> CertificateAuthority {
         CertificateAuthority::new_root(
             b"private-root",
-            DistinguishedName::builder().organization("Globus Online").common_name("FXP DCAU Cert").build(),
+            DistinguishedName::builder()
+                .organization("Globus Online")
+                .common_name("FXP DCAU Cert")
+                .build(),
             t0(),
         )
     }
@@ -196,7 +202,9 @@ mod tests {
         anchors.add_to(&[RootProgram::Microsoft], root.certificate());
         let leaf = leaf_of(&root, "single-program.example");
         assert!(anchors.is_public_chain(&leaf, &[]));
-        assert!(anchors.store(RootProgram::Microsoft).contains_certificate(root.certificate()));
+        assert!(anchors
+            .store(RootProgram::Microsoft)
+            .contains_certificate(root.certificate()));
         assert!(anchors.store(RootProgram::MozillaNss).is_empty());
     }
 
@@ -209,7 +217,9 @@ mod tests {
         let int = CertificateAuthority::new_intermediate(
             &root,
             b"trusted-int",
-            DistinguishedName::builder().organization("Trusted Sub CA").build(),
+            DistinguishedName::builder()
+                .organization("Trusted Sub CA")
+                .build(),
             t0(),
         );
         anchors.add_to(&[RootProgram::Ccadb], int.certificate());

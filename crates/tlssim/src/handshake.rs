@@ -91,7 +91,10 @@ pub fn simulate_handshake(cfg: &HandshakeConfig) -> Vec<TranscriptRecord> {
     let mut push = |direction: Direction, ct: ContentType, payload: &[u8]| {
         let mut buf = BytesMut::with_capacity(payload.len() + 5);
         write_record(&mut buf, ct, legacy, payload);
-        transcript.push(TranscriptRecord { direction, bytes: buf.to_vec() });
+        transcript.push(TranscriptRecord {
+            direction,
+            bytes: buf.to_vec(),
+        });
     };
 
     // ClientHello — always visible.
@@ -107,33 +110,53 @@ pub fn simulate_handshake(cfg: &HandshakeConfig) -> Vec<TranscriptRecord> {
     push(
         Direction::ClientToServer,
         ContentType::Handshake,
-        &handshake_envelope(HS_CLIENT_HELLO, &ch.encode(&seeded_random(cfg.random_seed, 1))),
+        &handshake_envelope(
+            HS_CLIENT_HELLO,
+            &ch.encode(&seeded_random(cfg.random_seed, 1)),
+        ),
     );
 
     // ServerHello — always visible.
-    let sh = ServerHello { version: cfg.version };
+    let sh = ServerHello {
+        version: cfg.version,
+    };
     push(
         Direction::ServerToClient,
         ContentType::Handshake,
-        &handshake_envelope(HS_SERVER_HELLO, &sh.encode(&seeded_random(cfg.random_seed, 2))),
+        &handshake_envelope(
+            HS_SERVER_HELLO,
+            &sh.encode(&seeded_random(cfg.random_seed, 2)),
+        ),
     );
 
     if cfg.resumed && cfg.version != TlsVersion::Tls13 {
         // Abbreviated handshake: straight to ChangeCipherSpec/Finished.
         if cfg.established {
-            push(Direction::ServerToClient, ContentType::ChangeCipherSpec, &[1]);
+            push(
+                Direction::ServerToClient,
+                ContentType::ChangeCipherSpec,
+                &[1],
+            );
             push(
                 Direction::ServerToClient,
                 ContentType::Handshake,
                 &handshake_envelope(HS_FINISHED, &[0u8; 12]),
             );
-            push(Direction::ClientToServer, ContentType::ChangeCipherSpec, &[1]);
+            push(
+                Direction::ClientToServer,
+                ContentType::ChangeCipherSpec,
+                &[1],
+            );
             push(
                 Direction::ClientToServer,
                 ContentType::Handshake,
                 &handshake_envelope(HS_FINISHED, &[0u8; 12]),
             );
-            push(Direction::ClientToServer, ContentType::ApplicationData, &[0u8; 96]);
+            push(
+                Direction::ClientToServer,
+                ContentType::ApplicationData,
+                &[0u8; 96],
+            );
         } else {
             push(Direction::ServerToClient, ContentType::Alert, &[2, 40]);
         }
@@ -151,10 +174,18 @@ pub fn simulate_handshake(cfg: &HandshakeConfig) -> Vec<TranscriptRecord> {
         // Pad to hide exact sizes a little, like real 1.3 stacks do.
         blob.resize(blob.len() + 64, 0);
         for chunk in blob.chunks(16 * 1024 - 1) {
-            push(Direction::ServerToClient, ContentType::ApplicationData, chunk);
+            push(
+                Direction::ServerToClient,
+                ContentType::ApplicationData,
+                chunk,
+            );
         }
         if cfg.established {
-            push(Direction::ClientToServer, ContentType::ApplicationData, &[0u8; 48]);
+            push(
+                Direction::ClientToServer,
+                ContentType::ApplicationData,
+                &[0u8; 48],
+            );
         }
         return transcript;
     }
@@ -189,19 +220,31 @@ pub fn simulate_handshake(cfg: &HandshakeConfig) -> Vec<TranscriptRecord> {
         );
     }
     if cfg.established {
-        push(Direction::ClientToServer, ContentType::ChangeCipherSpec, &[1]);
+        push(
+            Direction::ClientToServer,
+            ContentType::ChangeCipherSpec,
+            &[1],
+        );
         push(
             Direction::ClientToServer,
             ContentType::Handshake,
             &handshake_envelope(HS_FINISHED, &[0u8; 12]),
         );
-        push(Direction::ServerToClient, ContentType::ChangeCipherSpec, &[1]);
+        push(
+            Direction::ServerToClient,
+            ContentType::ChangeCipherSpec,
+            &[1],
+        );
         push(
             Direction::ServerToClient,
             ContentType::Handshake,
             &handshake_envelope(HS_FINISHED, &[0u8; 12]),
         );
-        push(Direction::ClientToServer, ContentType::ApplicationData, &[0u8; 96]);
+        push(
+            Direction::ClientToServer,
+            ContentType::ApplicationData,
+            &[0u8; 96],
+        );
     } else {
         push(Direction::ServerToClient, ContentType::Alert, &[2, 40]); // fatal handshake_failure
     }
@@ -296,14 +339,22 @@ mod tests {
         let (_, payload) = read_record(&mut cursor).unwrap();
         let (ty, body) = crate::msgs::parse_envelope(&payload).unwrap();
         assert_eq!(ty, crate::msgs::HS_CERTIFICATE);
-        assert!(crate::msgs::parse_certificate_body(body).unwrap().is_empty());
+        assert!(crate::msgs::parse_certificate_body(body)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
     fn deterministic_for_same_seed() {
-        let cfg = HandshakeConfig { random_seed: 7, ..Default::default() };
+        let cfg = HandshakeConfig {
+            random_seed: 7,
+            ..Default::default()
+        };
         assert_eq!(simulate_handshake(&cfg), simulate_handshake(&cfg));
-        let cfg2 = HandshakeConfig { random_seed: 8, ..Default::default() };
+        let cfg2 = HandshakeConfig {
+            random_seed: 8,
+            ..Default::default()
+        };
         assert_ne!(simulate_handshake(&cfg), simulate_handshake(&cfg2));
     }
 }

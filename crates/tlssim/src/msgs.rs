@@ -56,7 +56,7 @@ impl ClientHello {
         b.put_slice(&version_bytes(self.legacy_version.min(TlsVersion::Tls12)));
         b.put_slice(random);
         b.put_u8(0); // session_id length
-        // One plausible cipher suite pair keeps real parsers happy.
+                     // One plausible cipher suite pair keeps real parsers happy.
         b.put_u16(2);
         b.put_u16(0xC02F); // ECDHE-RSA-AES128-GCM-SHA256
         b.put_u8(1); // compression methods length
@@ -138,7 +138,11 @@ impl ClientHello {
                 }
             }
         }
-        Ok(ClientHello { legacy_version, sni, supported_versions })
+        Ok(ClientHello {
+            legacy_version,
+            sni,
+            supported_versions,
+        })
     }
 }
 
@@ -306,18 +310,28 @@ mod tests {
 
     #[test]
     fn server_hello_negotiates_13_via_extension() {
-        let sh = ServerHello { version: TlsVersion::Tls13 };
+        let sh = ServerHello {
+            version: TlsVersion::Tls13,
+        };
         let body = sh.encode(&[1u8; 32]);
         // Legacy field says 1.2; extension upgrades to 1.3.
         assert_eq!(&body[..2], &[3, 3]);
-        assert_eq!(ServerHello::parse(&body).unwrap().version, TlsVersion::Tls13);
+        assert_eq!(
+            ServerHello::parse(&body).unwrap().version,
+            TlsVersion::Tls13
+        );
     }
 
     #[test]
     fn server_hello_plain_12() {
-        let sh = ServerHello { version: TlsVersion::Tls12 };
+        let sh = ServerHello {
+            version: TlsVersion::Tls12,
+        };
         let body = sh.encode(&[1u8; 32]);
-        assert_eq!(ServerHello::parse(&body).unwrap().version, TlsVersion::Tls12);
+        assert_eq!(
+            ServerHello::parse(&body).unwrap().version,
+            TlsVersion::Tls12
+        );
     }
 
     #[test]

@@ -139,7 +139,11 @@ pub fn read_record(buf: &mut &[u8]) -> Result<(RecordHeader, Vec<u8>), WireError
     let payload = buf[5..5 + length].to_vec();
     buf.advance(5 + length);
     Ok((
-        RecordHeader { content_type: ct, version, length: length as u16 },
+        RecordHeader {
+            content_type: ct,
+            version,
+            length: length as u16,
+        },
         payload,
     ))
 }
@@ -152,8 +156,7 @@ pub fn looks_like_tls(stream: &[u8]) -> bool {
     let mut cursor = stream;
     match read_record(&mut cursor) {
         Ok((h, payload)) => {
-            h.content_type == ContentType::Handshake
-                && matches!(payload.first(), Some(1) | Some(2))
+            h.content_type == ContentType::Handshake && matches!(payload.first(), Some(1) | Some(2))
         }
         Err(_) => false,
     }
@@ -212,7 +215,12 @@ mod tests {
 
     #[test]
     fn version_byte_mappings() {
-        for v in [TlsVersion::Tls10, TlsVersion::Tls11, TlsVersion::Tls12, TlsVersion::Tls13] {
+        for v in [
+            TlsVersion::Tls10,
+            TlsVersion::Tls11,
+            TlsVersion::Tls12,
+            TlsVersion::Tls13,
+        ] {
             assert_eq!(version_from_bytes(version_bytes(v)), Some(v));
         }
         // 1.3 hides behind the 1.2 legacy bytes on the record layer.

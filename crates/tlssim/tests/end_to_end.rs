@@ -15,7 +15,10 @@ fn mint(cn: &str, org: &str, seed: &[u8]) -> Certificate {
         .issuer(DistinguishedName::builder().organization(org).build())
         .subject(DistinguishedName::builder().common_name(cn).build())
         .san(vec![GeneralName::Dns(cn.into())])
-        .validity(Asn1Time::from_ymd(2022, 5, 1), Asn1Time::from_ymd(2023, 5, 1))
+        .validity(
+            Asn1Time::from_ymd(2022, 5, 1),
+            Asn1Time::from_ymd(2023, 5, 1),
+        )
         .subject_key(leaf.key_id())
         .sign(&ca)
 }
@@ -46,7 +49,10 @@ fn certificates_survive_the_wire() {
     assert_eq!(seen_server.fingerprint(), server.fingerprint());
     assert_eq!(seen_inter.fingerprint(), inter.fingerprint());
     assert_eq!(seen_client.fingerprint(), client.fingerprint());
-    assert_eq!(seen_client.subject().common_name(), Some("student-device-0042"));
+    assert_eq!(
+        seen_client.subject().common_name(),
+        Some("student-device-0042")
+    );
 }
 
 #[test]

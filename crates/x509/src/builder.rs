@@ -8,7 +8,7 @@
 
 use crate::cert::{Certificate, SerialNumber, SignatureAlgorithm, Version};
 use crate::ext::{
-    aki_extension, san_extension, ski_extension, BasicConstraints, Extension, ExtendedKeyUsage,
+    aki_extension, san_extension, ski_extension, BasicConstraints, ExtendedKeyUsage, Extension,
     KeyUsage,
 };
 use crate::name::DistinguishedName;
@@ -168,7 +168,11 @@ impl CertificateBuilder {
             extensions.push(ski_extension(&subject_key.0));
             extensions.push(aki_extension(&issuer_key.0));
         }
-        let extensions = if self.version == Version::V1 { Vec::new() } else { extensions };
+        let extensions = if self.version == Version::V1 {
+            Vec::new()
+        } else {
+            extensions
+        };
         Certificate::assemble(
             self.version,
             self.serial,
@@ -177,7 +181,10 @@ impl CertificateBuilder {
             self.not_before,
             self.not_after,
             self.subject,
-            PublicKeyInfo { algorithm: self.key_algorithm, key_id: subject_key },
+            PublicKeyInfo {
+                algorithm: self.key_algorithm,
+                key_id: subject_key,
+            },
             extensions,
             issuer_key,
         )
@@ -192,7 +199,9 @@ mod tests {
     fn defaults_produce_a_valid_v3_cert() {
         let ca = Keypair::from_seed(b"d-ca");
         let leaf = Keypair::from_seed(b"d-leaf");
-        let cert = CertificateBuilder::new().subject_key(leaf.key_id()).sign(&ca);
+        let cert = CertificateBuilder::new()
+            .subject_key(leaf.key_id())
+            .sign(&ca);
         assert_eq!(cert.version(), Version::V3);
         assert_eq!(cert.serial().to_hex(), "01");
         let parsed = Certificate::from_der(&cert.to_der()).unwrap();
@@ -230,7 +239,10 @@ mod tests {
         let ca = Keypair::from_seed(b"ca");
         let leaf = Keypair::from_seed(b"leaf");
         let cert = CertificateBuilder::new()
-            .key_usage(KeyUsage { digital_signature: true, key_encipherment: true })
+            .key_usage(KeyUsage {
+                digital_signature: true,
+                key_encipherment: true,
+            })
             .extended_key_usage(ExtendedKeyUsage::both())
             .subject_key(leaf.key_id())
             .sign(&ca);

@@ -98,7 +98,10 @@ impl SignatureAlgorithm {
 
     /// Whether the hash is broken/deprecated (SHA-1, MD5).
     pub fn is_deprecated(self) -> bool {
-        matches!(self, SignatureAlgorithm::Sha1WithRsa | SignatureAlgorithm::Md5WithRsa)
+        matches!(
+            self,
+            SignatureAlgorithm::Sha1WithRsa | SignatureAlgorithm::Md5WithRsa
+        )
     }
 
     fn encode(self, w: &mut DerWriter) {
@@ -114,8 +117,7 @@ impl SignatureAlgorithm {
         if !seq.is_empty() {
             seq.read_null()?;
         }
-        SignatureAlgorithm::from_oid(&oid)
-            .ok_or(Error::Der(mtls_asn1::Error::BadOid))
+        SignatureAlgorithm::from_oid(&oid).ok_or(Error::Der(mtls_asn1::Error::BadOid))
     }
 }
 
@@ -437,8 +439,15 @@ mod tests {
         CertificateBuilder::new()
             .serial(&[0x0A, 0x0B])
             .issuer(DistinguishedName::builder().organization("Test CA").build())
-            .subject(DistinguishedName::builder().common_name("unit.example").build())
-            .validity(Asn1Time::from_ymd(2023, 1, 1), Asn1Time::from_ymd(2024, 1, 1))
+            .subject(
+                DistinguishedName::builder()
+                    .common_name("unit.example")
+                    .build(),
+            )
+            .validity(
+                Asn1Time::from_ymd(2023, 1, 1),
+                Asn1Time::from_ymd(2024, 1, 1),
+            )
             .san(vec![GeneralName::Dns("unit.example".into())])
             .subject_key(leaf.key_id())
             .sign(&ca)
@@ -476,9 +485,16 @@ mod tests {
         let cert = CertificateBuilder::new()
             .version(Version::V1)
             .serial(&[0x01])
-            .issuer(DistinguishedName::builder().organization("Internet Widgits Pty Ltd").build())
+            .issuer(
+                DistinguishedName::builder()
+                    .organization("Internet Widgits Pty Ltd")
+                    .build(),
+            )
             .subject(DistinguishedName::builder().common_name("old").build())
-            .validity(Asn1Time::from_ymd(2020, 1, 1), Asn1Time::from_ymd(2030, 1, 1))
+            .validity(
+                Asn1Time::from_ymd(2020, 1, 1),
+                Asn1Time::from_ymd(2030, 1, 1),
+            )
             .subject_key(leaf.key_id())
             .sign(&ca);
         let parsed = Certificate::from_der(&cert.to_der()).unwrap();
@@ -493,8 +509,16 @@ mod tests {
         // IDrive: notBefore 2019, notAfter 1849 (Table 12).
         let cert = CertificateBuilder::new()
             .serial(&[0x77])
-            .issuer(DistinguishedName::builder().organization("IDrive Inc Certificate Authority").build())
-            .subject(DistinguishedName::builder().common_name("backup-client").build())
+            .issuer(
+                DistinguishedName::builder()
+                    .organization("IDrive Inc Certificate Authority")
+                    .build(),
+            )
+            .subject(
+                DistinguishedName::builder()
+                    .common_name("backup-client")
+                    .build(),
+            )
             .validity(
                 Asn1Time::from_ymd(2019, 8, 2),
                 Asn1Time::from_ymd(1849, 10, 24),
@@ -512,7 +536,10 @@ mod tests {
         assert_eq!(SerialNumber::new(&[0x00]).to_hex(), "00");
         assert_eq!(SerialNumber::new(&[0x03, 0xE8]).to_hex(), "03E8");
         assert_eq!(SerialNumber::new(&[0x02, 0x46, 0x80]).to_hex(), "024680");
-        assert_eq!(SerialNumber::from_hex("024680").unwrap(), SerialNumber::new(&[0x02, 0x46, 0x80]));
+        assert_eq!(
+            SerialNumber::from_hex("024680").unwrap(),
+            SerialNumber::new(&[0x02, 0x46, 0x80])
+        );
         assert!(SerialNumber::from_hex("0x!").is_none());
     }
 
@@ -524,9 +551,17 @@ mod tests {
         let leaf = Keypair::from_seed(b"globus-leaf");
         let cert = CertificateBuilder::new()
             .serial(&[0x00])
-            .issuer(DistinguishedName::builder().organization("Globus Online").common_name("FXP DCAU Cert").build())
+            .issuer(
+                DistinguishedName::builder()
+                    .organization("Globus Online")
+                    .common_name("FXP DCAU Cert")
+                    .build(),
+            )
             .subject(DistinguishedName::builder().common_name("transfer").build())
-            .validity(Asn1Time::from_ymd(2023, 1, 1), Asn1Time::from_ymd(2023, 1, 15))
+            .validity(
+                Asn1Time::from_ymd(2023, 1, 1),
+                Asn1Time::from_ymd(2023, 1, 15),
+            )
             .subject_key(leaf.key_id())
             .sign(&ca);
         let parsed = Certificate::from_der(&cert.to_der()).unwrap();

@@ -37,7 +37,11 @@ impl Extension {
         };
         let value = seq.read_octet_string()?.to_vec();
         seq.expect_end()?;
-        Ok(Extension { oid, critical, value })
+        Ok(Extension {
+            oid,
+            critical,
+            value,
+        })
     }
 }
 
@@ -63,7 +67,11 @@ impl BasicConstraints {
             }
             // cA DEFAULT FALSE: omitted entirely for end-entity certs.
         });
-        Extension { oid: oids::basic_constraints().clone(), critical: true, value: w.finish() }
+        Extension {
+            oid: oids::basic_constraints().clone(),
+            critical: true,
+            value: w.finish(),
+        }
     }
 
     /// Parse from the extension inner value.
@@ -105,7 +113,11 @@ impl KeyUsage {
         // matches what many real issuers do).
         let mut w = DerWriter::new();
         w.bit_string(&[bits]);
-        Extension { oid: oids::key_usage().clone(), critical: true, value: w.finish() }
+        Extension {
+            oid: oids::key_usage().clone(),
+            critical: true,
+            value: w.finish(),
+        }
     }
 
     /// Parse from the extension inner value.
@@ -132,7 +144,11 @@ pub struct ExtendedKeyUsage {
 impl ExtendedKeyUsage {
     /// Convenience: both serverAuth and clientAuth (common for mTLS certs).
     pub fn both() -> ExtendedKeyUsage {
-        ExtendedKeyUsage { server_auth: true, client_auth: true, other: Vec::new() }
+        ExtendedKeyUsage {
+            server_auth: true,
+            client_auth: true,
+            other: Vec::new(),
+        }
     }
 
     /// Build the extension envelope.
@@ -149,7 +165,11 @@ impl ExtendedKeyUsage {
                 w.oid(oid);
             }
         });
-        Extension { oid: oids::ext_key_usage().clone(), critical: false, value: w.finish() }
+        Extension {
+            oid: oids::ext_key_usage().clone(),
+            critical: false,
+            value: w.finish(),
+        }
     }
 
     /// Parse from the extension inner value.
@@ -248,7 +268,10 @@ mod tests {
 
     #[test]
     fn basic_constraints_ca_round_trips() {
-        let bc = BasicConstraints { ca: true, path_len: Some(1) };
+        let bc = BasicConstraints {
+            ca: true,
+            path_len: Some(1),
+        };
         let ext = bc.to_extension();
         let rt = round_trip_ext(&ext);
         assert!(rt.critical);
@@ -257,7 +280,10 @@ mod tests {
 
     #[test]
     fn basic_constraints_leaf_round_trips() {
-        let bc = BasicConstraints { ca: false, path_len: None };
+        let bc = BasicConstraints {
+            ca: false,
+            path_len: None,
+        };
         let ext = bc.to_extension();
         assert_eq!(BasicConstraints::from_value(&ext.value).unwrap(), bc);
     }
@@ -265,7 +291,10 @@ mod tests {
     #[test]
     fn key_usage_round_trips() {
         for (ds, ke) in [(true, true), (true, false), (false, true), (false, false)] {
-            let ku = KeyUsage { digital_signature: ds, key_encipherment: ke };
+            let ku = KeyUsage {
+                digital_signature: ds,
+                key_encipherment: ke,
+            };
             let ext = ku.to_extension();
             assert_eq!(KeyUsage::from_value(&ext.value).unwrap(), ku);
         }
@@ -305,7 +334,10 @@ mod tests {
     #[test]
     fn aki_round_trips() {
         let ext = aki_extension(&[0xBB; 32]);
-        assert_eq!(parse_aki_extension(&ext.value).unwrap(), Some(vec![0xBB; 32]));
+        assert_eq!(
+            parse_aki_extension(&ext.value).unwrap(),
+            Some(vec![0xBB; 32])
+        );
         // Empty AKI sequence: keyIdentifier absent.
         let mut w = DerWriter::new();
         w.sequence(|_| {});

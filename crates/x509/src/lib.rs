@@ -48,7 +48,7 @@ pub mod spki;
 
 pub use builder::CertificateBuilder;
 pub use cert::{Certificate, Fingerprint, SerialNumber, SignatureAlgorithm, Version};
-pub use ext::{BasicConstraints, Extension, ExtendedKeyUsage, KeyUsage};
+pub use ext::{BasicConstraints, ExtendedKeyUsage, Extension, KeyUsage};
 pub use name::{AttributeType, DistinguishedName, DnBuilder};
 pub use san::GeneralName;
 pub use spki::{KeyAlgorithm, PublicKeyInfo};

@@ -272,7 +272,10 @@ mod tests {
         assert_eq!(round_trip(&dn), dn);
         assert_eq!(dn.common_name(), Some("FXP DCAU Cert"));
         assert_eq!(dn.organization(), Some("Globus Online"));
-        assert_eq!(dn.to_display_string(), "C=US, O=Globus Online, CN=FXP DCAU Cert");
+        assert_eq!(
+            dn.to_display_string(),
+            "C=US, O=Globus Online, CN=FXP DCAU Cert"
+        );
     }
 
     #[test]
@@ -331,7 +334,8 @@ mod tests {
             w.set(|w| {
                 w.sequence(|w| {
                     w.oid(oids::common_name());
-                    w.tlv(mtls_asn1::Tag::T61_STRING, &[b'M', 0xFC, b'n', b'z']); // "Münz"
+                    w.tlv(mtls_asn1::Tag::T61_STRING, &[b'M', 0xFC, b'n', b'z']);
+                    // "Münz"
                 });
             });
         });

@@ -82,9 +82,10 @@ impl GeneralName {
     /// Dotted-quad / colon-hex rendering of an iPAddress entry.
     pub fn ip_display(&self) -> Option<String> {
         match self {
-            GeneralName::Ip(bytes) if bytes.len() == 4 => {
-                Some(format!("{}.{}.{}.{}", bytes[0], bytes[1], bytes[2], bytes[3]))
-            }
+            GeneralName::Ip(bytes) if bytes.len() == 4 => Some(format!(
+                "{}.{}.{}.{}",
+                bytes[0], bytes[1], bytes[2], bytes[3]
+            )),
             GeneralName::Ip(bytes) if bytes.len() == 16 => {
                 let groups: Vec<String> = bytes
                     .chunks_exact(2)
@@ -131,7 +132,9 @@ mod tests {
             GeneralName::Email("user@example.org".into()),
             GeneralName::Uri("https://example.org/x".into()),
             GeneralName::Ip(vec![192, 168, 1, 1]),
-            GeneralName::Ip(vec![0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1]),
+            GeneralName::Ip(vec![
+                0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1,
+            ]),
             GeneralName::Other(0, vec![1, 2, 3]),
         ];
         let der = encode_san(&names);
@@ -170,7 +173,9 @@ mod tests {
             GeneralName::Ip(vec![10, 0, 0, 7]).ip_display().unwrap(),
             "10.0.0.7"
         );
-        let v6 = GeneralName::Ip(vec![0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1]);
+        let v6 = GeneralName::Ip(vec![
+            0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1,
+        ]);
         assert_eq!(v6.ip_display().unwrap(), "2001:db8:0:0:0:0:0:1");
         assert_eq!(GeneralName::Dns("x".into()).ip_display(), None);
     }

@@ -45,7 +45,10 @@ impl PublicKeyInfo {
     /// A 2048-bit-RSA-shaped key record for the given key id (the common
     /// case when minting).
     pub fn rsa2048(key_id: KeyId) -> PublicKeyInfo {
-        PublicKeyInfo { algorithm: KeyAlgorithm::Rsa { bits: 2048 }, key_id }
+        PublicKeyInfo {
+            algorithm: KeyAlgorithm::Rsa { bits: 2048 },
+            key_id,
+        }
     }
 
     /// Encode as `SEQUENCE { AlgorithmIdentifier, BIT STRING }`.
@@ -84,7 +87,9 @@ impl PublicKeyInfo {
         }
         let key_id = KeyId(bits[..32].try_into().expect("32 bytes"));
         let algorithm = if is_rsa {
-            KeyAlgorithm::Rsa { bits: (bits.len() * 8) as u16 }
+            KeyAlgorithm::Rsa {
+                bits: (bits.len() * 8) as u16,
+            }
         } else {
             KeyAlgorithm::EcdsaP256
         };
@@ -132,7 +137,10 @@ mod tests {
     #[test]
     fn ecdsa_round_trips() {
         let key = Keypair::from_seed(b"ec");
-        let info = PublicKeyInfo { algorithm: KeyAlgorithm::EcdsaP256, key_id: key.key_id() };
+        let info = PublicKeyInfo {
+            algorithm: KeyAlgorithm::EcdsaP256,
+            key_id: key.key_id(),
+        };
         let rt = round_trip(info);
         assert_eq!(rt.key_id, info.key_id);
         assert_eq!(rt.algorithm, KeyAlgorithm::EcdsaP256);

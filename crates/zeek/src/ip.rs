@@ -78,7 +78,15 @@ mod tests {
 
     #[test]
     fn rejects_malformed() {
-        for s in ["", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3", "01x.2.3.4"] {
+        for s in [
+            "",
+            "1.2.3",
+            "1.2.3.4.5",
+            "256.1.1.1",
+            "a.b.c.d",
+            "1..2.3",
+            "01x.2.3.4",
+        ] {
             assert!(Ipv4::parse(s).is_none(), "{s}");
         }
     }

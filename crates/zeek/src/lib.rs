@@ -43,5 +43,5 @@ pub mod tsv;
 
 pub use ip::Ipv4;
 pub use records::{SslRecord, TlsVersion, X509Record};
-pub use rotate::{read_monthly, write_monthly};
+pub use rotate::{read_monthly, read_monthly_serial, write_monthly};
 pub use tsv::{read_ssl_log, read_x509_log, write_ssl_log, write_x509_log, TsvError};

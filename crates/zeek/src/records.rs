@@ -171,7 +171,12 @@ mod tests {
 
     #[test]
     fn version_names_round_trip() {
-        for v in [TlsVersion::Tls10, TlsVersion::Tls11, TlsVersion::Tls12, TlsVersion::Tls13] {
+        for v in [
+            TlsVersion::Tls10,
+            TlsVersion::Tls11,
+            TlsVersion::Tls12,
+            TlsVersion::Tls13,
+        ] {
             assert_eq!(TlsVersion::from_zeek_name(v.zeek_name()), Some(v));
         }
         assert_eq!(TlsVersion::from_zeek_name("SSLv3"), None);

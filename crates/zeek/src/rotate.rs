@@ -7,7 +7,7 @@
 
 use crate::records::{SslRecord, X509Record};
 use crate::tsv::{read_ssl_log, read_x509_log, write_ssl_log, write_x509_log, TsvError};
-use std::collections::BTreeMap;
+use mtls_intern::FxHashMap;
 use std::io::BufReader;
 use std::path::Path;
 
@@ -33,24 +33,28 @@ fn civil_year_month(z: i64) -> (i64, u32) {
     (y + i64::from(m <= 2), m)
 }
 
+/// Group records into per-month buckets of references (no record clones;
+/// bucket order is resolved by sorting the handful of month keys after
+/// the single fast-hash grouping pass).
+fn group_by_month<T>(records: &[T], ts_of: impl Fn(&T) -> f64) -> Vec<(String, Vec<&T>)> {
+    let mut by_month: FxHashMap<String, Vec<&T>> = FxHashMap::default();
+    for rec in records {
+        by_month.entry(month_key(ts_of(rec))).or_default().push(rec);
+    }
+    let mut buckets: Vec<(String, Vec<&T>)> = by_month.into_iter().collect();
+    buckets.sort_by(|a, b| a.0.cmp(&b.0));
+    buckets
+}
+
 /// Write per-month `ssl.YYYY-MM.log` / `x509.YYYY-MM.log` files.
 pub fn write_monthly(dir: &Path, ssl: &[SslRecord], x509: &[X509Record]) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
-    let mut ssl_by_month: BTreeMap<String, Vec<SslRecord>> = BTreeMap::new();
-    for rec in ssl {
-        ssl_by_month.entry(month_key(rec.ts)).or_default().push(rec.clone());
-    }
-    let mut x509_by_month: BTreeMap<String, Vec<X509Record>> = BTreeMap::new();
-    for rec in x509 {
-        x509_by_month.entry(month_key(rec.ts)).or_default().push(rec.clone());
-    }
-    for (month, records) in &ssl_by_month {
-        let mut f = std::io::BufWriter::new(std::fs::File::create(
-            dir.join(format!("ssl.{month}.log")),
-        )?);
+    for (month, records) in group_by_month(ssl, |r| r.ts) {
+        let mut f =
+            std::io::BufWriter::new(std::fs::File::create(dir.join(format!("ssl.{month}.log")))?);
         write_ssl_log(&mut f, records)?;
     }
-    for (month, records) in &x509_by_month {
+    for (month, records) in group_by_month(x509, |r| r.ts) {
         let mut f = std::io::BufWriter::new(std::fs::File::create(
             dir.join(format!("x509.{month}.log")),
         )?);
@@ -59,10 +63,11 @@ pub fn write_monthly(dir: &Path, ssl: &[SslRecord], x509: &[X509Record]) -> std:
     Ok(())
 }
 
-/// Read a rotated directory back, concatenated in filename (chronological)
-/// order. Files not matching the `ssl.*.log` / `x509.*.log` patterns are
-/// ignored, as are the unrotated `ssl.log`/`x509.log` singletons.
-pub fn read_monthly(dir: &Path) -> Result<(Vec<SslRecord>, Vec<X509Record>), TsvError> {
+/// Enumerate the rotated shard files of a directory, sorted into filename
+/// (chronological) order. Files not matching the `ssl.*.log` /
+/// `x509.*.log` patterns are ignored, as are the unrotated
+/// `ssl.log`/`x509.log` singletons.
+fn shard_files(dir: &Path) -> Result<(Vec<std::path::PathBuf>, Vec<std::path::PathBuf>), TsvError> {
     let mut ssl_files: Vec<std::path::PathBuf> = Vec::new();
     let mut x509_files: Vec<std::path::PathBuf> = Vec::new();
     for entry in std::fs::read_dir(dir).map_err(TsvError::Io)? {
@@ -78,16 +83,103 @@ pub fn read_monthly(dir: &Path) -> Result<(Vec<SslRecord>, Vec<X509Record>), Tsv
     }
     ssl_files.sort();
     x509_files.sort();
+    Ok((ssl_files, x509_files))
+}
 
+fn read_ssl_shard(path: &Path) -> Result<Vec<SslRecord>, TsvError> {
+    let f = std::fs::File::open(path).map_err(TsvError::Io)?;
+    read_ssl_log(BufReader::new(f))
+}
+
+fn read_x509_shard(path: &Path) -> Result<Vec<X509Record>, TsvError> {
+    let f = std::fs::File::open(path).map_err(TsvError::Io)?;
+    read_x509_log(BufReader::new(f))
+}
+
+/// One parsed shard, tagged by kind so both log streams can share a
+/// single work queue.
+enum ParsedShard {
+    Ssl(Vec<SslRecord>),
+    X509(Vec<X509Record>),
+}
+
+/// Read a rotated directory back, concatenated in filename (chronological)
+/// order, parsing shard files concurrently.
+///
+/// Each monthly shard is independent — parse work dominates I/O here — so
+/// shards are drained from one shared queue by a pool of scoped threads
+/// capped at [`std::thread::available_parallelism`] (a 23-month corpus is
+/// 46 files; spawning 46 threads on a small box costs more than it buys).
+/// Results are stitched back in sorted filename order, making the output
+/// byte-identical to [`read_monthly_serial`]; the first shard error (in
+/// that same order) is reported, matching serial semantics.
+pub fn read_monthly(dir: &Path) -> Result<(Vec<SslRecord>, Vec<X509Record>), TsvError> {
+    let (ssl_files, x509_files) = shard_files(dir)?;
+    let n_tasks = ssl_files.len() + x509_files.len();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(n_tasks);
+    if workers <= 1 {
+        return read_monthly_serial(dir);
+    }
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, Result<ParsedShard, TsvError>)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= n_tasks {
+                                return done;
+                            }
+                            let parsed = if i < ssl_files.len() {
+                                read_ssl_shard(&ssl_files[i]).map(ParsedShard::Ssl)
+                            } else {
+                                read_x509_shard(&x509_files[i - ssl_files.len()])
+                                    .map(ParsedShard::X509)
+                            };
+                            done.push((i, parsed));
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard reader panicked"))
+                .collect()
+        });
+
+    let mut slots: Vec<Option<Result<ParsedShard, TsvError>>> =
+        (0..n_tasks).map(|_| None).collect();
+    for (i, parsed) in per_worker.into_iter().flatten() {
+        slots[i] = Some(parsed);
+    }
     let mut ssl = Vec::new();
-    for path in ssl_files {
-        let f = std::fs::File::open(&path).map_err(TsvError::Io)?;
-        ssl.extend(read_ssl_log(BufReader::new(f))?);
+    let mut x509 = Vec::new();
+    for slot in slots {
+        match slot.expect("every shard task ran")? {
+            ParsedShard::Ssl(records) => ssl.extend(records),
+            ParsedShard::X509(records) => x509.extend(records),
+        }
+    }
+    Ok((ssl, x509))
+}
+
+/// Serial reference reader: same contract as [`read_monthly`], one shard at
+/// a time. Kept as the equivalence baseline for tests and benchmarks.
+pub fn read_monthly_serial(dir: &Path) -> Result<(Vec<SslRecord>, Vec<X509Record>), TsvError> {
+    let (ssl_files, x509_files) = shard_files(dir)?;
+    let mut ssl = Vec::new();
+    for path in &ssl_files {
+        ssl.extend(read_ssl_shard(path)?);
     }
     let mut x509 = Vec::new();
-    for path in x509_files {
-        let f = std::fs::File::open(&path).map_err(TsvError::Io)?;
-        x509.extend(read_x509_log(BufReader::new(f))?);
+    for path in &x509_files {
+        x509.extend(read_x509_shard(path)?);
     }
     Ok((ssl, x509))
 }
@@ -170,6 +262,25 @@ mod tests {
         let (ssl_rt, x509_rt) = read_monthly(&dir).unwrap();
         assert_eq!(ssl_rt, ssl, "chronological concatenation");
         assert_eq!(x509_rt, x509);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let ssl: Vec<SslRecord> = (0..40)
+            .map(|i| ssl_at(MAY_2022 + f64::from(i) * 86_400.0, &format!("u{i}")))
+            .collect();
+        let x509: Vec<X509Record> = (0..40)
+            .map(|i| x509_at(MAY_2022 + f64::from(i) * 86_400.0, &format!("fp{i}")))
+            .collect();
+        let dir = std::env::temp_dir().join(format!("mtlscope-rotate3-{}", std::process::id()));
+        write_monthly(&dir, &ssl, &x509).unwrap();
+
+        let par = read_monthly(&dir).unwrap();
+        let ser = read_monthly_serial(&dir).unwrap();
+        assert_eq!(par, ser);
+        assert_eq!(par.0, ssl);
+        assert_eq!(par.1, x509);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -9,6 +9,7 @@
 
 use crate::ip::Ipv4;
 use crate::records::{SslRecord, TlsVersion, X509Record};
+use std::borrow::Cow;
 use std::io::{BufRead, Write};
 
 /// Errors from reading a Zeek-TSV stream.
@@ -16,9 +17,17 @@ use std::io::{BufRead, Write};
 pub enum TsvError {
     Io(std::io::Error),
     /// A data line had the wrong number of columns.
-    ColumnCount { line: usize, expected: usize, got: usize },
+    ColumnCount {
+        line: usize,
+        expected: usize,
+        got: usize,
+    },
     /// A field failed to parse.
-    BadField { line: usize, field: &'static str, value: String },
+    BadField {
+        line: usize,
+        field: &'static str,
+        value: String,
+    },
     /// The `#fields` header is missing or does not match the expected schema.
     BadHeader,
 }
@@ -33,7 +42,11 @@ impl std::fmt::Display for TsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TsvError::Io(e) => write!(f, "io error: {e}"),
-            TsvError::ColumnCount { line, expected, got } => {
+            TsvError::ColumnCount {
+                line,
+                expected,
+                got,
+            } => {
                 write!(f, "line {line}: expected {expected} columns, got {got}")
             }
             TsvError::BadField { line, field, value } => {
@@ -49,9 +62,11 @@ impl std::error::Error for TsvError {}
 const UNSET: &str = "-";
 const EMPTY: &str = "(empty)";
 
-fn escape(s: &str) -> String {
+/// Escape separator-colliding characters. The overwhelmingly common case —
+/// no collision — borrows the input instead of allocating.
+fn escape(s: &str) -> Cow<'_, str> {
     if !s.contains(['\t', '\n', '\r', ',', '\\']) {
-        return s.to_string();
+        return Cow::Borrowed(s);
     }
     let mut out = String::with_capacity(s.len() + 8);
     for ch in s.chars() {
@@ -64,12 +79,14 @@ fn escape(s: &str) -> String {
             c => out.push(c),
         }
     }
-    out
+    Cow::Owned(out)
 }
 
-fn unescape(s: &str) -> String {
+/// Undo [`escape`]. Fields without `\xNN` sequences — nearly all of them —
+/// borrow the input; callers that need ownership pay exactly one copy.
+fn unescape(s: &str) -> Cow<'_, str> {
     if !s.contains("\\x") {
-        return s.to_string();
+        return Cow::Borrowed(s);
     }
     let bytes = s.as_bytes();
     let mut out = String::with_capacity(s.len());
@@ -93,17 +110,17 @@ fn unescape(s: &str) -> String {
             i += ch.len_utf8();
         }
     }
-    out
+    Cow::Owned(out)
 }
 
-fn opt_str(v: &Option<String>) -> String {
+fn opt_str(v: &Option<String>) -> Cow<'_, str> {
     match v {
         // A literal value equal to the unset/empty markers must be escaped
         // or it would read back as None (Zeek's format is ambiguous here).
-        Some(s) if s == UNSET => "\\x2d".to_string(),
-        Some(s) if s == EMPTY => escape_markers(s),
+        Some(s) if s == UNSET => Cow::Borrowed("\\x2d"),
+        Some(s) if s == EMPTY => Cow::Owned(escape_markers(s)),
         Some(s) if !s.is_empty() => escape(s),
-        _ => UNSET.to_string(),
+        _ => Cow::Borrowed(UNSET),
     }
 }
 
@@ -116,26 +133,35 @@ fn escape_markers(s: &str) -> String {
     out
 }
 
-fn vec_str(v: &[String]) -> String {
+fn vec_str(v: &[String]) -> Cow<'_, str> {
     if v.is_empty() {
-        EMPTY.to_string()
-    } else {
-        let joined = v.iter().map(|s| escape(s)).collect::<Vec<_>>().join(",");
-        // A one-element vector whose value collides with a marker must be
-        // escaped or it would read back as unset/empty.
-        if joined == UNSET || joined == EMPTY {
-            escape_markers(&joined)
-        } else {
-            joined
-        }
+        return Cow::Borrowed(EMPTY);
     }
+    if let [only] = v {
+        // Single-element fast path: borrow when clean, but a value that
+        // collides with a marker must be escaped or it would read back as
+        // unset/empty.
+        let escaped = escape(only);
+        if escaped == UNSET || escaped == EMPTY {
+            return Cow::Owned(escape_markers(&escaped));
+        }
+        return escaped;
+    }
+    let mut joined = String::with_capacity(v.iter().map(|s| s.len() + 1).sum());
+    for (i, s) in v.iter().enumerate() {
+        if i > 0 {
+            joined.push(',');
+        }
+        joined.push_str(&escape(s));
+    }
+    Cow::Owned(joined)
 }
 
 fn parse_opt(s: &str) -> Option<String> {
     if s == UNSET || s.is_empty() {
         None
     } else {
-        Some(unescape(s))
+        Some(unescape(s).into_owned())
     }
 }
 
@@ -143,13 +169,22 @@ fn parse_vec(s: &str) -> Vec<String> {
     if s == EMPTY || s == UNSET || s.is_empty() {
         Vec::new()
     } else {
-        s.split(',').map(unescape).collect()
+        s.split(',').map(|p| unescape(p).into_owned()).collect()
     }
 }
 
 const SSL_FIELDS: &[&str] = &[
-    "ts", "uid", "id.orig_h", "id.orig_p", "id.resp_h", "id.resp_p", "version", "server_name",
-    "established", "cert_chain_fps", "client_cert_chain_fps",
+    "ts",
+    "uid",
+    "id.orig_h",
+    "id.orig_p",
+    "id.resp_h",
+    "id.resp_p",
+    "version",
+    "server_name",
+    "established",
+    "cert_chain_fps",
+    "client_cert_chain_fps",
 ];
 
 const X509_FIELDS: &[&str] = &[
@@ -173,7 +208,12 @@ const X509_FIELDS: &[&str] = &[
     "basic_constraints.ca",
 ];
 
-fn write_header(w: &mut impl Write, path: &str, fields: &[&str], types: &[&str]) -> std::io::Result<()> {
+fn write_header(
+    w: &mut impl Write,
+    path: &str,
+    fields: &[&str],
+    types: &[&str],
+) -> std::io::Result<()> {
     writeln!(w, "#separator \\x09")?;
     writeln!(w, "#set_separator\t,")?;
     writeln!(w, "#empty_field\t(empty)")?;
@@ -184,11 +224,24 @@ fn write_header(w: &mut impl Write, path: &str, fields: &[&str], types: &[&str])
     Ok(())
 }
 
-/// Write an `ssl.log` stream.
-pub fn write_ssl_log(w: &mut impl Write, records: &[SslRecord]) -> std::io::Result<()> {
+/// Write an `ssl.log` stream. Accepts any iterator of record references,
+/// so rotation can write grouped refs without cloning records first.
+pub fn write_ssl_log<'a>(
+    w: &mut impl Write,
+    records: impl IntoIterator<Item = &'a SslRecord>,
+) -> std::io::Result<()> {
     let types = [
-        "time", "string", "addr", "port", "addr", "port", "string", "string", "bool",
-        "vector[string]", "vector[string]",
+        "time",
+        "string",
+        "addr",
+        "port",
+        "addr",
+        "port",
+        "string",
+        "string",
+        "bool",
+        "vector[string]",
+        "vector[string]",
     ];
     write_header(w, "ssl", SSL_FIELDS, &types)?;
     for r in records {
@@ -215,12 +268,31 @@ pub fn write_ssl_log(w: &mut impl Write, records: &[SslRecord]) -> std::io::Resu
     Ok(())
 }
 
-/// Write an `x509.log` stream.
-pub fn write_x509_log(w: &mut impl Write, records: &[X509Record]) -> std::io::Result<()> {
+/// Write an `x509.log` stream. Accepts any iterator of record references,
+/// so rotation can write grouped refs without cloning records first.
+pub fn write_x509_log<'a>(
+    w: &mut impl Write,
+    records: impl IntoIterator<Item = &'a X509Record>,
+) -> std::io::Result<()> {
     let types = [
-        "time", "string", "count", "string", "string", "string", "string", "string", "time",
-        "time", "string", "count", "string", "vector[string]", "vector[string]",
-        "vector[string]", "vector[string]", "bool",
+        "time",
+        "string",
+        "count",
+        "string",
+        "string",
+        "string",
+        "string",
+        "string",
+        "time",
+        "time",
+        "string",
+        "count",
+        "string",
+        "vector[string]",
+        "vector[string]",
+        "vector[string]",
+        "vector[string]",
+        "bool",
     ];
     write_header(w, "x509", X509_FIELDS, &types)?;
     for r in records {
@@ -251,12 +323,12 @@ pub fn write_x509_log(w: &mut impl Write, records: &[X509Record]) -> std::io::Re
     Ok(())
 }
 
-struct LineParser<'a> {
-    cols: Vec<&'a str>,
+struct LineParser<'a, 'b> {
+    cols: &'b [&'a str],
     line_no: usize,
 }
 
-impl<'a> LineParser<'a> {
+impl<'a> LineParser<'a, '_> {
     fn col(&self, i: usize) -> &'a str {
         self.cols[i]
     }
@@ -281,21 +353,29 @@ impl<'a> LineParser<'a> {
         match self.cols[i] {
             "T" => Ok(true),
             "F" => Ok(false),
-            v => Err(TsvError::BadField { line: self.line_no, field, value: v.to_string() }),
+            v => Err(TsvError::BadField {
+                line: self.line_no,
+                field,
+                value: v.to_string(),
+            }),
         }
     }
 }
 
-fn data_lines<R: BufRead>(
-    reader: R,
+/// Slice a buffered chunk into `(line_no, line)` data-line slices, checking
+/// the `#fields` header along the way. No per-line allocation: every entry
+/// borrows from `buf`, and the output vector is pre-sized from a newline
+/// count over the raw bytes.
+fn data_lines<'a>(
+    buf: &'a str,
     expected_fields: &[&str],
-) -> Result<Vec<(usize, String)>, TsvError> {
-    let mut out = Vec::new();
+) -> Result<Vec<(usize, &'a str)>, TsvError> {
+    let line_estimate = buf.bytes().filter(|&b| b == b'\n').count();
+    let mut out = Vec::with_capacity(line_estimate);
     let mut fields_seen = false;
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
+    for (idx, line) in buf.lines().enumerate() {
         if let Some(rest) = line.strip_prefix("#fields\t") {
-            if rest.split('\t').collect::<Vec<_>>() != expected_fields {
+            if !rest.split('\t').eq(expected_fields.iter().copied()) {
                 return Err(TsvError::BadHeader);
             }
             fields_seen = true;
@@ -312,20 +392,47 @@ fn data_lines<R: BufRead>(
     Ok(out)
 }
 
+/// Drain a reader into one contiguous buffer; the parsers then borrow
+/// line and column slices out of it instead of allocating per line.
+fn slurp<R: BufRead>(mut reader: R) -> Result<String, TsvError> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    Ok(buf)
+}
+
+/// Split one data line into its columns, reusing the caller's column
+/// buffer across lines.
+fn split_cols<'a>(
+    cols: &mut Vec<&'a str>,
+    line: &'a str,
+    line_no: usize,
+    expected: usize,
+) -> Result<(), TsvError> {
+    cols.clear();
+    cols.extend(line.split('\t'));
+    if cols.len() != expected {
+        return Err(TsvError::ColumnCount {
+            line: line_no,
+            expected,
+            got: cols.len(),
+        });
+    }
+    Ok(())
+}
+
 /// Read an `ssl.log` stream written by [`write_ssl_log`] (or real Zeek with
 /// the same field subset).
 pub fn read_ssl_log<R: BufRead>(reader: R) -> Result<Vec<SslRecord>, TsvError> {
-    let mut records = Vec::new();
-    for (line_no, line) in data_lines(reader, SSL_FIELDS)? {
-        let cols: Vec<&str> = line.split('\t').collect();
-        if cols.len() != SSL_FIELDS.len() {
-            return Err(TsvError::ColumnCount {
-                line: line_no,
-                expected: SSL_FIELDS.len(),
-                got: cols.len(),
-            });
-        }
-        let p = LineParser { cols, line_no };
+    let buf = slurp(reader)?;
+    let lines = data_lines(&buf, SSL_FIELDS)?;
+    let mut records = Vec::with_capacity(lines.len());
+    let mut cols: Vec<&str> = Vec::with_capacity(SSL_FIELDS.len());
+    for (line_no, line) in lines {
+        split_cols(&mut cols, line, line_no, SSL_FIELDS.len())?;
+        let p = LineParser {
+            cols: &cols,
+            line_no,
+        };
         let version = TlsVersion::from_zeek_name(p.col(6)).ok_or_else(|| TsvError::BadField {
             line: line_no,
             field: "version",
@@ -333,7 +440,7 @@ pub fn read_ssl_log<R: BufRead>(reader: R) -> Result<Vec<SslRecord>, TsvError> {
         })?;
         records.push(SslRecord {
             ts: p.parse(0, "ts")?,
-            uid: unescape(p.col(1)),
+            uid: unescape(p.col(1)).into_owned(),
             orig_h: p.ip(2, "id.orig_h")?,
             orig_p: p.parse(3, "id.orig_p")?,
             resp_h: p.ip(4, "id.resp_h")?,
@@ -350,31 +457,30 @@ pub fn read_ssl_log<R: BufRead>(reader: R) -> Result<Vec<SslRecord>, TsvError> {
 
 /// Read an `x509.log` stream written by [`write_x509_log`].
 pub fn read_x509_log<R: BufRead>(reader: R) -> Result<Vec<X509Record>, TsvError> {
-    let mut records = Vec::new();
-    for (line_no, line) in data_lines(reader, X509_FIELDS)? {
-        let cols: Vec<&str> = line.split('\t').collect();
-        if cols.len() != X509_FIELDS.len() {
-            return Err(TsvError::ColumnCount {
-                line: line_no,
-                expected: X509_FIELDS.len(),
-                got: cols.len(),
-            });
-        }
-        let p = LineParser { cols, line_no };
+    let buf = slurp(reader)?;
+    let lines = data_lines(&buf, X509_FIELDS)?;
+    let mut records = Vec::with_capacity(lines.len());
+    let mut cols: Vec<&str> = Vec::with_capacity(X509_FIELDS.len());
+    for (line_no, line) in lines {
+        split_cols(&mut cols, line, line_no, X509_FIELDS.len())?;
+        let p = LineParser {
+            cols: &cols,
+            line_no,
+        };
         records.push(X509Record {
             ts: p.parse(0, "ts")?,
-            fingerprint: unescape(p.col(1)),
+            fingerprint: unescape(p.col(1)).into_owned(),
             version: p.parse(2, "certificate.version")?,
-            serial: unescape(p.col(3)),
-            subject: unescape(p.col(4)),
-            issuer: unescape(p.col(5)),
+            serial: unescape(p.col(3)).into_owned(),
+            subject: unescape(p.col(4)).into_owned(),
+            issuer: unescape(p.col(5)).into_owned(),
             issuer_org: parse_opt(p.col(6)),
             subject_cn: parse_opt(p.col(7)),
             not_valid_before: p.parse(8, "certificate.not_valid_before")?,
             not_valid_after: p.parse(9, "certificate.not_valid_after")?,
-            key_alg: unescape(p.col(10)),
+            key_alg: unescape(p.col(10)).into_owned(),
             key_length: p.parse(11, "certificate.key_length")?,
-            sig_alg: unescape(p.col(12)),
+            sig_alg: unescape(p.col(12)).into_owned(),
             san_dns: parse_vec(p.col(13)),
             san_email: parse_vec(p.col(14)),
             san_uri: parse_vec(p.col(15)),
@@ -485,13 +591,19 @@ mod tests {
     #[test]
     fn header_mismatch_rejected() {
         let text = "#fields\tts\tnope\n1.0\tx\n";
-        assert!(matches!(read_ssl_log(Cursor::new(text)), Err(TsvError::BadHeader)));
+        assert!(matches!(
+            read_ssl_log(Cursor::new(text)),
+            Err(TsvError::BadHeader)
+        ));
     }
 
     #[test]
     fn missing_header_rejected() {
         let text = "1.0\tx\n";
-        assert!(matches!(read_ssl_log(Cursor::new(text)), Err(TsvError::BadHeader)));
+        assert!(matches!(
+            read_ssl_log(Cursor::new(text)),
+            Err(TsvError::BadHeader)
+        ));
     }
 
     #[test]
@@ -530,7 +642,14 @@ mod tests {
 
     #[test]
     fn escape_unescape_inverse() {
-        for s in ["plain", "tab\there", "a,b", "back\\slash", "nl\nend", "\\x41 literal"] {
+        for s in [
+            "plain",
+            "tab\there",
+            "a,b",
+            "back\\slash",
+            "nl\nend",
+            "\\x41 literal",
+        ] {
             assert_eq!(unescape(&escape(s)), s, "{s:?}");
         }
     }

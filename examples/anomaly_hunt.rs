@@ -14,7 +14,11 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.10);
-    let sim = generate(&SimConfig { seed: 99, scale, ..Default::default() });
+    let sim = generate(&SimConfig {
+        seed: 99,
+        scale,
+        ..Default::default()
+    });
     println!(
         "hunting anomalies in {} connections / {} certificates...\n",
         sim.ssl.len(),

@@ -15,11 +15,19 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.10);
-    let config = SimConfig { seed: 20240704, scale, ..Default::default() };
+    let config = SimConfig {
+        seed: 20240704,
+        scale,
+        ..Default::default()
+    };
 
     println!("generating the synthetic campus corpus (scale {scale})...");
     let sim = generate(&config);
-    println!("  {} connections, {} unique certificates", sim.ssl.len(), sim.x509.len());
+    println!(
+        "  {} connections, {} unique certificates",
+        sim.ssl.len(),
+        sim.x509.len()
+    );
 
     // Write Zeek-format logs to disk, then read them back: the pipeline
     // consumes files exactly like the original study consumed Zeek output.
@@ -80,10 +88,14 @@ fn main() {
     println!("incorrect-date certificates: {}", out.fig3.total_certs);
 
     println!("\n--- 3) Sensitive information in CN/SAN ---");
-    use mtlscope::core::analyze::info_types::Cell;
     use mtlscope::classify::InfoType;
-    let (names, _) = out.tab8.cn_share(Cell::ClientPrivate, InfoType::PersonalName);
-    let (accounts, _) = out.tab8.cn_share(Cell::ClientPrivate, InfoType::UserAccount);
+    use mtlscope::core::analyze::info_types::Cell;
+    let (names, _) = out
+        .tab8
+        .cn_share(Cell::ClientPrivate, InfoType::PersonalName);
+    let (accounts, _) = out
+        .tab8
+        .cn_share(Cell::ClientPrivate, InfoType::UserAccount);
     println!("client certs with personal names: {names}, with user accounts: {accounts}");
     println!("(paper: 43,539 personal names and 18,603 user accounts at full scale)");
 

@@ -14,9 +14,16 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.05);
-    let sim = generate(&SimConfig { seed: 7, scale, ..Default::default() });
+    let sim = generate(&SimConfig {
+        seed: 7,
+        scale,
+        ..Default::default()
+    });
     let meta = MetaKnowledge::from_sim(&sim.meta);
-    println!("auditing {} unique certificates for PII...\n", sim.x509.len());
+    println!(
+        "auditing {} unique certificates for PII...\n",
+        sim.x509.len()
+    );
 
     let mut findings: BTreeMap<&'static str, Vec<String>> = BTreeMap::new();
     let mut counts: BTreeMap<InfoType, usize> = BTreeMap::new();
@@ -42,10 +49,10 @@ fn main() {
                 InfoType::Sip => "SIP extensions (telephony metadata)",
                 _ => continue,
             };
-            findings
-                .entry(bucket)
-                .or_default()
-                .push(format!("{field}={value:<40} issuer={:?}", cert.issuer_org.as_deref().unwrap_or("-")));
+            findings.entry(bucket).or_default().push(format!(
+                "{field}={value:<40} issuer={:?}",
+                cert.issuer_org.as_deref().unwrap_or("-")
+            ));
         }
     }
 
@@ -61,7 +68,12 @@ fn main() {
     let total: usize = counts.values().sum();
     for ty in InfoType::ALL {
         let n = counts.get(&ty).copied().unwrap_or(0);
-        println!("  {:<14} {:>7}  ({:.2}%)", ty.label(), n, 100.0 * n as f64 / total.max(1) as f64);
+        println!(
+            "  {:<14} {:>7}  ({:.2}%)",
+            ty.label(),
+            n,
+            100.0 * n as f64 / total.max(1) as f64
+        );
     }
 
     println!(

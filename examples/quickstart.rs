@@ -25,7 +25,9 @@ fn main() {
     anchors.add_to(&RootProgram::ALL, public_ca.certificate());
     let device_ca = CertificateAuthority::new_root(
         b"quickstart-device-ca",
-        DistinguishedName::builder().organization("Acme Fleet Ops").build(),
+        DistinguishedName::builder()
+            .organization("Acme Fleet Ops")
+            .build(),
         now,
     );
 
@@ -33,7 +35,11 @@ fn main() {
     let server_key = Keypair::from_seed(b"server");
     let server_cert = public_ca.issue(
         CertificateBuilder::new()
-            .subject(DistinguishedName::builder().common_name("api.example.org").build())
+            .subject(
+                DistinguishedName::builder()
+                    .common_name("api.example.org")
+                    .build(),
+            )
             .san(vec![GeneralName::Dns("api.example.org".into())])
             .validity(now.add_days(-30), now.add_days(60))
             .subject_key(server_key.key_id()),
@@ -41,7 +47,11 @@ fn main() {
     let client_key = Keypair::from_seed(b"client");
     let client_cert = device_ca.issue(
         CertificateBuilder::new()
-            .subject(DistinguishedName::builder().common_name("sensor-0042").build())
+            .subject(
+                DistinguishedName::builder()
+                    .common_name("sensor-0042")
+                    .build(),
+            )
             .validity(now.add_days(-365), now.add_days(365))
             .subject_key(client_key.key_id()),
     );

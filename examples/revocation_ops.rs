@@ -20,7 +20,11 @@ use mtlscope::x509::{CertificateBuilder, DistinguishedName, SerialNumber};
 fn main() {
     // 1. Run the measurement pipeline and pick revocation candidates:
     //    expired-but-active client certificates.
-    let sim = generate(&SimConfig { seed: 3, scale: 0.05, ..Default::default() });
+    let sim = generate(&SimConfig {
+        seed: 3,
+        scale: 0.05,
+        ..Default::default()
+    });
     let out = run_pipeline(AnalysisInputs::from_sim(sim));
     println!(
         "pipeline flagged {} of {} established mTLS connections ({:.1}%)",
@@ -45,7 +49,9 @@ fn main() {
     let now = Asn1Time::from_ymd(2024, 1, 15);
     let ca = CertificateAuthority::new_root(
         b"ops-ca",
-        DistinguishedName::builder().organization("Fleet Operations Inc").build(),
+        DistinguishedName::builder()
+            .organization("Fleet Operations Inc")
+            .build(),
         now,
     );
     let mint = |name: &str, serial: &[u8]| {
@@ -64,8 +70,16 @@ fn main() {
 
     // 3. Issue the CRL.
     let crl = CrlBuilder::new(now, now.add_days(7))
-        .revoke(SerialNumber::new(&[0x0B]), now, RevocationReason::KeyCompromise)
-        .revoke(SerialNumber::new(&[0x0C]), now, RevocationReason::CessationOfOperation)
+        .revoke(
+            SerialNumber::new(&[0x0B]),
+            now,
+            RevocationReason::KeyCompromise,
+        )
+        .revoke(
+            SerialNumber::new(&[0x0C]),
+            now,
+            RevocationReason::CessationOfOperation,
+        )
         .sign(&ca);
     println!(
         "issued CRL: {} entries, {} bytes DER, valid until {}",

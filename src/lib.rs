@@ -34,12 +34,14 @@
 //! | [`zeek`] | `mtls-zeek` | ssl.log / x509.log records + TSV |
 //! | [`netsim`] | `mtls-netsim` | the campus traffic generator |
 //! | [`classify`] | `mtls-classify` | CN/SAN information classifier |
+//! | [`intern`] | `mtls-intern` | string interning + fast hashing |
 //! | [`core`] | `mtls-core` | the analysis pipeline (the paper) |
 
 pub use mtls_asn1 as asn1;
 pub use mtls_classify as classify;
 pub use mtls_core as core;
 pub use mtls_crypto as crypto;
+pub use mtls_intern as intern;
 pub use mtls_netsim as netsim;
 pub use mtls_pki as pki;
 pub use mtls_tlssim as tlssim;

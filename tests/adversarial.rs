@@ -20,13 +20,19 @@ fn now() -> Asn1Time {
 fn server_cert() -> Certificate {
     let ca = CertificateAuthority::new_root(
         b"adv-server-ca",
-        DistinguishedName::builder().organization("Server Org Inc").build(),
+        DistinguishedName::builder()
+            .organization("Server Org Inc")
+            .build(),
         now(),
     );
     let k = Keypair::from_seed(b"adv-server");
     ca.issue(
         CertificateBuilder::new()
-            .subject(DistinguishedName::builder().common_name("api.adv.example").build())
+            .subject(
+                DistinguishedName::builder()
+                    .common_name("api.adv.example")
+                    .build(),
+            )
             .validity(now().add_days(-30), now().add_days(335))
             .subject_key(k.key_id()),
     )
@@ -53,7 +59,12 @@ fn probe(client: &Certificate, expect: &[Violation]) {
     let seen = through_the_wire(client);
     let enterprise = ValidationPolicy::enterprise();
     let got = enterprise.evaluate(&seen, now(), false, None);
-    assert_eq!(got, expect, "enterprise verdict for {:?}", seen.subject().common_name());
+    assert_eq!(
+        got,
+        expect,
+        "enterprise verdict for {:?}",
+        seen.subject().common_name()
+    );
     // The lax posture — what the paper's measured deployments do — accepts
     // every single one of these.
     assert!(
@@ -75,7 +86,11 @@ fn adversarial_expired_certificate() {
     let k = Keypair::from_seed(b"a1");
     let cert = private_ca("Fleet Ops Inc").issue(
         CertificateBuilder::new()
-            .subject(DistinguishedName::builder().common_name("stale-agent").build())
+            .subject(
+                DistinguishedName::builder()
+                    .common_name("stale-agent")
+                    .build(),
+            )
             .validity(now().add_days(-1_365), now().add_days(-1_000)) // the Apple cluster
             .subject_key(k.key_id()),
     );
@@ -87,8 +102,15 @@ fn adversarial_inverted_dates() {
     let k = Keypair::from_seed(b"a2");
     let cert = private_ca("IDrive Inc Certificate Authority").issue(
         CertificateBuilder::new()
-            .subject(DistinguishedName::builder().common_name("backup-dev").build())
-            .validity(Asn1Time::from_ymd(2019, 8, 2), Asn1Time::from_ymd(1849, 10, 24))
+            .subject(
+                DistinguishedName::builder()
+                    .common_name("backup-dev")
+                    .build(),
+            )
+            .validity(
+                Asn1Time::from_ymd(2019, 8, 2),
+                Asn1Time::from_ymd(1849, 10, 24),
+            )
             .subject_key(k.key_id()),
     );
     probe(&cert, &[Violation::IncorrectDates]);
@@ -100,7 +122,11 @@ fn adversarial_missing_issuer() {
     let cert = private_ca("whoever").issue_verbatim(
         CertificateBuilder::new()
             .issuer(DistinguishedName::empty())
-            .subject(DistinguishedName::builder().common_name("anon-agent").build())
+            .subject(
+                DistinguishedName::builder()
+                    .common_name("anon-agent")
+                    .build(),
+            )
             .validity(now().add_days(-1), now().add_days(300))
             .subject_key(k.key_id()),
     );
@@ -114,14 +140,22 @@ fn adversarial_dummy_issuer_v1_weak_key() {
     let cert = private_ca("Internet Widgits Pty Ltd").issue(
         CertificateBuilder::new()
             .version(Version::V1)
-            .subject(DistinguishedName::builder().organization("Internet Widgits Pty Ltd").build())
+            .subject(
+                DistinguishedName::builder()
+                    .organization("Internet Widgits Pty Ltd")
+                    .build(),
+            )
             .validity(now().add_days(-1), now().add_days(300))
             .key_algorithm(KeyAlgorithm::Rsa { bits: 1024 })
             .subject_key(k.key_id()),
     );
     probe(
         &cert,
-        &[Violation::DummyIssuer, Violation::WeakKey, Violation::ObsoleteVersion],
+        &[
+            Violation::DummyIssuer,
+            Violation::WeakKey,
+            Violation::ObsoleteVersion,
+        ],
     );
 }
 
@@ -130,7 +164,11 @@ fn adversarial_228_year_certificate() {
     let k = Keypair::from_seed(b"a5");
     let cert = private_ca("TMDX Devices Inc").issue(
         CertificateBuilder::new()
-            .subject(DistinguishedName::builder().common_name("tmdx-dev-gateway").build())
+            .subject(
+                DistinguishedName::builder()
+                    .common_name("tmdx-dev-gateway")
+                    .build(),
+            )
             .validity(now().add_days(-1), now().add_days(83_432))
             .subject_key(k.key_id()),
     );
@@ -142,7 +180,11 @@ fn adversarial_md5_signature() {
     let k = Keypair::from_seed(b"a6");
     let signer = Keypair::from_seed(b"a6-ca");
     let cert = CertificateBuilder::new()
-        .issuer(DistinguishedName::builder().organization("Legacy Systems Inc").build())
+        .issuer(
+            DistinguishedName::builder()
+                .organization("Legacy Systems Inc")
+                .build(),
+        )
         .subject(DistinguishedName::builder().common_name("old-box").build())
         .validity(now().add_days(-1), now().add_days(300))
         .signature_algorithm(SignatureAlgorithm::Md5WithRsa)
@@ -189,7 +231,11 @@ fn adversarial_healthy_certificate_passes_enterprise() {
     let k = Keypair::from_seed(b"a8");
     let cert = private_ca("Well Run Corp Inc").issue(
         CertificateBuilder::new()
-            .subject(DistinguishedName::builder().common_name("good-agent").build())
+            .subject(
+                DistinguishedName::builder()
+                    .common_name("good-agent")
+                    .build(),
+            )
             .validity(now().add_days(-10), now().add_days(355))
             .subject_key(k.key_id()),
     );
@@ -213,7 +259,11 @@ fn revoked_certificate_is_caught_when_crl_checked() {
     let cert = ca.issue(
         CertificateBuilder::new()
             .serial(&[0xDE, 0xAD])
-            .subject(DistinguishedName::builder().common_name("compromised").build())
+            .subject(
+                DistinguishedName::builder()
+                    .common_name("compromised")
+                    .build(),
+            )
             .validity(now().add_days(-10), now().add_days(355))
             .subject_key(k.key_id()),
     );
@@ -223,7 +273,11 @@ fn revoked_certificate_is_caught_when_crl_checked() {
     assert!(ValidationPolicy::enterprise().accepts(&seen, now(), false, None));
     // With a CRL, the compromise is caught.
     let crl = CrlBuilder::new(now().add_days(-1), now().add_days(6))
-        .revoke(SerialNumber::new(&[0xDE, 0xAD]), now().add_days(-1), RevocationReason::KeyCompromise)
+        .revoke(
+            SerialNumber::new(&[0xDE, 0xAD]),
+            now().add_days(-1),
+            RevocationReason::KeyCompromise,
+        )
         .sign(&ca);
     assert_eq!(
         check_revocation(&seen, Some(&crl), now()),

@@ -14,7 +14,11 @@ use std::sync::OnceLock;
 fn output() -> &'static PipelineOutput {
     static CELL: OnceLock<PipelineOutput> = OnceLock::new();
     CELL.get_or_init(|| {
-        let sim = generate(&SimConfig { seed: 20240704, scale: 0.08, ..Default::default() });
+        let sim = generate(&SimConfig {
+            seed: 20240704,
+            scale: 0.08,
+            ..Default::default()
+        });
         run_pipeline(AnalysisInputs::from_sim(sim))
     })
 }
@@ -23,8 +27,16 @@ fn output() -> &'static PipelineOutput {
 fn fig1_mtls_share_roughly_doubles() {
     // Paper: 1.99 % → 3.61 % over 23 months.
     let fig1 = &output().fig1;
-    assert!((0.015..0.03).contains(&fig1.share_start), "start {}", fig1.share_start);
-    assert!((0.028..0.05).contains(&fig1.share_end), "end {}", fig1.share_end);
+    assert!(
+        (0.015..0.03).contains(&fig1.share_start),
+        "start {}",
+        fig1.share_start
+    );
+    assert!(
+        (0.028..0.05).contains(&fig1.share_end),
+        "end {}",
+        fig1.share_end
+    );
     assert!(fig1.growth() > 1.4, "growth {}", fig1.growth());
     // The Rapid7 disappearance: outbound mTLS drops from Oct to Nov 2023.
     let by_label = |l: &str| {
@@ -34,7 +46,10 @@ fn fig1_mtls_share_roughly_doubles() {
             .map(|m| m.mtls_out)
             .expect("month present")
     };
-    assert!(by_label("2023-11") < by_label("2023-10"), "Rapid7 drop missing");
+    assert!(
+        by_label("2023-11") < by_label("2023-10"),
+        "Rapid7 drop missing"
+    );
     // The health surge: inbound jumps at Oct 2023.
     let inb = |l: &str| {
         fig1.months
@@ -43,7 +58,10 @@ fn fig1_mtls_share_roughly_doubles() {
             .map(|m| m.mtls_in)
             .expect("month present")
     };
-    assert!(inb("2023-10") as f64 > inb("2023-09") as f64 * 1.2, "health surge missing");
+    assert!(
+        inb("2023-10") as f64 > inb("2023-09") as f64 * 1.2,
+        "health surge missing"
+    );
 }
 
 #[test]
@@ -51,7 +69,10 @@ fn tab1_private_cas_dominate_mtls() {
     let t = &output().tab1;
     // Paper: 94.34 % of client certs are used in mTLS; private CAs dominate.
     let client_share = t.client.mtls as f64 / t.client.total.max(1) as f64;
-    assert!((0.88..1.0).contains(&client_share), "client mTLS share {client_share}");
+    assert!(
+        (0.88..1.0).contains(&client_share),
+        "client mTLS share {client_share}"
+    );
     // mTLS server certs are overwhelmingly private (paper: 2.27 M private
     // vs 6.9 k public).
     assert!(t.server_private.mtls > 50 * t.server_public.mtls.max(1));
@@ -69,7 +90,10 @@ fn tab2_port_rankings() {
     assert_eq!(ranked[1], PortGroup::Port(20017));
     assert_eq!(ranked[2], PortGroup::Port(636));
     let filewave = tab2.inbound_mtls.share(PortGroup::Port(20017));
-    assert!((0.15..0.35).contains(&filewave), "FileWave {filewave} (paper 24.89%)");
+    assert!(
+        (0.15..0.35).contains(&filewave),
+        "FileWave {filewave} (paper 24.89%)"
+    );
     // Outbound: HTTPS dominates; MQTT 8883 is the top non-HTTPS service.
     assert_eq!(tab2.outbound_mtls.ranked[0].0, PortGroup::Port(443));
     assert!(tab2.outbound_mtls.share(PortGroup::Port(443)) > 0.8);
@@ -83,7 +107,11 @@ fn tab3_association_shapes() {
     let row = |a| tab3.row(a).expect("association present");
     // Health dominates connections (paper 64.91 %) with Education issuers.
     let health = row(ServerAssociation::UniversityHealth);
-    assert!((0.50..0.75).contains(&health.conn_share), "health {}", health.conn_share);
+    assert!(
+        (0.50..0.75).contains(&health.conn_share),
+        "health {}",
+        health.conn_share
+    );
     assert_eq!(health.issuer_mix[0].0, IssuerCategory::Education);
     assert!(health.issuer_mix[0].1 > 0.9);
     // University Server: MissingIssuer primary (paper 95.84 %).
@@ -130,16 +158,25 @@ fn fig2_outbound_flow_shapes() {
         fig2.public_server_missing_client
     );
     // Overall missing-issuer share near the paper's 37.84 %.
-    assert!((0.20..0.50).contains(&fig2.missing_issuer_share), "{}", fig2.missing_issuer_share);
+    assert!(
+        (0.20..0.50).contains(&fig2.missing_issuer_share),
+        "{}",
+        fig2.missing_issuer_share
+    );
 }
 
 #[test]
 fn ser1_globus_collision_dominates() {
     let ser1 = &output().ser1;
-    let globus = ser1.group("Globus Online", "00").expect("Globus collision present");
+    let globus = ser1
+        .group("Globus Online", "00")
+        .expect("Globus collision present");
     // The paper: 38,965 colliding certs — the largest by far, shared by
     // both endpoints, 14-day validity.
-    assert!(globus.client_certs >= 2 * serial_runner_up(ser1), "Globus must dominate");
+    assert!(
+        globus.client_certs >= 2 * serial_runner_up(ser1),
+        "Globus must dominate"
+    );
     assert!(globus.median_validity_days <= 15);
     // GuardiCore: client serial 01, server serial 03E8, validity > 2 years.
     let gc_client = ser1.group("GuardiCore", "01").expect("GuardiCore 01");
@@ -170,10 +207,16 @@ fn tab5_sharing_rows_present() {
     assert!(tab5.row(None, "Globus Online").is_some());
     assert!(tab5.row(Some("tablodash"), "Outset").is_some());
     assert!(tab5.row(Some("leidos"), "IdenTrust").is_some());
-    let psych = tab5.row(Some("psych"), "American Psychiatric").expect("psych.org row");
+    let psych = tab5
+        .row(Some("psych"), "American Psychiatric")
+        .expect("psych.org row");
     // Paper: 424 days. At the test scale only ~2 clients × few conns are
     // drawn inside that window, so only a loose lower bound is stable.
-    assert!(psych.duration_days > 30, "long-lived sharing population: {}", psych.duration_days);
+    assert!(
+        psych.duration_days > 30,
+        "long-lived sharing population: {}",
+        psych.duration_days
+    );
     assert!(tab5.inbound_conns > 0 && tab5.outbound_conns > 0);
 }
 
@@ -198,10 +241,12 @@ fn fig3_incorrect_dates_shapes() {
     // SDS epoch-to-1831 on both sides, and both-endpoint populations exist.
     assert!(fig3.row("SDS", true).is_some());
     assert!(!fig3.both_ends.is_empty(), "Table 12 populations");
-    assert!(fig3
-        .both_ends
-        .iter()
-        .any(|(sld, issuer, ..)| sld.as_deref() == Some("idrive.com") && issuer.contains("IDrive")));
+    assert!(
+        fig3.both_ends
+            .iter()
+            .any(|(sld, issuer, ..)| sld.as_deref() == Some("idrive.com")
+                && issuer.contains("IDrive"))
+    );
 }
 
 #[test]
@@ -213,7 +258,12 @@ fn fig4_validity_extremes() {
     assert!(fig4.max_issuer.contains("TMDX"));
     // Its category mix: missing-issuer + corporations dominate (paper
     // 45.73 % / 37.58 %).
-    let top: Vec<IssuerCategory> = fig4.very_long_categories.iter().take(2).map(|(c, _)| *c).collect();
+    let top: Vec<IssuerCategory> = fig4
+        .very_long_categories
+        .iter()
+        .take(2)
+        .map(|(c, _)| *c)
+        .collect();
     assert!(top.contains(&IssuerCategory::MissingIssuer));
     assert!(top.contains(&IssuerCategory::Corporation));
 }
@@ -249,9 +299,7 @@ fn tab7_cn_dominates_san() {
     assert!((t7.server_private.san_nonempty as f64 / t7.server_private.total.max(1) as f64) < 0.02);
     assert!((t7.client_private.san_nonempty as f64 / t7.client_private.total.max(1) as f64) < 0.02);
     // Public-CA server certs use SAN universally.
-    assert!(
-        t7.server_public.san_nonempty as f64 / t7.server_public.total.max(1) as f64 > 0.95
-    );
+    assert!(t7.server_public.san_nonempty as f64 / t7.server_public.total.max(1) as f64 > 0.95);
 }
 
 #[test]
@@ -273,7 +321,10 @@ fn tab8_sensitive_content_shapes() {
     assert!(names > accounts, "paper: 43,539 names vs 18,603 accounts");
     // Public client certs: unidentified dominates (paper 59.95 %).
     let (_, unident) = t8.cn_share(Cell::ClientPublic, InfoType::Unidentified);
-    assert!((0.4..0.8).contains(&unident), "client/public unident {unident}");
+    assert!(
+        (0.4..0.8).contains(&unident),
+        "client/public unident {unident}"
+    );
 }
 
 #[test]
@@ -330,7 +381,11 @@ fn pre1_interception_share_near_paper() {
     let pre1 = &output().pre1;
     // Paper: 186 issuers, 8.4 % of certificates excluded.
     assert!(pre1.issuers.len() >= 5);
-    assert!((0.02..0.15).contains(&pre1.excluded_share()), "{}", pre1.excluded_share());
+    assert!(
+        (0.02..0.15).contains(&pre1.excluded_share()),
+        "{}",
+        pre1.excluded_share()
+    );
 }
 
 #[test]
@@ -346,5 +401,8 @@ fn dummy_issuer_shapes() {
         .find(|b| b.sld.as_deref() == Some("fireboard.io"))
         .expect("fireboard row");
     assert!(fireboard.duration_days > 500, "paper: 618 days");
-    assert!(tab4.both.iter().all(|b| b.issuer == "Internet Widgits Pty Ltd"));
+    assert!(tab4
+        .both
+        .iter()
+        .all(|b| b.issuer == "Internet Widgits Pty Ltd"));
 }

@@ -8,7 +8,11 @@ use std::io::BufReader;
 
 #[test]
 fn zeek_logs_round_trip_and_reanalyze_identically() {
-    let config = SimConfig { seed: 5150, scale: 0.01, ..Default::default() };
+    let config = SimConfig {
+        seed: 5150,
+        scale: 0.01,
+        ..Default::default()
+    };
     let sim = generate(&config);
 
     let dir = std::env::temp_dir().join(format!("mtlscope-roundtrip-{}", std::process::id()));
@@ -49,7 +53,11 @@ fn zeek_logs_round_trip_and_reanalyze_identically() {
 
 #[test]
 fn rotated_logs_round_trip() {
-    let config = SimConfig { seed: 777, scale: 0.005, ..Default::default() };
+    let config = SimConfig {
+        seed: 777,
+        scale: 0.005,
+        ..Default::default()
+    };
     let sim = generate(&config);
     let dir = std::env::temp_dir().join(format!("mtlscope-rotated-{}", std::process::id()));
     sim.write_to_dir_rotated(&dir).expect("write rotated");

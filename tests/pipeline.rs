@@ -8,7 +8,11 @@ use std::sync::OnceLock;
 fn output() -> &'static PipelineOutput {
     static CELL: OnceLock<PipelineOutput> = OnceLock::new();
     CELL.get_or_init(|| {
-        let sim = generate(&SimConfig { seed: 1234, scale: 0.05, ..Default::default() });
+        let sim = generate(&SimConfig {
+            seed: 1234,
+            scale: 0.05,
+            ..Default::default()
+        });
         run_pipeline(AnalysisInputs::from_sim(sim))
     })
 }
@@ -16,8 +20,14 @@ fn output() -> &'static PipelineOutput {
 #[test]
 fn census_is_internally_consistent() {
     let t = &output().tab1;
-    assert_eq!(t.server.total, t.server_public.total + t.server_private.total);
-    assert_eq!(t.client.total, t.client_public.total + t.client_private.total);
+    assert_eq!(
+        t.server.total,
+        t.server_public.total + t.server_private.total
+    );
+    assert_eq!(
+        t.client.total,
+        t.client_public.total + t.client_private.total
+    );
     assert!(t.all.mtls <= t.all.total);
     assert!(t.server.mtls <= t.server.total);
     // Every cert is server, client, or both.
@@ -28,17 +38,33 @@ fn census_is_internally_consistent() {
 fn prevalence_series_covers_the_study_window() {
     let fig1 = &output().fig1;
     assert_eq!(fig1.months.len(), 23, "23 months of data");
-    assert_eq!(fig1.months.first().map(|m| m.label.as_str()), Some("2022-05"));
-    assert_eq!(fig1.months.last().map(|m| m.label.as_str()), Some("2024-03"));
+    assert_eq!(
+        fig1.months.first().map(|m| m.label.as_str()),
+        Some("2022-05")
+    );
+    assert_eq!(
+        fig1.months.last().map(|m| m.label.as_str()),
+        Some("2024-03")
+    );
     for m in &fig1.months {
-        assert!((0.0..=1.0).contains(&m.share), "{}: share {}", m.label, m.share);
+        assert!(
+            (0.0..=1.0).contains(&m.share),
+            "{}: share {}",
+            m.label,
+            m.share
+        );
     }
 }
 
 #[test]
 fn port_shares_sum_to_one() {
     let tab2 = &output().tab2;
-    for cell in [&tab2.inbound_mtls, &tab2.outbound_mtls, &tab2.inbound_plain, &tab2.outbound_plain] {
+    for cell in [
+        &tab2.inbound_mtls,
+        &tab2.outbound_mtls,
+        &tab2.inbound_plain,
+        &tab2.outbound_plain,
+    ] {
         let total: usize = cell.ranked.iter().map(|(_, n)| n).sum();
         assert_eq!(total, cell.total);
         assert!(!cell.ranked.is_empty());
@@ -66,13 +92,34 @@ fn every_report_renders_nonempty() {
     let out = output();
     let all = out.render_all();
     for needle in [
-        "Figure 1", "Table 1", "Table 2", "Table 3", "Figure 2", "Table 4", "Table 10",
-        "section 5.1.2", "Table 5", "Table 6", "Figure 3", "Table 12", "Figure 4", "Figure 5",
-        "Table 7", "Table 8", "Table 9", "Table 13", "Table 14", "interception",
+        "Figure 1",
+        "Table 1",
+        "Table 2",
+        "Table 3",
+        "Figure 2",
+        "Table 4",
+        "Table 10",
+        "section 5.1.2",
+        "Table 5",
+        "Table 6",
+        "Figure 3",
+        "Table 12",
+        "Figure 4",
+        "Figure 5",
+        "Table 7",
+        "Table 8",
+        "Table 9",
+        "Table 13",
+        "Table 14",
+        "interception",
     ] {
         assert!(all.contains(needle), "missing section {needle}");
     }
-    assert!(all.len() > 4_000, "report suspiciously short: {}", all.len());
+    assert!(
+        all.len() > 4_000,
+        "report suspiciously short: {}",
+        all.len()
+    );
 }
 
 #[test]
@@ -83,9 +130,16 @@ fn interception_filter_finds_planted_issuers_and_no_others() {
         // Only the planted middlebox vendors may be flagged; a false
         // positive on a real CA (campus, Globus, Honeywell…) would poison
         // every downstream table.
-        let planted = ["NetGuard", "CloudShield", "PerimeterX", "SecureGate", "InspectorWorks", "TrafficLens"]
-            .iter()
-            .any(|v| issuer.contains(v));
+        let planted = [
+            "NetGuard",
+            "CloudShield",
+            "PerimeterX",
+            "SecureGate",
+            "InspectorWorks",
+            "TrafficLens",
+        ]
+        .iter()
+        .any(|v| issuer.contains(v));
         assert!(planted, "false positive interception issuer: {issuer}");
     }
     assert!(pre1.excluded_share() > 0.01 && pre1.excluded_share() < 0.20);
@@ -160,14 +214,18 @@ fn every_ssl_fingerprint_resolves() {
             .iter()
             .chain(&conn.rec.client_cert_chain_fps)
         {
-            assert!(out.corpus.fp_index.contains_key(fp), "dangling {fp}");
+            assert!(out.corpus.cert_by_fp(fp).is_some(), "dangling {fp}");
         }
     }
 }
 
 #[test]
 fn parallel_pipeline_matches_sequential() {
-    let sim = mtlscope::netsim::generate(&SimConfig { seed: 31337, scale: 0.01, ..Default::default() });
+    let sim = mtlscope::netsim::generate(&SimConfig {
+        seed: 31337,
+        scale: 0.01,
+        ..Default::default()
+    });
     let sequential = run_pipeline(AnalysisInputs::from_sim(sim.clone()));
     let parallel = mtlscope::core::run_pipeline_parallel(AnalysisInputs::from_sim(sim));
     assert_eq!(sequential.render_all(), parallel.render_all());
@@ -179,16 +237,37 @@ fn interception_thresholds_are_not_load_bearing() {
     // CT-mismatch candidates and real CAs ~0 %, so the verdict barely
     // moves across a wide threshold neighborhood.
     use mtlscope::core::pipeline::interception;
-    let sim = generate(&SimConfig { seed: 77, scale: 0.05, ..Default::default() });
+    use mtlscope::intern::Interner;
+    let sim = generate(&SimConfig {
+        seed: 77,
+        scale: 0.05,
+        ..Default::default()
+    });
     let inputs = AnalysisInputs::from_sim(sim);
-    let planted = ["NetGuard", "CloudShield", "PerimeterX", "SecureGate", "InspectorWorks", "TrafficLens"];
+    let planted = [
+        "NetGuard",
+        "CloudShield",
+        "PerimeterX",
+        "SecureGate",
+        "InspectorWorks",
+        "TrafficLens",
+    ];
 
-    let (_, baseline) =
-        interception::filter_with(&inputs.ssl, &inputs.x509, &inputs.ct, &inputs.meta, 3, 0.8);
+    let mut interner = Interner::new();
+    let (_, baseline) = interception::filter_with(
+        &inputs.ssl,
+        &inputs.x509,
+        &inputs.ct,
+        &inputs.meta,
+        3,
+        0.8,
+        &mut interner,
+    );
     assert!(!baseline.is_empty());
 
     for min_certs in [2usize, 3, 5] {
         for share in [0.5f64, 0.8, 0.95] {
+            let mut interner = Interner::new();
             let (excluded, issuers) = interception::filter_with(
                 &inputs.ssl,
                 &inputs.x509,
@@ -196,6 +275,7 @@ fn interception_thresholds_are_not_load_bearing() {
                 &inputs.meta,
                 min_certs,
                 share,
+                &mut interner,
             );
             // Zero false positives at every setting.
             for issuer in &issuers {

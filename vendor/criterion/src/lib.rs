@@ -1,0 +1,221 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the subset of the criterion 0.5 API its benches use: `Criterion`,
+//! `benchmark_group` / `bench_function` / `iter`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of criterion's
+//! statistical machinery it runs a warm-up, then timed samples, and prints
+//! min/median/mean per benchmark — enough to compare fast paths against
+//! baselines and record numbers in BENCH_*.json files.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement configuration and result sink.
+pub struct Criterion {
+    sample_size: usize,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 30,
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_millis(1200),
+        }
+    }
+}
+
+/// Throughput annotation (printed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Criterion {
+        let sample_size = self.sample_size;
+        let (warmup, measure) = (self.warmup, self.measure);
+        run_one(id.as_ref(), None, sample_size, warmup, measure, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(
+            &full,
+            self.throughput,
+            sample_size,
+            self.criterion.warmup,
+            self.criterion.measure,
+            f,
+        );
+        self
+    }
+
+    /// End the group (printing is incremental; this is a no-op hook kept
+    /// for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; `iter` times the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, collecting `sample_size` samples after a warm-up.
+    /// Each sample runs `routine` enough times that short workloads are
+    /// measurable above timer resolution.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Aim for the measurement budget split across samples, at least one
+        // iteration per sample.
+        let budget = self.measure.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / iters_per_sample as u32);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    warmup: Duration,
+    measure: Duration,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        warmup,
+        measure,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        eprintln!("{id:<48} (no samples)");
+        return;
+    }
+    b.samples.sort();
+    let min = b.samples[0];
+    let median = b.samples[b.samples.len() / 2];
+    let mean: Duration = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let tp = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let gib = n as f64 / median.as_secs_f64() / (1024.0 * 1024.0 * 1024.0);
+            format!("  {gib:.3} GiB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let me = n as f64 / median.as_secs_f64() / 1e6;
+            format!("  {me:.3} Melem/s")
+        }
+        None => String::new(),
+    };
+    eprintln!("{id:<48} min {min:>12?}  median {median:>12?}  mean {mean:>12?}{tp}");
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_and_prints() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(5),
+            measure: Duration::from_millis(20),
+            ..Default::default()
+        };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(5);
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+}
