@@ -87,9 +87,13 @@ impl Asn1Time {
         }
     }
 
-    /// Whole days from `self` to `other` (truncated toward zero).
+    /// Whole days from `self` to `other`, floored. `div_euclid` rather
+    /// than `/`: truncation toward zero would make a negative
+    /// partial-day span (the direction the expired/validity analyses
+    /// traverse) one day too small in magnitude — `-36` hours must count
+    /// as `-2` elapsed days, not `-1`.
     pub fn days_until(self, other: Asn1Time) -> i64 {
-        (other.unix - self.unix) / DAY
+        (other.unix - self.unix).div_euclid(DAY)
     }
 
     /// Whether RFC 5280 requires UTCTime (1950–2049) for this value.
@@ -316,6 +320,23 @@ mod tests {
         let b = a.add_days(700);
         assert_eq!(a.days_until(b), 700);
         assert_eq!(b.days_until(a), -700);
+    }
+
+    #[test]
+    fn days_until_floors_partial_days() {
+        let a = Asn1Time::from_ymd(2022, 5, 1);
+        // Exact-day boundaries are unchanged in both directions.
+        assert_eq!(a.days_until(a), 0);
+        assert_eq!(a.days_until(a.add_days(1)), 1);
+        assert_eq!(a.days_until(a.add_days(-1)), -1);
+        // A positive partial day floors down (one second short of a day).
+        assert_eq!(a.days_until(a.add_secs(DAY - 1)), 0);
+        assert_eq!(a.days_until(a.add_secs(DAY + 1)), 1);
+        // A negative partial day floors *away* from zero: -1 second is
+        // day -1, -36 hours is day -2 (truncation gave 0 and -1).
+        assert_eq!(a.days_until(a.add_secs(-1)), -1);
+        assert_eq!(a.days_until(a.add_secs(-DAY - DAY / 2)), -2);
+        assert_eq!(a.days_until(a.add_secs(-DAY)), -1);
     }
 
     #[test]

@@ -267,6 +267,15 @@ fn bench_shard_readers(c: &mut Criterion) {
             black_box((ssl.len(), x509.len()))
         })
     });
+    // Lenient mode on a clean corpus: measures the cost of the skip
+    // accounting (diag counters, byte offsets) relative to strict.
+    group.bench_function("read_monthly_parallel_lenient", |b| {
+        b.iter(|| {
+            let (ssl, x509, stats) =
+                mtls_zeek::read_monthly_with(dir, mtls_zeek::IngestMode::Lenient).expect("read");
+            black_box((ssl.len(), x509.len(), stats.rows_parsed))
+        })
+    });
     group.finish();
 }
 

@@ -2,16 +2,21 @@
 //!
 //! Usage:
 //!   repro [--seed N] [--scale F] [--logs DIR] [--out FILE] [--tsv DIR]
-//!         [--from-logs DIR]
+//!         [--from-logs DIR] [--strict | --lenient]
+//!         [--max-error-rate FRACTION]
 //!
 //! `--from-logs DIR` skips generation and analyzes an existing log
 //! directory (unrotated or monthly-rotated, with meta.tsv and ct.log).
+//! `--strict` (default) aborts on the first malformed row; `--lenient`
+//! skips malformed rows and quarantines unreadable shards, printing the
+//! ingest diagnostics with the report. `--max-error-rate 0.01` aborts a
+//! lenient run whose skipped fraction exceeds 1%.
 //!
 //! Generates a synthetic corpus (or uses `--logs DIR` written earlier by
 //! the simulator), runs the full analysis pipeline, and prints every
 //! report. With `--out`, also writes the rendering to a file.
 
-use mtls_core::{run_pipeline_parallel, AnalysisInputs};
+use mtls_core::{run_pipeline_parallel, AnalysisInputs, IngestMode};
 use mtls_netsim::{generate, SimConfig};
 use std::io::Write;
 
@@ -21,6 +26,8 @@ struct Args {
     out_file: Option<String>,
     tsv_dir: Option<String>,
     from_logs: Option<String>,
+    mode: IngestMode,
+    max_error_rate: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -29,6 +36,8 @@ fn parse_args() -> Args {
     let mut out_file = None;
     let mut tsv_dir = None;
     let mut from_logs = None;
+    let mut mode = IngestMode::Strict;
+    let mut max_error_rate = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -48,9 +57,23 @@ fn parse_args() -> Args {
             "--out" => out_file = args.next(),
             "--tsv" => tsv_dir = args.next(),
             "--from-logs" => from_logs = args.next(),
+            "--strict" => mode = IngestMode::Strict,
+            "--lenient" => mode = IngestMode::Lenient,
+            "--max-error-rate" => {
+                let rate: f64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-error-rate needs a fraction in [0, 1]");
+                assert!(
+                    (0.0..=1.0).contains(&rate),
+                    "--max-error-rate needs a fraction in [0, 1]"
+                );
+                max_error_rate = Some(rate);
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--seed N] [--scale F] [--logs DIR] [--out FILE] [--tsv DIR] [--from-logs DIR]"
+                    "usage: repro [--seed N] [--scale F] [--logs DIR] [--out FILE] [--tsv DIR] \
+                     [--from-logs DIR] [--strict | --lenient] [--max-error-rate FRACTION]"
                 );
                 std::process::exit(0);
             }
@@ -66,23 +89,43 @@ fn parse_args() -> Args {
         out_file,
         tsv_dir,
         from_logs,
+        mode,
+        max_error_rate,
     }
 }
 
 fn main() {
     let args = parse_args();
 
+    let mut ingest_diag = None;
     let inputs = if let Some(dir) = &args.from_logs {
-        eprintln!("loading logs from {dir}...");
-        let inputs = mtls_core::ingest::load_dir(std::path::Path::new(dir)).unwrap_or_else(|e| {
-            eprintln!("failed to load {dir}: {e}");
-            std::process::exit(1);
-        });
+        eprintln!("loading logs from {dir} ({} mode)...", args.mode.label());
+        let (inputs, diag) = mtls_core::ingest::load_dir_with(std::path::Path::new(dir), args.mode)
+            .unwrap_or_else(|e| {
+                eprintln!("failed to load {dir}: {e}");
+                std::process::exit(1);
+            });
         eprintln!(
             "  {} connections, {} unique certificates",
             inputs.ssl.len(),
             inputs.x509.len()
         );
+        if diag.has_problems() {
+            eprintln!(
+                "  skipped {} rows, quarantined {} shards, skipped {} meta entries (rate {:.6})",
+                diag.stats.rows_skipped,
+                diag.stats.shards_quarantined,
+                diag.meta_entries_skipped,
+                diag.error_rate()
+            );
+        }
+        if let Some(max) = args.max_error_rate {
+            if let Err(e) = diag.check_error_rate(max) {
+                eprintln!("aborting: {e}");
+                std::process::exit(1);
+            }
+        }
+        ingest_diag = Some(diag);
         inputs
     } else {
         let config = args.config;
@@ -112,11 +155,23 @@ fn main() {
     eprintln!("  analyzed in {:?}", t1.elapsed());
 
     if let Some(dir) = &args.tsv_dir {
-        mtls_core::export::write_tsv(&output, std::path::Path::new(dir)).expect("write TSVs");
+        let dir_path = std::path::Path::new(dir);
+        mtls_core::export::write_tsv(&output, dir_path).expect("write TSVs");
+        if let Some(diag) = &ingest_diag {
+            mtls_core::export::write_ingest_tsv(diag, dir_path).expect("write ingest TSV");
+        }
         eprintln!("per-experiment TSVs written to {dir}");
     }
 
-    let rendering = output.render_all();
+    let mut rendering = String::new();
+    // The ledger (which carries wall times) goes into the report only for
+    // lenient loads; the default strict path stays byte-identical to the
+    // generation path so round-trip checks keep working.
+    if let Some(diag) = ingest_diag.filter(|d| d.mode == IngestMode::Lenient) {
+        rendering.push_str(&diag.render());
+        rendering.push('\n');
+    }
+    rendering.push_str(&output.render_all());
     println!("{rendering}");
     if let Some(path) = args.out_file {
         let mut f = std::fs::File::create(&path).expect("create output file");

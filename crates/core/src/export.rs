@@ -1,7 +1,9 @@
 //! Machine-readable export: one TSV file per experiment, suitable for
 //! plotting the paper's figures (gnuplot/matplotlib/vega all ingest TSV).
 
+use crate::ingest::IngestDiagnostics;
 use crate::pipeline::PipelineOutput;
+use mtls_zeek::ERROR_KINDS;
 use std::io::Write;
 use std::path::Path;
 
@@ -264,6 +266,84 @@ pub fn write_tsv(out: &PipelineOutput, dir: &Path) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Write the ingest accounting as `ingest_diagnostics.tsv` under `dir`
+/// (created if missing): one row per shard, a `(meta.cloud_nets)` row for
+/// skipped meta entries, and a `(total)` row with the corpus-wide sums.
+pub fn write_ingest_tsv(diag: &IngestDiagnostics, dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut header = String::from("shard\tmode\trows_parsed\tbytes_read");
+    for kind in ERROR_KINDS {
+        header.push('\t');
+        header.push_str(kind.label());
+    }
+    header.push_str("\tquarantined\twall_micros");
+
+    let mode = diag.mode.label().to_string();
+    let mut rows: Vec<Vec<String>> = diag
+        .stats
+        .shards
+        .iter()
+        .map(|d| {
+            let mut row = vec![
+                d.shard.clone(),
+                mode.clone(),
+                d.rows_parsed.to_string(),
+                d.bytes_read.to_string(),
+            ];
+            row.extend(d.skipped.iter().map(u64::to_string));
+            row.push(
+                d.quarantined
+                    .as_ref()
+                    .map(|q| q.kind.label().to_string())
+                    .unwrap_or_else(|| "-".into()),
+            );
+            row.push(d.wall_micros.to_string());
+            row
+        })
+        .collect();
+
+    if diag.meta_entries_skipped > 0 {
+        let mut row = vec![
+            "(meta.cloud_nets)".to_string(),
+            mode.clone(),
+            "0".to_string(),
+            "0".to_string(),
+        ];
+        // Malformed meta entries are field-level failures.
+        row.extend(ERROR_KINDS.iter().map(|k| {
+            if k.label() == "bad_field" {
+                diag.meta_entries_skipped.to_string()
+            } else {
+                "0".to_string()
+            }
+        }));
+        row.push("-".to_string());
+        row.push(diag.meta_micros.to_string());
+        rows.push(row);
+    }
+
+    let mut total = vec![
+        "(total)".to_string(),
+        mode,
+        diag.stats.rows_parsed.to_string(),
+        diag.stats.bytes_read.to_string(),
+    ];
+    total.extend(ERROR_KINDS.iter().map(|kind| {
+        let per_shard: u64 = diag.stats.shards.iter().map(|d| d.skipped_of(*kind)).sum();
+        let meta = if kind.label() == "bad_field" {
+            diag.meta_entries_skipped
+        } else {
+            0
+        };
+        (per_shard + meta).to_string()
+    }));
+    total.push(diag.stats.shards_quarantined.to_string());
+    total.push(diag.total_micros.to_string());
+    rows.push(total);
+
+    write_file(dir, "ingest_diagnostics.tsv", &header, rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +413,42 @@ mod tests {
             assert!(text.lines().count() >= 1, "{name} has a header");
             assert!(text.lines().next().expect("header").contains('\t'));
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn writes_ingest_diagnostics_tsv() {
+        use mtls_zeek::{IngestMode, ShardDiag, TsvError};
+        let mut shard = ShardDiag::new("ssl.2022-05.log");
+        shard.rows_parsed = 7;
+        shard.bytes_read = 1_000;
+        shard.record_skip(
+            &TsvError::ColumnCount {
+                line: 3,
+                expected: 11,
+                got: 2,
+            },
+            40,
+            3,
+            b"bad\trow",
+        );
+        let mut diag = IngestDiagnostics {
+            mode: IngestMode::Lenient,
+            meta_entries_skipped: 2,
+            ..IngestDiagnostics::default()
+        };
+        diag.stats.absorb(shard);
+
+        let dir = std::env::temp_dir().join(format!("mtlscope-export-diag-{}", std::process::id()));
+        write_ingest_tsv(&diag, &dir).expect("export");
+        let text = std::fs::read_to_string(dir.join("ingest_diagnostics.tsv")).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("shard\tmode\trows_parsed\tbytes_read\tcolumn_count"));
+        // Shard row, meta row, and the total row (which folds both in).
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("ssl.2022-05.log\tlenient\t7\t1000\t1\t0"));
+        assert!(lines[2].starts_with("(meta.cloud_nets)\tlenient\t0\t0\t0\t2"));
+        assert!(lines[3].starts_with("(total)\tlenient\t7\t1000\t1\t2"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -6,13 +6,26 @@
 //! * `ssl.YYYY-MM.log` / `x509.YYYY-MM.log` — Zeek-style monthly rotation;
 //! * `ct.log` — tab-separated (domain, issuer, fingerprint) triples;
 //! * `meta.tsv` — the out-of-band knowledge (`key<TAB>value` lines).
+//!
+//! Every loader runs in one of two [`IngestMode`]s. [`IngestMode::Strict`]
+//! (the default, and the historical behavior) aborts on the first malformed
+//! row, shard, or meta entry. [`IngestMode::Lenient`] skips malformed data
+//! rows, quarantines whole shards that fail to open or carry a bad header,
+//! and skips malformed `cloud_nets` meta entries — recording everything in
+//! an [`IngestDiagnostics`] so corruption is visible, bounded (see
+//! [`IngestDiagnostics::check_error_rate`]), and never silent. Structural
+//! problems (a missing required meta key, an unreadable `meta.tsv`) stay
+//! hard errors in both modes: there is no sensible partial recovery from
+//! losing the out-of-band knowledge.
 
 use crate::corpus::MetaKnowledge;
 use crate::pipeline::AnalysisInputs;
+use crate::report::{count, fmt_micros, Table};
 use mtls_pki::ctlog::{CtEntry, CtLog};
-use mtls_zeek::Ipv4;
+use mtls_zeek::{IngestMode, IngestStats, Ipv4, ShardDiag, TsvError, ERROR_KINDS};
 use std::io::BufReader;
 use std::path::Path;
+use std::time::Instant;
 
 /// Errors from loading a log directory.
 #[derive(Debug)]
@@ -21,6 +34,11 @@ pub enum IngestError {
     Tsv(mtls_zeek::TsvError),
     /// `meta.tsv` is missing a required key or has a malformed value.
     BadMeta(String),
+    /// The lenient loader skipped more than `--max-error-rate` allows.
+    ErrorRate {
+        rate: f64,
+        max: f64,
+    },
 }
 
 impl From<std::io::Error> for IngestError {
@@ -41,13 +59,182 @@ impl std::fmt::Display for IngestError {
             IngestError::Io(e) => write!(f, "io error: {e}"),
             IngestError::Tsv(e) => write!(f, "log parse error: {e}"),
             IngestError::BadMeta(k) => write!(f, "meta.tsv: bad or missing key {k:?}"),
+            IngestError::ErrorRate { rate, max } => write!(
+                f,
+                "ingest error rate {rate:.6} exceeds the configured maximum {max}"
+            ),
         }
     }
 }
 
 impl std::error::Error for IngestError {}
 
-fn parse_meta(path: &Path) -> Result<MetaKnowledge, IngestError> {
+/// Accounting for the `meta.tsv` parse (today only malformed `cloud_nets`
+/// entries are recoverable, so that is all this tracks).
+#[derive(Debug, Clone, Default)]
+struct MetaDiag {
+    entries_skipped: u64,
+    samples: Vec<String>,
+    wall_micros: u64,
+}
+
+/// Structured diagnostics for one directory load: the Zeek-log shard
+/// accounting from [`IngestStats`], the meta-entry skips, and per-stage
+/// wall times. Returned by [`load_dir_with`] / [`load_dir_serial_with`].
+#[derive(Debug, Clone, Default)]
+pub struct IngestDiagnostics {
+    pub mode: IngestMode,
+    /// Per-shard and corpus-wide Zeek-log accounting.
+    pub stats: IngestStats,
+    /// Malformed `cloud_nets` entries skipped (lenient mode only).
+    pub meta_entries_skipped: u64,
+    /// First few skipped `cloud_nets` entries, verbatim.
+    pub meta_samples: Vec<String>,
+    /// Wall time parsing `meta.tsv`.
+    pub meta_micros: u64,
+    /// Wall time parsing `ct.log`.
+    pub ct_micros: u64,
+    /// Wall time reading the Zeek logs (singletons or rotated shards).
+    pub logs_micros: u64,
+    /// Wall time for the whole load, end to end.
+    pub total_micros: u64,
+}
+
+impl IngestDiagnostics {
+    /// Skipped fraction of everything attempted: skipped rows, quarantined
+    /// shards (one bad unit each), and skipped meta entries, over those
+    /// plus the rows that parsed. 0.0 for an empty load.
+    pub fn error_rate(&self) -> f64 {
+        let bad =
+            self.stats.rows_skipped + self.stats.shards_quarantined + self.meta_entries_skipped;
+        let attempted = self.stats.rows_parsed + bad;
+        if attempted == 0 {
+            0.0
+        } else {
+            bad as f64 / attempted as f64
+        }
+    }
+
+    /// Enforce `--max-error-rate`: error if the observed rate *exceeds*
+    /// `max` (so `max = 0.0` tolerates a clean corpus and nothing else).
+    pub fn check_error_rate(&self, max: f64) -> Result<(), IngestError> {
+        let rate = self.error_rate();
+        if rate > max {
+            Err(IngestError::ErrorRate { rate, max })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Whether anything at all was skipped or quarantined.
+    pub fn has_problems(&self) -> bool {
+        self.stats.rows_skipped > 0
+            || self.stats.shards_quarantined > 0
+            || self.meta_entries_skipped > 0
+    }
+
+    /// Plain-text rendering: a summary table always, plus a per-shard
+    /// problem table and the sampled offending lines when anything was
+    /// skipped. Clean shards are omitted from the problem table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut t = Table::new(
+            &format!("Ingest diagnostics ({} mode)", self.mode.label()),
+            &["metric", "value"],
+        );
+        t.row(vec!["shards read".into(), count(self.stats.shards.len())]);
+        t.row(vec![
+            "rows parsed".into(),
+            count(self.stats.rows_parsed as usize),
+        ]);
+        t.row(vec![
+            "rows skipped".into(),
+            count(self.stats.rows_skipped as usize),
+        ]);
+        t.row(vec![
+            "shards quarantined".into(),
+            count(self.stats.shards_quarantined as usize),
+        ]);
+        t.row(vec![
+            "meta entries skipped".into(),
+            count(self.meta_entries_skipped as usize),
+        ]);
+        t.row(vec![
+            "bytes read".into(),
+            count(self.stats.bytes_read as usize),
+        ]);
+        t.row(vec![
+            "error rate".into(),
+            format!("{:.6}", self.error_rate()),
+        ]);
+        t.row(vec![
+            "wall (meta / ct / logs / total)".into(),
+            format!(
+                "{} / {} / {} / {}",
+                fmt_micros(self.meta_micros),
+                fmt_micros(self.ct_micros),
+                fmt_micros(self.logs_micros),
+                fmt_micros(self.total_micros)
+            ),
+        ]);
+        out.push_str(&t.render());
+
+        let problems: Vec<&ShardDiag> = self
+            .stats
+            .shards
+            .iter()
+            .filter(|d| d.rows_skipped() > 0 || d.quarantined.is_some())
+            .collect();
+        if !problems.is_empty() {
+            let mut header: Vec<&str> = vec!["shard", "rows"];
+            header.extend(ERROR_KINDS.iter().map(|k| k.label()));
+            header.push("quarantined");
+            let mut pt = Table::new("Ingest problems by shard", &header);
+            for d in &problems {
+                let mut row = vec![d.shard.clone(), count(d.rows_parsed as usize)];
+                row.extend(d.skipped.iter().map(|n| count(*n as usize)));
+                row.push(
+                    d.quarantined
+                        .as_ref()
+                        .map(|q| q.kind.label().to_string())
+                        .unwrap_or_else(|| "-".into()),
+                );
+                pt.row(row);
+            }
+            out.push('\n');
+            out.push_str(&pt.render());
+            for d in &problems {
+                if let Some(q) = &d.quarantined {
+                    out.push_str(&format!("  {}: quarantined: {}\n", d.shard, q.detail));
+                }
+                for s in &d.samples {
+                    out.push_str(&format!(
+                        "  {}:{} (byte {}): {}: {:?}\n",
+                        d.shard, s.line, s.byte_offset, s.detail, s.snippet
+                    ));
+                }
+            }
+        }
+        for entry in &self.meta_samples {
+            out.push_str(&format!(
+                "  meta.tsv: skipped malformed cloud_nets entry {entry:?}\n"
+            ));
+        }
+        out
+    }
+}
+
+/// Parse `addr/prefix` with a decimal prefix no wider than 32 bits. A
+/// prefix above 32 used to slip through here and panic much later, deep in
+/// the subnet mask arithmetic.
+fn parse_net(entry: &str) -> Option<(Ipv4, u8)> {
+    let (addr, prefix) = entry.split_once('/')?;
+    let prefix: u8 = prefix.parse().ok().filter(|p| *p <= 32)?;
+    Some((Ipv4::parse(addr)?, prefix))
+}
+
+fn parse_meta(path: &Path, mode: IngestMode) -> Result<(MetaKnowledge, MetaDiag), IngestError> {
+    let start = Instant::now();
     let text = std::fs::read_to_string(path)?;
     // One pass over the file into a key → value map (first occurrence
     // wins, matching the old first-match scan).
@@ -72,23 +259,28 @@ fn parse_meta(path: &Path) -> Result<MetaKnowledge, IngestError> {
         }
     };
     let net = get("university_net")?;
-    let (addr, prefix) = net
-        .split_once('/')
-        .ok_or_else(|| IngestError::BadMeta("university_net".into()))?;
-    let university_net = (
-        Ipv4::parse(addr).ok_or_else(|| IngestError::BadMeta("university_net".into()))?,
-        prefix
-            .parse::<u8>()
-            .map_err(|_| IngestError::BadMeta("university_net".into()))?,
-    );
-    let cloud_nets = list(get("cloud_nets").unwrap_or_default())
-        .into_iter()
-        .filter_map(|entry| {
-            let (addr, prefix) = entry.split_once('/')?;
-            Some((Ipv4::parse(addr)?, prefix.parse::<u8>().ok()?))
-        })
-        .collect();
-    Ok(MetaKnowledge {
+    let university_net =
+        parse_net(&net).ok_or_else(|| IngestError::BadMeta("university_net".into()))?;
+    // A malformed cloud_nets entry is a hard error in strict mode (it used
+    // to be dropped silently, shifting classifications without a trace)
+    // and a counted, sampled skip in lenient mode.
+    let mut diag = MetaDiag::default();
+    let mut cloud_nets = Vec::new();
+    for entry in list(get("cloud_nets").unwrap_or_default()) {
+        match parse_net(&entry) {
+            Some(net) => cloud_nets.push(net),
+            None if mode == IngestMode::Lenient => {
+                diag.entries_skipped += 1;
+                if diag.samples.len() < mtls_zeek::diag::MAX_SAMPLES {
+                    diag.samples.push(entry);
+                }
+            }
+            None => {
+                return Err(IngestError::BadMeta(format!("cloud_nets entry {entry:?}")));
+            }
+        }
+    }
+    let meta = MetaKnowledge {
         university_net,
         cloud_nets,
         campus_issuer_orgs: list(get("campus_issuer_orgs")?),
@@ -101,7 +293,9 @@ fn parse_meta(path: &Path) -> Result<MetaKnowledge, IngestError> {
         non_mtls_weight: get("non_mtls_weight")?
             .parse()
             .map_err(|_| IngestError::BadMeta("non_mtls_weight".into()))?,
-    })
+    };
+    diag.wall_micros = start.elapsed().as_micros() as u64;
+    Ok((meta, diag))
 }
 
 fn parse_ct(path: &Path) -> Result<CtLog, IngestError> {
@@ -124,75 +318,206 @@ fn parse_ct(path: &Path) -> Result<CtLog, IngestError> {
     Ok(CtLog::from_entries(entries))
 }
 
-/// Load a directory into pipeline inputs. Accepts both the unrotated and
-/// the monthly-rotated layouts.
+/// A mode-aware TSV reader over an opened singleton log file.
+type SingletonReader<T> =
+    fn(BufReader<std::fs::File>, IngestMode, &mut ShardDiag) -> Result<Vec<T>, TsvError>;
+
+/// Open and parse one singleton log (`ssl.log` / `x509.log`), timing it and
+/// accounting rows into a fresh [`ShardDiag`]. Open failures surface as
+/// `TsvError::Io` so the caller's quarantine logic sees one error type.
+fn read_singleton<T>(
+    path: &Path,
+    mode: IngestMode,
+    read: SingletonReader<T>,
+) -> (ShardDiag, Result<Vec<T>, TsvError>) {
+    let name = path
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string());
+    let start = Instant::now();
+    let mut diag = ShardDiag::new(name);
+    let result = std::fs::File::open(path)
+        .map_err(TsvError::from)
+        .and_then(|f| read(BufReader::new(f), mode, &mut diag));
+    diag.wall_micros = start.elapsed().as_micros() as u64;
+    (diag, result)
+}
+
+/// Fold one singleton read into `stats`. Strict propagates the error;
+/// lenient quarantines the file (its records are dropped, the load goes on
+/// with an empty vector) — the same contract rotated shards get.
+fn stitch_singleton<T>(
+    mode: IngestMode,
+    mut diag: ShardDiag,
+    result: Result<Vec<T>, TsvError>,
+    stats: &mut IngestStats,
+) -> Result<Vec<T>, IngestError> {
+    match result {
+        Ok(records) => {
+            stats.absorb(diag);
+            Ok(records)
+        }
+        Err(err) if mode == IngestMode::Lenient => {
+            diag.quarantine(&err);
+            stats.absorb(diag);
+            Ok(Vec::new())
+        }
+        Err(err) => Err(err.into()),
+    }
+}
+
+/// Load a directory into pipeline inputs plus [`IngestDiagnostics`].
+/// Accepts both the unrotated and the monthly-rotated layouts.
 ///
 /// The four inputs are independent files, so `meta.tsv` and `ct.log`
 /// parse on their own scoped threads while the Zeek logs load (rotated
-/// shards additionally fan out inside [`mtls_zeek::read_monthly`]).
-/// Output is identical to [`load_dir_serial`].
-pub fn load_dir(dir: &Path) -> Result<AnalysisInputs, IngestError> {
+/// shards additionally fan out inside [`mtls_zeek::read_monthly_with`]).
+/// Output is identical to [`load_dir_serial_with`].
+pub fn load_dir_with(
+    dir: &Path,
+    mode: IngestMode,
+) -> Result<(AnalysisInputs, IngestDiagnostics), IngestError> {
+    let total = Instant::now();
     std::thread::scope(|s| {
-        let meta_handle = s.spawn(|| parse_meta(&dir.join("meta.tsv")));
-        let ct_handle = s.spawn(|| parse_ct(&dir.join("ct.log")));
+        let meta_handle = s.spawn(move || parse_meta(&dir.join("meta.tsv"), mode));
+        let ct_handle = s.spawn(move || {
+            let t = Instant::now();
+            (
+                parse_ct(&dir.join("ct.log")),
+                t.elapsed().as_micros() as u64,
+            )
+        });
 
+        let t_logs = Instant::now();
         let logs = if dir.join("ssl.log").exists() {
-            let ssl_handle = s.spawn(|| -> Result<_, IngestError> {
-                Ok(mtls_zeek::read_ssl_log(BufReader::new(
-                    std::fs::File::open(dir.join("ssl.log"))?,
-                ))?)
+            let ssl_handle = s.spawn(move || {
+                read_singleton(&dir.join("ssl.log"), mode, mtls_zeek::read_ssl_log_with)
             });
-            let x509 = mtls_zeek::read_x509_log(BufReader::new(std::fs::File::open(
-                dir.join("x509.log"),
-            )?));
-            ssl_handle
-                .join()
-                .expect("ssl reader panicked")
-                .and_then(|ssl| Ok((ssl, x509?)))
+            let (x_diag, x_res) =
+                read_singleton(&dir.join("x509.log"), mode, mtls_zeek::read_x509_log_with);
+            let (s_diag, s_res) = ssl_handle.join().expect("ssl reader panicked");
+            // Stitch in serial order (ssl before x509) so strict mode's
+            // first-error choice matches load_dir_serial_with exactly.
+            (|| {
+                let mut stats = IngestStats {
+                    mode,
+                    ..IngestStats::default()
+                };
+                let ssl = stitch_singleton(mode, s_diag, s_res, &mut stats)?;
+                let x509 = stitch_singleton(mode, x_diag, x_res, &mut stats)?;
+                Ok((ssl, x509, stats))
+            })()
         } else {
-            mtls_zeek::read_monthly(dir).map_err(IngestError::from)
+            mtls_zeek::read_monthly_with(dir, mode).map_err(IngestError::from)
         };
+        let logs_micros = t_logs.elapsed().as_micros() as u64;
 
         // Surface errors in the serial loader's order: meta, ct, logs.
-        let meta = meta_handle.join().expect("meta parser panicked")?;
-        let ct = ct_handle.join().expect("ct parser panicked")?;
-        let (ssl, x509) = logs?;
-        Ok(AnalysisInputs {
+        let (meta, meta_diag) = meta_handle.join().expect("meta parser panicked")?;
+        let (ct_res, ct_micros) = ct_handle.join().expect("ct parser panicked");
+        let ct = ct_res?;
+        let (ssl, x509, mut stats) = logs?;
+        stats.wall_micros = logs_micros;
+        let diagnostics = IngestDiagnostics {
+            mode,
+            stats,
+            meta_entries_skipped: meta_diag.entries_skipped,
+            meta_samples: meta_diag.samples,
+            meta_micros: meta_diag.wall_micros,
+            ct_micros,
+            logs_micros,
+            total_micros: total.elapsed().as_micros() as u64,
+        };
+        Ok((
+            AnalysisInputs {
+                ssl,
+                x509,
+                ct,
+                meta,
+            },
+            diagnostics,
+        ))
+    })
+}
+
+/// Serial reference loader: same contract and output as [`load_dir_with`],
+/// one file at a time. Kept as the equivalence and benchmark baseline.
+pub fn load_dir_serial_with(
+    dir: &Path,
+    mode: IngestMode,
+) -> Result<(AnalysisInputs, IngestDiagnostics), IngestError> {
+    let total = Instant::now();
+    let (meta, meta_diag) = parse_meta(&dir.join("meta.tsv"), mode)?;
+    let t_ct = Instant::now();
+    let ct = parse_ct(&dir.join("ct.log"))?;
+    let ct_micros = t_ct.elapsed().as_micros() as u64;
+
+    let t_logs = Instant::now();
+    let (ssl, x509, mut stats) = if dir.join("ssl.log").exists() {
+        let mut stats = IngestStats {
+            mode,
+            ..IngestStats::default()
+        };
+        let (s_diag, s_res) =
+            read_singleton(&dir.join("ssl.log"), mode, mtls_zeek::read_ssl_log_with);
+        let ssl = stitch_singleton(mode, s_diag, s_res, &mut stats)?;
+        let (x_diag, x_res) =
+            read_singleton(&dir.join("x509.log"), mode, mtls_zeek::read_x509_log_with);
+        let x509 = stitch_singleton(mode, x_diag, x_res, &mut stats)?;
+        (ssl, x509, stats)
+    } else {
+        mtls_zeek::read_monthly_serial_with(dir, mode)?
+    };
+    let logs_micros = t_logs.elapsed().as_micros() as u64;
+    stats.wall_micros = logs_micros;
+
+    let diagnostics = IngestDiagnostics {
+        mode,
+        stats,
+        meta_entries_skipped: meta_diag.entries_skipped,
+        meta_samples: meta_diag.samples,
+        meta_micros: meta_diag.wall_micros,
+        ct_micros,
+        logs_micros,
+        total_micros: total.elapsed().as_micros() as u64,
+    };
+    Ok((
+        AnalysisInputs {
             ssl,
             x509,
             ct,
             meta,
-        })
-    })
+        },
+        diagnostics,
+    ))
 }
 
-/// Serial reference loader: same contract and output as [`load_dir`], one
-/// file at a time. Kept as the equivalence and benchmark baseline.
+/// Strict [`load_dir_with`] without the diagnostics — the historical API.
+pub fn load_dir(dir: &Path) -> Result<AnalysisInputs, IngestError> {
+    load_dir_with(dir, IngestMode::Strict).map(|(inputs, _)| inputs)
+}
+
+/// Strict [`load_dir_serial_with`] without the diagnostics.
 pub fn load_dir_serial(dir: &Path) -> Result<AnalysisInputs, IngestError> {
-    let meta = parse_meta(&dir.join("meta.tsv"))?;
-    let ct = parse_ct(&dir.join("ct.log"))?;
-
-    let (ssl, x509) = if dir.join("ssl.log").exists() {
-        let ssl =
-            mtls_zeek::read_ssl_log(BufReader::new(std::fs::File::open(dir.join("ssl.log"))?))?;
-        let x509 =
-            mtls_zeek::read_x509_log(BufReader::new(std::fs::File::open(dir.join("x509.log"))?))?;
-        (ssl, x509)
-    } else {
-        mtls_zeek::read_monthly_serial(dir)?
-    };
-
-    Ok(AnalysisInputs {
-        ssl,
-        x509,
-        ct,
-        meta,
-    })
+    load_dir_serial_with(dir, IngestMode::Strict).map(|(inputs, _)| inputs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const BASE_META: &str = "university_net\t172.29.0.0/16\ncampus_issuer_orgs\tX\n\
+                             public_ca_orgs\t\nhealth_slds\t\nuniversity_slds\t\nvpn_slds\t\n\
+                             localorg_slds\t\nglobus_slds\t\nnon_mtls_weight\t10\n";
+
+    fn write_empty_logs(dir: &Path) {
+        let mut ssl = Vec::new();
+        mtls_zeek::write_ssl_log(&mut ssl, &[]).unwrap();
+        std::fs::write(dir.join("ssl.log"), ssl).unwrap();
+        let mut x509 = Vec::new();
+        mtls_zeek::write_x509_log(&mut x509, &[]).unwrap();
+        std::fs::write(dir.join("x509.log"), x509).unwrap();
+    }
 
     #[test]
     fn missing_meta_is_reported() {
@@ -211,10 +536,7 @@ mod tests {
     fn corrupt_logs_error_instead_of_panicking() {
         let dir = std::env::temp_dir().join(format!("mtlscope-ingest3-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let meta = "university_net\t172.29.0.0/16\ncampus_issuer_orgs\tX\n\
-                    public_ca_orgs\t\nhealth_slds\t\nuniversity_slds\t\nvpn_slds\t\n\
-                    localorg_slds\t\nglobus_slds\t\nnon_mtls_weight\t10\n";
-        std::fs::write(dir.join("meta.tsv"), meta).unwrap();
+        std::fs::write(dir.join("meta.tsv"), BASE_META).unwrap();
         // Garbage where a Zeek header should be, and raw bytes that are not
         // UTF-8 at all.
         std::fs::write(
@@ -226,7 +548,11 @@ mod tests {
         assert!(load_dir(&dir).is_err());
 
         // A malformed university_net is a BadMeta, not a panic.
-        std::fs::write(dir.join("meta.tsv"), meta.replace("/16", "/notaprefix")).unwrap();
+        std::fs::write(
+            dir.join("meta.tsv"),
+            BASE_META.replace("/16", "/notaprefix"),
+        )
+        .unwrap();
         assert!(matches!(load_dir(&dir), Err(IngestError::BadMeta(_))));
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -240,12 +566,7 @@ mod tests {
                     health_slds\t\nuniversity_slds\t\nvpn_slds\t\nlocalorg_slds\t\nglobus_slds\t\n\
                     non_mtls_weight\t10\n";
         std::fs::write(dir.join("meta.tsv"), meta).unwrap();
-        let mut ssl = Vec::new();
-        mtls_zeek::write_ssl_log(&mut ssl, &[]).unwrap();
-        std::fs::write(dir.join("ssl.log"), ssl).unwrap();
-        let mut x509 = Vec::new();
-        mtls_zeek::write_x509_log(&mut x509, &[]).unwrap();
-        std::fs::write(dir.join("x509.log"), x509).unwrap();
+        write_empty_logs(&dir);
 
         let inputs = load_dir(&dir).unwrap();
         assert!(inputs.ct.is_empty());
@@ -256,6 +577,81 @@ mod tests {
             inputs.meta.public_ca_orgs,
             vec!["GoDaddy.com, Inc".to_string(), "Entrust, Inc.".to_string()]
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn strict_rejects_malformed_cloud_nets_lenient_counts_them() {
+        let dir = std::env::temp_dir().join(format!("mtlscope-ingest4-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Three malformed entries among two good ones: no prefix, a prefix
+        // wider than 32 bits (used to parse, then panic in the subnet mask
+        // shift), and a non-address. All were silently dropped before.
+        let meta = format!(
+            "{BASE_META}cloud_nets\t18.204.0.0/16|10.9.8.0|52.0.0.0/40|nonsense/8|35.80.0.0/12\n"
+        );
+        std::fs::write(dir.join("meta.tsv"), &meta).unwrap();
+        write_empty_logs(&dir);
+
+        for loader in [load_dir_with, load_dir_serial_with] {
+            let err = match loader(&dir, IngestMode::Strict) {
+                Err(e) => e,
+                Ok(_) => panic!("strict mode must reject malformed cloud_nets"),
+            };
+            assert!(
+                matches!(&err, IngestError::BadMeta(k) if k.contains("cloud_nets")),
+                "{err}"
+            );
+
+            let (inputs, diag) = loader(&dir, IngestMode::Lenient).unwrap();
+            assert_eq!(
+                inputs.meta.cloud_nets,
+                vec![
+                    (Ipv4::new(18, 204, 0, 0), 16),
+                    (Ipv4::new(35, 80, 0, 0), 12)
+                ]
+            );
+            assert_eq!(diag.meta_entries_skipped, 3);
+            assert_eq!(
+                diag.meta_samples,
+                vec!["10.9.8.0", "52.0.0.0/40", "nonsense/8"]
+            );
+            assert!(diag.error_rate() > 0.0);
+            assert!(diag.check_error_rate(0.0).is_err());
+            assert!(diag.check_error_rate(1.0).is_ok());
+            assert!(diag.render().contains("cloud_nets"));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lenient_quarantines_unreadable_singletons() {
+        let dir = std::env::temp_dir().join(format!("mtlscope-ingest5-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("meta.tsv"), BASE_META).unwrap();
+        let mut ssl = Vec::new();
+        mtls_zeek::write_ssl_log(&mut ssl, &[]).unwrap();
+        std::fs::write(dir.join("ssl.log"), ssl).unwrap();
+        // x509.log has a header that belongs to no known schema.
+        std::fs::write(dir.join("x509.log"), "#fields\tnope\nnope\n").unwrap();
+
+        for loader in [load_dir_with, load_dir_serial_with] {
+            assert!(matches!(
+                loader(&dir, IngestMode::Strict),
+                Err(IngestError::Tsv(TsvError::BadHeader))
+            ));
+            let (inputs, diag) = loader(&dir, IngestMode::Lenient).unwrap();
+            assert!(inputs.x509.is_empty());
+            assert_eq!(diag.stats.shards_quarantined, 1);
+            let bad = diag
+                .stats
+                .shards
+                .iter()
+                .find(|d| d.quarantined.is_some())
+                .unwrap();
+            assert_eq!(bad.shard, "x509.log");
+            assert!(diag.render().contains("quarantined"));
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -42,8 +42,9 @@ pub mod pipeline;
 pub mod report;
 pub mod report_ascii;
 
-#[cfg(test)]
-pub(crate) mod testutil;
+pub mod testutil;
 
 pub use corpus::{Corpus, Direction, ServerAssociation};
+pub use ingest::{IngestDiagnostics, IngestError};
+pub use mtls_zeek::IngestMode;
 pub use pipeline::{run_pipeline, run_pipeline_parallel, AnalysisInputs, PipelineOutput};

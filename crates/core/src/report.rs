@@ -81,6 +81,17 @@ pub fn pct_f(x: f64) -> String {
     format!("{:.2}", 100.0 * x)
 }
 
+/// Format a microsecond wall time at a human scale (µs → ms → s).
+pub fn fmt_micros(micros: u64) -> String {
+    if micros < 1_000 {
+        format!("{micros}µs")
+    } else if micros < 1_000_000 {
+        format!("{:.1}ms", micros as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", micros as f64 / 1_000_000.0)
+    }
+}
+
 /// Thousands separator for counts, as in the paper's tables.
 pub fn count(n: usize) -> String {
     let s = n.to_string();
@@ -114,6 +125,14 @@ mod tests {
         assert_eq!(pct(1, 4), "25.00");
         assert_eq!(pct(0, 0), "-");
         assert_eq!(pct_f(0.3784), "37.84");
+    }
+
+    #[test]
+    fn fmt_micros_scales() {
+        assert_eq!(fmt_micros(0), "0µs");
+        assert_eq!(fmt_micros(999), "999µs");
+        assert_eq!(fmt_micros(1_500), "1.5ms");
+        assert_eq!(fmt_micros(2_340_000), "2.34s");
     }
 
     #[test]

@@ -1,6 +1,11 @@
-//! Test-only helpers: a fluent builder for small synthetic corpora so each
-//! analyzer can be unit-tested against hand-written scenarios.
-#![cfg(test)]
+//! Test support: a fluent builder for small synthetic corpora so each
+//! analyzer can be unit-tested against hand-written scenarios, and a
+//! deterministic fault-injection harness ([`faults`]) for exercising the
+//! lenient ingest path from integration tests.
+//!
+//! Compiled into the library (not `#[cfg(test)]`) so the workspace-level
+//! integration tests and benches can drive the same harness; production
+//! code never calls it.
 
 use crate::corpus::{Corpus, MetaKnowledge};
 use mtls_intern::Interner;
@@ -183,5 +188,88 @@ impl CorpusBuilder {
             vec![],
             Interner::new(),
         )
+    }
+}
+
+/// Deterministic on-disk fault injection for ingest tests.
+///
+/// Each helper mutates one written Zeek log file in place, targeting a
+/// specific data line by index (comment/header lines starting with `#` are
+/// not counted), so a test knows exactly which rows a lenient load must
+/// skip and which error kind each skip classifies as. All helpers panic on
+/// I/O failure or an out-of-range line index — they are test scaffolding,
+/// not production code.
+pub mod faults {
+    use std::path::Path;
+
+    /// Rewrite `path`, applying `edit` to the `nth` (0-based) data line.
+    /// The line is passed without its trailing newline; whatever `edit`
+    /// leaves in the buffer is written back, newline restored.
+    fn edit_nth_data_line(path: &Path, nth: usize, edit: impl Fn(&mut Vec<u8>)) {
+        let bytes = std::fs::read(path).expect("read log for fault injection");
+        let mut out = Vec::with_capacity(bytes.len() + 8);
+        let mut seen = 0usize;
+        let mut hit = false;
+        for chunk in bytes.split_inclusive(|&b| b == b'\n') {
+            let (line, nl): (&[u8], &[u8]) = match chunk.split_last() {
+                Some((b'\n', rest)) => (rest, b"\n"),
+                _ => (chunk, b""),
+            };
+            if !line.is_empty() && line[0] != b'#' {
+                if seen == nth {
+                    let mut edited = line.to_vec();
+                    edit(&mut edited);
+                    out.extend_from_slice(&edited);
+                    out.extend_from_slice(nl);
+                    seen += 1;
+                    hit = true;
+                    continue;
+                }
+                seen += 1;
+            }
+            out.extend_from_slice(chunk);
+        }
+        assert!(hit, "no data line {nth} in {}", path.display());
+        std::fs::write(path, out).expect("write faulted log");
+    }
+
+    /// Corrupt the shard's `#fields` header so both readers reject the
+    /// whole file (`BadHeader`; lenient mode quarantines it).
+    pub fn corrupt_header(path: &Path) {
+        let text = std::fs::read_to_string(path).expect("read log for fault injection");
+        assert!(
+            text.contains("#fields\t"),
+            "{} has no #fields",
+            path.display()
+        );
+        std::fs::write(path, text.replace("#fields\t", "#fields\tbogus_column\t"))
+            .expect("write faulted log");
+    }
+
+    /// Truncate the `nth` data line at its first tab, leaving a single
+    /// column (`ColumnCount` skip).
+    pub fn truncate_line(path: &Path, nth: usize) {
+        edit_nth_data_line(path, nth, |line| {
+            if let Some(tab) = line.iter().position(|&b| b == b'\t') {
+                line.truncate(tab);
+            }
+        });
+    }
+
+    /// Splice a raw `0xFF` byte into the middle of the `nth` data line,
+    /// making the whole line invalid UTF-8 (`NonUtf8` skip).
+    pub fn inject_non_utf8(path: &Path, nth: usize) {
+        edit_nth_data_line(path, nth, |line| {
+            line.insert(line.len() / 2, 0xFF);
+        });
+    }
+
+    /// Overwrite the first byte of the `nth` data line's leading field (the
+    /// timestamp in both schemas) with a non-numeric byte (`BadField` skip).
+    pub fn flip_field_byte(path: &Path, nth: usize) {
+        edit_nth_data_line(path, nth, |line| {
+            assert!(!line.is_empty());
+            line[0] = b'x';
+        });
     }
 }

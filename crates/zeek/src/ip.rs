@@ -14,13 +14,18 @@ impl Ipv4 {
         Ipv4(u32::from_be_bytes([a, b, c, d]))
     }
 
-    /// Parse dotted-quad text.
+    /// Parse dotted-quad text. Leading-zero octets (`010.0.0.1`) are
+    /// rejected: `inet_aton`-style parsers read them as octal, so accepting
+    /// them decimally would silently disagree about which address was seen.
     pub fn parse(s: &str) -> Option<Ipv4> {
         let mut parts = s.split('.');
         let mut octets = [0u8; 4];
         for o in octets.iter_mut() {
             let part = parts.next()?;
             if part.is_empty() || part.len() > 3 || !part.bytes().all(|b| b.is_ascii_digit()) {
+                return None;
+            }
+            if part.len() > 1 && part.starts_with('0') {
                 return None;
             }
             *o = part.parse().ok()?;
@@ -86,9 +91,17 @@ mod tests {
             "a.b.c.d",
             "1..2.3",
             "01x.2.3.4",
+            // Leading zeros read as octal by inet_aton — reject, except a
+            // bare "0" octet.
+            "010.0.0.1",
+            "00.0.0.0",
+            "1.02.3.4",
+            "1.2.3.004",
         ] {
             assert!(Ipv4::parse(s).is_none(), "{s}");
         }
+        assert_eq!(Ipv4::parse("0.0.0.0"), Some(Ipv4::new(0, 0, 0, 0)));
+        assert_eq!(Ipv4::parse("10.0.0.1"), Some(Ipv4::new(10, 0, 0, 1)));
     }
 
     #[test]

@@ -5,17 +5,21 @@
 //! (`ssl.2022-05.log`, `x509.2022-05.log`, …) and reads such a directory
 //! back in chronological order, so the pipeline can ingest either layout.
 
+use crate::diag::{IngestMode, IngestStats, ShardDiag};
 use crate::records::{SslRecord, X509Record};
-use crate::tsv::{read_ssl_log, read_x509_log, write_ssl_log, write_x509_log, TsvError};
+use crate::tsv::{read_ssl_log_with, read_x509_log_with, write_ssl_log, write_x509_log, TsvError};
 use mtls_intern::FxHashMap;
 use std::io::BufReader;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// `YYYY-MM` for a Unix-seconds timestamp (proleptic Gregorian).
 fn month_key(ts: f64) -> String {
     // Days since epoch → civil date, reusing the zeek-local arithmetic to
-    // avoid a dependency on mtls-asn1 here.
-    let days = (ts as i64).div_euclid(86_400);
+    // avoid a dependency on mtls-asn1 here. Floor before the integer cast:
+    // `ts as i64` truncates toward zero, which would bucket a fractional
+    // pre-epoch timestamp like -0.5 into 1970-01 instead of 1969-12.
+    let days = (ts.floor() as i64).div_euclid(86_400);
     let (y, m) = civil_year_month(days);
     format!("{y:04}-{m:02}")
 }
@@ -86,16 +90,6 @@ fn shard_files(dir: &Path) -> Result<(Vec<std::path::PathBuf>, Vec<std::path::Pa
     Ok((ssl_files, x509_files))
 }
 
-fn read_ssl_shard(path: &Path) -> Result<Vec<SslRecord>, TsvError> {
-    let f = std::fs::File::open(path).map_err(TsvError::Io)?;
-    read_ssl_log(BufReader::new(f))
-}
-
-fn read_x509_shard(path: &Path) -> Result<Vec<X509Record>, TsvError> {
-    let f = std::fs::File::open(path).map_err(TsvError::Io)?;
-    read_x509_log(BufReader::new(f))
-}
-
 /// One parsed shard, tagged by kind so both log streams can share a
 /// single work queue.
 enum ParsedShard {
@@ -103,17 +97,77 @@ enum ParsedShard {
     X509(Vec<X509Record>),
 }
 
+fn shard_name(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
+}
+
+/// One shard's parse outcome: its accounting plus the records or the
+/// shard-level error.
+type ShardResult = (ShardDiag, Result<ParsedShard, TsvError>);
+
+/// Open and parse one shard, timing it and accounting rows/bytes into its
+/// [`ShardDiag`]. Shard-level failures (open, header) come back as `Err`;
+/// the caller either propagates them (strict) or quarantines (lenient).
+fn read_shard(path: &Path, is_ssl: bool, mode: IngestMode) -> ShardResult {
+    let t0 = std::time::Instant::now();
+    let mut diag = ShardDiag::new(shard_name(path));
+    let parsed = std::fs::File::open(path)
+        .map_err(TsvError::Io)
+        .and_then(|f| {
+            if is_ssl {
+                read_ssl_log_with(BufReader::new(f), mode, &mut diag).map(ParsedShard::Ssl)
+            } else {
+                read_x509_log_with(BufReader::new(f), mode, &mut diag).map(ParsedShard::X509)
+            }
+        });
+    diag.wall_micros = t0.elapsed().as_micros() as u64;
+    (diag, parsed)
+}
+
+/// Stitch per-shard results back in filename order. Strict mode surfaces
+/// the first shard error in that order (matching serial semantics);
+/// lenient mode quarantines failed shards and keeps going.
+fn stitch(
+    slots: Vec<ShardResult>,
+    mode: IngestMode,
+    stats: &mut IngestStats,
+) -> Result<(Vec<SslRecord>, Vec<X509Record>), TsvError> {
+    let mut ssl = Vec::new();
+    let mut x509 = Vec::new();
+    for (mut diag, parsed) in slots {
+        match parsed {
+            Ok(ParsedShard::Ssl(records)) => ssl.extend(records),
+            Ok(ParsedShard::X509(records)) => x509.extend(records),
+            Err(err) if mode == IngestMode::Lenient => diag.quarantine(&err),
+            Err(err) => return Err(err),
+        }
+        stats.absorb(diag);
+    }
+    Ok((ssl, x509))
+}
+
 /// Read a rotated directory back, concatenated in filename (chronological)
-/// order, parsing shard files concurrently.
+/// order, parsing shard files concurrently and reporting per-shard
+/// diagnostics.
 ///
 /// Each monthly shard is independent — parse work dominates I/O here — so
 /// shards are drained from one shared queue by a pool of scoped threads
 /// capped at [`std::thread::available_parallelism`] (a 23-month corpus is
 /// 46 files; spawning 46 threads on a small box costs more than it buys).
 /// Results are stitched back in sorted filename order, making the output
-/// byte-identical to [`read_monthly_serial`]; the first shard error (in
-/// that same order) is reported, matching serial semantics.
-pub fn read_monthly(dir: &Path) -> Result<(Vec<SslRecord>, Vec<X509Record>), TsvError> {
+/// byte-identical to [`read_monthly_serial_with`]; in strict mode the
+/// first shard error (in that same order) is reported, matching serial
+/// semantics, while lenient mode quarantines the failed shard and
+/// continues. Workers also fold their rows/bytes counters into shared
+/// relaxed atomics — one `fetch_add` batch per shard — which
+/// cross-checks the per-shard sums in the returned [`IngestStats`].
+pub fn read_monthly_with(
+    dir: &Path,
+    mode: IngestMode,
+) -> Result<(Vec<SslRecord>, Vec<X509Record>, IngestStats), TsvError> {
+    let t0 = std::time::Instant::now();
     let (ssl_files, x509_files) = shard_files(dir)?;
     let n_tasks = ssl_files.len() + x509_files.len();
     let workers = std::thread::available_parallelism()
@@ -121,67 +175,107 @@ pub fn read_monthly(dir: &Path) -> Result<(Vec<SslRecord>, Vec<X509Record>), Tsv
         .unwrap_or(1)
         .min(n_tasks);
     if workers <= 1 {
-        return read_monthly_serial(dir);
+        return read_monthly_serial_with(dir, mode);
     }
 
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let per_worker: Vec<Vec<(usize, Result<ParsedShard, TsvError>)>> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut done = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if i >= n_tasks {
-                                return done;
-                            }
-                            let parsed = if i < ssl_files.len() {
-                                read_ssl_shard(&ssl_files[i]).map(ParsedShard::Ssl)
-                            } else {
-                                read_x509_shard(&x509_files[i - ssl_files.len()])
-                                    .map(ParsedShard::X509)
-                            };
-                            done.push((i, parsed));
+    let next = AtomicUsize::new(0);
+    // Corpus-wide counters, shared by the pool: cheap because each worker
+    // adds a whole shard's counts at once, not per row.
+    let rows_parsed = AtomicU64::new(0);
+    let rows_skipped = AtomicU64::new(0);
+    let bytes_read = AtomicU64::new(0);
+    let per_worker: Vec<Vec<(usize, ShardResult)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_tasks {
+                            return done;
                         }
-                    })
+                        let (diag, parsed) = if i < ssl_files.len() {
+                            read_shard(&ssl_files[i], true, mode)
+                        } else {
+                            read_shard(&x509_files[i - ssl_files.len()], false, mode)
+                        };
+                        rows_parsed.fetch_add(diag.rows_parsed, Ordering::Relaxed);
+                        rows_skipped.fetch_add(diag.rows_skipped(), Ordering::Relaxed);
+                        bytes_read.fetch_add(diag.bytes_read, Ordering::Relaxed);
+                        done.push((i, (diag, parsed)));
+                    }
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard reader panicked"))
-                .collect()
-        });
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard reader panicked"))
+            .collect()
+    });
 
-    let mut slots: Vec<Option<Result<ParsedShard, TsvError>>> =
-        (0..n_tasks).map(|_| None).collect();
-    for (i, parsed) in per_worker.into_iter().flatten() {
-        slots[i] = Some(parsed);
+    let mut slots: Vec<Option<ShardResult>> = (0..n_tasks).map(|_| None).collect();
+    for (i, result) in per_worker.into_iter().flatten() {
+        slots[i] = Some(result);
     }
-    let mut ssl = Vec::new();
-    let mut x509 = Vec::new();
-    for slot in slots {
-        match slot.expect("every shard task ran")? {
-            ParsedShard::Ssl(records) => ssl.extend(records),
-            ParsedShard::X509(records) => x509.extend(records),
-        }
-    }
-    Ok((ssl, x509))
+    let mut stats = IngestStats {
+        mode,
+        ..IngestStats::default()
+    };
+    let ordered: Vec<_> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every shard task ran"))
+        .collect();
+    let (ssl, x509) = stitch(ordered, mode, &mut stats)?;
+    // The pool's atomic totals and the per-shard sums must agree; prefer
+    // the atomics (they are what a streaming consumer would watch).
+    debug_assert_eq!(stats.rows_parsed, rows_parsed.load(Ordering::Relaxed));
+    debug_assert_eq!(stats.rows_skipped, rows_skipped.load(Ordering::Relaxed));
+    stats.rows_parsed = rows_parsed.load(Ordering::Relaxed);
+    stats.rows_skipped = rows_skipped.load(Ordering::Relaxed);
+    stats.bytes_read = bytes_read.load(Ordering::Relaxed);
+    stats.wall_micros = t0.elapsed().as_micros() as u64;
+    Ok((ssl, x509, stats))
 }
 
-/// Serial reference reader: same contract as [`read_monthly`], one shard at
-/// a time. Kept as the equivalence baseline for tests and benchmarks.
-pub fn read_monthly_serial(dir: &Path) -> Result<(Vec<SslRecord>, Vec<X509Record>), TsvError> {
+/// Serial reference reader: same contract as [`read_monthly_with`], one
+/// shard at a time. Kept as the equivalence baseline for tests and
+/// benchmarks.
+pub fn read_monthly_serial_with(
+    dir: &Path,
+    mode: IngestMode,
+) -> Result<(Vec<SslRecord>, Vec<X509Record>, IngestStats), TsvError> {
+    let t0 = std::time::Instant::now();
     let (ssl_files, x509_files) = shard_files(dir)?;
+    let mut stats = IngestStats {
+        mode,
+        ..IngestStats::default()
+    };
     let mut ssl = Vec::new();
-    for path in &ssl_files {
-        ssl.extend(read_ssl_shard(path)?);
-    }
     let mut x509 = Vec::new();
-    for path in &x509_files {
-        x509.extend(read_x509_shard(path)?);
+    // One shard at a time, stopping at the first error in strict mode —
+    // the ordered-first-error semantics the parallel path reproduces.
+    let tasks = ssl_files
+        .iter()
+        .map(|p| (p, true))
+        .chain(x509_files.iter().map(|p| (p, false)));
+    for (path, is_ssl) in tasks {
+        let (diag, parsed) = read_shard(path, is_ssl, mode);
+        let (ssl_part, x509_part) = stitch(vec![(diag, parsed)], mode, &mut stats)?;
+        ssl.extend(ssl_part);
+        x509.extend(x509_part);
     }
-    Ok((ssl, x509))
+    stats.wall_micros = t0.elapsed().as_micros() as u64;
+    Ok((ssl, x509, stats))
+}
+
+/// Strict directory read (historical signature): first error aborts.
+pub fn read_monthly(dir: &Path) -> Result<(Vec<SslRecord>, Vec<X509Record>), TsvError> {
+    read_monthly_with(dir, IngestMode::Strict).map(|(ssl, x509, _)| (ssl, x509))
+}
+
+/// Strict serial directory read (historical signature).
+pub fn read_monthly_serial(dir: &Path) -> Result<(Vec<SslRecord>, Vec<X509Record>), TsvError> {
+    read_monthly_serial_with(dir, IngestMode::Strict).map(|(ssl, x509, _)| (ssl, x509))
 }
 
 #[cfg(test)]
@@ -238,6 +332,64 @@ mod tests {
         assert_eq!(month_key(MAY_2022 + 86_400.0 * 30.0), "2022-05");
         assert_eq!(month_key(JUN_2022), "2022-06");
         assert_eq!(month_key(0.0), "1970-01");
+    }
+
+    #[test]
+    fn month_keys_floor_pre_epoch_fractions() {
+        // Truncation (`ts as i64`) would bucket -0.5 into 1970-01; a
+        // fractional second before the epoch belongs to 1969-12.
+        assert_eq!(month_key(-0.5), "1969-12");
+        assert_eq!(month_key(-1.0), "1969-12");
+        assert_eq!(month_key(0.5), "1970-01");
+        // Whole pre-epoch days were already correct via div_euclid.
+        assert_eq!(month_key(-86_400.0), "1969-12");
+        assert_eq!(month_key(-86_400.0 * 31.0), "1969-12");
+        assert_eq!(month_key(-86_400.0 * 31.0 - 0.25), "1969-11");
+        // A deep pre-epoch timestamp (1756-12-28T23:59:59.5Z) lands in the
+        // right month.
+        assert_eq!(month_key(-6_721_833_600.0 - 0.5), "1756-12");
+    }
+
+    #[test]
+    fn lenient_quarantines_bad_shards_and_counts_rows() {
+        use crate::diag::ErrorKind;
+        let ssl = vec![ssl_at(MAY_2022, "a"), ssl_at(JUN_2022, "b")];
+        let x509 = vec![x509_at(MAY_2022, "f1"), x509_at(JUN_2022, "f2")];
+        let dir = std::env::temp_dir().join(format!("mtlscope-rotate4-{}", std::process::id()));
+        write_monthly(&dir, &ssl, &x509).unwrap();
+        // Corrupt the x509 May shard's #fields header.
+        let victim = dir.join("x509.2022-05.log");
+        let text = std::fs::read_to_string(&victim).unwrap();
+        std::fs::write(&victim, text.replace("#fields\tts", "#fields\tbogus")).unwrap();
+
+        // Strict: both paths fail with BadHeader.
+        assert!(matches!(read_monthly(&dir), Err(TsvError::BadHeader)));
+        assert!(matches!(
+            read_monthly_serial(&dir),
+            Err(TsvError::BadHeader)
+        ));
+
+        // Lenient: the shard is quarantined, everything else survives.
+        for read in [read_monthly_with, read_monthly_serial_with] {
+            let (ssl_rt, x509_rt, stats) = read(&dir, IngestMode::Lenient).unwrap();
+            assert_eq!(ssl_rt, ssl);
+            assert_eq!(x509_rt, vec![x509_at(JUN_2022, "f2")]);
+            assert_eq!(stats.shards_quarantined, 1);
+            assert_eq!(stats.rows_parsed, 3);
+            assert_eq!(stats.rows_skipped, 0);
+            let bad = stats
+                .shards
+                .iter()
+                .find(|d| d.quarantined.is_some())
+                .expect("quarantined shard diag");
+            assert_eq!(bad.shard, "x509.2022-05.log");
+            assert_eq!(bad.quarantined.as_ref().unwrap().kind, ErrorKind::BadHeader);
+            // Atomic totals agree with the per-shard sums.
+            let summed: u64 = stats.shards.iter().map(|d| d.rows_parsed).sum();
+            assert_eq!(stats.rows_parsed, summed);
+            assert!(stats.error_rate() > 0.0);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! separator, or newlines are escaped as `\xNN` on write and unescaped on
 //! read (Zeek itself forbids them; escaping keeps the round-trip total).
 
+use crate::diag::{IngestMode, ShardDiag};
 use crate::ip::Ipv4;
 use crate::records::{SslRecord, TlsVersion, X509Record};
 use std::borrow::Cow;
@@ -27,6 +28,10 @@ pub enum TsvError {
         line: usize,
         field: &'static str,
         value: String,
+    },
+    /// A data line is not valid UTF-8.
+    NonUtf8 {
+        line: usize,
     },
     /// The `#fields` header is missing or does not match the expected schema.
     BadHeader,
@@ -52,6 +57,7 @@ impl std::fmt::Display for TsvError {
             TsvError::BadField { line, field, value } => {
                 write!(f, "line {line}: bad value for {field}: {value:?}")
             }
+            TsvError::NonUtf8 { line } => write!(f, "line {line}: not valid UTF-8"),
             TsvError::BadHeader => write!(f, "missing or mismatched #fields header"),
         }
     }
@@ -64,7 +70,7 @@ const EMPTY: &str = "(empty)";
 
 /// Escape separator-colliding characters. The overwhelmingly common case —
 /// no collision — borrows the input instead of allocating.
-fn escape(s: &str) -> Cow<'_, str> {
+pub fn escape(s: &str) -> Cow<'_, str> {
     if !s.contains(['\t', '\n', '\r', ',', '\\']) {
         return Cow::Borrowed(s);
     }
@@ -84,7 +90,9 @@ fn escape(s: &str) -> Cow<'_, str> {
 
 /// Undo [`escape`]. Fields without `\xNN` sequences — nearly all of them —
 /// borrow the input; callers that need ownership pay exactly one copy.
-fn unescape(s: &str) -> Cow<'_, str> {
+/// Total on arbitrary input: malformed or truncated escape sequences pass
+/// through unchanged rather than erroring.
+pub fn unescape(s: &str) -> Cow<'_, str> {
     if !s.contains("\\x") {
         return Cow::Borrowed(s);
     }
@@ -362,29 +370,54 @@ impl<'a> LineParser<'a, '_> {
     }
 }
 
-/// Slice a buffered chunk into `(line_no, line)` data-line slices, checking
-/// the `#fields` header along the way. No per-line allocation: every entry
-/// borrows from `buf`, and the output vector is pre-sized from a newline
-/// count over the raw bytes.
-fn data_lines<'a>(
-    buf: &'a str,
+/// One data line, still raw bytes: lenient mode must survive (and count)
+/// non-UTF-8 garbage, so decoding is deferred to per-line parse time.
+struct RawLine<'a> {
+    /// 1-based line number within the shard.
+    no: usize,
+    /// Byte offset of the line start within the shard.
+    offset: u64,
+    bytes: &'a [u8],
+}
+
+/// Slice a raw buffer into data-line slices, checking the `#fields` header
+/// along the way. Header problems are reported in *both* modes — a shard
+/// whose schema cannot be verified is quarantined whole by the caller, not
+/// parsed on faith. No per-line allocation: every entry borrows from `buf`.
+fn raw_data_lines<'a>(
+    buf: &'a [u8],
     expected_fields: &[&str],
-) -> Result<Vec<(usize, &'a str)>, TsvError> {
-    let line_estimate = buf.bytes().filter(|&b| b == b'\n').count();
+) -> Result<Vec<RawLine<'a>>, TsvError> {
+    let line_estimate = buf.iter().filter(|&&b| b == b'\n').count();
     let mut out = Vec::with_capacity(line_estimate);
     let mut fields_seen = false;
-    for (idx, line) in buf.lines().enumerate() {
-        if let Some(rest) = line.strip_prefix("#fields\t") {
-            if !rest.split('\t').eq(expected_fields.iter().copied()) {
-                return Err(TsvError::BadHeader);
+    let mut offset = 0u64;
+    for (idx, chunk) in buf.split(|&b| b == b'\n').enumerate() {
+        let line_start = offset;
+        offset += chunk.len() as u64 + 1;
+        let line = match chunk.split_last() {
+            Some((b'\r', rest)) => rest,
+            _ => chunk,
+        };
+        if line.is_empty() {
+            continue;
+        }
+        if line[0] == b'#' {
+            if let Some(rest) = line.strip_prefix(b"#fields\t".as_slice()) {
+                // A non-UTF-8 #fields line cannot match any schema.
+                let rest = std::str::from_utf8(rest).map_err(|_| TsvError::BadHeader)?;
+                if !rest.split('\t').eq(expected_fields.iter().copied()) {
+                    return Err(TsvError::BadHeader);
+                }
+                fields_seen = true;
             }
-            fields_seen = true;
             continue;
         }
-        if line.starts_with('#') || line.is_empty() {
-            continue;
-        }
-        out.push((idx + 1, line));
+        out.push(RawLine {
+            no: idx + 1,
+            offset: line_start,
+            bytes: line,
+        });
     }
     if !fields_seen {
         return Err(TsvError::BadHeader);
@@ -392,11 +425,11 @@ fn data_lines<'a>(
     Ok(out)
 }
 
-/// Drain a reader into one contiguous buffer; the parsers then borrow
+/// Drain a reader into one contiguous byte buffer; the parsers then borrow
 /// line and column slices out of it instead of allocating per line.
-fn slurp<R: BufRead>(mut reader: R) -> Result<String, TsvError> {
-    let mut buf = String::new();
-    reader.read_to_string(&mut buf)?;
+fn slurp<R: BufRead>(mut reader: R) -> Result<Vec<u8>, TsvError> {
+    let mut buf = Vec::new();
+    reader.read_to_end(&mut buf)?;
     Ok(buf)
 }
 
@@ -420,75 +453,126 @@ fn split_cols<'a>(
     Ok(())
 }
 
-/// Read an `ssl.log` stream written by [`write_ssl_log`] (or real Zeek with
-/// the same field subset).
-pub fn read_ssl_log<R: BufRead>(reader: R) -> Result<Vec<SslRecord>, TsvError> {
-    let buf = slurp(reader)?;
-    let lines = data_lines(&buf, SSL_FIELDS)?;
-    let mut records = Vec::with_capacity(lines.len());
-    let mut cols: Vec<&str> = Vec::with_capacity(SSL_FIELDS.len());
-    for (line_no, line) in lines {
-        split_cols(&mut cols, line, line_no, SSL_FIELDS.len())?;
-        let p = LineParser {
-            cols: &cols,
-            line_no,
-        };
-        let version = TlsVersion::from_zeek_name(p.col(6)).ok_or_else(|| TsvError::BadField {
-            line: line_no,
-            field: "version",
-            value: p.col(6).to_string(),
-        })?;
-        records.push(SslRecord {
-            ts: p.parse(0, "ts")?,
-            uid: unescape(p.col(1)).into_owned(),
-            orig_h: p.ip(2, "id.orig_h")?,
-            orig_p: p.parse(3, "id.orig_p")?,
-            resp_h: p.ip(4, "id.resp_h")?,
-            resp_p: p.parse(5, "id.resp_p")?,
-            version,
-            server_name: parse_opt(p.col(7)),
-            established: p.boolean(8, "established")?,
-            cert_chain_fps: parse_vec(p.col(9)),
-            client_cert_chain_fps: parse_vec(p.col(10)),
-        });
-    }
-    Ok(records)
+/// Decode one raw data line and split it into columns.
+fn decode_line<'a>(
+    cols: &mut Vec<&'a str>,
+    raw: &RawLine<'a>,
+    expected: usize,
+) -> Result<(), TsvError> {
+    let line = std::str::from_utf8(raw.bytes).map_err(|_| TsvError::NonUtf8 { line: raw.no })?;
+    split_cols(cols, line, raw.no, expected)
 }
 
-/// Read an `x509.log` stream written by [`write_x509_log`].
+fn parse_ssl_line<'a>(cols: &mut Vec<&'a str>, raw: &RawLine<'a>) -> Result<SslRecord, TsvError> {
+    decode_line(cols, raw, SSL_FIELDS.len())?;
+    let p = LineParser {
+        cols,
+        line_no: raw.no,
+    };
+    let version = TlsVersion::from_zeek_name(p.col(6)).ok_or_else(|| TsvError::BadField {
+        line: raw.no,
+        field: "version",
+        value: p.col(6).to_string(),
+    })?;
+    Ok(SslRecord {
+        ts: p.parse(0, "ts")?,
+        uid: unescape(p.col(1)).into_owned(),
+        orig_h: p.ip(2, "id.orig_h")?,
+        orig_p: p.parse(3, "id.orig_p")?,
+        resp_h: p.ip(4, "id.resp_h")?,
+        resp_p: p.parse(5, "id.resp_p")?,
+        version,
+        server_name: parse_opt(p.col(7)),
+        established: p.boolean(8, "established")?,
+        cert_chain_fps: parse_vec(p.col(9)),
+        client_cert_chain_fps: parse_vec(p.col(10)),
+    })
+}
+
+fn parse_x509_line<'a>(cols: &mut Vec<&'a str>, raw: &RawLine<'a>) -> Result<X509Record, TsvError> {
+    decode_line(cols, raw, X509_FIELDS.len())?;
+    let p = LineParser {
+        cols,
+        line_no: raw.no,
+    };
+    Ok(X509Record {
+        ts: p.parse(0, "ts")?,
+        fingerprint: unescape(p.col(1)).into_owned(),
+        version: p.parse(2, "certificate.version")?,
+        serial: unescape(p.col(3)).into_owned(),
+        subject: unescape(p.col(4)).into_owned(),
+        issuer: unescape(p.col(5)).into_owned(),
+        issuer_org: parse_opt(p.col(6)),
+        subject_cn: parse_opt(p.col(7)),
+        not_valid_before: p.parse(8, "certificate.not_valid_before")?,
+        not_valid_after: p.parse(9, "certificate.not_valid_after")?,
+        key_alg: unescape(p.col(10)).into_owned(),
+        key_length: p.parse(11, "certificate.key_length")?,
+        sig_alg: unescape(p.col(12)).into_owned(),
+        san_dns: parse_vec(p.col(13)),
+        san_email: parse_vec(p.col(14)),
+        san_uri: parse_vec(p.col(15)),
+        san_ip: parse_vec(p.col(16)),
+        basic_constraints_ca: p.boolean(17, "basic_constraints.ca")?,
+    })
+}
+
+/// The mode-dispatching read loop shared by both log readers. Strict mode
+/// returns the first per-line error; lenient mode skips the line and
+/// records it in `diag`. Header and I/O errors propagate in both modes
+/// (the caller quarantines the shard in lenient mode).
+macro_rules! read_log_with {
+    ($reader:expr, $mode:expr, $diag:expr, $fields:expr, $parse:ident) => {{
+        let buf = slurp($reader)?;
+        $diag.bytes_read += buf.len() as u64;
+        let lines = raw_data_lines(&buf, $fields)?;
+        let mut records = Vec::with_capacity(lines.len());
+        let mut cols: Vec<&str> = Vec::with_capacity($fields.len());
+        for raw in &lines {
+            match $parse(&mut cols, raw) {
+                Ok(rec) => {
+                    $diag.rows_parsed += 1;
+                    records.push(rec);
+                }
+                Err(err) if $mode == IngestMode::Lenient => {
+                    $diag.record_skip(&err, raw.offset, raw.no, raw.bytes);
+                }
+                Err(err) => return Err(err),
+            }
+        }
+        Ok(records)
+    }};
+}
+
+/// Read an `ssl.log` stream written by [`write_ssl_log`] (or real Zeek with
+/// the same field subset), in the given mode, recording skip diagnostics
+/// into `diag`.
+pub fn read_ssl_log_with<R: BufRead>(
+    reader: R,
+    mode: IngestMode,
+    diag: &mut ShardDiag,
+) -> Result<Vec<SslRecord>, TsvError> {
+    read_log_with!(reader, mode, diag, SSL_FIELDS, parse_ssl_line)
+}
+
+/// Read an `x509.log` stream written by [`write_x509_log`], in the given
+/// mode, recording skip diagnostics into `diag`.
+pub fn read_x509_log_with<R: BufRead>(
+    reader: R,
+    mode: IngestMode,
+    diag: &mut ShardDiag,
+) -> Result<Vec<X509Record>, TsvError> {
+    read_log_with!(reader, mode, diag, X509_FIELDS, parse_x509_line)
+}
+
+/// Read an `ssl.log` stream strictly: the first malformed row aborts.
+pub fn read_ssl_log<R: BufRead>(reader: R) -> Result<Vec<SslRecord>, TsvError> {
+    read_ssl_log_with(reader, IngestMode::Strict, &mut ShardDiag::default())
+}
+
+/// Read an `x509.log` stream strictly: the first malformed row aborts.
 pub fn read_x509_log<R: BufRead>(reader: R) -> Result<Vec<X509Record>, TsvError> {
-    let buf = slurp(reader)?;
-    let lines = data_lines(&buf, X509_FIELDS)?;
-    let mut records = Vec::with_capacity(lines.len());
-    let mut cols: Vec<&str> = Vec::with_capacity(X509_FIELDS.len());
-    for (line_no, line) in lines {
-        split_cols(&mut cols, line, line_no, X509_FIELDS.len())?;
-        let p = LineParser {
-            cols: &cols,
-            line_no,
-        };
-        records.push(X509Record {
-            ts: p.parse(0, "ts")?,
-            fingerprint: unescape(p.col(1)).into_owned(),
-            version: p.parse(2, "certificate.version")?,
-            serial: unescape(p.col(3)).into_owned(),
-            subject: unescape(p.col(4)).into_owned(),
-            issuer: unescape(p.col(5)).into_owned(),
-            issuer_org: parse_opt(p.col(6)),
-            subject_cn: parse_opt(p.col(7)),
-            not_valid_before: p.parse(8, "certificate.not_valid_before")?,
-            not_valid_after: p.parse(9, "certificate.not_valid_after")?,
-            key_alg: unescape(p.col(10)).into_owned(),
-            key_length: p.parse(11, "certificate.key_length")?,
-            sig_alg: unescape(p.col(12)).into_owned(),
-            san_dns: parse_vec(p.col(13)),
-            san_email: parse_vec(p.col(14)),
-            san_uri: parse_vec(p.col(15)),
-            san_ip: parse_vec(p.col(16)),
-            basic_constraints_ca: p.boolean(17, "basic_constraints.ca")?,
-        });
-    }
-    Ok(records)
+    read_x509_log_with(reader, IngestMode::Strict, &mut ShardDiag::default())
 }
 
 #[cfg(test)]
@@ -638,6 +722,95 @@ mod tests {
         write_ssl_log(&mut buf, std::slice::from_ref(&rec)).unwrap();
         let parsed = read_ssl_log(Cursor::new(buf)).unwrap();
         assert_eq!(parsed, vec![rec]);
+    }
+
+    #[test]
+    fn lenient_skips_and_counts_malformed_rows() {
+        use crate::diag::ErrorKind;
+        let mut buf = Vec::new();
+        write_ssl_log(&mut buf, &[sample_ssl(), sample_ssl()]).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        // One short row, one bad field, and the good rows around them.
+        text.push_str("1.0\tonly_two\n");
+        text.push_str("notatime\tCx\t1.2.3.4\t1\t5.6.7.8\t443\tTLSv12\t-\tT\t(empty)\t(empty)\n");
+        let mut bytes = text.into_bytes();
+        // And one row with raw non-UTF-8 in the SNI column.
+        bytes.extend_from_slice(
+            b"2.0\tCy\t1.2.3.4\t1\t5.6.7.8\t443\tTLSv12\t\xFF\xFE\tT\t(empty)\t(empty)\n",
+        );
+
+        // Strict still aborts on the first bad row.
+        assert!(matches!(
+            read_ssl_log(Cursor::new(bytes.clone())),
+            Err(TsvError::ColumnCount { .. })
+        ));
+
+        let mut diag = ShardDiag::new("ssl.log");
+        let records =
+            read_ssl_log_with(Cursor::new(bytes.clone()), IngestMode::Lenient, &mut diag).unwrap();
+        assert_eq!(records.len(), 2, "only the two clean originals survive");
+        assert_eq!(diag.rows_parsed, 2);
+        assert_eq!(diag.rows_skipped(), 3);
+        assert_eq!(diag.skipped_of(ErrorKind::ColumnCount), 1);
+        assert_eq!(diag.skipped_of(ErrorKind::BadField), 1);
+        assert_eq!(diag.skipped_of(ErrorKind::NonUtf8), 1);
+        assert_eq!(diag.bytes_read, bytes.len() as u64);
+        // Samples carry line numbers and byte offsets pointing at the line.
+        assert_eq!(diag.samples.len(), 3);
+        let s = &diag.samples[0];
+        assert_eq!(
+            &bytes[s.byte_offset as usize..s.byte_offset as usize + 3],
+            b"1.0"
+        );
+        assert!(s.snippet.starts_with("1.0\tonly_two"));
+    }
+
+    #[test]
+    fn lenient_skips_whole_non_utf8_lines() {
+        use crate::diag::ErrorKind;
+        let mut buf = Vec::new();
+        write_ssl_log(&mut buf, &[sample_ssl()]).unwrap();
+        // Mangle the data row's timestamp bytes so the line cannot decode.
+        let pos = buf
+            .windows(4)
+            .position(|w| w == b"1651")
+            .expect("ts in data row");
+        buf[pos] = 0xFF;
+        buf[pos + 1] = 0xC0;
+        let mut diag = ShardDiag::new("ssl.log");
+        let records = read_ssl_log_with(Cursor::new(buf), IngestMode::Lenient, &mut diag).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(diag.skipped_of(ErrorKind::NonUtf8), 1);
+    }
+
+    #[test]
+    fn bad_header_fails_both_modes() {
+        let text = "#fields\tts\tnope\n1.0\tx\n";
+        let mut diag = ShardDiag::new("ssl.log");
+        assert!(matches!(
+            read_ssl_log_with(Cursor::new(text), IngestMode::Lenient, &mut diag),
+            Err(TsvError::BadHeader)
+        ));
+        // Strict header precedence is unchanged: a bad header anywhere in
+        // the shard wins over earlier bad rows.
+        let text = "#fields\tts\tnope\njunk\trow\n";
+        assert!(matches!(
+            read_ssl_log(Cursor::new(text)),
+            Err(TsvError::BadHeader)
+        ));
+    }
+
+    #[test]
+    fn lenient_equals_strict_on_clean_input() {
+        let records = vec![sample_ssl(), sample_ssl()];
+        let mut buf = Vec::new();
+        write_ssl_log(&mut buf, &records).unwrap();
+        let strict = read_ssl_log(Cursor::new(buf.clone())).unwrap();
+        let mut diag = ShardDiag::new("ssl.log");
+        let lenient = read_ssl_log_with(Cursor::new(buf), IngestMode::Lenient, &mut diag).unwrap();
+        assert_eq!(strict, lenient);
+        assert_eq!(diag.rows_skipped(), 0);
+        assert_eq!(diag.rows_parsed, 2);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Property tests: arbitrary records must round-trip through Zeek-TSV.
 
+use mtls_zeek::tsv::{escape, unescape};
 use mtls_zeek::{read_ssl_log, read_x509_log, write_ssl_log, write_x509_log};
 use mtls_zeek::{Ipv4, SslRecord, TlsVersion, X509Record};
 use proptest::prelude::*;
@@ -150,4 +151,59 @@ proptest! {
         }
         let _ = read_ssl_log(Cursor::new(text.into_bytes()));
     }
+}
+
+// Field escaping: `escape`/`unescape` are the layer every field crosses
+// twice, so they must be exact inverses on anything a record can hold, and
+// `unescape` must be total (never panic, never error) on anything a
+// corrupted disk can hold. The vendored proptest subset has no
+// `any::<String>()`, so SOUP is the stand-in: separators (a real embedded
+// tab/newline/CR), backslashes, hex digits dense enough to form accidental
+// `\xNN` sequences, punctuation, and multi-byte chars.
+const SOUP: &str = "[\t\n\r ,\\\\x0-9a-fA-F!\"#$%&'()*+./:;<=>?@^_`|~é中λ-]{0,60}";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn escape_round_trips_arbitrary_strings(s in SOUP) {
+        prop_assert_eq!(unescape(&escape(&s)).as_ref(), s.as_str());
+    }
+
+    #[test]
+    fn escape_round_trips_escape_lookalikes(s in "[\\\\x0-9a-fA-F]{0,24}") {
+        // Dense runs over {\, x, hex} form literal `\xNN`-looking text: a
+        // field that already contains the text "\x41" must come back as
+        // that text, not as "A".
+        prop_assert_eq!(unescape(&escape(&s)).as_ref(), s.as_str());
+    }
+
+    #[test]
+    fn escaped_output_is_separator_free(s in SOUP) {
+        let escaped = escape(&s);
+        prop_assert!(!escaped.contains(['\t', '\n', '\r', ',']), "{:?}", escaped);
+    }
+
+    #[test]
+    fn unescape_is_total_on_arbitrary_input(s in SOUP) {
+        let out = unescape(&s);
+        // No panic, and untouched input passes through verbatim.
+        if !s.contains("\\x") {
+            prop_assert_eq!(out.as_ref(), s.as_str());
+        }
+    }
+}
+
+#[test]
+fn unescape_passes_truncated_escapes_through() {
+    // Malformed or cut-off escape sequences — including at the very end of
+    // a field, where the old reader could index past the slice — survive
+    // verbatim.
+    for s in [
+        "\\", "\\x", "\\x4", "\\xZZ", "abc\\x", "abc\\x4", "\\x0g", "x\\",
+    ] {
+        assert_eq!(unescape(s).as_ref(), s, "{s:?}");
+    }
+    assert_eq!(unescape("\\x41\\x4").as_ref(), "A\\x4");
+    assert_eq!(unescape("\\x09end\\x").as_ref(), "\tend\\x");
 }

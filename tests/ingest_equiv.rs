@@ -1,11 +1,36 @@
 //! Sharded-ingest equivalence: the parallel directory loader must be an
 //! observationally exact replacement for the serial one — same records,
 //! same corpus, byte-identical rendered report — on a realistic rotated
-//! (23-month) log directory.
+//! (23-month) log directory. On a clean corpus the lenient loader must be
+//! observationally identical to the strict one; on a fault-injected corpus
+//! it must recover with exact, fully-accounted skip counts while strict
+//! keeps its first-error-in-shard-order contract.
 
-use mtlscope::core::ingest::{load_dir, load_dir_serial};
-use mtlscope::core::{run_pipeline, run_pipeline_parallel};
+use mtlscope::core::ingest::{load_dir, load_dir_serial, load_dir_serial_with, load_dir_with};
+use mtlscope::core::testutil::faults;
+use mtlscope::core::{run_pipeline, run_pipeline_parallel, IngestMode};
 use mtlscope::netsim::{generate, SimConfig};
+use mtlscope::zeek::ErrorKind;
+use std::path::{Path, PathBuf};
+
+/// Sorted shard paths for one log stream (`ssl` / `x509`) in `dir`.
+fn shards(dir: &Path, stream: &str) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read_dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(&format!("{stream}.")) && n.ends_with(".log"))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn shard_name(path: &Path) -> String {
+    path.file_name().unwrap().to_string_lossy().into_owned()
+}
 
 #[test]
 fn sharded_ingest_equals_serial_ingest_byte_for_byte() {
@@ -48,6 +73,158 @@ fn sharded_ingest_handles_unrotated_layout_too() {
     let serial = load_dir_serial(&dir).expect("serial ingest");
     assert_eq!(sharded.ssl, serial.ssl);
     assert_eq!(sharded.x509, serial.x509);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lenient_equals_strict_on_clean_corpus() {
+    let sim = generate(&SimConfig {
+        seed: 9101,
+        scale: 0.005,
+        ..Default::default()
+    });
+    let dir = std::env::temp_dir().join(format!("mtlscope-equiv-clean-{}", std::process::id()));
+    sim.write_to_dir_rotated(&dir).expect("write rotated logs");
+
+    let (strict, strict_diag) = load_dir_with(&dir, IngestMode::Strict).expect("strict ingest");
+    let (lenient, lenient_diag) = load_dir_with(&dir, IngestMode::Lenient).expect("lenient ingest");
+    let (lenient_serial, serial_diag) =
+        load_dir_serial_with(&dir, IngestMode::Lenient).expect("lenient serial ingest");
+
+    // Identical inputs, both against the strict parallel loader and
+    // between the lenient parallel and serial paths.
+    assert_eq!(strict.ssl, lenient.ssl);
+    assert_eq!(strict.x509, lenient.x509);
+    assert_eq!(lenient.ssl, lenient_serial.ssl);
+    assert_eq!(lenient.x509, lenient_serial.x509);
+
+    // A clean corpus produces zero skips in every ledger, and passes even
+    // the tightest error-rate guard.
+    for diag in [&strict_diag, &lenient_diag, &serial_diag] {
+        assert_eq!(diag.stats.rows_skipped, 0);
+        assert_eq!(diag.stats.shards_quarantined, 0);
+        assert_eq!(diag.meta_entries_skipped, 0);
+        assert_eq!(diag.error_rate(), 0.0);
+        diag.check_error_rate(0.0).expect("clean corpus passes");
+        assert_eq!(
+            diag.stats.rows_parsed,
+            (strict.ssl.len() + strict.x509.len()) as u64
+        );
+    }
+
+    // …and the full analysis renders byte-identically from either mode.
+    assert_eq!(
+        run_pipeline_parallel(strict).render_all(),
+        run_pipeline(lenient).render_all()
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lenient_recovers_from_injected_faults_with_exact_accounting() {
+    let sim = generate(&SimConfig {
+        seed: 9102,
+        scale: 0.005,
+        ..Default::default()
+    });
+    let dir = std::env::temp_dir().join(format!("mtlscope-equiv-fault-{}", std::process::id()));
+    sim.write_to_dir_rotated(&dir).expect("write rotated logs");
+    let clean = load_dir(&dir).expect("clean ingest");
+
+    let ssl_shards = shards(&dir, "ssl");
+    let x509_shards = shards(&dir, "x509");
+    assert!(ssl_shards.len() >= 2 && x509_shards.len() >= 2);
+
+    // Three row-level faults in the first ssl shard, at distinct lines and
+    // of distinct kinds, plus a header corruption that must quarantine one
+    // whole x509 shard.
+    let hurt_ssl = &ssl_shards[0];
+    let quarantined_x509 = &x509_shards[1];
+    let lost_rows = {
+        let f = std::fs::File::open(quarantined_x509).expect("open");
+        mtlscope::zeek::read_x509_log(std::io::BufReader::new(f))
+            .expect("victim shard parses before corruption")
+            .len()
+    };
+    assert!(lost_rows > 0, "victim shard must not be empty");
+    faults::truncate_line(hurt_ssl, 0);
+    faults::flip_field_byte(hurt_ssl, 2);
+    faults::inject_non_utf8(hurt_ssl, 4);
+    faults::corrupt_header(quarantined_x509);
+
+    // Strict aborts, and the parallel loader reports the same first error
+    // (in serial shard order: the ColumnCount on the first ssl shard's
+    // first data line, not the x509 header corruption further along).
+    let strict_par = load_dir_with(&dir, IngestMode::Strict).map(|_| ());
+    let strict_ser = load_dir_serial_with(&dir, IngestMode::Strict).map(|_| ());
+    let par_msg = strict_par.expect_err("strict must abort").to_string();
+    let ser_msg = strict_ser.expect_err("strict must abort").to_string();
+    assert_eq!(par_msg, ser_msg);
+    assert!(par_msg.contains("columns"), "{par_msg}");
+
+    // Lenient recovers: both paths, identical records, exact accounting.
+    for loader in [load_dir_with, load_dir_serial_with] {
+        let (inputs, diag) = loader(&dir, IngestMode::Lenient).expect("lenient ingest");
+        assert_eq!(inputs.ssl.len(), clean.ssl.len() - 3);
+        assert_eq!(inputs.x509.len(), clean.x509.len() - lost_rows);
+
+        assert_eq!(diag.stats.rows_skipped, 3);
+        assert_eq!(diag.stats.shards_quarantined, 1);
+        assert_eq!(
+            diag.stats.rows_parsed,
+            (inputs.ssl.len() + inputs.x509.len()) as u64
+        );
+
+        let hurt = diag
+            .stats
+            .shards
+            .iter()
+            .find(|d| d.shard == shard_name(hurt_ssl))
+            .expect("hurt shard in ledger");
+        assert_eq!(hurt.skipped_of(ErrorKind::ColumnCount), 1);
+        assert_eq!(hurt.skipped_of(ErrorKind::BadField), 1);
+        assert_eq!(hurt.skipped_of(ErrorKind::NonUtf8), 1);
+        assert_eq!(hurt.samples.len(), 3);
+        // Samples arrive in line order with real positions attached.
+        let kinds: Vec<ErrorKind> = hurt.samples.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ErrorKind::ColumnCount,
+                ErrorKind::BadField,
+                ErrorKind::NonUtf8
+            ]
+        );
+        assert!(hurt.samples.windows(2).all(|w| w[0].line < w[1].line));
+        assert!(hurt
+            .samples
+            .windows(2)
+            .all(|w| w[0].byte_offset < w[1].byte_offset));
+
+        let quarantined = diag
+            .stats
+            .shards
+            .iter()
+            .find(|d| d.quarantined.is_some())
+            .expect("quarantined shard in ledger");
+        assert_eq!(quarantined.shard, shard_name(quarantined_x509));
+        assert_eq!(
+            quarantined.quarantined.as_ref().unwrap().kind,
+            ErrorKind::BadHeader
+        );
+
+        // The guard trips at zero tolerance and passes above the rate.
+        assert!(diag.error_rate() > 0.0);
+        assert!(diag.check_error_rate(0.0).is_err());
+        assert!(diag.check_error_rate(1.0).is_ok());
+
+        // The rendering names the damage.
+        let rendered = diag.render();
+        assert!(rendered.contains(&shard_name(hurt_ssl)));
+        assert!(rendered.contains("quarantined"));
+    }
 
     std::fs::remove_dir_all(&dir).ok();
 }
