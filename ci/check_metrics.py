@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""CI gate for `repro --metrics`: asserts the metrics.json schema and that
+the span tree covers every pipeline stage with consistent durations.
+
+Usage: check_metrics.py obs-out/metrics.json
+"""
+import json
+import sys
+
+ANALYZERS = [
+    "prevalence", "cert_census", "ports", "cn_san_usage", "inbound",
+    "outbound_flows", "dummy_issuers", "cert_sharing", "serial_collisions",
+    "subnet_spread", "incorrect_dates", "validity", "expired",
+    "info_types_mtls", "unidentified", "info_types_shared_certs",
+    "info_types_non_mtls_servers", "audit", "tracking", "generalization",
+]
+
+REQUIRED_PATHS = [
+    "run",
+    "run/ingest",
+    "run/ingest/meta",
+    "run/ingest/ct",
+    "run/ingest/logs",
+    "run/pipeline",
+    "run/pipeline/interception_filter",
+    "run/pipeline/corpus_build",
+    "run/pipeline/analyze",
+    "run/pipeline/assemble",
+    "run/export",
+] + [f"run/pipeline/analyze/{name}" for name in ANALYZERS]
+
+SPAN_FIELDS = {"path", "name", "depth", "count", "total_micros",
+               "min_micros", "max_micros"}
+
+
+def fail(msg):
+    print(f"check_metrics: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    if doc.get("schema_version") != 1:
+        fail(f"schema_version {doc.get('schema_version')!r}, expected 1")
+    for key in ("spans", "counters", "gauges", "histograms"):
+        if key not in doc:
+            fail(f"missing top-level key {key!r}")
+
+    spans = {row["path"]: row for row in doc["spans"]}
+    for row in doc["spans"]:
+        if set(row) != SPAN_FIELDS:
+            fail(f"span row fields {sorted(row)} != {sorted(SPAN_FIELDS)}")
+        if row["count"] < 1 or row["min_micros"] > row["max_micros"]:
+            fail(f"degenerate span row: {row}")
+    for p in REQUIRED_PATHS:
+        if p not in spans:
+            fail(f"required span {p!r} missing (have {sorted(spans)})")
+    shard_spans = [p for p in spans if p.startswith("run/ingest/logs/")]
+    if not shard_spans:
+        fail("no per-shard spans under run/ingest/logs/")
+
+    # Durations must nest consistently: children never exceed their parent,
+    # in particular the top-level stages sum to at most the whole run.
+    for p, row in spans.items():
+        parent = p.rsplit("/", 1)[0]
+        if parent != p and spans[parent]["count"] == 1:
+            if row["total_micros"] > spans[parent]["total_micros"]:
+                fail(f"span {p} ({row['total_micros']}us) exceeds its "
+                     f"parent ({spans[parent]['total_micros']}us)")
+    top_sum = sum(r["total_micros"] for p, r in spans.items()
+                  if p.count("/") == 1)
+    if top_sum > spans["run"]["total_micros"]:
+        fail(f"top-level spans sum to {top_sum}us > run "
+             f"{spans['run']['total_micros']}us")
+
+    counters = doc["counters"]
+    if counters.get("ingest.rows_parsed", 0) <= 0:
+        fail("counter ingest.rows_parsed missing or zero")
+    if counters.get("export.files", 0) <= 0:
+        fail("counter export.files missing or zero")
+
+    print(f"check_metrics: ok — {len(spans)} spans "
+          f"({len(shard_spans)} shards), {len(counters)} counters, "
+          f"{len(doc['gauges'])} gauges, {len(doc['histograms'])} histograms")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        fail("usage: check_metrics.py METRICS_JSON")
+    main(sys.argv[1])

@@ -12,9 +12,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mtls_bench::{sim_output, BENCH_SCALE};
-use mtls_core::ingest::{load_dir, load_dir_serial};
-use mtls_core::pipeline::{build_corpus, AnalysisInputs};
+use mtls_core::ingest::{load_dir, load_dir_obs, load_dir_serial};
+use mtls_core::pipeline::{build_corpus, build_corpus_obs, AnalysisInputs};
+use mtls_core::IngestMode;
 use mtls_intern::{FxHashMap, Interner, Symbol};
+use mtls_obs::Obs;
 use std::collections::HashMap;
 use std::hint::black_box;
 use std::path::PathBuf;
@@ -216,6 +218,17 @@ fn bench_ingest_end_to_end(c: &mut Criterion) {
         b.iter(|| {
             let inputs = load_dir(dir).expect("sharded ingest");
             black_box(build_corpus(inputs).certs.len())
+        })
+    });
+    // The same path with a live Obs handle (span tree + batched counters +
+    // histograms); the gap to the arm above is the instrumentation cost the
+    // obs_overhead bin guards (< 3%, recorded in BENCH_obs.json).
+    group.bench_function("sharded_load_dir_to_corpus_instrumented", |b| {
+        b.iter(|| {
+            let obs = Obs::new();
+            let (inputs, _diag) =
+                load_dir_obs(dir, IngestMode::Strict, &obs, None).expect("sharded ingest");
+            black_box(build_corpus_obs(inputs, &obs, None).certs.len())
         })
     });
     group.finish();

@@ -4,6 +4,7 @@
 //!   repro [--seed N] [--scale F] [--logs DIR] [--out FILE] [--tsv DIR]
 //!         [--from-logs DIR] [--strict | --lenient]
 //!         [--max-error-rate FRACTION]
+//!         [--metrics[=PATH]] [--progress] [--quiet]
 //!
 //! `--from-logs DIR` skips generation and analyzes an existing log
 //! directory (unrotated or monthly-rotated, with meta.tsv and ct.log).
@@ -12,13 +13,27 @@
 //! ingest diagnostics with the report. `--max-error-rate 0.01` aborts a
 //! lenient run whose skipped fraction exceeds 1%.
 //!
+//! Observability:
+//! * `--metrics` instruments the whole run (spans, counters, histograms)
+//!   and writes `metrics.json` + `metrics.tsv` — into `--tsv DIR` when
+//!   given, else the current directory; `--metrics=PATH` overrides (a
+//!   `*.json` path names the JSON file, anything else a directory). The
+//!   run summary is also appended to the report.
+//! * `--progress` prints a periodic heartbeat (elapsed time + counters)
+//!   to stderr while the run is going.
+//! * `--quiet` silences all status output — progress and informational
+//!   lines — but never errors.
+//!
 //! Generates a synthetic corpus (or uses `--logs DIR` written earlier by
 //! the simulator), runs the full analysis pipeline, and prints every
 //! report. With `--out`, also writes the rendering to a file.
 
-use mtls_core::{run_pipeline_parallel, AnalysisInputs, IngestMode};
-use mtls_netsim::{generate, SimConfig};
+use mtls_core::{run_pipeline_parallel_obs, AnalysisInputs, IngestMode};
+use mtls_netsim::{generate_obs, SimConfig};
+use mtls_obs::{heartbeat, Console, Obs};
 use std::io::Write;
+use std::path::PathBuf;
+use std::time::Duration;
 
 struct Args {
     config: SimConfig,
@@ -28,6 +43,11 @@ struct Args {
     from_logs: Option<String>,
     mode: IngestMode,
     max_error_rate: Option<f64>,
+    /// `None` = metrics off; `Some(None)` = on, default location;
+    /// `Some(Some(path))` = on, explicit location.
+    metrics: Option<Option<String>>,
+    progress: bool,
+    quiet: bool,
 }
 
 fn parse_args() -> Args {
@@ -38,6 +58,9 @@ fn parse_args() -> Args {
     let mut from_logs = None;
     let mut mode = IngestMode::Strict;
     let mut max_error_rate = None;
+    let mut metrics = None;
+    let mut progress = false;
+    let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -70,16 +93,24 @@ fn parse_args() -> Args {
                 );
                 max_error_rate = Some(rate);
             }
+            "--metrics" => metrics = Some(None),
+            "--progress" => progress = true,
+            "--quiet" => quiet = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--seed N] [--scale F] [--logs DIR] [--out FILE] [--tsv DIR] \
-                     [--from-logs DIR] [--strict | --lenient] [--max-error-rate FRACTION]"
+                     [--from-logs DIR] [--strict | --lenient] [--max-error-rate FRACTION] \
+                     [--metrics[=PATH]] [--progress] [--quiet]"
                 );
                 std::process::exit(0);
             }
             other => {
-                eprintln!("unknown argument: {other}");
-                std::process::exit(2);
+                if let Some(path) = other.strip_prefix("--metrics=") {
+                    metrics = Some(Some(path.to_string()));
+                } else {
+                    eprintln!("unknown argument: {other}");
+                    std::process::exit(2);
+                }
             }
         }
     }
@@ -91,91 +122,167 @@ fn parse_args() -> Args {
         from_logs,
         mode,
         max_error_rate,
+        metrics,
+        progress,
+        quiet,
     }
+}
+
+/// Where `metrics.json` and `metrics.tsv` land: an explicit `*.json` path
+/// names the JSON file (the TSV goes next to it), any other explicit path
+/// is a directory; with no explicit path they join the TSV export dir (so
+/// the metrics sit next to `ingest_diagnostics.tsv`), else the cwd.
+fn metrics_paths(args: &Args) -> Option<(PathBuf, PathBuf)> {
+    let spec = args.metrics.as_ref()?;
+    Some(match spec {
+        Some(path) => {
+            let p = PathBuf::from(path);
+            if p.extension().is_some_and(|e| e == "json") {
+                let tsv = p.with_file_name("metrics.tsv");
+                (p, tsv)
+            } else {
+                (p.join("metrics.json"), p.join("metrics.tsv"))
+            }
+        }
+        None => {
+            let base = args
+                .tsv_dir
+                .as_deref()
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("."));
+            (base.join("metrics.json"), base.join("metrics.tsv"))
+        }
+    })
 }
 
 fn main() {
     let args = parse_args();
+    let console = Console::new(args.quiet);
+    // Progress needs live counters, so either flag turns instrumentation
+    // on; otherwise every obs call routes through the shared no-op handle.
+    let obs = if args.metrics.is_some() || args.progress {
+        Obs::new()
+    } else {
+        Obs::noop()
+    };
+    let run_span = obs.span(None, "run");
+    let run_id = run_span.id();
+    let hb = args
+        .progress
+        .then(|| heartbeat(obs.clone(), console, Duration::from_secs(2)));
 
     let mut ingest_diag = None;
     let inputs = if let Some(dir) = &args.from_logs {
-        eprintln!("loading logs from {dir} ({} mode)...", args.mode.label());
-        let (inputs, diag) = mtls_core::ingest::load_dir_with(std::path::Path::new(dir), args.mode)
-            .unwrap_or_else(|e| {
-                eprintln!("failed to load {dir}: {e}");
-                std::process::exit(1);
-            });
-        eprintln!(
+        console.status(format!(
+            "loading logs from {dir} ({} mode)...",
+            args.mode.label()
+        ));
+        let (inputs, diag) =
+            mtls_core::ingest::load_dir_obs(std::path::Path::new(dir), args.mode, &obs, run_id)
+                .unwrap_or_else(|e| {
+                    console.error(format!("failed to load {dir}: {e}"));
+                    std::process::exit(1);
+                });
+        console.status(format!(
             "  {} connections, {} unique certificates",
             inputs.ssl.len(),
             inputs.x509.len()
-        );
+        ));
         if diag.has_problems() {
-            eprintln!(
+            console.status(format!(
                 "  skipped {} rows, quarantined {} shards, skipped {} meta entries (rate {:.6})",
                 diag.stats.rows_skipped,
                 diag.stats.shards_quarantined,
                 diag.meta_entries_skipped,
                 diag.error_rate()
-            );
+            ));
         }
         if let Some(max) = args.max_error_rate {
             if let Err(e) = diag.check_error_rate(max) {
-                eprintln!("aborting: {e}");
+                console.error(format!("aborting: {e}"));
                 std::process::exit(1);
             }
         }
         ingest_diag = Some(diag);
         inputs
     } else {
-        let config = args.config;
+        let config = &args.config;
         let t0 = std::time::Instant::now();
-        eprintln!(
+        console.status(format!(
             "generating corpus (seed={}, scale={})...",
             config.seed, config.scale
-        );
-        let sim = generate(&config);
-        eprintln!(
+        ));
+        let sim = generate_obs(config, &obs, run_id);
+        console.status(format!(
             "  {} connections, {} unique certificates in {:?}",
             sim.ssl.len(),
             sim.x509.len(),
             t0.elapsed()
-        );
+        ));
         if let Some(dir) = &args.logs_dir {
             sim.write_to_dir(std::path::Path::new(dir))
                 .expect("write logs");
-            eprintln!("  Zeek-format logs written to {dir}");
+            console.status(format!("  Zeek-format logs written to {dir}"));
         }
         AnalysisInputs::from_sim(sim)
     };
 
     let t1 = std::time::Instant::now();
-    eprintln!("running analysis pipeline...");
-    let output = run_pipeline_parallel(inputs);
-    eprintln!("  analyzed in {:?}", t1.elapsed());
+    console.status("running analysis pipeline...");
+    let output = run_pipeline_parallel_obs(inputs, &obs, run_id);
+    console.status(format!("  analyzed in {:?}", t1.elapsed()));
 
     if let Some(dir) = &args.tsv_dir {
         let dir_path = std::path::Path::new(dir);
-        mtls_core::export::write_tsv(&output, dir_path).expect("write TSVs");
+        mtls_core::export::write_tsv_obs(&output, dir_path, &obs, run_id).expect("write TSVs");
         if let Some(diag) = &ingest_diag {
             mtls_core::export::write_ingest_tsv(diag, dir_path).expect("write ingest TSV");
         }
-        eprintln!("per-experiment TSVs written to {dir}");
+        console.status(format!("per-experiment TSVs written to {dir}"));
     }
 
     let mut rendering = String::new();
     // The ledger (which carries wall times) goes into the report only for
     // lenient loads; the default strict path stays byte-identical to the
-    // generation path so round-trip checks keep working.
-    if let Some(diag) = ingest_diag.filter(|d| d.mode == IngestMode::Lenient) {
-        rendering.push_str(&diag.render());
-        rendering.push('\n');
+    // generation path so round-trip checks keep working — unless metrics
+    // were requested, in which case the stage timings (and nothing else:
+    // a strict load that finished is clean) join the report.
+    if let Some(diag) = &ingest_diag {
+        if diag.mode == IngestMode::Lenient {
+            rendering.push_str(&diag.render());
+            rendering.push('\n');
+        } else if args.metrics.is_some() {
+            rendering.push_str(&diag.render_stage_times());
+            rendering.push('\n');
+        }
     }
     rendering.push_str(&output.render_all());
+
+    // Close the run span, stop the heartbeat, and sink the metrics. The
+    // snapshot happens after the root span closes so `run` carries the
+    // end-to-end wall time every other span is compared against.
+    drop(hb);
+    run_span.finish();
+    if let Some((json_path, tsv_path)) = metrics_paths(&args) {
+        let snap = obs.snapshot();
+        rendering.push_str(&snap.render_summary());
+        rendering.push('\n');
+        if let Some(parent) = json_path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent).expect("create metrics dir");
+        }
+        std::fs::write(&json_path, snap.to_json()).expect("write metrics.json");
+        std::fs::write(&tsv_path, snap.to_tsv()).expect("write metrics.tsv");
+        console.status(format!(
+            "metrics written to {} and {}",
+            json_path.display(),
+            tsv_path.display()
+        ));
+    }
+
     println!("{rendering}");
     if let Some(path) = args.out_file {
         let mut f = std::fs::File::create(&path).expect("create output file");
         f.write_all(rendering.as_bytes()).expect("write output");
-        eprintln!("report written to {path}");
+        console.status(format!("report written to {path}"));
     }
 }

@@ -3,24 +3,53 @@
 
 use crate::ingest::IngestDiagnostics;
 use crate::pipeline::PipelineOutput;
+use mtls_obs::{Obs, SpanId};
 use mtls_zeek::ERROR_KINDS;
 use std::io::Write;
 use std::path::Path;
 
-fn write_file(dir: &Path, name: &str, header: &str, rows: Vec<Vec<String>>) -> std::io::Result<()> {
+/// Write one TSV file and return the number of bytes written (header and
+/// rows, one trailing newline each) for the export byte counters.
+fn write_file(
+    dir: &Path,
+    name: &str,
+    header: &str,
+    rows: Vec<Vec<String>>,
+) -> std::io::Result<u64> {
     let mut f = std::io::BufWriter::new(std::fs::File::create(dir.join(name))?);
+    let mut bytes = header.len() as u64 + 1;
     writeln!(f, "{header}")?;
     for row in rows {
-        writeln!(f, "{}", row.join("\t"))?;
+        let line = row.join("\t");
+        bytes += line.len() as u64 + 1;
+        writeln!(f, "{line}")?;
     }
-    Ok(())
+    Ok(bytes)
 }
 
 /// Write every experiment's data under `dir` (created if missing).
 pub fn write_tsv(out: &PipelineOutput, dir: &Path) -> std::io::Result<()> {
+    write_tsv_obs(out, dir, &Obs::noop(), None)
+}
+
+/// [`write_tsv`] with observability: an `export` span under `parent` plus
+/// file and byte counters.
+pub fn write_tsv_obs(
+    out: &PipelineOutput,
+    dir: &Path,
+    obs: &Obs,
+    parent: Option<SpanId>,
+) -> std::io::Result<()> {
+    let span = obs.span(parent, "export");
+    let mut files = 0u64;
+    let mut bytes = 0u64;
+    let mut track = |written: u64| {
+        files += 1;
+        bytes += written;
+    };
     std::fs::create_dir_all(dir)?;
 
-    write_file(
+    track(write_file(
         dir,
         "fig1_prevalence.tsv",
         "month\tmtls_in\tmtls_out\tnon_mtls_sampled\tmtls_share",
@@ -37,9 +66,9 @@ pub fn write_tsv(out: &PipelineOutput, dir: &Path) -> std::io::Result<()> {
                 ]
             })
             .collect(),
-    )?;
+    )?);
 
-    write_file(
+    track(write_file(
         dir,
         "tab1_census.tsv",
         "category\ttotal\tmtls",
@@ -61,7 +90,7 @@ pub fn write_tsv(out: &PipelineOutput, dir: &Path) -> std::io::Result<()> {
             ]
         })
         .collect(),
-    )?;
+    )?);
 
     let port_rows = |cell: &crate::analyze::ports::RankedPorts, label: &str| {
         cell.ranked
@@ -80,9 +109,14 @@ pub fn write_tsv(out: &PipelineOutput, dir: &Path) -> std::io::Result<()> {
     rows.extend(port_rows(&out.tab2.outbound_mtls, "outbound_mtls"));
     rows.extend(port_rows(&out.tab2.inbound_plain, "inbound_plain"));
     rows.extend(port_rows(&out.tab2.outbound_plain, "outbound_plain"));
-    write_file(dir, "tab2_ports.tsv", "cell\tport\tconns\tshare", rows)?;
+    track(write_file(
+        dir,
+        "tab2_ports.tsv",
+        "cell\tport\tconns\tshare",
+        rows,
+    )?);
 
-    write_file(
+    track(write_file(
         dir,
         "tab3_inbound.tsv",
         "association\tconn_share\tclient_share\tprimary_issuer\tprimary_share",
@@ -105,9 +139,9 @@ pub fn write_tsv(out: &PipelineOutput, dir: &Path) -> std::io::Result<()> {
                 ]
             })
             .collect(),
-    )?;
+    )?);
 
-    write_file(
+    track(write_file(
         dir,
         "fig2_flows.tsv",
         "tld\tserver_issuer\tclient_issuer\tconns",
@@ -123,9 +157,9 @@ pub fn write_tsv(out: &PipelineOutput, dir: &Path) -> std::io::Result<()> {
                 ]
             })
             .collect(),
-    )?;
+    )?);
 
-    write_file(
+    track(write_file(
         dir,
         "ser1_collisions.tsv",
         "issuer\tserial\tclient_certs\tserver_certs\tconns\tclients\tmedian_validity_days",
@@ -144,9 +178,9 @@ pub fn write_tsv(out: &PipelineOutput, dir: &Path) -> std::io::Result<()> {
                 ]
             })
             .collect(),
-    )?;
+    )?);
 
-    write_file(
+    track(write_file(
         dir,
         "fig3_incorrect_dates.tsv",
         "sld\tside\tissuer\tnot_before_year\tnot_after_year\tcerts\tclients\tduration_days",
@@ -166,9 +200,9 @@ pub fn write_tsv(out: &PipelineOutput, dir: &Path) -> std::io::Result<()> {
                 ]
             })
             .collect(),
-    )?;
+    )?);
 
-    write_file(
+    track(write_file(
         dir,
         "fig4_validity.tsv",
         "bucket_days\tpublic\tprivate",
@@ -179,9 +213,9 @@ pub fn write_tsv(out: &PipelineOutput, dir: &Path) -> std::io::Result<()> {
                 vec![label.clone(), public.to_string(), private.to_string()]
             })
             .collect(),
-    )?;
+    )?);
 
-    write_file(
+    track(write_file(
         dir,
         "fig5_expired.tsv",
         "days_expired\tactivity_days\tpublic\tinbound\tissuer",
@@ -198,9 +232,9 @@ pub fn write_tsv(out: &PipelineOutput, dir: &Path) -> std::io::Result<()> {
                 ]
             })
             .collect(),
-    )?;
+    )?);
 
-    write_file(
+    track(write_file(
         dir,
         "ext1_audit.tsv",
         "violation\tconnections",
@@ -209,9 +243,9 @@ pub fn write_tsv(out: &PipelineOutput, dir: &Path) -> std::io::Result<()> {
             .iter()
             .map(|(v, n)| vec![v.label().to_string(), n.to_string()])
             .collect(),
-    )?;
+    )?);
 
-    write_file(
+    track(write_file(
         dir,
         "gen1_generalization.tsv",
         "metric\tmeasured\tpaper",
@@ -242,9 +276,9 @@ pub fn write_tsv(out: &PipelineOutput, dir: &Path) -> std::io::Result<()> {
                 "0.4086".into(),
             ],
         ],
-    )?;
+    )?);
 
-    write_file(
+    track(write_file(
         dir,
         "ext2_tracking.tsv",
         "fingerprint\twindow_days\tsource_ips\tsource_subnets\tidentifies_user",
@@ -261,8 +295,13 @@ pub fn write_tsv(out: &PipelineOutput, dir: &Path) -> std::io::Result<()> {
                 ]
             })
             .collect(),
-    )?;
+    )?);
 
+    span.finish();
+    if obs.enabled() {
+        obs.counter_add("export.files", files);
+        obs.counter_add("export.bytes", bytes);
+    }
     Ok(())
 }
 
@@ -341,7 +380,7 @@ pub fn write_ingest_tsv(diag: &IngestDiagnostics, dir: &Path) -> std::io::Result
     total.push(diag.total_micros.to_string());
     rows.push(total);
 
-    write_file(dir, "ingest_diagnostics.tsv", &header, rows)
+    write_file(dir, "ingest_diagnostics.tsv", &header, rows).map(|_| ())
 }
 
 #[cfg(test)]

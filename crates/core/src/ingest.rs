@@ -21,11 +21,11 @@
 use crate::corpus::MetaKnowledge;
 use crate::pipeline::AnalysisInputs;
 use crate::report::{count, fmt_micros, Table};
+use mtls_obs::{Obs, SpanId};
 use mtls_pki::ctlog::{CtEntry, CtLog};
 use mtls_zeek::{IngestMode, IngestStats, Ipv4, ShardDiag, TsvError, ERROR_KINDS};
 use std::io::BufReader;
 use std::path::Path;
-use std::time::Instant;
 
 /// Errors from loading a log directory.
 #[derive(Debug)]
@@ -222,6 +222,22 @@ impl IngestDiagnostics {
         }
         out
     }
+
+    /// Just the per-stage wall-time block, for runs that want timings
+    /// without the full diagnostics (strict mode with `--metrics`: the
+    /// skip/quarantine tables are irrelevant — a strict load that finished
+    /// is clean by construction — but the stage timings still matter).
+    pub fn render_stage_times(&self) -> String {
+        let mut t = Table::new("Ingest stage wall time", &["stage", "wall"]);
+        t.row(vec!["meta.tsv".into(), fmt_micros(self.meta_micros)]);
+        t.row(vec!["ct.log".into(), fmt_micros(self.ct_micros)]);
+        t.row(vec![
+            format!("zeek logs ({} shards)", self.stats.shards.len()),
+            fmt_micros(self.logs_micros),
+        ]);
+        t.row(vec!["total".into(), fmt_micros(self.total_micros)]);
+        t.render()
+    }
 }
 
 /// Parse `addr/prefix` with a decimal prefix no wider than 32 bits. A
@@ -233,8 +249,13 @@ fn parse_net(entry: &str) -> Option<(Ipv4, u8)> {
     Some((Ipv4::parse(addr)?, prefix))
 }
 
-fn parse_meta(path: &Path, mode: IngestMode) -> Result<(MetaKnowledge, MetaDiag), IngestError> {
-    let start = Instant::now();
+fn parse_meta(
+    path: &Path,
+    mode: IngestMode,
+    obs: &Obs,
+    parent: Option<SpanId>,
+) -> Result<(MetaKnowledge, MetaDiag), IngestError> {
+    let span = obs.span(parent, "meta");
     let text = std::fs::read_to_string(path)?;
     // One pass over the file into a key → value map (first occurrence
     // wins, matching the old first-match scan).
@@ -294,7 +315,12 @@ fn parse_meta(path: &Path, mode: IngestMode) -> Result<(MetaKnowledge, MetaDiag)
             .parse()
             .map_err(|_| IngestError::BadMeta("non_mtls_weight".into()))?,
     };
-    diag.wall_micros = start.elapsed().as_micros() as u64;
+    diag.wall_micros = span.finish().as_micros() as u64;
+    if obs.enabled() {
+        obs.counter("ingest.meta_entries_skipped")
+            .add(diag.entries_skipped);
+        obs.gauge_set("ingest.cloud_nets", meta.cloud_nets.len() as i64);
+    }
     Ok((meta, diag))
 }
 
@@ -325,21 +351,34 @@ type SingletonReader<T> =
 /// Open and parse one singleton log (`ssl.log` / `x509.log`), timing it and
 /// accounting rows into a fresh [`ShardDiag`]. Open failures surface as
 /// `TsvError::Io` so the caller's quarantine logic sees one error type.
+///
+/// Instrumented like the rotated shard readers: one span named after the
+/// file, one batched counter add per file — so a singleton layout and a
+/// rotated layout produce the same kind of span tree and metric totals.
 fn read_singleton<T>(
     path: &Path,
     mode: IngestMode,
     read: SingletonReader<T>,
+    obs: &Obs,
+    parent: Option<SpanId>,
 ) -> (ShardDiag, Result<Vec<T>, TsvError>) {
     let name = path
         .file_name()
         .map(|s| s.to_string_lossy().into_owned())
         .unwrap_or_else(|| path.display().to_string());
-    let start = Instant::now();
     let mut diag = ShardDiag::new(name);
+    let span = obs.span(parent, &diag.shard);
     let result = std::fs::File::open(path)
         .map_err(TsvError::from)
         .and_then(|f| read(BufReader::new(f), mode, &mut diag));
-    diag.wall_micros = start.elapsed().as_micros() as u64;
+    diag.wall_micros = span.finish().as_micros() as u64;
+    if obs.enabled() {
+        obs.counter("ingest.rows_parsed").add(diag.rows_parsed);
+        obs.counter("ingest.rows_skipped").add(diag.rows_skipped());
+        obs.counter("ingest.bytes_read").add(diag.bytes_read);
+        obs.histogram_record("ingest.shard_parse_micros", diag.wall_micros);
+        obs.gauge_max("ingest.peak_shard_rows", diag.rows_parsed as i64);
+    }
     (diag, result)
 }
 
@@ -377,24 +416,63 @@ pub fn load_dir_with(
     dir: &Path,
     mode: IngestMode,
 ) -> Result<(AnalysisInputs, IngestDiagnostics), IngestError> {
-    let total = Instant::now();
-    std::thread::scope(|s| {
-        let meta_handle = s.spawn(move || parse_meta(&dir.join("meta.tsv"), mode));
+    load_dir_obs(dir, mode, &Obs::noop(), None)
+}
+
+/// Fold the finished load into run-level throughput metrics: rows/sec and
+/// bytes/sec gauges derived from the logs stage wall time. (Gauges, not
+/// counters — they are rates of this run, and serial/sharded twins of the
+/// same corpus legitimately differ here.)
+fn record_throughput(obs: &Obs, diag: &IngestDiagnostics) {
+    if !obs.enabled() || diag.logs_micros == 0 {
+        return;
+    }
+    let per_sec = |n: u64| (n as f64 * 1_000_000.0 / diag.logs_micros as f64) as i64;
+    obs.gauge_set("ingest.rows_per_sec", per_sec(diag.stats.rows_parsed));
+    obs.gauge_set("ingest.bytes_per_sec", per_sec(diag.stats.bytes_read));
+}
+
+/// [`load_dir_with`] with observability: the load records an `ingest` span
+/// under `parent` with `meta` / `ct` / `logs` children (and one grandchild
+/// per shard), batched row/byte counters, a shard parse-latency histogram,
+/// and derived throughput gauges. The span durations are also what fills
+/// the wall-time fields of [`IngestDiagnostics`], so the diagnostics keep
+/// their shape whether or not `obs` is enabled.
+pub fn load_dir_obs(
+    dir: &Path,
+    mode: IngestMode,
+    obs: &Obs,
+    parent: Option<SpanId>,
+) -> Result<(AnalysisInputs, IngestDiagnostics), IngestError> {
+    let ingest_span = obs.span(parent, "ingest");
+    let ingest_id = ingest_span.id();
+    let result = std::thread::scope(|s| {
+        let meta_handle = s.spawn(move || parse_meta(&dir.join("meta.tsv"), mode, obs, ingest_id));
         let ct_handle = s.spawn(move || {
-            let t = Instant::now();
-            (
-                parse_ct(&dir.join("ct.log")),
-                t.elapsed().as_micros() as u64,
-            )
+            let span = obs.span(ingest_id, "ct");
+            let res = parse_ct(&dir.join("ct.log"));
+            (res, span.finish().as_micros() as u64)
         });
 
-        let t_logs = Instant::now();
+        let logs_span = obs.span(ingest_id, "logs");
+        let logs_id = logs_span.id();
         let logs = if dir.join("ssl.log").exists() {
             let ssl_handle = s.spawn(move || {
-                read_singleton(&dir.join("ssl.log"), mode, mtls_zeek::read_ssl_log_with)
+                read_singleton(
+                    &dir.join("ssl.log"),
+                    mode,
+                    mtls_zeek::read_ssl_log_with,
+                    obs,
+                    logs_id,
+                )
             });
-            let (x_diag, x_res) =
-                read_singleton(&dir.join("x509.log"), mode, mtls_zeek::read_x509_log_with);
+            let (x_diag, x_res) = read_singleton(
+                &dir.join("x509.log"),
+                mode,
+                mtls_zeek::read_x509_log_with,
+                obs,
+                logs_id,
+            );
             let (s_diag, s_res) = ssl_handle.join().expect("ssl reader panicked");
             // Stitch in serial order (ssl before x509) so strict mode's
             // first-error choice matches load_dir_serial_with exactly.
@@ -408,9 +486,9 @@ pub fn load_dir_with(
                 Ok((ssl, x509, stats))
             })()
         } else {
-            mtls_zeek::read_monthly_with(dir, mode).map_err(IngestError::from)
+            mtls_zeek::read_monthly_obs(dir, mode, obs, logs_id).map_err(IngestError::from)
         };
-        let logs_micros = t_logs.elapsed().as_micros() as u64;
+        let logs_micros = logs_span.finish().as_micros() as u64;
 
         // Surface errors in the serial loader's order: meta, ct, logs.
         let (meta, meta_diag) = meta_handle.join().expect("meta parser panicked")?;
@@ -426,7 +504,7 @@ pub fn load_dir_with(
             meta_micros: meta_diag.wall_micros,
             ct_micros,
             logs_micros,
-            total_micros: total.elapsed().as_micros() as u64,
+            total_micros: 0, // stamped below, once the ingest span closes
         };
         Ok((
             AnalysisInputs {
@@ -437,6 +515,12 @@ pub fn load_dir_with(
             },
             diagnostics,
         ))
+    });
+    let total_micros = ingest_span.finish().as_micros() as u64;
+    result.map(|(inputs, mut diag)| {
+        diag.total_micros = total_micros;
+        record_throughput(obs, &diag);
+        (inputs, diag)
     })
 }
 
@@ -446,50 +530,82 @@ pub fn load_dir_serial_with(
     dir: &Path,
     mode: IngestMode,
 ) -> Result<(AnalysisInputs, IngestDiagnostics), IngestError> {
-    let total = Instant::now();
-    let (meta, meta_diag) = parse_meta(&dir.join("meta.tsv"), mode)?;
-    let t_ct = Instant::now();
-    let ct = parse_ct(&dir.join("ct.log"))?;
-    let ct_micros = t_ct.elapsed().as_micros() as u64;
+    load_dir_serial_obs(dir, mode, &Obs::noop(), None)
+}
 
-    let t_logs = Instant::now();
-    let (ssl, x509, mut stats) = if dir.join("ssl.log").exists() {
-        let mut stats = IngestStats {
-            mode,
-            ..IngestStats::default()
+/// [`load_dir_serial_with`] with the same observability as
+/// [`load_dir_obs`]: the two must produce identical span rows and counter
+/// totals on a clean corpus (durations aside).
+pub fn load_dir_serial_obs(
+    dir: &Path,
+    mode: IngestMode,
+    obs: &Obs,
+    parent: Option<SpanId>,
+) -> Result<(AnalysisInputs, IngestDiagnostics), IngestError> {
+    let ingest_span = obs.span(parent, "ingest");
+    let ingest_id = ingest_span.id();
+    let result = (|| {
+        let (meta, meta_diag) = parse_meta(&dir.join("meta.tsv"), mode, obs, ingest_id)?;
+        let ct_span = obs.span(ingest_id, "ct");
+        let ct = parse_ct(&dir.join("ct.log"))?;
+        let ct_micros = ct_span.finish().as_micros() as u64;
+
+        let logs_span = obs.span(ingest_id, "logs");
+        let logs_id = logs_span.id();
+        let (ssl, x509, mut stats) = if dir.join("ssl.log").exists() {
+            let mut stats = IngestStats {
+                mode,
+                ..IngestStats::default()
+            };
+            let (s_diag, s_res) = read_singleton(
+                &dir.join("ssl.log"),
+                mode,
+                mtls_zeek::read_ssl_log_with,
+                obs,
+                logs_id,
+            );
+            let ssl = stitch_singleton(mode, s_diag, s_res, &mut stats)?;
+            let (x_diag, x_res) = read_singleton(
+                &dir.join("x509.log"),
+                mode,
+                mtls_zeek::read_x509_log_with,
+                obs,
+                logs_id,
+            );
+            let x509 = stitch_singleton(mode, x_diag, x_res, &mut stats)?;
+            (ssl, x509, stats)
+        } else {
+            mtls_zeek::read_monthly_serial_obs(dir, mode, obs, logs_id)?
         };
-        let (s_diag, s_res) =
-            read_singleton(&dir.join("ssl.log"), mode, mtls_zeek::read_ssl_log_with);
-        let ssl = stitch_singleton(mode, s_diag, s_res, &mut stats)?;
-        let (x_diag, x_res) =
-            read_singleton(&dir.join("x509.log"), mode, mtls_zeek::read_x509_log_with);
-        let x509 = stitch_singleton(mode, x_diag, x_res, &mut stats)?;
-        (ssl, x509, stats)
-    } else {
-        mtls_zeek::read_monthly_serial_with(dir, mode)?
-    };
-    let logs_micros = t_logs.elapsed().as_micros() as u64;
-    stats.wall_micros = logs_micros;
+        let logs_micros = logs_span.finish().as_micros() as u64;
+        stats.wall_micros = logs_micros;
 
-    let diagnostics = IngestDiagnostics {
-        mode,
-        stats,
-        meta_entries_skipped: meta_diag.entries_skipped,
-        meta_samples: meta_diag.samples,
-        meta_micros: meta_diag.wall_micros,
-        ct_micros,
-        logs_micros,
-        total_micros: total.elapsed().as_micros() as u64,
-    };
-    Ok((
-        AnalysisInputs {
-            ssl,
-            x509,
-            ct,
-            meta,
-        },
-        diagnostics,
-    ))
+        let diagnostics = IngestDiagnostics {
+            mode,
+            stats,
+            meta_entries_skipped: meta_diag.entries_skipped,
+            meta_samples: meta_diag.samples,
+            meta_micros: meta_diag.wall_micros,
+            ct_micros,
+            logs_micros,
+            total_micros: 0, // stamped below, once the ingest span closes
+        };
+        Ok((
+            AnalysisInputs {
+                ssl,
+                x509,
+                ct,
+                meta,
+            },
+            diagnostics,
+        ))
+    })();
+    let total_micros = ingest_span.finish().as_micros() as u64;
+    result.map(|(inputs, mut diag): (AnalysisInputs, IngestDiagnostics)| {
+        diag.total_micros = total_micros;
+        record_throughput(obs, &diag);
+        (inputs, diag)
+    })
 }
 
 /// Strict [`load_dir_with`] without the diagnostics — the historical API.

@@ -45,6 +45,9 @@ pub mod report_ascii;
 pub mod testutil;
 
 pub use corpus::{Corpus, Direction, ServerAssociation};
-pub use ingest::{IngestDiagnostics, IngestError};
+pub use ingest::{load_dir_obs, load_dir_serial_obs, IngestDiagnostics, IngestError};
 pub use mtls_zeek::IngestMode;
-pub use pipeline::{run_pipeline, run_pipeline_parallel, AnalysisInputs, PipelineOutput};
+pub use pipeline::{
+    build_corpus_obs, run_pipeline, run_pipeline_obs, run_pipeline_parallel,
+    run_pipeline_parallel_obs, AnalysisInputs, PipelineOutput,
+};

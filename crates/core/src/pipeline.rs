@@ -3,6 +3,7 @@
 use crate::analyze;
 use crate::corpus::{Corpus, MetaKnowledge};
 use mtls_intern::{FxHashMap, FxHashSet, Interner, Symbol};
+use mtls_obs::{Obs, SpanId};
 use mtls_pki::CtLog;
 use mtls_zeek::{SslRecord, X509Record};
 
@@ -181,22 +182,44 @@ impl PipelineOutput {
 /// Interception filter → interned corpus, shared by both pipeline
 /// entrypoints.
 pub fn build_corpus(inputs: AnalysisInputs) -> Corpus {
+    build_corpus_obs(inputs, &Obs::noop(), None)
+}
+
+/// [`build_corpus`] with observability: `interception_filter` and
+/// `corpus_build` spans under `parent`, plus the corpus-size gauges
+/// (certs, connections, interned strings) and interception counters.
+pub fn build_corpus_obs(inputs: AnalysisInputs, obs: &Obs, parent: Option<SpanId>) -> Corpus {
     let mut interner = Interner::with_capacity(inputs.x509.len());
-    let (excluded, issuers) = interception::filter(
-        &inputs.ssl,
-        &inputs.x509,
-        &inputs.ct,
-        &inputs.meta,
-        &mut interner,
-    );
-    Corpus::build(
-        inputs.ssl,
-        inputs.x509,
-        inputs.meta,
-        &excluded,
-        issuers,
-        interner,
-    )
+    let (excluded, issuers) = obs.time(parent, "interception_filter", || {
+        interception::filter(
+            &inputs.ssl,
+            &inputs.x509,
+            &inputs.ct,
+            &inputs.meta,
+            &mut interner,
+        )
+    });
+    let corpus = obs.time(parent, "corpus_build", || {
+        Corpus::build(
+            inputs.ssl,
+            inputs.x509,
+            inputs.meta,
+            &excluded,
+            issuers,
+            interner,
+        )
+    });
+    if obs.enabled() {
+        obs.counter_add(
+            "interception.issuers_flagged",
+            corpus.interception_issuers.len() as u64,
+        );
+        obs.counter_add("interception.certs_excluded", corpus.excluded_certs as u64);
+        obs.gauge_set("corpus.certs", corpus.certs.len() as i64);
+        obs.gauge_set("corpus.conns", corpus.conns.len() as i64);
+        obs.gauge_set("corpus.interned_strings", corpus.interner().len() as i64);
+    }
+    corpus
 }
 
 /// One report per analyzer — the intermediate the assembly helper folds
@@ -224,11 +247,45 @@ struct Reports {
     gen1: analyze::generalization::Report,
 }
 
+/// Key result sizes of every report, exported as gauges so a metrics
+/// consumer can sanity-check a run without parsing the rendered tables.
+/// Gauges (not counters): they are corpus facts, identical however the
+/// analyzers were scheduled — which is exactly what the serial/parallel
+/// equivalence test leans on.
+fn record_report_gauges(obs: &Obs, out: &PipelineOutput) {
+    if !obs.enabled() {
+        return;
+    }
+    let g = |name: &str, v: usize| obs.gauge_set(name, v as i64);
+    g("analyze.prevalence.months", out.fig1.months.len());
+    g("analyze.cert_census.certs", out.tab1.all.total);
+    g("analyze.inbound.conns", out.tab3.total_conns);
+    g("analyze.outbound_flows.conns", out.fig2.total);
+    g("analyze.serial_collisions.groups", out.ser1.groups.len());
+    g("analyze.cert_sharing.shared_certs", out.tab5.shared_certs);
+    g(
+        "analyze.subnet_spread.cross_shared_certs",
+        out.tab6.cross_shared_certs,
+    );
+    g("analyze.incorrect_dates.certs", out.fig3.total_certs);
+    g("analyze.validity.very_long", out.fig4.very_long);
+    g("analyze.expired.points", out.fig5.points.len());
+    g("analyze.audit.flagged_conns", out.ext1.flagged_conns);
+    g("analyze.tracking.trackable", out.ext2.trackable);
+    g("analyze.interception.issuers", out.pre1.issuers.len());
+    g(
+        "analyze.interception.excluded_certs",
+        out.pre1.excluded_certs,
+    );
+}
+
 /// The single assembly point for [`PipelineOutput`] (the interception
 /// report runs here because it reads corpus-level preprocessing state,
 /// not analyzer output).
-fn assemble(corpus: Corpus, r: Reports) -> PipelineOutput {
-    let pre1 = analyze::interception_report::run(&corpus);
+fn assemble(corpus: Corpus, r: Reports, obs: &Obs, parent: Option<SpanId>) -> PipelineOutput {
+    let pre1 = obs.time(parent, "assemble", || {
+        analyze::interception_report::run(&corpus)
+    });
     PipelineOutput {
         fig1: r.fig1,
         tab1: r.tab1,
@@ -259,49 +316,74 @@ fn assemble(corpus: Corpus, r: Reports) -> PipelineOutput {
 /// `ablate_parallel` bench measures ~2x on this corpus shape). Produces
 /// output identical to [`run_pipeline`].
 pub fn run_pipeline_parallel(inputs: AnalysisInputs) -> PipelineOutput {
-    let corpus = build_corpus(inputs);
+    run_pipeline_parallel_obs(inputs, &Obs::noop(), None)
+}
 
+/// [`run_pipeline_parallel`] with observability: a `pipeline` span under
+/// `parent` containing the corpus-construction spans, an `analyze` span
+/// with one child per analyzer (recorded from whichever worker thread ran
+/// it — the tree aggregates by name, so the rows match the serial twin),
+/// the `assemble` span, and per-report result gauges.
+pub fn run_pipeline_parallel_obs(
+    inputs: AnalysisInputs,
+    obs: &Obs,
+    parent: Option<SpanId>,
+) -> PipelineOutput {
+    let pipeline_span = obs.span(parent, "pipeline");
+    let pid = pipeline_span.id();
+    let corpus = build_corpus_obs(inputs, obs, pid);
+
+    let analyze_span = obs.span(pid, "analyze");
+    let aid = analyze_span.id();
     let (shard1, shard2, shard3, shard4, shard5) = std::thread::scope(|s| {
         let c = &corpus;
         // Group analyzers into a handful of similarly-sized shards.
         let h1 = s.spawn(move || {
             (
-                analyze::prevalence::run(c),
-                analyze::cert_census::run(c),
-                analyze::ports::run(c),
-                analyze::cn_san_usage::run(c),
+                obs.time(aid, "prevalence", || analyze::prevalence::run(c)),
+                obs.time(aid, "cert_census", || analyze::cert_census::run(c)),
+                obs.time(aid, "ports", || analyze::ports::run(c)),
+                obs.time(aid, "cn_san_usage", || analyze::cn_san_usage::run(c)),
             )
         });
         let h2 = s.spawn(move || {
             (
-                analyze::inbound::run(c),
-                analyze::outbound_flows::run(c),
-                analyze::dummy_issuers::run(c),
-                analyze::cert_sharing::run(c),
+                obs.time(aid, "inbound", || analyze::inbound::run(c)),
+                obs.time(aid, "outbound_flows", || analyze::outbound_flows::run(c)),
+                obs.time(aid, "dummy_issuers", || analyze::dummy_issuers::run(c)),
+                obs.time(aid, "cert_sharing", || analyze::cert_sharing::run(c)),
             )
         });
         let h3 = s.spawn(move || {
             (
-                analyze::serial_collisions::run(c),
-                analyze::subnet_spread::run(c),
-                analyze::incorrect_dates::run(c),
-                analyze::validity::run(c),
-                analyze::expired::run(c),
+                obs.time(aid, "serial_collisions", || {
+                    analyze::serial_collisions::run(c)
+                }),
+                obs.time(aid, "subnet_spread", || analyze::subnet_spread::run(c)),
+                obs.time(aid, "incorrect_dates", || analyze::incorrect_dates::run(c)),
+                obs.time(aid, "validity", || analyze::validity::run(c)),
+                obs.time(aid, "expired", || analyze::expired::run(c)),
             )
         });
         let h4 = s.spawn(move || {
             (
-                analyze::info_types::run(c, analyze::info_types::Slice::Mtls),
-                analyze::unidentified::run(c),
-                analyze::info_types::run(c, analyze::info_types::Slice::SharedCerts),
-                analyze::info_types::run(c, analyze::info_types::Slice::NonMtlsServers),
+                obs.time(aid, "info_types_mtls", || {
+                    analyze::info_types::run(c, analyze::info_types::Slice::Mtls)
+                }),
+                obs.time(aid, "unidentified", || analyze::unidentified::run(c)),
+                obs.time(aid, "info_types_shared_certs", || {
+                    analyze::info_types::run(c, analyze::info_types::Slice::SharedCerts)
+                }),
+                obs.time(aid, "info_types_non_mtls_servers", || {
+                    analyze::info_types::run(c, analyze::info_types::Slice::NonMtlsServers)
+                }),
             )
         });
         let h5 = s.spawn(move || {
             (
-                analyze::audit::run(c),
-                analyze::tracking::run(c),
-                analyze::generalization::run(c),
+                obs.time(aid, "audit", || analyze::audit::run(c)),
+                obs.time(aid, "tracking", || analyze::tracking::run(c)),
+                obs.time(aid, "generalization", || analyze::generalization::run(c)),
             )
         });
 
@@ -313,6 +395,7 @@ pub fn run_pipeline_parallel(inputs: AnalysisInputs) -> PipelineOutput {
             h5.join().expect("shard 5"),
         )
     });
+    analyze_span.finish();
     let (fig1, tab1, tab2, tab7) = shard1;
     let (tab3, fig2, tab4, tab5) = shard2;
     let (ser1, tab6, fig3, fig4, fig5) = shard3;
@@ -340,36 +423,75 @@ pub fn run_pipeline_parallel(inputs: AnalysisInputs) -> PipelineOutput {
         ext2,
         gen1,
     };
-    assemble(corpus, reports)
+    let out = assemble(corpus, reports, obs, pid);
+    pipeline_span.finish();
+    record_report_gauges(obs, &out);
+    out
 }
 
 /// Run the full pipeline serially (reference implementation; prefer
 /// [`run_pipeline_parallel`]).
 pub fn run_pipeline(inputs: AnalysisInputs) -> PipelineOutput {
-    let corpus = build_corpus(inputs);
+    run_pipeline_obs(inputs, &Obs::noop(), None)
+}
+
+/// [`run_pipeline`] with the same span tree and gauges as
+/// [`run_pipeline_parallel_obs`] — one analyzer at a time.
+pub fn run_pipeline_obs(
+    inputs: AnalysisInputs,
+    obs: &Obs,
+    parent: Option<SpanId>,
+) -> PipelineOutput {
+    let pipeline_span = obs.span(parent, "pipeline");
+    let pid = pipeline_span.id();
+    let corpus = build_corpus_obs(inputs, obs, pid);
+    let analyze_span = obs.span(pid, "analyze");
+    let aid = analyze_span.id();
     let reports = Reports {
-        fig1: analyze::prevalence::run(&corpus),
-        tab1: analyze::cert_census::run(&corpus),
-        tab2: analyze::ports::run(&corpus),
-        tab3: analyze::inbound::run(&corpus),
-        fig2: analyze::outbound_flows::run(&corpus),
-        tab4: analyze::dummy_issuers::run(&corpus),
-        ser1: analyze::serial_collisions::run(&corpus),
-        tab5: analyze::cert_sharing::run(&corpus),
-        tab6: analyze::subnet_spread::run(&corpus),
-        fig3: analyze::incorrect_dates::run(&corpus),
-        fig4: analyze::validity::run(&corpus),
-        fig5: analyze::expired::run(&corpus),
-        tab7: analyze::cn_san_usage::run(&corpus),
-        tab8: analyze::info_types::run(&corpus, analyze::info_types::Slice::Mtls),
-        tab9: analyze::unidentified::run(&corpus),
-        tab13: analyze::info_types::run(&corpus, analyze::info_types::Slice::SharedCerts),
-        tab14: analyze::info_types::run(&corpus, analyze::info_types::Slice::NonMtlsServers),
-        ext1: analyze::audit::run(&corpus),
-        ext2: analyze::tracking::run(&corpus),
-        gen1: analyze::generalization::run(&corpus),
+        fig1: obs.time(aid, "prevalence", || analyze::prevalence::run(&corpus)),
+        tab1: obs.time(aid, "cert_census", || analyze::cert_census::run(&corpus)),
+        tab2: obs.time(aid, "ports", || analyze::ports::run(&corpus)),
+        tab3: obs.time(aid, "inbound", || analyze::inbound::run(&corpus)),
+        fig2: obs.time(aid, "outbound_flows", || {
+            analyze::outbound_flows::run(&corpus)
+        }),
+        tab4: obs.time(aid, "dummy_issuers", || {
+            analyze::dummy_issuers::run(&corpus)
+        }),
+        ser1: obs.time(aid, "serial_collisions", || {
+            analyze::serial_collisions::run(&corpus)
+        }),
+        tab5: obs.time(aid, "cert_sharing", || analyze::cert_sharing::run(&corpus)),
+        tab6: obs.time(aid, "subnet_spread", || {
+            analyze::subnet_spread::run(&corpus)
+        }),
+        fig3: obs.time(aid, "incorrect_dates", || {
+            analyze::incorrect_dates::run(&corpus)
+        }),
+        fig4: obs.time(aid, "validity", || analyze::validity::run(&corpus)),
+        fig5: obs.time(aid, "expired", || analyze::expired::run(&corpus)),
+        tab7: obs.time(aid, "cn_san_usage", || analyze::cn_san_usage::run(&corpus)),
+        tab8: obs.time(aid, "info_types_mtls", || {
+            analyze::info_types::run(&corpus, analyze::info_types::Slice::Mtls)
+        }),
+        tab9: obs.time(aid, "unidentified", || analyze::unidentified::run(&corpus)),
+        tab13: obs.time(aid, "info_types_shared_certs", || {
+            analyze::info_types::run(&corpus, analyze::info_types::Slice::SharedCerts)
+        }),
+        tab14: obs.time(aid, "info_types_non_mtls_servers", || {
+            analyze::info_types::run(&corpus, analyze::info_types::Slice::NonMtlsServers)
+        }),
+        ext1: obs.time(aid, "audit", || analyze::audit::run(&corpus)),
+        ext2: obs.time(aid, "tracking", || analyze::tracking::run(&corpus)),
+        gen1: obs.time(aid, "generalization", || {
+            analyze::generalization::run(&corpus)
+        }),
     };
-    assemble(corpus, reports)
+    analyze_span.finish();
+    let out = assemble(corpus, reports, obs, pid);
+    pipeline_span.finish();
+    record_report_gauges(obs, &out);
+    out
 }
 
 #[cfg(test)]

@@ -54,30 +54,55 @@ pub use config::SimConfig;
 pub use emit::{Emitter, SimMeta, SimOutput};
 pub use world::World;
 
+use mtls_obs::{Obs, SpanId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Run the full simulation: build the world, run every scenario, and return
 /// the logs plus the out-of-band metadata the analysis pipeline needs.
 pub fn generate(config: &SimConfig) -> SimOutput {
+    generate_obs(config, &Obs::noop(), None)
+}
+
+/// [`generate`] with observability: a `netsim_generate` span under
+/// `parent` with `world_build`, one `scenario_*` child per scenario, and
+/// `emit_finish`, plus output-size counters. Instrumentation never touches
+/// the RNG, so the corpus stays bit-identical for a given `(seed, scale)`.
+pub fn generate_obs(config: &SimConfig, obs: &Obs, parent: Option<SpanId>) -> SimOutput {
+    let span = obs.span(parent, "netsim_generate");
+    let gid = span.id();
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let world = World::build(config, &mut rng);
+    let world = obs.time(gid, "world_build", || World::build(config, &mut rng));
     let mut emitter = Emitter::new(config, &world);
 
-    scenarios::inbound::run(config, &world, &mut emitter, &mut rng);
-    scenarios::outbound::run(config, &world, &mut emitter, &mut rng);
-    scenarios::webrtc::run(config, &world, &mut emitter, &mut rng);
-    scenarios::privservers::run(config, &world, &mut emitter, &mut rng);
-    scenarios::tunnel::run(config, &world, &mut emitter, &mut rng);
-    scenarios::dummies::run(config, &world, &mut emitter, &mut rng);
-    scenarios::serials::run(config, &world, &mut emitter, &mut rng);
-    scenarios::sharing::run(config, &world, &mut emitter, &mut rng);
-    scenarios::dates::run(config, &world, &mut emitter, &mut rng);
-    scenarios::expired::run(config, &world, &mut emitter, &mut rng);
-    scenarios::nonmtls::run(config, &world, &mut emitter, &mut rng);
-    scenarios::interception::run(config, &world, &mut emitter, &mut rng);
+    macro_rules! scenario {
+        ($name:ident) => {
+            obs.time(gid, concat!("scenario_", stringify!($name)), || {
+                scenarios::$name::run(config, &world, &mut emitter, &mut rng)
+            })
+        };
+    }
+    scenario!(inbound);
+    scenario!(outbound);
+    scenario!(webrtc);
+    scenario!(privservers);
+    scenario!(tunnel);
+    scenario!(dummies);
+    scenario!(serials);
+    scenario!(sharing);
+    scenario!(dates);
+    scenario!(expired);
+    scenario!(nonmtls);
+    scenario!(interception);
 
-    emitter.finish(&world)
+    let out = obs.time(gid, "emit_finish", || emitter.finish(&world));
+    span.finish();
+    if obs.enabled() {
+        obs.counter_add("netsim.ssl_records", out.ssl.len() as u64);
+        obs.counter_add("netsim.x509_records", out.x509.len() as u64);
+        obs.counter_add("netsim.ct_entries", out.ct.len() as u64);
+    }
+    out
 }
 
 #[cfg(test)]

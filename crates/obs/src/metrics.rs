@@ -1,0 +1,178 @@
+//! The metrics registry: named counters, gauges, and log2-bucketed
+//! histograms.
+//!
+//! Registration (name → cell) takes a short mutex hold; the cells
+//! themselves are relaxed atomics, matching the `IngestStats` pattern in
+//! `mtls-zeek` — hot paths fetch a [`Counter`] handle once and then
+//! increment lock-free. Batched updates (one `add` per shard, not per row)
+//! keep the instrumentation overhead unmeasurable.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of log2 histogram buckets: bucket 0 holds the value 0, bucket
+/// `i ≥ 1` holds values in `[2^(i-1), 2^i)`, and the last bucket absorbs
+/// everything beyond.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+#[derive(Debug)]
+pub(crate) struct HistogramCell {
+    pub count: AtomicU64,
+    pub sum: AtomicU64,
+    pub buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramCell {
+    fn default() -> HistogramCell {
+        HistogramCell {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Bucket index of a value: 0 for 0, else `floor(log2(v)) + 1`.
+pub(crate) fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// The registry: three name-keyed maps (BTreeMap, so every snapshot comes
+/// out sorted) of shared atomic cells.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    pub counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    pub gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    pub histograms: Mutex<BTreeMap<String, Arc<HistogramCell>>>,
+}
+
+impl Registry {
+    pub fn counter_cell(&self, name: &str) -> Arc<AtomicU64> {
+        let mut map = self.counters.lock().expect("counter registry poisoned");
+        match map.get(name) {
+            Some(cell) => Arc::clone(cell),
+            None => {
+                let cell = Arc::new(AtomicU64::new(0));
+                map.insert(name.to_string(), Arc::clone(&cell));
+                cell
+            }
+        }
+    }
+
+    pub fn gauge_cell(&self, name: &str) -> Arc<AtomicI64> {
+        let mut map = self.gauges.lock().expect("gauge registry poisoned");
+        match map.get(name) {
+            Some(cell) => Arc::clone(cell),
+            None => {
+                let cell = Arc::new(AtomicI64::new(0));
+                map.insert(name.to_string(), Arc::clone(&cell));
+                cell
+            }
+        }
+    }
+
+    pub fn histogram_cell(&self, name: &str) -> Arc<HistogramCell> {
+        let mut map = self.histograms.lock().expect("histogram registry poisoned");
+        match map.get(name) {
+            Some(cell) => Arc::clone(cell),
+            None => {
+                let cell = Arc::new(HistogramCell::default());
+                map.insert(name.to_string(), Arc::clone(&cell));
+                cell
+            }
+        }
+    }
+}
+
+/// A lock-free handle to one named counter. Cheap to clone; disabled
+/// handles (from a no-op [`Obs`](crate::Obs)) drop every update.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    pub(crate) cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// Add `n` (relaxed; totals are folded at snapshot time).
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+/// One histogram bucket as exported: values in `[lo, hi)` (the zero bucket
+/// is `[0, 1)`), `n` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramBucket {
+    pub lo: u64,
+    pub hi: u64,
+    pub n: u64,
+}
+
+/// Snapshot of one histogram: observation count, value sum, and the
+/// non-empty buckets in ascending order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<HistogramBucket>,
+}
+
+pub(crate) fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 1)
+    } else {
+        // The last bucket absorbs everything at and beyond 2^62.
+        (
+            1u64 << (i - 1),
+            if i >= HISTOGRAM_BUCKETS - 1 {
+                u64::MAX
+            } else {
+                1u64 << i
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_is_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_their_values() {
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, 1 << 40, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_of(v));
+            // The last bucket is closed at the top: it absorbs u64::MAX.
+            assert!(
+                lo <= v && (v < hi || hi == u64::MAX),
+                "{v} not in [{lo}, {hi})"
+            );
+        }
+    }
+}

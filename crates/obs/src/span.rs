@@ -1,0 +1,189 @@
+//! Hierarchical spans: an aggregating span tree plus RAII timing guards.
+//!
+//! A span names one stage of the pipeline (`ingest`, `ingest/logs`,
+//! `ingest/logs/ssl.2022-05.log`). Spans aggregate by `(parent, name)`: the
+//! twenty-one analyzer spans of two pipeline runs collapse into twenty-one
+//! nodes with `count == 2`, and the per-shard spans recorded by N racing
+//! worker threads land on the same nodes regardless of interleaving — which
+//! is what makes snapshots of a parallel run deterministic (durations
+//! aside). Node lookup takes a short mutex hold on span entry and exit
+//! only; no lock is held while the timed work runs.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Handle to one node of the span tree (index into the node arena).
+///
+/// A `SpanId` is only meaningful for the tree that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub(crate) u32);
+
+/// One aggregated node: every entry/exit of a span with the same name under
+/// the same parent accumulates here.
+#[derive(Debug, Clone)]
+pub(crate) struct SpanNode {
+    pub name: String,
+    /// Completed enter/exit pairs (an entered-but-unfinished span has
+    /// already created the node but not yet bumped the count).
+    pub count: u64,
+    pub total_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+    pub children: Vec<u32>,
+}
+
+/// The aggregating tree. Shared behind a mutex; every operation is a short
+/// critical section (get-or-create on entry, counter folds on exit).
+#[derive(Debug, Default)]
+pub(crate) struct SpanTree {
+    nodes: Vec<SpanNode>,
+    /// `(parent or u32::MAX for roots, name)` → node index.
+    index: HashMap<(u32, String), u32>,
+    roots: Vec<u32>,
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+impl SpanTree {
+    pub fn get_or_create(&mut self, parent: Option<SpanId>, name: &str) -> SpanId {
+        let pkey = parent.map(|p| p.0).unwrap_or(NO_PARENT);
+        if let Some(&id) = self.index.get(&(pkey, name.to_string())) {
+            return SpanId(id);
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(SpanNode {
+            name: name.to_string(),
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            children: Vec::new(),
+        });
+        self.index.insert((pkey, name.to_string()), id);
+        match parent {
+            Some(p) => self.nodes[p.0 as usize].children.push(id),
+            None => self.roots.push(id),
+        }
+        SpanId(id)
+    }
+
+    pub fn record(&mut self, id: SpanId, dur: Duration) {
+        let ns = dur.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let node = &mut self.nodes[id.0 as usize];
+        node.count += 1;
+        node.total_ns += ns;
+        node.min_ns = node.min_ns.min(ns);
+        node.max_ns = node.max_ns.max(ns);
+    }
+
+    /// Pre-order walk with children (and roots) sorted by name, so two
+    /// trees built by differently-interleaved thread pools flatten to the
+    /// same row order.
+    pub fn rows(&self) -> Vec<SpanRow> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack: Vec<(u32, usize, String)> = Vec::new();
+        let mut roots = self.roots.clone();
+        roots.sort_by(|a, b| {
+            self.nodes[*a as usize]
+                .name
+                .cmp(&self.nodes[*b as usize].name)
+        });
+        for root in roots.into_iter().rev() {
+            stack.push((root, 0, String::new()));
+        }
+        while let Some((id, depth, prefix)) = stack.pop() {
+            let node = &self.nodes[id as usize];
+            let path = if prefix.is_empty() {
+                node.name.clone()
+            } else {
+                format!("{prefix}/{}", node.name)
+            };
+            out.push(SpanRow {
+                name: node.name.clone(),
+                path: path.clone(),
+                depth,
+                count: node.count,
+                total_micros: node.total_ns / 1_000,
+                min_micros: if node.count == 0 {
+                    0
+                } else {
+                    node.min_ns / 1_000
+                },
+                max_micros: node.max_ns / 1_000,
+            });
+            let mut children = node.children.clone();
+            children.sort_by(|a, b| {
+                self.nodes[*a as usize]
+                    .name
+                    .cmp(&self.nodes[*b as usize].name)
+            });
+            for child in children.into_iter().rev() {
+                stack.push((child, depth + 1, path.clone()));
+            }
+        }
+        out
+    }
+}
+
+/// One flattened span-tree node, as exported by every sink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRow {
+    /// Leaf name (`corpus_build`).
+    pub name: String,
+    /// Slash-joined path from the root (`pipeline/corpus_build`).
+    pub path: String,
+    /// 0 for roots.
+    pub depth: usize,
+    /// Completed enter/exit pairs aggregated into this node.
+    pub count: u64,
+    pub total_micros: u64,
+    pub min_micros: u64,
+    pub max_micros: u64,
+}
+
+/// RAII timing guard returned by [`Obs::span`](crate::Obs::span). Records
+/// its elapsed wall time into the tree on drop (or explicitly via
+/// [`SpanGuard::finish`], which also hands the duration back — the ingest
+/// diagnostics reuse it for their wall-time fields). The clock runs even
+/// when the owning [`Obs`](crate::Obs) is disabled, so `finish` always
+/// returns a real duration; only the tree write is skipped.
+#[derive(Debug)]
+pub struct SpanGuard {
+    pub(crate) tree: Option<Arc<Mutex<SpanTree>>>,
+    pub(crate) id: Option<SpanId>,
+    pub(crate) start: Instant,
+    pub(crate) done: bool,
+}
+
+impl SpanGuard {
+    /// The node this guard will record into — pass it as the `parent` of
+    /// child spans. `None` when the owning `Obs` is disabled.
+    pub fn id(&self) -> Option<SpanId> {
+        self.id
+    }
+
+    /// Stop the clock, record the span, and return the measured duration.
+    pub fn finish(mut self) -> Duration {
+        let dur = self.start.elapsed();
+        self.record(dur);
+        dur
+    }
+
+    fn record(&mut self, dur: Duration) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        if let (Some(tree), Some(id)) = (&self.tree, self.id) {
+            tree.lock().expect("span tree poisoned").record(id, dur);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let dur = self.start.elapsed();
+        self.record(dur);
+    }
+}

@@ -1,0 +1,59 @@
+//! Golden-file test pinning the `metrics.json` schema.
+//!
+//! The JSON document is consumed by CI (schema assertions) and external
+//! tooling, so its shape is a contract: key names, key order, row order,
+//! and number formatting must not drift silently. This test builds a
+//! fixed snapshot (deterministic durations via `record_span`) and compares
+//! the rendering byte-for-byte against `tests/golden/metrics.json`.
+//!
+//! If you change the schema on purpose: bump `SCHEMA_VERSION` in
+//! `src/sink.rs`, rerun with `OBS_BLESS=1` to regenerate the golden file,
+//! and mention the bump in the commit message.
+
+use mtls_obs::Obs;
+use std::time::Duration;
+
+fn fixture() -> Obs {
+    let obs = Obs::new();
+    let run = obs.record_span(None, "run", Duration::from_micros(10_000));
+    let ingest = obs.record_span(run, "ingest", Duration::from_micros(6_000));
+    obs.record_span(ingest, "logs", Duration::from_micros(4_000));
+    obs.record_span(ingest, "meta", Duration::from_micros(500));
+    let pipeline = obs.record_span(run, "pipeline", Duration::from_micros(3_000));
+    obs.record_span(pipeline, "corpus_build", Duration::from_micros(1_000));
+    // Two recordings of one (parent, name) pair aggregate into one row.
+    obs.record_span(pipeline, "analyze", Duration::from_micros(800));
+    obs.record_span(pipeline, "analyze", Duration::from_micros(1_200));
+    obs.counter("ingest.rows_parsed").add(123_456);
+    obs.counter("ingest.bytes_read").add(7_890_123);
+    obs.gauge_set("ingest.rows_per_sec", 20_576);
+    obs.gauge_set("corpus.certs", -1);
+    obs.histogram_record("ingest.shard_parse_micros", 0);
+    obs.histogram_record("ingest.shard_parse_micros", 300);
+    obs.histogram_record("ingest.shard_parse_micros", 301);
+    obs.histogram_record("ingest.shard_parse_micros", 5_000);
+    obs
+}
+
+#[test]
+fn metrics_json_matches_golden() {
+    let json = fixture().snapshot().to_json();
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.json");
+    if std::env::var_os("OBS_BLESS").is_some() {
+        std::fs::write(golden_path, &json).expect("bless golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path).expect("read golden file");
+    assert_eq!(
+        json, golden,
+        "metrics.json schema drifted from tests/golden/metrics.json; \
+         if intentional, bump SCHEMA_VERSION and rerun with OBS_BLESS=1"
+    );
+}
+
+#[test]
+fn metrics_json_is_stable_across_renderings() {
+    let obs = fixture();
+    assert_eq!(obs.snapshot().to_json(), obs.snapshot().to_json());
+    assert_eq!(obs.snapshot().to_tsv(), obs.snapshot().to_tsv());
+}

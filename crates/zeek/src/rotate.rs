@@ -9,6 +9,7 @@ use crate::diag::{IngestMode, IngestStats, ShardDiag};
 use crate::records::{SslRecord, X509Record};
 use crate::tsv::{read_ssl_log_with, read_x509_log_with, write_ssl_log, write_x509_log, TsvError};
 use mtls_intern::FxHashMap;
+use mtls_obs::{Obs, SpanId};
 use std::io::BufReader;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -110,9 +111,21 @@ type ShardResult = (ShardDiag, Result<ParsedShard, TsvError>);
 /// Open and parse one shard, timing it and accounting rows/bytes into its
 /// [`ShardDiag`]. Shard-level failures (open, header) come back as `Err`;
 /// the caller either propagates them (strict) or quarantines (lenient).
-fn read_shard(path: &Path, is_ssl: bool, mode: IngestMode) -> ShardResult {
-    let t0 = std::time::Instant::now();
+///
+/// Each shard records one span (named after the shard file) under
+/// `parent`, so the span tree of a sharded read matches its serial twin
+/// regardless of worker interleaving. Metrics are batched — one counter
+/// add and one histogram observation per shard, never per row — keeping
+/// the instrumented hot path within the overhead budget.
+fn read_shard(
+    path: &Path,
+    is_ssl: bool,
+    mode: IngestMode,
+    obs: &Obs,
+    parent: Option<SpanId>,
+) -> ShardResult {
     let mut diag = ShardDiag::new(shard_name(path));
+    let span = obs.span(parent, &diag.shard);
     let parsed = std::fs::File::open(path)
         .map_err(TsvError::Io)
         .and_then(|f| {
@@ -122,7 +135,14 @@ fn read_shard(path: &Path, is_ssl: bool, mode: IngestMode) -> ShardResult {
                 read_x509_log_with(BufReader::new(f), mode, &mut diag).map(ParsedShard::X509)
             }
         });
-    diag.wall_micros = t0.elapsed().as_micros() as u64;
+    diag.wall_micros = span.finish().as_micros() as u64;
+    if obs.enabled() {
+        obs.counter("ingest.rows_parsed").add(diag.rows_parsed);
+        obs.counter("ingest.rows_skipped").add(diag.rows_skipped());
+        obs.counter("ingest.bytes_read").add(diag.bytes_read);
+        obs.histogram_record("ingest.shard_parse_micros", diag.wall_micros);
+        obs.gauge_max("ingest.peak_shard_rows", diag.rows_parsed as i64);
+    }
     (diag, parsed)
 }
 
@@ -167,6 +187,18 @@ pub fn read_monthly_with(
     dir: &Path,
     mode: IngestMode,
 ) -> Result<(Vec<SslRecord>, Vec<X509Record>, IngestStats), TsvError> {
+    read_monthly_obs(dir, mode, &Obs::noop(), None)
+}
+
+/// [`read_monthly_with`] with per-shard observability: each shard records
+/// a span (named after its file) under `parent`, plus batched row/byte
+/// counters and a parse-latency histogram.
+pub fn read_monthly_obs(
+    dir: &Path,
+    mode: IngestMode,
+    obs: &Obs,
+    parent: Option<SpanId>,
+) -> Result<(Vec<SslRecord>, Vec<X509Record>, IngestStats), TsvError> {
     let t0 = std::time::Instant::now();
     let (ssl_files, x509_files) = shard_files(dir)?;
     let n_tasks = ssl_files.len() + x509_files.len();
@@ -175,7 +207,7 @@ pub fn read_monthly_with(
         .unwrap_or(1)
         .min(n_tasks);
     if workers <= 1 {
-        return read_monthly_serial_with(dir, mode);
+        return read_monthly_serial_obs(dir, mode, obs, parent);
     }
 
     let next = AtomicUsize::new(0);
@@ -195,9 +227,9 @@ pub fn read_monthly_with(
                             return done;
                         }
                         let (diag, parsed) = if i < ssl_files.len() {
-                            read_shard(&ssl_files[i], true, mode)
+                            read_shard(&ssl_files[i], true, mode, obs, parent)
                         } else {
-                            read_shard(&x509_files[i - ssl_files.len()], false, mode)
+                            read_shard(&x509_files[i - ssl_files.len()], false, mode, obs, parent)
                         };
                         rows_parsed.fetch_add(diag.rows_parsed, Ordering::Relaxed);
                         rows_skipped.fetch_add(diag.rows_skipped(), Ordering::Relaxed);
@@ -244,6 +276,18 @@ pub fn read_monthly_serial_with(
     dir: &Path,
     mode: IngestMode,
 ) -> Result<(Vec<SslRecord>, Vec<X509Record>, IngestStats), TsvError> {
+    read_monthly_serial_obs(dir, mode, &Obs::noop(), None)
+}
+
+/// [`read_monthly_serial_with`] with the same per-shard observability as
+/// [`read_monthly_obs`] — the serial and sharded paths must yield the
+/// same span rows and counter totals on a clean corpus.
+pub fn read_monthly_serial_obs(
+    dir: &Path,
+    mode: IngestMode,
+    obs: &Obs,
+    parent: Option<SpanId>,
+) -> Result<(Vec<SslRecord>, Vec<X509Record>, IngestStats), TsvError> {
     let t0 = std::time::Instant::now();
     let (ssl_files, x509_files) = shard_files(dir)?;
     let mut stats = IngestStats {
@@ -259,7 +303,7 @@ pub fn read_monthly_serial_with(
         .map(|p| (p, true))
         .chain(x509_files.iter().map(|p| (p, false)));
     for (path, is_ssl) in tasks {
-        let (diag, parsed) = read_shard(path, is_ssl, mode);
+        let (diag, parsed) = read_shard(path, is_ssl, mode, obs, parent);
         let (ssl_part, x509_part) = stitch(vec![(diag, parsed)], mode, &mut stats)?;
         ssl.extend(ssl_part);
         x509.extend(x509_part);

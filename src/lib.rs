@@ -35,6 +35,7 @@
 //! | [`netsim`] | `mtls-netsim` | the campus traffic generator |
 //! | [`classify`] | `mtls-classify` | CN/SAN information classifier |
 //! | [`intern`] | `mtls-intern` | string interning + fast hashing |
+//! | [`obs`] | `mtls-obs` | spans, metrics registry, sinks |
 //! | [`core`] | `mtls-core` | the analysis pipeline (the paper) |
 
 pub use mtls_asn1 as asn1;
@@ -43,6 +44,7 @@ pub use mtls_core as core;
 pub use mtls_crypto as crypto;
 pub use mtls_intern as intern;
 pub use mtls_netsim as netsim;
+pub use mtls_obs as obs;
 pub use mtls_pki as pki;
 pub use mtls_tlssim as tlssim;
 pub use mtls_x509 as x509;

@@ -6,10 +6,16 @@
 //! it must recover with exact, fully-accounted skip counts while strict
 //! keeps its first-error-in-shard-order contract.
 
-use mtlscope::core::ingest::{load_dir, load_dir_serial, load_dir_serial_with, load_dir_with};
+use mtlscope::core::ingest::{
+    load_dir, load_dir_obs, load_dir_serial, load_dir_serial_obs, load_dir_serial_with,
+    load_dir_with,
+};
 use mtlscope::core::testutil::faults;
-use mtlscope::core::{run_pipeline, run_pipeline_parallel, IngestMode};
+use mtlscope::core::{
+    run_pipeline, run_pipeline_obs, run_pipeline_parallel, run_pipeline_parallel_obs, IngestMode,
+};
 use mtlscope::netsim::{generate, SimConfig};
+use mtlscope::obs::{Obs, Snapshot};
 use mtlscope::zeek::ErrorKind;
 use std::path::{Path, PathBuf};
 
@@ -120,6 +126,154 @@ fn lenient_equals_strict_on_clean_corpus() {
     );
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The duration-independent shape of a span tree: `(path, depth, count)`
+/// in the snapshot's deterministic order. Wall times differ run to run;
+/// everything else must not.
+fn span_shape(snap: &Snapshot) -> Vec<(String, usize, u64)> {
+    snap.spans
+        .iter()
+        .map(|s| (s.path.clone(), s.depth, s.count))
+        .collect()
+}
+
+/// Gauges with the duration-derived rates removed (`*_per_sec` is computed
+/// from wall time, so it legitimately differs between runs).
+fn stable_gauges(snap: &Snapshot) -> Vec<(String, i64)> {
+    snap.gauges
+        .iter()
+        .filter(|(name, _)| !name.ends_with("_per_sec"))
+        .cloned()
+        .collect()
+}
+
+#[test]
+fn span_tree_is_deterministic_across_serial_and_sharded_ingest() {
+    let sim = generate(&SimConfig {
+        seed: 9103,
+        scale: 0.005,
+        ..Default::default()
+    });
+    let dir = std::env::temp_dir().join(format!("mtlscope-equiv-obs-{}", std::process::id()));
+    sim.write_to_dir_rotated(&dir).expect("write rotated logs");
+
+    let obs_sharded = Obs::new();
+    let (sharded, sharded_diag) =
+        load_dir_obs(&dir, IngestMode::Strict, &obs_sharded, None).expect("sharded ingest");
+    let obs_serial = Obs::new();
+    let (serial, serial_diag) =
+        load_dir_serial_obs(&dir, IngestMode::Strict, &obs_serial, None).expect("serial ingest");
+    assert_eq!(sharded.ssl, serial.ssl);
+    assert_eq!(sharded.x509, serial.x509);
+
+    let snap_sharded = obs_sharded.snapshot();
+    let snap_serial = obs_serial.snapshot();
+
+    // The racing worker pool must aggregate onto the exact tree the serial
+    // loader builds: same paths, same nesting, same per-node counts.
+    assert_eq!(span_shape(&snap_sharded), span_shape(&snap_serial));
+
+    // The tree covers the whole load: the ingest root, its three phases,
+    // and one grandchild per shard on disk.
+    for path in ["ingest", "ingest/meta", "ingest/ct", "ingest/logs"] {
+        let row = snap_sharded
+            .span(path)
+            .unwrap_or_else(|| panic!("span {path} missing from {:?}", span_shape(&snap_sharded)));
+        assert_eq!(row.count, 1, "span {path} should run exactly once");
+    }
+    for shard in shards(&dir, "ssl").iter().chain(&shards(&dir, "x509")) {
+        let path = format!("ingest/logs/{}", shard_name(shard));
+        assert!(
+            snap_sharded.span(&path).is_some_and(|r| r.count == 1),
+            "per-shard span {path} missing or miscounted"
+        );
+    }
+
+    // Counter totals are exactly equal — the batched per-shard adds commute.
+    assert_eq!(snap_sharded.counters, snap_serial.counters);
+    // Gauges agree too, once the wall-time-derived throughput rates are
+    // set aside; histograms agree on population (bucket placement is a
+    // function of shard latency, which is the one thing allowed to vary).
+    assert_eq!(stable_gauges(&snap_sharded), stable_gauges(&snap_serial));
+    assert_eq!(
+        snap_sharded
+            .histograms
+            .iter()
+            .map(|h| (h.name.clone(), h.count))
+            .collect::<Vec<_>>(),
+        snap_serial
+            .histograms
+            .iter()
+            .map(|h| (h.name.clone(), h.count))
+            .collect::<Vec<_>>()
+    );
+
+    // The metrics registry and the diagnostics ledger are two views of one
+    // load; they must tell the same story.
+    for (snap, diag) in [(&snap_sharded, &sharded_diag), (&snap_serial, &serial_diag)] {
+        assert_eq!(
+            snap.counter("ingest.rows_parsed"),
+            Some(diag.stats.rows_parsed)
+        );
+        assert_eq!(
+            snap.counter("ingest.rows_skipped"),
+            Some(diag.stats.rows_skipped)
+        );
+        assert_eq!(
+            snap.counter("ingest.meta_entries_skipped"),
+            Some(diag.meta_entries_skipped)
+        );
+        assert!(snap.counter("ingest.bytes_read").unwrap_or(0) > 0);
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn span_tree_is_deterministic_across_serial_and_parallel_pipeline() {
+    let sim = generate(&SimConfig {
+        seed: 9104,
+        scale: 0.005,
+        ..Default::default()
+    });
+    let dir = std::env::temp_dir().join(format!("mtlscope-equiv-pobs-{}", std::process::id()));
+    sim.write_to_dir_rotated(&dir).expect("write rotated logs");
+    let for_parallel = load_dir(&dir).expect("ingest");
+    let for_serial = load_dir(&dir).expect("ingest");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let obs_parallel = Obs::new();
+    let parallel_out = run_pipeline_parallel_obs(for_parallel, &obs_parallel, None);
+    let obs_serial = Obs::new();
+    let serial_out = run_pipeline_obs(for_serial, &obs_serial, None);
+    assert_eq!(parallel_out.render_all(), serial_out.render_all());
+
+    let snap_parallel = obs_parallel.snapshot();
+    let snap_serial = obs_serial.snapshot();
+
+    // Identical tree shape: the sharded analyzer pool lands every analyzer
+    // span on the same node the serial walk creates.
+    assert_eq!(span_shape(&snap_parallel), span_shape(&snap_serial));
+    for path in [
+        "pipeline",
+        "pipeline/interception_filter",
+        "pipeline/corpus_build",
+        "pipeline/analyze",
+        "pipeline/analyze/prevalence",
+        "pipeline/analyze/tracking",
+        "pipeline/assemble",
+    ] {
+        assert!(
+            snap_parallel.span(path).is_some_and(|r| r.count == 1),
+            "pipeline span {path} missing or miscounted"
+        );
+    }
+
+    // Every metric the pipeline emits is a function of the corpus, not of
+    // scheduling: full counter and gauge equality, no exclusions.
+    assert_eq!(snap_parallel.counters, snap_serial.counters);
+    assert_eq!(snap_parallel.gauges, snap_serial.gauges);
 }
 
 #[test]
