@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""CI gate for the `conform` binary: asserts the TSV report schema, the
+campaign size floor, and the never-panic / never-diverge policy.
+
+Usage: check_conform.py conform-report.tsv
+"""
+import sys
+
+MIN_MUTANTS = 10_000
+
+SUMMARY_KEYS = {
+    "seed", "mutants", "entry_points", "evaluations", "accepted",
+    "identical", "canonicalized", "rejected", "panics", "divergences",
+}
+
+ENTRY_COLUMNS = 5  # rejected identical canonicalized panics divergences
+
+
+def fail(msg):
+    print(f"check_conform: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(path):
+    with open(path) as f:
+        lines = [line.rstrip("\n") for line in f if line.strip()]
+
+    if not lines or lines[0].split("\t") != ["schema", "mtls-conform-1"]:
+        fail(f"bad or missing schema line: {lines[:1]!r}")
+
+    summary = {}
+    entries = {}
+    findings = []
+    for line in lines[1:]:
+        cells = line.split("\t")
+        if cells[0] == "entry":
+            if len(cells) != 2 + ENTRY_COLUMNS:
+                fail(f"malformed entry row: {line!r}")
+            entries[cells[1]] = [int(c) for c in cells[2:]]
+        elif cells[0] == "finding":
+            findings.append(cells[1:])
+        elif len(cells) == 2:
+            summary[cells[0]] = int(cells[1])
+        else:
+            fail(f"unrecognized row: {line!r}")
+
+    missing = SUMMARY_KEYS - set(summary)
+    if missing:
+        fail(f"missing summary keys: {sorted(missing)}")
+
+    if summary["mutants"] < MIN_MUTANTS:
+        fail(f"campaign too small: {summary['mutants']} mutants "
+             f"< {MIN_MUTANTS}")
+    if summary["entry_points"] != len(entries):
+        fail(f"entry_points={summary['entry_points']} but "
+             f"{len(entries)} entry rows")
+    if summary["evaluations"] <= summary["mutants"]:
+        fail("evaluations should exceed mutants (every mutant hits every "
+             "entry point)")
+    if summary["accepted"] <= 0:
+        fail("no input was ever accepted — the corpus is not reaching the "
+             "parsers")
+    if summary["rejected"] <= 0:
+        fail("nothing was rejected — the mutation engine is not mutating")
+
+    # The policy gates: parse paths never panic, oracles never diverge.
+    if summary["panics"] != 0:
+        fail(f"{summary['panics']} panics — see finding rows:\n  "
+             + "\n  ".join("\t".join(f) for f in findings[:10]))
+    if summary["divergences"] != 0:
+        fail(f"{summary['divergences']} divergences — see finding rows:\n  "
+             + "\n  ".join("\t".join(f) for f in findings[:10]))
+    if findings:
+        fail(f"{len(findings)} finding rows despite zero panic/divergence "
+             "counts")
+
+    # Per-entry tallies must sum to the evaluation total.
+    total = sum(sum(v) for v in entries.values())
+    if total != summary["evaluations"]:
+        fail(f"entry tallies sum to {total} != evaluations "
+             f"{summary['evaluations']}")
+
+    print(f"check_conform: ok — {summary['mutants']} mutants, "
+          f"{summary['entry_points']} entry points, "
+          f"{summary['evaluations']} evaluations, "
+          f"{summary['accepted']} accepted / {summary['rejected']} rejected, "
+          f"0 panics, 0 divergences")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        fail("usage: check_conform.py REPORT_TSV")
+    main(sys.argv[1])

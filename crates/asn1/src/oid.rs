@@ -14,20 +14,31 @@ pub struct Oid {
 
 impl Oid {
     /// Construct from raw arcs. Panics on fewer than two arcs or an invalid
-    /// leading pair — OIDs are compile-time constants in this codebase, so a
-    /// malformed literal is a programming error.
+    /// leading pair. Reserved for compile-time OID literals (see
+    /// `mtls_x509::oids`), where a malformed constant is a programming error;
+    /// anything built from untrusted or runtime data must use
+    /// [`Oid::try_new`] instead.
     pub fn new(arcs: &[u64]) -> Oid {
-        assert!(arcs.len() >= 2, "an OID needs at least two arcs");
-        assert!(arcs[0] <= 2, "first OID arc must be 0..=2");
-        if arcs[0] < 2 {
-            assert!(
-                arcs[1] < 40,
-                "second OID arc must be < 40 when first is 0 or 1"
-            );
+        match Oid::try_new(arcs) {
+            Ok(oid) => oid,
+            Err(_) => {
+                assert!(arcs.len() >= 2, "an OID needs at least two arcs");
+                assert!(arcs[0] <= 2, "first OID arc must be 0..=2");
+                panic!("second OID arc must be < 40 when first is 0 or 1");
+            }
         }
-        Oid {
+    }
+
+    /// Fallible constructor for arcs that come from untrusted or runtime
+    /// data: returns `Err(Error::BadOid)` on fewer than two arcs or a
+    /// leading pair that violates X.660 instead of panicking.
+    pub fn try_new(arcs: &[u64]) -> Result<Oid> {
+        if arcs.len() < 2 || arcs[0] > 2 || (arcs[0] < 2 && arcs[1] >= 40) {
+            return Err(Error::BadOid);
+        }
+        Ok(Oid {
             arcs: arcs.to_vec(),
-        }
+        })
     }
 
     /// The decoded arcs.
@@ -182,5 +193,16 @@ mod tests {
     #[should_panic(expected = "at least two arcs")]
     fn one_arc_panics() {
         Oid::new(&[2]);
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_arcs_without_panicking() {
+        assert_eq!(Oid::try_new(&[]), Err(Error::BadOid));
+        assert_eq!(Oid::try_new(&[2]), Err(Error::BadOid));
+        assert_eq!(Oid::try_new(&[3, 1]), Err(Error::BadOid));
+        assert_eq!(Oid::try_new(&[0, 40]), Err(Error::BadOid));
+        assert_eq!(Oid::try_new(&[1, 40, 5]), Err(Error::BadOid));
+        assert_eq!(Oid::try_new(&[1, 39]).unwrap().dotted(), "1.39");
+        assert_eq!(Oid::try_new(&[2, 999, 3]).unwrap().dotted(), "2.999.3");
     }
 }

@@ -121,7 +121,7 @@ impl Asn1Time {
         if s.len() != 13 || !s.ends_with('Z') {
             return Err(Error::BadTime);
         }
-        let yy: i32 = s[0..2].parse().map_err(|_| Error::BadTime)?;
+        let yy = digits(s, 0..2)? as i32;
         // RFC 5280: two-digit years 00–49 are 2000s, 50–99 are 1900s.
         let year = if yy < 50 { 2000 + yy } else { 1900 + yy };
         parse_tail(year, &s[2..12])
@@ -133,7 +133,7 @@ impl Asn1Time {
         if s.len() != 15 || !s.ends_with('Z') {
             return Err(Error::BadTime);
         }
-        let year: i32 = s[0..4].parse().map_err(|_| Error::BadTime)?;
+        let year = digits(s, 0..4)? as i32;
         parse_tail(year, &s[4..14])
     }
 
@@ -150,17 +150,23 @@ impl Asn1Time {
     }
 }
 
+/// Parse a fixed-width decimal field, accepting ASCII digits only.
+/// `str::parse` alone would also take a leading `+`/`-` sign (so `"+5"`
+/// would parse as month 5), which DER time strings forbid.
+fn digits(s: &str, range: std::ops::Range<usize>) -> Result<u32> {
+    let field = s.get(range).ok_or(Error::BadTime)?;
+    if field.is_empty() || !field.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(Error::BadTime);
+    }
+    field.parse().map_err(|_| Error::BadTime)
+}
+
 fn parse_tail(year: i32, rest: &str) -> Result<Asn1Time> {
-    let num = |range: std::ops::Range<usize>| -> Result<u32> {
-        rest.get(range)
-            .and_then(|x| x.parse().ok())
-            .ok_or(Error::BadTime)
-    };
-    let month = num(0..2)?;
-    let day = num(2..4)?;
-    let hour = num(4..6)?;
-    let min = num(6..8)?;
-    let sec = num(8..10)?;
+    let month = digits(rest, 0..2)?;
+    let day = digits(rest, 2..4)?;
+    let hour = digits(rest, 4..6)?;
+    let min = digits(rest, 6..8)?;
+    let sec = digits(rest, 8..10)?;
     if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
         return Err(Error::BadTime);
     }
@@ -302,6 +308,24 @@ mod tests {
         assert!(Asn1Time::parse_utc_time(b"230809123456+").is_err()); // no Z
         assert!(Asn1Time::parse_generalized_time(b"20230809123456").is_err());
         assert!(Asn1Time::parse_utc_time(b"230809250000Z").is_err()); // hour 25
+    }
+
+    #[test]
+    fn rejects_sign_characters_in_numeric_fields() {
+        // `str::parse` accepts "+5" as 5; every field must be digits-only.
+        assert!(Asn1Time::parse_utc_time(b"+30809123456Z").is_err()); // year "+3"
+        assert!(Asn1Time::parse_utc_time(b"-30809123456Z").is_err());
+        assert!(Asn1Time::parse_utc_time(b"23+809123456Z").is_err()); // month "+8"
+        assert!(Asn1Time::parse_utc_time(b"2308+9123456Z").is_err()); // day "+9"
+        assert!(Asn1Time::parse_utc_time(b"230809+23456Z").is_err()); // hour "+2"
+        assert!(Asn1Time::parse_utc_time(b"23080912+456Z").is_err()); // min "+4"
+        assert!(Asn1Time::parse_utc_time(b"2308091234+6Z").is_err()); // sec "+6"
+        assert!(Asn1Time::parse_utc_time(b"23 809123456Z").is_err()); // space pad
+        assert!(Asn1Time::parse_generalized_time(b"+0230809123456Z").is_err());
+        assert!(Asn1Time::parse_generalized_time(b"2023+809123456Z").is_err());
+        assert!(Asn1Time::parse_generalized_time(b"20230809+23456Z").is_err());
+        // Unicode digits that `char::is_numeric` would bless are not ASCII.
+        assert!(Asn1Time::parse_utc_time("２30809123456Z".as_bytes()).is_err());
     }
 
     #[test]

@@ -202,13 +202,15 @@ fn minimal_signed(bytes: &[u8; 8], negative: bool) -> &[u8] {
 }
 
 /// DER definite length: short form < 0x80, else long form with minimal bytes.
+/// Widened to u64 so content lengths ≥ 2^32 encode correctly (the previous
+/// `as u32` cast silently truncated them to their low 32 bits).
 pub(crate) fn write_length(buf: &mut Vec<u8>, len: usize) {
     if len < 0x80 {
         buf.push(len as u8);
     } else {
-        let be = (len as u32).to_be_bytes();
+        let be = (len as u64).to_be_bytes();
         let skip = be.iter().take_while(|&&b| b == 0).count();
-        buf.push(0x80 | (4 - skip) as u8);
+        buf.push(0x80 | (8 - skip) as u8);
         buf.extend_from_slice(&be[skip..]);
     }
 }
@@ -243,8 +245,46 @@ mod tests {
         assert_eq!(buf, vec![0x82, 0x12, 0x34]);
 
         buf.clear();
+        write_length(&mut buf, 0xFF);
+        assert_eq!(buf, vec![0x81, 0xFF]);
+
+        buf.clear();
+        write_length(&mut buf, 0x100);
+        assert_eq!(buf, vec![0x82, 0x01, 0x00]);
+
+        buf.clear();
+        write_length(&mut buf, 0xFFFF);
+        assert_eq!(buf, vec![0x82, 0xFF, 0xFF]);
+
+        buf.clear();
+        write_length(&mut buf, 0x1_0000);
+        assert_eq!(buf, vec![0x83, 0x01, 0x00, 0x00]);
+
+        buf.clear();
         write_length(&mut buf, 0x0101_0101);
         assert_eq!(buf, vec![0x84, 0x01, 0x01, 0x01, 0x01]);
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn lengths_beyond_u32_do_not_truncate() {
+        // 2^32 used to wrap to 0 via the `as u32` cast, emitting `0x80` —
+        // the (forbidden) indefinite-length marker. Call the helper
+        // directly: no 4 GiB buffer needed to pin the header bytes.
+        let mut buf = Vec::new();
+        write_length(&mut buf, 0x1_0000_0000);
+        assert_eq!(buf, vec![0x85, 0x01, 0x00, 0x00, 0x00, 0x00]);
+
+        buf.clear();
+        write_length(&mut buf, 0xFFFF_FFFF);
+        assert_eq!(buf, vec![0x84, 0xFF, 0xFF, 0xFF, 0xFF]);
+
+        buf.clear();
+        write_length(&mut buf, 0x0123_4567_89AB_CDEF);
+        assert_eq!(
+            buf,
+            vec![0x88, 0x01, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF]
+        );
     }
 
     #[test]

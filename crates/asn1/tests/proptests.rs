@@ -1,10 +1,109 @@
 //! Property-based tests: everything the writer emits, the reader must
 //! round-trip, and the reader must never panic on arbitrary bytes.
 
-use mtls_asn1::{time, Asn1Time, DerReader, DerWriter, Oid};
+use mtls_asn1::{time, Asn1Time, DerReader, DerWriter, Oid, Tag};
 use proptest::prelude::*;
 
 proptest! {
+    #[test]
+    fn t61_string_round_trips_as_latin1(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        // Every byte sequence is a valid T61String under the de-facto
+        // Latin-1 interpretation; the decoded text maps bytes to the same
+        // code points.
+        let mut w = DerWriter::new();
+        w.tlv(Tag::T61_STRING, &bytes);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        let s = r.read_string_lossy().unwrap();
+        let expected: String = bytes.iter().map(|&b| b as char).collect();
+        prop_assert_eq!(s.as_ref(), expected.as_str());
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn bmp_string_round_trips_for_bmp_text(s in "\\PC{0,80}") {
+        // Encode only code points inside the BMP (UTF-16 without
+        // surrogates), decode, and expect the identical string back.
+        let bmp: String = s.chars().filter(|c| (*c as u32) < 0x1_0000).collect();
+        let content: Vec<u8> = bmp
+            .encode_utf16()
+            .flat_map(|u| u.to_be_bytes())
+            .collect();
+        let mut w = DerWriter::new();
+        w.tlv(Tag::BMP_STRING, &content);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        prop_assert_eq!(r.read_string_lossy().unwrap().as_ref(), bmp.as_str());
+    }
+
+    #[test]
+    fn odd_length_bmp_string_rejected(
+        bytes in proptest::collection::vec(any::<u8>(), 0..100),
+        extra in any::<u8>(),
+    ) {
+        // Force odd content length: UTF-16 units are two bytes each.
+        let mut content = bytes;
+        if content.len() % 2 == 0 {
+            content.push(extra);
+        }
+        let mut w = DerWriter::new();
+        w.tlv(Tag::BMP_STRING, &content);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        prop_assert!(r.read_string_lossy().is_err());
+    }
+
+    #[test]
+    fn unpaired_surrogate_bmp_string_rejected(
+        prefix in "\\PC{0,20}",
+        lead in 0xD800u16..0xDC00,
+    ) {
+        // A lead surrogate with no trail unit is malformed UTF-16.
+        let mut units: Vec<u16> = prefix
+            .chars()
+            .filter(|c| (*c as u32) < 0x1_0000)
+            .collect::<String>()
+            .encode_utf16()
+            .collect();
+        units.push(lead);
+        let content: Vec<u8> = units.iter().flat_map(|u| u.to_be_bytes()).collect();
+        let mut w = DerWriter::new();
+        w.tlv(Tag::BMP_STRING, &content);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        prop_assert!(r.read_string_lossy().is_err());
+    }
+
+    #[test]
+    fn non_minimal_unsigned_integers_rejected(
+        magnitude in proptest::collection::vec(any::<u8>(), 1..16),
+        pad in 1usize..4,
+    ) {
+        // Hand-build INTEGER content with redundant 0x00 padding: the
+        // strict reader must reject it, and the minimal form must parse
+        // back to the same magnitude.
+        let mut magnitude = magnitude;
+        magnitude[0] = (magnitude[0] & 0x7F) | 0x01; // nonzero, high bit clear
+        let mut padded = vec![0u8; pad];
+        padded.extend_from_slice(&magnitude);
+        let mut w = DerWriter::new();
+        w.tlv(Tag::INTEGER, &padded);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        prop_assert!(r.read_integer_unsigned().is_err());
+
+        let mut w = DerWriter::new();
+        w.tlv(Tag::INTEGER, &magnitude);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        prop_assert_eq!(r.read_integer_unsigned().unwrap(), &magnitude[..]);
+    }
+
+    #[test]
+    fn lossy_reader_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut r = DerReader::new(&bytes);
+        let _ = r.read_string_lossy();
+    }
     #[test]
     fn integer_i64_round_trips(v in any::<i64>()) {
         let mut w = DerWriter::new();

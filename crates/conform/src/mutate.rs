@@ -1,0 +1,365 @@
+//! Structure-aware DER mutation.
+//!
+//! The engine scans a seed input into a TLV tree (tolerantly — it is also
+//! fed its own output in tests) and applies one deformity per mutant,
+//! drawn from the ParsEval families: truncation, length-field corruption,
+//! indefinite lengths, tag swaps, high-tag-number injection, TLV
+//! duplication/deletion, string-encoding swaps, and time-string edits.
+//! Ancestor lengths are deliberately *not* fixed up after splices: the
+//! resulting length disagreements are exactly the inputs strict parsers
+//! must reject cleanly.
+//!
+//! Everything is driven by a self-contained xorshift64* generator so a
+//! campaign is reproducible from a single `u64` seed across platforms.
+
+/// Deterministic xorshift64* generator (splitmix-style seeding so seed 0
+/// works).
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Seed the generator.
+    pub fn new(seed: u64) -> Rng64 {
+        let mut s = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        s = (s ^ (s >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        s = (s ^ (s >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Rng64 {
+            state: (s ^ (s >> 31)) | 1,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..n` (`n` must be nonzero).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// One random byte.
+    pub fn byte(&mut self) -> u8 {
+        (self.next_u64() >> 32) as u8
+    }
+}
+
+/// One TLV in the scanned tree, identified by absolute offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlvNode {
+    /// Offset of the tag byte.
+    pub offset: usize,
+    /// Header size (tag + length bytes).
+    pub header_len: usize,
+    /// Declared content length.
+    pub content_len: usize,
+    /// The tag octet.
+    pub tag: u8,
+    /// Nesting depth (0 = top level).
+    pub depth: usize,
+}
+
+impl TlvNode {
+    /// Total size of the TLV (header + content).
+    pub fn total_len(&self) -> usize {
+        self.header_len + self.content_len
+    }
+}
+
+/// Scan `input` into a flat list of TLV nodes (pre-order). Tolerant:
+/// scanning stops silently at the first malformed region, so mutants and
+/// garbage yield a (possibly empty) prefix rather than an error.
+pub fn scan_tlvs(input: &[u8]) -> Vec<TlvNode> {
+    let mut nodes = Vec::new();
+    walk(input, 0, input.len(), 0, &mut nodes);
+    nodes
+}
+
+fn walk(input: &[u8], mut pos: usize, end: usize, depth: usize, nodes: &mut Vec<TlvNode>) {
+    if depth >= 32 {
+        return;
+    }
+    while pos < end && nodes.len() < 4096 {
+        let tag = input[pos];
+        if tag & 0x1F == 0x1F {
+            // High-tag-number form: never emitted by the writer; stop here.
+            return;
+        }
+        let mut hp = pos + 1;
+        if hp >= end {
+            return;
+        }
+        let first = input[hp];
+        hp += 1;
+        let len = if first < 0x80 {
+            usize::from(first)
+        } else {
+            let n = usize::from(first & 0x7F);
+            if n == 0 || n > 4 || hp + n > end {
+                return;
+            }
+            let mut l = 0usize;
+            for i in 0..n {
+                l = (l << 8) | usize::from(input[hp + i]);
+            }
+            hp += n;
+            l
+        };
+        let Some(content_end) = hp.checked_add(len) else {
+            return;
+        };
+        if content_end > end {
+            return;
+        }
+        nodes.push(TlvNode {
+            offset: pos,
+            header_len: hp - pos,
+            content_len: len,
+            tag,
+            depth,
+        });
+        if tag & 0x20 != 0 && len > 0 {
+            walk(input, hp, content_end, depth + 1, nodes);
+        }
+        pos = content_end;
+    }
+}
+
+/// Names of the mutation families, index-aligned with the dispatch in
+/// [`mutate`]. Exposed so reports can label findings.
+pub const MUTATION_KINDS: &[&str] = &[
+    "truncate",
+    "corrupt_length",
+    "grow_length",
+    "indefinite_length",
+    "tag_swap",
+    "high_tag_number",
+    "duplicate_tlv",
+    "delete_tlv",
+    "string_encoding_swap",
+    "time_edit",
+    "bit_flip",
+    "byte_boundary",
+    "zero_length",
+];
+
+/// Tags a tag-swap mutation may substitute.
+const TAG_PALETTE: &[u8] = &[
+    0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x0A, 0x0C, 0x13, 0x14, 0x16, 0x17, 0x18, 0x1E, 0x30, 0x31,
+    0x80, 0xA0, 0xA3,
+];
+
+/// Apply one random mutation to `input`; returns the mutant and the name
+/// of the applied family. Families that need a suitable TLV node fall back
+/// to a bit flip (or truncation for empty inputs) so every call mutates.
+pub fn mutate(input: &[u8], rng: &mut Rng64) -> (Vec<u8>, &'static str) {
+    if input.len() < 2 {
+        return (vec![rng.byte()], "truncate");
+    }
+    let nodes = scan_tlvs(input);
+    let kind = rng.below(MUTATION_KINDS.len());
+    let mut out = input.to_vec();
+    match kind {
+        // Truncate at a random point.
+        0 => {
+            out.truncate(1 + rng.below(input.len() - 1));
+        }
+        // XOR a random length byte with a nonzero value.
+        1 => {
+            if let Some(n) = pick(rng, &nodes, |n| n.header_len > 1) {
+                let idx = n.offset + 1 + rng.below(n.header_len - 1);
+                out[idx] ^= 1 + rng.byte() % 255;
+            } else {
+                return fallback(out, rng);
+            }
+        }
+        // Inflate a short-form length past the available content.
+        2 => {
+            if let Some(n) = pick(rng, &nodes, |n| n.header_len == 2 && n.content_len < 0x7F) {
+                let grown = n.content_len + 1 + rng.below(0x7F - n.content_len);
+                out[n.offset + 1] = grown as u8;
+            } else {
+                return fallback(out, rng);
+            }
+        }
+        // Indefinite length (0x80): legal BER, forbidden DER.
+        3 => {
+            if let Some(n) = pick(rng, &nodes, |_| true) {
+                out[n.offset + 1] = 0x80;
+            } else {
+                return fallback(out, rng);
+            }
+        }
+        // Replace a tag with another plausible one.
+        4 => {
+            if let Some(n) = pick(rng, &nodes, |_| true) {
+                out[n.offset] = TAG_PALETTE[rng.below(TAG_PALETTE.len())];
+            } else {
+                return fallback(out, rng);
+            }
+        }
+        // High-tag-number form: 0x1F marker plus one continuation byte,
+        // spliced in place of the original tag (ancestor lengths now lie).
+        5 => {
+            if let Some(n) = pick(rng, &nodes, |_| true) {
+                out[n.offset] = (out[n.offset] & 0xE0) | 0x1F;
+                out.insert(n.offset + 1, rng.byte() & 0x7F);
+            } else {
+                return fallback(out, rng);
+            }
+        }
+        // Duplicate a whole TLV in place.
+        6 => {
+            if let Some(n) = pick(rng, &nodes, |n| n.total_len() > 0) {
+                let tlv: Vec<u8> = input[n.offset..n.offset + n.total_len()].to_vec();
+                let at = n.offset + n.total_len();
+                out.splice(at..at, tlv);
+            } else {
+                return fallback(out, rng);
+            }
+        }
+        // Delete a whole TLV.
+        7 => {
+            if let Some(n) = pick(rng, &nodes, |n| n.total_len() > 0 && n.depth > 0) {
+                out.drain(n.offset..n.offset + n.total_len());
+            } else {
+                return fallback(out, rng);
+            }
+        }
+        // Retag a directory string as a legacy encoding (T61/BMP).
+        8 => {
+            if let Some(n) = pick(rng, &nodes, |n| matches!(n.tag, 0x0C | 0x13 | 0x16)) {
+                out[n.offset] = if rng.below(2) == 0 { 0x14 } else { 0x1E };
+            } else {
+                return fallback(out, rng);
+            }
+        }
+        // Plant a sign character / space into a time string.
+        9 => {
+            if let Some(n) = pick(rng, &nodes, |n| {
+                matches!(n.tag, 0x17 | 0x18) && n.content_len > 0
+            }) {
+                let idx = n.offset + n.header_len + rng.below(n.content_len);
+                out[idx] = [b'+', b'-', b' '][rng.below(3)];
+            } else {
+                return fallback(out, rng);
+            }
+        }
+        // Single bit flip anywhere.
+        10 => {
+            let idx = rng.below(out.len());
+            out[idx] ^= 1 << rng.below(8);
+        }
+        // Set a byte to a boundary value.
+        11 => {
+            let idx = rng.below(out.len());
+            out[idx] = [0x00, 0x7F, 0x80, 0xFF][rng.below(4)];
+        }
+        // Zero out a length while leaving the content in place.
+        _ => {
+            if let Some(n) = pick(rng, &nodes, |n| n.content_len > 0) {
+                out[n.offset + 1] = 0x00;
+            } else {
+                return fallback(out, rng);
+            }
+        }
+    }
+    (out, MUTATION_KINDS[kind])
+}
+
+fn fallback(mut out: Vec<u8>, rng: &mut Rng64) -> (Vec<u8>, &'static str) {
+    let idx = rng.below(out.len());
+    out[idx] ^= 1 << rng.below(8);
+    (out, "bit_flip")
+}
+
+fn pick(rng: &mut Rng64, nodes: &[TlvNode], f: impl Fn(&TlvNode) -> bool) -> Option<TlvNode> {
+    let eligible: Vec<&TlvNode> = nodes.iter().filter(|n| f(n)).collect();
+    if eligible.is_empty() {
+        None
+    } else {
+        Some(*eligible[rng.below(eligible.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_seed_zero_works() {
+        let mut a = Rng64::new(0);
+        let mut b = Rng64::new(0);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().any(|&x| x != 0));
+        let mut c = Rng64::new(1);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn scan_sees_nested_structure() {
+        // SEQUENCE { SEQUENCE { NULL }, BOOLEAN TRUE }
+        let der = [0x30, 0x07, 0x30, 0x02, 0x05, 0x00, 0x01, 0x01, 0xFF];
+        let nodes = scan_tlvs(&der);
+        let tags: Vec<(u8, usize)> = nodes.iter().map(|n| (n.tag, n.depth)).collect();
+        assert_eq!(
+            tags,
+            vec![(0x30, 0), (0x30, 1), (0x05, 2), (0x01, 1)],
+            "pre-order with depths"
+        );
+    }
+
+    #[test]
+    fn scan_tolerates_garbage() {
+        assert!(scan_tlvs(&[]).is_empty());
+        assert!(scan_tlvs(&[0xFF]).is_empty());
+        // Truncated content: node not recorded.
+        assert!(scan_tlvs(&[0x04, 0x05, 1, 2]).is_empty());
+        // Deep nesting stops at the cap instead of blowing the stack.
+        let mut deep = Vec::new();
+        for _ in 0..500 {
+            deep.extend_from_slice(&[0x30, 0x02]);
+        }
+        deep.extend_from_slice(&[0x05, 0x00]);
+        let _ = scan_tlvs(&deep);
+    }
+
+    #[test]
+    fn mutants_differ_from_input_or_shrink() {
+        let der = [0x30, 0x07, 0x30, 0x02, 0x05, 0x00, 0x01, 0x01, 0xFF];
+        let mut rng = Rng64::new(42);
+        let mut changed = 0;
+        for _ in 0..200 {
+            let (m, kind) = mutate(&der, &mut rng);
+            assert!(MUTATION_KINDS.contains(&kind) || kind == "bit_flip");
+            if m != der {
+                changed += 1;
+            }
+        }
+        // A duplicate-then-delete pair can occasionally reproduce the
+        // input; the overwhelming majority must differ.
+        assert!(changed > 180, "only {changed}/200 mutants differed");
+    }
+
+    #[test]
+    fn mutation_is_reproducible_from_seed() {
+        let der = [0x30, 0x07, 0x30, 0x02, 0x05, 0x00, 0x01, 0x01, 0xFF];
+        let run = |seed: u64| {
+            let mut rng = Rng64::new(seed);
+            (0..64)
+                .map(|_| mutate(&der, &mut rng).0)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

@@ -220,6 +220,15 @@ pub struct Corpus {
     pub interception_issuers: Vec<String>,
     /// Count of certificates excluded as interception.
     pub excluded_certs: usize,
+    /// Chain references in ssl.log whose fingerprint has no x509.log row.
+    /// Nonzero when lenient ingest skipped unparseable certificates (the
+    /// simulator's `malformed_certs` scenario plants these); the affected
+    /// connections keep `server_leaf`/`client_leaf` as `None`.
+    pub dangling_fp_refs: u64,
+    /// Distinct fingerprints behind [`Corpus::dangling_fp_refs`].
+    pub dangling_fps: usize,
+    /// Up to eight sample dangling fingerprints for diagnostics.
+    pub dangling_samples: Vec<String>,
 }
 
 impl Corpus {
@@ -291,6 +300,9 @@ impl Corpus {
         let lookup = |fp: &String| interner.get(fp).and_then(|sym| fp_index.get(&sym)).copied();
 
         let mut conns: Vec<ConnInfo> = Vec::with_capacity(ssl.len());
+        let mut dangling_fp_refs = 0u64;
+        let mut dangling_seen: FxHashSet<String> = FxHashSet::default();
+        let mut dangling_samples: Vec<String> = Vec::new();
         for rec in ssl {
             let direction = match (meta.is_internal(rec.orig_h), meta.is_internal(rec.resp_h)) {
                 (true, _) => Direction::Outbound,
@@ -369,6 +381,11 @@ impl Corpus {
                     info.last_seen = info.last_seen.max(ts);
                     info.conns += 1;
                     info.client_ips.insert(rec.orig_h);
+                } else {
+                    dangling_fp_refs += 1;
+                    if dangling_seen.insert(fp.clone()) && dangling_samples.len() < 8 {
+                        dangling_samples.push(fp.clone());
+                    }
                 }
             }
 
@@ -395,6 +412,9 @@ impl Corpus {
             interner,
             interception_issuers,
             excluded_certs,
+            dangling_fp_refs,
+            dangling_fps: dangling_seen.len(),
+            dangling_samples,
         }
     }
 
@@ -585,6 +605,34 @@ mod tests {
         let corpus = build_unfiltered(&[c1, c2], &certs, meta());
         assert_eq!(corpus.certs[0].activity_days(), 100);
         assert_eq!(corpus.certs[0].conns, 2);
+    }
+
+    #[test]
+    fn dangling_fingerprints_are_counted_not_joined() {
+        let internal = Ipv4::new(172, 29, 20, 5);
+        let external = Ipv4::new(98, 100, 1, 1);
+        let certs = vec![x509("aa", None)];
+        // "skipped1" has no x509 row (lenient ingest dropped it); it is
+        // referenced twice across two connections.
+        let ssl = vec![
+            conn(external, internal, None, "skipped1", Some("aa")),
+            conn(external, internal, None, "skipped1", Some("aa")),
+        ];
+        let corpus = build_unfiltered(&ssl, &certs, meta());
+        assert_eq!(corpus.dangling_fp_refs, 2);
+        assert_eq!(corpus.dangling_fps, 1);
+        assert_eq!(corpus.dangling_samples, vec!["skipped1".to_string()]);
+        // The connection still joins on the side that parsed.
+        assert_eq!(corpus.conns[0].server_leaf, None);
+        assert_eq!(corpus.conns[0].client_leaf, Some(0));
+        // A fully-joined corpus reports zero.
+        let clean = build_unfiltered(
+            &[conn(external, internal, None, "aa", None)],
+            &certs,
+            meta(),
+        );
+        assert_eq!(clean.dangling_fp_refs, 0);
+        assert_eq!(clean.dangling_fps, 0);
     }
 
     #[test]

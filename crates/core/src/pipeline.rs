@@ -218,6 +218,7 @@ pub fn build_corpus_obs(inputs: AnalysisInputs, obs: &Obs, parent: Option<SpanId
         obs.gauge_set("corpus.certs", corpus.certs.len() as i64);
         obs.gauge_set("corpus.conns", corpus.conns.len() as i64);
         obs.gauge_set("corpus.interned_strings", corpus.interner().len() as i64);
+        obs.gauge_set("corpus.dangling_fps", corpus.dangling_fps as i64);
     }
     corpus
 }

@@ -17,6 +17,12 @@ pub struct SimConfig {
     pub include_non_mtls: bool,
     /// Whether to plant TLS-interception traffic (§3.2.1).
     pub include_interception: bool,
+    /// Whether to plant ParsEval-class malformed certificates into the
+    /// traffic (truncated DER, corrupted lengths, sign characters in time
+    /// strings, …). Off by default so the calibrated corpus stays
+    /// bit-identical; the conformance tests turn it on to exercise the
+    /// lenient ingest path end-to-end.
+    pub include_malformed: bool,
 }
 
 impl Default for SimConfig {
@@ -26,6 +32,7 @@ impl Default for SimConfig {
             scale: 1.0,
             include_non_mtls: true,
             include_interception: true,
+            include_malformed: false,
         }
     }
 }

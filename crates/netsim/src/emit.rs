@@ -33,6 +33,34 @@ pub struct ConnSpec<'a> {
     pub resumed: bool,
 }
 
+/// Like [`ConnSpec`] but with certificate chains as raw DER blobs, for the
+/// `malformed` scenario: endpoints on a real network can and do present
+/// bytes that are not well-formed certificates, and the wire protocol
+/// carries them opaquely either way.
+pub struct RawConnSpec {
+    pub ts: f64,
+    pub orig: Ipv4,
+    pub resp: Ipv4,
+    pub resp_port: u16,
+    pub version: TlsVersion,
+    pub sni: Option<String>,
+    pub server_chain: Vec<Vec<u8>>,
+    pub client_chain: Vec<Vec<u8>>,
+    pub established: bool,
+    pub resumed: bool,
+}
+
+/// Accounting for certificate blobs that reached the monitor but did not
+/// parse: the emitter logs the connection (Zeek logs the handshake either
+/// way) and skips the x509 row, like Zeek's parse-failure path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MalformedStats {
+    /// Distinct certificate blobs skipped (by fingerprint).
+    pub certs_skipped: u64,
+    /// Up to eight sample fingerprints of skipped blobs, first-seen order.
+    pub sample_fps: Vec<String>,
+}
+
 /// Out-of-band metadata the analysis pipeline needs (the paper's analogue:
 /// the university's subnet list, campus CA names, and collection window).
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +97,9 @@ pub struct SimOutput {
     pub x509: Vec<X509Record>,
     pub ct: CtLog,
     pub meta: SimMeta,
+    /// Certificates that failed to parse and were skipped (empty unless the
+    /// `malformed` scenario is enabled).
+    pub malformed: MalformedStats,
 }
 
 /// Collects records during generation.
@@ -84,6 +115,7 @@ pub struct Emitter {
     pub quotas_public_personal_names: usize,
     uid_counter: u64,
     config: SimConfig,
+    malformed: MalformedStats,
 }
 
 impl Emitter {
@@ -98,24 +130,44 @@ impl Emitter {
             quotas_public_personal_names: config.scaled(targets::CLIENT_PUBLIC_PERSONAL_NAMES),
             uid_counter: 0,
             config: config.clone(),
+            malformed: MalformedStats::default(),
         }
     }
 
     /// Emit one connection: simulate the handshake bytes, run the passive
     /// monitor over them, and log what the monitor saw.
     pub fn connection(&mut self, spec: ConnSpec<'_>, rng: &mut impl Rng) {
+        self.connection_raw(
+            RawConnSpec {
+                ts: spec.ts,
+                orig: spec.orig,
+                resp: spec.resp,
+                resp_port: spec.resp_port,
+                version: spec.version,
+                sni: spec.sni,
+                server_chain: spec.server_chain.iter().map(|c| c.to_der()).collect(),
+                client_chain: spec.client_chain.iter().map(|c| c.to_der()).collect(),
+                established: spec.established,
+                resumed: spec.resumed,
+            },
+            rng,
+        );
+    }
+
+    /// [`Emitter::connection`] over raw DER chains. Blobs that fail to
+    /// parse still flow through the handshake and are fingerprinted in
+    /// `ssl.log`, but get no `x509.log` row (counted in
+    /// [`SimOutput::malformed`]).
+    pub fn connection_raw(&mut self, spec: RawConnSpec, rng: &mut impl Rng) {
         // Clamp into the collection window (scenario arithmetic may land a
         // reissued certificate's last connection a day past March 31 2024).
-        let spec = ConnSpec {
-            ts: spec.ts.clamp(1_651_363_200.0, 1_711_843_199.0),
-            ..spec
-        };
+        let ts = spec.ts.clamp(1_651_363_200.0, 1_711_843_199.0);
         let cfg = HandshakeConfig {
             version: spec.version,
             sni: spec.sni.clone(),
-            server_chain: spec.server_chain.iter().map(|c| c.to_der()).collect(),
+            server_chain: spec.server_chain,
             request_client_cert: !spec.client_chain.is_empty(),
-            client_chain: spec.client_chain.iter().map(|c| c.to_der()).collect(),
+            client_chain: spec.client_chain,
             established: spec.established,
             resumed: spec.resumed,
             random_seed: rng.gen(),
@@ -123,12 +175,12 @@ impl Emitter {
         let transcript = simulate_handshake(&cfg);
         let obs = observe(&transcript).expect("simulated stream is TLS");
 
-        let cert_chain_fps = self.intern_chain(&obs.server_cert_ders, spec.ts);
-        let client_cert_chain_fps = self.intern_chain(&obs.client_cert_ders, spec.ts);
+        let cert_chain_fps = self.intern_chain(&obs.server_cert_ders, ts);
+        let client_cert_chain_fps = self.intern_chain(&obs.client_cert_ders, ts);
 
         self.uid_counter += 1;
         self.ssl.push(SslRecord {
-            ts: spec.ts,
+            ts,
             uid: format!("C{:08x}", self.uid_counter),
             orig_h: spec.orig,
             orig_p: rng.gen_range(32_768..61_000),
@@ -153,8 +205,17 @@ impl Emitter {
             let digest = sha256(der);
             let fp = hex::encode(&digest);
             if self.seen.insert(digest, ()).is_none() {
-                let cert = Certificate::from_der(der).expect("emitted certs parse");
-                self.x509.push(to_x509_record(&cert, &fp, ts));
+                // Zeek's parse-failure path: the connection log keeps the
+                // fingerprint, the x509 log gets no row, nothing crashes.
+                match Certificate::from_der(der) {
+                    Ok(cert) => self.x509.push(to_x509_record(&cert, &fp, ts)),
+                    Err(_) => {
+                        self.malformed.certs_skipped += 1;
+                        if self.malformed.sample_fps.len() < 8 {
+                            self.malformed.sample_fps.push(fp.clone());
+                        }
+                    }
+                }
             }
             fps.push(fp);
         }
@@ -236,6 +297,7 @@ impl Emitter {
             x509: self.x509,
             ct: self.ct,
             meta,
+            malformed: self.malformed,
         }
     }
 }

@@ -94,6 +94,7 @@ pub fn generate_obs(config: &SimConfig, obs: &Obs, parent: Option<SpanId>) -> Si
     scenario!(expired);
     scenario!(nonmtls);
     scenario!(interception);
+    scenario!(malformed);
 
     let out = obs.time(gid, "emit_finish", || emitter.finish(&world));
     span.finish();

@@ -10,6 +10,7 @@ pub mod dummies;
 pub mod expired;
 pub mod inbound;
 pub mod interception;
+pub mod malformed;
 pub mod nonmtls;
 pub mod outbound;
 pub mod privservers;

@@ -814,6 +814,15 @@ pub const INTERCEPTION_ISSUERS: usize = 186;
 pub const INTERCEPTION_CERTS: usize = 11_000;
 pub const INTERCEPTION_CONNS: usize = 20_000;
 
+// ---------------------------------------------------------------------------
+// Conformance: malformed-certificate traffic (opt-in, off by default).
+// ---------------------------------------------------------------------------
+
+/// Connections carrying at least one certificate blob that does not parse
+/// as DER (ParsEval-class deformities). Not a paper statistic — a harness
+/// population, gated behind `SimConfig::include_malformed`.
+pub const MALFORMED_CONNS: usize = 60;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -83,7 +83,10 @@ impl BasicConstraints {
             out.ca = seq.read_boolean()?;
         }
         if !seq.is_empty() {
-            out.path_len = Some(seq.read_integer_i64()? as u8);
+            // pathLenConstraint is `INTEGER (0..MAX)`: a bare `as u8` cast
+            // here would wrap 256 to 0 and -1 to 255 (harness-surfaced).
+            let n = seq.read_integer_i64()?;
+            out.path_len = Some(u8::try_from(n).map_err(|_| mtls_asn1::Error::IntegerOverflow)?);
         }
         seq.expect_end()?;
         Ok(out)
@@ -276,6 +279,30 @@ mod tests {
         let rt = round_trip_ext(&ext);
         assert!(rt.critical);
         assert_eq!(BasicConstraints::from_value(&rt.value).unwrap(), bc);
+    }
+
+    #[test]
+    fn basic_constraints_path_len_out_of_range_rejected() {
+        // pathLenConstraint 256 (wrapped to 0 by the old cast) and -1
+        // (wrapped to 255) must both fail to parse.
+        for n in [256i64, -1, 1024, i64::MIN] {
+            let mut w = DerWriter::new();
+            w.sequence(|w| {
+                w.boolean(true);
+                w.integer_i64(n);
+            });
+            assert!(BasicConstraints::from_value(&w.finish()).is_err());
+        }
+        // The full u8 range still parses.
+        let mut w = DerWriter::new();
+        w.sequence(|w| {
+            w.boolean(true);
+            w.integer_i64(255);
+        });
+        assert_eq!(
+            BasicConstraints::from_value(&w.finish()).unwrap().path_len,
+            Some(255)
+        );
     }
 
     #[test]

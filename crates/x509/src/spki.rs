@@ -82,7 +82,10 @@ impl PublicKeyInfo {
             alg.read_null()?;
         }
         let bits = seq.read_bit_string()?;
-        if bits.len() < 32 {
+        // Too short to carry the key id, or too long for the bit count to
+        // fit `u16` (a bare `as u16` cast would wrap an 8192-byte blob to
+        // 0 bits and silently misreport key strength — harness-surfaced).
+        if bits.len() < 32 || bits.len() * 8 > usize::from(u16::MAX) {
             return Err(Error::BadPublicKey);
         }
         let key_id = KeyId(bits[..32].try_into().expect("32 bytes"));
@@ -145,6 +148,37 @@ mod tests {
         assert_eq!(rt.key_id, info.key_id);
         assert_eq!(rt.algorithm, KeyAlgorithm::EcdsaP256);
         assert!(!rt.algorithm.is_weak());
+    }
+
+    #[test]
+    fn oversized_key_bits_rejected_not_wrapped() {
+        // 8192 content bytes = 65536 bits, one past u16::MAX: before the
+        // guard this decoded as `Rsa { bits: 0 }`.
+        let mut w = DerWriter::new();
+        w.sequence(|w| {
+            w.sequence(|w| {
+                w.oid(oids::rsa_encryption());
+                w.null();
+            });
+            w.bit_string(&vec![0xAB; 8192]);
+        });
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        assert_eq!(PublicKeyInfo::decode(&mut r), Err(Error::BadPublicKey));
+        // The largest size that still fits is accepted and reports
+        // its true bit count.
+        let mut w = DerWriter::new();
+        w.sequence(|w| {
+            w.sequence(|w| {
+                w.oid(oids::rsa_encryption());
+                w.null();
+            });
+            w.bit_string(&vec![0xAB; 8191]);
+        });
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        let info = PublicKeyInfo::decode(&mut r).unwrap();
+        assert_eq!(info.algorithm.bits(), 8191 * 8);
     }
 
     #[test]
