@@ -5,13 +5,19 @@
 //! iff any panic or divergence was observed.
 //!
 //! ```text
-//! conform [--mutants N] [--seed S] [--report PATH] [--quiet]
+//! conform [--mutants N] [--tsv-mutants N] [--seed S] [--report PATH] [--quiet]
 //! ```
+//!
+//! `--tsv-mutants` additionally runs the Zeek-TSV shard campaign (mutated
+//! ssl.log/x509.log bytes through the SWAR readers); its summary goes to
+//! stderr and failures flip the exit code, leaving the DER report format
+//! unchanged.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut mutants: u64 = 10_000;
+    let mut tsv_mutants: u64 = 0;
     let mut seed: u64 = 0x6d74_6c73; // "mtls"
     let mut report_path: Option<String> = None;
     let mut quiet = false;
@@ -22,6 +28,10 @@ fn main() -> ExitCode {
             "--mutants" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) => mutants = v,
                 None => return usage("--mutants needs an integer"),
+            },
+            "--tsv-mutants" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => tsv_mutants = v,
+                None => return usage("--tsv-mutants needs an integer"),
             },
             "--seed" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) => seed = v,
@@ -43,6 +53,7 @@ fn main() -> ExitCode {
     let hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
     let report = mtls_conform::run_campaign(seed, mutants);
+    let tsv_summary = (tsv_mutants > 0).then(|| mtls_conform::run_tsv_campaign(seed, tsv_mutants));
     std::panic::set_hook(hook);
 
     let tsv = report.to_tsv();
@@ -65,7 +76,15 @@ fn main() -> ExitCode {
         report.panics(),
         report.divergences(),
     );
-    if report.has_bugs() {
+    let mut tsv_bugs = false;
+    if let Some(s) = &tsv_summary {
+        eprintln!(
+            "conform: tsv seed={} mutants={} evaluations={} accepted={} panics={} divergences={}",
+            s.seed, s.mutants, s.evaluations, s.accepted, s.panics, s.divergences,
+        );
+        tsv_bugs = s.has_bugs();
+    }
+    if report.has_bugs() || tsv_bugs {
         eprintln!("conform: FAIL: parser bugs detected (see finding rows)");
         ExitCode::FAILURE
     } else {
@@ -77,7 +96,9 @@ fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("conform: {err}");
     }
-    eprintln!("usage: conform [--mutants N] [--seed S] [--report PATH] [--quiet]");
+    eprintln!(
+        "usage: conform [--mutants N] [--tsv-mutants N] [--seed S] [--report PATH] [--quiet]"
+    );
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {

@@ -1,0 +1,292 @@
+//! TSV-shard mutation campaign: the Zeek-log readers through the same
+//! discipline as the DER parsers.
+//!
+//! The SWAR rewrite of `mtls_zeek::tsv` made the log scanners the fastest
+//! — and therefore the least-read — code in the ingest path, so this
+//! module drives them with mutated shard bytes and four oracles:
+//!
+//! 1. **No-panic**: `read_ssl_log` / `read_x509_log` must return `Ok` or
+//!    `Err` on arbitrary mutants, never panic, in both ingest modes.
+//! 2. **Determinism**: parsing the same mutant twice yields the same
+//!    result.
+//! 3. **Strict⊆lenient**: if strict mode accepts a shard, lenient mode
+//!    must accept it with the identical records (lenient only ever skips
+//!    rows strict would reject).
+//! 4. **SWAR≡scalar**: the u64-at-a-time delimiter scanners agree with
+//!    their byte-at-a-time twins on the mutant bytes — the exact buffers
+//!    the readers just scanned.
+
+use crate::mutate::Rng64;
+use mtls_zeek::swar;
+use mtls_zeek::{
+    read_ssl_log_with, read_x509_log_with, write_ssl_log, write_x509_log, IngestMode, Ipv4,
+    ShardDiag, SslRecord, TlsVersion, X509Record,
+};
+
+/// Outcome counts of one TSV campaign.
+#[derive(Debug, Clone, Default)]
+pub struct TsvSummary {
+    pub seed: u64,
+    pub mutants: u64,
+    /// (reader, mode) evaluations run.
+    pub evaluations: u64,
+    /// Mutants at least one reader accepted.
+    pub accepted: u64,
+    /// Panics caught (bug).
+    pub panics: u64,
+    /// Determinism / strict-vs-lenient / SWAR-vs-scalar divergences (bug).
+    pub divergences: u64,
+}
+
+impl TsvSummary {
+    /// Whether the campaign found a parser bug.
+    pub fn has_bugs(&self) -> bool {
+        self.panics > 0 || self.divergences > 0
+    }
+}
+
+/// Seed shards: a small valid ssl.log and x509.log, written by the real
+/// writers so headers, escapes, and vector fields are authentic.
+fn golden_shards() -> Vec<Vec<u8>> {
+    let ssl = [
+        SslRecord {
+            ts: 1_651_363_200.5,
+            uid: "Cconform1".into(),
+            orig_h: Ipv4::new(172, 29, 1, 10),
+            orig_p: 40_000,
+            resp_h: Ipv4::new(98, 100, 7, 7),
+            resp_p: 443,
+            version: TlsVersion::Tls12,
+            server_name: Some("api.with\ttab.example".into()),
+            established: true,
+            cert_chain_fps: vec!["aa11".into(), "bb22".into()],
+            client_cert_chain_fps: vec!["cc33".into()],
+        },
+        SslRecord {
+            ts: 1_651_363_201.0,
+            uid: "Cconform2".into(),
+            orig_h: Ipv4::new(172, 29, 1, 11),
+            orig_p: 40_001,
+            resp_h: Ipv4::new(98, 100, 7, 8),
+            resp_p: 8443,
+            version: TlsVersion::Tls13,
+            server_name: None,
+            established: false,
+            cert_chain_fps: vec![],
+            client_cert_chain_fps: vec![],
+        },
+    ];
+    let x509 = [X509Record {
+        ts: 1_651_363_200.5,
+        fingerprint: "aa11".into(),
+        version: 3,
+        serial: "03E8".into(),
+        subject: "CN=backslash\\and,comma".into(),
+        issuer: "O=Conform CA".into(),
+        issuer_org: Some("Conform CA".into()),
+        subject_cn: Some("backslash\\and,comma".into()),
+        not_valid_before: 1_600_000_000,
+        not_valid_after: 1_700_000_000,
+        key_alg: "rsa".into(),
+        key_length: 2048,
+        sig_alg: "sha256WithRSAEncryption".into(),
+        san_dns: vec!["a.example".into(), "b.example".into()],
+        san_email: vec![],
+        san_uri: vec![],
+        san_ip: vec![],
+        basic_constraints_ca: false,
+    }];
+    let mut ssl_buf = Vec::new();
+    write_ssl_log(&mut ssl_buf, ssl.iter()).expect("write to vec");
+    let mut x509_buf = Vec::new();
+    write_x509_log(&mut x509_buf, x509.iter()).expect("write to vec");
+    vec![ssl_buf, x509_buf]
+}
+
+/// One byte-level shard mutation (the DER mutator is structure-aware; TSV
+/// corruption is byte soup: flips, truncation, tab/newline splices, line
+/// duplication).
+fn mutate_shard(input: &[u8], rng: &mut Rng64) -> Vec<u8> {
+    let mut out = input.to_vec();
+    match rng.below(6) {
+        // Bit flip.
+        0 if !out.is_empty() => {
+            let i = rng.below(out.len());
+            out[i] ^= 1 << rng.below(8);
+        }
+        // Truncate.
+        1 if !out.is_empty() => out.truncate(rng.below(out.len())),
+        // Insert a delimiter or escape byte.
+        2 => {
+            let b = [b'\t', b'\n', b'\r', b',', b'\\', b'x', 0x00, 0xFF][rng.below(8)];
+            let at = rng.below(out.len() + 1);
+            out.insert(at, b);
+        }
+        // Duplicate a line.
+        3 => {
+            let lines: Vec<&[u8]> = out.split(|&b| b == b'\n').collect();
+            if !lines.is_empty() {
+                let dup = lines[rng.below(lines.len())].to_vec();
+                out.extend_from_slice(&dup);
+                out.push(b'\n');
+            }
+        }
+        // Delete a span.
+        4 if out.len() > 2 => {
+            let start = rng.below(out.len() - 1);
+            let end = (start + 1 + rng.below(16)).min(out.len());
+            out.drain(start..end);
+        }
+        // Overwrite a span with random bytes.
+        _ => {
+            for _ in 0..rng.below(8) + 1 {
+                if out.is_empty() {
+                    break;
+                }
+                let i = rng.below(out.len());
+                out[i] = rng.next_u64() as u8;
+            }
+        }
+    }
+    out
+}
+
+type ParseResult<T> = Result<Result<Vec<T>, String>, ()>;
+
+/// Run one reader, catching panics; errors collapse to their display
+/// string so determinism can compare them.
+fn catch<T, F>(f: F) -> ParseResult<T>
+where
+    F: FnOnce() -> Result<Vec<T>, mtls_zeek::TsvError> + std::panic::UnwindSafe,
+{
+    std::panic::catch_unwind(f)
+        .map(|r| r.map_err(|e| e.to_string()))
+        .map_err(|_| ())
+}
+
+fn ssl_parse(bytes: &[u8], mode: IngestMode) -> ParseResult<SslRecord> {
+    catch(move || read_ssl_log_with(bytes, mode, &mut ShardDiag::default()))
+}
+
+fn x509_parse(bytes: &[u8], mode: IngestMode) -> ParseResult<X509Record> {
+    catch(move || read_x509_log_with(bytes, mode, &mut ShardDiag::default()))
+}
+
+/// SWAR≡scalar oracle over the raw mutant bytes.
+fn swar_agrees(bytes: &[u8]) -> bool {
+    let needles = [b'\t', b'\n', b'\r', b',', b'\\'];
+    if swar::count_byte(bytes, b'\n') != swar::scalar::count_byte(bytes, b'\n')
+        || swar::contains_any5(bytes, needles) != swar::scalar::contains_any5(bytes, needles)
+        || swar::contains_seq2(bytes, b'\\', b'x')
+            != swar::scalar::contains_seq2(bytes, b'\\', b'x')
+    {
+        return false;
+    }
+    let ours: Vec<&[u8]> = swar::split_byte(bytes, b'\t').collect();
+    let std: Vec<&[u8]> = bytes.split(|&b| b == b'\t').collect();
+    ours == std
+}
+
+/// Evaluate one shard (possibly mutated) against all four oracles.
+fn run_shard<T: PartialEq>(
+    bytes: &[u8],
+    parse: impl Fn(&[u8], IngestMode) -> ParseResult<T>,
+    summary: &mut TsvSummary,
+) {
+    let mut any_ok = false;
+    let mut results = Vec::new();
+    for mode in [IngestMode::Strict, IngestMode::Lenient] {
+        summary.evaluations += 1;
+        let first = parse(bytes, mode);
+        match &first {
+            Err(()) => summary.panics += 1,
+            Ok(Ok(_)) => any_ok = true,
+            Ok(Err(_)) => {}
+        }
+        // Determinism: same bytes, same mode, same answer.
+        if parse(bytes, mode) != first {
+            summary.divergences += 1;
+        }
+        results.push(first);
+    }
+    // Strict⊆lenient: whatever strict accepts, lenient must accept
+    // identically.
+    if let (Ok(Ok(strict)), Ok(lenient)) = (&results[0], &results[1]) {
+        match lenient {
+            Ok(recs) if recs == strict => {}
+            _ => summary.divergences += 1,
+        }
+    }
+    if !swar_agrees(bytes) {
+        summary.divergences += 1;
+    }
+    if any_ok {
+        summary.accepted += 1;
+    }
+}
+
+/// Run the TSV campaign: golden shards first (must be accepted), then
+/// `mutants` mutated shards round-robin. Deterministic for a given
+/// `(seed, mutants)`.
+pub fn run_tsv_campaign(seed: u64, mutants: u64) -> TsvSummary {
+    let shards = golden_shards();
+    let mut summary = TsvSummary {
+        seed,
+        mutants,
+        ..TsvSummary::default()
+    };
+    let mut rng = Rng64::new(seed);
+    // Golden shards must parse cleanly in both modes.
+    for (i, shard) in shards.iter().enumerate() {
+        let before = summary.divergences;
+        if i == 0 {
+            run_shard(shard, ssl_parse, &mut summary);
+        } else {
+            run_shard(shard, x509_parse, &mut summary);
+        }
+        if summary.accepted != i as u64 + 1 || summary.divergences != before {
+            summary.divergences += 1; // golden shard rejected: flag it
+        }
+    }
+    summary.accepted = 0; // golden acceptance checked above; count mutants only
+    for n in 0..mutants {
+        let which = (n % shards.len() as u64) as usize;
+        let mutant = mutate_shard(&shards[which], &mut rng);
+        if which == 0 {
+            run_shard(&mutant, ssl_parse, &mut summary);
+        } else {
+            run_shard(&mutant, x509_parse, &mut summary);
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_shards_parse_in_both_modes() {
+        let s = run_tsv_campaign(7, 0);
+        assert_eq!(s.evaluations, 4); // 2 shards x 2 modes
+        assert!(!s.has_bugs(), "{s:?}");
+    }
+
+    #[test]
+    fn campaign_is_deterministic_and_clean() {
+        let a = run_tsv_campaign(42, 300);
+        let b = run_tsv_campaign(42, 300);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.accepted, b.accepted);
+        assert!(!a.has_bugs(), "{a:?}");
+        assert!(a.evaluations >= 600);
+    }
+
+    #[test]
+    fn mutants_exercise_the_accept_path_sometimes() {
+        // Byte soup should still leave some shards parseable (lenient mode
+        // skips bad rows), otherwise the campaign only tests rejection.
+        let s = run_tsv_campaign(1, 500);
+        assert!(s.accepted > 0, "{s:?}");
+    }
+}

@@ -2,6 +2,7 @@
 //! does not precede `notAfter`, all observed in successfully established
 //! connections.
 
+use crate::columns::cert_flag;
 use crate::corpus::Corpus;
 use crate::report::{count, Table};
 use mtls_zeek::Ipv4;
@@ -36,12 +37,16 @@ fn year_of(unix: i64) -> i32 {
 
 /// Run the analyzer.
 pub fn run(corpus: &Corpus) -> Report {
-    // Which incorrect-dated certs exist, and which connections carry them.
+    // Which incorrect-dated certs exist (one dense flag scan), and which
+    // connections carry them.
     let bad: HashSet<usize> = corpus
-        .certs
+        .cert_cols
+        .flags
         .iter()
         .enumerate()
-        .filter(|(_, c)| !c.excluded && c.rec.has_incorrect_dates())
+        .filter(|(_, &f)| {
+            f & (cert_flag::EXCLUDED | cert_flag::INCORRECT_DATES) == cert_flag::INCORRECT_DATES
+        })
         .map(|(i, _)| i)
         .collect();
 

@@ -1,6 +1,7 @@
 //! Experiment `fig4` — §5.3.2: validity periods of client certificates in
 //! mutual TLS, by issuer category, including the extreme tail.
 
+use crate::columns::cert_flag;
 use crate::corpus::Corpus;
 use crate::report::{count, Table};
 use mtls_pki::IssuerCategory;
@@ -43,14 +44,20 @@ pub fn run(corpus: &Corpus) -> Report {
     let mut max_days = 0i64;
     let mut max_issuer = String::new();
 
-    for cert in corpus.live_certs() {
-        if !cert.seen_as_client || !cert.in_mtls || cert.rec.has_incorrect_dates() {
+    // Columnar scan: the filter and the histogram read only the dense
+    // flag/day/category arrays; the row store is dereferenced solely on a
+    // new maximum (a handful of times per corpus).
+    let cols = &corpus.cert_cols;
+    const IN_SCOPE: u8 = cert_flag::SEEN_AS_CLIENT | cert_flag::IN_MTLS;
+    const OUT_OF_SCOPE: u8 = cert_flag::EXCLUDED | cert_flag::INCORRECT_DATES;
+    for (id, &flags) in cols.flags.iter().enumerate() {
+        if flags & IN_SCOPE != IN_SCOPE || flags & OUT_OF_SCOPE != 0 {
             continue;
         }
-        let days = cert.rec.validity_days();
+        let days = cols.validity_days[id];
         for (i, (lo, hi, _)) in BUCKETS.iter().enumerate() {
             if days >= *lo && days <= *hi {
-                if cert.public {
+                if flags & cert_flag::PUBLIC != 0 {
                     hist[i].1 += 1;
                 } else {
                     hist[i].2 += 1;
@@ -60,11 +67,11 @@ pub fn run(corpus: &Corpus) -> Report {
         }
         if (10_000..=40_000).contains(&days) {
             very_long += 1;
-            *cats.entry(cert.category).or_insert(0) += 1;
+            *cats.entry(cols.category[id]).or_insert(0) += 1;
         }
         if days > max_days {
             max_days = days;
-            max_issuer = cert.rec.issuer_org.clone().unwrap_or_default();
+            max_issuer = corpus.certs[id].rec.issuer_org.clone().unwrap_or_default();
         }
     }
 

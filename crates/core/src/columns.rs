@@ -1,0 +1,115 @@
+//! Columnar projections of the hot [`Corpus`](crate::corpus::Corpus)
+//! fields.
+//!
+//! The per-record structs ([`CertInfo`](crate::corpus::CertInfo),
+//! [`ConnInfo`](crate::corpus::ConnInfo)) carry strings, hash sets, and
+//! `Option<String>` domains — hundreds of bytes per record — but the
+//! table/figure analyzers mostly ask tiny questions of every record:
+//! *is it excluded, is it mutual TLS, what port, how many validity days*.
+//! Scanning the row store for those answers drags all the cold payload
+//! through cache. These columns re-lay the scanned fields out as dense
+//! parallel arrays keyed by `CertId` / connection index, so an analyzer
+//! pass touches a few contiguous bytes per record and only dereferences
+//! the row store on a hit.
+//!
+//! Built once at the end of `Corpus::build`; read-only afterwards. The
+//! `columns_mirror_row_structs` test (and the corpus unit tests) pin
+//! every column equal to its row-struct source field.
+
+use crate::corpus::Direction;
+use mtls_pki::IssuerCategory;
+
+/// Bit flags for one certificate in [`CertColumns::flags`].
+pub mod cert_flag {
+    /// Issuer chains to the public root store.
+    pub const PUBLIC: u8 = 1 << 0;
+    /// Excluded by the interception filter.
+    pub const EXCLUDED: u8 = 1 << 1;
+    /// Presented by a client endpoint at least once.
+    pub const SEEN_AS_CLIENT: u8 = 1 << 2;
+    /// Used in at least one mutual-TLS connection.
+    pub const IN_MTLS: u8 = 1 << 3;
+    /// `notBefore >= notAfter` (Figure 3 population).
+    pub const INCORRECT_DATES: u8 = 1 << 4;
+}
+
+/// Bit flags for one connection in [`ConnColumns::flags`].
+pub mod conn_flag {
+    /// Touches an interception-excluded certificate.
+    pub const EXCLUDED: u8 = 1 << 0;
+    /// Mutual TLS (client chain present).
+    pub const MTLS: u8 = 1 << 1;
+}
+
+/// Sentinel in [`ConnColumns::client_leaf`] for "no client leaf".
+pub const NO_CERT: u32 = u32::MAX;
+
+/// Dense per-certificate columns, indexed by `CertId`.
+#[derive(Debug, Clone, Default)]
+pub struct CertColumns {
+    /// `rec.validity_days()`.
+    pub validity_days: Vec<i64>,
+    /// `rec.not_valid_after` (unix seconds), for expiry scans.
+    pub not_valid_after: Vec<i64>,
+    /// Issuer category per §4.2.
+    pub category: Vec<IssuerCategory>,
+    /// [`cert_flag`] bits.
+    pub flags: Vec<u8>,
+}
+
+impl CertColumns {
+    /// Number of certificates.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Whether the corpus has no certificates.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// Whether cert `id` has all bits of `mask` set.
+    #[inline(always)]
+    pub fn has(&self, id: usize, mask: u8) -> bool {
+        self.flags[id] & mask == mask
+    }
+}
+
+/// Dense per-connection columns, indexed by position in `Corpus::conns`.
+#[derive(Debug, Clone, Default)]
+pub struct ConnColumns {
+    /// Traffic direction.
+    pub direction: Vec<Direction>,
+    /// Server port (`rec.resp_p`).
+    pub resp_p: Vec<u16>,
+    /// Connection timestamp (`rec.ts`).
+    pub ts: Vec<f64>,
+    /// Client leaf `CertId`, or [`NO_CERT`].
+    pub client_leaf: Vec<u32>,
+    /// [`conn_flag`] bits.
+    pub flags: Vec<u8>,
+}
+
+impl ConnColumns {
+    /// Number of connections.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Whether the corpus has no connections.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// Whether connection `i` has all bits of `mask` set.
+    #[inline(always)]
+    pub fn has(&self, i: usize, mask: u8) -> bool {
+        self.flags[i] & mask == mask
+    }
+
+    /// Live (not excluded) mutual-TLS connection?
+    #[inline(always)]
+    pub fn is_live_mtls(&self, i: usize) -> bool {
+        self.flags[i] & (conn_flag::EXCLUDED | conn_flag::MTLS) == conn_flag::MTLS
+    }
+}

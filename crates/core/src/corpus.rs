@@ -1,5 +1,6 @@
 //! The analysis corpus: the joined, enriched view of one log collection.
 
+use crate::columns::{cert_flag, conn_flag, CertColumns, ConnColumns, NO_CERT};
 use mtls_classify::extract_domain;
 use mtls_intern::{FxBuildHasher, FxHashMap, FxHashSet, Interner, Symbol};
 use mtls_pki::{classify_issuer_org, IssuerCategory};
@@ -229,6 +230,13 @@ pub struct Corpus {
     pub dangling_fps: usize,
     /// Up to eight sample dangling fingerprints for diagnostics.
     pub dangling_samples: Vec<String>,
+    /// Columnar projection of the hot per-certificate fields, indexed by
+    /// [`CertId`]. Built once after the join; the analyzers scan these
+    /// instead of striding through [`CertInfo`] rows.
+    pub cert_cols: CertColumns,
+    /// Columnar projection of the hot per-connection fields, parallel to
+    /// [`Corpus::conns`].
+    pub conn_cols: ConnColumns,
 }
 
 impl Corpus {
@@ -404,6 +412,62 @@ impl Corpus {
         }
 
         let excluded_certs = certs.iter().filter(|c| c.excluded).count();
+
+        // Project the hot fields into dense columns. The cert flags are
+        // only final after the connection loop above (roles and mTLS
+        // participation accumulate per connection), so this runs last.
+        let mut cert_cols = CertColumns {
+            validity_days: Vec::with_capacity(certs.len()),
+            not_valid_after: Vec::with_capacity(certs.len()),
+            category: Vec::with_capacity(certs.len()),
+            flags: Vec::with_capacity(certs.len()),
+        };
+        for c in &certs {
+            cert_cols.validity_days.push(c.rec.validity_days());
+            cert_cols.not_valid_after.push(c.rec.not_valid_after);
+            cert_cols.category.push(c.category);
+            let mut flags = 0u8;
+            if c.public {
+                flags |= cert_flag::PUBLIC;
+            }
+            if c.excluded {
+                flags |= cert_flag::EXCLUDED;
+            }
+            if c.seen_as_client {
+                flags |= cert_flag::SEEN_AS_CLIENT;
+            }
+            if c.in_mtls {
+                flags |= cert_flag::IN_MTLS;
+            }
+            if c.rec.has_incorrect_dates() {
+                flags |= cert_flag::INCORRECT_DATES;
+            }
+            cert_cols.flags.push(flags);
+        }
+        let mut conn_cols = ConnColumns {
+            direction: Vec::with_capacity(conns.len()),
+            resp_p: Vec::with_capacity(conns.len()),
+            ts: Vec::with_capacity(conns.len()),
+            client_leaf: Vec::with_capacity(conns.len()),
+            flags: Vec::with_capacity(conns.len()),
+        };
+        for c in &conns {
+            conn_cols.direction.push(c.direction);
+            conn_cols.resp_p.push(c.rec.resp_p);
+            conn_cols.ts.push(c.rec.ts);
+            conn_cols
+                .client_leaf
+                .push(c.client_leaf.map_or(NO_CERT, |id| id as u32));
+            let mut flags = 0u8;
+            if c.excluded {
+                flags |= conn_flag::EXCLUDED;
+            }
+            if c.mtls {
+                flags |= conn_flag::MTLS;
+            }
+            conn_cols.flags.push(flags);
+        }
+
         Corpus {
             certs,
             conns,
@@ -415,6 +479,8 @@ impl Corpus {
             dangling_fp_refs,
             dangling_fps: dangling_seen.len(),
             dangling_samples,
+            cert_cols,
+            conn_cols,
         }
     }
 
@@ -664,5 +730,61 @@ mod tests {
         assert_eq!(corpus.excluded_certs, 1);
         assert_eq!(corpus.live_conns().count(), 0);
         assert_eq!(corpus.live_certs().count(), 1);
+        // The exclusion also lands in the dense columns.
+        assert!(corpus.cert_cols.has(0, cert_flag::EXCLUDED));
+        assert!(corpus.conn_cols.has(0, conn_flag::EXCLUDED));
+    }
+
+    #[test]
+    fn columns_mirror_row_structs() {
+        let internal = Ipv4::new(172, 29, 10, 5);
+        let external = Ipv4::new(98, 100, 1, 1);
+        let mut inverted = x509("cc", Some("IDrive Inc"));
+        inverted.not_valid_before = 1_000_000;
+        inverted.not_valid_after = 999_999;
+        let certs = vec![x509("aa", Some("DigiCert Inc")), x509("bb", None), inverted];
+        let ssl = vec![
+            conn(
+                external,
+                internal,
+                Some("a.campus-health.org"),
+                "aa",
+                Some("bb"),
+            ),
+            conn(internal, external, None, "aa", None),
+            conn(external, internal, None, "aa", Some("cc")),
+        ];
+        let corpus = build_unfiltered(&ssl, &certs, meta());
+
+        assert_eq!(corpus.cert_cols.len(), corpus.certs.len());
+        for (id, c) in corpus.certs.iter().enumerate() {
+            assert_eq!(corpus.cert_cols.validity_days[id], c.rec.validity_days());
+            assert_eq!(corpus.cert_cols.not_valid_after[id], c.rec.not_valid_after);
+            assert_eq!(corpus.cert_cols.category[id], c.category);
+            assert_eq!(corpus.cert_cols.has(id, cert_flag::PUBLIC), c.public);
+            assert_eq!(corpus.cert_cols.has(id, cert_flag::EXCLUDED), c.excluded);
+            assert_eq!(
+                corpus.cert_cols.has(id, cert_flag::SEEN_AS_CLIENT),
+                c.seen_as_client
+            );
+            assert_eq!(corpus.cert_cols.has(id, cert_flag::IN_MTLS), c.in_mtls);
+            assert_eq!(
+                corpus.cert_cols.has(id, cert_flag::INCORRECT_DATES),
+                c.rec.has_incorrect_dates()
+            );
+        }
+        assert_eq!(corpus.conn_cols.len(), corpus.conns.len());
+        for (i, c) in corpus.conns.iter().enumerate() {
+            assert_eq!(corpus.conn_cols.direction[i], c.direction);
+            assert_eq!(corpus.conn_cols.resp_p[i], c.rec.resp_p);
+            assert_eq!(corpus.conn_cols.ts[i], c.rec.ts);
+            assert_eq!(corpus.conn_cols.has(i, conn_flag::MTLS), c.mtls);
+            assert_eq!(corpus.conn_cols.has(i, conn_flag::EXCLUDED), c.excluded);
+            match c.client_leaf {
+                Some(id) => assert_eq!(corpus.conn_cols.client_leaf[i], id as u32),
+                None => assert_eq!(corpus.conn_cols.client_leaf[i], NO_CERT),
+            }
+            assert_eq!(corpus.conn_cols.is_live_mtls(i), !c.excluded && c.mtls);
+        }
     }
 }

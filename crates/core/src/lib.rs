@@ -35,6 +35,7 @@
 //! ```
 
 pub mod analyze;
+pub mod columns;
 pub mod corpus;
 pub mod export;
 pub mod ingest;
@@ -44,6 +45,7 @@ pub mod report_ascii;
 
 pub mod testutil;
 
+pub use columns::{CertColumns, ConnColumns};
 pub use corpus::{Corpus, Direction, ServerAssociation};
 pub use ingest::{load_dir_obs, load_dir_serial_obs, IngestDiagnostics, IngestError};
 pub use mtls_zeek::IngestMode;

@@ -1,19 +1,62 @@
-//! Lowercase hex encoding/decoding for fingerprints and serial numbers.
+//! Hex encoding/decoding for fingerprints and serial numbers.
+//!
+//! Both directions are table-driven: encoding writes two bytes per input
+//! byte from a 256-entry pair table (one indexed load instead of two
+//! nibble lookups and two `char` pushes), and decoding maps each input
+//! byte through a 256-entry nibble table where `0xFF` marks every
+//! non-hex byte, so validity checking and conversion are the same load.
+
+/// `ENC_LOWER[b]` is the two lowercase hex digits of byte `b`.
+const ENC_LOWER: [[u8; 2]; 256] = build_enc(b"0123456789abcdef");
+/// `ENC_UPPER[b]` is the two uppercase hex digits of byte `b`.
+const ENC_UPPER: [[u8; 2]; 256] = build_enc(b"0123456789ABCDEF");
+/// `DEC[c]` is the nibble value of ASCII `c`, or `0xFF` for non-hex bytes.
+const DEC: [u8; 256] = build_dec();
+
+const fn build_enc(digits: &[u8; 16]) -> [[u8; 2]; 256] {
+    let mut table = [[0u8; 2]; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        table[b] = [digits[b >> 4], digits[b & 0x0F]];
+        b += 1;
+    }
+    table
+}
+
+const fn build_dec() -> [u8; 256] {
+    let mut table = [0xFFu8; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        let b = c as u8;
+        table[c] = match b {
+            b'0'..=b'9' => b - b'0',
+            b'a'..=b'f' => b - b'a' + 10,
+            b'A'..=b'F' => b - b'A' + 10,
+            _ => 0xFF,
+        };
+        c += 1;
+    }
+    table
+}
+
+fn encode_with(bytes: &[u8], table: &[[u8; 2]; 256]) -> String {
+    let mut out = vec![0u8; bytes.len() * 2];
+    for (pair, &b) in out.chunks_exact_mut(2).zip(bytes) {
+        pair.copy_from_slice(&table[b as usize]);
+    }
+    // The table only emits ASCII hex digits.
+    debug_assert!(out.is_ascii());
+    unsafe { String::from_utf8_unchecked(out) }
+}
 
 /// Encode bytes as lowercase hex.
 pub fn encode(bytes: &[u8]) -> String {
-    const TABLE: &[u8; 16] = b"0123456789abcdef";
-    let mut out = String::with_capacity(bytes.len() * 2);
-    for &b in bytes {
-        out.push(TABLE[(b >> 4) as usize] as char);
-        out.push(TABLE[(b & 0x0F) as usize] as char);
-    }
-    out
+    encode_with(bytes, &ENC_LOWER)
 }
 
 /// Encode bytes as uppercase hex (Zeek logs serials in uppercase).
 pub fn encode_upper(bytes: &[u8]) -> String {
-    encode(bytes).to_ascii_uppercase()
+    encode_with(bytes, &ENC_UPPER)
 }
 
 /// Decode a hex string (either case). Returns `None` on odd length or
@@ -23,22 +66,15 @@ pub fn decode(s: &str) -> Option<Vec<u8>> {
         return None;
     }
     let mut out = Vec::with_capacity(s.len() / 2);
-    let bytes = s.as_bytes();
-    for pair in bytes.chunks_exact(2) {
-        let hi = hex_val(pair[0])?;
-        let lo = hex_val(pair[1])?;
+    for pair in s.as_bytes().chunks_exact(2) {
+        let hi = DEC[pair[0] as usize];
+        let lo = DEC[pair[1] as usize];
+        if hi | lo == 0xFF {
+            return None;
+        }
         out.push((hi << 4) | lo);
     }
     Some(out)
-}
-
-fn hex_val(c: u8) -> Option<u8> {
-    match c {
-        b'0'..=b'9' => Some(c - b'0'),
-        b'a'..=b'f' => Some(c - b'a' + 10),
-        b'A'..=b'F' => Some(c - b'A' + 10),
-        _ => None,
-    }
 }
 
 #[cfg(test)]
@@ -59,6 +95,33 @@ mod tests {
         assert!(decode("abc").is_none()); // odd length
         assert!(decode("zz").is_none()); // bad chars
         assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn rejects_every_non_hex_byte_in_either_position() {
+        for c in 0u8..=255 {
+            let is_hex = c.is_ascii_hexdigit();
+            let lead = [c, b'0'];
+            let Ok(lead) = std::str::from_utf8(&lead) else {
+                continue;
+            };
+            assert_eq!(decode(lead).is_some(), is_hex, "lead byte {c:#04x}");
+            let trail = [b'0', c];
+            let Ok(trail) = std::str::from_utf8(&trail) else {
+                continue;
+            };
+            assert_eq!(decode(trail).is_some(), is_hex, "trail byte {c:#04x}");
+        }
+    }
+
+    #[test]
+    fn tables_match_all_bytes() {
+        for b in 0u8..=255 {
+            assert_eq!(encode(&[b]), format!("{b:02x}"));
+            assert_eq!(encode_upper(&[b]), format!("{b:02X}"));
+            assert_eq!(decode(&format!("{b:02x}")).unwrap(), [b]);
+            assert_eq!(decode(&format!("{b:02X}")).unwrap(), [b]);
+        }
     }
 
     #[test]

@@ -1,7 +1,21 @@
 //! SHA-256 (FIPS 180-4), implemented from the specification.
 //!
-//! Streaming API (`Sha256::update`/`finalize`) plus a one-shot [`sha256`].
-//! Tested against the NIST short-message vectors and the million-'a' vector.
+//! Three paths share one unrolled compression core:
+//!
+//! * [`Sha256`] — the streaming API (`update`/`finalize`), with a partial
+//!   block buffer for callers that feed arbitrary slices.
+//! * [`sha256`] — a one-shot path that compresses whole blocks straight
+//!   out of the input slice (no partial-block copy) and builds the
+//!   padding in at most two stack blocks. This is what fingerprinting a
+//!   certificate blob costs.
+//! * [`sha256_batch`] — a 4-way interleaved variant for independent
+//!   blobs: four compression states advance in lockstep through a lane
+//!   array, giving the out-of-order core (or the auto-vectorizer) four
+//!   dependency chains instead of one. Fed by the simulator's
+//!   fingerprint batches; falls back to [`sha256`] for the tail.
+//!
+//! All paths are bit-identical — asserted against the NIST short-message
+//! vectors, the million-'a' vector, and the cross-path property tests.
 
 /// Initial hash values: first 32 bits of the fractional parts of the square
 /// roots of the first 8 primes.
@@ -21,6 +35,127 @@ const K: [u32; 64] = [
     0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
     0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
 ];
+
+#[inline(always)]
+fn small_s0(x: u32) -> u32 {
+    x.rotate_right(7) ^ x.rotate_right(18) ^ (x >> 3)
+}
+
+#[inline(always)]
+fn small_s1(x: u32) -> u32 {
+    x.rotate_right(17) ^ x.rotate_right(19) ^ (x >> 10)
+}
+
+/// One compression of `block` into `state` — the shared core. The message
+/// schedule lives in a rolling 16-word window and the 64 rounds are fully
+/// unrolled with rotating register names, so the working variables never
+/// shuffle through memory.
+// The rolling-schedule writes in rounds 49–64 are dead stores by design
+// (no later round reads them); the unrolled macro keeps them for symmetry.
+#[allow(unused_assignments)]
+fn compress_block(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 16];
+    for (i, word) in w.iter_mut().enumerate() {
+        *word = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+
+    // One round with explicit registers: only d and h are written, so
+    // invoking the macro with rotated argument orders unrolls the whole
+    // a..h shuffle away.
+    macro_rules! round {
+        ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident, $t:expr) => {{
+            // `$t & 15` == `$t` for the first 16 rounds; masking keeps the
+            // dead >=16 arm in-bounds for the const-index lint.
+            let wt = if $t < 16 {
+                w[$t & 15]
+            } else {
+                let wt = w[$t & 15]
+                    .wrapping_add(small_s0(w[($t + 1) & 15]))
+                    .wrapping_add(w[($t + 9) & 15])
+                    .wrapping_add(small_s1(w[($t + 14) & 15]));
+                w[$t & 15] = wt;
+                wt
+            };
+            let t1 = $h
+                .wrapping_add($e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25))
+                .wrapping_add(($e & $f) ^ (!$e & $g))
+                .wrapping_add(K[$t])
+                .wrapping_add(wt);
+            let t2 = ($a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22))
+                .wrapping_add(($a & $b) ^ ($a & $c) ^ ($b & $c));
+            $d = $d.wrapping_add(t1);
+            $h = t1.wrapping_add(t2);
+        }};
+    }
+    macro_rules! eight_rounds {
+        ($base:expr) => {{
+            round!(a, b, c, d, e, f, g, h, $base);
+            round!(h, a, b, c, d, e, f, g, $base + 1);
+            round!(g, h, a, b, c, d, e, f, $base + 2);
+            round!(f, g, h, a, b, c, d, e, $base + 3);
+            round!(e, f, g, h, a, b, c, d, $base + 4);
+            round!(d, e, f, g, h, a, b, c, $base + 5);
+            round!(c, d, e, f, g, h, a, b, $base + 6);
+            round!(b, c, d, e, f, g, h, a, $base + 7);
+        }};
+    }
+    eight_rounds!(0);
+    eight_rounds!(8);
+    eight_rounds!(16);
+    eight_rounds!(24);
+    eight_rounds!(32);
+    eight_rounds!(40);
+    eight_rounds!(48);
+    eight_rounds!(56);
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+fn digest_of(state: &[u32; 8]) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for (i, word) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// The 1–2 padding blocks for a message of `len` bytes whose last
+/// incomplete block is `tail` (`tail.len() < 64`). Returns the buffer and
+/// how many of its bytes (64 or 128) are live.
+fn padding_blocks(tail: &[u8], len: u64) -> ([u8; 128], usize) {
+    debug_assert!(tail.len() < 64);
+    let mut pad = [0u8; 128];
+    pad[..tail.len()].copy_from_slice(tail);
+    pad[tail.len()] = 0x80;
+    // The 8-byte bit length needs tail + 1 + 8 <= n.
+    let n = if tail.len() < 56 { 64 } else { 128 };
+    pad[n - 8..n].copy_from_slice(&len.wrapping_mul(8).to_be_bytes());
+    (pad, n)
+}
+
+/// One-shot SHA-256: whole blocks compress straight out of `data` — no
+/// partial-block buffering, no copies except the final padding block(s).
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut state = H0;
+    let mut blocks = data.chunks_exact(64);
+    for block in &mut blocks {
+        compress_block(&mut state, block.try_into().expect("64-byte block"));
+    }
+    let (pad, n) = padding_blocks(blocks.remainder(), data.len() as u64);
+    compress_block(&mut state, pad[..64].try_into().expect("64-byte block"));
+    if n == 128 {
+        compress_block(&mut state, pad[64..].try_into().expect("64-byte block"));
+    }
+    digest_of(&state)
+}
 
 /// Streaming SHA-256 state.
 #[derive(Clone)]
@@ -61,95 +196,225 @@ impl Sha256 {
             data = &data[take..];
             if self.buf_len == 64 {
                 let block = self.buf;
-                self.compress(&block);
+                compress_block(&mut self.state, &block);
                 self.buf_len = 0;
             }
         }
-        while data.len() >= 64 {
-            let (block, rest) = data.split_at(64);
-            self.compress(block.try_into().expect("64-byte block"));
-            data = rest;
+        let mut blocks = data.chunks_exact(64);
+        for block in &mut blocks {
+            compress_block(&mut self.state, block.try_into().expect("64-byte block"));
         }
-        if !data.is_empty() {
-            self.buf[..data.len()].copy_from_slice(data);
-            self.buf_len = data.len();
+        let rest = blocks.remainder();
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
         }
     }
 
     /// Finish and produce the 32-byte digest.
-    pub fn finalize(mut self) -> [u8; 32] {
-        let bit_len = self.total_len.wrapping_mul(8);
-        // Padding: 0x80, zeros, 8-byte big-endian bit length.
-        self.update(&[0x80]);
-        // `update` mutated total_len; padding length must not count, but the
-        // bit length was captured before, so only the buffer state matters.
-        while self.buf_len != 56 {
-            self.update(&[0x00]);
+    pub fn finalize(self) -> [u8; 32] {
+        let mut state = self.state;
+        let (pad, n) = padding_blocks(&self.buf[..self.buf_len], self.total_len);
+        compress_block(&mut state, pad[..64].try_into().expect("64-byte block"));
+        if n == 128 {
+            compress_block(&mut state, pad[64..].try_into().expect("64-byte block"));
         }
-        self.total_len = 0; // irrelevant from here on
-        let mut last = self.buf;
-        last[56..64].copy_from_slice(&bit_len.to_be_bytes());
-        self.compress(&last);
-
-        let mut out = [0u8; 32];
-        for (i, word) in self.state.iter().enumerate() {
-            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
-        }
-        out
-    }
-
-    fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for i in 0..16 {
-            w[i] = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let t1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
-        }
-
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        digest_of(&state)
     }
 }
 
-/// One-shot SHA-256.
-pub fn sha256(data: &[u8]) -> [u8; 32] {
-    let mut h = Sha256::new();
-    h.update(data);
-    h.finalize()
+/// How many 64-byte blocks a `len`-byte message compresses, padding
+/// included.
+fn padded_blocks_of(len: usize) -> usize {
+    len / 64 + if len % 64 < 56 { 1 } else { 2 }
+}
+
+/// The `i`-th padded block of `msg`, materialized into `out`. Blocks
+/// before the tail copy straight from the message; the final 1–2 blocks
+/// carry the `0x80` terminator and the big-endian bit length.
+fn padded_block(msg: &[u8], i: usize, out: &mut [u8; 64]) {
+    let start = i * 64;
+    if start + 64 <= msg.len() {
+        out.copy_from_slice(&msg[start..start + 64]);
+        return;
+    }
+    out.fill(0);
+    if start <= msg.len() {
+        let tail = &msg[start..];
+        out[..tail.len()].copy_from_slice(tail);
+        out[tail.len()] = 0x80;
+    }
+    if i == padded_blocks_of(msg.len()) - 1 {
+        out[56..].copy_from_slice(&(msg.len() as u64).wrapping_mul(8).to_be_bytes());
+    }
+}
+
+/// Four interleaved compressions: one round loop advances four independent
+/// states, so each instruction-level step has four parallel dependency
+/// chains. All lane arithmetic is element-wise `u32` — no unsafe, no
+/// platform intrinsics — and the fixed-size lane loops are vectorizer
+/// fodder.
+// The unrolled final schedule stores (rounds 49-64) are dead, same as in
+// `compress_block`; keeping the macro uniform beats special-casing them.
+#[allow(unused_assignments)]
+fn compress4(states: &mut [[u32; 8]; 4], blocks: &[[u8; 64]; 4]) {
+    const LANES: usize = 4;
+    type V = [u32; LANES];
+
+    #[inline(always)]
+    fn map2(a: V, b: V, f: impl Fn(u32, u32) -> u32) -> V {
+        [f(a[0], b[0]), f(a[1], b[1]), f(a[2], b[2]), f(a[3], b[3])]
+    }
+    #[inline(always)]
+    fn add(a: V, b: V) -> V {
+        map2(a, b, u32::wrapping_add)
+    }
+    #[inline(always)]
+    fn addk(a: V, k: u32) -> V {
+        [
+            a[0].wrapping_add(k),
+            a[1].wrapping_add(k),
+            a[2].wrapping_add(k),
+            a[3].wrapping_add(k),
+        ]
+    }
+    #[inline(always)]
+    fn big_s1(e: V) -> V {
+        e.map(|x| x.rotate_right(6) ^ x.rotate_right(11) ^ x.rotate_right(25))
+    }
+    #[inline(always)]
+    fn big_s0(a: V) -> V {
+        a.map(|x| x.rotate_right(2) ^ x.rotate_right(13) ^ x.rotate_right(22))
+    }
+    #[inline(always)]
+    fn ch(e: V, f: V, g: V) -> V {
+        [
+            (e[0] & f[0]) ^ (!e[0] & g[0]),
+            (e[1] & f[1]) ^ (!e[1] & g[1]),
+            (e[2] & f[2]) ^ (!e[2] & g[2]),
+            (e[3] & f[3]) ^ (!e[3] & g[3]),
+        ]
+    }
+    #[inline(always)]
+    fn maj(a: V, b: V, c: V) -> V {
+        [
+            (a[0] & b[0]) ^ (a[0] & c[0]) ^ (b[0] & c[0]),
+            (a[1] & b[1]) ^ (a[1] & c[1]) ^ (b[1] & c[1]),
+            (a[2] & b[2]) ^ (a[2] & c[2]) ^ (b[2] & c[2]),
+            (a[3] & b[3]) ^ (a[3] & c[3]) ^ (b[3] & c[3]),
+        ]
+    }
+
+    // Lane-transposed rolling schedule: w[i][lane].
+    let mut w = [[0u32; LANES]; 16];
+    for (i, word) in w.iter_mut().enumerate() {
+        for lane in 0..LANES {
+            word[lane] =
+                u32::from_be_bytes(blocks[lane][i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+    }
+
+    let reg = |r: usize| -> V { std::array::from_fn(|lane| states[lane][r]) };
+    let (mut a, mut b, mut c, mut d) = (reg(0), reg(1), reg(2), reg(3));
+    let (mut e, mut f, mut g, mut h) = (reg(4), reg(5), reg(6), reg(7));
+
+    // Same register-rotation unroll as the scalar core: only d and h are
+    // written per round, so no lane vector ever moves between names.
+    macro_rules! round4 {
+        ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident, $t:expr) => {{
+            let wt = if $t < 16 {
+                w[$t & 15]
+            } else {
+                let s0 = w[($t + 1) & 15].map(small_s0);
+                let s1 = w[($t + 14) & 15].map(small_s1);
+                let wt = add(add(w[$t & 15], s0), add(w[($t + 9) & 15], s1));
+                w[$t & 15] = wt;
+                wt
+            };
+            let t1 = add(add($h, big_s1($e)), add(ch($e, $f, $g), addk(wt, K[$t])));
+            let t2 = add(big_s0($a), maj($a, $b, $c));
+            $d = add($d, t1);
+            $h = add(t1, t2);
+        }};
+    }
+    macro_rules! eight_rounds4 {
+        ($base:expr) => {{
+            round4!(a, b, c, d, e, f, g, h, $base);
+            round4!(h, a, b, c, d, e, f, g, $base + 1);
+            round4!(g, h, a, b, c, d, e, f, $base + 2);
+            round4!(f, g, h, a, b, c, d, e, $base + 3);
+            round4!(e, f, g, h, a, b, c, d, $base + 4);
+            round4!(d, e, f, g, h, a, b, c, $base + 5);
+            round4!(c, d, e, f, g, h, a, b, $base + 6);
+            round4!(b, c, d, e, f, g, h, a, $base + 7);
+        }};
+    }
+    eight_rounds4!(0);
+    eight_rounds4!(8);
+    eight_rounds4!(16);
+    eight_rounds4!(24);
+    eight_rounds4!(32);
+    eight_rounds4!(40);
+    eight_rounds4!(48);
+    eight_rounds4!(56);
+
+    let out = [a, b, c, d, e, f, g, h];
+    for (r, reg) in out.iter().enumerate() {
+        for lane in 0..LANES {
+            states[lane][r] = states[lane][r].wrapping_add(reg[lane]);
+        }
+    }
+}
+
+/// Hash four independent messages with the compression loops interleaved.
+/// Bit-identical to four [`sha256`] calls.
+pub fn sha256_x4(msgs: [&[u8]; 4]) -> [[u8; 32]; 4] {
+    let mut states = [H0; 4];
+    let n_blocks = msgs.map(|m| padded_blocks_of(m.len()));
+    let common = n_blocks.iter().copied().min().expect("4 lanes");
+    let mut blocks = [[0u8; 64]; 4];
+    for i in 0..common {
+        for lane in 0..4 {
+            padded_block(msgs[lane], i, &mut blocks[lane]);
+        }
+        compress4(&mut states, &blocks);
+    }
+    // Unequal lengths: the longer lanes finish serially.
+    let mut out = [[0u8; 32]; 4];
+    for lane in 0..4 {
+        for i in common..n_blocks[lane] {
+            padded_block(msgs[lane], i, &mut blocks[lane]);
+            compress_block(&mut states[lane], &blocks[lane]);
+        }
+        out[lane] = digest_of(&states[lane]);
+    }
+    out
+}
+
+/// Whether the interleaved lanes are worth taking: the `[u32; 4]` lane
+/// arrays only beat four scalar passes when they actually compile to
+/// vector registers. On baseline x86-64 (SSE2 has no 32-bit lane rotate
+/// worth using and LLVM keeps the lanes scalar) the interleave is 4x the
+/// scalar work, so the batch falls back to the one-shot loop unless the
+/// build opted into wider SIMD (`-C target-cpu=...` with AVX2).
+const BATCH_INTERLEAVES: bool = cfg!(target_feature = "avx2");
+
+/// Hash a batch of independent blobs (certificate chain fingerprints):
+/// quads go through the interleaved [`sha256_x4`] when the target's SIMD
+/// makes that profitable, otherwise each blob takes the one-shot path.
+/// Output order matches input order; bit-identical either way.
+pub fn sha256_batch(msgs: &[&[u8]]) -> Vec<[u8; 32]> {
+    let mut out = Vec::with_capacity(msgs.len());
+    if BATCH_INTERLEAVES {
+        let mut quads = msgs.chunks_exact(4);
+        for quad in &mut quads {
+            out.extend(sha256_x4([quad[0], quad[1], quad[2], quad[3]]));
+        }
+        out.extend(quads.remainder().iter().map(|m| sha256(m)));
+    } else {
+        out.extend(msgs.iter().map(|m| sha256(m)));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -225,5 +490,47 @@ mod tests {
             h.update(&[b]);
         }
         assert_eq!(h.finalize(), sha256(data));
+    }
+
+    #[test]
+    fn oneshot_covers_every_padding_boundary() {
+        // 55/56/57 and 63/64/65 bytes straddle the one-vs-two padding
+        // block decision; each must match the streaming reference.
+        let data: Vec<u8> = (0..=255u8).cycle().take(200).collect();
+        for len in (0..=130).chain([191, 192, 193]) {
+            let mut h = Sha256::new();
+            h.update(&data[..len]);
+            assert_eq!(h.finalize(), sha256(&data[..len]), "len {len}");
+        }
+    }
+
+    #[test]
+    fn x4_matches_oneshot_on_equal_and_ragged_lengths() {
+        let base: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let cases: [[usize; 4]; 4] = [
+            [0, 0, 0, 0],
+            [64, 64, 64, 64],
+            [55, 56, 64, 65],
+            [1, 300, 4096, 57],
+        ];
+        for lens in cases {
+            let msgs = lens.map(|l| &base[..l]);
+            let batch = sha256_x4(msgs);
+            for lane in 0..4 {
+                assert_eq!(batch[lane], sha256(msgs[lane]), "lens {lens:?} lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_oneshot_including_tail() {
+        let blobs: Vec<Vec<u8>> = (0..11u8).map(|i| vec![i; 13 * i as usize + 1]).collect();
+        let refs: Vec<&[u8]> = blobs.iter().map(|b| b.as_slice()).collect();
+        let batch = sha256_batch(&refs);
+        assert_eq!(batch.len(), refs.len());
+        for (i, blob) in refs.iter().enumerate() {
+            assert_eq!(batch[i], sha256(blob), "blob {i}");
+        }
+        assert!(sha256_batch(&[]).is_empty());
     }
 }

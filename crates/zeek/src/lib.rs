@@ -40,14 +40,15 @@ pub mod diag;
 pub mod ip;
 pub mod records;
 pub mod rotate;
+pub mod swar;
 pub mod tsv;
 
 pub use diag::{ErrorKind, IngestMode, IngestStats, ShardDiag, SkipSample, ERROR_KINDS};
 pub use ip::Ipv4;
 pub use records::{SslRecord, TlsVersion, X509Record};
 pub use rotate::{
-    read_monthly, read_monthly_obs, read_monthly_serial, read_monthly_serial_obs,
-    read_monthly_serial_with, read_monthly_with, write_monthly,
+    read_monthly, read_monthly_obs, read_monthly_pool, read_monthly_serial,
+    read_monthly_serial_obs, read_monthly_serial_with, read_monthly_with, write_monthly,
 };
 pub use tsv::{
     read_ssl_log, read_ssl_log_with, read_x509_log, read_x509_log_with, write_ssl_log,

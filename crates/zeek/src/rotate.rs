@@ -199,13 +199,36 @@ pub fn read_monthly_obs(
     obs: &Obs,
     parent: Option<SpanId>,
 ) -> Result<(Vec<SslRecord>, Vec<X509Record>, IngestStats), TsvError> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    read_monthly_pool_obs(dir, mode, obs, parent, workers)
+}
+
+/// [`read_monthly_with`] with an explicit worker-pool size. This is the
+/// scaling probe behind `BENCH_ingest.json`'s `scaling` section (the
+/// `perf_smoke` bin sweeps pool sizes on whatever box it runs on);
+/// ordinary callers want the `available_parallelism` default of
+/// [`read_monthly_with`]. A pool of 0 or 1 takes the serial path.
+pub fn read_monthly_pool(
+    dir: &Path,
+    mode: IngestMode,
+    workers: usize,
+) -> Result<(Vec<SslRecord>, Vec<X509Record>, IngestStats), TsvError> {
+    read_monthly_pool_obs(dir, mode, &Obs::noop(), None, workers)
+}
+
+fn read_monthly_pool_obs(
+    dir: &Path,
+    mode: IngestMode,
+    obs: &Obs,
+    parent: Option<SpanId>,
+    workers: usize,
+) -> Result<(Vec<SslRecord>, Vec<X509Record>, IngestStats), TsvError> {
     let t0 = std::time::Instant::now();
     let (ssl_files, x509_files) = shard_files(dir)?;
     let n_tasks = ssl_files.len() + x509_files.len();
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(n_tasks);
+    let workers = workers.min(n_tasks);
     if workers <= 1 {
         return read_monthly_serial_obs(dir, mode, obs, parent);
     }

@@ -1,0 +1,322 @@
+//! SWAR (SIMD-within-a-register) byte scanning for the TSV hot path.
+//!
+//! The parsers spend most of their time finding `\n` and `\t` delimiters
+//! and checking fields for escape bytes. These helpers do that work one
+//! `u64` word (8 bytes) at a time instead of byte-by-byte, using the
+//! exact zero-byte detection formula (no false positives from cross-byte
+//! borrows, so both *first position* and *count* are correct):
+//!
+//! ```text
+//! x = word ^ splat(needle)
+//! mask = !(((x | 0x80..80) - 0x01..01) | x) & 0x80..80
+//! ```
+//!
+//! Each byte's high bit in `mask` is set iff that byte equals the needle.
+//! Little-endian loads put slice byte *i* in word byte *i*, so
+//! `trailing_zeros / 8` recovers the first match index.
+//!
+//! Every public function has a scalar twin in [`scalar`]; the proptests in
+//! `tests/proptests.rs` pin them byte-identical on adversarial input
+//! (embedded `\r`, trailing tabs, empty slices, non-UTF-8).
+
+const LO: u64 = 0x0101_0101_0101_0101;
+const HI: u64 = 0x8080_8080_8080_8080;
+
+#[inline(always)]
+fn splat(b: u8) -> u64 {
+    LO * b as u64
+}
+
+#[inline(always)]
+fn load(hay: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(hay[i..i + 8].try_into().expect("8 bytes"))
+}
+
+/// High bit set in each byte of `w` equal to the pre-splatted needle.
+#[inline(always)]
+fn match_mask(w: u64, splat_needle: u64) -> u64 {
+    let x = w ^ splat_needle;
+    !(((x | HI).wrapping_sub(LO)) | x) & HI
+}
+
+/// First index of `needle` at or after `start`.
+#[inline]
+pub fn find_byte_from(hay: &[u8], start: usize, needle: u8) -> Option<usize> {
+    let n = splat(needle);
+    let mut i = start;
+    while i + 8 <= hay.len() {
+        let m = match_mask(load(hay, i), n);
+        if m != 0 {
+            return Some(i + (m.trailing_zeros() >> 3) as usize);
+        }
+        i += 8;
+    }
+    while i < hay.len() {
+        if hay[i] == needle {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// First index of `needle`.
+#[inline]
+pub fn find_byte(hay: &[u8], needle: u8) -> Option<usize> {
+    find_byte_from(hay, 0, needle)
+}
+
+/// Number of occurrences of `needle`.
+pub fn count_byte(hay: &[u8], needle: u8) -> usize {
+    let n = splat(needle);
+    let mut i = 0;
+    let mut total = 0u32;
+    while i + 8 <= hay.len() {
+        total += match_mask(load(hay, i), n).count_ones();
+        i += 8;
+    }
+    total as usize + hay[i..].iter().filter(|&&b| b == needle).count()
+}
+
+/// Whether any of the five needles occurs. Five is exactly the escape
+/// alphabet ([`crate::tsv::escape`]'s `\t \n \r , \` check); a fixed
+/// arity keeps the per-word masks fully unrolled.
+pub fn contains_any5(hay: &[u8], needles: [u8; 5]) -> bool {
+    let n = needles.map(splat);
+    let mut i = 0;
+    while i + 8 <= hay.len() {
+        let w = load(hay, i);
+        let m = match_mask(w, n[0])
+            | match_mask(w, n[1])
+            | match_mask(w, n[2])
+            | match_mask(w, n[3])
+            | match_mask(w, n[4]);
+        if m != 0 {
+            return true;
+        }
+        i += 8;
+    }
+    hay[i..].iter().any(|b| needles.contains(b))
+}
+
+/// Whether the two-byte sequence `a b` occurs (the `\x` escape probe).
+/// Matches `str::contains` on the equivalent two-char pattern.
+pub fn contains_seq2(hay: &[u8], a: u8, b: u8) -> bool {
+    let mut i = 0;
+    while let Some(p) = find_byte_from(hay, i, a) {
+        if hay.get(p + 1) == Some(&b) {
+            return true;
+        }
+        i = p + 1;
+    }
+    false
+}
+
+/// Split on a byte, with `slice::split` semantics: an empty input yields
+/// one empty slice, and a trailing separator yields a trailing empty
+/// slice. Byte-identical to `hay.split(|&x| x == needle)`.
+pub fn split_byte(hay: &[u8], needle: u8) -> SplitByte<'_> {
+    SplitByte {
+        hay,
+        needle,
+        pos: 0,
+        done: false,
+    }
+}
+
+/// Iterator returned by [`split_byte`].
+pub struct SplitByte<'a> {
+    hay: &'a [u8],
+    needle: u8,
+    pos: usize,
+    done: bool,
+}
+
+impl<'a> Iterator for SplitByte<'a> {
+    type Item = &'a [u8];
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.done {
+            return None;
+        }
+        match find_byte_from(self.hay, self.pos, self.needle) {
+            Some(i) => {
+                let chunk = &self.hay[self.pos..i];
+                self.pos = i + 1;
+                Some(chunk)
+            }
+            None => {
+                self.done = true;
+                Some(&self.hay[self.pos..])
+            }
+        }
+    }
+}
+
+/// [`split_byte`] over a `&str` with an ASCII needle (always a char
+/// boundary), matching `s.split(needle as char)`.
+pub fn split_str(s: &str, needle: u8) -> SplitStr<'_> {
+    debug_assert!(needle.is_ascii());
+    SplitStr {
+        s,
+        inner: split_byte(s.as_bytes(), needle),
+    }
+}
+
+/// Iterator returned by [`split_str`].
+pub struct SplitStr<'a> {
+    s: &'a str,
+    inner: SplitByte<'a>,
+}
+
+impl<'a> Iterator for SplitStr<'a> {
+    type Item = &'a str;
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a str> {
+        let chunk = self.inner.next()?;
+        let start = chunk.as_ptr() as usize - self.s.as_ptr() as usize;
+        // ASCII needle: both edges are char boundaries.
+        Some(&self.s[start..start + chunk.len()])
+    }
+}
+
+/// Scalar reference implementations — the behavior the SWAR paths must
+/// reproduce byte-for-byte. Kept public so the equivalence proptests and
+/// the perf gate's baseline arms measure the real thing, not a copy.
+pub mod scalar {
+    /// Byte-at-a-time [`super::find_byte_from`].
+    pub fn find_byte_from(hay: &[u8], start: usize, needle: u8) -> Option<usize> {
+        hay[start..]
+            .iter()
+            .position(|&b| b == needle)
+            .map(|p| start + p)
+    }
+
+    /// Byte-at-a-time [`super::count_byte`].
+    pub fn count_byte(hay: &[u8], needle: u8) -> usize {
+        hay.iter().filter(|&&b| b == needle).count()
+    }
+
+    /// Byte-at-a-time [`super::contains_any5`].
+    pub fn contains_any5(hay: &[u8], needles: [u8; 5]) -> bool {
+        hay.iter().any(|b| needles.contains(b))
+    }
+
+    /// Byte-at-a-time [`super::contains_seq2`].
+    pub fn contains_seq2(hay: &[u8], a: u8, b: u8) -> bool {
+        hay.windows(2).any(|w| w == [a, b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The adversarial shapes the proptests also cover, pinned as units.
+    const CASES: &[&[u8]] = &[
+        b"",
+        b"\n",
+        b"\t\t\t",
+        b"a",
+        b"plain line with no delimiters at all, longer than a word",
+        b"tab\there\nline\r\nwith crlf\n",
+        b"trailing tabs\t\t\t",
+        b"\xFF\xFEbinary\x00junk\n\x80\x80\x80\x80\x80\x80\x80\x80",
+        b"exactly8\t", // word-boundary straddle
+        b"sevenby",
+        b"\\x41 escape lookalike \\ x",
+        b"ends with backslash\\",
+    ];
+
+    #[test]
+    fn find_matches_scalar() {
+        for hay in CASES {
+            for needle in [b'\n', b'\t', b'\\', b',', 0x00, 0xFF, 0x80] {
+                for start in 0..=hay.len() {
+                    assert_eq!(
+                        find_byte_from(hay, start, needle),
+                        scalar::find_byte_from(hay, start, needle),
+                        "hay={hay:?} needle={needle:#x} start={start}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_matches_scalar() {
+        for hay in CASES {
+            for needle in [b'\n', b'\t', 0x00, 0x80, 0xFF] {
+                assert_eq!(
+                    count_byte(hay, needle),
+                    scalar::count_byte(hay, needle),
+                    "hay={hay:?} needle={needle:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contains_any5_matches_scalar() {
+        let needles = [b'\t', b'\n', b'\r', b',', b'\\'];
+        for hay in CASES {
+            assert_eq!(
+                contains_any5(hay, needles),
+                scalar::contains_any5(hay, needles),
+                "hay={hay:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn contains_seq2_matches_str_contains() {
+        for s in [
+            "", "\\", "\\x", "x\\", "a\\xb", "\\yx", "…\\x", "\\", "\\\\x",
+        ] {
+            assert_eq!(
+                contains_seq2(s.as_bytes(), b'\\', b'x'),
+                s.contains("\\x"),
+                "{s:?}"
+            );
+        }
+        // The pair may straddle a word boundary.
+        let straddle = b"0123456\\x9abcdef";
+        assert!(contains_seq2(straddle, b'\\', b'x'));
+    }
+
+    #[test]
+    fn split_byte_matches_slice_split() {
+        for hay in CASES {
+            for needle in [b'\n', b'\t'] {
+                let ours: Vec<&[u8]> = split_byte(hay, needle).collect();
+                let std: Vec<&[u8]> = hay.split(|&b| b == needle).collect();
+                assert_eq!(ours, std, "hay={hay:?} needle={needle:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_str_matches_str_split() {
+        for s in ["", "a\tb", "\t", "a\t", "\ta", "a,b,,c,", "é\tλ,中"] {
+            for needle in [b'\t', b','] {
+                let ours: Vec<&str> = split_str(s, needle).collect();
+                let std: Vec<&str> = s.split(needle as char).collect();
+                assert_eq!(ours, std, "s={s:?} needle={needle:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn high_bit_bytes_never_false_positive() {
+        // The naive haszero formula flags bytes above a true match; the
+        // exact formula must not. 0x80 vs 0x00 is the classic trap.
+        let hay = [0x80u8; 16];
+        assert_eq!(find_byte(&hay, 0x00), None);
+        assert_eq!(count_byte(&hay, 0x00), 0);
+        let hay = [0x00u8, 0x01, 0x80, 0xFF, 0x00, 0x01, 0x80, 0xFF];
+        assert_eq!(count_byte(&hay, 0x00), 2);
+        assert_eq!(find_byte(&hay, 0xFF), Some(3));
+    }
+}

@@ -10,6 +10,7 @@
 use crate::diag::{IngestMode, ShardDiag};
 use crate::ip::Ipv4;
 use crate::records::{SslRecord, TlsVersion, X509Record};
+use crate::swar;
 use std::borrow::Cow;
 use std::io::{BufRead, Write};
 
@@ -68,10 +69,14 @@ impl std::error::Error for TsvError {}
 const UNSET: &str = "-";
 const EMPTY: &str = "(empty)";
 
+/// The five bytes [`escape`] must rewrite (and the SWAR fast path probes
+/// for, eight bytes at a time).
+const ESCAPE_NEEDLES: [u8; 5] = [b'\t', b'\n', b'\r', b',', b'\\'];
+
 /// Escape separator-colliding characters. The overwhelmingly common case —
 /// no collision — borrows the input instead of allocating.
 pub fn escape(s: &str) -> Cow<'_, str> {
-    if !s.contains(['\t', '\n', '\r', ',', '\\']) {
+    if !swar::contains_any5(s.as_bytes(), ESCAPE_NEEDLES) {
         return Cow::Borrowed(s);
     }
     let mut out = String::with_capacity(s.len() + 8);
@@ -93,7 +98,7 @@ pub fn escape(s: &str) -> Cow<'_, str> {
 /// Total on arbitrary input: malformed or truncated escape sequences pass
 /// through unchanged rather than erroring.
 pub fn unescape(s: &str) -> Cow<'_, str> {
-    if !s.contains("\\x") {
+    if !swar::contains_seq2(s.as_bytes(), b'\\', b'x') {
         return Cow::Borrowed(s);
     }
     let bytes = s.as_bytes();
@@ -177,7 +182,9 @@ fn parse_vec(s: &str) -> Vec<String> {
     if s == EMPTY || s == UNSET || s.is_empty() {
         Vec::new()
     } else {
-        s.split(',').map(|p| unescape(p).into_owned()).collect()
+        swar::split_str(s, b',')
+            .map(|p| unescape(p).into_owned())
+            .collect()
     }
 }
 
@@ -388,11 +395,11 @@ fn raw_data_lines<'a>(
     buf: &'a [u8],
     expected_fields: &[&str],
 ) -> Result<Vec<RawLine<'a>>, TsvError> {
-    let line_estimate = buf.iter().filter(|&&b| b == b'\n').count();
+    let line_estimate = swar::count_byte(buf, b'\n');
     let mut out = Vec::with_capacity(line_estimate);
     let mut fields_seen = false;
     let mut offset = 0u64;
-    for (idx, chunk) in buf.split(|&b| b == b'\n').enumerate() {
+    for (idx, chunk) in swar::split_byte(buf, b'\n').enumerate() {
         let line_start = offset;
         offset += chunk.len() as u64 + 1;
         let line = match chunk.split_last() {
@@ -442,7 +449,7 @@ fn split_cols<'a>(
     expected: usize,
 ) -> Result<(), TsvError> {
     cols.clear();
-    cols.extend(line.split('\t'));
+    cols.extend(swar::split_str(line, b'\t'));
     if cols.len() != expected {
         return Err(TsvError::ColumnCount {
             line: line_no,

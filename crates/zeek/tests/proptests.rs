@@ -207,3 +207,83 @@ fn unescape_passes_truncated_escapes_through() {
     assert_eq!(unescape("\\x41\\x4").as_ref(), "A\\x4");
     assert_eq!(unescape("\\x09end\\x").as_ref(), "\tend\\x");
 }
+
+// SWAR equivalence: every u64-at-a-time scanner must be byte-identical to
+// its scalar twin on adversarial bytes — embedded `\r`, trailing tabs,
+// high-bit bytes (the classic haszero-formula false-positive trap), and
+// lengths that straddle the 8-byte word boundary.
+use mtls_zeek::swar;
+
+// Bytes biased heavily toward the delimiters and toward 0x00/0x80/0xFF so
+// word-boundary and high-bit interactions actually occur.
+fn arb_hot_byte() -> impl Strategy<Value = u8> {
+    prop_oneof![
+        Just(b'\t'),
+        Just(b'\n'),
+        Just(b'\r'),
+        Just(b','),
+        Just(b'\\'),
+        Just(b'x'),
+        Just(0x00u8),
+        Just(0x80u8),
+        Just(0xFFu8),
+        any::<u8>(),
+    ]
+}
+
+fn arb_hay() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(arb_hot_byte(), 0..96)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn swar_find_matches_scalar(hay in arb_hay(), needle in arb_hot_byte(), start in 0usize..96) {
+        let start = start.min(hay.len());
+        prop_assert_eq!(
+            swar::find_byte_from(&hay, start, needle),
+            swar::scalar::find_byte_from(&hay, start, needle)
+        );
+    }
+
+    #[test]
+    fn swar_count_matches_scalar(hay in arb_hay(), needle in arb_hot_byte()) {
+        prop_assert_eq!(swar::count_byte(&hay, needle), swar::scalar::count_byte(&hay, needle));
+    }
+
+    #[test]
+    fn swar_contains_any5_matches_scalar(hay in arb_hay()) {
+        let needles = [b'\t', b'\n', b'\r', b',', b'\\'];
+        prop_assert_eq!(
+            swar::contains_any5(&hay, needles),
+            swar::scalar::contains_any5(&hay, needles)
+        );
+    }
+
+    #[test]
+    fn swar_contains_seq2_matches_scalar(hay in arb_hay()) {
+        prop_assert_eq!(
+            swar::contains_seq2(&hay, b'\\', b'x'),
+            swar::scalar::contains_seq2(&hay, b'\\', b'x')
+        );
+    }
+
+    #[test]
+    fn swar_split_matches_slice_split(hay in arb_hay(), needle in arb_hot_byte()) {
+        let ours: Vec<&[u8]> = swar::split_byte(&hay, needle).collect();
+        let std: Vec<&[u8]> = hay.split(|&b| b == needle).collect();
+        prop_assert_eq!(ours, std);
+    }
+
+    #[test]
+    fn swar_split_str_matches_str_split(s in SOUP, tab_run in 0usize..4) {
+        // Trailing tabs exercise the trailing-empty-slice semantics.
+        let s = format!("{s}{}", "\t".repeat(tab_run));
+        for needle in [b'\t', b','] {
+            let ours: Vec<&str> = swar::split_str(&s, needle).collect();
+            let std: Vec<&str> = s.split(needle as char).collect();
+            prop_assert_eq!(ours, std);
+        }
+    }
+}
