@@ -15,6 +15,9 @@ Two layers of gating:
 
 Usage: check_bench.py FRESH_JSON [BASELINE_JSON]
        (BASELINE_JSON defaults to BENCH_speed.json in the repo root)
+       check_bench.py --ingest FRESH_JSON [BASELINE_JSON]
+       (streaming-ingest gate over a `stream_smoke` report;
+        BASELINE_JSON defaults to BENCH_ingest.json in the repo root)
 """
 import json
 import os
@@ -53,6 +56,23 @@ TIME_KEYS = [
     ("ingest_ms", "end_to_end_median"),
     ("ingest_ms", "parse_component_median"),
 ]
+
+# --- Streaming-ingest gate (`--ingest`, stream_smoke reports) ---------
+# Acceptance ceiling: a `--window 1mo` walk must hold peak memory within
+# 2x of the 1-month footprint. The builder's retained-heap estimate is
+# deterministic (exact same bytes on any box); the OS-reported RSS ratio
+# is measured within one run (windowed arm vs 1-month batch arm on the
+# same host), so it too travels across environments — the pre-retire
+# walk holds it near 1.5x, leaving real margin under the ceiling.
+FOOTPRINT_RATIO_CEILING = 2.0
+RSS_RATIO_CEILING = 2.0
+# Claim 3 of the bench: the proof must run at >= 10x the committed bench
+# fixture's scale (quick mode runs exactly 10x).
+MIN_SCALE_FACTOR = 10.0
+# Worker-scaling floor: on a multi-core box more workers must not lose
+# badly to one worker; on a single core the pool should stay at parity
+# (its overhead is bounded). 1.35 = parity plus scheduling noise.
+SCALING_PARITY_BAND = 1.35
 
 
 def fail(msg):
@@ -120,8 +140,140 @@ def main(fresh_path, baseline_path):
           f"band of {os.path.basename(baseline_path)}")
 
 
+def getf(report, path, *keys):
+    """Fetch a float at a nested key path, failing with the JSON path."""
+    node = report
+    for key in keys:
+        try:
+            node = node[key]
+        except (KeyError, TypeError):
+            fail(f"{path}: missing {'.'.join(keys)}")
+    try:
+        return float(node)
+    except (TypeError, ValueError):
+        fail(f"{path}: non-numeric {'.'.join(keys)}")
+
+
+def main_ingest(fresh_path, baseline_path):
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    # The committed BENCH_ingest.json keeps the stream_smoke report under
+    # "streaming_bench" (its other sections describe the original PR1
+    # fixture); a fresh stream_smoke report is the subtree itself.
+    fresh = fresh.get("streaming_bench", fresh)
+    baseline = baseline.get("streaming_bench", baseline)
+
+    for report, path in [(fresh, fresh_path), (baseline, baseline_path)]:
+        for section in ("fixture", "environment", "streaming",
+                        "worker_scaling"):
+            if section not in report:
+                fail(f"{path}: missing section {section!r}")
+        points = report["worker_scaling"].get("points")
+        if not points:
+            fail(f"{path}: missing or empty worker_scaling.points")
+        for entry in points:
+            if "workers" not in entry or "median_ms" not in entry:
+                fail(f"{path}: malformed worker_scaling point {entry!r}")
+
+    # Gate 1: full-window streaming must be byte-identical to batch.
+    ident = fresh["streaming"].get("report_identity", {})
+    if ident.get("identical") is not True:
+        fail(f"streaming report diverged from batch: "
+             f"batch={ident.get('batch_sha256')} "
+             f"stream={ident.get('stream_full_sha256')}")
+
+    # Gate 2: the proof ran at scale.
+    factor = getf(fresh, fresh_path, "fixture",
+                  "scale_factor_vs_bench_fixture")
+    if factor < MIN_SCALE_FACTOR:
+        fail(f"fixture.scale_factor_vs_bench_fixture = {factor:g} below "
+             f"the {MIN_SCALE_FACTOR:g}x minimum — not a proof at scale")
+
+    # Gate 3: bounded memory, deterministic layer. The builder's
+    # retained-heap estimate is exact arithmetic over the fixture bytes.
+    fp_ratio = getf(fresh, fresh_path, "streaming", "footprint",
+                    "ratio_peak_over_max_epoch")
+    if fp_ratio > FOOTPRINT_RATIO_CEILING:
+        fail(f"streaming.footprint.ratio_peak_over_max_epoch = "
+             f"{fp_ratio:.2f} above the {FOOTPRINT_RATIO_CEILING}x "
+             f"ceiling — the rolling window stopped bounding memory")
+
+    # Gate 4: bounded memory, OS layer. Windowed peak RSS vs the
+    # 1-month batch arm, both measured in the same run on the same host.
+    rss_ratio = getf(fresh, fresh_path, "streaming", "rss",
+                     "ratio_windowed_over_one_month")
+    if rss_ratio > RSS_RATIO_CEILING:
+        fail(f"streaming.rss.ratio_windowed_over_one_month = "
+             f"{rss_ratio:.2f} above the {RSS_RATIO_CEILING}x ceiling — "
+             f"windowed streaming no longer holds the 1-month footprint")
+
+    # Gate 5: worker-scaling floor. The pool's best multi-worker point
+    # must not lose to one worker (parity band on a single core, where
+    # no speedup is physically available).
+    cores = fresh["environment"].get("cpu_cores")
+    points = {int(p["workers"]): float(p["median_ms"])
+              for p in fresh["worker_scaling"]["points"]}
+    if 1 not in points or len(points) < 2:
+        fail(f"{fresh_path}: worker_scaling needs a 1-worker point and "
+             f"at least one multi-worker point")
+    single = points[1]
+    best_multi = min(v for k, v in points.items() if k > 1)
+    band = SCALING_PARITY_BAND if cores == 1 else 1.0
+    if best_multi > single * band:
+        fail(f"worker_scaling: best multi-worker median {best_multi:.1f} "
+             f"ms > {band}x the 1-worker median {single:.1f} ms on "
+             f"{cores} cores — the shard pool lost to serial reads")
+
+    # Absolute medians vs baseline: only meaningful on the same class of
+    # box AND the same fixture scale (wall times grow with the fixture).
+    base_cores = baseline["environment"].get("cpu_cores")
+    fresh_scale = fresh["fixture"].get("scale")
+    base_scale = baseline["fixture"].get("scale")
+    if cores != base_cores or fresh_scale != base_scale:
+        print(f"check_bench[ingest]: skipping absolute comparison "
+              f"(cpu_cores {cores} vs {base_cores}, scale {fresh_scale} "
+              f"vs {base_scale}); identity, scale, memory-ceiling, and "
+              f"scaling-floor gates passed")
+        return
+    compared = 0
+    base_points = {int(p["workers"]): float(p["median_ms"])
+                   for p in baseline["worker_scaling"]["points"]}
+    for workers, got in sorted(points.items()):
+        want = base_points.get(workers)
+        if want is None:
+            continue
+        if got > want / NOISE_BAND:
+            fail(f"worker_scaling[{workers}]: {got:.1f} ms > "
+                 f"{1 / NOISE_BAND:.1f}x baseline {want:.1f} ms")
+        compared += 1
+    for key in ("batch", "stream_full", "stream_windowed"):
+        got = getf(fresh, fresh_path, "streaming", "wall_ms", key)
+        want = getf(baseline, baseline_path, "streaming", "wall_ms", key)
+        if got > want / NOISE_BAND:
+            fail(f"streaming.wall_ms.{key}: {got:.0f} ms > "
+                 f"{1 / NOISE_BAND:.1f}x baseline {want:.0f} ms")
+        compared += 1
+
+    print(f"check_bench[ingest]: ok — identity, {factor:g}x scale, "
+          f"footprint {fp_ratio:.2f}x / rss {rss_ratio:.2f}x under the "
+          f"{RSS_RATIO_CEILING}x ceiling, scaling floor held, "
+          f"{compared} absolute medians within the noise band of "
+          f"{os.path.basename(baseline_path)}")
+
+
 if __name__ == "__main__":
-    if len(sys.argv) not in (2, 3):
-        fail("usage: check_bench.py FRESH_JSON [BASELINE_JSON]")
-    base = sys.argv[2] if len(sys.argv) == 3 else "BENCH_speed.json"
-    main(sys.argv[1], base)
+    argv = sys.argv[1:]
+    if argv and argv[0] == "--ingest":
+        if len(argv) not in (2, 3):
+            fail("usage: check_bench.py --ingest FRESH_JSON "
+                 "[BASELINE_JSON]")
+        base = argv[2] if len(argv) == 3 else "BENCH_ingest.json"
+        main_ingest(argv[1], base)
+    else:
+        if len(argv) not in (1, 2):
+            fail("usage: check_bench.py [--ingest] FRESH_JSON "
+                 "[BASELINE_JSON]")
+        base = argv[1] if len(argv) == 2 else "BENCH_speed.json"
+        main(argv[0], base)

@@ -3,7 +3,7 @@
 //! Usage:
 //!   repro [--seed N] [--scale F] [--logs DIR] [--out FILE] [--tsv DIR]
 //!         [--from-logs DIR] [--strict | --lenient]
-//!         [--max-error-rate FRACTION]
+//!         [--max-error-rate FRACTION] [--stream] [--window Nmo]
 //!         [--metrics[=PATH]] [--progress] [--quiet]
 //!
 //! `--from-logs DIR` skips generation and analyzes an existing log
@@ -12,6 +12,15 @@
 //! skips malformed rows and quarantines unreadable shards, printing the
 //! ingest diagnostics with the report. `--max-error-rate 0.01` aborts a
 //! lenient run whose skipped fraction exceeds 1%.
+//!
+//! Streaming:
+//! * `--stream` ingests month by month through the incremental
+//!   `CorpusBuilder` instead of slurping everything — peak memory is
+//!   bounded by the live window, and on the same input the report is
+//!   byte-identical to the batch path.
+//! * `--window Nmo` (e.g. `--window 6mo`; implies `--stream`) keeps only
+//!   the newest N months live, retiring older epochs as the walk
+//!   advances — the analysis then covers exactly those months.
 //!
 //! Observability:
 //! * `--metrics` instruments the whole run (spans, counters, histograms)
@@ -28,7 +37,10 @@
 //! the simulator), runs the full analysis pipeline, and prints every
 //! report. With `--out`, also writes the rendering to a file.
 
-use mtls_core::{run_pipeline_parallel_obs, AnalysisInputs, IngestMode};
+use mtls_core::{
+    run_pipeline_parallel_obs, run_pipeline_streamed_parallel_obs, AnalysisInputs, CorpusBuilder,
+    IngestMode, StreamOptions,
+};
 use mtls_netsim::{generate_obs, SimConfig};
 use mtls_obs::{heartbeat, Console, Obs};
 use std::io::Write;
@@ -43,6 +55,8 @@ struct Args {
     from_logs: Option<String>,
     mode: IngestMode,
     max_error_rate: Option<f64>,
+    stream: bool,
+    window: Option<usize>,
     /// `None` = metrics off; `Some(None)` = on, default location;
     /// `Some(Some(path))` = on, explicit location.
     metrics: Option<Option<String>>,
@@ -58,6 +72,8 @@ fn parse_args() -> Args {
     let mut from_logs = None;
     let mut mode = IngestMode::Strict;
     let mut max_error_rate = None;
+    let mut stream = false;
+    let mut window = None;
     let mut metrics = None;
     let mut progress = false;
     let mut quiet = false;
@@ -75,6 +91,10 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--scale needs a float");
+                if let Err(e) = config.validate() {
+                    eprintln!("--scale: {e}");
+                    std::process::exit(2);
+                }
             }
             "--logs" => logs_dir = args.next(),
             "--out" => out_file = args.next(),
@@ -93,6 +113,21 @@ fn parse_args() -> Args {
                 );
                 max_error_rate = Some(rate);
             }
+            "--stream" => stream = true,
+            "--window" => {
+                let spec = args
+                    .next()
+                    .expect("--window needs a month count (e.g. 6mo)");
+                let months: usize = spec
+                    .strip_suffix("mo")
+                    .unwrap_or(&spec)
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .expect("--window needs a positive month count (e.g. 6mo)");
+                window = Some(months);
+                stream = true; // a rolling window only exists while streaming
+            }
             "--metrics" => metrics = Some(None),
             "--progress" => progress = true,
             "--quiet" => quiet = true,
@@ -100,7 +135,7 @@ fn parse_args() -> Args {
                 eprintln!(
                     "usage: repro [--seed N] [--scale F] [--logs DIR] [--out FILE] [--tsv DIR] \
                      [--from-logs DIR] [--strict | --lenient] [--max-error-rate FRACTION] \
-                     [--metrics[=PATH]] [--progress] [--quiet]"
+                     [--stream] [--window Nmo] [--metrics[=PATH]] [--progress] [--quiet]"
                 );
                 std::process::exit(0);
             }
@@ -122,6 +157,8 @@ fn parse_args() -> Args {
         from_logs,
         mode,
         max_error_rate,
+        stream,
+        window,
         metrics,
         progress,
         quiet,
@@ -171,23 +208,63 @@ fn main() {
         .progress
         .then(|| heartbeat(obs.clone(), console, Duration::from_secs(2)));
 
+    // What the load stage hands the pipeline: batch inputs, or streamed
+    // parts (pre-merged epoch aggregates plus the CT log).
+    enum Loaded {
+        Batch(AnalysisInputs),
+        Streamed(mtls_core::StreamParts, mtls_pki::ctlog::CtLog),
+    }
+
     let mut ingest_diag = None;
-    let inputs = if let Some(dir) = &args.from_logs {
+    let loaded = if let Some(dir) = &args.from_logs {
         console.status(format!(
-            "loading logs from {dir} ({} mode)...",
-            args.mode.label()
+            "loading logs from {dir} ({} mode{})...",
+            args.mode.label(),
+            match (args.stream, args.window) {
+                (true, Some(w)) => format!(", streaming, window {w}mo"),
+                (true, None) => ", streaming".to_string(),
+                _ => String::new(),
+            }
         ));
-        let (inputs, diag) =
-            mtls_core::ingest::load_dir_obs(std::path::Path::new(dir), args.mode, &obs, run_id)
-                .unwrap_or_else(|e| {
+        let path = std::path::Path::new(dir);
+        let (loaded, diag) = if args.stream {
+            let opts = StreamOptions {
+                window_months: args.window,
+            };
+            match mtls_core::ingest::load_dir_streaming_obs(path, args.mode, opts, &obs, run_id) {
+                Ok((parts, ct, diag)) => {
+                    console.status(format!(
+                        "  {} connections, {} certificate rows live ({} epochs pushed, \
+                         {} retired, peak footprint {} MiB)",
+                        parts.ssl.len(),
+                        parts.x509.len(),
+                        parts.summary.epochs_pushed,
+                        parts.summary.epochs_retired,
+                        parts.summary.peak_footprint_bytes / (1024 * 1024),
+                    ));
+                    (Loaded::Streamed(parts, ct), diag)
+                }
+                Err(e) => {
                     console.error(format!("failed to load {dir}: {e}"));
                     std::process::exit(1);
-                });
-        console.status(format!(
-            "  {} connections, {} unique certificates",
-            inputs.ssl.len(),
-            inputs.x509.len()
-        ));
+                }
+            }
+        } else {
+            match mtls_core::ingest::load_dir_obs(path, args.mode, &obs, run_id) {
+                Ok((inputs, diag)) => {
+                    console.status(format!(
+                        "  {} connections, {} unique certificates",
+                        inputs.ssl.len(),
+                        inputs.x509.len()
+                    ));
+                    (Loaded::Batch(inputs), diag)
+                }
+                Err(e) => {
+                    console.error(format!("failed to load {dir}: {e}"));
+                    std::process::exit(1);
+                }
+            }
+        };
         if diag.has_problems() {
             console.status(format!(
                 "  skipped {} rows, quarantined {} shards, skipped {} meta entries (rate {:.6})",
@@ -204,7 +281,7 @@ fn main() {
             }
         }
         ingest_diag = Some(diag);
-        inputs
+        loaded
     } else {
         let config = &args.config;
         let t0 = std::time::Instant::now();
@@ -224,12 +301,36 @@ fn main() {
                 .expect("write logs");
             console.status(format!("  Zeek-format logs written to {dir}"));
         }
-        AnalysisInputs::from_sim(sim)
+        let inputs = AnalysisInputs::from_sim(sim);
+        if args.stream {
+            // Stream the in-memory corpus month by month, exactly like a
+            // rotated-directory walk would.
+            let mut builder = CorpusBuilder::new(inputs.meta).with_obs(&obs, run_id);
+            for (key, ssl, x509) in mtls_zeek::partition_monthly(inputs.ssl, inputs.x509) {
+                if let Some(window) = args.window {
+                    builder.retire_for_incoming(window);
+                }
+                builder.push_epoch(&key, ssl, x509);
+            }
+            let parts = builder.finish();
+            console.status(format!(
+                "  streamed {} epochs ({} retired, peak footprint {} MiB)",
+                parts.summary.epochs_pushed,
+                parts.summary.epochs_retired,
+                parts.summary.peak_footprint_bytes / (1024 * 1024),
+            ));
+            Loaded::Streamed(parts, inputs.ct)
+        } else {
+            Loaded::Batch(inputs)
+        }
     };
 
     let t1 = std::time::Instant::now();
     console.status("running analysis pipeline...");
-    let output = run_pipeline_parallel_obs(inputs, &obs, run_id);
+    let output = match loaded {
+        Loaded::Batch(inputs) => run_pipeline_parallel_obs(inputs, &obs, run_id),
+        Loaded::Streamed(parts, ct) => run_pipeline_streamed_parallel_obs(parts, &ct, &obs, run_id),
+    };
     console.status(format!("  analyzed in {:?}", t1.elapsed()));
 
     if let Some(dir) = &args.tsv_dir {

@@ -21,6 +21,7 @@
 use crate::corpus::MetaKnowledge;
 use crate::pipeline::AnalysisInputs;
 use crate::report::{count, fmt_micros, Table};
+use crate::stream::{CorpusBuilder, StreamParts};
 use mtls_obs::{Obs, SpanId};
 use mtls_pki::ctlog::{CtEntry, CtLog};
 use mtls_zeek::{IngestMode, IngestStats, Ipv4, ShardDiag, TsvError, ERROR_KINDS};
@@ -124,6 +125,23 @@ impl IngestDiagnostics {
         } else {
             Ok(())
         }
+    }
+
+    /// Fold another load's diagnostics into this one — the incremental
+    /// ingest accumulator. The streaming loader absorbs each epoch's
+    /// diagnostics here so [`error_rate`](Self::error_rate) and
+    /// [`check_error_rate`](Self::check_error_rate) are always evaluated
+    /// over the cumulative totals across every epoch pushed so far —
+    /// never reset per month, which would let `--max-error-rate` pass a
+    /// corpus whose early months were clean and late months garbage.
+    pub fn absorb(&mut self, other: IngestDiagnostics) {
+        self.stats.absorb_stats(other.stats);
+        self.meta_entries_skipped += other.meta_entries_skipped;
+        self.meta_samples.extend(other.meta_samples);
+        self.meta_micros += other.meta_micros;
+        self.ct_micros += other.ct_micros;
+        self.logs_micros += other.logs_micros;
+        self.total_micros += other.total_micros;
     }
 
     /// Whether anything at all was skipped or quarantined.
@@ -608,6 +626,116 @@ pub fn load_dir_serial_obs(
     })
 }
 
+/// Options for [`load_dir_streaming_obs`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamOptions {
+    /// Rolling window: keep only the newest N months live in the
+    /// builder, retiring older epochs as newer ones arrive. `None`
+    /// streams the full directory (every epoch survives to the finish).
+    pub window_months: Option<usize>,
+}
+
+/// Month-by-month streaming load: walk a rotated directory one epoch at a
+/// time, pushing each month into a [`CorpusBuilder`] and (in window mode)
+/// retiring epochs that fall outside the rolling window, so peak memory
+/// is bounded by the window — not the corpus. Returns the builder's
+/// [`StreamParts`] (records in canonical month order, merged aggregate
+/// partials, interner), the CT log, and *cumulative* diagnostics: every
+/// epoch's stats are absorbed into one [`IngestDiagnostics`], so the
+/// `--max-error-rate` guard sees the whole stream, never a single month.
+///
+/// The span schema matches [`load_dir_obs`] — `ingest` with
+/// `meta`/`ct`/`logs` children and one `logs/<shard>` grandchild per
+/// shard file — plus the builder's `epoch_merge` child and `stream.*`
+/// gauges. An unrotated singleton directory degrades gracefully: the
+/// singletons are read whole, then partitioned into monthly epochs in
+/// memory, so windowing still works.
+pub fn load_dir_streaming_obs(
+    dir: &Path,
+    mode: IngestMode,
+    opts: StreamOptions,
+    obs: &Obs,
+    parent: Option<SpanId>,
+) -> Result<(StreamParts, CtLog, IngestDiagnostics), IngestError> {
+    let ingest_span = obs.span(parent, "ingest");
+    let ingest_id = ingest_span.id();
+    let result = (|| {
+        let (meta, meta_diag) = parse_meta(&dir.join("meta.tsv"), mode, obs, ingest_id)?;
+        let ct_span = obs.span(ingest_id, "ct");
+        let ct = parse_ct(&dir.join("ct.log"))?;
+        let ct_micros = ct_span.finish().as_micros() as u64;
+
+        let logs_span = obs.span(ingest_id, "logs");
+        let logs_id = logs_span.id();
+        let mut builder = CorpusBuilder::new(meta).with_obs(obs, ingest_id);
+        let mut stats = IngestStats {
+            mode,
+            ..IngestStats::default()
+        };
+        if dir.join("ssl.log").exists() {
+            // Singleton layout: read whole, then partition into monthly
+            // epochs in memory so the push/retire lifecycle still runs.
+            let (s_diag, s_res) = read_singleton(
+                &dir.join("ssl.log"),
+                mode,
+                mtls_zeek::read_ssl_log_with,
+                obs,
+                logs_id,
+            );
+            let ssl = stitch_singleton(mode, s_diag, s_res, &mut stats)?;
+            let (x_diag, x_res) = read_singleton(
+                &dir.join("x509.log"),
+                mode,
+                mtls_zeek::read_x509_log_with,
+                obs,
+                logs_id,
+            );
+            let x509 = stitch_singleton(mode, x_diag, x_res, &mut stats)?;
+            for (key, ssl_part, x509_part) in mtls_zeek::partition_monthly(ssl, x509) {
+                if let Some(window) = opts.window_months {
+                    builder.retire_for_incoming(window);
+                }
+                builder.push_epoch(&key, ssl_part, x509_part);
+            }
+        } else {
+            for key in mtls_zeek::month_keys(dir)? {
+                // Evict months about to fall out of the window *before*
+                // reading the next shard pair, so the peak live set is
+                // `window` months, never `window + 1`.
+                if let Some(window) = opts.window_months {
+                    builder.retire_for_incoming(window);
+                }
+                let (ssl_part, x509_part, month_stats) =
+                    mtls_zeek::read_month_obs(dir, &key, mode, obs, logs_id)?;
+                stats.absorb_stats(month_stats);
+                builder.push_epoch(&key, ssl_part, x509_part);
+            }
+        }
+        let logs_micros = logs_span.finish().as_micros() as u64;
+        stats.wall_micros = logs_micros;
+
+        let diagnostics = IngestDiagnostics {
+            mode,
+            stats,
+            meta_entries_skipped: meta_diag.entries_skipped,
+            meta_samples: meta_diag.samples,
+            meta_micros: meta_diag.wall_micros,
+            ct_micros,
+            logs_micros,
+            total_micros: 0, // stamped below, once the ingest span closes
+        };
+        Ok((builder.finish(), ct, diagnostics))
+    })();
+    let total_micros = ingest_span.finish().as_micros() as u64;
+    result.map(
+        |(parts, ct, mut diag): (StreamParts, CtLog, IngestDiagnostics)| {
+            diag.total_micros = total_micros;
+            record_throughput(obs, &diag);
+            (parts, ct, diag)
+        },
+    )
+}
+
 /// Strict [`load_dir_with`] without the diagnostics — the historical API.
 pub fn load_dir(dir: &Path) -> Result<AnalysisInputs, IngestError> {
     load_dir_with(dir, IngestMode::Strict).map(|(inputs, _)| inputs)
@@ -737,6 +865,88 @@ mod tests {
             assert!(diag.check_error_rate(1.0).is_ok());
             assert!(diag.render().contains("cloud_nets"));
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn error_rate_is_cumulative_across_absorbed_epochs_and_zero_when_empty() {
+        // Empty diagnostics: 0.0, not NaN (0/0).
+        let total = IngestDiagnostics::default();
+        assert_eq!(total.error_rate(), 0.0);
+        assert!(total.check_error_rate(0.0).is_ok());
+
+        // A clean early epoch followed by a garbage late epoch: evaluated
+        // per month, the clean epoch passes (0.0) and only the last
+        // month's isolated rate would reach the guard. Cumulative
+        // absorption evaluates 50 bad over 150 attempted.
+        let clean = IngestDiagnostics {
+            stats: mtls_zeek::IngestStats {
+                rows_parsed: 100,
+                ..mtls_zeek::IngestStats::default()
+            },
+            ..IngestDiagnostics::default()
+        };
+        let dirty = IngestDiagnostics {
+            stats: mtls_zeek::IngestStats {
+                rows_skipped: 50,
+                ..mtls_zeek::IngestStats::default()
+            },
+            ..IngestDiagnostics::default()
+        };
+        let mut total = IngestDiagnostics::default();
+        total.absorb(clean);
+        assert_eq!(total.error_rate(), 0.0);
+        total.absorb(dirty);
+        assert!((total.error_rate() - 50.0 / 150.0).abs() < 1e-12);
+        assert!(total.check_error_rate(0.2).is_err());
+        assert!(total.check_error_rate(0.5).is_ok());
+    }
+
+    #[test]
+    fn streaming_load_guards_over_the_whole_stream_not_per_month() {
+        use mtls_zeek::{SslRecord, TlsVersion};
+        let dir = std::env::temp_dir().join(format!("mtlscope-ingest7-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("meta.tsv"), BASE_META).unwrap();
+        let ssl_at = |ts: f64, uid: &str| SslRecord {
+            ts,
+            uid: uid.to_string(),
+            orig_h: Ipv4::new(172, 29, 0, 1),
+            orig_p: 1,
+            resp_h: Ipv4::new(10, 0, 0, 2),
+            resp_p: 443,
+            version: TlsVersion::Tls12,
+            server_name: None,
+            established: true,
+            cert_chain_fps: vec![],
+            client_cert_chain_fps: vec![],
+        };
+        const MAY: f64 = 1_651_363_200.0;
+        const JUN: f64 = 1_654_041_600.0;
+        mtls_zeek::write_monthly(&dir, &[ssl_at(MAY, "a"), ssl_at(JUN, "b")], &[]).unwrap();
+        // Corrupt only the *late* month: three malformed rows appended.
+        let victim = dir.join("ssl.2022-06.log");
+        let mut text = std::fs::read_to_string(&victim).unwrap();
+        text.push_str("garbage\nmore\tgarbage\nworse\n");
+        std::fs::write(&victim, text).unwrap();
+
+        let (parts, _ct, diag) = load_dir_streaming_obs(
+            &dir,
+            IngestMode::Lenient,
+            StreamOptions::default(),
+            &Obs::noop(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(parts.summary.epochs_pushed, 2);
+        assert_eq!(diag.stats.rows_parsed, 2);
+        assert_eq!(diag.stats.rows_skipped, 3);
+        // Cumulative: 3 bad of 5 attempted across BOTH epochs — a
+        // per-month guard would have seen 0.0 for May and waved the
+        // stream through until the very last epoch.
+        assert!((diag.error_rate() - 0.6).abs() < 1e-9);
+        assert!(diag.check_error_rate(0.5).is_err());
+        assert!(diag.check_error_rate(0.6).is_ok());
         std::fs::remove_dir_all(&dir).ok();
     }
 

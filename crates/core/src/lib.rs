@@ -42,14 +42,20 @@ pub mod ingest;
 pub mod pipeline;
 pub mod report;
 pub mod report_ascii;
+pub mod stream;
 
 pub mod testutil;
 
 pub use columns::{CertColumns, ConnColumns};
-pub use corpus::{Corpus, Direction, ServerAssociation};
-pub use ingest::{load_dir_obs, load_dir_serial_obs, IngestDiagnostics, IngestError};
+pub use corpus::{CertAgg, Corpus, Direction, ServerAssociation};
+pub use ingest::{
+    load_dir_obs, load_dir_serial_obs, load_dir_streaming_obs, IngestDiagnostics, IngestError,
+    StreamOptions,
+};
 pub use mtls_zeek::IngestMode;
 pub use pipeline::{
-    build_corpus_obs, run_pipeline, run_pipeline_obs, run_pipeline_parallel,
-    run_pipeline_parallel_obs, AnalysisInputs, PipelineOutput,
+    build_corpus_obs, build_corpus_streamed_obs, run_pipeline, run_pipeline_obs,
+    run_pipeline_parallel, run_pipeline_parallel_obs, run_pipeline_streamed_parallel_obs,
+    AnalysisInputs, PipelineOutput,
 };
+pub use stream::{CorpusBuilder, EpochStats, StreamParts, StreamSummary};

@@ -2,6 +2,7 @@
 
 use crate::analyze;
 use crate::corpus::{Corpus, MetaKnowledge};
+use crate::stream::StreamParts;
 use mtls_intern::{FxHashMap, FxHashSet, Interner, Symbol};
 use mtls_obs::{Obs, SpanId};
 use mtls_pki::CtLog;
@@ -333,11 +334,22 @@ pub fn run_pipeline_parallel_obs(
     let pipeline_span = obs.span(parent, "pipeline");
     let pid = pipeline_span.id();
     let corpus = build_corpus_obs(inputs, obs, pid);
+    let reports = analyze_parallel(&corpus, obs, pid);
+    let out = assemble(corpus, reports, obs, pid);
+    pipeline_span.finish();
+    record_report_gauges(obs, &out);
+    out
+}
 
+/// The parallel analyzer schedule, factored out so the batch and streamed
+/// pipelines share one copy: an `analyze` span with one child per
+/// analyzer, the analyzers grouped into five similarly-sized shards on
+/// scoped threads.
+fn analyze_parallel(corpus: &Corpus, obs: &Obs, pid: Option<SpanId>) -> Reports {
     let analyze_span = obs.span(pid, "analyze");
     let aid = analyze_span.id();
     let (shard1, shard2, shard3, shard4, shard5) = std::thread::scope(|s| {
-        let c = &corpus;
+        let c = corpus;
         // Group analyzers into a handful of similarly-sized shards.
         let h1 = s.spawn(move || {
             (
@@ -402,7 +414,7 @@ pub fn run_pipeline_parallel_obs(
     let (ser1, tab6, fig3, fig4, fig5) = shard3;
     let (tab8, tab9, tab13, tab14) = shard4;
     let (ext1, ext2, gen1) = shard5;
-    let reports = Reports {
+    Reports {
         fig1,
         tab1,
         tab2,
@@ -423,7 +435,66 @@ pub fn run_pipeline_parallel_obs(
         ext1,
         ext2,
         gen1,
-    };
+    }
+}
+
+/// Corpus construction from pre-streamed parts: the interception filter
+/// runs over the re-assembled full-window slices (it needs the global
+/// issuer/CT view, which no single epoch has), then
+/// [`Corpus::build_with_partials`] consumes the premerged per-epoch
+/// aggregates instead of re-observing every connection. Span names and
+/// gauges match [`build_corpus_obs`], so a metrics consumer sees one
+/// schema either way.
+pub fn build_corpus_streamed_obs(
+    parts: StreamParts,
+    ct: &CtLog,
+    obs: &Obs,
+    parent: Option<SpanId>,
+) -> Corpus {
+    let StreamParts {
+        ssl,
+        x509,
+        meta,
+        mut interner,
+        partials,
+        summary: _,
+    } = parts;
+    let (excluded, issuers) = obs.time(parent, "interception_filter", || {
+        interception::filter(&ssl, &x509, ct, &meta, &mut interner)
+    });
+    let corpus = obs.time(parent, "corpus_build", || {
+        Corpus::build_with_partials(ssl, x509, meta, &excluded, issuers, interner, partials)
+    });
+    if obs.enabled() {
+        obs.counter_add(
+            "interception.issuers_flagged",
+            corpus.interception_issuers.len() as u64,
+        );
+        obs.counter_add("interception.certs_excluded", corpus.excluded_certs as u64);
+        obs.gauge_set("corpus.certs", corpus.certs.len() as i64);
+        obs.gauge_set("corpus.conns", corpus.conns.len() as i64);
+        obs.gauge_set("corpus.interned_strings", corpus.interner().len() as i64);
+        obs.gauge_set("corpus.dangling_fps", corpus.dangling_fps as i64);
+    }
+    corpus
+}
+
+/// The streamed twin of [`run_pipeline_parallel_obs`]: identical span
+/// tree, analyzer schedule, and report gauges, but the corpus comes from
+/// a [`CorpusBuilder`](crate::stream::CorpusBuilder)'s
+/// [`StreamParts`] instead of a batch [`AnalysisInputs`]. On the same
+/// (full-window) input the output is byte-identical to the batch
+/// pipeline.
+pub fn run_pipeline_streamed_parallel_obs(
+    parts: StreamParts,
+    ct: &CtLog,
+    obs: &Obs,
+    parent: Option<SpanId>,
+) -> PipelineOutput {
+    let pipeline_span = obs.span(parent, "pipeline");
+    let pid = pipeline_span.id();
+    let corpus = build_corpus_streamed_obs(parts, ct, obs, pid);
+    let reports = analyze_parallel(&corpus, obs, pid);
     let out = assemble(corpus, reports, obs, pid);
     pipeline_span.finish();
     record_report_gauges(obs, &out);

@@ -38,6 +38,22 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
+    /// Validate the configuration. `scale` must be a finite, strictly
+    /// positive number: NaN and negative values would otherwise slip
+    /// through the scaling arithmetic silently (`round() as usize`
+    /// saturates NaN and negatives to 0, `+inf` to `usize::MAX`), turning
+    /// a typo'd 10–100× sweep into an empty — or impossibly huge —
+    /// scenario instead of an error.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.scale.is_finite() {
+            return Err(format!("scale must be finite, got {}", self.scale));
+        }
+        if self.scale <= 0.0 {
+            return Err(format!("scale must be > 0, got {}", self.scale));
+        }
+        Ok(())
+    }
+
     /// Scale an absolute default count.
     pub fn scaled(&self, base: usize) -> usize {
         ((base as f64) * self.scale).round().max(1.0) as usize
@@ -68,5 +84,22 @@ mod tests {
         };
         assert_eq!(tiny.scaled(100), 1);
         assert_eq!(tiny.scaled_may_vanish(100), 0);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_scales() {
+        let mut cfg = SimConfig::default();
+        assert!(cfg.validate().is_ok());
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, 0.0] {
+            cfg.scale = bad;
+            let err = cfg.validate().expect_err("degenerate scale accepted");
+            assert!(err.contains("scale"), "unhelpful error: {err}");
+        }
+        // The exact pathologies validate() exists to catch: NaN and
+        // negative scales silently round to empty scenarios.
+        cfg.scale = f64::NAN;
+        assert_eq!(cfg.scaled_may_vanish(1000), 0);
+        cfg.scale = -1.0;
+        assert_eq!(cfg.scaled_may_vanish(1000), 0);
     }
 }

@@ -69,6 +69,11 @@ pub fn generate(config: &SimConfig) -> SimOutput {
 /// `emit_finish`, plus output-size counters. Instrumentation never touches
 /// the RNG, so the corpus stays bit-identical for a given `(seed, scale)`.
 pub fn generate_obs(config: &SimConfig, obs: &Obs, parent: Option<SpanId>) -> SimOutput {
+    // Reject degenerate scales up front: a NaN or negative scale would
+    // silently produce empty scenarios (see SimConfig::validate).
+    if let Err(e) = config.validate() {
+        panic!("invalid SimConfig: {e}");
+    }
     let span = obs.span(parent, "netsim_generate");
     let gid = span.id();
     let mut rng = StdRng::seed_from_u64(config.seed);

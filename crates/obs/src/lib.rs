@@ -42,10 +42,12 @@
 //! ```
 
 pub mod metrics;
+pub mod rss;
 pub mod sink;
 pub mod span;
 
 pub use metrics::{Counter, HistogramBucket, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use rss::{read_self_rss, RssSample};
 pub use sink::{Snapshot, SCHEMA_VERSION};
 pub use span::{SpanGuard, SpanId, SpanRow};
 
@@ -199,6 +201,27 @@ impl Obs {
         }
     }
 
+    /// Sample this process's resident set size into the `mem.rss_bytes`
+    /// (last sample) and `mem.peak_rss_bytes` (high-water, monotone via
+    /// `gauge_max` so late small samples can't lower it) gauges. A no-op
+    /// on disabled sessions and on platforms without procfs. Returns the
+    /// sample so callers can also log or gate on it directly.
+    pub fn sample_rss(&self) -> Option<rss::RssSample> {
+        if !self.inner.enabled {
+            return None;
+        }
+        let sample = rss::read_self_rss()?;
+        self.gauge_set(
+            "mem.rss_bytes",
+            sample.rss_bytes.min(i64::MAX as u64) as i64,
+        );
+        self.gauge_max(
+            "mem.peak_rss_bytes",
+            sample.peak_rss_bytes.min(i64::MAX as u64) as i64,
+        );
+        Some(sample)
+    }
+
     /// Record one observation into the named log2 histogram.
     pub fn histogram_record(&self, name: &str, value: u64) {
         if self.inner.enabled {
@@ -336,6 +359,11 @@ pub fn heartbeat(obs: Obs, console: Console, every: Duration) -> Heartbeat {
     let handle = std::thread::spawn(move || loop {
         match stop_rx.recv_timeout(every) {
             Err(RecvTimeoutError::Timeout) => {
+                // Piggyback RSS sampling on the tick: long runs get a
+                // memory trace for free, and the peak gauge can't miss a
+                // high-water mark by more than one heartbeat (VmHWM is
+                // kernel-maintained anyway, so the final reading is exact).
+                let rss = obs.sample_rss();
                 let snap = obs.snapshot();
                 let mut parts: Vec<String> = snap
                     .counters
@@ -344,6 +372,9 @@ pub fn heartbeat(obs: Obs, console: Console, every: Duration) -> Heartbeat {
                     .collect();
                 if parts.is_empty() {
                     parts.push("warming up".to_string());
+                }
+                if let Some(s) = rss {
+                    parts.push(format!("rss={}MiB", s.rss_bytes / (1024 * 1024)));
                 }
                 console.status(format!(
                     "[progress +{:.1}s] {}",

@@ -231,6 +231,21 @@ impl IngestStats {
         }
         self.shards.push(diag);
     }
+
+    /// Fold another stats block into this one — the incremental-ingest
+    /// accumulator. An epoch-by-epoch walk absorbs each month's stats
+    /// here so `error_rate()` is always evaluated over the *cumulative*
+    /// totals: a guard checked per month would silently pass a corpus
+    /// whose early months were clean and late months garbage. Wall times
+    /// sum (the epochs ran sequentially).
+    pub fn absorb_stats(&mut self, other: IngestStats) {
+        self.rows_parsed += other.rows_parsed;
+        self.rows_skipped += other.rows_skipped;
+        self.bytes_read += other.bytes_read;
+        self.shards_quarantined += other.shards_quarantined;
+        self.wall_micros += other.wall_micros;
+        self.shards.extend(other.shards);
+    }
 }
 
 #[cfg(test)]

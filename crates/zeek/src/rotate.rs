@@ -335,6 +335,96 @@ pub fn read_monthly_serial_obs(
     Ok((ssl, x509, stats))
 }
 
+/// The month key embedded in a rotated shard filename
+/// (`ssl.2022-05.log` → `2022-05`), or `None` for non-shard files.
+fn shard_month(name: &str) -> Option<&str> {
+    let stem = name.strip_suffix(".log")?;
+    let key = stem
+        .strip_prefix("ssl.")
+        .or_else(|| stem.strip_prefix("x509."))?;
+    (!key.is_empty()).then_some(key)
+}
+
+/// The distinct month keys present in a rotated directory, sorted into
+/// chronological (`YYYY-MM` lexicographic) order. This is the epoch
+/// schedule of a streaming ingest: each key names one
+/// [`read_month_obs`] unit.
+pub fn month_keys(dir: &Path) -> Result<Vec<String>, TsvError> {
+    let (ssl_files, x509_files) = shard_files(dir)?;
+    let mut keys: Vec<String> = ssl_files
+        .iter()
+        .chain(x509_files.iter())
+        .filter_map(|p| p.file_name()?.to_str())
+        .filter_map(shard_month)
+        .map(str::to_string)
+        .collect();
+    keys.sort();
+    keys.dedup();
+    Ok(keys)
+}
+
+/// Read only the shards of one month (`ssl.<key>.log` / `x509.<key>.log`
+/// where present) — the unit of work a streaming ingest pushes as one
+/// epoch. Observability mirrors [`read_monthly_obs`]: one span per shard
+/// file under `parent`, batched row/byte counters, so a month-by-month
+/// walk of a directory produces the same span tree and counter totals as
+/// one batch read. Strict mode surfaces the first shard error in
+/// filename order; lenient quarantines it, exactly like the batch
+/// readers.
+pub fn read_month_obs(
+    dir: &Path,
+    key: &str,
+    mode: IngestMode,
+    obs: &Obs,
+    parent: Option<SpanId>,
+) -> Result<(Vec<SslRecord>, Vec<X509Record>, IngestStats), TsvError> {
+    let t0 = std::time::Instant::now();
+    let mut stats = IngestStats {
+        mode,
+        ..IngestStats::default()
+    };
+    let mut ssl = Vec::new();
+    let mut x509 = Vec::new();
+    for (name, is_ssl) in [
+        (format!("ssl.{key}.log"), true),
+        (format!("x509.{key}.log"), false),
+    ] {
+        let path = dir.join(&name);
+        if !path.exists() {
+            continue;
+        }
+        let (diag, parsed) = read_shard(&path, is_ssl, mode, obs, parent);
+        let (ssl_part, x509_part) = stitch(vec![(diag, parsed)], mode, &mut stats)?;
+        ssl.extend(ssl_part);
+        x509.extend(x509_part);
+    }
+    stats.wall_micros = t0.elapsed().as_micros() as u64;
+    Ok((ssl, x509, stats))
+}
+
+/// Partition in-memory records into per-month epochs, chronologically
+/// sorted — the in-memory twin of a rotated directory walk, used when a
+/// simulated corpus is streamed without touching disk. Record order
+/// within each month is preserved, so concatenating the partitions
+/// reproduces [`write_monthly`]-then-read byte order exactly.
+pub fn partition_monthly(
+    ssl: Vec<SslRecord>,
+    x509: Vec<X509Record>,
+) -> Vec<(String, Vec<SslRecord>, Vec<X509Record>)> {
+    let mut months: std::collections::BTreeMap<String, (Vec<SslRecord>, Vec<X509Record>)> =
+        std::collections::BTreeMap::new();
+    for rec in ssl {
+        months.entry(month_key(rec.ts)).or_default().0.push(rec);
+    }
+    for rec in x509 {
+        months.entry(month_key(rec.ts)).or_default().1.push(rec);
+    }
+    months
+        .into_iter()
+        .map(|(key, (ssl, x509))| (key, ssl, x509))
+        .collect()
+}
+
 /// Strict directory read (historical signature): first error aborts.
 pub fn read_monthly(dir: &Path) -> Result<(Vec<SslRecord>, Vec<X509Record>), TsvError> {
     read_monthly_with(dir, IngestMode::Strict).map(|(ssl, x509, _)| (ssl, x509))
@@ -500,6 +590,70 @@ mod tests {
         assert_eq!(par, ser);
         assert_eq!(par.0, ssl);
         assert_eq!(par.1, x509);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn month_by_month_walk_matches_batch_read() {
+        let ssl = vec![
+            ssl_at(MAY_2022, "a"),
+            ssl_at(MAY_2022 + 60.0, "b"),
+            ssl_at(JUN_2022, "c"),
+        ];
+        // June has ssl traffic but no x509 shard — the walk must cope
+        // with a month missing one of the two files.
+        let x509 = vec![x509_at(MAY_2022, "f1")];
+        let dir = std::env::temp_dir().join(format!("mtlscope-rotate5-{}", std::process::id()));
+        write_monthly(&dir, &ssl, &x509).unwrap();
+
+        let keys = crate::rotate::month_keys(&dir).unwrap();
+        assert_eq!(keys, vec!["2022-05".to_string(), "2022-06".to_string()]);
+
+        let mut walked_ssl = Vec::new();
+        let mut walked_x509 = Vec::new();
+        let mut rows = 0;
+        for key in &keys {
+            let (s, x, stats) =
+                read_month_obs(&dir, key, IngestMode::Strict, &Obs::noop(), None).unwrap();
+            rows += stats.rows_parsed;
+            walked_ssl.extend(s);
+            walked_x509.extend(x);
+        }
+        let (batch_ssl, batch_x509) = read_monthly(&dir).unwrap();
+        assert_eq!(walked_ssl, batch_ssl);
+        assert_eq!(walked_x509, batch_x509);
+        assert_eq!(rows, 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partition_matches_rotated_layout() {
+        let ssl = vec![
+            ssl_at(JUN_2022, "c"),
+            ssl_at(MAY_2022, "a"),
+            ssl_at(MAY_2022 + 60.0, "b"),
+        ];
+        let x509 = vec![x509_at(MAY_2022, "f1"), x509_at(JUN_2022, "f2")];
+        let parts = partition_monthly(ssl.clone(), x509.clone());
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].0, "2022-05");
+        assert_eq!(
+            parts[0].1,
+            vec![ssl_at(MAY_2022, "a"), ssl_at(MAY_2022 + 60.0, "b")]
+        );
+        assert_eq!(parts[0].2, vec![x509_at(MAY_2022, "f1")]);
+        assert_eq!(parts[1].0, "2022-06");
+        assert_eq!(parts[1].1, vec![ssl_at(JUN_2022, "c")]);
+
+        // Same epochs a rotated directory would yield.
+        let dir = std::env::temp_dir().join(format!("mtlscope-rotate6-{}", std::process::id()));
+        write_monthly(&dir, &ssl, &x509).unwrap();
+        for (key, part_ssl, part_x509) in &parts {
+            let (s, x, _) =
+                read_month_obs(&dir, key, IngestMode::Strict, &Obs::noop(), None).unwrap();
+            assert_eq!(&s, part_ssl);
+            assert_eq!(&x, part_x509);
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

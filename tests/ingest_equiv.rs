@@ -6,17 +6,20 @@
 //! it must recover with exact, fully-accounted skip counts while strict
 //! keeps its first-error-in-shard-order contract.
 
+use mtlscope::core::corpus::Corpus;
 use mtlscope::core::ingest::{
     load_dir, load_dir_obs, load_dir_serial, load_dir_serial_obs, load_dir_serial_with,
-    load_dir_with,
+    load_dir_streaming_obs, load_dir_with, StreamOptions,
 };
 use mtlscope::core::testutil::faults;
 use mtlscope::core::{
-    run_pipeline, run_pipeline_obs, run_pipeline_parallel, run_pipeline_parallel_obs, IngestMode,
+    run_pipeline, run_pipeline_obs, run_pipeline_parallel, run_pipeline_parallel_obs,
+    run_pipeline_streamed_parallel_obs, AnalysisInputs, CorpusBuilder, IngestMode,
 };
+use mtlscope::intern::{FxHashSet, Interner};
 use mtlscope::netsim::{generate, SimConfig};
 use mtlscope::obs::{Obs, Snapshot};
-use mtlscope::zeek::ErrorKind;
+use mtlscope::zeek::{partition_monthly, ErrorKind};
 use std::path::{Path, PathBuf};
 
 /// Sorted shard paths for one log stream (`ssl` / `x509`) in `dir`.
@@ -274,6 +277,261 @@ fn span_tree_is_deterministic_across_serial_and_parallel_pipeline() {
     // scheduling: full counter and gauge equality, no exclusions.
     assert_eq!(snap_parallel.counters, snap_serial.counters);
     assert_eq!(snap_parallel.gauges, snap_serial.gauges);
+}
+
+/// One month of partitioned records, cloned so the same corpus can be
+/// pushed in several different orders.
+type MonthParts = (
+    String,
+    Vec<mtlscope::zeek::SslRecord>,
+    Vec<mtlscope::zeek::X509Record>,
+);
+
+fn clone_months(months: &[MonthParts]) -> Vec<MonthParts> {
+    months.to_vec()
+}
+
+#[test]
+fn streamed_pipeline_is_order_independent_and_matches_batch() {
+    let sim = generate(&SimConfig {
+        seed: 9105,
+        scale: 0.01,
+        ..Default::default()
+    });
+    let inputs = AnalysisInputs::from_sim(sim);
+    let meta = inputs.meta.clone();
+    let months = partition_monthly(inputs.ssl.clone(), inputs.x509.clone());
+    assert!(months.len() >= 3, "need several months to permute");
+
+    // Serial order, reverse order, and an odd/even interleave: every push
+    // order must converge to the same bytes, because the builder keys
+    // epochs canonically and the aggregates are commutative monoids.
+    let serial = clone_months(&months);
+    let mut reversed = clone_months(&months);
+    reversed.reverse();
+    let mut interleaved: Vec<MonthParts> = months
+        .iter()
+        .skip(1)
+        .step_by(2)
+        .chain(months.iter().step_by(2))
+        .cloned()
+        .collect();
+    assert_eq!(interleaved.len(), months.len());
+    // Split one month into two partial pushes, too: re-pushing a live
+    // epoch key must merge, not clobber.
+    let (key0, ssl0, x5090) = interleaved.pop().expect("non-empty");
+    let mid = ssl0.len() / 2;
+    let (ssl_a, ssl_b) = (ssl0[..mid].to_vec(), ssl0[mid..].to_vec());
+    interleaved.insert(0, (key0.clone(), ssl_a, x5090));
+    interleaved.push((key0, ssl_b, Vec::new()));
+
+    let mut streamed: Vec<(String, Snapshot)> = Vec::new();
+    for (label, order) in [
+        ("serial", serial),
+        ("reversed", reversed),
+        ("interleaved+split", interleaved),
+    ] {
+        let mut builder = CorpusBuilder::new(meta.clone());
+        for (key, ssl, x509) in order {
+            builder.push_epoch(&key, ssl, x509);
+        }
+        let parts = builder.finish();
+        let obs = Obs::new();
+        let out = run_pipeline_streamed_parallel_obs(parts, &inputs.ct, &obs, None);
+        streamed.push((out.render_all(), obs.snapshot()));
+        let _ = label;
+    }
+
+    let obs_batch = Obs::new();
+    let batch = run_pipeline_parallel_obs(inputs, &obs_batch, None);
+    let batch_report = batch.render_all();
+    let snap_batch = obs_batch.snapshot();
+
+    for (report, snap) in &streamed {
+        // Byte-identical report, whatever the push order.
+        assert_eq!(report, &batch_report);
+        // And the same metrics story: identical span tree shape, counter
+        // totals, and gauges — the streamed corpus build is
+        // indistinguishable from the batch build downstream.
+        assert_eq!(span_shape(snap), span_shape(&snap_batch));
+        assert_eq!(snap.counters, snap_batch.counters);
+        assert_eq!(snap.gauges, snap_batch.gauges);
+    }
+}
+
+#[test]
+fn epoch_merge_takes_min_first_seen_and_max_last_seen() {
+    let sim = generate(&SimConfig {
+        seed: 9106,
+        scale: 0.005,
+        ..Default::default()
+    });
+    let inputs = AnalysisInputs::from_sim(sim);
+    let months = partition_monthly(inputs.ssl.clone(), inputs.x509.clone());
+
+    // Ground truth straight from the raw rows: per fingerprint, the
+    // min/max connection timestamp over every chain that references it.
+    let mut expected: std::collections::HashMap<&str, (f64, f64, usize)> =
+        std::collections::HashMap::new();
+    let mut months_seen: std::collections::HashMap<&str, FxHashSet<&str>> =
+        std::collections::HashMap::new();
+    for (key, ssl, _) in &months {
+        for rec in ssl {
+            for fp in rec.cert_chain_fps.iter().chain(&rec.client_cert_chain_fps) {
+                let e = expected
+                    .entry(fp)
+                    .or_insert((f64::INFINITY, f64::NEG_INFINITY, 0));
+                e.0 = e.0.min(rec.ts);
+                e.1 = e.1.max(rec.ts);
+                months_seen.entry(fp).or_default().insert(key);
+            }
+        }
+    }
+    let multi_month: Vec<&str> = months_seen
+        .iter()
+        .filter(|(_, m)| m.len() >= 2)
+        .map(|(fp, _)| *fp)
+        .collect();
+    assert!(
+        multi_month.len() >= 10,
+        "corpus must have certs active across months, got {}",
+        multi_month.len()
+    );
+
+    // Forward and reverse push orders both converge to the ground truth.
+    for reverse in [false, true] {
+        let mut order = clone_months(&months);
+        if reverse {
+            order.reverse();
+        }
+        let mut builder = CorpusBuilder::new(inputs.meta.clone());
+        for (key, ssl, x509) in order {
+            builder.push_epoch(&key, ssl, x509);
+        }
+        let parts = builder.finish();
+        for fp in &multi_month {
+            let sym = parts.interner.get(fp).expect("fp interned");
+            let agg = parts.partials.get(&sym).expect("partial merged");
+            let (min_ts, max_ts, _) = expected[fp];
+            assert_eq!(agg.first_seen, min_ts, "first_seen merge for {fp}");
+            assert_eq!(agg.last_seen, max_ts, "last_seen merge for {fp}");
+        }
+    }
+}
+
+#[test]
+fn rolling_window_equals_batch_over_the_window_months() {
+    let sim = generate(&SimConfig {
+        seed: 9107,
+        scale: 0.01,
+        ..Default::default()
+    });
+    let dir = std::env::temp_dir().join(format!("mtlscope-equiv-window-{}", std::process::id()));
+    sim.write_to_dir_rotated(&dir).expect("write rotated logs");
+
+    const WINDOW: usize = 6;
+    let (parts, ct, _diag) = load_dir_streaming_obs(
+        &dir,
+        IngestMode::Strict,
+        StreamOptions {
+            window_months: Some(WINDOW),
+        },
+        &Obs::noop(),
+        None,
+    )
+    .expect("windowed streaming ingest");
+    assert_eq!(parts.summary.epochs_pushed, 23);
+    assert_eq!(parts.summary.epochs_retired, 23 - WINDOW);
+    let windowed_report =
+        run_pipeline_streamed_parallel_obs(parts, &ct, &Obs::noop(), None).render_all();
+
+    // Oracle: a batch run over a directory holding only the last WINDOW
+    // months' shards (plus the sidecars).
+    let oracle_dir = dir.with_file_name(format!(
+        "{}-oracle",
+        dir.file_name().unwrap().to_string_lossy()
+    ));
+    std::fs::create_dir_all(&oracle_dir).expect("create oracle dir");
+    let keep: Vec<String> = {
+        let mut months: Vec<String> = shards(&dir, "ssl")
+            .iter()
+            .map(|p| {
+                shard_name(p)
+                    .trim_start_matches("ssl.")
+                    .trim_end_matches(".log")
+                    .to_string()
+            })
+            .collect();
+        months.sort();
+        months.split_off(months.len() - WINDOW)
+    };
+    for name in ["meta.tsv", "ct.log"] {
+        std::fs::copy(dir.join(name), oracle_dir.join(name)).expect("copy sidecar");
+    }
+    for month in &keep {
+        for stream in ["ssl", "x509"] {
+            let name = format!("{stream}.{month}.log");
+            let src = dir.join(&name);
+            if src.exists() {
+                std::fs::copy(&src, oracle_dir.join(&name)).expect("copy shard");
+            }
+        }
+    }
+    let oracle = load_dir(&oracle_dir).expect("oracle ingest");
+    let oracle_report = run_pipeline_parallel(oracle).render_all();
+
+    assert_eq!(windowed_report, oracle_report);
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&oracle_dir).ok();
+}
+
+#[test]
+fn columns_preview_tracks_the_batch_columns_after_every_push() {
+    let sim = generate(&SimConfig {
+        seed: 9108,
+        scale: 0.005,
+        ..Default::default()
+    });
+    let inputs = AnalysisInputs::from_sim(sim);
+    let months = partition_monthly(inputs.ssl.clone(), inputs.x509.clone());
+
+    let mut builder = CorpusBuilder::new(inputs.meta.clone());
+    let mut prefix_ssl = Vec::new();
+    let mut prefix_x509 = Vec::new();
+    for (key, ssl, x509) in months {
+        prefix_ssl.extend(ssl.iter().cloned());
+        prefix_x509.extend(x509.iter().cloned());
+        builder.push_epoch(&key, ssl, x509);
+
+        // Batch oracle over the months pushed so far, with no exclusions
+        // (the preview cannot know interception exclusions — only the
+        // finish-time filter can).
+        let oracle = Corpus::build(
+            prefix_ssl.clone(),
+            prefix_x509.clone(),
+            inputs.meta.clone(),
+            &FxHashSet::default(),
+            Vec::new(),
+            Interner::new(),
+        );
+        let (cert_cols, conn_cols) = builder.columns().expect("preview refreshed");
+        assert_eq!(cert_cols.validity_days, oracle.cert_cols.validity_days);
+        assert_eq!(cert_cols.not_valid_after, oracle.cert_cols.not_valid_after);
+        assert_eq!(cert_cols.category, oracle.cert_cols.category);
+        assert_eq!(
+            cert_cols.flags, oracle.cert_cols.flags,
+            "cert flags @ {key}"
+        );
+        assert_eq!(conn_cols.direction, oracle.conn_cols.direction);
+        assert_eq!(conn_cols.resp_p, oracle.conn_cols.resp_p);
+        assert_eq!(conn_cols.ts, oracle.conn_cols.ts);
+        assert_eq!(conn_cols.client_leaf, oracle.conn_cols.client_leaf);
+        assert_eq!(
+            conn_cols.flags, oracle.conn_cols.flags,
+            "conn flags @ {key}"
+        );
+    }
 }
 
 #[test]
