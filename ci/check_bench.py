@@ -18,6 +18,9 @@ Usage: check_bench.py FRESH_JSON [BASELINE_JSON]
        check_bench.py --ingest FRESH_JSON [BASELINE_JSON]
        (streaming-ingest gate over a `stream_smoke` report;
         BASELINE_JSON defaults to BENCH_ingest.json in the repo root)
+       check_bench.py --serve FRESH_JSON [BASELINE_JSON]
+       (mTLS serve gate over a `serve_smoke` report;
+        BASELINE_JSON defaults to BENCH_serve.json in the repo root)
 """
 import json
 import os
@@ -73,6 +76,14 @@ MIN_SCALE_FACTOR = 10.0
 # badly to one worker; on a single core the pool should stay at parity
 # (its overhead is bounded). 1.35 = parity plus scheduling noise.
 SCALING_PARITY_BAND = 1.35
+
+# --- mTLS serve gate (`--serve`, serve_smoke reports) -----------------
+# The serve issue's acceptance floor: the bench client must sustain at
+# least this many round trips per second on the pure ping workload (the
+# record-layer + framing floor; the verdict workload runs 2-4x slower
+# and is gated against the baseline, not an absolute floor). The box
+# measures 60-110k, so 10k only trips on a structural collapse.
+MIN_SERVE_PING_RPS = 10_000.0
 
 
 def fail(msg):
@@ -263,6 +274,74 @@ def main_ingest(fresh_path, baseline_path):
           f"{os.path.basename(baseline_path)}")
 
 
+def main_serve(fresh_path, baseline_path):
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    for report, path in [(fresh, fresh_path), (baseline, baseline_path)]:
+        for section in ("environment", "identity", "rejection", "quota",
+                        "ping", "verdict"):
+            if section not in report:
+                fail(f"{path}: missing section {section!r}")
+
+    # Gate 1: byte-identity with the offline pipeline, all three input
+    # shapes. Environment-independent — the whole point of the service.
+    for key in ("der_identical", "shard_identical", "error_identical"):
+        if fresh["identity"].get(key) is not True:
+            fail(f"identity.{key} is not true — a served verdict "
+                 f"diverged from the offline pipeline")
+
+    # Gate 2: the authorization door holds.
+    if fresh["rejection"].get("expired_chain_refused") is not True:
+        fail("rejection.expired_chain_refused is not true — an expired "
+             "client chain was admitted")
+
+    # Gate 3: quotas throttle.
+    throttled = getf(fresh, fresh_path, "quota", "throttled_seen")
+    if throttled < 1:
+        fail(f"quota.throttled_seen = {throttled:g} — the token bucket "
+             f"never throttled an over-quota burst")
+
+    # Gate 4: no request-level errors under load.
+    for arm in ("ping", "verdict"):
+        errs = getf(fresh, fresh_path, arm, "errors")
+        if errs != 0:
+            fail(f"{arm}.errors = {errs:g} — the bench saw failed "
+                 f"round trips")
+
+    # Gate 5: the acceptance throughput floor.
+    ping_rps = getf(fresh, fresh_path, "ping", "req_per_sec")
+    if ping_rps < MIN_SERVE_PING_RPS:
+        fail(f"ping.req_per_sec = {ping_rps:.0f} below the "
+             f"{MIN_SERVE_PING_RPS:.0f} req/s acceptance floor")
+
+    # Absolute rates vs baseline: same class of box only, noise-banded.
+    fresh_cores = fresh["environment"].get("cpu_cores")
+    base_cores = baseline["environment"].get("cpu_cores")
+    if fresh_cores != base_cores:
+        print(f"check_bench[serve]: skipping absolute comparison "
+              f"(cpu_cores {fresh_cores} != baseline {base_cores}); "
+              f"identity, rejection, quota, error, and {ping_rps:.0f} "
+              f">= {MIN_SERVE_PING_RPS:.0f} req/s floor gates passed")
+        return
+    compared = 0
+    for arm in ("ping", "verdict"):
+        got = getf(fresh, fresh_path, arm, "req_per_sec")
+        want = getf(baseline, baseline_path, arm, "req_per_sec")
+        if got < want * NOISE_BAND:
+            fail(f"{arm}.req_per_sec: {got:.0f} < {NOISE_BAND:.0%} of "
+                 f"baseline {want:.0f}")
+        compared += 1
+
+    print(f"check_bench[serve]: ok — identity/rejection/quota/error "
+          f"gates, ping {ping_rps:.0f} req/s >= {MIN_SERVE_PING_RPS:.0f} "
+          f"floor, {compared} absolute rates within the "
+          f"{NOISE_BAND:.0%} noise band of "
+          f"{os.path.basename(baseline_path)}")
+
+
 if __name__ == "__main__":
     argv = sys.argv[1:]
     if argv and argv[0] == "--ingest":
@@ -271,9 +350,15 @@ if __name__ == "__main__":
                  "[BASELINE_JSON]")
         base = argv[2] if len(argv) == 3 else "BENCH_ingest.json"
         main_ingest(argv[1], base)
+    elif argv and argv[0] == "--serve":
+        if len(argv) not in (2, 3):
+            fail("usage: check_bench.py --serve FRESH_JSON "
+                 "[BASELINE_JSON]")
+        base = argv[2] if len(argv) == 3 else "BENCH_serve.json"
+        main_serve(argv[1], base)
     else:
         if len(argv) not in (1, 2):
-            fail("usage: check_bench.py [--ingest] FRESH_JSON "
+            fail("usage: check_bench.py [--ingest|--serve] FRESH_JSON "
                  "[BASELINE_JSON]")
         base = argv[1] if len(argv) == 2 else "BENCH_speed.json"
         main(argv[0], base)

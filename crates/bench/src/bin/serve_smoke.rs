@@ -1,0 +1,181 @@
+//! Serve smoke: starts the demo `mtlscope serve` deployment in-process,
+//! proves the acceptance claims of the serve issue, and regenerates
+//! `BENCH_serve.json` (gated by `ci/check_bench.py --serve`).
+//!
+//! Claims measured:
+//!
+//! 1. **Identity** — a verdict served over mutual TLS is byte-identical
+//!    to the offline pipeline's verdict for the same input, for all
+//!    three shapes: a DER blob, a Zeek x509 shard, and a malformed blob
+//!    (the parse-error verdict).
+//! 2. **Quota** — a low-quota tenant sees `RESP_THROTTLED` once its
+//!    bucket drains; a fresh tenant is unaffected.
+//! 3. **Throughput** — pooled keep-alive bench threads sustain ≥ 10k
+//!    req/s on the ping round trip (the record-layer + framing floor)
+//!    and report the verdict-workload rate alongside.
+//! 4. **Rejection** — the expired demo chain is refused at the door
+//!    with a fatal alert, not served.
+//!
+//! Usage: `serve_smoke [--quick] [OUT_JSON]` (default
+//! `bench-serve-fresh.json`).
+
+use mtls_core::verdict::{cert_verdict_der, shard_verdict};
+use mtls_obs::Obs;
+use mtls_serve::bench::{run_bench, BenchConfig, BenchReport};
+use mtls_serve::client::{ClientSession, Response};
+use mtls_serve::demo::{demo_server_config, demo_verdict_context, demo_world};
+use mtls_serve::server::Server;
+use mtls_serve::tls::EndpointConfig;
+
+fn clone_endpoint(e: &EndpointConfig) -> EndpointConfig {
+    EndpointConfig {
+        version: e.version,
+        chain: e.chain.clone(),
+        random_seed: e.random_seed,
+    }
+}
+
+fn latency_json(r: &BenchReport) -> String {
+    format!(
+        "{{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+        r.latency.p50, r.latency.p90, r.latency.p99, r.latency.max
+    )
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other => out_path = Some(other.to_string()),
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| "bench-serve-fresh.json".to_string());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let world = demo_world();
+    let ctx = demo_verdict_context();
+
+    // One worker per planned bench connection plus one spare: a live
+    // keep-alive session occupies its worker, so the pool must cover the
+    // whole bench fleet or the surplus handshakes queue forever.
+    let threads = cores.clamp(2, 4);
+    let workers = threads * 2 + 1;
+
+    // ---- Claim 1: identity (exact bytes, three input shapes). -------
+    let obs = Obs::new();
+    let cfg = demo_server_config(&world, "127.0.0.1:0", workers, 10_000_000, obs.clone());
+    let server = Server::start(cfg).expect("bind serve smoke server");
+    let addr = server.local_addr().to_string();
+
+    let mut c = ClientSession::connect(
+        &addr,
+        &world.tenant_endpoint,
+        Some("mtlscope-serve.campus.example"),
+    )
+    .expect("tenant connect");
+    let served_der = match c.request_der(&world.sample_der).unwrap() {
+        Response::Verdict(v) => v,
+        other => panic!("expected verdict, got {other:?}"),
+    };
+    let served_shard = match c.request_shard(&world.sample_shard).unwrap() {
+        Response::Verdict(v) => v,
+        other => panic!("expected verdict, got {other:?}"),
+    };
+    let served_bad = match c.request_der(b"not DER at all").unwrap() {
+        Response::Verdict(v) => v,
+        other => panic!("expected verdict, got {other:?}"),
+    };
+    let der_identical = served_der == cert_verdict_der(&world.sample_der, &ctx);
+    let shard_identical = served_shard == shard_verdict(&world.sample_shard, &ctx);
+    let error_identical = served_bad == cert_verdict_der(b"not DER at all", &ctx);
+    drop(c);
+
+    // ---- Claim 4: the expired chain is refused. ---------------------
+    let rejected = ClientSession::connect(&addr, &world.expired_endpoint, None).is_err();
+
+    // ---- Claim 3: throughput (ping floor + verdict workload). -------
+    let requests = if quick { 2_000 } else { 10_000 };
+    let ping_report = run_bench(&BenchConfig {
+        addr: addr.clone(),
+        client: clone_endpoint(&world.tenant_endpoint),
+        sni: None,
+        threads,
+        connections_per_thread: 2,
+        requests_per_thread: requests,
+        der: Vec::new(),
+        obs: obs.clone(),
+    });
+    let verdict_report = run_bench(&BenchConfig {
+        addr: addr.clone(),
+        client: clone_endpoint(&world.tenant_endpoint),
+        sni: None,
+        threads,
+        connections_per_thread: 2,
+        requests_per_thread: requests / 2,
+        der: world.sample_der.clone(),
+        obs: obs.clone(),
+    });
+    server.shutdown();
+
+    // ---- Claim 2: quota, against a low-quota deployment. ------------
+    let quota_obs = Obs::noop();
+    let qcfg = demo_server_config(&world, "127.0.0.1:0", 1, 5, quota_obs);
+    let qserver = Server::start(qcfg).expect("bind quota server");
+    let qaddr = qserver.local_addr().to_string();
+    let mut qc = ClientSession::connect(&qaddr, &world.tenant_endpoint, None).unwrap();
+    let mut throttled_seen = 0u32;
+    for _ in 0..8 {
+        if matches!(
+            qc.request_der(&world.sample_der).unwrap(),
+            Response::Throttled
+        ) {
+            throttled_seen += 1;
+        }
+    }
+    drop(qc);
+    qserver.shutdown();
+
+    let json = format!(
+        r#"{{
+  "bench": "crates/bench/src/bin/serve_smoke.rs",
+  "command": "cargo run --release -p mtls-bench --bin serve_smoke",
+  "quick": {quick},
+  "environment": {{"cpu_cores": {cores}, "variance_note": "throughput medians carry the box's +/-10-40% noise; ci/check_bench.py --serve gates identity/quota/rejection hard and absolute rates only within the noise band on matching cpu_cores, plus the 10k req/s ping floor"}},
+  "identity": {{"der_identical": {der_identical}, "shard_identical": {shard_identical}, "error_identical": {error_identical}}},
+  "rejection": {{"expired_chain_refused": {rejected}}},
+  "quota": {{"rate_per_sec": 5, "burst_requests": 8, "throttled_seen": {throttled_seen}}},
+  "ping": {{"req_per_sec": {ping_rps:.1}, "requests": {ping_n}, "errors": {ping_err}, "latency_us": {ping_lat}}},
+  "verdict": {{"req_per_sec": {v_rps:.1}, "requests": {v_n}, "errors": {v_err}, "throttled": {v_thr}, "latency_us": {v_lat}}},
+  "pool": {{"threads": {threads}, "connections": {conns}, "connect_secs": {csecs:.4}}},
+  "note": "in-process server on loopback; ping is the pure record-layer+framing round trip, verdict is the full DER parse -> classify -> audit -> privacy pipeline per request. Identity compares served bytes against mtls_core::verdict offline output."
+}}
+"#,
+        ping_rps = ping_report.req_per_sec,
+        ping_n = ping_report.requests,
+        ping_err = ping_report.errors,
+        ping_lat = latency_json(&ping_report),
+        v_rps = verdict_report.req_per_sec,
+        v_n = verdict_report.requests,
+        v_err = verdict_report.errors,
+        v_thr = verdict_report.throttled,
+        v_lat = latency_json(&verdict_report),
+        conns = ping_report.connections,
+        csecs = ping_report.connect_secs,
+    );
+    std::fs::write(&out_path, &json).expect("write serve bench json");
+
+    println!(
+        "serve_smoke: identity der={der_identical} shard={shard_identical} err={error_identical}, \
+         rejected={rejected}, throttled={throttled_seen}/8, \
+         ping {:.0} req/s, verdict {:.0} req/s -> {out_path}",
+        ping_report.req_per_sec, verdict_report.req_per_sec
+    );
+    assert!(
+        der_identical && shard_identical && error_identical,
+        "identity violated"
+    );
+    assert!(rejected, "expired chain was admitted");
+    assert!(throttled_seen > 0, "quota never throttled");
+}

@@ -233,6 +233,74 @@ pub fn golden_seeds() -> Vec<(&'static str, Vec<u8>)> {
     seeds.push(("time_content_utc", b"230101120000Z".to_vec()));
     seeds.push(("time_content_generalized", b"21570101120000Z".to_vec()));
 
+    // Framed handshake bytes for the tlssim entry points: real record
+    // streams the mutation engine can corrupt at every layer (record
+    // header, fragmentation boundary, envelope, message body).
+    {
+        use mtls_tlssim::msgs::{
+            encode_certificate_body, encode_certificate_request_body, handshake_envelope,
+            ClientHello, ServerHello, HS_CERTIFICATE, HS_CERTIFICATE_REQUEST, HS_CLIENT_HELLO,
+            HS_SERVER_HELLO, HS_SERVER_HELLO_DONE,
+        };
+        use mtls_tlssim::wire::{write_fragmented, ContentType};
+        use mtls_tlssim::TlsVersion;
+
+        let chain: Vec<Vec<u8>> = vec![full.to_der().to_vec(), ca.certificate().to_der().to_vec()];
+
+        let ch = ClientHello {
+            legacy_version: TlsVersion::Tls12,
+            sni: Some("unit.conform.example".to_string()),
+            supported_versions: Vec::new(),
+        }
+        .encode(&[0x42; 32]);
+        seeds.push(("hs_client_hello_body", ch.clone()));
+
+        let mut buf = bytes::BytesMut::with_capacity(1 << 12);
+        write_fragmented(
+            &mut buf,
+            ContentType::Handshake,
+            [3, 3],
+            &handshake_envelope(HS_CLIENT_HELLO, &ch),
+        );
+        seeds.push(("hs_client_flight_records", buf.freeze().to_vec()));
+
+        // The server flight: four messages in one fragmented record
+        // stream, with a certificate chain spanning the 2^14 boundary
+        // territory the record-layer bugfixes guard.
+        let mut flight = handshake_envelope(
+            HS_SERVER_HELLO,
+            &ServerHello {
+                version: TlsVersion::Tls12,
+            }
+            .encode(&[0x24; 32]),
+        );
+        flight.extend(handshake_envelope(
+            HS_CERTIFICATE,
+            &encode_certificate_body(&chain),
+        ));
+        flight.extend(handshake_envelope(
+            HS_CERTIFICATE_REQUEST,
+            &encode_certificate_request_body(),
+        ));
+        flight.extend(handshake_envelope(HS_SERVER_HELLO_DONE, &[]));
+        let mut buf = bytes::BytesMut::with_capacity(flight.len() + 64);
+        write_fragmented(&mut buf, ContentType::Handshake, [3, 3], &flight);
+        seeds.push(("hs_server_flight_records", buf.freeze().to_vec()));
+
+        seeds.push((
+            "hs_server_hello_body",
+            ServerHello {
+                version: TlsVersion::Tls12,
+            }
+            .encode(&[0x24; 32]),
+        ));
+        seeds.push(("hs_certificate_body", encode_certificate_body(&chain)));
+        seeds.push((
+            "hs_certificate_envelope",
+            handshake_envelope(HS_CERTIFICATE, &encode_certificate_body(&chain)),
+        ));
+    }
+
     seeds
 }
 

@@ -188,6 +188,30 @@ pub const ENTRY_POINTS: &[EntryPoint] = &[
         name: "pki/crl",
         run: ep_crl,
     },
+    EntryPoint {
+        name: "tlssim/record_stream",
+        run: ep_record_stream,
+    },
+    EntryPoint {
+        name: "tlssim/handshake_envelope",
+        run: ep_handshake_envelope,
+    },
+    EntryPoint {
+        name: "tlssim/client_hello",
+        run: ep_client_hello,
+    },
+    EntryPoint {
+        name: "tlssim/server_hello",
+        run: ep_server_hello,
+    },
+    EntryPoint {
+        name: "tlssim/certificate_body",
+        run: ep_certificate_body,
+    },
+    EntryPoint {
+        name: "tlssim/observe_rechunk",
+        run: ep_observe_rechunk,
+    },
 ];
 
 /// Run every entry point on one input, each under panic protection and the
@@ -926,6 +950,169 @@ fn ep_crl(input: &[u8]) -> Outcome {
     )
 }
 
+// ---------------------------------------------------------------------------
+// tlssim: the streaming record layer and handshake message parsers.
+// ---------------------------------------------------------------------------
+
+/// Everything the streaming stack extracts from one byte stream: the
+/// record sequence, the reassembled handshake messages, and the terminal
+/// error state of each layer. Two chunkings of the same bytes must agree
+/// on all of it.
+#[derive(PartialEq, Debug)]
+struct StreamTrace {
+    records: Vec<(u8, Vec<u8>)>,
+    messages: Vec<(u8, Vec<u8>)>,
+    record_error: Option<mtls_tlssim::WireError>,
+    message_error: Option<mtls_tlssim::WireError>,
+}
+
+fn stream_trace<'a>(chunks: impl Iterator<Item = &'a [u8]>) -> StreamTrace {
+    use mtls_tlssim::stream::{HandshakeAssembler, RecordDeframer};
+    let mut deframer = RecordDeframer::new();
+    let mut assembler = HandshakeAssembler::new();
+    let mut trace = StreamTrace {
+        records: Vec::new(),
+        messages: Vec::new(),
+        record_error: None,
+        message_error: None,
+    };
+    'outer: for chunk in chunks {
+        deframer.push(chunk);
+        loop {
+            match deframer.next_record() {
+                Ok(Some((header, payload))) => {
+                    trace
+                        .records
+                        .push((header.content_type.byte(), payload.clone()));
+                    if header.content_type == mtls_tlssim::ContentType::Handshake
+                        && trace.message_error.is_none()
+                    {
+                        assembler.push(&payload);
+                        loop {
+                            match assembler.next_message() {
+                                Ok(Some(msg)) => trace.messages.push(msg),
+                                Ok(None) => break,
+                                Err(e) => {
+                                    trace.message_error = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // The deframer is dead-on-error; bytes pushed after
+                    // death never change what was already extracted.
+                    trace.record_error = Some(e);
+                    break 'outer;
+                }
+            }
+        }
+    }
+    trace
+}
+
+/// The streaming record reader + handshake reassembler, checked for
+/// re-chunk equivalence: the extracted record/message sequences and the
+/// terminal error state must be identical whether the bytes arrive whole,
+/// one at a time, or in ragged 7-byte chunks. This is the oracle form of
+/// the monitor's cross-record-reassembly bugfix.
+fn ep_record_stream(input: &[u8]) -> Outcome {
+    let whole = stream_trace(std::iter::once(input));
+    let trickle = stream_trace(input.chunks(1));
+    let ragged = stream_trace(input.chunks(7));
+    if whole != trickle || whole != ragged {
+        return Outcome::Divergence(
+            "record stream extraction depends on chunk boundaries".to_string(),
+        );
+    }
+    if whole.records.is_empty() {
+        return Outcome::Rejected;
+    }
+    if whole.record_error.is_some() || whole.message_error.is_some() {
+        // Records were extracted before the stream died: accepted prefix,
+        // rejected remainder — report by the terminal state.
+        return Outcome::Rejected;
+    }
+    Outcome::Identical
+}
+
+/// The `msg_type | u24 len | body` handshake envelope. The parser
+/// tolerates trailing bytes after the body, so a re-encode can shrink the
+/// input (canonicalize); accepted envelopes must round-trip by value.
+fn ep_handshake_envelope(input: &[u8]) -> Outcome {
+    differential(
+        input,
+        |b| {
+            let (t, body) = mtls_tlssim::msgs::parse_envelope(b).ok()?;
+            Some((t, body.to_vec()))
+        },
+        |(t, body)| mtls_tlssim::msgs::handshake_envelope(*t, body),
+    )
+}
+
+/// ClientHello body parser. The 32-byte random is not part of the parsed
+/// value, so the re-encode pins it to zero and compares by value. The
+/// legacy_version field saturates at TLS 1.2 on encode (RFC 8446 wire
+/// rule), so the comparison projects the parsed value the same way: a
+/// degenerate wire legacy of 1.3 canonicalizes instead of diverging.
+fn ep_client_hello(input: &[u8]) -> Outcome {
+    use mtls_zeek::TlsVersion;
+    differential(
+        input,
+        |b| {
+            let mut ch = mtls_tlssim::msgs::ClientHello::parse(b).ok()?;
+            ch.legacy_version = ch.legacy_version.min(TlsVersion::Tls12);
+            Some(ch)
+        },
+        |ch| ch.encode(&[0u8; 32]),
+    )
+}
+
+/// ServerHello body parser, same value-projection as the ClientHello.
+fn ep_server_hello(input: &[u8]) -> Outcome {
+    differential(
+        input,
+        |b| mtls_tlssim::msgs::ServerHello::parse(b).ok(),
+        |sh| sh.encode(&[0u8; 32]),
+    )
+}
+
+/// Certificate message body: `u24 total | (u24 len | DER)*`. The chain
+/// blobs are opaque here — this exercises only the framing.
+fn ep_certificate_body(input: &[u8]) -> Outcome {
+    differential(
+        input,
+        |b| mtls_tlssim::msgs::parse_certificate_body(b).ok(),
+        |chain| mtls_tlssim::msgs::encode_certificate_body(chain),
+    )
+}
+
+/// Passive observation must not depend on how a capture was chunked into
+/// transcript records: the same bytes as one client-direction record and
+/// as a 3-byte-chunked record sequence must observe identically (or fail
+/// identically).
+fn ep_observe_rechunk(input: &[u8]) -> Outcome {
+    use mtls_tlssim::{observe, Direction, TranscriptRecord};
+    let whole = vec![TranscriptRecord {
+        direction: Direction::ClientToServer,
+        bytes: input.to_vec(),
+    }];
+    let chunked: Vec<TranscriptRecord> = input
+        .chunks(3)
+        .map(|c| TranscriptRecord {
+            direction: Direction::ClientToServer,
+            bytes: c.to_vec(),
+        })
+        .collect();
+    match (observe(&whole), observe(&chunked)) {
+        (Ok(a), Ok(b)) if a == b => Outcome::Identical,
+        (Err(a), Err(b)) if a == b => Outcome::Rejected,
+        _ => Outcome::Divergence("observation depends on transcript chunk boundaries".to_string()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1036,6 +1223,62 @@ mod tests {
         w.sequence(|w| w.integer_i64(3));
         assert_eq!(
             outcome_of("x509/basic_constraints", &w.finish()),
+            Outcome::Identical
+        );
+    }
+
+    #[test]
+    fn streaming_entry_points_accept_a_real_client_flight() {
+        use mtls_tlssim::msgs::{handshake_envelope, ClientHello, HS_CLIENT_HELLO};
+        use mtls_tlssim::wire::{version_bytes, write_fragmented, ContentType};
+        use mtls_zeek::TlsVersion;
+
+        let ch = ClientHello {
+            legacy_version: TlsVersion::Tls12,
+            sni: Some("oracle.conform.example".to_string()),
+            supported_versions: vec![],
+        };
+        // The re-encode pins the random to zero, so a nonzero random
+        // canonicalizes and a zero random round-trips byte-identically.
+        assert_eq!(
+            outcome_of("tlssim/client_hello", &ch.encode(&[0x11; 32])),
+            Outcome::Canonicalized
+        );
+        let body = ch.encode(&[0u8; 32]);
+        assert_eq!(outcome_of("tlssim/client_hello", &body), Outcome::Identical);
+
+        let env = handshake_envelope(HS_CLIENT_HELLO, &body);
+        assert_eq!(
+            outcome_of("tlssim/handshake_envelope", &env),
+            Outcome::Identical
+        );
+
+        let mut flight = bytes::BytesMut::with_capacity(env.len() + 16);
+        write_fragmented(
+            &mut flight,
+            ContentType::Handshake,
+            version_bytes(TlsVersion::Tls12),
+            &env,
+        );
+        assert_eq!(
+            outcome_of("tlssim/record_stream", &flight.freeze()),
+            Outcome::Identical
+        );
+    }
+
+    #[test]
+    fn streaming_entry_points_reject_garbage_without_diverging() {
+        // Garbage never panics and never produces a chunk-dependent trace.
+        for input in [&b""[..], &b"\x00"[..], &b"not a tls record at all"[..]] {
+            for name in ["tlssim/record_stream", "tlssim/observe_rechunk"] {
+                match outcome_of(name, input) {
+                    Outcome::Rejected | Outcome::Identical => {}
+                    other => panic!("{name} on garbage: {other:?}"),
+                }
+            }
+        }
+        assert_eq!(
+            outcome_of("tlssim/certificate_body", b"\x00\x00\x00"),
             Outcome::Identical
         );
     }

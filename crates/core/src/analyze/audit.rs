@@ -38,8 +38,21 @@ pub fn evaluate_record(
     at: f64,
     peer_same_cert: bool,
 ) -> Vec<Violation> {
+    evaluate_fields(policy, &cert.rec, cert.public, at, peer_same_cert)
+}
+
+/// The record-level rule set on bare `x509.log` fields — shared between
+/// the corpus audit above and the per-request verdict path in
+/// [`crate::verdict`], so a served verdict can never drift from the
+/// offline analysis.
+pub fn evaluate_fields(
+    policy: &ValidationPolicy,
+    rec: &mtls_zeek::X509Record,
+    public: bool,
+    at: f64,
+    peer_same_cert: bool,
+) -> Vec<Violation> {
     let mut v = Vec::new();
-    let rec = &cert.rec;
     let inverted = rec.has_incorrect_dates();
     if policy.check_date_sanity && inverted {
         v.push(Violation::IncorrectDates);
@@ -62,7 +75,7 @@ pub fn evaluate_record(
     if policy.reject_dummy_issuers && org.map(is_dummy_org).unwrap_or(false) {
         v.push(Violation::DummyIssuer);
     }
-    if policy.require_trusted_issuer && !cert.public {
+    if policy.require_trusted_issuer && !public {
         v.push(Violation::UntrustedIssuer);
     }
     if policy.min_rsa_bits > 0 && rec.key_alg == "rsa" && rec.key_length < policy.min_rsa_bits {

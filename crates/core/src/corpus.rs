@@ -351,10 +351,7 @@ impl MetaKnowledge {
 /// generator flag. One implementation shared by [`Corpus::build`] and the
 /// streaming builder's per-epoch columnar preview, so the two can never
 /// drift.
-pub(crate) fn classify_cert(
-    meta: &MetaKnowledge,
-    rec: &X509Record,
-) -> (bool, IssuerCategory, bool) {
+pub fn classify_cert(meta: &MetaKnowledge, rec: &X509Record) -> (bool, IssuerCategory, bool) {
     let public = meta.issuer_is_public(rec.issuer_org.as_deref())
         // The paper also accepts issuers whose *own* chain is
         // anchored; the display-string membership stands in for it.

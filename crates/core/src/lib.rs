@@ -43,6 +43,7 @@ pub mod pipeline;
 pub mod report;
 pub mod report_ascii;
 pub mod stream;
+pub mod verdict;
 
 pub mod testutil;
 
@@ -59,3 +60,4 @@ pub use pipeline::{
     AnalysisInputs, PipelineOutput,
 };
 pub use stream::{CorpusBuilder, EpochStats, StreamParts, StreamSummary};
+pub use verdict::{cert_verdict_der, record_verdict, shard_verdict, VerdictContext};

@@ -41,6 +41,18 @@ pub mod interception {
     const MIN_CERTS: usize = 3;
     const CANDIDATE_SHARE: f64 = 0.8;
 
+    /// The per-certificate half of the filter: is this certificate's
+    /// domain known to CT under a *different* issuer? Shared with the
+    /// serve verdict path ([`crate::verdict`]) so the two calls can never
+    /// diverge. The caller is responsible for the issuer-level gating
+    /// (public issuers and empty orgs are out of scope).
+    pub fn is_candidate(cert: &X509Record, ct: &CtLog) -> bool {
+        cert.san_dns
+            .iter()
+            .chain(cert.subject_cn.iter())
+            .any(|domain| ct.contains_domain(domain) && !ct.domain_has_issuer(domain, &cert.issuer))
+    }
+
     /// Run the filter with the paper's thresholds. Excluded fingerprints
     /// come back as symbols in `interner`, ready for [`Corpus::build`].
     pub fn filter(
@@ -85,13 +97,7 @@ pub mod interception {
             let Some(org) = cert.issuer_org.as_deref() else {
                 continue; // empty issuers are a different pathology
             };
-            let mut candidate = false;
-            for domain in cert.san_dns.iter().chain(cert.subject_cn.iter()) {
-                if ct.contains_domain(domain) && !ct.domain_has_issuer(domain, &cert.issuer) {
-                    candidate = true;
-                    break;
-                }
-            }
+            let candidate = is_candidate(cert, ct);
             let fp_sym = if candidate {
                 Some(interner.intern(&cert.fingerprint))
             } else {

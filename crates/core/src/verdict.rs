@@ -1,0 +1,260 @@
+//! Per-request verdicts: the offline pipeline's answers, one input at a
+//! time.
+//!
+//! `mtlscope serve` answers two request shapes — a raw DER certificate
+//! blob, or a Zeek `x509.log` shard — with a deterministic text verdict:
+//! parse result, issuer classification, the policy audit, the
+//! interception-candidate call, and the CN/SAN privacy classification.
+//! Every piece is computed by the *same* functions the offline pipeline
+//! runs ([`crate::corpus::classify_cert`],
+//! [`crate::analyze::audit::evaluate_fields`],
+//! [`crate::pipeline::interception::is_candidate`],
+//! [`mtls_classify::classify`]), so a verdict served over mutual TLS is
+//! byte-identical to what the batch analysis would say about the same
+//! record — pinned by the serve smoke test in CI.
+
+use crate::analyze::audit::evaluate_fields;
+use crate::corpus::{classify_cert, MetaKnowledge};
+use crate::pipeline::interception::is_candidate;
+use mtls_classify::{classify, ClassifyContext};
+use mtls_crypto::{hex, sha256};
+use mtls_pki::{CtLog, ValidationPolicy};
+use mtls_zeek::{read_x509_log, X509Record};
+use std::fmt::Write as _;
+
+/// Everything a verdict needs besides the input itself. The server builds
+/// one of these at startup; tests build one for the offline twin.
+#[derive(Clone)]
+pub struct VerdictContext {
+    /// Policy the audit section applies (the server default is
+    /// [`ValidationPolicy::enterprise`], matching the offline ext1 run).
+    pub policy: ValidationPolicy,
+    /// World knowledge: public/campus issuer lists, network layout.
+    pub meta: MetaKnowledge,
+    /// CT view for the interception-candidate call.
+    pub ct: CtLog,
+    /// Evaluation time (unix seconds) for the validity checks.
+    pub at: f64,
+}
+
+/// Render the verdict for one already-parsed `x509.log` record.
+pub fn record_verdict(rec: &X509Record, ctx: &VerdictContext) -> String {
+    let (public, category, _) = classify_cert(&ctx.meta, rec);
+    let mut out = String::new();
+    out.push_str("verdict: cert\n");
+    let _ = writeln!(out, "fingerprint: {}", rec.fingerprint);
+    out.push_str("parse: ok\n");
+    let _ = writeln!(out, "subject: {}", rec.subject);
+    let _ = writeln!(out, "issuer: {}", rec.issuer);
+    let _ = writeln!(out, "issuer_class: {}", category.label());
+
+    let violations = evaluate_fields(&ctx.policy, rec, public, ctx.at, false);
+    if violations.is_empty() {
+        out.push_str("audit: (clean)\n");
+    } else {
+        let labels: Vec<&str> = violations.iter().map(|v| v.label()).collect();
+        let _ = writeln!(out, "audit: {}", labels.join(", "));
+    }
+
+    // The interception filter only ever considers private issuers with a
+    // named org; mirror its gating here so the per-cert call matches what
+    // the corpus-level filter would feed the issuer aggregation.
+    let interception = if public {
+        "not-applicable (public issuer)"
+    } else if rec
+        .issuer_org
+        .as_deref()
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .is_none()
+    {
+        "not-applicable (missing issuer)"
+    } else if is_candidate(rec, &ctx.ct) {
+        "candidate"
+    } else {
+        "clear"
+    };
+    let _ = writeln!(out, "interception: {interception}");
+
+    let cctx = ClassifyContext {
+        issuer_org: rec.issuer_org.as_deref(),
+        issuer_is_campus: ctx.meta.issuer_is_campus(rec.issuer_org.as_deref()),
+    };
+    if let Some(cn) = rec.subject_cn.as_deref() {
+        let _ = writeln!(out, "privacy.cn: {} => {}", cn, classify(cn, cctx));
+    } else {
+        out.push_str("privacy.cn: (absent)\n");
+    }
+    for (field, values) in [
+        ("san_dns", &rec.san_dns),
+        ("san_email", &rec.san_email),
+        ("san_uri", &rec.san_uri),
+        ("san_ip", &rec.san_ip),
+    ] {
+        for v in values {
+            let _ = writeln!(out, "privacy.{}: {} => {}", field, v, classify(v, cctx));
+        }
+    }
+    out
+}
+
+/// Render the verdict for a raw DER certificate blob. The DER is mapped
+/// to its `x509.log` row exactly the way the traffic emitter logs one
+/// ([`mtls_netsim::to_x509_record`] over the SHA-256 fingerprint), then
+/// judged by [`record_verdict`]. Unparseable blobs get a parse-error
+/// verdict instead of an error channel: a malformed certificate is an
+/// analysis *result* here, not a failure.
+pub fn cert_verdict_der(der: &[u8], ctx: &VerdictContext) -> String {
+    match mtls_x509::Certificate::from_der(der) {
+        Ok(cert) => {
+            let fp = hex::encode(&sha256(der));
+            let rec = mtls_netsim::to_x509_record(&cert, &fp, ctx.at);
+            record_verdict(&rec, ctx)
+        }
+        Err(e) => {
+            let fp = hex::encode(&sha256(der));
+            format!("verdict: cert\nfingerprint: {fp}\nparse: error: {e}\n")
+        }
+    }
+}
+
+/// Render the verdict for a Zeek `x509.log` shard: a header with the row
+/// count, then one [`record_verdict`] block per row in shard order.
+pub fn shard_verdict(tsv: &[u8], ctx: &VerdictContext) -> String {
+    match read_x509_log(tsv) {
+        Ok(records) => {
+            let mut out = String::new();
+            let _ = writeln!(out, "verdict: shard\nrecords: {}", records.len());
+            for rec in &records {
+                out.push('\n');
+                out.push_str(&record_verdict(rec, ctx));
+            }
+            out
+        }
+        Err(e) => format!("verdict: shard\nparse: error: {e}\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::meta;
+    use mtls_asn1::Asn1Time;
+    use mtls_crypto::Keypair;
+    use mtls_pki::CertificateAuthority;
+    use mtls_x509::{CertificateBuilder, DistinguishedName, GeneralName};
+
+    fn ctx() -> VerdictContext {
+        VerdictContext {
+            policy: ValidationPolicy::enterprise(),
+            meta: meta(),
+            ct: CtLog::new(),
+            at: Asn1Time::from_ymd(2022, 6, 1).unix() as f64,
+        }
+    }
+
+    fn mint(cn: &str, issuer_org: &str) -> Vec<u8> {
+        let ca = CertificateAuthority::new_root(
+            b"verdict-ca",
+            DistinguishedName::builder()
+                .organization(issuer_org)
+                .build(),
+            Asn1Time::from_ymd(2022, 1, 1),
+        );
+        let key = Keypair::from_seed(cn.as_bytes());
+        ca.issue(
+            CertificateBuilder::new()
+                .subject(DistinguishedName::builder().common_name(cn).build())
+                .san(vec![GeneralName::Dns(cn.into())])
+                .validity(
+                    Asn1Time::from_ymd(2022, 1, 1),
+                    Asn1Time::from_ymd(2023, 1, 1),
+                )
+                .subject_key(key.key_id()),
+        )
+        .to_der()
+    }
+
+    #[test]
+    fn der_verdict_sections_present() {
+        let v = cert_verdict_der(&mint("portal.example.edu", "Example Corp"), &ctx());
+        assert!(v.starts_with("verdict: cert\n"), "{v}");
+        assert!(v.contains("parse: ok"));
+        assert!(v.contains("issuer_class: "));
+        assert!(v.contains("audit: "));
+        assert!(v.contains("interception: "));
+        assert!(v.contains("privacy.cn: portal.example.edu => Domain"));
+    }
+
+    #[test]
+    fn der_verdict_deterministic() {
+        let der = mint("a.example.org", "Acme Inc");
+        let c = ctx();
+        assert_eq!(cert_verdict_der(&der, &c), cert_verdict_der(&der, &c));
+    }
+
+    #[test]
+    fn garbage_der_is_a_parse_error_verdict() {
+        let v = cert_verdict_der(b"not a certificate", &ctx());
+        assert!(v.contains("parse: error: "), "{v}");
+        assert!(!v.contains("audit:"), "no analysis on unparsed input");
+    }
+
+    #[test]
+    fn shard_verdict_covers_every_row() {
+        let c = ctx();
+        let ders = [
+            mint("one.example.org", "Acme Inc"),
+            mint("two.example.org", "Acme Inc"),
+        ];
+        let records: Vec<X509Record> = ders
+            .iter()
+            .map(|d| {
+                let cert = mtls_x509::Certificate::from_der(d).unwrap();
+                mtls_netsim::to_x509_record(&cert, &hex::encode(&sha256(d)), c.at)
+            })
+            .collect();
+        let mut tsv = Vec::new();
+        mtls_zeek::write_x509_log(&mut tsv, &records).unwrap();
+        let v = shard_verdict(&tsv, &c);
+        assert!(v.starts_with("verdict: shard\nrecords: 2\n"), "{v}");
+        // Each row's verdict equals the standalone record verdict.
+        for rec in &records {
+            assert!(v.contains(&record_verdict(rec, &c)));
+        }
+    }
+
+    #[test]
+    fn malformed_shard_is_a_parse_error_verdict() {
+        let v = shard_verdict(b"#separator nonsense\ngarbage", &ctx());
+        assert!(v.contains("parse: error: "), "{v}");
+    }
+
+    #[test]
+    fn audit_flags_flow_through() {
+        // An expired cert must show up in the audit line.
+        let ca = CertificateAuthority::new_root(
+            b"verdict-ca2",
+            DistinguishedName::builder().organization("Old CA").build(),
+            Asn1Time::from_ymd(2019, 1, 1),
+        );
+        let key = Keypair::from_seed(b"expired-leaf");
+        let der = ca
+            .issue(
+                CertificateBuilder::new()
+                    .subject(
+                        DistinguishedName::builder()
+                            .common_name("old.example")
+                            .build(),
+                    )
+                    .validity(
+                        Asn1Time::from_ymd(2019, 1, 1),
+                        Asn1Time::from_ymd(2020, 1, 1),
+                    )
+                    .subject_key(key.key_id()),
+            )
+            .to_der();
+        let v = cert_verdict_der(&der, &ctx());
+        assert!(v.contains("audit: expired"), "{v}");
+    }
+}

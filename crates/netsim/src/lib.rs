@@ -51,7 +51,7 @@ pub mod world;
 
 pub use calendar::Month;
 pub use config::SimConfig;
-pub use emit::{Emitter, SimMeta, SimOutput};
+pub use emit::{to_x509_record, Emitter, SimMeta, SimOutput};
 pub use world::World;
 
 use mtls_obs::{Obs, SpanId};

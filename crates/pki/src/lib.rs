@@ -56,6 +56,7 @@
 //! assert!(validated.publicly_trusted);
 //! ```
 
+pub mod authz;
 pub mod ca;
 pub mod chain;
 pub mod crl;
@@ -64,6 +65,7 @@ pub mod issuercat;
 pub mod policy;
 pub mod truststore;
 
+pub use authz::{Authorizer, AuthzError, Tenant};
 pub use ca::CertificateAuthority;
 pub use chain::{validate_chain, ChainError, ValidatedChain};
 pub use crl::{CertificateRevocationList, CrlBuilder, RevocationReason};

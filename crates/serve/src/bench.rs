@@ -1,0 +1,187 @@
+//! The `mtlscope bench-client` driver: hammer a serve endpoint with
+//! pooled keep-alive connections and report latency/throughput.
+//!
+//! Each bench thread owns a [`ClientPool`] and issues serial round trips
+//! (request → verdict) round-robin across its pool; threads run
+//! concurrently, so the client and server pipelines overlap even on one
+//! core. Every round trip's latency lands both in an exact sample vector
+//! (for true percentiles) and in an `mtls-obs` log2 histogram (the
+//! cross-run comparable shape that goes into `BENCH_serve.json`).
+
+use crate::client::{ClientPool, Response};
+use crate::tls::EndpointConfig;
+use mtls_obs::Obs;
+use std::time::Instant;
+
+/// One bench run's parameters.
+pub struct BenchConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Client identity (chain + version) every connection presents.
+    pub client: EndpointConfig,
+    /// SNI to send, if any.
+    pub sni: Option<String>,
+    /// Concurrent bench threads.
+    pub threads: usize,
+    /// Keep-alive connections per thread.
+    pub connections_per_thread: usize,
+    /// Round trips per thread.
+    pub requests_per_thread: usize,
+    /// DER blob submitted as the `REQ_DER` workload; when empty the
+    /// workload is pings only.
+    pub der: Vec<u8>,
+    /// Metrics sink for the latency histogram.
+    pub obs: Obs,
+}
+
+/// Latency percentiles in microseconds, from exact samples.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyUs {
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub max: u64,
+}
+
+/// What one run measured.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    /// Round trips completed (verdicts + pongs).
+    pub requests: usize,
+    /// `RESP_VERDICT` responses.
+    pub verdicts: usize,
+    /// `RESP_THROTTLED` responses (still round trips).
+    pub throttled: usize,
+    /// `RESP_ERROR` responses or transport failures.
+    pub errors: usize,
+    /// Wall time for the request phase (handshakes excluded — the pool
+    /// connects before the clock starts).
+    pub elapsed_secs: f64,
+    /// requests / elapsed_secs.
+    pub req_per_sec: f64,
+    /// Request-phase latency distribution.
+    pub latency: LatencyUs,
+    /// Wall time to establish all pooled connections (full handshakes).
+    pub connect_secs: f64,
+    /// Total connections established.
+    pub connections: usize,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Run the bench. Panics on connection failure (a bench against a dead
+/// or refusing server is a setup error, not a measurement).
+pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
+    let threads = cfg.threads.max(1);
+    let connect_start = Instant::now();
+    let mut pools = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        pools.push(
+            ClientPool::connect(
+                &cfg.addr,
+                &cfg.client,
+                cfg.sni.as_deref(),
+                cfg.connections_per_thread,
+            )
+            .expect("bench: connect pool"),
+        );
+    }
+    let connect_secs = connect_start.elapsed().as_secs_f64();
+    let connections = pools.iter().map(ClientPool::len).sum();
+
+    struct ThreadResult {
+        latencies: Vec<u64>,
+        verdicts: usize,
+        throttled: usize,
+        errors: usize,
+    }
+
+    let start = Instant::now();
+    let results: Vec<ThreadResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = pools
+            .into_iter()
+            .map(|mut pool| {
+                scope.spawn(move || {
+                    let mut r = ThreadResult {
+                        latencies: Vec::with_capacity(cfg.requests_per_thread),
+                        verdicts: 0,
+                        throttled: 0,
+                        errors: 0,
+                    };
+                    for _ in 0..cfg.requests_per_thread {
+                        let session = pool.checkout();
+                        let t0 = Instant::now();
+                        let resp = if cfg.der.is_empty() {
+                            session.ping()
+                        } else {
+                            session.request_der(&cfg.der)
+                        };
+                        let us = t0.elapsed().as_micros() as u64;
+                        r.latencies.push(us);
+                        cfg.obs.histogram_record("bench.latency_us", us);
+                        match resp {
+                            Ok(Response::Verdict(_)) => r.verdicts += 1,
+                            Ok(Response::Pong) => {}
+                            Ok(Response::Throttled) => r.throttled += 1,
+                            Ok(Response::Error(_)) | Err(_) => r.errors += 1,
+                        }
+                    }
+                    r
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench thread"))
+            .collect()
+    });
+    let elapsed_secs = start.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut report = BenchReport {
+        connections,
+        connect_secs,
+        elapsed_secs,
+        ..BenchReport::default()
+    };
+    for r in results {
+        report.requests += r.latencies.len();
+        report.verdicts += r.verdicts;
+        report.throttled += r.throttled;
+        report.errors += r.errors;
+        latencies.extend(r.latencies);
+    }
+    latencies.sort_unstable();
+    report.latency = LatencyUs {
+        p50: percentile(&latencies, 0.50),
+        p90: percentile(&latencies, 0.90),
+        p99: percentile(&latencies, 0.99),
+        max: latencies.last().copied().unwrap_or(0),
+    };
+    report.req_per_sec = if elapsed_secs > 0.0 {
+        report.requests as f64 / elapsed_secs
+    } else {
+        0.0
+    };
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_picks_expected_ranks() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.50), 51);
+        assert_eq!(percentile(&sorted, 0.99), 99);
+        assert_eq!(percentile(&sorted, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Blocking client for the serve protocol: one mTLS session per TCP
+//! connection, plus a keep-alive pool that round-robins requests across
+//! several warm connections (the shape the bench client measures).
+
+use crate::frame::{Frame, REQ_DER, REQ_PING, REQ_SHARD, RESP_PONG, RESP_VERDICT};
+use crate::tls::{self, EndpointConfig, Session, SessionError};
+use std::io;
+use std::net::TcpStream;
+
+/// What a request came back as.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The rendered verdict text.
+    Verdict(String),
+    /// Liveness ack.
+    Pong,
+    /// The server refused the request for this cycle.
+    Throttled,
+    /// A request-level error message from the server.
+    Error(String),
+}
+
+/// One established connection to the server.
+pub struct ClientSession {
+    session: Session<TcpStream, TcpStream>,
+}
+
+impl ClientSession {
+    /// Connect and run the mutual-TLS handshake, presenting `cfg.chain`.
+    pub fn connect(
+        addr: &str,
+        cfg: &EndpointConfig,
+        sni: Option<&str>,
+    ) -> io::Result<ClientSession> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read = stream.try_clone()?;
+        let session = tls::connect(read, stream, cfg, sni)
+            .map_err(|e| io::Error::new(io::ErrorKind::ConnectionRefused, e.to_string()))?;
+        Ok(ClientSession { session })
+    }
+
+    fn round_trip(&mut self, kind: u8, payload: &[u8]) -> Result<Response, SessionError> {
+        self.session.send_frame(kind, payload)?;
+        let frame = self.session.recv_frame()?.ok_or(SessionError::Stream(
+            mtls_tlssim::StreamError::UnexpectedEof,
+        ))?;
+        Ok(decode_response(frame))
+    }
+
+    /// Submit one DER certificate blob for a verdict.
+    pub fn request_der(&mut self, der: &[u8]) -> Result<Response, SessionError> {
+        self.round_trip(REQ_DER, der)
+    }
+
+    /// Submit one Zeek x509 shard (TSV bytes) for a verdict.
+    pub fn request_shard(&mut self, tsv: &[u8]) -> Result<Response, SessionError> {
+        self.round_trip(REQ_SHARD, tsv)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<Response, SessionError> {
+        self.round_trip(REQ_PING, &[])
+    }
+}
+
+fn decode_response(frame: Frame) -> Response {
+    match frame.kind {
+        RESP_VERDICT => Response::Verdict(String::from_utf8_lossy(&frame.payload).into_owned()),
+        RESP_PONG => Response::Pong,
+        crate::frame::RESP_THROTTLED => Response::Throttled,
+        _ => Response::Error(String::from_utf8_lossy(&frame.payload).into_owned()),
+    }
+}
+
+/// A fixed-size pool of keep-alive sessions, handed out round-robin.
+/// Each session carries the same client identity; the point of the pool
+/// is amortizing handshakes across many requests, exactly what a real
+/// service client does.
+pub struct ClientPool {
+    sessions: Vec<ClientSession>,
+    next: usize,
+}
+
+impl ClientPool {
+    /// Open `size` connections up front (handshakes happen here, not on
+    /// the request path).
+    pub fn connect(
+        addr: &str,
+        cfg: &EndpointConfig,
+        sni: Option<&str>,
+        size: usize,
+    ) -> io::Result<ClientPool> {
+        let size = size.max(1);
+        let mut sessions = Vec::with_capacity(size);
+        for _ in 0..size {
+            sessions.push(ClientSession::connect(addr, cfg, sni)?);
+        }
+        Ok(ClientPool { sessions, next: 0 })
+    }
+
+    /// Number of pooled connections.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether the pool is empty (never true after `connect`).
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// The next session, round-robin.
+    pub fn checkout(&mut self) -> &mut ClientSession {
+        let i = self.next;
+        self.next = (self.next + 1) % self.sessions.len();
+        &mut self.sessions[i]
+    }
+}

@@ -1,0 +1,170 @@
+//! A self-contained demo world for the serve stack: a private CA, a
+//! server identity, tenant client chains (one valid, one expired), and a
+//! verdict context matching the offline campus analysis. The e2e tests,
+//! the CI serve smoke, and the `mtlscope serve --demo` binary all start
+//! from here so they exercise the same credentials.
+
+use crate::server::ServerConfig;
+use crate::tls::EndpointConfig;
+use mtls_asn1::Asn1Time;
+use mtls_core::testutil;
+use mtls_core::verdict::VerdictContext;
+use mtls_crypto::{hex, sha256, KeyRegistry, Keypair};
+use mtls_obs::Obs;
+use mtls_pki::{Authorizer, CertificateAuthority, CtLog, TrustAnchors, ValidationPolicy};
+use mtls_tlssim::TlsVersion;
+use mtls_x509::{CertificateBuilder, DistinguishedName, GeneralName};
+
+/// The demo epoch: validation happens mid-2022, inside every minted
+/// chain's validity window (matching the offline testutil corpus).
+pub fn demo_now() -> Asn1Time {
+    Asn1Time::from_ymd(2022, 6, 1)
+}
+
+/// Credentials and sample inputs for a demo serve deployment.
+pub struct DemoWorld {
+    /// The private root everything chains to.
+    pub root: CertificateAuthority,
+    /// What the server presents.
+    pub server_endpoint: EndpointConfig,
+    /// A valid tenant chain (CN `tenant-alpha`).
+    pub tenant_endpoint: EndpointConfig,
+    /// An expired tenant chain the authorizer must refuse.
+    pub expired_endpoint: EndpointConfig,
+    /// A standalone DER blob to submit as a `REQ_DER` workload.
+    pub sample_der: Vec<u8>,
+    /// A two-row Zeek `x509.log` shard to submit as `REQ_SHARD`.
+    pub sample_shard: Vec<u8>,
+}
+
+fn issue_der(root: &CertificateAuthority, cn: &str, from: Asn1Time, to: Asn1Time) -> Vec<u8> {
+    let key = Keypair::from_seed(cn.as_bytes());
+    root.issue(
+        CertificateBuilder::new()
+            .subject(DistinguishedName::builder().common_name(cn).build())
+            .san(vec![GeneralName::Dns(cn.into())])
+            .validity(from, to)
+            .subject_key(key.key_id()),
+    )
+    .to_der()
+}
+
+/// Build the demo world deterministically (same bytes every run).
+pub fn demo_world() -> DemoWorld {
+    let root = CertificateAuthority::new_root(
+        b"serve-demo-root",
+        DistinguishedName::builder()
+            .organization("Commonwealth University")
+            .common_name("Commonwealth University Root CA")
+            .build(),
+        Asn1Time::from_ymd(2022, 1, 1),
+    );
+    let ok_from = Asn1Time::from_ymd(2022, 1, 1);
+    let ok_to = Asn1Time::from_ymd(2023, 1, 1);
+    let root_der = root.certificate().to_der();
+
+    let server_endpoint = EndpointConfig {
+        version: TlsVersion::Tls12,
+        chain: vec![
+            issue_der(&root, "mtlscope-serve.campus.example", ok_from, ok_to),
+            root_der.clone(),
+        ],
+        random_seed: 0x5e12,
+    };
+    let tenant_endpoint = EndpointConfig {
+        version: TlsVersion::Tls12,
+        chain: vec![
+            issue_der(&root, "tenant-alpha", ok_from, ok_to),
+            root_der.clone(),
+        ],
+        random_seed: 0xa11a,
+    };
+    let expired_endpoint = EndpointConfig {
+        version: TlsVersion::Tls12,
+        chain: vec![
+            issue_der(
+                &root,
+                "tenant-stale",
+                Asn1Time::from_ymd(2021, 1, 1),
+                Asn1Time::from_ymd(2021, 6, 1),
+            ),
+            root_der,
+        ],
+        random_seed: 0xdead,
+    };
+
+    // Sample workloads: one DER blob and one shard built from two
+    // records, mapped exactly the way the traffic emitter logs them.
+    let sample_der = issue_der(&root, "portal.campus.example", ok_from, ok_to);
+    let at = demo_now().unix() as f64;
+    let records: Vec<mtls_zeek::X509Record> = [
+        issue_der(&root, "vpn.campus.example", ok_from, ok_to),
+        issue_der(&root, "mail.campus.example", ok_from, ok_to),
+    ]
+    .iter()
+    .map(|der| {
+        let cert = mtls_x509::Certificate::from_der(der).expect("demo cert");
+        mtls_netsim::to_x509_record(&cert, &hex::encode(&sha256(der)), at)
+    })
+    .collect();
+    let mut sample_shard = Vec::new();
+    mtls_zeek::write_x509_log(&mut sample_shard, &records).expect("demo shard");
+
+    DemoWorld {
+        root,
+        server_endpoint,
+        tenant_endpoint,
+        expired_endpoint,
+        sample_der,
+        sample_shard,
+    }
+}
+
+/// An authorizer that recognizes the demo root's key (private anchor,
+/// enterprise policy — the paper's dominant deployment shape).
+pub fn demo_authorizer(world: &DemoWorld, quota_public: u32, quota_private: u32) -> Authorizer {
+    let mut registry = KeyRegistry::new();
+    world.root.register_key(&mut registry);
+    Authorizer {
+        anchors: TrustAnchors::new(),
+        registry,
+        policy: ValidationPolicy::enterprise(),
+        quota_public,
+        quota_private,
+    }
+}
+
+/// The verdict context the demo server renders against — the same
+/// campus world knowledge the offline testutil corpus uses.
+pub fn demo_verdict_context() -> VerdictContext {
+    VerdictContext {
+        policy: ValidationPolicy::enterprise(),
+        meta: testutil::meta(),
+        ct: CtLog::new(),
+        at: demo_now().unix() as f64,
+    }
+}
+
+/// A ready-to-start demo server config bound to `addr` with
+/// `quota_private` requests/second per private tenant.
+pub fn demo_server_config(
+    world: &DemoWorld,
+    addr: &str,
+    workers: usize,
+    quota_private: u32,
+    obs: Obs,
+) -> ServerConfig {
+    ServerConfig {
+        addr: addr.to_string(),
+        workers,
+        endpoint: EndpointConfig {
+            version: world.server_endpoint.version,
+            chain: world.server_endpoint.chain.clone(),
+            random_seed: world.server_endpoint.random_seed,
+        },
+        authorizer: demo_authorizer(world, quota_private.saturating_mul(5), quota_private),
+        verdict: demo_verdict_context(),
+        now: demo_now(),
+        obs,
+    }
+}

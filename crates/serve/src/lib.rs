@@ -1,0 +1,42 @@
+//! `mtls-serve` — the mTLS-terminated analysis service and its bench
+//! client, built entirely on the mtlscope stack.
+//!
+//! The offline pipeline reads Zeek logs from disk; this crate puts the
+//! same analysis behind a socket. A long-running TCP server terminates
+//! mutual TLS using our own record layer ([`mtls_tlssim::stream`]),
+//! authorizes the presented client chain through
+//! [`mtls_pki::Authorizer`] to derive a tenant identity, enforces
+//! per-tenant token-bucket quotas, and streams back verdicts that are
+//! byte-identical to the offline pipeline — the verdict renderer in
+//! [`mtls_core::verdict`] is the single shared implementation.
+//!
+//! Layers, bottom to top:
+//!
+//! - [`frame`] — `kind | u32 len | payload` application framing with an
+//!   incremental reassembler (frames span records).
+//! - [`quota`] — per-tenant token buckets driven by explicit elapsed
+//!   time, so the server owns the only clock.
+//! - [`tls`] — session establishment: the mutual-TLS handshake over any
+//!   `Read`/`Write` pair, fragmenting and reassembling certificate
+//!   flights at the 2^14 record boundary.
+//! - [`server`] — `TcpListener` accept loop with a bounded worker pool,
+//!   request dispatch, and `mtls-obs` instrumentation.
+//! - [`client`] — blocking client session plus a keep-alive connection
+//!   pool.
+//! - [`bench`] — the `bench-client` driver: pooled connections, latency
+//!   histograms, and a JSON report for CI gating.
+
+pub mod bench;
+pub mod client;
+pub mod demo;
+pub mod frame;
+pub mod quota;
+pub mod server;
+pub mod tls;
+
+pub use bench::{run_bench, BenchConfig, BenchReport};
+pub use client::{ClientPool, ClientSession};
+pub use frame::{encode_frame, Frame, FrameAssembler};
+pub use quota::{QuotaTable, TokenBucket};
+pub use server::{Server, ServerConfig};
+pub use tls::{accept, connect, EndpointConfig, Session, SessionError};

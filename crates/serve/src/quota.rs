@@ -1,0 +1,127 @@
+//! Per-tenant token-bucket quotas.
+//!
+//! Each tenant (derived from their client certificate by
+//! [`mtls_pki::Authorizer`]) gets one bucket: capacity = one second of
+//! their rate, refilled continuously. The bucket is driven by explicit
+//! elapsed time, not wall-clock reads, so tests are deterministic and the
+//! server owns the single `Instant` clock.
+
+use std::collections::HashMap;
+
+/// One tenant's bucket.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    tokens: f64,
+    capacity: f64,
+    refill_per_sec: f64,
+}
+
+impl TokenBucket {
+    /// A full bucket refilling at `rate_per_sec` (minimum 1).
+    pub fn new(rate_per_sec: u32) -> TokenBucket {
+        let rate = f64::from(rate_per_sec.max(1));
+        TokenBucket {
+            tokens: rate,
+            capacity: rate,
+            refill_per_sec: rate,
+        }
+    }
+
+    /// Advance the bucket by `elapsed_secs` and try to take one token.
+    pub fn try_take(&mut self, elapsed_secs: f64) -> bool {
+        self.tokens = (self.tokens + elapsed_secs * self.refill_per_sec).min(self.capacity);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (test introspection).
+    pub fn available(&self) -> f64 {
+        self.tokens
+    }
+}
+
+/// The server's quota table: tenant name → bucket.
+#[derive(Debug, Default)]
+pub struct QuotaTable {
+    buckets: HashMap<String, TokenBucket>,
+}
+
+impl QuotaTable {
+    /// Empty table.
+    pub fn new() -> QuotaTable {
+        QuotaTable::default()
+    }
+
+    /// Take one token for `tenant`, creating the bucket at
+    /// `rate_per_sec` on first sight. `elapsed_secs` is the time since
+    /// this tenant's previous request (0 for the first).
+    pub fn try_take(&mut self, tenant: &str, rate_per_sec: u32, elapsed_secs: f64) -> bool {
+        self.buckets
+            .entry(tenant.to_string())
+            .or_insert_with(|| TokenBucket::new(rate_per_sec))
+            .try_take(elapsed_secs)
+    }
+
+    /// Number of tenants with a live bucket.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether no tenant has a bucket yet.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_up_to_capacity_then_throttled() {
+        let mut b = TokenBucket::new(10);
+        for _ in 0..10 {
+            assert!(b.try_take(0.0));
+        }
+        assert!(!b.try_take(0.0), "11th immediate request must throttle");
+    }
+
+    #[test]
+    fn refills_with_elapsed_time() {
+        let mut b = TokenBucket::new(10);
+        for _ in 0..10 {
+            assert!(b.try_take(0.0));
+        }
+        assert!(!b.try_take(0.0));
+        // 0.5 s at 10/s refills 5 tokens.
+        assert!(b.try_take(0.5));
+        assert!(b.available() > 3.9 && b.available() < 4.1);
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut b = TokenBucket::new(5);
+        assert!(b.try_take(1000.0));
+        assert!(b.available() <= 5.0);
+    }
+
+    #[test]
+    fn zero_rate_clamps_to_one() {
+        let mut b = TokenBucket::new(0);
+        assert!(b.try_take(0.0));
+        assert!(!b.try_take(0.0));
+    }
+
+    #[test]
+    fn table_isolates_tenants() {
+        let mut q = QuotaTable::new();
+        assert!(q.try_take("a", 1, 0.0));
+        assert!(!q.try_take("a", 1, 0.0), "a exhausted");
+        assert!(q.try_take("b", 1, 0.0), "b unaffected");
+        assert_eq!(q.len(), 2);
+    }
+}

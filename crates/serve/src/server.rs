@@ -1,0 +1,261 @@
+//! The `mtlscope serve` server: a `TcpListener` accept loop feeding a
+//! bounded worker pool, each worker terminating mutual TLS and answering
+//! framed analysis requests.
+//!
+//! Design constraints (DESIGN.md §11):
+//!
+//! - **std-only.** No async runtime; N worker threads block on a shared
+//!   `mpsc` channel of accepted sockets. The channel is the backpressure
+//!   point — accepted-but-unclaimed connections queue there.
+//! - **One clock.** Workers read `Instant::now()` once per request and
+//!   pass explicit elapsed seconds into the quota table, which itself
+//!   never reads time. Tests drive the same table with synthetic clocks.
+//! - **Shared verdict path.** Request handling calls
+//!   [`mtls_core::verdict`] — the same functions the offline pipeline
+//!   uses — so a served verdict is byte-identical to the offline one.
+
+use crate::frame::{
+    Frame, MAX_FRAME_PAYLOAD, REQ_DER, REQ_PING, REQ_SHARD, RESP_ERROR, RESP_PONG, RESP_THROTTLED,
+    RESP_VERDICT,
+};
+use crate::quota::QuotaTable;
+use crate::tls::{self, EndpointConfig, SessionError};
+use mtls_asn1::Asn1Time;
+use mtls_core::verdict::{cert_verdict_der, shard_verdict, VerdictContext};
+use mtls_obs::Obs;
+use mtls_pki::{Authorizer, Tenant};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Everything the server needs at startup.
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
+    pub addr: String,
+    /// Worker threads; each handles one connection at a time, for that
+    /// connection's whole lifetime (thread-per-connection with a bounded
+    /// pool). Size this at the expected number of concurrent keep-alive
+    /// sessions: surplus accepted connections queue until a worker
+    /// frees, which for a client that never closes means forever.
+    pub workers: usize,
+    /// TLS identity the server presents.
+    pub endpoint: EndpointConfig,
+    /// Client-chain gate.
+    pub authorizer: Authorizer,
+    /// The shared analysis context verdicts are rendered against.
+    pub verdict: VerdictContext,
+    /// Validation time for client chains (fixed per server run — the
+    /// service analyzes a corpus epoch, it does not track wall time).
+    pub now: Asn1Time,
+    /// Metrics sink.
+    pub obs: Obs,
+}
+
+/// Per-tenant quota bookkeeping: the bucket table plus each tenant's
+/// last-request instant (the elapsed-time source for refills).
+struct QuotaClock {
+    table: QuotaTable,
+    last_seen: HashMap<String, Instant>,
+}
+
+struct Shared {
+    endpoint: EndpointConfig,
+    authorizer: Authorizer,
+    verdict: VerdictContext,
+    now: Asn1Time,
+    obs: Obs,
+    quota: Mutex<QuotaClock>,
+    stop: AtomicBool,
+}
+
+/// A running server. Dropping it without [`Server::shutdown`] leaks the
+/// listener thread, so call shutdown (the binary does on ctrl-level
+/// teardown, tests always do).
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the pool, and start accepting.
+    pub fn start(cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            endpoint: cfg.endpoint,
+            authorizer: cfg.authorizer,
+            verdict: cfg.verdict,
+            now: cfg.now,
+            obs: cfg.obs,
+            quota: Mutex::new(QuotaClock {
+                table: QuotaTable::new(),
+                last_seen: HashMap::new(),
+            }),
+            stop: AtomicBool::new(false),
+        });
+
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let worker_count = cfg.workers.max(1);
+        let mut workers = Vec::with_capacity(worker_count);
+        for _ in 0..worker_count {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || loop {
+                // Holding the lock only while receiving keeps the pool
+                // work-stealing: any idle worker claims the next socket.
+                let stream = match rx.lock().expect("worker channel lock").recv() {
+                    Ok(s) => s,
+                    Err(_) => return,
+                };
+                handle_connection(stream, &shared);
+            }));
+        }
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                match stream {
+                    Ok(s) => {
+                        accept_shared.obs.counter_add("serve.connections", 1);
+                        if tx.send(s).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+        });
+
+        Ok(Server {
+            local_addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// Where the server is listening (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Metrics handle (counters: `serve.connections`, `serve.requests`,
+    /// `serve.throttled`, `serve.authz_rejected`; histogram:
+    /// `serve.request_bytes`).
+    pub fn obs(&self) -> &Obs {
+        &self.shared.obs
+    }
+
+    /// Stop accepting, drain the pool, join every thread. In-flight
+    /// connections finish their current request loop (workers exit when
+    /// the socket channel closes and their connection ends).
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // The accept thread owned `tx`; its exit closed the channel, so
+        // workers drain what was queued and return.
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Serve one connection start to finish.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let read = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let (mut session, tenant) = match tls::accept(
+        read,
+        stream,
+        &shared.endpoint,
+        &shared.authorizer,
+        shared.now,
+    ) {
+        Ok(ok) => ok,
+        Err(SessionError::Authz(_)) => {
+            shared.obs.counter_add("serve.authz_rejected", 1);
+            return;
+        }
+        Err(_) => {
+            shared.obs.counter_add("serve.handshake_failed", 1);
+            return;
+        }
+    };
+
+    loop {
+        let frame = match session.recv_frame() {
+            Ok(Some(f)) => f,
+            Ok(None) => return,
+            Err(_) => return,
+        };
+        if serve_frame(&mut session, &tenant, frame, shared).is_err() {
+            return;
+        }
+    }
+}
+
+/// Answer one request frame. `Err` means the connection is unusable.
+fn serve_frame<R: io::Read, W: io::Write>(
+    session: &mut tls::Session<R, W>,
+    tenant: &Tenant,
+    frame: Frame,
+    shared: &Shared,
+) -> Result<(), SessionError> {
+    shared.obs.counter_add("serve.requests", 1);
+    shared
+        .obs
+        .histogram_record("serve.request_bytes", frame.payload.len() as u64);
+
+    match frame.kind {
+        REQ_PING => session.send_frame(RESP_PONG, &[]),
+        REQ_DER | REQ_SHARD => {
+            if !take_quota(tenant, shared) {
+                shared.obs.counter_add("serve.throttled", 1);
+                return session.send_frame(RESP_THROTTLED, &[]);
+            }
+            if frame.payload.len() > MAX_FRAME_PAYLOAD {
+                return session.send_frame(RESP_ERROR, b"payload too large");
+            }
+            let verdict = if frame.kind == REQ_DER {
+                cert_verdict_der(&frame.payload, &shared.verdict)
+            } else {
+                shard_verdict(&frame.payload, &shared.verdict)
+            };
+            session.send_frame(RESP_VERDICT, verdict.as_bytes())
+        }
+        other => {
+            let msg = format!("unknown request kind {other:#04x}");
+            session.send_frame(RESP_ERROR, msg.as_bytes())
+        }
+    }
+}
+
+/// Advance this tenant's bucket by their real elapsed time and try to
+/// take a token.
+fn take_quota(tenant: &Tenant, shared: &Shared) -> bool {
+    let mut q = shared.quota.lock().expect("quota lock");
+    let now = Instant::now();
+    let elapsed = match q.last_seen.insert(tenant.name.clone(), now) {
+        Some(prev) => now.duration_since(prev).as_secs_f64(),
+        None => 0.0,
+    };
+    q.table
+        .try_take(&tenant.name, tenant.quota_per_sec, elapsed)
+}

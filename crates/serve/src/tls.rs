@@ -1,0 +1,526 @@
+//! Mutual-TLS session establishment over real sockets, on our own stack.
+//!
+//! Both sides speak the `tlssim` wire format through the streaming
+//! [`RecordReader`]/[`RecordWriter`] layers: ClientHello → ServerHello +
+//! Certificate + CertificateRequest + ServerHelloDone → client
+//! Certificate + ChangeCipherSpec + Finished → (server validates the
+//! chain through [`mtls_pki::Authorizer`]) → server ChangeCipherSpec +
+//! Finished → framed application data. Certificate messages fragment at
+//! the 2^14 record limit and reassemble on the far side — the exact paths
+//! the record-layer bugfix sweep hardened.
+//!
+//! The simulation stack has no key schedule (a passive-measurement
+//! reproduction never needed one), so `application_data` payloads are
+//! structurally framed but not encrypted; DESIGN.md §11 spells out this
+//! boundary. Everything else — framing, fragmentation, chain validation,
+//! identity derivation — is the real protocol shape.
+
+use crate::frame::{encode_frame, Frame, FrameAssembler};
+use mtls_pki::{Authorizer, AuthzError, Tenant};
+use mtls_tlssim::msgs::{
+    encode_certificate_body, encode_certificate_request_body, handshake_envelope,
+    parse_certificate_body, ClientHello, ServerHello, HS_CERTIFICATE, HS_CERTIFICATE_REQUEST,
+    HS_CLIENT_HELLO, HS_FINISHED, HS_SERVER_HELLO, HS_SERVER_HELLO_DONE,
+};
+use mtls_tlssim::stream::{HandshakeAssembler, RecordReader, RecordWriter, StreamError};
+use mtls_tlssim::wire::{legacy_version_bytes, ContentType};
+use mtls_tlssim::TlsVersion;
+use std::io::{Read, Write};
+
+/// Fatal alert payload: `handshake_failure` (RFC 5246 §7.2.2).
+const ALERT_HANDSHAKE_FAILURE: [u8; 2] = [2, 40];
+/// Fatal alert payload: `bad_certificate`.
+const ALERT_BAD_CERTIFICATE: [u8; 2] = [2, 42];
+
+/// Why a session could not be established or continued.
+#[derive(Debug)]
+pub enum SessionError {
+    /// Transport or record-layer failure.
+    Stream(StreamError),
+    /// The peer sent something other than the expected handshake message.
+    UnexpectedMessage(&'static str),
+    /// The peer closed or alerted mid-handshake.
+    PeerAlert,
+    /// The client chain was refused.
+    Authz(AuthzError),
+    /// A frame length field was implausible.
+    BadFrame,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Stream(e) => write!(f, "stream error: {e}"),
+            SessionError::UnexpectedMessage(what) => write!(f, "unexpected message: {what}"),
+            SessionError::PeerAlert => f.write_str("peer sent a fatal alert"),
+            SessionError::Authz(e) => write!(f, "client chain refused: {e}"),
+            SessionError::BadFrame => f.write_str("oversized frame"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<StreamError> for SessionError {
+    fn from(e: StreamError) -> SessionError {
+        SessionError::Stream(e)
+    }
+}
+
+/// What each endpoint brings to the handshake.
+pub struct EndpointConfig {
+    /// Version to negotiate (the service speaks TLS 1.2 so chains stay
+    /// visible to a passive monitor, matching the paper's main corpus).
+    pub version: TlsVersion,
+    /// Certificate chain to present, leaf first, DER blobs.
+    pub chain: Vec<Vec<u8>>,
+    /// Deterministic seed for hello randoms.
+    pub random_seed: u64,
+}
+
+fn seeded_random(seed: u64, label: u8) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    let mut state = seed ^ (u64::from(label) << 56) ^ 0x9E37_79B9_7F4A_7C15;
+    for chunk in out.chunks_mut(8) {
+        state = state.wrapping_mul(0xBF58_476D_1CE4_E5B9).rotate_left(31);
+        chunk.copy_from_slice(&state.to_be_bytes());
+    }
+    out
+}
+
+/// An established session over a (read, write) stream pair — for a
+/// `TcpStream`, `(stream.try_clone()?, stream)`.
+pub struct Session<R: Read, W: Write> {
+    reader: RecordReader<R>,
+    writer: RecordWriter<W>,
+    assembler: HandshakeAssembler,
+    frames: FrameAssembler,
+}
+
+/// Read handshake messages until one arrives, skipping ChangeCipherSpec,
+/// erroring on alerts and application data.
+fn next_handshake<R: Read>(
+    reader: &mut RecordReader<R>,
+    assembler: &mut HandshakeAssembler,
+) -> Result<(u8, Vec<u8>), SessionError> {
+    loop {
+        if let Some(msg) = assembler
+            .next_message()
+            .map_err(|e| SessionError::Stream(StreamError::Wire(e)))?
+        {
+            return Ok(msg);
+        }
+        let Some((header, payload)) = reader.read_record()? else {
+            return Err(SessionError::Stream(StreamError::UnexpectedEof));
+        };
+        match header.content_type {
+            ContentType::Handshake => assembler.push(&payload),
+            ContentType::ChangeCipherSpec => {}
+            ContentType::Alert => return Err(SessionError::PeerAlert),
+            ContentType::ApplicationData => {
+                return Err(SessionError::UnexpectedMessage("application data"))
+            }
+        }
+    }
+}
+
+/// Server side: run the handshake, authorize the client chain, return the
+/// session and tenant. On an authorization failure the peer gets a fatal
+/// alert and the error comes back to the caller.
+pub fn accept<R: Read, W: Write>(
+    read: R,
+    write: W,
+    cfg: &EndpointConfig,
+    authorizer: &Authorizer,
+    now: mtls_asn1::Asn1Time,
+) -> Result<(Session<R, W>, Tenant), SessionError> {
+    let version = legacy_version_bytes(cfg.version);
+    let mut reader = RecordReader::new(read);
+    let mut writer = RecordWriter::new(write, version);
+    let mut assembler = HandshakeAssembler::new();
+
+    // ClientHello.
+    let (msg_type, _body) = next_handshake(&mut reader, &mut assembler)?;
+    if msg_type != HS_CLIENT_HELLO {
+        return Err(SessionError::UnexpectedMessage("expected ClientHello"));
+    }
+
+    // ServerHello + Certificate + CertificateRequest + ServerHelloDone,
+    // one fragmented flight.
+    let sh = ServerHello {
+        version: cfg.version,
+    };
+    let mut flight = handshake_envelope(
+        HS_SERVER_HELLO,
+        &sh.encode(&seeded_random(cfg.random_seed, 2)),
+    );
+    flight.extend(handshake_envelope(
+        HS_CERTIFICATE,
+        &encode_certificate_body(&cfg.chain),
+    ));
+    flight.extend(handshake_envelope(
+        HS_CERTIFICATE_REQUEST,
+        &encode_certificate_request_body(),
+    ));
+    flight.extend(handshake_envelope(HS_SERVER_HELLO_DONE, &[]));
+    writer.write(ContentType::Handshake, &flight)?;
+
+    // Client Certificate.
+    let (msg_type, body) = next_handshake(&mut reader, &mut assembler)?;
+    if msg_type != HS_CERTIFICATE {
+        return Err(SessionError::UnexpectedMessage(
+            "expected client Certificate",
+        ));
+    }
+    let chain =
+        parse_certificate_body(&body).map_err(|e| SessionError::Stream(StreamError::Wire(e)))?;
+
+    // Client Finished.
+    let (msg_type, _body) = next_handshake(&mut reader, &mut assembler)?;
+    if msg_type != HS_FINISHED {
+        return Err(SessionError::UnexpectedMessage("expected client Finished"));
+    }
+
+    // The authorization gate: refuse the chain → fatal alert.
+    let tenant = match authorizer.authorize(&chain, now) {
+        Ok(t) => t,
+        Err(e) => {
+            let alert = match &e {
+                AuthzError::NoCertificate => ALERT_HANDSHAKE_FAILURE,
+                _ => ALERT_BAD_CERTIFICATE,
+            };
+            let _ = writer.write_single(ContentType::Alert, &alert);
+            return Err(SessionError::Authz(e));
+        }
+    };
+
+    writer.write_single(ContentType::ChangeCipherSpec, &[1])?;
+    writer.write(
+        ContentType::Handshake,
+        &handshake_envelope(HS_FINISHED, &[0u8; 12]),
+    )?;
+
+    Ok((
+        Session {
+            reader,
+            writer,
+            assembler,
+            frames: FrameAssembler::new(),
+        },
+        tenant,
+    ))
+}
+
+/// Client side: run the handshake against an accepting server.
+pub fn connect<R: Read, W: Write>(
+    read: R,
+    write: W,
+    cfg: &EndpointConfig,
+    sni: Option<&str>,
+) -> Result<Session<R, W>, SessionError> {
+    let version = legacy_version_bytes(cfg.version);
+    let mut reader = RecordReader::new(read);
+    let mut writer = RecordWriter::new(write, version);
+    let mut assembler = HandshakeAssembler::new();
+
+    let ch = ClientHello {
+        legacy_version: cfg.version.min(TlsVersion::Tls12),
+        sni: sni.map(str::to_owned),
+        supported_versions: Vec::new(),
+    };
+    writer.write(
+        ContentType::Handshake,
+        &handshake_envelope(
+            HS_CLIENT_HELLO,
+            &ch.encode(&seeded_random(cfg.random_seed, 1)),
+        ),
+    )?;
+
+    // ServerHello, then the rest of the server flight.
+    let (msg_type, _) = next_handshake(&mut reader, &mut assembler)?;
+    if msg_type != HS_SERVER_HELLO {
+        return Err(SessionError::UnexpectedMessage("expected ServerHello"));
+    }
+    let mut cert_req_seen = false;
+    loop {
+        let (msg_type, _body) = next_handshake(&mut reader, &mut assembler)?;
+        match msg_type {
+            HS_CERTIFICATE => {}
+            HS_CERTIFICATE_REQUEST => cert_req_seen = true,
+            HS_SERVER_HELLO_DONE => break,
+            _ => return Err(SessionError::UnexpectedMessage("in server flight")),
+        }
+    }
+    if !cert_req_seen {
+        return Err(SessionError::UnexpectedMessage(
+            "server did not request a client certificate",
+        ));
+    }
+
+    // Client Certificate + CCS + Finished.
+    writer.write(
+        ContentType::Handshake,
+        &handshake_envelope(HS_CERTIFICATE, &encode_certificate_body(&cfg.chain)),
+    )?;
+    writer.write_single(ContentType::ChangeCipherSpec, &[1])?;
+    writer.write(
+        ContentType::Handshake,
+        &handshake_envelope(HS_FINISHED, &[0u8; 12]),
+    )?;
+
+    // Server CCS + Finished — or the authorization alert.
+    let (msg_type, _) = next_handshake(&mut reader, &mut assembler)?;
+    if msg_type != HS_FINISHED {
+        return Err(SessionError::UnexpectedMessage("expected server Finished"));
+    }
+
+    Ok(Session {
+        reader,
+        writer,
+        assembler,
+        frames: FrameAssembler::new(),
+    })
+}
+
+impl<R: Read, W: Write> Session<R, W> {
+    /// Send one frame inside `application_data` records.
+    pub fn send_frame(&mut self, kind: u8, payload: &[u8]) -> Result<(), SessionError> {
+        let frame = encode_frame(kind, payload);
+        self.writer.write(ContentType::ApplicationData, &frame)?;
+        Ok(())
+    }
+
+    /// Receive the next frame; `Ok(None)` is a clean peer close.
+    pub fn recv_frame(&mut self) -> Result<Option<Frame>, SessionError> {
+        loop {
+            match self.frames.next_frame() {
+                Ok(Some(frame)) => return Ok(Some(frame)),
+                Ok(None) => {}
+                Err(_) => return Err(SessionError::BadFrame),
+            }
+            let Some((header, payload)) = self.reader.read_record()? else {
+                return if self.frames.pending() == 0 {
+                    Ok(None)
+                } else {
+                    Err(SessionError::Stream(StreamError::UnexpectedEof))
+                };
+            };
+            match header.content_type {
+                ContentType::ApplicationData => self.frames.push(&payload),
+                ContentType::Alert => return Err(SessionError::PeerAlert),
+                // Ignore stray handshake/CCS records post-establishment;
+                // the assembler keeps its place for renegotiation-shaped
+                // noise without acting on it.
+                ContentType::Handshake => self.assembler.push(&payload),
+                ContentType::ChangeCipherSpec => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtls_asn1::Asn1Time;
+    use mtls_crypto::{KeyRegistry, Keypair};
+    use mtls_pki::{CertificateAuthority, TrustAnchors, ValidationPolicy};
+    use mtls_x509::{CertificateBuilder, DistinguishedName};
+
+    fn now() -> Asn1Time {
+        Asn1Time::from_ymd(2022, 6, 1)
+    }
+
+    fn world() -> (CertificateAuthority, Authorizer) {
+        let root = CertificateAuthority::new_root(
+            b"tls-test-root",
+            DistinguishedName::builder()
+                .organization("Serve Test CA")
+                .build(),
+            Asn1Time::from_ymd(2022, 1, 1),
+        );
+        let mut registry = KeyRegistry::new();
+        root.register_key(&mut registry);
+        let authorizer = Authorizer {
+            anchors: TrustAnchors::new(),
+            registry,
+            policy: ValidationPolicy::enterprise(),
+            quota_public: 500,
+            quota_private: 100,
+        };
+        (root, authorizer)
+    }
+
+    fn leaf(ca: &CertificateAuthority, cn: &str) -> Vec<u8> {
+        let key = Keypair::from_seed(cn.as_bytes());
+        ca.issue(
+            CertificateBuilder::new()
+                .subject(DistinguishedName::builder().common_name(cn).build())
+                .validity(
+                    Asn1Time::from_ymd(2022, 1, 1),
+                    Asn1Time::from_ymd(2023, 1, 1),
+                )
+                .subject_key(key.key_id()),
+        )
+        .to_der()
+    }
+
+    /// Drive client and server through in-memory pipes without threads:
+    /// run the client against a buffer, feed its output to the server,
+    /// and so on, alternating full flights.
+    #[test]
+    fn in_memory_handshake_establishes_and_frames_flow() {
+        let (root, authorizer) = world();
+        let server_cfg = EndpointConfig {
+            version: TlsVersion::Tls12,
+            chain: vec![leaf(&root, "serve.example"), root.certificate().to_der()],
+            random_seed: 7,
+        };
+        let client_cfg = EndpointConfig {
+            version: TlsVersion::Tls12,
+            chain: vec![leaf(&root, "tenant-a"), root.certificate().to_der()],
+            random_seed: 8,
+        };
+
+        // The client blocks for the server flight mid-connect, so the
+        // test needs real duplex plumbing: a loopback socket pair with
+        // the client on its own thread.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client_thread = std::thread::spawn(move || {
+            let stream = std::net::TcpStream::connect(addr).unwrap();
+            let mut session = connect(
+                stream.try_clone().unwrap(),
+                stream,
+                &client_cfg,
+                Some("serve.example"),
+            )
+            .unwrap();
+            session.send_frame(crate::frame::REQ_PING, b"").unwrap();
+            let resp = session.recv_frame().unwrap().unwrap();
+            assert_eq!(resp.kind, crate::frame::RESP_PONG);
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let (mut session, tenant) = accept(
+            stream.try_clone().unwrap(),
+            stream,
+            &server_cfg,
+            &authorizer,
+            now(),
+        )
+        .unwrap();
+        assert_eq!(tenant.name, "tenant-a");
+        assert!(!tenant.publicly_trusted);
+        let req = session.recv_frame().unwrap().unwrap();
+        assert_eq!(req.kind, crate::frame::REQ_PING);
+        session.send_frame(crate::frame::RESP_PONG, b"").unwrap();
+        client_thread.join().unwrap();
+    }
+
+    #[test]
+    fn expired_client_cert_gets_alert() {
+        let (root, authorizer) = world();
+        let server_cfg = EndpointConfig {
+            version: TlsVersion::Tls12,
+            chain: vec![leaf(&root, "serve.example"), root.certificate().to_der()],
+            random_seed: 7,
+        };
+        let key = Keypair::from_seed(b"expired-tenant");
+        let expired = root
+            .issue(
+                CertificateBuilder::new()
+                    .subject(DistinguishedName::builder().common_name("late").build())
+                    .validity(
+                        Asn1Time::from_ymd(2021, 1, 1),
+                        Asn1Time::from_ymd(2021, 6, 1),
+                    )
+                    .subject_key(key.key_id()),
+            )
+            .to_der();
+        let client_cfg = EndpointConfig {
+            version: TlsVersion::Tls12,
+            chain: vec![expired, root.certificate().to_der()],
+            random_seed: 9,
+        };
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client_thread = std::thread::spawn(move || {
+            let stream = std::net::TcpStream::connect(addr).unwrap();
+            match connect(stream.try_clone().unwrap(), stream, &client_cfg, None) {
+                Err(SessionError::PeerAlert) => {}
+                Err(e) => panic!("expected PeerAlert, got {e}"),
+                Ok(_) => panic!("handshake unexpectedly succeeded"),
+            }
+        });
+        let (stream, _) = listener.accept().unwrap();
+        match accept(
+            stream.try_clone().unwrap(),
+            stream,
+            &server_cfg,
+            &authorizer,
+            now(),
+        ) {
+            Err(SessionError::Authz(_)) => {}
+            Err(e) => panic!("expected Authz error, got {e}"),
+            Ok(_) => panic!("accept unexpectedly succeeded"),
+        }
+        client_thread.join().unwrap();
+    }
+
+    #[test]
+    fn big_chain_fragments_through_the_session() {
+        // A chain fat enough that the Certificate message spans several
+        // records end-to-end over a real socket.
+        let (root, authorizer) = world();
+        let mut chain = vec![leaf(&root, "serve.example")];
+        chain.push(root.certificate().to_der());
+        let server_cfg = EndpointConfig {
+            version: TlsVersion::Tls12,
+            chain,
+            random_seed: 7,
+        };
+        // Client presents its leaf + root + a pile of unrelated extra
+        // certs, pushing the Certificate message far past 2^14 bytes.
+        let mut client_chain = vec![leaf(&root, "fat-tenant"), root.certificate().to_der()];
+        for i in 0..40 {
+            client_chain.push(leaf(&root, &format!("padding-cert-{i}")));
+        }
+        let total: usize = client_chain.iter().map(Vec::len).sum();
+        assert!(
+            total > 1 << 14,
+            "test needs a multi-record chain, got {total}"
+        );
+        let client_cfg = EndpointConfig {
+            version: TlsVersion::Tls12,
+            chain: client_chain,
+            random_seed: 10,
+        };
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client_thread = std::thread::spawn(move || {
+            let stream = std::net::TcpStream::connect(addr).unwrap();
+            let mut session =
+                connect(stream.try_clone().unwrap(), stream, &client_cfg, None).unwrap();
+            session.send_frame(crate::frame::REQ_PING, b"").unwrap();
+            assert_eq!(
+                session.recv_frame().unwrap().unwrap().kind,
+                crate::frame::RESP_PONG
+            );
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let (mut session, tenant) = accept(
+            stream.try_clone().unwrap(),
+            stream,
+            &server_cfg,
+            &authorizer,
+            now(),
+        )
+        .unwrap();
+        assert_eq!(tenant.name, "fat-tenant");
+        let req = session.recv_frame().unwrap().unwrap();
+        assert_eq!(req.kind, crate::frame::REQ_PING);
+        session.send_frame(crate::frame::RESP_PONG, b"").unwrap();
+        client_thread.join().unwrap();
+    }
+}

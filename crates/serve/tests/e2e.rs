@@ -1,0 +1,206 @@
+//! End-to-end tests: a real [`mtls_serve::Server`] on a loopback socket,
+//! real clients, and the acceptance claims from the serve issue —
+//! byte-identical verdicts, quota throttling, authorization rejection,
+//! and keep-alive reuse.
+
+use mtls_core::verdict::{cert_verdict_der, shard_verdict};
+use mtls_obs::Obs;
+use mtls_serve::client::{ClientSession, Response};
+use mtls_serve::demo::{demo_server_config, demo_verdict_context, demo_world, DemoWorld};
+use mtls_serve::server::Server;
+
+fn start_demo(workers: usize, quota_private: u32) -> (Server, DemoWorld, Obs) {
+    let world = demo_world();
+    let obs = Obs::new();
+    let cfg = demo_server_config(&world, "127.0.0.1:0", workers, quota_private, obs.clone());
+    let server = Server::start(cfg).expect("bind demo server");
+    (server, world, obs)
+}
+
+fn connect_tenant(server: &Server, world: &DemoWorld) -> ClientSession {
+    ClientSession::connect(
+        &server.local_addr().to_string(),
+        &world.tenant_endpoint,
+        Some("mtlscope-serve.campus.example"),
+    )
+    .expect("tenant connect")
+}
+
+#[test]
+fn served_der_verdict_is_byte_identical_to_offline() {
+    let (server, world, _obs) = start_demo(2, 1000);
+    let mut client = connect_tenant(&server, &world);
+
+    let served = match client.request_der(&world.sample_der).unwrap() {
+        Response::Verdict(v) => v,
+        other => panic!("expected verdict, got {other:?}"),
+    };
+    let offline = cert_verdict_der(&world.sample_der, &demo_verdict_context());
+    assert_eq!(served, offline, "served verdict diverged from offline");
+    assert!(served.contains("parse: ok"), "{served}");
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn served_shard_verdict_is_byte_identical_to_offline() {
+    let (server, world, _obs) = start_demo(2, 1000);
+    let mut client = connect_tenant(&server, &world);
+
+    let served = match client.request_shard(&world.sample_shard).unwrap() {
+        Response::Verdict(v) => v,
+        other => panic!("expected verdict, got {other:?}"),
+    };
+    let offline = shard_verdict(&world.sample_shard, &demo_verdict_context());
+    assert_eq!(served, offline);
+    assert!(
+        served.starts_with("verdict: shard\nrecords: 2\n"),
+        "{served}"
+    );
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_session_serves_many_requests() {
+    let (server, world, obs) = start_demo(2, 10_000);
+    let mut client = connect_tenant(&server, &world);
+
+    for _ in 0..50 {
+        match client.request_der(&world.sample_der).unwrap() {
+            Response::Verdict(_) => {}
+            other => panic!("expected verdict, got {other:?}"),
+        }
+    }
+    assert!(matches!(client.ping().unwrap(), Response::Pong));
+    drop(client);
+    server.shutdown();
+
+    let snap = obs.snapshot();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    assert_eq!(counter("serve.connections"), 1, "one keep-alive connection");
+    assert_eq!(counter("serve.requests"), 51);
+    assert_eq!(counter("serve.throttled"), 0);
+}
+
+#[test]
+fn quota_exhaustion_throttles_then_burst_is_bounded() {
+    // quota 5/s: the first 5 immediate requests pass, the 6th throttles.
+    let (server, world, obs) = start_demo(1, 5);
+    let mut client = connect_tenant(&server, &world);
+
+    let mut ok = 0;
+    let mut throttled = 0;
+    for _ in 0..8 {
+        match client.request_der(&world.sample_der).unwrap() {
+            Response::Verdict(_) => ok += 1,
+            Response::Throttled => throttled += 1,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(ok, 5, "burst bounded by bucket capacity");
+    assert_eq!(throttled, 3);
+
+    drop(client);
+    server.shutdown();
+    let snap = obs.snapshot();
+    let got = snap
+        .counters
+        .iter()
+        .find(|(n, _)| n == "serve.throttled")
+        .map(|(_, v)| *v);
+    assert_eq!(got, Some(3));
+}
+
+#[test]
+fn expired_tenant_is_rejected_at_the_door() {
+    let (server, world, obs) = start_demo(1, 100);
+    let msg = match ClientSession::connect(
+        &server.local_addr().to_string(),
+        &world.expired_endpoint,
+        None,
+    ) {
+        Err(e) => e.to_string(),
+        Ok(_) => panic!("expired chain must not establish"),
+    };
+    assert!(msg.contains("alert"), "{msg}");
+
+    // A valid tenant still gets in afterwards — the reject didn't wedge
+    // a worker.
+    let mut client = connect_tenant(&server, &world);
+    assert!(matches!(client.ping().unwrap(), Response::Pong));
+    drop(client);
+    server.shutdown();
+
+    let snap = obs.snapshot();
+    let got = snap
+        .counters
+        .iter()
+        .find(|(n, _)| n == "serve.authz_rejected")
+        .map(|(_, v)| *v);
+    assert_eq!(got, Some(1));
+}
+
+#[test]
+fn garbage_der_gets_parse_error_verdict_not_connection_drop() {
+    let (server, world, _obs) = start_demo(1, 100);
+    let mut client = connect_tenant(&server, &world);
+
+    let served = match client.request_der(b"definitely not DER").unwrap() {
+        Response::Verdict(v) => v,
+        other => panic!("expected verdict, got {other:?}"),
+    };
+    assert!(served.contains("parse: error:"), "{served}");
+    // Same bytes as the offline twin even for the error shape.
+    assert_eq!(
+        served,
+        cert_verdict_der(b"definitely not DER", &demo_verdict_context())
+    );
+    // Connection is still usable.
+    assert!(matches!(client.ping().unwrap(), Response::Pong));
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_tenants_are_served_by_the_pool() {
+    let (server, world, _obs) = start_demo(4, 10_000);
+    let addr = server.local_addr().to_string();
+    let der = world.sample_der.clone();
+    let offline = cert_verdict_der(&der, &demo_verdict_context());
+
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            let der = der.clone();
+            let offline = offline.clone();
+            let endpoint = mtls_serve::tls::EndpointConfig {
+                version: world.tenant_endpoint.version,
+                chain: world.tenant_endpoint.chain.clone(),
+                random_seed: world.tenant_endpoint.random_seed,
+            };
+            std::thread::spawn(move || {
+                let mut c = ClientSession::connect(&addr, &endpoint, None).unwrap();
+                for _ in 0..20 {
+                    match c.request_der(&der).unwrap() {
+                        Response::Verdict(v) => assert_eq!(v, offline),
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    server.shutdown();
+}

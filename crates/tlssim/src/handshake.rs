@@ -12,7 +12,7 @@ use crate::msgs::{
     ServerHello, HS_CERTIFICATE, HS_CERTIFICATE_REQUEST, HS_CLIENT_HELLO, HS_FINISHED,
     HS_SERVER_HELLO, HS_SERVER_HELLO_DONE,
 };
-use crate::wire::{legacy_version_bytes, write_record, ContentType};
+use crate::wire::{legacy_version_bytes, write_fragmented, ContentType};
 use bytes::BytesMut;
 use mtls_zeek::TlsVersion;
 
@@ -89,8 +89,11 @@ pub fn simulate_handshake(cfg: &HandshakeConfig) -> Vec<TranscriptRecord> {
     let mut transcript = Vec::new();
     let legacy = legacy_version_bytes(cfg.version);
     let mut push = |direction: Direction, ct: ContentType, payload: &[u8]| {
+        // A handshake message larger than 2^14 (a fat certificate chain)
+        // must fragment across records — a single record would silently
+        // wrap its u16 length field. RFC 5246 §6.2.1.
         let mut buf = BytesMut::with_capacity(payload.len() + 5);
-        write_record(&mut buf, ct, legacy, payload);
+        write_fragmented(&mut buf, ct, legacy, payload);
         transcript.push(TranscriptRecord {
             direction,
             bytes: buf.to_vec(),
@@ -342,6 +345,37 @@ mod tests {
         assert!(crate::msgs::parse_certificate_body(body)
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn oversized_chain_fragments_instead_of_wrapping() {
+        // Regression: payload.len() as u16 used to wrap silently in release
+        // builds, so a >64 KiB certificate chain emitted a corrupt record.
+        // Mint a chain well past 65535 bytes and check every emitted record
+        // parses and respects the 2^14 fragment limit.
+        let big = vec![vec![0xAA; 30_000], vec![0xBB; 30_000], vec![0xCC; 30_000]];
+        let cfg = HandshakeConfig {
+            version: TlsVersion::Tls12,
+            server_chain: big.clone(),
+            request_client_cert: true,
+            client_chain: big,
+            ..Default::default()
+        };
+        let t = simulate_handshake(&cfg);
+        let mut total_hs_bytes = 0usize;
+        for rec in &t {
+            let mut cursor = &rec.bytes[..];
+            // A fragmented TranscriptRecord holds several wire records.
+            while !cursor.is_empty() {
+                let (h, payload) = read_record(&mut cursor).unwrap();
+                assert!(payload.len() <= crate::wire::MAX_FRAGMENT);
+                if h.content_type == ContentType::Handshake {
+                    total_hs_bytes += payload.len();
+                }
+            }
+        }
+        // Both 90 KiB chains made it onto the wire intact.
+        assert!(total_hs_bytes > 2 * 90_000, "chains truncated or wrapped");
     }
 
     #[test]

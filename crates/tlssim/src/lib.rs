@@ -17,7 +17,13 @@
 //! * [`monitor`] — the passive analyzer: content-based protocol detection
 //!   and handshake parsing that turns a byte stream back into a
 //!   [`monitor::ConnectionObservation`] (version, SNI, server chain, client
-//!   chain, establishment).
+//!   chain, establishment);
+//! * [`stream`] — the record layer over real byte streams: an incremental
+//!   [`stream::RecordDeframer`] / [`stream::HandshakeAssembler`] pair
+//!   (tolerant of arbitrary chunk boundaries and cross-record handshake
+//!   messages) plus [`stream::RecordReader`] / [`stream::RecordWriter`]
+//!   bound to `std::io`, which is what `mtlscope serve` terminates mutual
+//!   TLS with on live sockets.
 //!
 //! The framing is true to RFC 5246/8446 for everything a passive monitor
 //! inspects; cryptographic payloads (Finished, key exchange) are elided
@@ -57,11 +63,13 @@
 pub mod handshake;
 pub mod monitor;
 pub mod msgs;
+pub mod stream;
 pub mod wire;
 
 pub use handshake::{simulate_handshake, Direction, HandshakeConfig, TranscriptRecord};
 pub use monitor::{observe, ConnectionObservation};
 pub use msgs::{ClientHello, ServerHello};
+pub use stream::{HandshakeAssembler, RecordDeframer, RecordReader, RecordWriter, StreamError};
 pub use wire::{ContentType, RecordHeader, WireError};
 
 pub use mtls_zeek::TlsVersion;

@@ -7,13 +7,23 @@
 //! handshake completed. Anything after ServerHello in a TLS 1.3 connection
 //! is opaque, so certificate fields stay empty — precisely the blind spot
 //! the paper quantifies.
+//!
+//! A capture device hands the monitor *bytes*, not records: one
+//! `TranscriptRecord` may end mid-record, carry three records, or hold one
+//! third of a handshake message whose remainder arrives two chunks later.
+//! Observation therefore runs each direction through a
+//! [`RecordDeframer`](crate::stream::RecordDeframer) and a
+//! [`HandshakeAssembler`](crate::stream::HandshakeAssembler), which makes
+//! the result invariant under any re-chunking that preserves per-direction
+//! byte order (pinned by a property test below).
 
 use crate::handshake::{Direction, TranscriptRecord};
 use crate::msgs::{
-    parse_certificate_body, parse_envelope, ClientHello, ServerHello, HS_CERTIFICATE,
-    HS_CERTIFICATE_REQUEST, HS_CLIENT_HELLO, HS_FINISHED, HS_SERVER_HELLO,
+    parse_certificate_body, ClientHello, ServerHello, HS_CERTIFICATE, HS_CERTIFICATE_REQUEST,
+    HS_CLIENT_HELLO, HS_FINISHED, HS_SERVER_HELLO,
 };
-use crate::wire::{looks_like_tls, read_record, ContentType, WireError};
+use crate::stream::{HandshakeAssembler, RecordDeframer};
+use crate::wire::{looks_like_tls, ContentType, WireError};
 use mtls_zeek::TlsVersion;
 
 /// What a passive observer learned about one connection.
@@ -40,12 +50,22 @@ impl ConnectionObservation {
     }
 }
 
+/// Per-direction reassembly state: the record deframer, the handshake
+/// assembler stacked on top, and a dead flag once the byte stream stops
+/// making sense (a monitor cannot resync a corrupt TCP stream).
+#[derive(Default)]
+struct DirectionState {
+    deframer: RecordDeframer,
+    assembler: HandshakeAssembler,
+    dead: bool,
+}
+
 /// Run DPD + passive handshake parsing over a transcript.
 ///
 /// Returns `Err(NotTls)` if the stream does not look like TLS (the DPD
 /// rejection path), otherwise best-effort observation — mid-stream parse
-/// errors terminate analysis but keep what was already extracted, matching
-/// how a real monitor degrades on truncated captures.
+/// errors stop analysis of that direction but keep what was already
+/// extracted, matching how a real monitor degrades on truncated captures.
 pub fn observe(transcript: &[TranscriptRecord]) -> Result<ConnectionObservation, WireError> {
     let first_client: Vec<u8> = transcript
         .iter()
@@ -60,62 +80,83 @@ pub fn observe(transcript: &[TranscriptRecord]) -> Result<ConnectionObservation,
     let mut saw_client_activity_after_hello = false;
     let mut saw_server_finished = false;
     let mut saw_client_finished = false;
+    let mut client = DirectionState::default();
+    let mut server = DirectionState::default();
 
     for rec in transcript {
-        let mut cursor = &rec.bytes[..];
-        let Ok((header, payload)) = read_record(&mut cursor) else {
-            break; // truncated capture: keep what we have
+        let state = match rec.direction {
+            Direction::ClientToServer => &mut client,
+            Direction::ServerToClient => &mut server,
         };
-        match header.content_type {
-            ContentType::Handshake => {
-                // A record may carry several handshake messages; walk them.
-                let mut hs = &payload[..];
-                while !hs.is_empty() {
-                    let Ok((msg_type, body)) = parse_envelope(hs) else {
-                        break;
-                    };
-                    let consumed = 4 + body.len();
-                    match (rec.direction, msg_type) {
-                        (Direction::ClientToServer, HS_CLIENT_HELLO) => {
-                            if let Ok(ch) = ClientHello::parse(body) {
-                                obs.sni = ch.sni;
+        if state.dead {
+            continue;
+        }
+        state.deframer.push(&rec.bytes);
+        loop {
+            let (header, payload) = match state.deframer.next_record() {
+                Ok(Some(rec)) => rec,
+                Ok(None) => break, // mid-record: wait for the next chunk
+                Err(_) => {
+                    state.dead = true; // corrupt stream: keep what we have
+                    break;
+                }
+            };
+            match header.content_type {
+                ContentType::Handshake => {
+                    state.assembler.push(&payload);
+                    loop {
+                        let (msg_type, body) = match state.assembler.next_message() {
+                            Ok(Some(msg)) => msg,
+                            Ok(None) => break, // message spans records: wait
+                            Err(_) => {
+                                state.dead = true;
+                                break;
                             }
-                        }
-                        (Direction::ServerToClient, HS_SERVER_HELLO) => {
-                            if let Ok(sh) = ServerHello::parse(body) {
-                                obs.version = Some(sh.version);
+                        };
+                        match (rec.direction, msg_type) {
+                            (Direction::ClientToServer, HS_CLIENT_HELLO) => {
+                                if let Ok(ch) = ClientHello::parse(&body) {
+                                    obs.sni = ch.sni;
+                                }
                             }
-                        }
-                        (Direction::ServerToClient, HS_CERTIFICATE) => {
-                            if let Ok(chain) = parse_certificate_body(body) {
-                                obs.server_cert_ders = chain;
+                            (Direction::ServerToClient, HS_SERVER_HELLO) => {
+                                if let Ok(sh) = ServerHello::parse(&body) {
+                                    obs.version = Some(sh.version);
+                                }
                             }
-                        }
-                        (Direction::ServerToClient, HS_CERTIFICATE_REQUEST) => {
-                            obs.client_cert_requested = true;
-                        }
-                        (Direction::ClientToServer, HS_CERTIFICATE) => {
-                            if let Ok(chain) = parse_certificate_body(body) {
-                                obs.client_cert_ders = chain;
+                            (Direction::ServerToClient, HS_CERTIFICATE) => {
+                                if let Ok(chain) = parse_certificate_body(&body) {
+                                    obs.server_cert_ders = chain;
+                                }
                             }
+                            (Direction::ServerToClient, HS_CERTIFICATE_REQUEST) => {
+                                obs.client_cert_requested = true;
+                            }
+                            (Direction::ClientToServer, HS_CERTIFICATE) => {
+                                if let Ok(chain) = parse_certificate_body(&body) {
+                                    obs.client_cert_ders = chain;
+                                }
+                            }
+                            (Direction::ServerToClient, HS_FINISHED) => {
+                                saw_server_finished = true;
+                            }
+                            (Direction::ClientToServer, HS_FINISHED) => {
+                                saw_client_finished = true;
+                            }
+                            _ => {}
                         }
-                        (Direction::ServerToClient, HS_FINISHED) => {
-                            saw_server_finished = true;
-                        }
-                        (Direction::ClientToServer, HS_FINISHED) => {
-                            saw_client_finished = true;
-                        }
-                        _ => {}
                     }
-                    hs = &hs[consumed..];
                 }
-            }
-            ContentType::ApplicationData => {
-                if rec.direction == Direction::ClientToServer {
-                    saw_client_activity_after_hello = true;
+                ContentType::ApplicationData => {
+                    if rec.direction == Direction::ClientToServer {
+                        saw_client_activity_after_hello = true;
+                    }
                 }
+                ContentType::Alert | ContentType::ChangeCipherSpec => {}
             }
-            ContentType::Alert | ContentType::ChangeCipherSpec => {}
+            if state.dead {
+                break;
+            }
         }
     }
 
@@ -247,6 +288,202 @@ mod tests {
         assert!(obs.server_cert_ders.is_empty());
         assert_eq!(obs.client_cert_ders, vec![der(5)]);
         assert!(!obs.is_mutual_tls());
+    }
+
+    #[test]
+    fn oversized_chain_observed_across_record_fragments() {
+        // The other half of the >64 KiB regression: a chain whose
+        // Certificate message fragments across many records must come back
+        // byte-identical through cross-record reassembly.
+        let big_server = vec![vec![0xAA; 30_000], vec![0xBB; 30_000], vec![0xCC; 30_000]];
+        let big_client = vec![vec![0x11; 40_000], vec![0x22; 40_000]];
+        let cfg = HandshakeConfig {
+            version: TlsVersion::Tls12,
+            server_chain: big_server.clone(),
+            request_client_cert: true,
+            client_chain: big_client.clone(),
+            ..Default::default()
+        };
+        let obs = observe(&simulate_handshake(&cfg)).unwrap();
+        assert_eq!(obs.server_cert_ders, big_server);
+        assert_eq!(obs.client_cert_ders, big_client);
+        assert!(obs.established);
+        assert!(obs.is_mutual_tls());
+    }
+
+    #[test]
+    fn mid_stream_garbage_keeps_earlier_observation() {
+        let mut t = simulate_handshake(&mutual_cfg(TlsVersion::Tls12));
+        // Corrupt a server record after the certificates but keep the
+        // client direction clean: server-side parsing stops, client keeps.
+        let idx = t
+            .iter()
+            .rposition(|r| r.direction == Direction::ServerToClient)
+            .unwrap();
+        t[idx].bytes = vec![0xFF; 16];
+        let obs = observe(&t).unwrap();
+        assert_eq!(obs.server_cert_ders.len(), 2);
+        assert_eq!(obs.client_cert_ders.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod rechunk_tests {
+    use super::*;
+    use crate::handshake::{simulate_handshake, HandshakeConfig};
+
+    /// Deterministic xorshift64* for re-chunk fuzzing without a rand dep.
+    struct XorShift(u64);
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n as u64) as usize
+        }
+    }
+
+    /// Split the transcript into arbitrary direction-preserving chunks:
+    /// flatten each direction's bytes, then interleave randomly-sized
+    /// slices of the two streams in random order.
+    fn rechunk(transcript: &[TranscriptRecord], rng: &mut XorShift) -> Vec<TranscriptRecord> {
+        let flat = |d: Direction| -> Vec<u8> {
+            transcript
+                .iter()
+                .filter(|r| r.direction == d)
+                .flat_map(|r| r.bytes.iter().copied())
+                .collect()
+        };
+        let streams = [
+            (Direction::ClientToServer, flat(Direction::ClientToServer)),
+            (Direction::ServerToClient, flat(Direction::ServerToClient)),
+        ];
+        let mut pos = [0usize; 2];
+        let mut out = Vec::new();
+        loop {
+            let live: Vec<usize> = (0..2).filter(|&i| pos[i] < streams[i].1.len()).collect();
+            if live.is_empty() {
+                break;
+            }
+            let pick = live[rng.below(live.len())];
+            let remaining = streams[pick].1.len() - pos[pick];
+            // Chunk sizes from 1 byte to a few records' worth.
+            let take = (1 + rng.below(40_000)).min(remaining);
+            out.push(TranscriptRecord {
+                direction: streams[pick].0,
+                bytes: streams[pick].1[pos[pick]..pos[pick] + take].to_vec(),
+            });
+            pos[pick] += take;
+        }
+        out
+    }
+
+    fn scenarios() -> Vec<HandshakeConfig> {
+        let der = |n: u8, len: usize| {
+            let mut v = vec![0x30, 3, n];
+            v.resize(len, n);
+            v
+        };
+        vec![
+            HandshakeConfig {
+                version: TlsVersion::Tls12,
+                sni: Some("portal.example.edu".into()),
+                server_chain: vec![der(1, 900), der(2, 1200)],
+                request_client_cert: true,
+                client_chain: vec![der(3, 700)],
+                ..Default::default()
+            },
+            // The fragmentation-heavy case: chains far past one record.
+            HandshakeConfig {
+                version: TlsVersion::Tls12,
+                server_chain: vec![der(4, 30_000), der(5, 40_000)],
+                request_client_cert: true,
+                client_chain: vec![der(6, 50_000)],
+                ..Default::default()
+            },
+            HandshakeConfig {
+                version: TlsVersion::Tls13,
+                sni: Some("dark.example.com".into()),
+                server_chain: vec![der(7, 2_000)],
+                request_client_cert: true,
+                client_chain: vec![der(8, 2_000)],
+                ..Default::default()
+            },
+            HandshakeConfig {
+                version: TlsVersion::Tls12,
+                server_chain: vec![der(9, 500)],
+                established: false,
+                ..Default::default()
+            },
+            HandshakeConfig {
+                version: TlsVersion::Tls12,
+                resumed: true,
+                ..Default::default()
+            },
+        ]
+    }
+
+    #[test]
+    fn observation_invariant_under_rechunking() {
+        // The satellite-2 property: for any direction-preserving re-split
+        // of the byte streams — 1-byte trickles, records glued together,
+        // handshake messages torn across chunks — observe() returns
+        // exactly what it returned for the pristine transcript.
+        let mut rng = XorShift(0x1D5E_92A7_33C4_0F6B);
+        for (i, cfg) in scenarios().into_iter().enumerate() {
+            let transcript = simulate_handshake(&cfg);
+            let baseline = observe(&transcript).unwrap();
+            for round in 0..30 {
+                let chunked = rechunk(&transcript, &mut rng);
+                let got = observe(&chunked).unwrap();
+                assert_eq!(got, baseline, "scenario {i}, round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_byte_trickle_matches_baseline() {
+        // Degenerate extreme of the property: every chunk is one byte.
+        let cfg = scenarios().remove(1);
+        let transcript = simulate_handshake(&cfg);
+        let baseline = observe(&transcript).unwrap();
+        let trickled: Vec<TranscriptRecord> = transcript
+            .iter()
+            .flat_map(|r| {
+                r.bytes.iter().map(move |b| TranscriptRecord {
+                    direction: r.direction,
+                    bytes: vec![*b],
+                })
+            })
+            .collect();
+        assert_eq!(observe(&trickled).unwrap(), baseline);
+    }
+
+    #[test]
+    fn glued_records_match_baseline() {
+        // Opposite extreme: each direction arrives as ONE giant chunk.
+        for cfg in scenarios() {
+            let transcript = simulate_handshake(&cfg);
+            let baseline = observe(&transcript).unwrap();
+            let glue = |d: Direction| TranscriptRecord {
+                direction: d,
+                bytes: transcript
+                    .iter()
+                    .filter(|r| r.direction == d)
+                    .flat_map(|r| r.bytes.iter().copied())
+                    .collect(),
+            };
+            let glued = vec![
+                glue(Direction::ClientToServer),
+                glue(Direction::ServerToClient),
+            ];
+            assert_eq!(observe(&glued).unwrap(), baseline);
+        }
     }
 }
 

@@ -6,6 +6,11 @@
 
 use bytes::{Buf, BufMut, BytesMut};
 
+/// RFC 5246/8446 §5.1: a record fragment carries at most 2^14 bytes.
+/// [`write_record`] refuses anything larger; [`write_fragmented`] splits
+/// handshake payloads across records at this boundary instead.
+pub const MAX_FRAGMENT: usize = 1 << 14;
+
 /// TLS record content types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ContentType {
@@ -95,6 +100,10 @@ pub enum WireError {
     BadLength,
     /// A handshake body failed structural parsing.
     Malformed,
+    /// A single-record write was asked to carry more than [`MAX_FRAGMENT`]
+    /// bytes. Before this was a hard error, `payload.len() as u16` silently
+    /// wrapped in release builds and emitted a corrupt record.
+    Oversize,
 }
 
 impl std::fmt::Display for WireError {
@@ -105,6 +114,7 @@ impl std::fmt::Display for WireError {
             WireError::BadVersion => "implausible TLS version",
             WireError::BadLength => "bad length field",
             WireError::Malformed => "malformed handshake body",
+            WireError::Oversize => "payload exceeds the 2^14 record limit",
         };
         f.write_str(s)
     }
@@ -112,13 +122,39 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-/// Frame a payload into one record.
-pub fn write_record(out: &mut BytesMut, ct: ContentType, version: [u8; 2], payload: &[u8]) {
-    debug_assert!(payload.len() <= u16::MAX as usize);
+/// Frame a payload into one record. Payloads above [`MAX_FRAGMENT`] are a
+/// hard error (`Oversize`): the old `payload.len() as u16` cast wrapped
+/// silently in release builds for payloads over 65535 bytes, corrupting
+/// every record that carried a large certificate chain. Callers with big
+/// handshake payloads use [`write_fragmented`].
+pub fn write_record(
+    out: &mut BytesMut,
+    ct: ContentType,
+    version: [u8; 2],
+    payload: &[u8],
+) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAGMENT {
+        return Err(WireError::Oversize);
+    }
     out.put_u8(ct.byte());
     out.put_slice(&version);
     out.put_u16(payload.len() as u16);
     out.put_slice(payload);
+    Ok(())
+}
+
+/// Frame a payload across as many records as the 2^14 fragment limit
+/// demands (RFC 5246 §6.2.1: a handshake message may be split across
+/// records). An empty payload still emits one (empty) record so the
+/// message boundary stays observable.
+pub fn write_fragmented(out: &mut BytesMut, ct: ContentType, version: [u8; 2], payload: &[u8]) {
+    if payload.is_empty() {
+        write_record(out, ct, version, payload).expect("empty fits");
+        return;
+    }
+    for chunk in payload.chunks(MAX_FRAGMENT) {
+        write_record(out, ct, version, chunk).expect("chunk fits");
+    }
 }
 
 /// Read one record from the front of `buf`, advancing it. Returns the header
@@ -129,7 +165,9 @@ pub fn read_record(buf: &mut &[u8]) -> Result<(RecordHeader, Vec<u8>), WireError
     }
     let ct = ContentType::from_byte(buf[0]).ok_or(WireError::NotTls)?;
     let version = [buf[1], buf[2]];
-    if version[0] != 3 || version[1] > 4 {
+    // [3, 0] is SSL 3.0: `version_from_bytes` cannot map it, so letting it
+    // through here only deferred the rejection to a confusing place.
+    if version[0] != 3 || version[1] == 0 || version[1] > 4 {
         return Err(WireError::BadVersion);
     }
     let length = u16::from_be_bytes([buf[3], buf[4]]) as usize;
@@ -170,7 +208,7 @@ mod tests {
     #[test]
     fn record_round_trip() {
         let mut buf = BytesMut::new();
-        write_record(&mut buf, ContentType::Handshake, [3, 3], b"hello");
+        write_record(&mut buf, ContentType::Handshake, [3, 3], b"hello").unwrap();
         let bytes = buf.freeze();
         let mut cursor = &bytes[..];
         let (h, payload) = read_record(&mut cursor).unwrap();
@@ -183,7 +221,7 @@ mod tests {
     #[test]
     fn truncated_detected() {
         let mut buf = BytesMut::new();
-        write_record(&mut buf, ContentType::Handshake, [3, 3], b"hello");
+        write_record(&mut buf, ContentType::Handshake, [3, 3], b"hello").unwrap();
         let bytes = buf.freeze();
         let mut cursor = &bytes[..bytes.len() - 1];
         assert_eq!(read_record(&mut cursor), Err(WireError::Truncated));
@@ -206,10 +244,10 @@ mod tests {
     fn dpd_requires_hello() {
         // A handshake record whose first payload byte is not 1/2.
         let mut buf = BytesMut::new();
-        write_record(&mut buf, ContentType::Handshake, [3, 3], &[11, 0, 0, 0]);
+        write_record(&mut buf, ContentType::Handshake, [3, 3], &[11, 0, 0, 0]).unwrap();
         assert!(!looks_like_tls(&buf));
         let mut buf2 = BytesMut::new();
-        write_record(&mut buf2, ContentType::Handshake, [3, 3], &[1, 0, 0, 0]);
+        write_record(&mut buf2, ContentType::Handshake, [3, 3], &[1, 0, 0, 0]).unwrap();
         assert!(looks_like_tls(&buf2));
     }
 
@@ -233,5 +271,65 @@ mod tests {
         let raw = [22u8, 9, 9, 0, 1, 0];
         let mut cursor = &raw[..];
         assert_eq!(read_record(&mut cursor), Err(WireError::BadVersion));
+    }
+
+    #[test]
+    fn ssl30_record_version_rejected() {
+        // [3, 0] is SSL 3.0 — version_from_bytes cannot map it, so the
+        // record layer must reject it up front instead of passing it on.
+        let raw = [22u8, 3, 0, 0, 1, 1];
+        let mut cursor = &raw[..];
+        assert_eq!(read_record(&mut cursor), Err(WireError::BadVersion));
+        assert!(!looks_like_tls(&raw));
+    }
+
+    #[test]
+    fn oversized_single_record_write_is_hard_error() {
+        // The old code's `payload.len() as u16` wrapped for > 65535 bytes
+        // in release builds; both that case and 2^14..=65535 must error.
+        let mut buf = BytesMut::new();
+        for len in [MAX_FRAGMENT + 1, 70_000] {
+            let payload = vec![0u8; len];
+            assert_eq!(
+                write_record(&mut buf, ContentType::Handshake, [3, 3], &payload),
+                Err(WireError::Oversize)
+            );
+            assert!(buf.is_empty(), "failed write must emit nothing");
+        }
+        let payload = vec![7u8; MAX_FRAGMENT];
+        write_record(&mut buf, ContentType::Handshake, [3, 3], &payload).unwrap();
+        let mut cursor = &buf[..];
+        let (h, got) = read_record(&mut cursor).unwrap();
+        assert_eq!(h.length as usize, MAX_FRAGMENT);
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn fragmented_write_splits_at_record_limit() {
+        let payload: Vec<u8> = (0..70_000u32).map(|i| i as u8).collect();
+        let mut buf = BytesMut::new();
+        write_fragmented(&mut buf, ContentType::Handshake, [3, 3], &payload);
+        let mut cursor = &buf[..];
+        let mut reassembled = Vec::new();
+        let mut records = 0;
+        while !cursor.is_empty() {
+            let (h, chunk) = read_record(&mut cursor).unwrap();
+            assert_eq!(h.content_type, ContentType::Handshake);
+            assert!(chunk.len() <= MAX_FRAGMENT);
+            reassembled.extend_from_slice(&chunk);
+            records += 1;
+        }
+        assert_eq!(records, 70_000usize.div_ceil(MAX_FRAGMENT));
+        assert_eq!(reassembled, payload);
+    }
+
+    #[test]
+    fn fragmented_empty_payload_emits_one_record() {
+        let mut buf = BytesMut::new();
+        write_fragmented(&mut buf, ContentType::Handshake, [3, 3], &[]);
+        let mut cursor = &buf[..];
+        let (h, payload) = read_record(&mut cursor).unwrap();
+        assert_eq!(h.length, 0);
+        assert!(payload.is_empty() && cursor.is_empty());
     }
 }

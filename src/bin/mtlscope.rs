@@ -1,0 +1,175 @@
+//! `mtlscope` — the command-line face of the serve stack.
+//!
+//! Usage:
+//!   mtlscope serve [--addr HOST:PORT] [--workers N] [--quota N] [--quiet]
+//!   mtlscope bench-client --addr HOST:PORT [--threads N] [--connections N]
+//!                         [--requests N] [--ping-only] [--out FILE]
+//!
+//! `serve` starts the demo deployment: a private campus CA is minted
+//! deterministically, the server presents its chain, and any client
+//! presenting a chain signed by the same demo root is admitted as a
+//! tenant (see `mtls_serve::demo`). Requests are framed DER blobs or
+//! Zeek x509 shards; responses are the offline pipeline's verdicts,
+//! byte-identical (DESIGN.md §11).
+//!
+//! `bench-client` connects with the demo tenant chain, hammers the
+//! server with pooled keep-alive connections, and prints a latency/
+//! throughput report (optionally as JSON to `--out`).
+
+use mtls_obs::Obs;
+use mtls_serve::bench::{run_bench, BenchConfig};
+use mtls_serve::demo::{demo_server_config, demo_world};
+use mtls_serve::server::Server;
+use std::io::Write as _;
+
+fn die(msg: &str) -> ! {
+    eprintln!("mtlscope: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
+    let Some(v) = args.next() else {
+        die(&format!("{flag} needs a value"));
+    };
+    v.parse()
+        .unwrap_or_else(|_| die(&format!("bad value for {flag}: {v}")))
+}
+
+fn cmd_serve(mut args: std::env::Args) {
+    let mut addr = "127.0.0.1:8474".to_string();
+    let mut workers = 4usize;
+    let mut quota = 1000u32;
+    let mut quiet = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse_flag(&mut args, "--addr"),
+            "--workers" => workers = parse_flag(&mut args, "--workers"),
+            "--quota" => quota = parse_flag(&mut args, "--quota"),
+            "--quiet" => quiet = true,
+            other => die(&format!("unknown serve flag {other}")),
+        }
+    }
+
+    let world = demo_world();
+    let obs = Obs::new();
+    let cfg = demo_server_config(&world, &addr, workers, quota, obs.clone());
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => die(&format!("bind {addr}: {e}")),
+    };
+    if !quiet {
+        eprintln!(
+            "mtlscope serve: listening on {} ({} workers, {}/s private quota)",
+            server.local_addr(),
+            workers,
+            quota
+        );
+        eprintln!("mtlscope serve: demo tenant chain admits via the demo root CA; ctrl-c to stop");
+    }
+    // Serve until killed. The demo binary has no signal handling beyond
+    // the process default; `Server::shutdown` exists for embedders.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_bench(mut args: std::env::Args) {
+    let mut addr: Option<String> = None;
+    let mut threads = 2usize;
+    let mut connections = 4usize;
+    let mut requests = 5000usize;
+    let mut ping_only = false;
+    let mut out: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(parse_flag(&mut args, "--addr")),
+            "--threads" => threads = parse_flag(&mut args, "--threads"),
+            "--connections" => connections = parse_flag(&mut args, "--connections"),
+            "--requests" => requests = parse_flag(&mut args, "--requests"),
+            "--ping-only" => ping_only = true,
+            "--out" => out = Some(parse_flag(&mut args, "--out")),
+            other => die(&format!("unknown bench-client flag {other}")),
+        }
+    }
+    let Some(addr) = addr else {
+        die("bench-client needs --addr HOST:PORT");
+    };
+
+    let world = demo_world();
+    let obs = Obs::new();
+    let cfg = BenchConfig {
+        addr,
+        client: world.tenant_endpoint,
+        sni: Some("mtlscope-serve.campus.example".to_string()),
+        threads,
+        connections_per_thread: connections,
+        requests_per_thread: requests,
+        der: if ping_only {
+            Vec::new()
+        } else {
+            world.sample_der.clone()
+        },
+        obs,
+    };
+    let report = run_bench(&cfg);
+    println!(
+        "bench-client: {} requests in {:.2}s = {:.0} req/s ({} verdicts, {} throttled, {} errors)",
+        report.requests,
+        report.elapsed_secs,
+        report.req_per_sec,
+        report.verdicts,
+        report.throttled,
+        report.errors
+    );
+    println!(
+        "latency us: p50={} p90={} p99={} max={} (pool: {} conns in {:.2}s)",
+        report.latency.p50,
+        report.latency.p90,
+        report.latency.p99,
+        report.latency.max,
+        report.connections,
+        report.connect_secs
+    );
+    if let Some(path) = out {
+        let json = format!(
+            "{{\n  \"requests\": {},\n  \"elapsed_secs\": {:.4},\n  \"req_per_sec\": {:.1},\n  \
+             \"verdicts\": {},\n  \"throttled\": {},\n  \"errors\": {},\n  \
+             \"latency_us\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}},\n  \
+             \"connections\": {},\n  \"connect_secs\": {:.4}\n}}\n",
+            report.requests,
+            report.elapsed_secs,
+            report.req_per_sec,
+            report.verdicts,
+            report.throttled,
+            report.errors,
+            report.latency.p50,
+            report.latency.p90,
+            report.latency.p99,
+            report.latency.max,
+            report.connections,
+            report.connect_secs
+        );
+        let mut f =
+            std::fs::File::create(&path).unwrap_or_else(|e| die(&format!("create {path}: {e}")));
+        f.write_all(json.as_bytes())
+            .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        eprintln!("bench-client: wrote {path}");
+    }
+}
+
+fn main() {
+    let mut args = std::env::args();
+    let _argv0 = args.next();
+    match args.next().as_deref() {
+        Some("serve") => cmd_serve(args),
+        Some("bench-client") => cmd_bench(args),
+        Some("--help") | Some("-h") | None => {
+            eprintln!(
+                "usage: mtlscope serve [--addr HOST:PORT] [--workers N] [--quota N] [--quiet]\n\
+                        mtlscope bench-client --addr HOST:PORT [--threads N] [--connections N]\n\
+                 \x20                        [--requests N] [--ping-only] [--out FILE]"
+            );
+        }
+        Some(other) => die(&format!("unknown subcommand {other}")),
+    }
+}

@@ -37,6 +37,11 @@
 //! | [`intern`] | `mtls-intern` | string interning + fast hashing |
 //! | [`obs`] | `mtls-obs` | spans, metrics registry, sinks |
 //! | [`core`] | `mtls-core` | the analysis pipeline (the paper) |
+//! | [`serve`] | `mtls-serve` | the mTLS-terminated analysis service |
+//!
+//! The workspace also ships the `mtlscope` binary (`src/bin/mtlscope.rs`)
+//! with `serve` and `bench-client` subcommands — the online face of the
+//! same analysis (DESIGN.md §11).
 
 pub use mtls_asn1 as asn1;
 pub use mtls_classify as classify;
@@ -46,6 +51,7 @@ pub use mtls_intern as intern;
 pub use mtls_netsim as netsim;
 pub use mtls_obs as obs;
 pub use mtls_pki as pki;
+pub use mtls_serve as serve;
 pub use mtls_tlssim as tlssim;
 pub use mtls_x509 as x509;
 pub use mtls_zeek as zeek;
