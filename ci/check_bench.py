@@ -282,6 +282,7 @@ def main_serve(fresh_path, baseline_path):
 
     for report, path in [(fresh, fresh_path), (baseline, baseline_path)]:
         for section in ("environment", "identity", "rejection", "quota",
+                        "taxonomy", "observed_overhead", "metrics_frame",
                         "ping", "verdict"):
             if section not in report:
                 fail(f"{path}: missing section {section!r}")
@@ -317,14 +318,54 @@ def main_serve(fresh_path, baseline_path):
         fail(f"ping.req_per_sec = {ping_rps:.0f} below the "
              f"{MIN_SERVE_PING_RPS:.0f} req/s acceptance floor")
 
+    # Gate 6: the planted-failure taxonomy vector — exact expected
+    # counters, byte-identical across two independent runs. Both facts
+    # are environment-independent (counters, not timings).
+    for key in ("matches_expected", "identical_across_runs"):
+        if fresh["taxonomy"].get(key) is not True:
+            fail(f"taxonomy.{key} is not true — the per-cause counter "
+                 f"vector drifted from the planted-failure scenario")
+
+    # Gate 7: the telemetry layer's observed overhead stays under the
+    # budget. The smoke judges ABBA paired medians on warm pools, so
+    # the verdict travels across boxes.
+    if fresh["observed_overhead"].get("passed") is not True:
+        pct = fresh["observed_overhead"].get("overhead_pct")
+        budget = fresh["observed_overhead"].get("budget_pct")
+        fail(f"observed_overhead.passed is not true "
+             f"({pct}% vs the {budget}% budget)")
+
+    # Gate 8: the REQ_METRICS admin frame — ops-class tenants get the
+    # snapshot, everyone else is refused, and the TLS 1.2 deployment's
+    # cleartext identity exposure is visible in it.
+    for key in ("ops_granted", "non_ops_denied"):
+        if fresh["metrics_frame"].get(key) is not True:
+            fail(f"metrics_frame.{key} is not true — the admin frame's "
+                 f"authorization gate broke")
+    pbytes = getf(fresh, fresh_path, "metrics_frame",
+                  "privacy_identity_bytes")
+    if pbytes <= 0:
+        fail(f"metrics_frame.privacy_identity_bytes = {pbytes:g} — the "
+             f"privacy meter saw no cleartext identity bytes on a "
+             f"TLS <= 1.2 deployment")
+
+    # Gate 9: per-kind tail latency is reported (gated for presence and
+    # sanity, not against an absolute bound — tails don't travel).
+    for arm in ("ping", "verdict"):
+        p99 = getf(fresh, fresh_path, arm, "p99_us")
+        if p99 <= 0:
+            fail(f"{arm}.p99_us = {p99:g} — missing or degenerate tail "
+                 f"latency")
+
     # Absolute rates vs baseline: same class of box only, noise-banded.
     fresh_cores = fresh["environment"].get("cpu_cores")
     base_cores = baseline["environment"].get("cpu_cores")
     if fresh_cores != base_cores:
         print(f"check_bench[serve]: skipping absolute comparison "
               f"(cpu_cores {fresh_cores} != baseline {base_cores}); "
-              f"identity, rejection, quota, error, and {ping_rps:.0f} "
-              f">= {MIN_SERVE_PING_RPS:.0f} req/s floor gates passed")
+              f"identity, rejection, quota, error, taxonomy, overhead, "
+              f"metrics, and {ping_rps:.0f} >= "
+              f"{MIN_SERVE_PING_RPS:.0f} req/s floor gates passed")
         return
     compared = 0
     for arm in ("ping", "verdict"):
@@ -335,10 +376,10 @@ def main_serve(fresh_path, baseline_path):
                  f"baseline {want:.0f}")
         compared += 1
 
-    print(f"check_bench[serve]: ok — identity/rejection/quota/error "
-          f"gates, ping {ping_rps:.0f} req/s >= {MIN_SERVE_PING_RPS:.0f} "
-          f"floor, {compared} absolute rates within the "
-          f"{NOISE_BAND:.0%} noise band of "
+    print(f"check_bench[serve]: ok — identity/rejection/quota/error/"
+          f"taxonomy/overhead/metrics gates, ping {ping_rps:.0f} req/s "
+          f">= {MIN_SERVE_PING_RPS:.0f} floor, {compared} absolute "
+          f"rates within the {NOISE_BAND:.0%} noise band of "
           f"{os.path.basename(baseline_path)}")
 
 

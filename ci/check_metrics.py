@@ -1,8 +1,16 @@
 #!/usr/bin/env python3
-"""CI gate for `repro --metrics`: asserts the metrics.json schema and that
-the span tree covers every pipeline stage with consistent durations.
+"""CI gate for metrics snapshots.
+
+Default mode validates a `repro --metrics` metrics.json: schema, span
+tree covering every pipeline stage, consistent durations.
+
+`--serve` mode validates a serve metrics envelope (what `REQ_METRICS`
+returns and `mtlscope bench-client --metrics` saves): the schema tag,
+the embedded snapshot, every `serve.*`/`bench.*` name against a mirror
+of `crates/serve/src/taxonomy.rs`, and the flight-recorder dump shape.
 
 Usage: check_metrics.py obs-out/metrics.json
+       check_metrics.py --serve bench-serve-metrics.json
 """
 import json
 import sys
@@ -86,7 +94,166 @@ def main(path):
           f"{len(doc['gauges'])} gauges, {len(doc['histograms'])} histograms")
 
 
+# --- serve envelope mode (`--serve`) ----------------------------------
+# Mirror of crates/serve/src/taxonomy.rs. A name drifting between the
+# Rust taxonomy and this list fails CI, which is the point: the taxonomy
+# is the single source of truth and this mirror is asserted against
+# live snapshots.
+SERVE_SCHEMA = "mtlscope-serve-metrics-1"
+SERVE_COUNTERS = {
+    "serve.connections",
+    "serve.handshake.ok",
+    "serve.handshake.err.bad_record",
+    "serve.handshake.err.unexpected_message",
+    "serve.handshake.err.peer_alert",
+    "serve.handshake.err.bad_frame",
+    "serve.authz.err.no_certificate",
+    "serve.authz.err.malformed",
+    "serve.authz.err.policy",
+    "serve.authz.err.chain.issuer_not_found",
+    "serve.authz.err.chain.bad_signature",
+    "serve.authz.err.chain.expired",
+    "serve.authz.err.chain.incorrect_dates",
+    "serve.authz.err.chain.untrusted_root",
+    "serve.authz.err.chain.not_a_ca",
+    "serve.authz.err.chain.too_deep",
+    "serve.requests",
+    "serve.requests.ping",
+    "serve.requests.der",
+    "serve.requests.shard",
+    "serve.requests.metrics",
+    "serve.request.err.unknown_kind",
+    "serve.request.err.oversize_frame",
+    "serve.request.err.metrics_forbidden",
+    "serve.throttled",
+    "serve.conn.closed_clean",
+    "serve.conn.closed_error",
+    "serve.privacy.cleartext_connections",
+    "serve.privacy.identity_bytes_total",
+}
+SERVE_HISTOGRAMS = {
+    "serve.request_bytes",
+    "serve.handshake_us",
+    "serve.queue_wait_us",
+    "serve.conn_lifetime_us",
+    "serve.privacy.identity_bytes",
+    "serve.privacy.chain_certs",
+    "serve.privacy.san_count",
+}
+SERVE_LATENCY_PREFIX = "serve.latency_us."
+SERVE_GAUGES = {
+    "serve.privacy.max_identity_bytes",
+    "serve.quota.tracked_tenants",
+}
+BENCH_COUNTERS = {
+    "bench.handshake.ok",
+    "bench.handshake.err.bad_record",
+    "bench.handshake.err.unexpected_message",
+    "bench.handshake.err.peer_alert",
+    "bench.handshake.err.bad_frame",
+    "bench.resp.verdict",
+    "bench.resp.pong",
+    "bench.resp.throttled",
+    "bench.resp.error",
+    "bench.err.transport",
+}
+BENCH_HISTOGRAM_PREFIX = "bench.latency_us"
+FLIGHT_CLOSES = {"clean", "handshake", "authz", "bad_frame", "stream",
+                 "peer_alert"}
+FLIGHT_EVENT_FIELDS = {"seq", "tenant", "close", "handshake_us",
+                       "queue_wait_us", "frames", "bytes_in", "bytes_out",
+                       "lifetime_us"}
+
+
+def serve_known_counter(name):
+    return name in SERVE_COUNTERS or name in BENCH_COUNTERS
+
+
+def serve_known_histogram(name):
+    return (name in SERVE_HISTOGRAMS
+            or name.startswith(SERVE_LATENCY_PREFIX)
+            or name == BENCH_HISTOGRAM_PREFIX
+            or name.startswith(BENCH_HISTOGRAM_PREFIX + "."))
+
+
+def main_serve(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    if doc.get("schema") != SERVE_SCHEMA:
+        fail(f"schema {doc.get('schema')!r}, expected {SERVE_SCHEMA!r}")
+    for key in ("metrics", "flight"):
+        if key not in doc:
+            fail(f"missing top-level key {key!r}")
+
+    metrics = doc["metrics"]
+    if metrics.get("schema_version") != 1:
+        fail(f"metrics.schema_version "
+             f"{metrics.get('schema_version')!r}, expected 1")
+
+    counters = metrics.get("counters", {})
+    for name, value in counters.items():
+        if not serve_known_counter(name):
+            fail(f"counter {name!r} is not in the taxonomy mirror — "
+                 f"update crates/serve/src/taxonomy.rs AND this list")
+        if not isinstance(value, int) or value < 0:
+            fail(f"counter {name!r} has non-counter value {value!r}")
+    for name in sorted(SERVE_COUNTERS - set(counters)):
+        # Hot-path counters are pre-registered, so a live server always
+        # reports the core of the taxonomy even at zero.
+        if name in ("serve.requests", "serve.throttled",
+                    "serve.request.err.unknown_kind"):
+            fail(f"pre-registered counter {name!r} missing from the "
+                 f"snapshot")
+
+    for name, row in metrics.get("histograms", {}).items():
+        if not serve_known_histogram(name):
+            fail(f"histogram {name!r} is not in the taxonomy mirror")
+        if row.get("count", 0) < 0 or "buckets" not in row:
+            fail(f"malformed histogram row {name!r}: {row!r}")
+        for b in row["buckets"]:
+            if b["lo"] >= b["hi"] or b["n"] < 0:
+                fail(f"degenerate bucket in {name!r}: {b!r}")
+
+    for name in metrics.get("gauges", {}):
+        if name not in SERVE_GAUGES:
+            fail(f"gauge {name!r} is not in the taxonomy mirror")
+
+    flight = doc["flight"]
+    for key in ("capacity", "recorded", "dropped", "events"):
+        if key not in flight:
+            fail(f"flight dump missing {key!r}")
+    events = flight["events"]
+    if len(events) > flight["capacity"]:
+        fail(f"flight holds {len(events)} events over its capacity "
+             f"{flight['capacity']}")
+    last_seq = -1
+    for ev in events:
+        if set(ev) != FLIGHT_EVENT_FIELDS:
+            fail(f"flight event fields {sorted(ev)} != "
+                 f"{sorted(FLIGHT_EVENT_FIELDS)}")
+        if ev["seq"] <= last_seq:
+            fail(f"flight events out of order at seq {ev['seq']}")
+        last_seq = ev["seq"]
+        if ev["close"] not in FLIGHT_CLOSES:
+            fail(f"unknown flight close cause {ev['close']!r}")
+        if not ev["tenant"]:
+            fail(f"flight event {ev['seq']} has an empty tenant")
+
+    print(f"check_metrics[serve]: ok — {len(counters)} counters, "
+          f"{len(metrics.get('histograms', {}))} histograms, "
+          f"{len(metrics.get('gauges', {}))} gauges all in the taxonomy; "
+          f"flight dump {len(events)}/{flight['capacity']} events, "
+          f"{flight['dropped']} dropped")
+
+
 if __name__ == "__main__":
-    if len(sys.argv) != 2:
-        fail("usage: check_metrics.py METRICS_JSON")
-    main(sys.argv[1])
+    argv = sys.argv[1:]
+    if argv and argv[0] == "--serve":
+        if len(argv) != 2:
+            fail("usage: check_metrics.py --serve ENVELOPE_JSON")
+        main_serve(argv[1])
+    else:
+        if len(argv) != 1:
+            fail("usage: check_metrics.py [--serve] METRICS_JSON")
+        main(argv[0])

@@ -1,5 +1,5 @@
 //! Serve smoke: starts the demo `mtlscope serve` deployment in-process,
-//! proves the acceptance claims of the serve issue, and regenerates
+//! proves the acceptance claims of the serve issues, and regenerates
 //! `BENCH_serve.json` (gated by `ci/check_bench.py --serve`).
 //!
 //! Claims measured:
@@ -12,19 +12,33 @@
 //!    bucket drains; a fresh tenant is unaffected.
 //! 3. **Throughput** — pooled keep-alive bench threads sustain ≥ 10k
 //!    req/s on the ping round trip (the record-layer + framing floor)
-//!    and report the verdict-workload rate alongside.
+//!    and report the verdict-workload rate alongside, with per-kind
+//!    `p99_us` latencies.
 //! 4. **Rejection** — the expired demo chain is refused at the door
 //!    with a fatal alert, not served.
+//! 5. **Taxonomy** — the four planted failures (expired chain, rogue-CA
+//!    "unknown tenant", oversize frame, throttle) land in exactly the
+//!    expected per-cause counter vector, byte-identical across two
+//!    independent runs.
+//! 6. **Observed overhead** — the full telemetry layer (taxonomy
+//!    counters, latency histograms, flight recorder, privacy meter)
+//!    costs < 3% req/s versus the uninstrumented server, judged ABBA on
+//!    the median of per-round paired differences.
+//! 7. **Metrics frame** — an ops-class tenant pulls the live snapshot
+//!    over the same mTLS channel (`REQ_METRICS`), the snapshot shows
+//!    nonzero cleartext identity exposure for the TLS 1.2 deployment,
+//!    and a non-ops tenant is refused.
 //!
 //! Usage: `serve_smoke [--quick] [OUT_JSON]` (default
-//! `bench-serve-fresh.json`).
+//! `bench-serve-fresh.json`; the metrics-frame snapshot lands next to it
+//! as `bench-serve-metrics.json`).
 
 use mtls_core::verdict::{cert_verdict_der, shard_verdict};
 use mtls_obs::Obs;
 use mtls_serve::bench::{run_bench, BenchConfig, BenchReport};
-use mtls_serve::client::{ClientSession, Response};
-use mtls_serve::demo::{demo_server_config, demo_verdict_context, demo_world};
-use mtls_serve::server::Server;
+use mtls_serve::client::{ClientPool, ClientSession, Response};
+use mtls_serve::demo::{demo_server_config, demo_verdict_context, demo_world, DemoWorld};
+use mtls_serve::server::{Server, DEFAULT_FLIGHT_CAPACITY};
 use mtls_serve::tls::EndpointConfig;
 
 fn clone_endpoint(e: &EndpointConfig) -> EndpointConfig {
@@ -40,6 +54,174 @@ fn latency_json(r: &BenchReport) -> String {
         "{{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
         r.latency.p50, r.latency.p90, r.latency.p99, r.latency.max
     )
+}
+
+/// Render a counter list the way the planted-vector claim compares it:
+/// one sorted JSON object, no whitespace variance.
+fn counter_vector_json(counters: &[(String, u64)]) -> String {
+    let mut out = String::from("{");
+    for (i, (name, v)) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{name}\": {v}"));
+    }
+    out.push('}');
+    out
+}
+
+/// Claim 5: drive the four planted failures against a fresh low-quota
+/// deployment and return the resulting counter vector as canonical JSON.
+fn planted_counter_vector(world: &DemoWorld) -> String {
+    let obs = Obs::new();
+    let cfg = demo_server_config(world, "127.0.0.1:0", 2, 1, obs.clone());
+    let server = Server::start(cfg).expect("bind planted-failure server");
+    let addr = server.local_addr().to_string();
+
+    // Planted failure 1: expired chain → authz.err.chain.expired.
+    assert!(
+        ClientSession::connect(&addr, &world.expired_endpoint, None).is_err(),
+        "expired chain must be refused"
+    );
+    // Planted failure 2: rogue CA ("unknown tenant") — the chain's
+    // issuer key is not registered, so signature verification fails.
+    assert!(
+        ClientSession::connect(&addr, &world.rogue_endpoint, None).is_err(),
+        "rogue chain must be refused"
+    );
+    // Planted failure 3: oversize frame, refused at the header without
+    // taking a quota token.
+    let mut c = ClientSession::connect(&addr, &world.tenant_endpoint, None)
+        .expect("tenant connect (oversize probe)");
+    c.send_oversize_header().expect("send oversize header");
+    assert!(c.expect_close(), "oversize frame must close the connection");
+    drop(c);
+    // Planted failure 4: throttle — the 1/s bucket covers one DER
+    // verdict, not two back-to-back.
+    let mut c = ClientSession::connect(&addr, &world.tenant_endpoint, None)
+        .expect("tenant connect (throttle)");
+    assert!(matches!(
+        c.request_der(&world.sample_der).unwrap(),
+        Response::Verdict(_)
+    ));
+    assert!(matches!(
+        c.request_der(&world.sample_der).unwrap(),
+        Response::Throttled
+    ));
+    drop(c);
+    server.shutdown();
+
+    counter_vector_json(&obs.snapshot().counters)
+}
+
+/// The exact vector claim 5 expects — derived from the scenario, with
+/// the privacy byte count computed from the demo tenant chain the same
+/// way the server computes it.
+fn expected_planted_vector(world: &DemoWorld) -> String {
+    let idb = mtls_tlssim::identity_exposure(
+        Some(world.tenant_endpoint.version),
+        &world.tenant_endpoint.chain,
+    )
+    .identity_bytes();
+    let expected: &[(&str, u64)] = &[
+        ("serve.authz.err.chain.bad_signature", 1),
+        ("serve.authz.err.chain.expired", 1),
+        ("serve.conn.closed_clean", 1),
+        ("serve.conn.closed_error", 1),
+        ("serve.connections", 4),
+        ("serve.handshake.ok", 2),
+        ("serve.privacy.cleartext_connections", 2),
+        ("serve.privacy.identity_bytes_total", 2 * idb),
+        ("serve.request.err.oversize_frame", 1),
+        ("serve.request.err.unknown_kind", 0),
+        ("serve.requests", 2),
+        ("serve.requests.der", 2),
+        ("serve.requests.metrics", 0),
+        ("serve.requests.ping", 0),
+        ("serve.requests.shard", 0),
+        ("serve.throttled", 1),
+    ];
+    let owned: Vec<(String, u64)> = expected.iter().map(|(n, v)| (n.to_string(), *v)).collect();
+    counter_vector_json(&owned)
+}
+
+/// One arm of the claim-6 overhead guard: a long-lived server plus warm
+/// keep-alive pools. The instrumented arm runs live obs and the default
+/// flight ring; the plain arm runs `Obs::noop` and a capacity-0
+/// recorder — the exact same code paths, bookkeeping on vs off. Keeping
+/// both arms alive across the whole measurement means a burst costs
+/// nothing but the pings themselves, so the ABBA alternation happens
+/// fast enough for machine drift to cancel out of the paired difference.
+struct OverheadArm {
+    server: Server,
+    pools: Vec<ClientPool>,
+}
+
+fn overhead_arm(world: &DemoWorld, instrumented: bool, threads: usize) -> OverheadArm {
+    let obs = if instrumented {
+        Obs::new()
+    } else {
+        Obs::noop()
+    };
+    let mut cfg = demo_server_config(world, "127.0.0.1:0", threads * 2 + 1, 10_000_000, obs);
+    cfg.flight_capacity = if instrumented {
+        DEFAULT_FLIGHT_CAPACITY
+    } else {
+        0
+    };
+    let server = Server::start(cfg).expect("bind overhead server");
+    let addr = server.local_addr().to_string();
+    let pools = (0..threads)
+        .map(|_| {
+            ClientPool::connect(&addr, &world.tenant_endpoint, None, 2).expect("overhead pool")
+        })
+        .collect();
+    OverheadArm { server, pools }
+}
+
+/// One ping burst over the arm's warm pools; returns aggregate req/s.
+fn ping_burst(arm: &mut OverheadArm, requests_per_thread: usize) -> f64 {
+    let t0 = std::time::Instant::now();
+    let total: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = arm
+            .pools
+            .iter_mut()
+            .map(|pool| {
+                scope.spawn(move || {
+                    for _ in 0..requests_per_thread {
+                        assert!(matches!(
+                            pool.checkout().ping().expect("overhead ping"),
+                            Response::Pong
+                        ));
+                    }
+                    requests_per_thread
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("burst")).sum()
+    });
+    total as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn median_f64(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN rates"));
+    values[values.len() / 2]
+}
+
+/// Pull an unsigned integer out of a JSON document by its quoted key —
+/// enough structure-awareness for the smoke's self-checks.
+fn extract_u64(doc: &str, name: &str) -> u64 {
+    let key = format!("\"{name}\": ");
+    doc.find(&key)
+        .and_then(|i| {
+            doc[i + key.len()..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .ok()
+        })
+        .unwrap_or(0)
 }
 
 fn main() {
@@ -117,7 +299,25 @@ fn main() {
         der: world.sample_der.clone(),
         obs: obs.clone(),
     });
+
+    // ---- Claim 7: the REQ_METRICS admin frame, ops-gated. -----------
+    let mut plain_tenant =
+        ClientSession::connect(&addr, &world.tenant_endpoint, None).expect("tenant connect");
+    let non_ops_denied = matches!(
+        plain_tenant.request_metrics().expect("metrics round trip"),
+        Response::Error(_)
+    );
+    drop(plain_tenant);
+    let mut ops = ClientSession::connect(&addr, &world.ops_endpoint, None).expect("ops connect");
+    let (ops_granted, metrics_body) = match ops.request_metrics().expect("ops metrics") {
+        Response::Metrics(json) => (true, json),
+        other => (false, format!("{other:?}")),
+    };
+    drop(ops);
     server.shutdown();
+    let metrics_path = "bench-serve-metrics.json";
+    std::fs::write(metrics_path, &metrics_body).expect("write metrics snapshot");
+    let privacy_bytes = extract_u64(&metrics_body, "serve.privacy.identity_bytes_total");
 
     // ---- Claim 2: quota, against a low-quota deployment. ------------
     let quota_obs = Obs::noop();
@@ -137,29 +337,81 @@ fn main() {
     drop(qc);
     qserver.shutdown();
 
+    // ---- Claim 5: the planted-failure taxonomy vector, twice. -------
+    let vector_run1 = planted_counter_vector(&world);
+    let vector_run2 = planted_counter_vector(&world);
+    let expected_vector = expected_planted_vector(&world);
+    let taxonomy_identical = vector_run1 == vector_run2;
+    let taxonomy_expected = vector_run1 == expected_vector;
+    if !taxonomy_expected {
+        eprintln!("serve_smoke: planted vector mismatch\n  got:  {vector_run1}\n  want: {expected_vector}");
+    }
+
+    // ---- Claim 6: ABBA observed-overhead guard. ---------------------
+    let budget_pct: f64 = std::env::var("SERVE_OVERHEAD_MAX_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+    let overhead_rounds = if quick { 15 } else { 25 };
+    let per_burst = if quick { 1_000 } else { 2_000 };
+    let mut plain_arm = overhead_arm(&world, false, threads);
+    let mut instr_arm = overhead_arm(&world, true, threads);
+    // Warm both arms (page in code, settle the worker threads).
+    ping_burst(&mut plain_arm, per_burst);
+    ping_burst(&mut instr_arm, per_burst);
+    let mut diffs = Vec::with_capacity(overhead_rounds);
+    let mut plain_rates = Vec::with_capacity(overhead_rounds);
+    let mut instr_rates = Vec::with_capacity(overhead_rounds);
+    for _ in 0..overhead_rounds {
+        // ABBA within the round: common-mode drift cancels out of the
+        // paired difference.
+        let a1 = ping_burst(&mut plain_arm, per_burst);
+        let b1 = ping_burst(&mut instr_arm, per_burst);
+        let b2 = ping_burst(&mut instr_arm, per_burst);
+        let a2 = ping_burst(&mut plain_arm, per_burst);
+        let plain = (a1 + a2) / 2.0;
+        let instr = (b1 + b2) / 2.0;
+        plain_rates.push(plain);
+        instr_rates.push(instr);
+        diffs.push(100.0 * (plain - instr) / plain);
+    }
+    drop(plain_arm.pools);
+    plain_arm.server.shutdown();
+    drop(instr_arm.pools);
+    instr_arm.server.shutdown();
+    let overhead_pct = median_f64(&mut diffs);
+    let plain_rps = median_f64(&mut plain_rates);
+    let instr_rps = median_f64(&mut instr_rates);
+    let overhead_passed = overhead_pct < budget_pct;
+
     let json = format!(
         r#"{{
   "bench": "crates/bench/src/bin/serve_smoke.rs",
   "command": "cargo run --release -p mtls-bench --bin serve_smoke",
   "quick": {quick},
-  "environment": {{"cpu_cores": {cores}, "variance_note": "throughput medians carry the box's +/-10-40% noise; ci/check_bench.py --serve gates identity/quota/rejection hard and absolute rates only within the noise band on matching cpu_cores, plus the 10k req/s ping floor"}},
+  "environment": {{"cpu_cores": {cores}, "variance_note": "throughput medians carry the box's +/-10-40% noise; ci/check_bench.py --serve gates identity/quota/rejection/taxonomy/metrics hard and absolute rates only within the noise band on matching cpu_cores, plus the 10k req/s ping floor; the overhead guard is a median of ABBA paired differences, so it travels"}},
   "identity": {{"der_identical": {der_identical}, "shard_identical": {shard_identical}, "error_identical": {error_identical}}},
   "rejection": {{"expired_chain_refused": {rejected}}},
   "quota": {{"rate_per_sec": 5, "burst_requests": 8, "throttled_seen": {throttled_seen}}},
-  "ping": {{"req_per_sec": {ping_rps:.1}, "requests": {ping_n}, "errors": {ping_err}, "latency_us": {ping_lat}}},
-  "verdict": {{"req_per_sec": {v_rps:.1}, "requests": {v_n}, "errors": {v_err}, "throttled": {v_thr}, "latency_us": {v_lat}}},
+  "taxonomy": {{"matches_expected": {taxonomy_expected}, "identical_across_runs": {taxonomy_identical}, "planted": ["expired_chain", "rogue_ca", "oversize_frame", "throttle"], "counters": {vector_run1}}},
+  "observed_overhead": {{"plain_rps": {plain_rps:.1}, "instrumented_rps": {instr_rps:.1}, "overhead_pct": {overhead_pct:.3}, "budget_pct": {budget_pct}, "rounds": {overhead_rounds}, "passed": {overhead_passed}}},
+  "metrics_frame": {{"ops_granted": {ops_granted}, "non_ops_denied": {non_ops_denied}, "privacy_identity_bytes": {privacy_bytes}, "snapshot_file": "{metrics_path}"}},
+  "ping": {{"req_per_sec": {ping_rps:.1}, "requests": {ping_n}, "errors": {ping_err}, "p99_us": {ping_p99}, "latency_us": {ping_lat}}},
+  "verdict": {{"req_per_sec": {v_rps:.1}, "requests": {v_n}, "errors": {v_err}, "throttled": {v_thr}, "p99_us": {v_p99}, "latency_us": {v_lat}}},
   "pool": {{"threads": {threads}, "connections": {conns}, "connect_secs": {csecs:.4}}},
-  "note": "in-process server on loopback; ping is the pure record-layer+framing round trip, verdict is the full DER parse -> classify -> audit -> privacy pipeline per request. Identity compares served bytes against mtls_core::verdict offline output."
+  "note": "in-process server on loopback; ping is the pure record-layer+framing round trip, verdict is the full DER parse -> classify -> audit -> privacy pipeline per request. Identity compares served bytes against mtls_core::verdict offline output; the taxonomy vector is the full sorted counter snapshot after the four planted failures; the metrics frame is the REQ_METRICS admin envelope as served to the ops tenant."
 }}
 "#,
         ping_rps = ping_report.req_per_sec,
         ping_n = ping_report.requests,
         ping_err = ping_report.errors,
+        ping_p99 = ping_report.latency.p99,
         ping_lat = latency_json(&ping_report),
         v_rps = verdict_report.req_per_sec,
         v_n = verdict_report.requests,
         v_err = verdict_report.errors,
         v_thr = verdict_report.throttled,
+        v_p99 = verdict_report.latency.p99,
         v_lat = latency_json(&verdict_report),
         conns = ping_report.connections,
         csecs = ping_report.connect_secs,
@@ -169,6 +421,9 @@ fn main() {
     println!(
         "serve_smoke: identity der={der_identical} shard={shard_identical} err={error_identical}, \
          rejected={rejected}, throttled={throttled_seen}/8, \
+         taxonomy expected={taxonomy_expected} identical={taxonomy_identical}, \
+         overhead {overhead_pct:.2}% (budget {budget_pct}%), \
+         metrics ops={ops_granted} denied={non_ops_denied} privacy_bytes={privacy_bytes}, \
          ping {:.0} req/s, verdict {:.0} req/s -> {out_path}",
         ping_report.req_per_sec, verdict_report.req_per_sec
     );
@@ -178,4 +433,16 @@ fn main() {
     );
     assert!(rejected, "expired chain was admitted");
     assert!(throttled_seen > 0, "quota never throttled");
+    assert!(
+        taxonomy_expected && taxonomy_identical,
+        "planted-failure taxonomy vector violated"
+    );
+    assert!(
+        ops_granted && non_ops_denied && privacy_bytes > 0,
+        "metrics frame claims violated"
+    );
+    assert!(
+        overhead_passed,
+        "telemetry overhead {overhead_pct:.2}% exceeds the {budget_pct}% budget"
+    );
 }

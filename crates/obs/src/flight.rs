@@ -1,0 +1,499 @@
+//! The connection flight recorder: a fixed-size, lock-free ring of
+//! structured connection events.
+//!
+//! A live server wants the last N connections' stories — who connected,
+//! how long the handshake took, how many frames they pulled, why the
+//! connection ended — available at any moment without slowing the serve
+//! path down. The recorder is a power-of-two-free ring of seqlock slots:
+//! writers claim a monotonically increasing ticket with one `fetch_add`,
+//! then publish the event into `slot = ticket % capacity` under a
+//! per-slot version word (odd while writing, even when stable). Readers
+//! ([`FlightRecorder::dump`]) never block writers: they re-read any slot
+//! whose version moved mid-copy and skip slots that stay unstable,
+//! so a dump is always a consistent set of untorn events.
+//!
+//! Every field of a [`FlightEvent`] is packed into plain `u64` words so
+//! slots are arrays of `AtomicU64` — no `unsafe`, no `UnsafeCell`, and
+//! therefore no data race by construction. The dump sorts by sequence
+//! number, making the output deterministic for a quiesced recorder
+//! regardless of which threads recorded what.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bytes of tenant name stored per event (longer names truncate).
+pub const TENANT_BYTES: usize = 24;
+
+/// Why a connection ended, as recorded in [`FlightEvent::close`].
+pub mod close {
+    /// Peer closed cleanly after zero or more requests.
+    pub const CLEAN: u8 = 0;
+    /// The handshake itself failed (bad record, unexpected message…).
+    pub const HANDSHAKE: u8 = 1;
+    /// The handshake completed but the client chain was refused.
+    pub const AUTHZ: u8 = 2;
+    /// A frame header violated the protocol (oversize length field).
+    pub const BAD_FRAME: u8 = 3;
+    /// Transport or record-layer failure mid-session.
+    pub const STREAM: u8 = 4;
+    /// The peer sent a fatal alert mid-session.
+    pub const PEER_ALERT: u8 = 5;
+
+    /// Stable label for a close cause (unknown codes print as `other`).
+    pub fn label(code: u8) -> &'static str {
+        match code {
+            CLEAN => "clean",
+            HANDSHAKE => "handshake",
+            AUTHZ => "authz",
+            BAD_FRAME => "bad_frame",
+            STREAM => "stream",
+            PEER_ALERT => "peer_alert",
+            _ => "other",
+        }
+    }
+}
+
+/// One recorded connection event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Monotonic sequence number assigned by the recorder (0-based).
+    pub seq: u64,
+    /// Tenant name bytes (see [`FlightEvent::tenant_str`]); `-` before
+    /// authorization succeeds.
+    pub tenant: [u8; TENANT_BYTES],
+    /// Live bytes in `tenant`.
+    pub tenant_len: u8,
+    /// Close cause (one of [`close`]'s codes).
+    pub close: u8,
+    /// Handshake duration in microseconds (saturating).
+    pub handshake_us: u32,
+    /// Accept→claim queue wait in microseconds (saturating).
+    pub queue_wait_us: u32,
+    /// Application frames served.
+    pub frames: u32,
+    /// Application payload bytes received (frame headers included).
+    pub bytes_in: u64,
+    /// Application payload bytes sent (frame headers included).
+    pub bytes_out: u64,
+    /// Connection lifetime in microseconds, claim to close.
+    pub lifetime_us: u64,
+}
+
+impl Default for FlightEvent {
+    fn default() -> FlightEvent {
+        FlightEvent {
+            seq: 0,
+            tenant: [0; TENANT_BYTES],
+            tenant_len: 0,
+            close: close::CLEAN,
+            handshake_us: 0,
+            queue_wait_us: 0,
+            frames: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            lifetime_us: 0,
+        }
+    }
+}
+
+impl FlightEvent {
+    /// A fresh event tagged with `name` (truncated to [`TENANT_BYTES`]).
+    pub fn with_tenant(name: &str) -> FlightEvent {
+        let mut ev = FlightEvent::default();
+        ev.set_tenant(name);
+        ev
+    }
+
+    /// Overwrite the tenant tag (truncating).
+    pub fn set_tenant(&mut self, name: &str) {
+        let bytes = name.as_bytes();
+        let n = bytes.len().min(TENANT_BYTES);
+        self.tenant = [0; TENANT_BYTES];
+        self.tenant[..n].copy_from_slice(&bytes[..n]);
+        self.tenant_len = n as u8;
+    }
+
+    /// The tenant tag as a string slice (lossy if truncation split a
+    /// UTF-8 sequence; tenant names are ASCII CNs in practice).
+    pub fn tenant_str(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.tenant[..usize::from(self.tenant_len).min(TENANT_BYTES)])
+    }
+}
+
+/// Words per slot: version + sequence + 3 tenant words + packed scalars.
+const SLOT_WORDS: usize = 10;
+
+struct Slot {
+    /// `words[0]` is the seqlock version (0 = never written, odd =
+    /// write in progress); the rest hold the encoded event.
+    words: [AtomicU64; SLOT_WORDS],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+fn encode(ev: &FlightEvent) -> [u64; SLOT_WORDS - 1] {
+    let mut t = [0u64; 3];
+    for (i, chunk) in ev.tenant.chunks(8).enumerate() {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        t[i] = u64::from_le_bytes(w);
+    }
+    [
+        // seq is stored +1 so an all-zero (never written) slot is
+        // distinguishable from a real seq-0 event.
+        ev.seq.wrapping_add(1),
+        t[0],
+        t[1],
+        t[2],
+        u64::from(ev.tenant_len) | (u64::from(ev.close) << 8) | (u64::from(ev.frames) << 16),
+        u64::from(ev.handshake_us) | (u64::from(ev.queue_wait_us) << 32),
+        ev.bytes_in,
+        ev.bytes_out,
+        ev.lifetime_us,
+    ]
+}
+
+fn decode(words: &[u64; SLOT_WORDS - 1]) -> Option<FlightEvent> {
+    let seq = words[0].checked_sub(1)?;
+    let mut tenant = [0u8; TENANT_BYTES];
+    for (i, w) in words[1..4].iter().enumerate() {
+        tenant[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());
+    }
+    Some(FlightEvent {
+        seq,
+        tenant,
+        tenant_len: (words[4] & 0xFF) as u8,
+        close: ((words[4] >> 8) & 0xFF) as u8,
+        frames: ((words[4] >> 16) & 0xFFFF_FFFF) as u32,
+        handshake_us: (words[5] & 0xFFFF_FFFF) as u32,
+        queue_wait_us: (words[5] >> 32) as u32,
+        bytes_in: words[6],
+        bytes_out: words[7],
+        lifetime_us: words[8],
+    })
+}
+
+/// The recorder. `capacity` slots hold the most recent `capacity`
+/// events; older ones are overwritten. A capacity of 0 disables
+/// recording entirely (every call is a cheap no-op) — the uninstrumented
+/// arm of the serve overhead guard runs that way.
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    cursor: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding the last `capacity` events.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// A disabled recorder (capacity 0).
+    pub fn disabled() -> FlightRecorder {
+        FlightRecorder::new(0)
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether events are being kept at all.
+    pub fn is_enabled(&self) -> bool {
+        !self.slots.is_empty()
+    }
+
+    /// Total events recorded over the recorder's lifetime (including
+    /// ones already overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Record one event. The recorder assigns `ev.seq`; the caller's
+    /// value is ignored. Lock-free: one `fetch_add` plus relaxed stores.
+    pub fn record(&self, mut ev: FlightEvent) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let ticket = self.cursor.fetch_add(1, Ordering::Relaxed);
+        ev.seq = ticket;
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        // Seqlock write: version odd while the payload words are in
+        // flux, even (and advanced) once stable.
+        slot.words[0].fetch_add(1, Ordering::AcqRel);
+        for (w, v) in slot.words[1..].iter().zip(encode(&ev)) {
+            w.store(v, Ordering::Relaxed);
+        }
+        slot.words[0].fetch_add(1, Ordering::Release);
+    }
+
+    /// Snapshot every stable slot, sorted by sequence number. Slots
+    /// mid-write after a bounded number of retries are skipped (a dump
+    /// concurrent with heavy traffic trades those few events for never
+    /// blocking a writer); a quiesced recorder dumps everything.
+    pub fn dump(&self) -> Vec<FlightEvent> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            for _attempt in 0..64 {
+                let v1 = slot.words[0].load(Ordering::Acquire);
+                if v1 == 0 {
+                    break; // never written
+                }
+                if v1 % 2 == 1 {
+                    std::hint::spin_loop();
+                    continue; // write in progress, retry
+                }
+                let mut words = [0u64; SLOT_WORDS - 1];
+                for (dst, src) in words.iter_mut().zip(slot.words[1..].iter()) {
+                    *dst = src.load(Ordering::Relaxed);
+                }
+                if slot.words[0].load(Ordering::Acquire) != v1 {
+                    continue; // torn read, retry
+                }
+                if let Some(ev) = decode(&words) {
+                    out.push(ev);
+                }
+                break;
+            }
+        }
+        out.sort_by_key(|ev| ev.seq);
+        out
+    }
+
+    /// Deterministic JSON rendering of a dump: capacity, lifetime event
+    /// count, how many fell off the ring, and the seq-sorted events.
+    pub fn to_json(&self) -> String {
+        let events = self.dump();
+        let recorded = self.recorded();
+        let dropped = recorded.saturating_sub(events.len() as u64);
+        let mut out = String::with_capacity(128 + events.len() * 160);
+        out.push_str(&format!(
+            "{{\"capacity\": {}, \"recorded\": {}, \"dropped\": {}, \"events\": [",
+            self.capacity(),
+            recorded,
+            dropped
+        ));
+        for (i, ev) in events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"seq\": {}, \"tenant\": \"{}\", \"close\": \"{}\", \
+                 \"handshake_us\": {}, \"queue_wait_us\": {}, \"frames\": {}, \
+                 \"bytes_in\": {}, \"bytes_out\": {}, \"lifetime_us\": {}}}",
+                ev.seq,
+                json_escape(&ev.tenant_str()),
+                close::label(ev.close),
+                ev.handshake_us,
+                ev.queue_wait_us,
+                ev.frames,
+                ev.bytes_in,
+                ev.bytes_out,
+                ev.lifetime_us
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checksum_event(thread: u32, i: u32) -> FlightEvent {
+        // Every field derives from (thread, i) so a torn record —
+        // words from two different writes — fails the cross-check.
+        let mut ev = FlightEvent::with_tenant(&format!("t{thread}-{i}"));
+        ev.close = close::CLEAN;
+        ev.handshake_us = thread * 1_000_000 + i;
+        ev.queue_wait_us = thread * 2_000_000 + i;
+        ev.frames = i;
+        ev.bytes_in = u64::from(thread) << 32 | u64::from(i);
+        ev.bytes_out = ev.bytes_in.wrapping_mul(3);
+        ev.lifetime_us = ev.bytes_in.wrapping_add(ev.handshake_us as u64);
+        ev
+    }
+
+    fn assert_untorn(ev: &FlightEvent) {
+        let thread = (ev.bytes_in >> 32) as u32;
+        let i = (ev.bytes_in & 0xFFFF_FFFF) as u32;
+        assert_eq!(ev.tenant_str(), format!("t{thread}-{i}"), "torn tenant");
+        assert_eq!(ev.handshake_us, thread * 1_000_000 + i);
+        assert_eq!(ev.queue_wait_us, thread * 2_000_000 + i);
+        assert_eq!(ev.frames, i);
+        assert_eq!(ev.bytes_out, ev.bytes_in.wrapping_mul(3));
+        assert_eq!(
+            ev.lifetime_us,
+            ev.bytes_in.wrapping_add(ev.handshake_us as u64)
+        );
+    }
+
+    #[test]
+    fn round_trips_one_event() {
+        let rec = FlightRecorder::new(8);
+        let mut ev = FlightEvent::with_tenant("tenant-alpha");
+        ev.close = close::AUTHZ;
+        ev.handshake_us = 1234;
+        ev.queue_wait_us = 56;
+        ev.frames = 7;
+        ev.bytes_in = 100;
+        ev.bytes_out = 9000;
+        ev.lifetime_us = 1_000_000;
+        rec.record(ev);
+        let dump = rec.dump();
+        assert_eq!(dump.len(), 1);
+        assert_eq!(dump[0].seq, 0);
+        assert_eq!(dump[0].tenant_str(), "tenant-alpha");
+        let mut expect = ev;
+        expect.seq = 0;
+        assert_eq!(dump[0], expect);
+    }
+
+    #[test]
+    fn tenant_names_truncate_at_capacity() {
+        let long = "x".repeat(TENANT_BYTES + 10);
+        let ev = FlightEvent::with_tenant(&long);
+        assert_eq!(ev.tenant_str().len(), TENANT_BYTES);
+        assert_eq!(ev.tenant_str(), "x".repeat(TENANT_BYTES));
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_events() {
+        let rec = FlightRecorder::new(8);
+        for i in 0..100u32 {
+            rec.record(checksum_event(0, i));
+        }
+        let dump = rec.dump();
+        assert_eq!(dump.len(), 8);
+        let seqs: Vec<u64> = dump.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (92..100).collect::<Vec<u64>>());
+        for ev in &dump {
+            assert_untorn(ev);
+        }
+        assert_eq!(rec.recorded(), 100);
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let rec = FlightRecorder::disabled();
+        assert!(!rec.is_enabled());
+        rec.record(FlightEvent::with_tenant("whoever"));
+        assert!(rec.dump().is_empty());
+        assert_eq!(rec.recorded(), 0);
+        assert_eq!(
+            rec.to_json(),
+            "{\"capacity\": 0, \"recorded\": 0, \"dropped\": 0, \"events\": []}"
+        );
+    }
+
+    /// The satellite claim: N threads × M events, no lost or torn
+    /// records up to ring capacity, and a deterministic dump after the
+    /// seq sort.
+    #[test]
+    fn concurrent_writers_lose_and_tear_nothing_within_capacity() {
+        const THREADS: u32 = 8;
+        const PER_THREAD: u32 = 128;
+        let rec = FlightRecorder::new((THREADS * PER_THREAD) as usize);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let rec = &rec;
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        rec.record(checksum_event(t, i));
+                    }
+                });
+            }
+        });
+        let dump = rec.dump();
+        assert_eq!(
+            dump.len(),
+            (THREADS * PER_THREAD) as usize,
+            "capacity covers every event — none may be lost"
+        );
+        // Seqs are exactly 0..N after the sort, each event untorn.
+        for (want, ev) in dump.iter().enumerate() {
+            assert_eq!(ev.seq, want as u64);
+            assert_untorn(ev);
+        }
+        // Per (thread, i) pairs: every single one present exactly once.
+        let mut seen = std::collections::BTreeSet::new();
+        for ev in &dump {
+            let thread = (ev.bytes_in >> 32) as u32;
+            let i = (ev.bytes_in & 0xFFFF_FFFF) as u32;
+            assert!(seen.insert((thread, i)), "duplicate ({thread},{i})");
+        }
+        assert_eq!(seen.len(), (THREADS * PER_THREAD) as usize);
+        // Determinism: a second dump of the quiesced recorder is
+        // identical.
+        assert_eq!(rec.dump(), dump);
+        assert_eq!(rec.to_json(), rec.to_json());
+    }
+
+    #[test]
+    fn concurrent_wraparound_stays_untorn() {
+        // Ring far smaller than the event count: events are lost (by
+        // design) but whatever the dump returns must be internally
+        // consistent.
+        const THREADS: u32 = 4;
+        const PER_THREAD: u32 = 2000;
+        let rec = FlightRecorder::new(64);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let rec = &rec;
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        rec.record(checksum_event(t, i));
+                    }
+                });
+            }
+        });
+        let dump = rec.dump();
+        assert!(dump.len() <= 64);
+        assert!(!dump.is_empty());
+        for ev in &dump {
+            assert_untorn(ev);
+        }
+        let mut seqs: Vec<u64> = dump.iter().map(|e| e.seq).collect();
+        let sorted = seqs.clone();
+        seqs.sort_unstable();
+        assert_eq!(seqs, sorted, "dump must come back seq-sorted");
+        seqs.dedup();
+        assert_eq!(seqs.len(), dump.len(), "no duplicate seqs");
+        assert_eq!(rec.recorded(), u64::from(THREADS * PER_THREAD));
+    }
+
+    #[test]
+    fn json_rendering_is_shaped_and_escaped() {
+        let rec = FlightRecorder::new(4);
+        let mut ev = FlightEvent::with_tenant("quo\"te");
+        ev.close = close::BAD_FRAME;
+        rec.record(ev);
+        let json = rec.to_json();
+        assert!(json.starts_with("{\"capacity\": 4, \"recorded\": 1, \"dropped\": 0,"));
+        assert!(json.contains("\"tenant\": \"quo\\\"te\""));
+        assert!(json.contains("\"close\": \"bad_frame\""));
+        assert!(json.ends_with("]}"));
+    }
+}

@@ -41,12 +41,14 @@
 //! assert_eq!(snap.counter("stage.items"), Some(42));
 //! ```
 
+pub mod flight;
 pub mod metrics;
 pub mod rss;
 pub mod sink;
 pub mod span;
 
-pub use metrics::{Counter, HistogramBucket, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use flight::{FlightEvent, FlightRecorder};
+pub use metrics::{Counter, Histogram, HistogramBucket, HistogramSnapshot, HISTOGRAM_BUCKETS};
 pub use rss::{read_self_rss, RssSample};
 pub use sink::{Snapshot, SCHEMA_VERSION};
 pub use span::{SpanGuard, SpanId, SpanRow};
@@ -168,6 +170,17 @@ impl Obs {
                 .inner
                 .enabled
                 .then(|| self.inner.registry.counter_cell(name)),
+        }
+    }
+
+    /// A lock-free handle to the named histogram (registered on first
+    /// use) — for hot paths recording per-request observations.
+    pub fn histogram(&self, name: &str) -> metrics::Histogram {
+        metrics::Histogram {
+            cell: self
+                .inner
+                .enabled
+                .then(|| self.inner.registry.histogram_cell(name)),
         }
     }
 

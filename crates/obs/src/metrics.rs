@@ -113,6 +113,34 @@ impl Counter {
     }
 }
 
+/// A lock-free handle to one named log2 histogram — the histogram twin
+/// of [`Counter`], for hot paths that record per-request latencies and
+/// must not pay a registry lookup each time. Cheap to clone; handles
+/// from a no-op [`Obs`](crate::Obs) drop every observation.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    pub(crate) cell: Option<Arc<HistogramCell>>,
+}
+
+impl Histogram {
+    /// Record one observation (relaxed atomics, no locks).
+    pub fn record(&self, value: u64) {
+        if let Some(cell) = &self.cell {
+            cell.count.fetch_add(1, Ordering::Relaxed);
+            cell.sum.fetch_add(value, Ordering::Relaxed);
+            cell.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Observation count so far.
+    pub fn count(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map(|c| c.count.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
 /// One histogram bucket as exported: values in `[lo, hi)` (the zero bucket
 /// is `[0, 1)`), `n` observations.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -45,6 +45,13 @@ impl std::fmt::Display for AuthzError {
 
 impl std::error::Error for AuthzError {}
 
+/// Leaf-certificate OU marking an operations-class tenant: clients in
+/// this organizational unit may pull the live metrics/flight-recorder
+/// snapshot (`REQ_METRICS`) from a running server. Authorization rides
+/// on the certificate itself — the same chain that identifies the
+/// tenant also carries its privilege class, so no side-channel ACL.
+pub const OPS_ORGANIZATIONAL_UNIT: &str = "mtlscope-ops";
+
 /// The identity a validated client chain maps to.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tenant {
@@ -57,6 +64,9 @@ pub struct Tenant {
     pub publicly_trusted: bool,
     /// Requests/second this tenant's token bucket refills at.
     pub quota_per_sec: u32,
+    /// Whether the leaf's OU is [`OPS_ORGANIZATIONAL_UNIT`] — grants
+    /// access to the admin metrics frame.
+    pub ops: bool,
 }
 
 /// Chain-validation + policy gate, configured once at server startup.
@@ -114,6 +124,7 @@ impl Authorizer {
             } else {
                 self.quota_private
             },
+            ops: leaf.subject().organizational_unit() == Some(OPS_ORGANIZATIONAL_UNIT),
         })
     }
 }
@@ -241,6 +252,42 @@ mod tests {
             .authorize(&[leaf_der(&root, "x"), root.certificate().to_der()], now())
             .unwrap_err();
         assert_eq!(err, AuthzError::Chain(ChainError::UntrustedRoot));
+    }
+
+    #[test]
+    fn ops_class_rides_on_the_leaf_ou() {
+        let root = ca(b"ops-root", "Ops CA");
+        let auth = authorizer(&root, false);
+        let key = Keypair::from_seed(b"ops-operator");
+        let ops_der = root
+            .issue(
+                CertificateBuilder::new()
+                    .subject(
+                        DistinguishedName::builder()
+                            .common_name("operator-1")
+                            .organizational_unit(OPS_ORGANIZATIONAL_UNIT)
+                            .build(),
+                    )
+                    .validity(
+                        Asn1Time::from_ymd(2022, 1, 1),
+                        Asn1Time::from_ymd(2023, 1, 1),
+                    )
+                    .subject_key(key.key_id()),
+            )
+            .to_der();
+        let t = auth
+            .authorize(&[ops_der, root.certificate().to_der()], now())
+            .unwrap();
+        assert!(t.ops, "OU {OPS_ORGANIZATIONAL_UNIT} grants ops class");
+
+        // A plain tenant (no OU, or a different one) is not ops.
+        let plain = auth
+            .authorize(
+                &[leaf_der(&root, "plain"), root.certificate().to_der()],
+                now(),
+            )
+            .unwrap();
+        assert!(!plain.ops);
     }
 
     #[test]

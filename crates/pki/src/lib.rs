@@ -65,7 +65,7 @@ pub mod issuercat;
 pub mod policy;
 pub mod truststore;
 
-pub use authz::{Authorizer, AuthzError, Tenant};
+pub use authz::{Authorizer, AuthzError, Tenant, OPS_ORGANIZATIONAL_UNIT};
 pub use ca::CertificateAuthority;
 pub use chain::{validate_chain, ChainError, ValidatedChain};
 pub use crl::{CertificateRevocationList, CrlBuilder, RevocationReason};

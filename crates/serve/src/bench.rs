@@ -8,7 +8,8 @@
 //! (for true percentiles) and in an `mtls-obs` log2 histogram (the
 //! cross-run comparable shape that goes into `BENCH_serve.json`).
 
-use crate::client::{ClientPool, Response};
+use crate::client::{ClientPool, ClientSession, Response};
+use crate::taxonomy;
 use crate::tls::EndpointConfig;
 use mtls_obs::Obs;
 use std::time::Instant;
@@ -82,15 +83,25 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
     let connect_start = Instant::now();
     let mut pools = Vec::with_capacity(threads);
     for _ in 0..threads {
-        pools.push(
-            ClientPool::connect(
-                &cfg.addr,
-                &cfg.client,
-                cfg.sni.as_deref(),
-                cfg.connections_per_thread,
-            )
-            .expect("bench: connect pool"),
-        );
+        // Connect one session at a time so every handshake outcome lands
+        // in the client-side mirror of the server's taxonomy
+        // (`bench.handshake.ok` / `bench.handshake.err.*`) before a
+        // failure aborts the run.
+        let mut sessions = Vec::with_capacity(cfg.connections_per_thread.max(1));
+        for _ in 0..cfg.connections_per_thread.max(1) {
+            match ClientSession::connect_tls(&cfg.addr, &cfg.client, cfg.sni.as_deref()) {
+                Ok(s) => {
+                    cfg.obs.counter_add("bench.handshake.ok", 1);
+                    sessions.push(s);
+                }
+                Err(e) => {
+                    cfg.obs
+                        .counter_add(taxonomy::client_handshake_error_counter(&e), 1);
+                    panic!("bench: connect pool: {e}");
+                }
+            }
+        }
+        pools.push(ClientPool::from_sessions(sessions));
     }
     let connect_secs = connect_start.elapsed().as_secs_f64();
     let connections = pools.iter().map(ClientPool::len).sum();
@@ -114,6 +125,14 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
                         throttled: 0,
                         errors: 0,
                     };
+                    let kind_label = if cfg.der.is_empty() { "ping" } else { "der" };
+                    let latency_all = cfg.obs.histogram("bench.latency_us");
+                    let latency_kind = cfg.obs.histogram(&format!("bench.latency_us.{kind_label}"));
+                    let c_verdict = cfg.obs.counter("bench.resp.verdict");
+                    let c_pong = cfg.obs.counter("bench.resp.pong");
+                    let c_throttled = cfg.obs.counter("bench.resp.throttled");
+                    let c_error = cfg.obs.counter("bench.resp.error");
+                    let c_transport = cfg.obs.counter("bench.err.transport");
                     for _ in 0..cfg.requests_per_thread {
                         let session = pool.checkout();
                         let t0 = Instant::now();
@@ -124,12 +143,26 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
                         };
                         let us = t0.elapsed().as_micros() as u64;
                         r.latencies.push(us);
-                        cfg.obs.histogram_record("bench.latency_us", us);
+                        latency_all.record(us);
+                        latency_kind.record(us);
                         match resp {
-                            Ok(Response::Verdict(_)) => r.verdicts += 1,
-                            Ok(Response::Pong) => {}
-                            Ok(Response::Throttled) => r.throttled += 1,
-                            Ok(Response::Error(_)) | Err(_) => r.errors += 1,
+                            Ok(Response::Verdict(_)) => {
+                                c_verdict.add(1);
+                                r.verdicts += 1;
+                            }
+                            Ok(Response::Pong) => c_pong.add(1),
+                            Ok(Response::Throttled) => {
+                                c_throttled.add(1);
+                                r.throttled += 1;
+                            }
+                            Ok(Response::Error(_) | Response::Metrics(_)) => {
+                                c_error.add(1);
+                                r.errors += 1;
+                            }
+                            Err(_) => {
+                                c_transport.add(1);
+                                r.errors += 1;
+                            }
                         }
                     }
                     r

@@ -2,8 +2,12 @@
 //! connection, plus a keep-alive pool that round-robins requests across
 //! several warm connections (the shape the bench client measures).
 
-use crate::frame::{Frame, REQ_DER, REQ_PING, REQ_SHARD, RESP_PONG, RESP_VERDICT};
+use crate::frame::{
+    encode_frame, Frame, MAX_FRAME_PAYLOAD, REQ_DER, REQ_METRICS, REQ_PING, REQ_SHARD,
+    RESP_METRICS, RESP_PONG, RESP_VERDICT,
+};
 use crate::tls::{self, EndpointConfig, Session, SessionError};
+use mtls_tlssim::StreamError;
 use std::io;
 use std::net::TcpStream;
 
@@ -18,6 +22,8 @@ pub enum Response {
     Throttled,
     /// A request-level error message from the server.
     Error(String),
+    /// The metrics snapshot JSON (ops-class tenants only).
+    Metrics(String),
 }
 
 /// One established connection to the server.
@@ -32,19 +38,33 @@ impl ClientSession {
         cfg: &EndpointConfig,
         sni: Option<&str>,
     ) -> io::Result<ClientSession> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let read = stream.try_clone()?;
-        let session = tls::connect(read, stream, cfg, sni)
-            .map_err(|e| io::Error::new(io::ErrorKind::ConnectionRefused, e.to_string()))?;
+        ClientSession::connect_tls(addr, cfg, sni)
+            .map_err(|e| io::Error::new(io::ErrorKind::ConnectionRefused, e.to_string()))
+    }
+
+    /// Like [`ClientSession::connect`] but preserving the
+    /// [`SessionError`] cause, so the bench client can mirror the
+    /// server's handshake-failure taxonomy (`bench.handshake.err.*`).
+    pub fn connect_tls(
+        addr: &str,
+        cfg: &EndpointConfig,
+        sni: Option<&str>,
+    ) -> Result<ClientSession, SessionError> {
+        let stream = TcpStream::connect(addr).map_err(|e| SessionError::Stream(e.into()))?;
+        let _ = stream.set_nodelay(true);
+        let read = stream
+            .try_clone()
+            .map_err(|e| SessionError::Stream(e.into()))?;
+        let session = tls::connect(read, stream, cfg, sni)?;
         Ok(ClientSession { session })
     }
 
     fn round_trip(&mut self, kind: u8, payload: &[u8]) -> Result<Response, SessionError> {
         self.session.send_frame(kind, payload)?;
-        let frame = self.session.recv_frame()?.ok_or(SessionError::Stream(
-            mtls_tlssim::StreamError::UnexpectedEof,
-        ))?;
+        let frame = self
+            .session
+            .recv_frame()?
+            .ok_or(SessionError::Stream(StreamError::UnexpectedEof))?;
         Ok(decode_response(frame))
     }
 
@@ -62,6 +82,35 @@ impl ClientSession {
     pub fn ping(&mut self) -> Result<Response, SessionError> {
         self.round_trip(REQ_PING, &[])
     }
+
+    /// Fetch the live metrics + flight-recorder snapshot (the admin
+    /// frame; the server answers only ops-class tenants).
+    pub fn request_metrics(&mut self) -> Result<Response, SessionError> {
+        self.round_trip(REQ_METRICS, &[])
+    }
+
+    /// Round-trip an arbitrary frame kind — the probe path the planted
+    /// failure scenarios use to exercise `serve.request.err.unknown_kind`.
+    pub fn request_raw(&mut self, kind: u8, payload: &[u8]) -> Result<Response, SessionError> {
+        self.round_trip(kind, payload)
+    }
+
+    /// Send a frame header whose length field exceeds
+    /// [`MAX_FRAME_PAYLOAD`] without the body — the cheapest way to
+    /// plant an oversize-frame violation. The server must reject it at
+    /// the header (and close) without ever taking a quota token.
+    pub fn send_oversize_header(&mut self) -> Result<(), SessionError> {
+        let mut header = encode_frame(REQ_DER, &[]);
+        header[1..5].copy_from_slice(&((MAX_FRAME_PAYLOAD as u32) + 1).to_be_bytes());
+        self.session.send_raw(&header)
+    }
+
+    /// Whether the server closed the connection (next read is EOF or an
+    /// error). Consumes the stream position, so only call when no
+    /// response is expected.
+    pub fn expect_close(&mut self) -> bool {
+        !matches!(self.session.recv_frame(), Ok(Some(_)))
+    }
 }
 
 fn decode_response(frame: Frame) -> Response {
@@ -69,6 +118,7 @@ fn decode_response(frame: Frame) -> Response {
         RESP_VERDICT => Response::Verdict(String::from_utf8_lossy(&frame.payload).into_owned()),
         RESP_PONG => Response::Pong,
         crate::frame::RESP_THROTTLED => Response::Throttled,
+        RESP_METRICS => Response::Metrics(String::from_utf8_lossy(&frame.payload).into_owned()),
         _ => Response::Error(String::from_utf8_lossy(&frame.payload).into_owned()),
     }
 }
@@ -97,6 +147,12 @@ impl ClientPool {
             sessions.push(ClientSession::connect(addr, cfg, sni)?);
         }
         Ok(ClientPool { sessions, next: 0 })
+    }
+
+    /// Wrap already-established sessions (the bench driver connects them
+    /// one at a time so it can account each handshake outcome).
+    pub fn from_sessions(sessions: Vec<ClientSession>) -> ClientPool {
+        ClientPool { sessions, next: 0 }
     }
 
     /// Number of pooled connections.

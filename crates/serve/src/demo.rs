@@ -31,6 +31,16 @@ pub struct DemoWorld {
     pub tenant_endpoint: EndpointConfig,
     /// An expired tenant chain the authorizer must refuse.
     pub expired_endpoint: EndpointConfig,
+    /// An ops-class tenant chain (CN `tenant-ops`, OU
+    /// [`mtls_pki::OPS_ORGANIZATIONAL_UNIT`]) — allowed to pull the
+    /// `REQ_METRICS` admin frame.
+    pub ops_endpoint: EndpointConfig,
+    /// A chain minted by a rogue CA whose key the demo authorizer never
+    /// registered: the chain carries its own "root", but the issuer
+    /// signature cannot be verified, so authorization fails with
+    /// `ChainError::BadSignature` — the "unknown tenant" planted
+    /// failure.
+    pub rogue_endpoint: EndpointConfig,
     /// A standalone DER blob to submit as a `REQ_DER` workload.
     pub sample_der: Vec<u8>,
     /// A two-row Zeek `x509.log` shard to submit as `REQ_SHARD`.
@@ -88,9 +98,50 @@ pub fn demo_world() -> DemoWorld {
                 Asn1Time::from_ymd(2021, 1, 1),
                 Asn1Time::from_ymd(2021, 6, 1),
             ),
-            root_der,
+            root_der.clone(),
         ],
         random_seed: 0xdead,
+    };
+
+    // Ops identity: same root, leaf carries the ops OU.
+    let ops_key = Keypair::from_seed(b"tenant-ops");
+    let ops_leaf = root
+        .issue(
+            CertificateBuilder::new()
+                .subject(
+                    DistinguishedName::builder()
+                        .common_name("tenant-ops")
+                        .organizational_unit(mtls_pki::OPS_ORGANIZATIONAL_UNIT)
+                        .build(),
+                )
+                .san(vec![GeneralName::Dns("tenant-ops".into())])
+                .validity(ok_from, ok_to)
+                .subject_key(ops_key.key_id()),
+        )
+        .to_der();
+    let ops_endpoint = EndpointConfig {
+        version: TlsVersion::Tls12,
+        chain: vec![ops_leaf, root_der],
+        random_seed: 0x0b5e,
+    };
+
+    // Rogue identity: a whole parallel CA the authorizer knows nothing
+    // about. Chain shape is fine; the signature can't be verified.
+    let rogue_root = CertificateAuthority::new_root(
+        b"serve-rogue-root",
+        DistinguishedName::builder()
+            .organization("Rogue Issuance Bureau")
+            .common_name("Rogue Root CA")
+            .build(),
+        Asn1Time::from_ymd(2022, 1, 1),
+    );
+    let rogue_endpoint = EndpointConfig {
+        version: TlsVersion::Tls12,
+        chain: vec![
+            issue_der(&rogue_root, "tenant-rogue", ok_from, ok_to),
+            rogue_root.certificate().to_der(),
+        ],
+        random_seed: 0x0666,
     };
 
     // Sample workloads: one DER blob and one shard built from two
@@ -115,6 +166,8 @@ pub fn demo_world() -> DemoWorld {
         server_endpoint,
         tenant_endpoint,
         expired_endpoint,
+        ops_endpoint,
+        rogue_endpoint,
         sample_der,
         sample_shard,
     }
@@ -146,7 +199,10 @@ pub fn demo_verdict_context() -> VerdictContext {
 }
 
 /// A ready-to-start demo server config bound to `addr` with
-/// `quota_private` requests/second per private tenant.
+/// `quota_private` requests/second per private tenant. The flight
+/// recorder gets the default ring; override `flight_capacity` on the
+/// returned config to shrink or disable it (the uninstrumented
+/// overhead-guard arm runs with 0).
 pub fn demo_server_config(
     world: &DemoWorld,
     addr: &str,
@@ -166,5 +222,6 @@ pub fn demo_server_config(
         verdict: demo_verdict_context(),
         now: demo_now(),
         obs,
+        flight_capacity: crate::server::DEFAULT_FLIGHT_CAPACITY,
     }
 }

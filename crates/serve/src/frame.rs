@@ -13,6 +13,9 @@ pub const REQ_DER: u8 = 1;
 pub const REQ_SHARD: u8 = 2;
 /// Request: liveness probe, empty payload.
 pub const REQ_PING: u8 = 3;
+/// Request: the live metrics + flight-recorder snapshot (admin frame,
+/// ops-class tenants only; empty payload).
+pub const REQ_METRICS: u8 = 4;
 /// Response: a verdict (UTF-8 text, byte-identical to the offline path).
 pub const RESP_VERDICT: u8 = 0x81;
 /// Response: a request-level error (UTF-8 text).
@@ -21,6 +24,8 @@ pub const RESP_ERROR: u8 = 0x82;
 pub const RESP_THROTTLED: u8 = 0x83;
 /// Response: pong, empty payload.
 pub const RESP_PONG: u8 = 0x84;
+/// Response: the metrics snapshot (JSON envelope, UTF-8 text).
+pub const RESP_METRICS: u8 = 0x85;
 
 /// Upper bound on a frame payload: large enough for any realistic shard,
 /// small enough that a hostile length field cannot balloon the buffer.

@@ -19,8 +19,13 @@
 //! - [`tls`] — session establishment: the mutual-TLS handshake over any
 //!   `Read`/`Write` pair, fragmenting and reassembling certificate
 //!   flights at the 2^14 record boundary.
+//! - [`taxonomy`] — the single source of truth for every metric name
+//!   the serve path emits (per-cause handshake/authz counters, latency
+//!   and privacy histograms, the client-side `bench.*` mirror).
 //! - [`server`] — `TcpListener` accept loop with a bounded worker pool,
-//!   request dispatch, and `mtls-obs` instrumentation.
+//!   request dispatch, per-cause `mtls-obs` instrumentation, a
+//!   connection flight recorder, and the cleartext-identity privacy
+//!   meter.
 //! - [`client`] — blocking client session plus a keep-alive connection
 //!   pool.
 //! - [`bench`] — the `bench-client` driver: pooled connections, latency
@@ -32,11 +37,12 @@ pub mod demo;
 pub mod frame;
 pub mod quota;
 pub mod server;
+pub mod taxonomy;
 pub mod tls;
 
 pub use bench::{run_bench, BenchConfig, BenchReport};
-pub use client::{ClientPool, ClientSession};
+pub use client::{ClientPool, ClientSession, Response};
 pub use frame::{encode_frame, Frame, FrameAssembler};
-pub use quota::{QuotaTable, TokenBucket};
-pub use server::{Server, ServerConfig};
-pub use tls::{accept, connect, EndpointConfig, Session, SessionError};
+pub use quota::{QuotaClock, QuotaTable, TokenBucket};
+pub use server::{Server, ServerConfig, METRICS_SCHEMA};
+pub use tls::{accept, connect, Accepted, EndpointConfig, Session, SessionError};

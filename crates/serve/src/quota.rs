@@ -7,6 +7,7 @@
 //! server owns the single `Instant` clock.
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// One tenant's bucket.
 #[derive(Debug, Clone)]
@@ -75,6 +76,84 @@ impl QuotaTable {
     pub fn is_empty(&self) -> bool {
         self.buckets.is_empty()
     }
+
+    /// Drop one tenant's bucket (idle eviction).
+    pub fn remove(&mut self, tenant: &str) {
+        self.buckets.remove(tenant);
+    }
+}
+
+/// Tenants idle this long are evicted (bucket + last-seen entry). A
+/// returning tenant simply gets a fresh full bucket — for anyone idle
+/// past the horizon that is indistinguishable from a kept, fully
+/// refilled one, so eviction never changes throttling behavior.
+pub const IDLE_EVICT_HORIZON: Duration = Duration::from_secs(600);
+
+/// An eviction scan runs every this many takes, amortizing the O(n)
+/// retain across the request stream.
+const EVICT_SCAN_EVERY: usize = 512;
+
+/// Per-tenant quota bookkeeping: the bucket table plus each tenant's
+/// last-request instant (the elapsed-time source for refills).
+///
+/// Both maps are **bounded**: tenants idle past [`IDLE_EVICT_HORIZON`]
+/// are evicted together with their bucket by a scan that runs every few
+/// hundred takes, so live memory is proportional to tenants active in
+/// the last ten minutes — not every tenant name ever seen. (PR 8's
+/// `last_seen` grew forever; a churning fleet of fingerprint-named
+/// tenants would have leaked it unboundedly.)
+#[derive(Debug, Default)]
+pub struct QuotaClock {
+    table: QuotaTable,
+    last_seen: HashMap<String, Instant>,
+    takes_since_scan: usize,
+}
+
+impl QuotaClock {
+    /// Empty clock.
+    pub fn new() -> QuotaClock {
+        QuotaClock::default()
+    }
+
+    /// Advance `tenant`'s bucket by their elapsed time since the
+    /// previous take (computed against `now` — the caller owns the one
+    /// clock) and try to take a token.
+    pub fn try_take(&mut self, tenant: &str, rate_per_sec: u32, now: Instant) -> bool {
+        let elapsed = match self.last_seen.insert(tenant.to_string(), now) {
+            Some(prev) => now.saturating_duration_since(prev).as_secs_f64(),
+            None => 0.0,
+        };
+        self.takes_since_scan += 1;
+        if self.takes_since_scan >= EVICT_SCAN_EVERY {
+            self.evict_idle(now);
+        }
+        self.table.try_take(tenant, rate_per_sec, elapsed)
+    }
+
+    /// Evict every tenant idle past [`IDLE_EVICT_HORIZON`] as of `now`,
+    /// removing bucket and last-seen entry together.
+    pub fn evict_idle(&mut self, now: Instant) {
+        self.takes_since_scan = 0;
+        let table = &mut self.table;
+        self.last_seen.retain(|name, seen| {
+            let keep = now.saturating_duration_since(*seen) < IDLE_EVICT_HORIZON;
+            if !keep {
+                table.remove(name);
+            }
+            keep
+        });
+    }
+
+    /// Tenants currently tracked (post-eviction bound introspection).
+    pub fn tracked(&self) -> usize {
+        self.last_seen.len()
+    }
+
+    /// Buckets currently live (always equals [`QuotaClock::tracked`]
+    /// after a scan — the two maps evict together).
+    pub fn buckets(&self) -> usize {
+        self.table.len()
+    }
 }
 
 #[cfg(test)]
@@ -123,5 +202,66 @@ mod tests {
         assert!(!q.try_take("a", 1, 0.0), "a exhausted");
         assert!(q.try_take("b", 1, 0.0), "b unaffected");
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn clock_throttles_like_the_raw_table() {
+        let mut q = QuotaClock::new();
+        let t0 = Instant::now();
+        assert!(q.try_take("a", 1, t0));
+        assert!(!q.try_take("a", 1, t0), "no time passed, bucket empty");
+        // Two synthetic seconds later the 1/s bucket has refilled.
+        assert!(q.try_take("a", 1, t0 + Duration::from_secs(2)));
+        assert_eq!(q.tracked(), 1);
+        assert_eq!(q.buckets(), 1);
+    }
+
+    #[test]
+    fn idle_tenants_evict_with_their_buckets() {
+        let mut q = QuotaClock::new();
+        let t0 = Instant::now();
+        for i in 0..5000u64 {
+            q.try_take(&format!("tenant-{i}"), 10, t0 + Duration::from_millis(i));
+        }
+        // Everyone's last request is within a few seconds of t0; one
+        // horizon later they are all idle.
+        q.evict_idle(t0 + Duration::from_secs(5) + IDLE_EVICT_HORIZON);
+        assert_eq!(q.tracked(), 0, "all idle tenants evicted");
+        assert_eq!(q.buckets(), 0, "buckets evicted alongside");
+
+        // A returning tenant just gets a fresh bucket.
+        assert!(q.try_take("tenant-0", 10, t0 + Duration::from_secs(700)));
+        assert_eq!(q.tracked(), 1);
+    }
+
+    /// The satellite claim: the map stays bounded even under an endless
+    /// churn of one-shot tenant names — the periodic scan holds tracked
+    /// entries to (horizon-active tenants + one scan interval).
+    #[test]
+    fn tracked_tenants_stay_bounded_under_name_churn() {
+        let mut q = QuotaClock::new();
+        let t0 = Instant::now();
+        // One brand-new tenant per simulated second, for well over the
+        // horizon: an unbounded map would end at 5000 entries.
+        let mut max_tracked = 0usize;
+        for i in 0..5000u64 {
+            q.try_take(&format!("one-shot-{i}"), 1, t0 + Duration::from_secs(i));
+            max_tracked = max_tracked.max(q.tracked());
+        }
+        let horizon_secs = IDLE_EVICT_HORIZON.as_secs() as usize;
+        let bound = horizon_secs + EVICT_SCAN_EVERY + 1;
+        assert!(
+            max_tracked <= bound,
+            "tracked peaked at {max_tracked}, bound {bound}"
+        );
+        assert!(
+            q.buckets() <= bound,
+            "buckets grew past the bound: {}",
+            q.buckets()
+        );
+        // And an explicit final scan leaves exactly the horizon window.
+        q.evict_idle(t0 + Duration::from_secs(5000));
+        assert!(q.tracked() <= horizon_secs + 1);
+        assert_eq!(q.tracked(), q.buckets(), "the two maps evict together");
     }
 }

@@ -124,16 +124,29 @@ fn next_handshake<R: Read>(
     }
 }
 
+/// What a successful server-side handshake yields.
+pub struct Accepted<R: Read, W: Write> {
+    /// The established session.
+    pub session: Session<R, W>,
+    /// The identity the client chain mapped to.
+    pub tenant: Tenant,
+    /// The DER chain the client presented (leaf first) — the same
+    /// cleartext bytes a passive on-path observer captured, handed up
+    /// so the server can account the privacy exposure
+    /// ([`mtls_tlssim::identity_exposure`]).
+    pub client_chain: Vec<Vec<u8>>,
+}
+
 /// Server side: run the handshake, authorize the client chain, return the
-/// session and tenant. On an authorization failure the peer gets a fatal
-/// alert and the error comes back to the caller.
+/// session, tenant, and presented chain. On an authorization failure the
+/// peer gets a fatal alert and the error comes back to the caller.
 pub fn accept<R: Read, W: Write>(
     read: R,
     write: W,
     cfg: &EndpointConfig,
     authorizer: &Authorizer,
     now: mtls_asn1::Asn1Time,
-) -> Result<(Session<R, W>, Tenant), SessionError> {
+) -> Result<Accepted<R, W>, SessionError> {
     let version = legacy_version_bytes(cfg.version);
     let mut reader = RecordReader::new(read);
     let mut writer = RecordWriter::new(write, version);
@@ -200,15 +213,16 @@ pub fn accept<R: Read, W: Write>(
         &handshake_envelope(HS_FINISHED, &[0u8; 12]),
     )?;
 
-    Ok((
-        Session {
+    Ok(Accepted {
+        session: Session {
             reader,
             writer,
             assembler,
             frames: FrameAssembler::new(),
         },
         tenant,
-    ))
+        client_chain: chain,
+    })
 }
 
 /// Client side: run the handshake against an accepting server.
@@ -287,6 +301,14 @@ impl<R: Read, W: Write> Session<R, W> {
     pub fn send_frame(&mut self, kind: u8, payload: &[u8]) -> Result<(), SessionError> {
         let frame = encode_frame(kind, payload);
         self.writer.write(ContentType::ApplicationData, &frame)?;
+        Ok(())
+    }
+
+    /// Send raw bytes as `application_data` without frame encoding —
+    /// the hook the planted-failure harness uses to put a framing
+    /// violation (e.g. an oversize length field) on the wire.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), SessionError> {
+        self.writer.write(ContentType::ApplicationData, bytes)?;
         Ok(())
     }
 
@@ -400,7 +422,7 @@ mod tests {
             assert_eq!(resp.kind, crate::frame::RESP_PONG);
         });
         let (stream, _) = listener.accept().unwrap();
-        let (mut session, tenant) = accept(
+        let accepted = accept(
             stream.try_clone().unwrap(),
             stream,
             &server_cfg,
@@ -408,8 +430,14 @@ mod tests {
             now(),
         )
         .unwrap();
-        assert_eq!(tenant.name, "tenant-a");
-        assert!(!tenant.publicly_trusted);
+        assert_eq!(accepted.tenant.name, "tenant-a");
+        assert!(!accepted.tenant.publicly_trusted);
+        assert_eq!(
+            accepted.client_chain.len(),
+            2,
+            "presented chain handed back for the privacy meter"
+        );
+        let mut session = accepted.session;
         let req = session.recv_frame().unwrap().unwrap();
         assert_eq!(req.kind, crate::frame::REQ_PING);
         session.send_frame(crate::frame::RESP_PONG, b"").unwrap();
@@ -509,7 +537,7 @@ mod tests {
             );
         });
         let (stream, _) = listener.accept().unwrap();
-        let (mut session, tenant) = accept(
+        let accepted = accept(
             stream.try_clone().unwrap(),
             stream,
             &server_cfg,
@@ -517,7 +545,9 @@ mod tests {
             now(),
         )
         .unwrap();
-        assert_eq!(tenant.name, "fat-tenant");
+        assert_eq!(accepted.tenant.name, "fat-tenant");
+        assert_eq!(accepted.client_chain.len(), 42);
+        let mut session = accepted.session;
         let req = session.recv_frame().unwrap().unwrap();
         assert_eq!(req.kind, crate::frame::REQ_PING);
         session.send_frame(crate::frame::RESP_PONG, b"").unwrap();

@@ -144,9 +144,9 @@ fn expired_tenant_is_rejected_at_the_door() {
     let got = snap
         .counters
         .iter()
-        .find(|(n, _)| n == "serve.authz_rejected")
+        .find(|(n, _)| n == "serve.authz.err.chain.expired")
         .map(|(_, v)| *v);
-    assert_eq!(got, Some(1));
+    assert_eq!(got, Some(1), "per-cause taxonomy names the expiry exactly");
 }
 
 #[test]
@@ -169,6 +169,204 @@ fn garbage_der_gets_parse_error_verdict_not_connection_drop() {
 
     drop(client);
     server.shutdown();
+}
+
+fn counter_of(snap: &mtls_obs::Snapshot, name: &str) -> u64 {
+    snap.counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+#[test]
+fn oversize_frame_is_refused_at_the_header_without_burning_quota() {
+    // quota 1/s: if the oversize path took a token, the follow-up
+    // request on a fresh connection would throttle.
+    let (server, world, obs) = start_demo(1, 1);
+    let mut client = connect_tenant(&server, &world);
+    client.send_oversize_header().expect("probe header");
+    assert!(client.expect_close(), "server must drop the connection");
+    drop(client);
+
+    let mut client2 = connect_tenant(&server, &world);
+    match client2.request_der(&world.sample_der).unwrap() {
+        Response::Verdict(_) => {}
+        other => panic!("oversize frame burned the quota token: {other:?}"),
+    }
+    drop(client2);
+
+    let events = server.shutdown();
+    let snap = obs.snapshot();
+    assert_eq!(counter_of(&snap, "serve.request.err.oversize_frame"), 1);
+    assert_eq!(counter_of(&snap, "serve.throttled"), 0);
+    assert_eq!(counter_of(&snap, "serve.conn.closed_error"), 1);
+    assert_eq!(counter_of(&snap, "serve.conn.closed_clean"), 1);
+    assert!(
+        events
+            .iter()
+            .any(|e| e.close == mtls_obs::flight::close::BAD_FRAME),
+        "flight recorder names the bad-frame close"
+    );
+}
+
+#[test]
+fn metrics_frame_is_ops_gated_and_reports_privacy_exposure() {
+    let (server, world, obs) = start_demo(2, 1000);
+
+    let mut tenant = connect_tenant(&server, &world);
+    match tenant.request_metrics().unwrap() {
+        Response::Error(msg) => assert!(msg.contains("ops"), "{msg}"),
+        other => panic!("non-ops tenant must be refused: {other:?}"),
+    }
+    assert!(
+        matches!(tenant.ping().unwrap(), Response::Pong),
+        "refusal is request-level, not a connection drop"
+    );
+
+    let mut ops =
+        ClientSession::connect(&server.local_addr().to_string(), &world.ops_endpoint, None)
+            .expect("ops connect");
+    let body = match ops.request_metrics().unwrap() {
+        Response::Metrics(json) => json,
+        other => panic!("ops tenant must get the snapshot: {other:?}"),
+    };
+    assert!(
+        body.starts_with("{\"schema\": \"mtlscope-serve-metrics-1\""),
+        "{body}"
+    );
+    assert!(body.contains("\"metrics\""));
+    assert!(body.contains("\"flight\""));
+    assert!(body.contains("serve.privacy.identity_bytes_total"));
+    assert_eq!(body, server.metrics_json(), "same renderer as the frame");
+
+    drop(tenant);
+    drop(ops);
+    server.shutdown();
+    let snap = obs.snapshot();
+    assert_eq!(counter_of(&snap, "serve.request.err.metrics_forbidden"), 1);
+    // Both connections spoke TLS 1.2: their client chains crossed in
+    // cleartext, so the exposure meter is nonzero.
+    assert_eq!(counter_of(&snap, "serve.privacy.cleartext_connections"), 2);
+    assert!(counter_of(&snap, "serve.privacy.identity_bytes_total") > 0);
+}
+
+#[test]
+fn every_emitted_metric_name_comes_from_the_taxonomy() {
+    // Drive every family: verdicts, pings, shards, an unknown kind, a
+    // metrics pull (granted and refused), an authz reject, a rogue CA,
+    // and a throttle.
+    let (server, world, obs) = start_demo(2, 1);
+    let addr = server.local_addr().to_string();
+
+    let mut tenant = connect_tenant(&server, &world);
+    let _ = tenant.request_der(&world.sample_der).unwrap();
+    let _ = tenant.request_der(&world.sample_der).unwrap(); // throttles
+    let _ = tenant.request_shard(&world.sample_shard).unwrap();
+    let _ = tenant.ping().unwrap();
+    let _ = tenant.request_raw(0x77, b"?").unwrap();
+    let _ = tenant.request_metrics().unwrap(); // refused, counted
+    drop(tenant);
+
+    let mut ops = ClientSession::connect(&addr, &world.ops_endpoint, None).unwrap();
+    let _ = ops.request_metrics().unwrap();
+    drop(ops);
+
+    assert!(ClientSession::connect(&addr, &world.expired_endpoint, None).is_err());
+    assert!(ClientSession::connect(&addr, &world.rogue_endpoint, None).is_err());
+
+    server.shutdown();
+    let snap = obs.snapshot();
+    assert!(!snap.counters.is_empty());
+    for (name, _) in &snap.counters {
+        assert!(
+            mtls_serve::taxonomy::is_known_metric(name),
+            "counter `{name}` is not minted by the taxonomy"
+        );
+    }
+    for h in &snap.histograms {
+        assert!(
+            mtls_serve::taxonomy::is_known_metric(&h.name),
+            "histogram `{}` is not minted by the taxonomy",
+            h.name
+        );
+    }
+    for (name, _) in &snap.gauges {
+        assert!(
+            mtls_serve::taxonomy::is_known_metric(name),
+            "gauge `{name}` is not minted by the taxonomy"
+        );
+    }
+    // The rogue CA maps to the signature-verification failure, the
+    // expired chain to expiry — per-cause, not a lump.
+    assert_eq!(counter_of(&snap, "serve.authz.err.chain.bad_signature"), 1);
+    assert_eq!(counter_of(&snap, "serve.authz.err.chain.expired"), 1);
+    assert_eq!(counter_of(&snap, "serve.request.err.unknown_kind"), 1);
+    // The 1/s bucket had one token: the second DER and the shard both
+    // throttled (unless the test stalled a full second mid-flight).
+    assert!(counter_of(&snap, "serve.throttled") >= 1);
+}
+
+#[test]
+fn flight_recorder_captures_connection_lifecycles() {
+    let (server, world, _obs) = start_demo(1, 1000);
+    let addr = server.local_addr().to_string();
+
+    let mut client = connect_tenant(&server, &world);
+    let _ = client.request_der(&world.sample_der).unwrap();
+    let _ = client.ping().unwrap();
+    drop(client);
+
+    assert!(ClientSession::connect(&addr, &world.expired_endpoint, None).is_err());
+
+    let events = server.shutdown();
+    assert_eq!(events.len(), 2, "one served + one rejected connection");
+    assert!(
+        events.windows(2).all(|w| w[0].seq < w[1].seq),
+        "dump is seq-ordered"
+    );
+    let served = events
+        .iter()
+        .find(|e| e.tenant_str() == "tenant-alpha")
+        .expect("served connection recorded");
+    assert_eq!(served.close, mtls_obs::flight::close::CLEAN);
+    assert_eq!(served.frames, 2);
+    assert!(served.bytes_in > 0 && served.bytes_out > 0);
+    assert!(served.lifetime_us > 0);
+    let rejected = events
+        .iter()
+        .find(|e| e.tenant_str() == "-")
+        .expect("rejected connection recorded");
+    assert_eq!(rejected.close, mtls_obs::flight::close::AUTHZ);
+    assert_eq!(rejected.frames, 0);
+}
+
+#[test]
+fn latency_and_queue_wait_histograms_fill_in() {
+    let (server, world, obs) = start_demo(2, 1000);
+    let mut client = connect_tenant(&server, &world);
+    for _ in 0..5 {
+        let _ = client.request_der(&world.sample_der).unwrap();
+    }
+    let _ = client.ping().unwrap();
+    drop(client);
+    server.shutdown();
+
+    let snap = obs.snapshot();
+    let hist = |name: &str| {
+        snap.histograms
+            .iter()
+            .find(|h| h.name == name)
+            .map(|h| h.count)
+            .unwrap_or(0)
+    };
+    assert_eq!(hist("serve.latency_us.der"), 5);
+    assert_eq!(hist("serve.latency_us.der.tenant-alpha"), 5);
+    assert_eq!(hist("serve.latency_us.ping"), 1);
+    assert_eq!(hist("serve.queue_wait_us"), 1, "one accepted connection");
+    assert_eq!(hist("serve.handshake_us"), 1);
+    assert_eq!(hist("serve.conn_lifetime_us"), 1);
+    assert_eq!(hist("serve.request_bytes"), 6);
 }
 
 #[test]

@@ -67,7 +67,7 @@ pub mod stream;
 pub mod wire;
 
 pub use handshake::{simulate_handshake, Direction, HandshakeConfig, TranscriptRecord};
-pub use monitor::{observe, ConnectionObservation};
+pub use monitor::{identity_exposure, observe, ConnectionObservation, IdentityExposure};
 pub use msgs::{ClientHello, ServerHello};
 pub use stream::{HandshakeAssembler, RecordDeframer, RecordReader, RecordWriter, StreamError};
 pub use wire::{ContentType, RecordHeader, WireError};

@@ -48,6 +48,88 @@ impl ConnectionObservation {
     pub fn is_mutual_tls(&self) -> bool {
         !self.server_cert_ders.is_empty() && !self.client_cert_ders.is_empty()
     }
+
+    /// Account the cleartext-visible client-identity bytes of this
+    /// observation (see [`identity_exposure`]).
+    pub fn identity_exposure(&self) -> IdentityExposure {
+        identity_exposure(self.version, &self.client_cert_ders)
+    }
+}
+
+/// What a passive observer can learn about the *client's identity* from
+/// one connection — the paper's privacy finding, quantified in bytes.
+///
+/// In TLS 1.2 and below the client Certificate message crosses the wire
+/// unencrypted, so every field of the leaf (CN, SANs, issuer DN) and the
+/// full chain are harvestable by anyone on the path. TLS 1.3 encrypts
+/// the client certificate, so the exposure there is zero by construction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IdentityExposure {
+    /// Whether the client chain was visible in cleartext at all
+    /// (a chain was presented under TLS ≤ 1.2).
+    pub cleartext: bool,
+    /// Certificates in the visible chain.
+    pub chain_len: usize,
+    /// Total DER bytes of the visible chain.
+    pub chain_bytes: u64,
+    /// Bytes of the leaf subject CN (the de-facto identity field).
+    pub leaf_cn_bytes: u64,
+    /// SAN entries on the leaf.
+    pub san_count: u64,
+    /// Display bytes of those SAN entries.
+    pub san_bytes: u64,
+    /// Display bytes of the leaf issuer DN.
+    pub issuer_dn_bytes: u64,
+}
+
+impl IdentityExposure {
+    /// The headline number: identity-bearing bytes a passive observer
+    /// harvested (leaf CN + SANs + issuer DN). Zero for TLS 1.3.
+    pub fn identity_bytes(&self) -> u64 {
+        self.leaf_cn_bytes + self.san_bytes + self.issuer_dn_bytes
+    }
+}
+
+/// Account the cleartext-visible client-identity bytes for a connection
+/// that negotiated `version` and presented `client_chain` (leaf-first
+/// DER blobs, as captured off the wire).
+///
+/// TLS 1.3 returns the zero exposure — the client Certificate flies
+/// encrypted there, which is exactly the contrast the paper draws. An
+/// unparseable leaf still counts its chain bytes (the observer has the
+/// blobs either way) but no field-level identity bytes.
+pub fn identity_exposure(
+    version: Option<TlsVersion>,
+    client_chain: &[Vec<u8>],
+) -> IdentityExposure {
+    if version == Some(TlsVersion::Tls13) || client_chain.is_empty() {
+        return IdentityExposure::default();
+    }
+    let mut exp = IdentityExposure {
+        cleartext: true,
+        chain_len: client_chain.len(),
+        chain_bytes: client_chain.iter().map(|der| der.len() as u64).sum(),
+        ..IdentityExposure::default()
+    };
+    if let Ok(leaf) = mtls_x509::Certificate::from_der(&client_chain[0]) {
+        exp.leaf_cn_bytes = leaf
+            .subject()
+            .common_name()
+            .map(|cn| cn.len() as u64)
+            .unwrap_or(0);
+        exp.issuer_dn_bytes = leaf.issuer().to_display_string().len() as u64;
+        for san in leaf.subject_alt_names() {
+            exp.san_count += 1;
+            exp.san_bytes += match &san {
+                mtls_x509::GeneralName::Email(s)
+                | mtls_x509::GeneralName::Dns(s)
+                | mtls_x509::GeneralName::Uri(s) => s.len() as u64,
+                mtls_x509::GeneralName::Ip(bytes) => bytes.len() as u64,
+                mtls_x509::GeneralName::Other(_, bytes) => bytes.len() as u64,
+            };
+        }
+    }
+    exp
 }
 
 /// Per-direction reassembly state: the record deframer, the handshake
@@ -523,5 +605,110 @@ mod resumption_tests {
         };
         let obs = observe(&simulate_handshake(&cfg)).unwrap();
         assert!(!obs.established);
+    }
+
+    /// A realistic leaf (CN + SANs + issuer DN) for the exposure tests.
+    fn identity_leaf() -> Vec<u8> {
+        use mtls_x509::{CertificateBuilder, DistinguishedName, GeneralName};
+        let key = mtls_crypto::Keypair::from_seed(b"exposure-leaf");
+        CertificateBuilder::new()
+            .issuer(
+                DistinguishedName::builder()
+                    .organization("Campus Private CA")
+                    .common_name("Campus Root")
+                    .build(),
+            )
+            .subject(
+                DistinguishedName::builder()
+                    .common_name("tenant-alpha")
+                    .build(),
+            )
+            .san(vec![
+                GeneralName::Dns("tenant-alpha.campus.example".into()),
+                GeneralName::Email("alpha@campus.example".into()),
+            ])
+            .validity(
+                mtls_asn1::Asn1Time::from_ymd(2022, 1, 1),
+                mtls_asn1::Asn1Time::from_ymd(2023, 1, 1),
+            )
+            .subject_key(key.key_id())
+            .sign(&key)
+            .to_der()
+    }
+
+    #[test]
+    fn tls12_chain_exposes_identity_bytes() {
+        let leaf = identity_leaf();
+        let issuer_blob = vec![0x30, 3, 9, 9, 9];
+        let chain = vec![leaf.clone(), issuer_blob.clone()];
+        let exp = identity_exposure(Some(TlsVersion::Tls12), &chain);
+        assert!(exp.cleartext);
+        assert_eq!(exp.chain_len, 2);
+        assert_eq!(exp.chain_bytes, (leaf.len() + issuer_blob.len()) as u64);
+        assert_eq!(exp.leaf_cn_bytes, "tenant-alpha".len() as u64);
+        assert_eq!(exp.san_count, 2);
+        assert_eq!(
+            exp.san_bytes,
+            ("tenant-alpha.campus.example".len() + "alpha@campus.example".len()) as u64
+        );
+        let leaf_cert = mtls_x509::Certificate::from_der(&leaf).unwrap();
+        assert_eq!(
+            exp.issuer_dn_bytes,
+            leaf_cert.issuer().to_display_string().len() as u64
+        );
+        assert_eq!(
+            exp.identity_bytes(),
+            exp.leaf_cn_bytes + exp.san_bytes + exp.issuer_dn_bytes
+        );
+        assert!(exp.identity_bytes() > 0);
+    }
+
+    #[test]
+    fn tls13_exposure_is_zero_by_construction() {
+        let chain = vec![identity_leaf()];
+        let exp = identity_exposure(Some(TlsVersion::Tls13), &chain);
+        assert_eq!(exp, IdentityExposure::default());
+        assert_eq!(exp.identity_bytes(), 0);
+        assert!(!exp.cleartext);
+    }
+
+    #[test]
+    fn empty_chain_means_no_exposure() {
+        let exp = identity_exposure(Some(TlsVersion::Tls12), &[]);
+        assert_eq!(exp, IdentityExposure::default());
+    }
+
+    #[test]
+    fn unparseable_leaf_still_counts_chain_bytes() {
+        let chain = vec![b"not der at all".to_vec()];
+        let exp = identity_exposure(Some(TlsVersion::Tls11), &chain);
+        assert!(exp.cleartext);
+        assert_eq!(exp.chain_bytes, 14);
+        assert_eq!(exp.identity_bytes(), 0, "no fields parsed");
+    }
+
+    #[test]
+    fn observation_method_routes_version_and_chain() {
+        let cfg = HandshakeConfig {
+            version: TlsVersion::Tls12,
+            sni: None,
+            server_chain: vec![vec![0x30, 3, 1, 1, 1]],
+            request_client_cert: true,
+            client_chain: vec![identity_leaf()],
+            established: true,
+            resumed: false,
+            random_seed: 3,
+        };
+        let obs = observe(&simulate_handshake(&cfg)).unwrap();
+        let exp = obs.identity_exposure();
+        assert!(exp.cleartext);
+        assert!(exp.identity_bytes() > 0);
+
+        let cfg13 = HandshakeConfig {
+            version: TlsVersion::Tls13,
+            ..cfg
+        };
+        let obs13 = observe(&simulate_handshake(&cfg13)).unwrap();
+        assert_eq!(obs13.identity_exposure(), IdentityExposure::default());
     }
 }

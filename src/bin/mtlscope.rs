@@ -4,6 +4,7 @@
 //!   mtlscope serve [--addr HOST:PORT] [--workers N] [--quota N] [--quiet]
 //!   mtlscope bench-client --addr HOST:PORT [--threads N] [--connections N]
 //!                         [--requests N] [--ping-only] [--out FILE]
+//!                         [--metrics] [--metrics-out FILE]
 //!
 //! `serve` starts the demo deployment: a private campus CA is minted
 //! deterministically, the server presents its chain, and any client
@@ -14,10 +15,15 @@
 //!
 //! `bench-client` connects with the demo tenant chain, hammers the
 //! server with pooled keep-alive connections, and prints a latency/
-//! throughput report (optionally as JSON to `--out`).
+//! throughput report (optionally as JSON to `--out`). With `--metrics`
+//! it additionally connects as the demo ops-class tenant and pulls the
+//! server's live metrics + flight-recorder snapshot over the
+//! `REQ_METRICS` admin frame (printed, or saved with `--metrics-out`;
+//! `ci/check_metrics.py --serve` validates the envelope).
 
 use mtls_obs::Obs;
 use mtls_serve::bench::{run_bench, BenchConfig};
+use mtls_serve::client::{ClientSession, Response};
 use mtls_serve::demo::{demo_server_config, demo_world};
 use mtls_serve::server::Server;
 use std::io::Write as _;
@@ -80,6 +86,8 @@ fn cmd_bench(mut args: std::env::Args) {
     let mut requests = 5000usize;
     let mut ping_only = false;
     let mut out: Option<String> = None;
+    let mut metrics = false;
+    let mut metrics_out: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = Some(parse_flag(&mut args, "--addr")),
@@ -88,6 +96,11 @@ fn cmd_bench(mut args: std::env::Args) {
             "--requests" => requests = parse_flag(&mut args, "--requests"),
             "--ping-only" => ping_only = true,
             "--out" => out = Some(parse_flag(&mut args, "--out")),
+            "--metrics" => metrics = true,
+            "--metrics-out" => {
+                metrics = true;
+                metrics_out = Some(parse_flag(&mut args, "--metrics-out"));
+            }
             other => die(&format!("unknown bench-client flag {other}")),
         }
     }
@@ -155,6 +168,31 @@ fn cmd_bench(mut args: std::env::Args) {
             .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
         eprintln!("bench-client: wrote {path}");
     }
+
+    if metrics {
+        // The admin frame needs an ops-class identity; the demo world
+        // mints one (leaf OU `mtlscope-ops`) alongside the tenant chain.
+        let mut ops = ClientSession::connect(
+            &cfg.addr,
+            &world.ops_endpoint,
+            Some("mtlscope-serve.campus.example"),
+        )
+        .unwrap_or_else(|e| die(&format!("metrics connect (ops chain): {e}")));
+        let envelope = match ops.request_metrics() {
+            Ok(Response::Metrics(json)) => json,
+            Ok(Response::Error(msg)) => die(&format!("metrics refused: {msg}")),
+            Ok(other) => die(&format!("metrics: unexpected response {other:?}")),
+            Err(e) => die(&format!("metrics round trip: {e}")),
+        };
+        match metrics_out {
+            Some(path) => {
+                std::fs::write(&path, &envelope)
+                    .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+                eprintln!("bench-client: wrote metrics snapshot to {path}");
+            }
+            None => print!("{envelope}"),
+        }
+    }
 }
 
 fn main() {
@@ -167,7 +205,8 @@ fn main() {
             eprintln!(
                 "usage: mtlscope serve [--addr HOST:PORT] [--workers N] [--quota N] [--quiet]\n\
                         mtlscope bench-client --addr HOST:PORT [--threads N] [--connections N]\n\
-                 \x20                        [--requests N] [--ping-only] [--out FILE]"
+                 \x20                        [--requests N] [--ping-only] [--out FILE]\n\
+                 \x20                        [--metrics] [--metrics-out FILE]"
             );
         }
         Some(other) => die(&format!("unknown subcommand {other}")),
