@@ -40,6 +40,34 @@ REQUIRED_PATHS = [
 SPAN_FIELDS = {"path", "name", "depth", "count", "total_micros",
                "min_micros", "max_micros"}
 
+# The ct.* counter schema registered by the pipeline's CT verification
+# stage (crates/core/src/pipeline.rs, record_corpus_metrics). All names
+# are zero-registered so the schema is stable across corpora.
+CT_COUNTERS = [
+    "ct.proofs_mode",
+    "ct.logs_observed",
+    "ct.sths_observed",
+    "ct.sth_signature_failures",
+    "ct.consistency_proofs_verified",
+    "ct.consistency_proofs_failed",
+    "ct.split_views_detected",
+    "ct.entries_verified",
+    "ct.entries_rejected",
+    "ct.inclusion_proofs_verified",
+    "ct.inclusion_proofs_failed",
+    "ct.stripped_certs_excluded",
+    "ct.stripped_conns_excluded",
+]
+# Counters that must stay zero on the clean CI fixture.
+CT_CLEAN_ZERO = [
+    "ct.sth_signature_failures",
+    "ct.consistency_proofs_failed",
+    "ct.split_views_detected",
+    "ct.entries_rejected",
+    "ct.stripped_certs_excluded",
+    "ct.stripped_conns_excluded",
+]
+
 
 def fail(msg):
     print(f"check_metrics: FAIL: {msg}", file=sys.stderr)
@@ -88,6 +116,28 @@ def main(path):
         fail("counter ingest.rows_parsed missing or zero")
     if counters.get("export.files", 0) <= 0:
         fail("counter export.files missing or zero")
+
+    # The CT verification stage registers its full counter schema even at
+    # zero, so every name must be present on any run. The CI fixture is a
+    # clean corpus: gossip evidence exists (proofs mode on, proofs verify)
+    # and nothing adversarial may fire.
+    for name in CT_COUNTERS:
+        if name not in counters:
+            fail(f"counter {name!r} missing — the ct.* schema must be "
+                 f"registered even at zero")
+        value = counters[name]
+        if not isinstance(value, int) or value < 0:
+            fail(f"counter {name!r} has non-counter value {value!r}")
+    if counters.get("ct.proofs_mode", 0) != 1:
+        fail("ct.proofs_mode != 1 — fixture is missing ct_gossip.log, so "
+             "the filter fell back to the legacy bare-issuer path")
+    if counters.get("ct.sths_observed", 0) < 2:
+        fail("fewer than two STHs observed — no cross-vantage gossip")
+    if counters.get("ct.consistency_proofs_verified", 0) < 1:
+        fail("no consistency proof verified on a clean corpus")
+    for name in CT_CLEAN_ZERO:
+        if counters.get(name, 0) != 0:
+            fail(f"clean CI corpus but {name} = {counters[name]}")
 
     print(f"check_metrics: ok — {len(spans)} spans "
           f"({len(shard_spans)} shards), {len(counters)} counters, "

@@ -198,6 +198,7 @@ fn bench_ingest_end_to_end(c: &mut Criterion) {
                 ssl,
                 x509,
                 ct: template.ct.clone(),
+                gossip: template.gossip.clone(),
                 meta: template.meta.clone(),
             };
             // The seed's Corpus::build cloned every record out of borrowed

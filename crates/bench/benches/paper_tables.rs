@@ -39,6 +39,7 @@ fn bench_pipeline(c: &mut Criterion) {
                 ssl: sim.ssl.clone(),
                 x509: sim.x509.clone(),
                 ct: sim.ct.clone(),
+                gossip: sim.gossip.clone(),
             });
             black_box(out.tab1.all.total)
         })

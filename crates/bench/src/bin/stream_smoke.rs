@@ -118,11 +118,11 @@ fn phase_stream(dir: &Path, window: Option<usize>) {
         window_months: window,
     };
     let t = Instant::now();
-    let (parts, ct, _diag) =
+    let (parts, ct, gossip, _diag) =
         mtls_core::load_dir_streaming_obs(dir, IngestMode::Strict, opts, &obs, None)
             .expect("streaming load");
     let summary = parts.summary.clone();
-    let out = run_pipeline_streamed_parallel_obs(parts, &ct, &obs, None);
+    let out = run_pipeline_streamed_parallel_obs(parts, &ct, &gossip, &obs, None);
     let wall_ms = t.elapsed().as_millis();
     let sha = report_sha(&out.render_all());
     println!(

@@ -125,6 +125,27 @@ pub fn golden_seeds() -> Vec<(&'static str, Vec<u8>)> {
             .to_vec(),
     ));
 
+    // CT gossip wire formats, minted from a small log so the mutation
+    // engine corrupts genuine STHs and proofs, not hand-rolled bytes.
+    {
+        let mut log = mtls_pki::CtLog::with_key_seed(b"conform-ct-log");
+        log.submit(&full);
+        log.submit(ca.certificate());
+        seeds.push(("ct_sth", log.sth(1_651_363_200).to_bytes()));
+        seeds.push((
+            "ct_inclusion_proof",
+            log.prove_inclusion(0, log.len() as u64)
+                .expect("inclusion proof")
+                .to_bytes(),
+        ));
+        seeds.push((
+            "ct_consistency_proof",
+            log.prove_consistency(1, log.len() as u64)
+                .expect("consistency proof")
+                .to_bytes(),
+        ));
+    }
+
     // A DN carrying the legacy string encodings (T61 Latin-1, BMP
     // UTF-16BE) that only the lossy reader accepts.
     let mut w = DerWriter::new();
@@ -328,6 +349,9 @@ mod tests {
             "ext_value_san",
             "ext_value_eku",
             "time_content_utc",
+            "ct_sth",
+            "ct_inclusion_proof",
+            "ct_consistency_proof",
         ] {
             assert!(seeds.iter().any(|(n, _)| *n == name), "missing {name}");
         }
@@ -361,6 +385,24 @@ mod tests {
                 .unwrap()
                 .1;
             assert_eq!(cert_outcome, Outcome::Identical, "{name}");
+        }
+    }
+
+    #[test]
+    fn golden_ct_wire_seeds_round_trip_identically() {
+        let seeds = golden_seeds();
+        for (name, entry) in [
+            ("ct_sth", "pki/sth"),
+            ("ct_inclusion_proof", "pki/inclusion_proof"),
+            ("ct_consistency_proof", "pki/consistency_proof"),
+        ] {
+            let (_, bytes) = seeds.iter().find(|(n, _)| *n == name).unwrap();
+            let outcome = run_case(bytes)
+                .into_iter()
+                .find(|(e, _)| *e == entry)
+                .unwrap()
+                .1;
+            assert_eq!(outcome, Outcome::Identical, "{name}");
         }
     }
 }

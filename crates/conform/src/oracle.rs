@@ -189,6 +189,18 @@ pub const ENTRY_POINTS: &[EntryPoint] = &[
         run: ep_crl,
     },
     EntryPoint {
+        name: "pki/sth",
+        run: ep_sth,
+    },
+    EntryPoint {
+        name: "pki/inclusion_proof",
+        run: ep_inclusion_proof,
+    },
+    EntryPoint {
+        name: "pki/consistency_proof",
+        run: ep_consistency_proof,
+    },
+    EntryPoint {
         name: "tlssim/record_stream",
         run: ep_record_stream,
     },
@@ -948,6 +960,29 @@ fn ep_crl(input: &[u8]) -> Outcome {
         },
         crl_encode,
     )
+}
+
+/// CT signed tree head, a fixed-length strict wire format: every accepted
+/// input must re-serialize byte-identically.
+fn ep_sth(input: &[u8]) -> Outcome {
+    differential_exact(input, mtls_pki::SignedTreeHead::from_bytes, |sth| {
+        sth.to_bytes()
+    })
+}
+
+/// CT inclusion proof (version || log id || sizes || path). The parser is
+/// exact-length and bounds the path, so round-trips are byte-identical.
+fn ep_inclusion_proof(input: &[u8]) -> Outcome {
+    differential_exact(input, mtls_pki::InclusionProof::from_bytes, |p| {
+        p.to_bytes()
+    })
+}
+
+/// CT consistency proof, same strict framing as the inclusion proof.
+fn ep_consistency_proof(input: &[u8]) -> Outcome {
+    differential_exact(input, mtls_pki::ConsistencyProof::from_bytes, |p| {
+        p.to_bytes()
+    })
 }
 
 // ---------------------------------------------------------------------------

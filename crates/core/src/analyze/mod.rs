@@ -8,6 +8,7 @@ pub mod audit;
 pub mod cert_census;
 pub mod cert_sharing;
 pub mod cn_san_usage;
+pub mod ct_report;
 pub mod dummy_issuers;
 pub mod expired;
 pub mod generalization;

@@ -4,10 +4,13 @@
 //!   repro [--seed N] [--scale F] [--logs DIR] [--out FILE] [--tsv DIR]
 //!         [--from-logs DIR] [--strict | --lenient]
 //!         [--max-error-rate FRACTION] [--stream] [--window Nmo]
-//!         [--metrics[=PATH]] [--progress] [--quiet]
+//!         [--ct-legacy] [--metrics[=PATH]] [--progress] [--quiet]
 //!
 //! `--from-logs DIR` skips generation and analyzes an existing log
 //! directory (unrotated or monthly-rotated, with meta.tsv and ct.log).
+//! `--ct-legacy` discards the CT gossip evidence (ct_gossip.log) so the
+//! interception filter falls back to the legacy bare-issuer comparison —
+//! useful for A/B-ing the proof-carrying filter against the old one.
 //! `--strict` (default) aborts on the first malformed row; `--lenient`
 //! skips malformed rows and quarantines unreadable shards, printing the
 //! ingest diagnostics with the report. `--max-error-rate 0.01` aborts a
@@ -57,6 +60,7 @@ struct Args {
     max_error_rate: Option<f64>,
     stream: bool,
     window: Option<usize>,
+    ct_legacy: bool,
     /// `None` = metrics off; `Some(None)` = on, default location;
     /// `Some(Some(path))` = on, explicit location.
     metrics: Option<Option<String>>,
@@ -74,6 +78,7 @@ fn parse_args() -> Args {
     let mut max_error_rate = None;
     let mut stream = false;
     let mut window = None;
+    let mut ct_legacy = false;
     let mut metrics = None;
     let mut progress = false;
     let mut quiet = false;
@@ -128,6 +133,7 @@ fn parse_args() -> Args {
                 window = Some(months);
                 stream = true; // a rolling window only exists while streaming
             }
+            "--ct-legacy" => ct_legacy = true,
             "--metrics" => metrics = Some(None),
             "--progress" => progress = true,
             "--quiet" => quiet = true,
@@ -135,7 +141,8 @@ fn parse_args() -> Args {
                 eprintln!(
                     "usage: repro [--seed N] [--scale F] [--logs DIR] [--out FILE] [--tsv DIR] \
                      [--from-logs DIR] [--strict | --lenient] [--max-error-rate FRACTION] \
-                     [--stream] [--window Nmo] [--metrics[=PATH]] [--progress] [--quiet]"
+                     [--stream] [--window Nmo] [--ct-legacy] [--metrics[=PATH]] \
+                     [--progress] [--quiet]"
                 );
                 std::process::exit(0);
             }
@@ -159,6 +166,7 @@ fn parse_args() -> Args {
         max_error_rate,
         stream,
         window,
+        ct_legacy,
         metrics,
         progress,
         quiet,
@@ -212,7 +220,11 @@ fn main() {
     // parts (pre-merged epoch aggregates plus the CT log).
     enum Loaded {
         Batch(AnalysisInputs),
-        Streamed(mtls_core::StreamParts, mtls_pki::ctlog::CtLog),
+        Streamed(
+            mtls_core::StreamParts,
+            mtls_pki::ctlog::CtLog,
+            mtls_pki::GossipBundle,
+        ),
     }
 
     let mut ingest_diag = None;
@@ -232,7 +244,7 @@ fn main() {
                 window_months: args.window,
             };
             match mtls_core::ingest::load_dir_streaming_obs(path, args.mode, opts, &obs, run_id) {
-                Ok((parts, ct, diag)) => {
+                Ok((parts, ct, gossip, diag)) => {
                     console.status(format!(
                         "  {} connections, {} certificate rows live ({} epochs pushed, \
                          {} retired, peak footprint {} MiB)",
@@ -242,7 +254,7 @@ fn main() {
                         parts.summary.epochs_retired,
                         parts.summary.peak_footprint_bytes / (1024 * 1024),
                     ));
-                    (Loaded::Streamed(parts, ct), diag)
+                    (Loaded::Streamed(parts, ct, gossip), diag)
                 }
                 Err(e) => {
                     console.error(format!("failed to load {dir}: {e}"));
@@ -319,17 +331,34 @@ fn main() {
                 parts.summary.epochs_retired,
                 parts.summary.peak_footprint_bytes / (1024 * 1024),
             ));
-            Loaded::Streamed(parts, inputs.ct)
+            Loaded::Streamed(parts, inputs.ct, inputs.gossip)
         } else {
             Loaded::Batch(inputs)
         }
+    };
+    // --ct-legacy: drop the gossip evidence so the pipeline takes the
+    // legacy bare-issuer interception path.
+    let loaded = if args.ct_legacy {
+        match loaded {
+            Loaded::Batch(mut inputs) => {
+                inputs.gossip = mtls_pki::GossipBundle::default();
+                Loaded::Batch(inputs)
+            }
+            Loaded::Streamed(parts, ct, _) => {
+                Loaded::Streamed(parts, ct, mtls_pki::GossipBundle::default())
+            }
+        }
+    } else {
+        loaded
     };
 
     let t1 = std::time::Instant::now();
     console.status("running analysis pipeline...");
     let output = match loaded {
         Loaded::Batch(inputs) => run_pipeline_parallel_obs(inputs, &obs, run_id),
-        Loaded::Streamed(parts, ct) => run_pipeline_streamed_parallel_obs(parts, &ct, &obs, run_id),
+        Loaded::Streamed(parts, ct, gossip) => {
+            run_pipeline_streamed_parallel_obs(parts, &ct, &gossip, &obs, run_id)
+        }
     };
     console.status(format!("  analyzed in {:?}", t1.elapsed()));
 

@@ -270,6 +270,10 @@ pub struct MetaKnowledge {
     /// Publicly published provider prefixes (§3.3 attribution).
     pub cloud_nets: Vec<(Ipv4, u8)>,
     pub non_mtls_weight: f64,
+    /// Ground truth: hex log ids the simulator deliberately forked (empty
+    /// on clean corpora and on real captures — it exists so the split-view
+    /// detector's recall is measurable, experiment `ct1`).
+    pub ct_forked_logs: Vec<String>,
 }
 
 impl MetaKnowledge {
@@ -286,6 +290,7 @@ impl MetaKnowledge {
             globus_slds: meta.globus_slds.clone(),
             cloud_nets: meta.cloud_nets.clone(),
             non_mtls_weight: meta.non_mtls_weight,
+            ct_forked_logs: meta.ct_forked_logs.clone(),
         }
     }
 
@@ -346,6 +351,36 @@ impl MetaKnowledge {
     }
 }
 
+/// What the CT verification stage concluded, attached to the corpus by the
+/// pipeline (default-empty when the legacy bare-issuer filter ran — i.e.
+/// when no gossip evidence accompanied the input).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CtSummary {
+    /// Whether the proof-carrying filter ran (gossip evidence present).
+    pub proofs_mode: bool,
+    /// Distinct logs the gossip observations cover.
+    pub logs_observed: usize,
+    /// Signed tree heads observed across all vantage points.
+    pub sths_observed: usize,
+    /// STHs whose signature did not verify against the log key.
+    pub signature_failures: usize,
+    /// Adjacent STH pairs proven consistent / failed.
+    pub consistency_verified: usize,
+    pub consistency_failed: usize,
+    /// Hex log ids flagged as split views.
+    pub split_view_logs: Vec<String>,
+    /// CT entries accepted / rejected by the verification stage.
+    pub entries_verified: usize,
+    pub entries_rejected: usize,
+    /// Per-entry inclusion proofs that verified / failed (only nonzero
+    /// when a split view forced entry-level salvage).
+    pub inclusion_proofs_verified: usize,
+    pub inclusion_proofs_failed: usize,
+    /// Certificates / connections excluded as SCT-stripping.
+    pub stripped_certs: usize,
+    pub stripped_conns: usize,
+}
+
 /// Static (connection-independent) classification of one `x509.log` row:
 /// the public-CA verdict, the issuer category, and the recognizable-
 /// generator flag. One implementation shared by [`Corpus::build`] and the
@@ -388,6 +423,9 @@ pub struct Corpus {
     interner: Interner,
     /// Interception issuers identified during preprocessing.
     pub interception_issuers: Vec<String>,
+    /// CT verification summary (default-empty under the legacy filter;
+    /// populated by the pipeline when gossip evidence was present).
+    pub ct: CtSummary,
     /// Count of certificates excluded as interception.
     pub excluded_certs: usize,
     /// Chain references in ssl.log whose fingerprint has no x509.log row.
@@ -672,6 +710,7 @@ impl Corpus {
             fp_index,
             interner,
             interception_issuers,
+            ct: CtSummary::default(),
             excluded_certs,
             dangling_fp_refs,
             dangling_fps: dangling_seen.len(),
@@ -743,6 +782,7 @@ mod tests {
             globus_slds: vec!["globus.org".into()],
             cloud_nets: vec![(Ipv4::new(18, 204, 0, 0), 16)],
             non_mtls_weight: 40.0,
+            ct_forked_logs: vec![],
         }
     }
 

@@ -422,6 +422,7 @@ mod tests {
             tab13: a::info_types::run(&corpus, a::info_types::Slice::SharedCerts),
             tab14: a::info_types::run(&corpus, a::info_types::Slice::NonMtlsServers),
             pre1: a::interception_report::run(&corpus),
+            ct1: a::ct_report::run(&corpus),
             ext1: a::audit::run(&corpus),
             ext2: a::tracking::run(&corpus),
             gen1: a::generalization::run(&corpus),

@@ -5,6 +5,9 @@
 //! * `ssl.log` / `x509.log` — unrotated singletons, or
 //! * `ssl.YYYY-MM.log` / `x509.YYYY-MM.log` — Zeek-style monthly rotation;
 //! * `ct.log` — tab-separated (domain, issuer, fingerprint) triples;
+//! * `ct_gossip.log` — optional STH/proof gossip evidence (see
+//!   [`mtls_pki::GossipBundle`]); absent on pre-gossip corpora and real
+//!   captures, in which case the legacy interception filter runs;
 //! * `meta.tsv` — the out-of-band knowledge (`key<TAB>value` lines).
 //!
 //! Every loader runs in one of two [`IngestMode`]s. [`IngestMode::Strict`]
@@ -24,6 +27,7 @@ use crate::report::{count, fmt_micros, Table};
 use crate::stream::{CorpusBuilder, StreamParts};
 use mtls_obs::{Obs, SpanId};
 use mtls_pki::ctlog::{CtEntry, CtLog};
+use mtls_pki::GossipBundle;
 use mtls_zeek::{IngestMode, IngestStats, Ipv4, ShardDiag, TsvError, ERROR_KINDS};
 use std::io::BufReader;
 use std::path::Path;
@@ -332,6 +336,8 @@ fn parse_meta(
         non_mtls_weight: get("non_mtls_weight")?
             .parse()
             .map_err(|_| IngestError::BadMeta("non_mtls_weight".into()))?,
+        // Optional: only simulated corpora with a planted CT fork carry it.
+        ct_forked_logs: list(get("ct_forked_logs").unwrap_or_default()),
     };
     diag.wall_micros = span.finish().as_micros() as u64;
     if obs.enabled() {
@@ -360,6 +366,17 @@ fn parse_ct(path: &Path) -> Result<CtLog, IngestError> {
         });
     }
     Ok(CtLog::from_entries(entries))
+}
+
+/// Parse the optional `ct_gossip.log` (STHs, consistency and inclusion
+/// proofs, log keys — see [`GossipBundle::to_tsv`]). Absent file → empty
+/// bundle → the pipeline runs its legacy bare-issuer filter.
+fn parse_gossip(path: &Path) -> Result<GossipBundle, IngestError> {
+    if !path.exists() {
+        return Ok(GossipBundle::default());
+    }
+    let text = std::fs::read_to_string(path)?;
+    Ok(GossipBundle::from_tsv(&text))
 }
 
 /// A mode-aware TSV reader over an opened singleton log file.
@@ -469,7 +486,8 @@ pub fn load_dir_obs(
         let ct_handle = s.spawn(move || {
             let span = obs.span(ingest_id, "ct");
             let res = parse_ct(&dir.join("ct.log"));
-            (res, span.finish().as_micros() as u64)
+            let gossip = parse_gossip(&dir.join("ct_gossip.log"));
+            (res, gossip, span.finish().as_micros() as u64)
         });
 
         let logs_span = obs.span(ingest_id, "logs");
@@ -510,8 +528,9 @@ pub fn load_dir_obs(
 
         // Surface errors in the serial loader's order: meta, ct, logs.
         let (meta, meta_diag) = meta_handle.join().expect("meta parser panicked")?;
-        let (ct_res, ct_micros) = ct_handle.join().expect("ct parser panicked");
+        let (ct_res, gossip_res, ct_micros) = ct_handle.join().expect("ct parser panicked");
         let ct = ct_res?;
+        let gossip = gossip_res?;
         let (ssl, x509, mut stats) = logs?;
         stats.wall_micros = logs_micros;
         let diagnostics = IngestDiagnostics {
@@ -529,6 +548,7 @@ pub fn load_dir_obs(
                 ssl,
                 x509,
                 ct,
+                gossip,
                 meta,
             },
             diagnostics,
@@ -566,6 +586,7 @@ pub fn load_dir_serial_obs(
         let (meta, meta_diag) = parse_meta(&dir.join("meta.tsv"), mode, obs, ingest_id)?;
         let ct_span = obs.span(ingest_id, "ct");
         let ct = parse_ct(&dir.join("ct.log"))?;
+        let gossip = parse_gossip(&dir.join("ct_gossip.log"))?;
         let ct_micros = ct_span.finish().as_micros() as u64;
 
         let logs_span = obs.span(ingest_id, "logs");
@@ -613,6 +634,7 @@ pub fn load_dir_serial_obs(
                 ssl,
                 x509,
                 ct,
+                gossip,
                 meta,
             },
             diagnostics,
@@ -656,13 +678,14 @@ pub fn load_dir_streaming_obs(
     opts: StreamOptions,
     obs: &Obs,
     parent: Option<SpanId>,
-) -> Result<(StreamParts, CtLog, IngestDiagnostics), IngestError> {
+) -> Result<(StreamParts, CtLog, GossipBundle, IngestDiagnostics), IngestError> {
     let ingest_span = obs.span(parent, "ingest");
     let ingest_id = ingest_span.id();
     let result = (|| {
         let (meta, meta_diag) = parse_meta(&dir.join("meta.tsv"), mode, obs, ingest_id)?;
         let ct_span = obs.span(ingest_id, "ct");
         let ct = parse_ct(&dir.join("ct.log"))?;
+        let gossip = parse_gossip(&dir.join("ct_gossip.log"))?;
         let ct_micros = ct_span.finish().as_micros() as u64;
 
         let logs_span = obs.span(ingest_id, "logs");
@@ -724,14 +747,14 @@ pub fn load_dir_streaming_obs(
             logs_micros,
             total_micros: 0, // stamped below, once the ingest span closes
         };
-        Ok((builder.finish(), ct, diagnostics))
+        Ok((builder.finish(), ct, gossip, diagnostics))
     })();
     let total_micros = ingest_span.finish().as_micros() as u64;
     result.map(
-        |(parts, ct, mut diag): (StreamParts, CtLog, IngestDiagnostics)| {
+        |(parts, ct, gossip, mut diag): (StreamParts, CtLog, GossipBundle, IngestDiagnostics)| {
             diag.total_micros = total_micros;
             record_throughput(obs, &diag);
-            (parts, ct, diag)
+            (parts, ct, gossip, diag)
         },
     )
 }
@@ -930,7 +953,7 @@ mod tests {
         text.push_str("garbage\nmore\tgarbage\nworse\n");
         std::fs::write(&victim, text).unwrap();
 
-        let (parts, _ct, diag) = load_dir_streaming_obs(
+        let (parts, _ct, _gossip, diag) = load_dir_streaming_obs(
             &dir,
             IngestMode::Lenient,
             StreamOptions::default(),

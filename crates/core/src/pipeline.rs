@@ -1,11 +1,11 @@
 //! End-to-end pipeline: interception filtering → corpus → all analyzers.
 
 use crate::analyze;
-use crate::corpus::{Corpus, MetaKnowledge};
+use crate::corpus::{Corpus, CtSummary, MetaKnowledge};
 use crate::stream::StreamParts;
 use mtls_intern::{FxHashMap, FxHashSet, Interner, Symbol};
 use mtls_obs::{Obs, SpanId};
-use mtls_pki::CtLog;
+use mtls_pki::{CtLog, GossipBundle};
 use mtls_zeek::{SslRecord, X509Record};
 
 /// Everything the pipeline consumes.
@@ -14,6 +14,10 @@ pub struct AnalysisInputs {
     pub ssl: Vec<SslRecord>,
     pub x509: Vec<X509Record>,
     pub ct: CtLog,
+    /// STH/proof evidence exchanged by the gossip vantage points. An empty
+    /// bundle selects the legacy bare-issuer filter; a populated one makes
+    /// preprocessing demand verifiable CT evidence ([`ctverify`]).
+    pub gossip: GossipBundle,
     pub meta: MetaKnowledge,
 }
 
@@ -25,6 +29,7 @@ impl AnalysisInputs {
             ssl: out.ssl,
             x509: out.x509,
             ct: out.ct,
+            gossip: out.gossip,
         }
     }
 }
@@ -38,8 +43,8 @@ impl AnalysisInputs {
 pub mod interception {
     use super::*;
 
-    const MIN_CERTS: usize = 3;
-    const CANDIDATE_SHARE: f64 = 0.8;
+    pub(crate) const MIN_CERTS: usize = 3;
+    pub(crate) const CANDIDATE_SHARE: f64 = 0.8;
 
     /// The per-certificate half of the filter: is this certificate's
     /// domain known to CT under a *different* issuer? Shared with the
@@ -77,13 +82,25 @@ pub mod interception {
         candidate_share: f64,
         interner: &mut Interner,
     ) -> (FxHashSet<Symbol>, Vec<String>) {
+        aggregate(ssl, x509, meta, min_certs, candidate_share, interner, |c| {
+            is_candidate(c, ct)
+        })
+    }
+
+    /// The issuer-aggregation half, generic over the per-certificate
+    /// candidate predicate so the legacy (bare [`CtLog`]) and verified
+    /// ([`super::ctverify`]) paths share one body and can never drift.
+    pub(crate) fn aggregate(
+        ssl: &[SslRecord],
+        x509: &[X509Record],
+        meta: &MetaKnowledge,
+        min_certs: usize,
+        candidate_share: f64,
+        interner: &mut Interner,
+        is_cand: impl Fn(&X509Record) -> bool,
+    ) -> (FxHashSet<Symbol>, Vec<String>) {
         // Which fingerprints are used as server leaves?
-        let mut server_fps: FxHashSet<&str> = FxHashSet::default();
-        for rec in ssl {
-            if let Some(fp) = rec.cert_chain_fps.first() {
-                server_fps.insert(fp);
-            }
-        }
+        let server_fps = server_leaf_fps(ssl);
 
         // Per private issuer: total server certs and candidate certs.
         let mut per_issuer: FxHashMap<&str, (usize, usize, Vec<Symbol>)> = FxHashMap::default();
@@ -97,7 +114,7 @@ pub mod interception {
             let Some(org) = cert.issuer_org.as_deref() else {
                 continue; // empty issuers are a different pathology
             };
-            let candidate = is_candidate(cert, ct);
+            let candidate = is_cand(cert);
             let fp_sym = if candidate {
                 Some(interner.intern(&cert.fingerprint))
             } else {
@@ -122,6 +139,119 @@ pub mod interception {
         issuers.sort();
         (excluded, issuers)
     }
+
+    /// Fingerprints presented as server leaves anywhere in the capture.
+    pub(crate) fn server_leaf_fps(ssl: &[SslRecord]) -> FxHashSet<&str> {
+        let mut server_fps: FxHashSet<&str> = FxHashSet::default();
+        for rec in ssl {
+            if let Some(fp) = rec.cert_chain_fps.first() {
+                server_fps.insert(fp);
+            }
+        }
+        server_fps
+    }
+}
+
+/// The proof-carrying §3.2 preprocessing stage. Instead of comparing the
+/// observed issuer against whatever the (possibly equivocating) CT log
+/// *claims*, it first audits the gossip evidence
+/// ([`mtls_pki::SplitViewDetector`]), narrows the log to entries the
+/// evidence supports ([`mtls_pki::VerifiedCt`]), runs the interception
+/// filter over that verified view, and finally flags SCT-stripped twins of
+/// logged certificates.
+pub mod ctverify {
+    use super::*;
+    use mtls_pki::{SplitViewDetector, VerifiedCt};
+
+    /// Is this certificate's domain known to *verified* CT under a
+    /// different issuer? The verified twin of
+    /// [`interception::is_candidate`].
+    pub fn is_candidate_verified(cert: &X509Record, ct: &VerifiedCt) -> bool {
+        cert.san_dns
+            .iter()
+            .chain(cert.subject_cn.iter())
+            .any(|domain| ct.contains_domain(domain) && !ct.domain_has_issuer(domain, &cert.issuer))
+    }
+
+    /// Run the full verified filter: gossip audit → entry verification →
+    /// issuer aggregation → SCT-strip detection. Returns the combined
+    /// exclusion set (interception + stripped), the interception issuer
+    /// list, and the [`CtSummary`] for the `ct1` report.
+    pub fn filter(
+        ssl: &[SslRecord],
+        x509: &[X509Record],
+        ct: &CtLog,
+        gossip: &GossipBundle,
+        meta: &MetaKnowledge,
+        interner: &mut Interner,
+    ) -> (FxHashSet<Symbol>, Vec<String>, CtSummary) {
+        let audit = SplitViewDetector::audit(gossip);
+        let (verified, stats) = VerifiedCt::build(ct, &audit, gossip);
+
+        let (mut excluded, issuers) = interception::aggregate(
+            ssl,
+            x509,
+            meta,
+            interception::MIN_CERTS,
+            interception::CANDIDATE_SHARE,
+            interner,
+            |cert| is_candidate_verified(cert, &verified),
+        );
+
+        // SCT-strip detection: a middlebox that strips SCTs forwards a
+        // certificate whose *exact* FQDN verified CT knows under the same
+        // (public) issuer — yet the precise fingerprint was never logged.
+        // Exact-domain matching only: wildcard/SLD matches would flag
+        // unrelated unlogged renewals sharing a registered domain.
+        let server_fps = interception::server_leaf_fps(ssl);
+        let mut stripped_syms: FxHashSet<Symbol> = FxHashSet::default();
+        let mut stripped_fps: FxHashSet<&str> = FxHashSet::default();
+        for cert in x509 {
+            if !server_fps.contains(cert.fingerprint.as_str()) {
+                continue;
+            }
+            if !meta.issuer_is_public(cert.issuer_org.as_deref()) {
+                continue;
+            }
+            let is_stripped = cert.san_dns.iter().chain(cert.subject_cn.iter()).any(|d| {
+                verified.exact_domain_has_issuer(d, &cert.issuer)
+                    && !verified.exact_domain_has_fingerprint(d, &cert.fingerprint)
+            });
+            if is_stripped {
+                stripped_syms.insert(interner.intern(&cert.fingerprint));
+                stripped_fps.insert(cert.fingerprint.as_str());
+            }
+        }
+        let stripped_conns = ssl
+            .iter()
+            .filter(|rec| {
+                rec.cert_chain_fps
+                    .first()
+                    .is_some_and(|fp| stripped_fps.contains(fp.as_str()))
+            })
+            .count();
+        excluded.extend(stripped_syms.iter().copied());
+
+        let sum = |f: fn(&mtls_pki::gossip::LogAudit) -> usize| -> usize {
+            audit.logs.iter().map(f).sum()
+        };
+        let summary = CtSummary {
+            proofs_mode: true,
+            logs_observed: audit.logs.len(),
+            sths_observed: sum(|l| l.sths),
+            signature_failures: sum(|l| l.signature_failures),
+            consistency_verified: sum(|l| l.consistency_verified),
+            consistency_failed: sum(|l| l.consistency_failed),
+            split_view_logs: audit.split_view_log_ids(),
+            entries_verified: stats.entries_verified,
+            entries_rejected: stats.entries_rejected,
+            inclusion_proofs_verified: stats.inclusion_proofs_verified,
+            inclusion_proofs_failed: stats.inclusion_proofs_failed,
+            stripped_certs: stripped_syms.len(),
+            stripped_conns,
+        };
+        (excluded, issuers, summary)
+    }
 }
 
 /// Every report the pipeline produces (one per experiment in DESIGN.md §3).
@@ -145,6 +275,8 @@ pub struct PipelineOutput {
     pub tab13: analyze::info_types::Report,
     pub tab14: analyze::info_types::Report,
     pub pre1: analyze::interception_report::Report,
+    /// CT verification & gossip summary (experiment `ct1`).
+    pub ct1: analyze::ct_report::Report,
     /// Extension experiments (DESIGN.md §3: ext1/ext2).
     pub ext1: analyze::audit::Report,
     pub ext2: analyze::tracking::Report,
@@ -158,6 +290,7 @@ impl PipelineOutput {
         let mut out = String::new();
         for section in [
             self.pre1.render(),
+            self.ct1.render(),
             self.fig1.render(),
             self.tab1.render(),
             self.tab2.render(),
@@ -197,16 +330,17 @@ pub fn build_corpus(inputs: AnalysisInputs) -> Corpus {
 /// (certs, connections, interned strings) and interception counters.
 pub fn build_corpus_obs(inputs: AnalysisInputs, obs: &Obs, parent: Option<SpanId>) -> Corpus {
     let mut interner = Interner::with_capacity(inputs.x509.len());
-    let (excluded, issuers) = obs.time(parent, "interception_filter", || {
-        interception::filter(
+    let (excluded, issuers, ct_summary) = obs.time(parent, "interception_filter", || {
+        run_ct_filter(
             &inputs.ssl,
             &inputs.x509,
             &inputs.ct,
+            &inputs.gossip,
             &inputs.meta,
             &mut interner,
         )
     });
-    let corpus = obs.time(parent, "corpus_build", || {
+    let mut corpus = obs.time(parent, "corpus_build", || {
         Corpus::build(
             inputs.ssl,
             inputs.x509,
@@ -216,18 +350,69 @@ pub fn build_corpus_obs(inputs: AnalysisInputs, obs: &Obs, parent: Option<SpanId
             interner,
         )
     });
-    if obs.enabled() {
-        obs.counter_add(
-            "interception.issuers_flagged",
-            corpus.interception_issuers.len() as u64,
-        );
-        obs.counter_add("interception.certs_excluded", corpus.excluded_certs as u64);
-        obs.gauge_set("corpus.certs", corpus.certs.len() as i64);
-        obs.gauge_set("corpus.conns", corpus.conns.len() as i64);
-        obs.gauge_set("corpus.interned_strings", corpus.interner().len() as i64);
-        obs.gauge_set("corpus.dangling_fps", corpus.dangling_fps as i64);
-    }
+    corpus.ct = ct_summary;
+    record_corpus_metrics(obs, &corpus);
     corpus
+}
+
+/// Filter dispatch shared by the batch and streamed corpus builders: with
+/// gossip evidence the proof-carrying [`ctverify`] stage runs, without it
+/// the legacy bare-issuer comparison (so file sets and captures that carry
+/// no `ct_gossip.log` behave exactly as before).
+fn run_ct_filter(
+    ssl: &[SslRecord],
+    x509: &[X509Record],
+    ct: &CtLog,
+    gossip: &GossipBundle,
+    meta: &MetaKnowledge,
+    interner: &mut Interner,
+) -> (FxHashSet<Symbol>, Vec<String>, CtSummary) {
+    if gossip.is_empty() {
+        let (excluded, issuers) = interception::filter(ssl, x509, ct, meta, interner);
+        (excluded, issuers, CtSummary::default())
+    } else {
+        ctverify::filter(ssl, x509, ct, gossip, meta, interner)
+    }
+}
+
+/// The corpus-level counters and gauges both builders publish (one metric
+/// schema regardless of how the corpus was constructed).
+fn record_corpus_metrics(obs: &Obs, corpus: &Corpus) {
+    if !obs.enabled() {
+        return;
+    }
+    obs.counter_add(
+        "interception.issuers_flagged",
+        corpus.interception_issuers.len() as u64,
+    );
+    obs.counter_add("interception.certs_excluded", corpus.excluded_certs as u64);
+    let s = &corpus.ct;
+    obs.counter_add("ct.proofs_mode", s.proofs_mode as u64);
+    obs.counter_add("ct.logs_observed", s.logs_observed as u64);
+    obs.counter_add("ct.sths_observed", s.sths_observed as u64);
+    obs.counter_add("ct.sth_signature_failures", s.signature_failures as u64);
+    obs.counter_add(
+        "ct.consistency_proofs_verified",
+        s.consistency_verified as u64,
+    );
+    obs.counter_add("ct.consistency_proofs_failed", s.consistency_failed as u64);
+    obs.counter_add("ct.split_views_detected", s.split_view_logs.len() as u64);
+    obs.counter_add("ct.entries_verified", s.entries_verified as u64);
+    obs.counter_add("ct.entries_rejected", s.entries_rejected as u64);
+    obs.counter_add(
+        "ct.inclusion_proofs_verified",
+        s.inclusion_proofs_verified as u64,
+    );
+    obs.counter_add(
+        "ct.inclusion_proofs_failed",
+        s.inclusion_proofs_failed as u64,
+    );
+    obs.counter_add("ct.stripped_certs_excluded", s.stripped_certs as u64);
+    obs.counter_add("ct.stripped_conns_excluded", s.stripped_conns as u64);
+    obs.gauge_set("corpus.certs", corpus.certs.len() as i64);
+    obs.gauge_set("corpus.conns", corpus.conns.len() as i64);
+    obs.gauge_set("corpus.interned_strings", corpus.interner().len() as i64);
+    obs.gauge_set("corpus.dangling_fps", corpus.dangling_fps as i64);
 }
 
 /// One report per analyzer — the intermediate the assembly helper folds
@@ -291,8 +476,11 @@ fn record_report_gauges(obs: &Obs, out: &PipelineOutput) {
 /// report runs here because it reads corpus-level preprocessing state,
 /// not analyzer output).
 fn assemble(corpus: Corpus, r: Reports, obs: &Obs, parent: Option<SpanId>) -> PipelineOutput {
-    let pre1 = obs.time(parent, "assemble", || {
-        analyze::interception_report::run(&corpus)
+    let (pre1, ct1) = obs.time(parent, "assemble", || {
+        (
+            analyze::interception_report::run(&corpus),
+            analyze::ct_report::run(&corpus),
+        )
     });
     PipelineOutput {
         fig1: r.fig1,
@@ -313,6 +501,7 @@ fn assemble(corpus: Corpus, r: Reports, obs: &Obs, parent: Option<SpanId>) -> Pi
         tab13: r.tab13,
         tab14: r.tab14,
         pre1,
+        ct1,
         ext1: r.ext1,
         ext2: r.ext2,
         gen1: r.gen1,
@@ -454,6 +643,7 @@ fn analyze_parallel(corpus: &Corpus, obs: &Obs, pid: Option<SpanId>) -> Reports 
 pub fn build_corpus_streamed_obs(
     parts: StreamParts,
     ct: &CtLog,
+    gossip: &GossipBundle,
     obs: &Obs,
     parent: Option<SpanId>,
 ) -> Corpus {
@@ -465,23 +655,14 @@ pub fn build_corpus_streamed_obs(
         partials,
         summary: _,
     } = parts;
-    let (excluded, issuers) = obs.time(parent, "interception_filter", || {
-        interception::filter(&ssl, &x509, ct, &meta, &mut interner)
+    let (excluded, issuers, ct_summary) = obs.time(parent, "interception_filter", || {
+        run_ct_filter(&ssl, &x509, ct, gossip, &meta, &mut interner)
     });
-    let corpus = obs.time(parent, "corpus_build", || {
+    let mut corpus = obs.time(parent, "corpus_build", || {
         Corpus::build_with_partials(ssl, x509, meta, &excluded, issuers, interner, partials)
     });
-    if obs.enabled() {
-        obs.counter_add(
-            "interception.issuers_flagged",
-            corpus.interception_issuers.len() as u64,
-        );
-        obs.counter_add("interception.certs_excluded", corpus.excluded_certs as u64);
-        obs.gauge_set("corpus.certs", corpus.certs.len() as i64);
-        obs.gauge_set("corpus.conns", corpus.conns.len() as i64);
-        obs.gauge_set("corpus.interned_strings", corpus.interner().len() as i64);
-        obs.gauge_set("corpus.dangling_fps", corpus.dangling_fps as i64);
-    }
+    corpus.ct = ct_summary;
+    record_corpus_metrics(obs, &corpus);
     corpus
 }
 
@@ -494,12 +675,13 @@ pub fn build_corpus_streamed_obs(
 pub fn run_pipeline_streamed_parallel_obs(
     parts: StreamParts,
     ct: &CtLog,
+    gossip: &GossipBundle,
     obs: &Obs,
     parent: Option<SpanId>,
 ) -> PipelineOutput {
     let pipeline_span = obs.span(parent, "pipeline");
     let pid = pipeline_span.id();
-    let corpus = build_corpus_streamed_obs(parts, ct, obs, pid);
+    let corpus = build_corpus_streamed_obs(parts, ct, gossip, obs, pid);
     let reports = analyze_parallel(&corpus, obs, pid);
     let out = assemble(corpus, reports, obs, pid);
     pipeline_span.finish();

@@ -36,6 +36,7 @@ pub fn meta() -> MetaKnowledge {
         globus_slds: vec!["globus.org".into()],
         cloud_nets: vec![(Ipv4::new(18, 204, 0, 0), 16)],
         non_mtls_weight: 10.0,
+        ct_forked_logs: vec![],
     }
 }
 

@@ -58,6 +58,27 @@ impl Keypair {
         }
     }
 
+    /// Rebuild a keypair from its raw secret (no hashing of the input, in
+    /// contrast to [`Keypair::from_seed`]). This exists so the simulator
+    /// can serialize log/CA keys into its metadata files and reload them —
+    /// the simsig analogue of "the log's public key is distributed
+    /// out-of-band". Only meaningful inside the simulation: simsig is
+    /// symmetric, so holding the verification key *is* holding the secret.
+    pub fn from_secret_bytes(secret: [u8; 32]) -> Keypair {
+        let mut buf = Vec::with_capacity(32 + PUB_DERIVE_SUFFIX.len());
+        buf.extend_from_slice(&secret);
+        buf.extend_from_slice(PUB_DERIVE_SUFFIX);
+        Keypair {
+            secret,
+            key_id: KeyId(sha256(&buf)),
+        }
+    }
+
+    /// The raw secret, for [`Keypair::from_secret_bytes`] round-trips.
+    pub fn secret_bytes(&self) -> [u8; 32] {
+        self.secret
+    }
+
     /// The verification key identifier ("public key").
     pub fn key_id(&self) -> KeyId {
         self.key_id
@@ -195,6 +216,18 @@ mod tests {
         let reg = KeyRegistry::new();
         let sig = kp.sign(b"msg");
         assert!(!reg.verify(kp.key_id(), b"msg", &sig));
+    }
+
+    #[test]
+    fn secret_bytes_round_trip() {
+        let kp = Keypair::from_seed(b"escrowed-log-key");
+        let rt = Keypair::from_secret_bytes(kp.secret_bytes());
+        assert_eq!(rt, kp);
+        assert_eq!(rt.key_id(), kp.key_id());
+        let sig = kp.sign(b"sth bytes");
+        let mut reg = KeyRegistry::new();
+        reg.register(rt);
+        assert!(reg.verify(kp.key_id(), b"sth bytes", &sig));
     }
 
     #[test]

@@ -23,6 +23,17 @@ pub struct SimConfig {
     /// bit-identical; the conformance tests turn it on to exercise the
     /// lenient ingest path end-to-end.
     pub include_malformed: bool,
+    /// Whether to plant an equivocating CT log: the campus border is
+    /// served a forked view with fabricated entries covering interception
+    /// proxy certificates, while the external monitor sees the honest
+    /// view. Off by default (clean corpora must detect zero split views);
+    /// the CT gossip tests turn it on.
+    pub include_ct_equivocation: bool,
+    /// Whether to plant an SCT-stripping middlebox: a twin of a logged
+    /// public certificate (same subject, SANs and issuer, different
+    /// fingerprint) is served without ever being CT-logged. Off by
+    /// default.
+    pub include_sct_strip: bool,
 }
 
 impl Default for SimConfig {
@@ -33,6 +44,8 @@ impl Default for SimConfig {
             include_non_mtls: true,
             include_interception: true,
             include_malformed: false,
+            include_ct_equivocation: false,
+            include_sct_strip: false,
         }
     }
 }

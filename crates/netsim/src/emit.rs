@@ -9,6 +9,9 @@ use crate::scenarios::ContentQuotas;
 use crate::targets;
 use crate::world::World;
 use mtls_crypto::{hex, sha256_batch};
+use mtls_pki::ctlog::CtEntry;
+use mtls_pki::gossip::{CtObservation, GossipBundle, Vantage};
+use mtls_pki::merkle::leaf_hash;
 use mtls_pki::CtLog;
 use mtls_tlssim::{observe, simulate_handshake, HandshakeConfig};
 use mtls_x509::{Certificate, GeneralName, KeyAlgorithm, Version};
@@ -88,6 +91,10 @@ pub struct SimMeta {
     /// Generation parameters, for provenance.
     pub seed: u64,
     pub scale: f64,
+    /// Hex log ids of CT logs the simulation deliberately forked (ground
+    /// truth for the split-view detector's recall table; empty on clean
+    /// corpora).
+    pub ct_forked_logs: Vec<String>,
 }
 
 /// The complete simulation product.
@@ -95,7 +102,11 @@ pub struct SimMeta {
 pub struct SimOutput {
     pub ssl: Vec<SslRecord>,
     pub x509: Vec<X509Record>,
+    /// The CT log *as the campus border observed it* — identical to the
+    /// honest log unless the equivocation scenario forked it.
     pub ct: CtLog,
+    /// STHs and proofs exchanged between the gossip vantage points.
+    pub gossip: GossipBundle,
     pub meta: SimMeta,
     /// Certificates that failed to parse and were skipped (empty unless the
     /// `malformed` scenario is enabled).
@@ -116,6 +127,11 @@ pub struct Emitter {
     uid_counter: u64,
     config: SimConfig,
     malformed: MalformedStats,
+    /// Fabricated entries an equivocating log serves *only* to the campus
+    /// border (spliced into the honest sequence at [`Emitter::finish`]).
+    ct_fork_entries: Vec<CtEntry>,
+    /// Log sizes at which the campus border snapshotted an STH mid-run.
+    ct_campus_observations: Vec<u64>,
 }
 
 impl Emitter {
@@ -131,6 +147,8 @@ impl Emitter {
             uid_counter: 0,
             config: config.clone(),
             malformed: MalformedStats::default(),
+            ct_fork_entries: Vec::new(),
+            ct_campus_observations: Vec::new(),
         }
     }
 
@@ -197,6 +215,21 @@ impl Emitter {
     /// Submit a certificate to the simulated CT log (public issuance path).
     pub fn submit_ct(&mut self, cert: &Certificate) {
         self.ct.submit(cert);
+    }
+
+    /// Record that the campus border monitor fetched an STH at this point
+    /// in the run (i.e. at the log's current size). The matching signed
+    /// tree heads are minted in [`Emitter::finish`].
+    pub fn observe_campus_sth(&mut self) {
+        self.ct_campus_observations.push(self.ct.len() as u64);
+    }
+
+    /// Plant an equivocating view: these fabricated entries will appear in
+    /// the CT log *as served to the campus border*, spliced into the middle
+    /// of the honest sequence, while the external monitor keeps seeing the
+    /// honest log. Ground truth is recorded in `SimMeta::ct_forked_logs`.
+    pub fn plant_ct_fork(&mut self, entries: Vec<CtEntry>) {
+        self.ct_fork_entries.extend(entries);
     }
 
     fn intern_chain(&mut self, ders: &[Vec<u8>], ts: f64) -> Vec<String> {
@@ -270,6 +303,94 @@ impl Emitter {
             (mtls_m1 as f64) * (1.0 - s) / (s * non_m1 as f64)
         };
 
+        // CT gossip: mint the signed tree heads each vantage point saw.
+        // Everything here is derived from the log contents — no RNG — so
+        // enabling gossip never perturbs the calibrated record streams.
+        const CT_T0: u64 = 1_651_363_200;
+        let honest = self.ct;
+        let forked = !self.ct_fork_entries.is_empty();
+        let campus = if forked {
+            // Splice the fabricated entries into the middle of the honest
+            // sequence: the forked view shares a prefix with the honest one
+            // (early STHs agree) but every root from the splice point on
+            // diverges, so no consistency proof can reconcile the heads.
+            let mut campus = CtLog::new();
+            let at = honest.entries().len() / 2;
+            for entry in &honest.entries()[..at] {
+                campus.submit_entry(entry.clone());
+            }
+            for entry in &self.ct_fork_entries {
+                campus.submit_entry(entry.clone());
+            }
+            for entry in &honest.entries()[at..] {
+                campus.submit_entry(entry.clone());
+            }
+            campus
+        } else {
+            honest.clone()
+        };
+
+        let mut observations = Vec::new();
+        for (i, &size) in self.ct_campus_observations.iter().enumerate() {
+            if let Some(sth) = campus.sth_at(size, CT_T0 + 1 + i as u64) {
+                observations.push(CtObservation {
+                    vantage: Vantage::CampusBorder,
+                    sth,
+                });
+            }
+        }
+        observations.push(CtObservation {
+            vantage: Vantage::CampusBorder,
+            sth: campus.sth(CT_T0 + 100),
+        });
+        observations.push(CtObservation {
+            vantage: Vantage::ExternalMonitor,
+            sth: honest.sth(CT_T0 + 101),
+        });
+
+        // Consistency proofs for every adjacent pair of observed sizes,
+        // from whichever view can produce one. The auditor replays them
+        // against the observed roots; a forked head's proof fails against
+        // the honest root, which is exactly the split-view signal.
+        let mut sizes: Vec<u64> = observations.iter().map(|o| o.sth.tree_size).collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        let mut consistency_proofs = Vec::new();
+        for pair in sizes.windows(2) {
+            for view in [&honest, &campus] {
+                if let Some(proof) = view.prove_consistency(pair[0], pair[1]) {
+                    if !consistency_proofs.contains(&proof) {
+                        consistency_proofs.push(proof);
+                    }
+                }
+            }
+        }
+
+        // Under a fork, ship inclusion proofs for every honest entry
+        // against the external monitor's head, keyed by leaf hash, so the
+        // analysis can salvage genuinely-logged entries from the split
+        // view instead of distrusting the whole log.
+        let mut entry_proofs = Vec::new();
+        if forked {
+            if let Some(proofs) = honest.prove_all_inclusions(honest.len() as u64) {
+                for (entry, proof) in honest.entries().iter().zip(proofs) {
+                    entry_proofs.push((leaf_hash(&CtLog::leaf_bytes(entry)), proof));
+                }
+            }
+        }
+
+        let gossip = GossipBundle {
+            observations,
+            consistency_proofs,
+            entry_proofs,
+            log_keys: vec![campus.keypair().clone()],
+        };
+        let ct_forked_logs = if forked {
+            vec![campus.log_id().to_hex()]
+        } else {
+            Vec::new()
+        };
+
         let meta = SimMeta {
             university_net: (
                 world.plan.university.network,
@@ -295,11 +416,13 @@ impl Emitter {
             non_mtls_weight,
             seed: self.config.seed,
             scale: self.config.scale,
+            ct_forked_logs,
         };
         SimOutput {
             ssl: self.ssl,
             x509: self.x509,
-            ct: self.ct,
+            ct: campus,
+            gossip,
             meta,
             malformed: self.malformed,
         }
@@ -391,6 +514,10 @@ impl SimOutput {
             )?;
         }
 
+        // Gossip bundle: STHs, consistency proofs, inclusion proofs and
+        // the (simulator-only) log signing keys, one record per line.
+        std::fs::write(dir.join("ct_gossip.log"), self.gossip.to_tsv())?;
+
         let mut meta = std::io::BufWriter::new(std::fs::File::create(dir.join("meta.tsv"))?);
         let m = &self.meta;
         writeln!(
@@ -421,6 +548,9 @@ impl SimOutput {
         writeln!(meta, "non_mtls_weight\t{}", m.non_mtls_weight)?;
         writeln!(meta, "seed\t{}", m.seed)?;
         writeln!(meta, "scale\t{}", m.scale)?;
+        if !m.ct_forked_logs.is_empty() {
+            writeln!(meta, "ct_forked_logs\t{}", m.ct_forked_logs.join("|"))?;
+        }
         Ok(())
     }
 }

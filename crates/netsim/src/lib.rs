@@ -96,10 +96,19 @@ pub fn generate_obs(config: &SimConfig, obs: &Obs, parent: Option<SpanId>) -> Si
     scenario!(serials);
     scenario!(sharing);
     scenario!(dates);
+    // The mid-run gossip observation consumes no randomness, so the
+    // default corpus stays bit-identical with or without it; it sits
+    // before the big CT-submitting scenarios so the recorded tree size is
+    // strictly smaller than the final heads.
+    scenario!(ct_gossip);
     scenario!(expired);
     scenario!(nonmtls);
     scenario!(interception);
     scenario!(malformed);
+    // Gated adversarial CT scenarios (off by default; when disabled they
+    // return before touching the RNG).
+    scenario!(equivocating_log);
+    scenario!(sct_strip);
 
     let out = obs.time(gid, "emit_finish", || emitter.finish(&world));
     span.finish();

@@ -1,0 +1,19 @@
+//! CT gossip vantage point (§3.2 hardening).
+//!
+//! The campus border monitor periodically fetches a signed tree head from
+//! the CT log it audits. This scenario records one such mid-run fetch —
+//! the log is still growing, so the recorded tree size is strictly smaller
+//! than the final heads minted in [`Emitter::finish`], and the emitted
+//! gossip bundle carries a genuine consistency proof even on a clean
+//! corpus. The scenario consumes **no randomness**: running it must leave
+//! every downstream scenario's record stream bit-identical.
+
+use crate::config::SimConfig;
+use crate::emit::Emitter;
+use crate::world::World;
+use rand::Rng;
+
+/// Run the scenario.
+pub fn run(_config: &SimConfig, _world: &World, em: &mut Emitter, _rng: &mut impl Rng) {
+    em.observe_campus_sth();
+}

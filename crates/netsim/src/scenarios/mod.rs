@@ -5,8 +5,10 @@
 //! [`Emitter`](crate::emit::Emitter) and the shared world, so they can be
 //! read (and calibrated) independently.
 
+pub mod ct_gossip;
 pub mod dates;
 pub mod dummies;
+pub mod equivocating_log;
 pub mod expired;
 pub mod inbound;
 pub mod interception;
@@ -14,6 +16,7 @@ pub mod malformed;
 pub mod nonmtls;
 pub mod outbound;
 pub mod privservers;
+pub mod sct_strip;
 pub mod serials;
 pub mod sharing;
 pub mod tunnel;

@@ -1,16 +1,45 @@
-//! A simulated Certificate Transparency log.
+//! A simulated Certificate Transparency log with a verifiable Merkle tree.
 //!
 //! The paper uses crt.sh to find "the original issuer of the corresponding
 //! domain" when filtering TLS-interception certificates (§3.2.1): if the
 //! observed leaf's issuer differs from the CT-logged issuer for that domain,
 //! the connection is flagged as intercepted. This module reproduces the data
-//! the filter needs: public CAs append (domain → issuer organization)
-//! entries at issuance time; interception middleboxes do not.
+//! the filter needs — public CAs append (domain → issuer organization)
+//! entries at issuance time; interception middleboxes do not — and, since
+//! the gossip rework, the *machinery* that makes the data checkable:
+//!
+//! * every entry is a leaf of an RFC 6962 Merkle tree ([`crate::merkle`]),
+//!   with the leaf encoded exactly as its `ct.log` line
+//!   (`domain\tissuer\tfingerprint`);
+//! * the log signs tree heads ([`CtLog::sth_at`]) with a simsig keypair
+//!   derived from a fixed seed, so a log rebuilt from its exported entries
+//!   has the same [`CtLog::log_id`] and produces the same roots;
+//! * inclusion and consistency proofs ([`CtLog::prove_inclusion`],
+//!   [`CtLog::prove_consistency`]) let vantage points that only hold tree
+//!   heads audit it (see [`crate::gossip`]).
+//!
+//! Lookup semantics (the bugfix sweep this rework rode in on):
+//!
+//! * DNS names are ASCII-lowercased at submit *and* lookup time, so
+//!   `Example.COM` and `example.com` meet;
+//! * entries are deduplicated by `(domain, fingerprint)` — re-submitting a
+//!   certificate is a no-op, and [`CtLog::from_entries`] round-trips;
+//! * a logged wildcard `*.example.com` satisfies lookups for exactly one
+//!   extra label (`www.example.com` matches; `a.b.example.com`, the bare
+//!   apex `example.com`, and partial labels do not), mirroring RFC 6125.
 
-use mtls_intern::FxHashMap;
+use crate::merkle::MerkleTree;
+use crate::sth::{ConsistencyProof, InclusionProof, SignedTreeHead};
+use mtls_crypto::{KeyId, Keypair};
+use mtls_intern::{FxHashMap, FxHashSet};
 use mtls_x509::Certificate;
+use std::borrow::Cow;
 
-/// One log entry.
+/// Seed for the default (honest) log identity. Fixed so a log rebuilt from
+/// exported entries signs with the same key as the one that produced them.
+const DEFAULT_LOG_SEED: &[u8] = b"mtlscope-ct-log-1";
+
+/// One log entry. The `domain` is stored lowercased.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CtEntry {
     pub domain: String,
@@ -18,21 +47,67 @@ pub struct CtEntry {
     pub fingerprint_hex: String,
 }
 
-/// Append-only CT log with a domain index.
-#[derive(Debug, Default, Clone)]
+/// Append-only CT log: a domain index over the entries plus the Merkle
+/// tree the entries are leaves of.
+#[derive(Debug, Clone)]
 pub struct CtLog {
     entries: Vec<CtEntry>,
     by_domain: FxHashMap<String, Vec<usize>>,
+    /// `(domain, fingerprint)` pairs already logged.
+    seen: FxHashSet<(String, String)>,
+    tree: MerkleTree,
+    keypair: Keypair,
+}
+
+impl Default for CtLog {
+    fn default() -> CtLog {
+        CtLog::new()
+    }
+}
+
+/// Lowercase a DNS name without allocating when it already is.
+fn normalize(domain: &str) -> Cow<'_, str> {
+    if domain.bytes().any(|b| b.is_ascii_uppercase()) {
+        Cow::Owned(domain.to_ascii_lowercase())
+    } else {
+        Cow::Borrowed(domain)
+    }
+}
+
+/// The wildcard key a lookup for `domain` may also match: replace the
+/// first label with `*`, but only when that leaves a registrable suffix
+/// (at least two labels), the first label is a real single label, and the
+/// name isn't itself a wildcard or partial-wildcard pattern.
+fn wildcard_key(domain: &str) -> Option<String> {
+    let (first, rest) = domain.split_once('.')?;
+    if first.is_empty() || first.contains('*') || !rest.contains('.') {
+        return None;
+    }
+    Some(format!("*.{rest}"))
 }
 
 impl CtLog {
-    /// Empty log.
+    /// Empty log with the default (shared, honest) log identity.
     pub fn new() -> CtLog {
-        CtLog::default()
+        CtLog::with_key_seed(DEFAULT_LOG_SEED)
+    }
+
+    /// Empty log whose signing key derives from `seed`. Same seed, same
+    /// [`CtLog::log_id`] — an equivocating log's forked view is built with
+    /// the *same* seed as the honest view.
+    pub fn with_key_seed(seed: &[u8]) -> CtLog {
+        CtLog {
+            entries: Vec::new(),
+            by_domain: FxHashMap::default(),
+            seen: FxHashSet::default(),
+            tree: MerkleTree::new(),
+            keypair: Keypair::from_seed(seed),
+        }
     }
 
     /// Append a certificate for every DNS name it covers (SAN dNSName plus
-    /// CN as crt.sh effectively indexes both).
+    /// CN as crt.sh effectively indexes both). Names are lowercased;
+    /// already-logged `(domain, fingerprint)` pairs are skipped.
     pub fn submit(&mut self, cert: &Certificate) {
         let issuer_display = cert.issuer().to_display_string();
         let fp = cert.fingerprint().to_hex();
@@ -43,40 +118,118 @@ impl CtLog {
             }
         }
         for domain in domains {
-            let idx = self.entries.len();
-            self.entries.push(CtEntry {
-                domain: domain.clone(),
+            self.submit_entry(CtEntry {
+                domain,
                 issuer_display: issuer_display.clone(),
                 fingerprint_hex: fp.clone(),
             });
-            self.by_domain.entry(domain).or_default().push(idx);
         }
+    }
+
+    /// Append one entry (normalizing and deduplicating). Returns whether
+    /// the entry was new.
+    pub fn submit_entry(&mut self, mut entry: CtEntry) -> bool {
+        if let Cow::Owned(lower) = normalize(&entry.domain) {
+            entry.domain = lower;
+        }
+        let key = (entry.domain.clone(), entry.fingerprint_hex.clone());
+        if !self.seen.insert(key) {
+            return false;
+        }
+        let idx = self.entries.len();
+        self.tree.push(&Self::leaf_bytes(&entry));
+        self.by_domain
+            .entry(entry.domain.clone())
+            .or_default()
+            .push(idx);
+        self.entries.push(entry);
+        true
+    }
+
+    /// The canonical leaf encoding of an entry — identical to its `ct.log`
+    /// line, so a vantage point holding the exported log can recompute
+    /// every leaf hash.
+    pub fn leaf_bytes(entry: &CtEntry) -> Vec<u8> {
+        format!(
+            "{}\t{}\t{}",
+            entry.domain, entry.issuer_display, entry.fingerprint_hex
+        )
+        .into_bytes()
+    }
+
+    /// Entry indices a lookup for `domain` matches: exact entries plus
+    /// single-label wildcard entries, in submission order. Crate-visible
+    /// so [`crate::gossip::VerifiedCt`] can re-run lookups through its
+    /// trusted-entry mask.
+    pub(crate) fn matching_indices(&self, domain: &str) -> Vec<usize> {
+        let d = normalize(domain);
+        let exact = self.by_domain.get(d.as_ref()).map(Vec::as_slice);
+        let wild = wildcard_key(d.as_ref())
+            .and_then(|k| self.by_domain.get(&k))
+            .map(Vec::as_slice);
+        match (exact, wild) {
+            (Some(e), None) => e.to_vec(),
+            (None, Some(w)) => w.to_vec(),
+            (None, None) => Vec::new(),
+            (Some(e), Some(w)) => {
+                // Merge the two sorted index lists to keep submission order.
+                let mut out = Vec::with_capacity(e.len() + w.len());
+                let (mut i, mut j) = (0, 0);
+                while i < e.len() && j < w.len() {
+                    if e[i] < w[j] {
+                        out.push(e[i]);
+                        i += 1;
+                    } else {
+                        out.push(w[j]);
+                        j += 1;
+                    }
+                }
+                out.extend_from_slice(&e[i..]);
+                out.extend_from_slice(&w[j..]);
+                out
+            }
+        }
+    }
+
+    /// Entry indices for `domain` *exactly* — no wildcard expansion. The
+    /// SCT-strip check uses this: a stripped twin shares the precise FQDN
+    /// with the logged original, and wildcard/SLD matches would drag in
+    /// unrelated renewals.
+    pub(crate) fn exact_indices(&self, domain: &str) -> &[usize] {
+        let d = normalize(domain);
+        self.by_domain.get(d.as_ref()).map_or(&[], Vec::as_slice)
     }
 
     /// All logged issuer strings for a domain, in submission order.
     pub fn issuers_for_domain(&self, domain: &str) -> Vec<&str> {
-        self.by_domain
-            .get(domain)
-            .map(|idxs| {
-                idxs.iter()
-                    .map(|&i| self.entries[i].issuer_display.as_str())
-                    .collect()
-            })
-            .unwrap_or_default()
+        self.matching_indices(domain)
+            .into_iter()
+            .map(|i| self.entries[i].issuer_display.as_str())
+            .collect()
     }
 
     /// Whether any logged certificate for `domain` has the given issuer —
     /// the interception filter's comparison.
     pub fn domain_has_issuer(&self, domain: &str, issuer_display: &str) -> bool {
-        self.by_domain.get(domain).is_some_and(|idxs| {
-            idxs.iter()
-                .any(|&i| self.entries[i].issuer_display == issuer_display)
-        })
+        self.matching_indices(domain)
+            .into_iter()
+            .any(|i| self.entries[i].issuer_display == issuer_display)
     }
 
-    /// Whether the domain appears in the log at all.
+    /// Whether the precise certificate (by fingerprint) is logged for
+    /// `domain` — what an SCT would attest.
+    pub fn domain_has_fingerprint(&self, domain: &str, fingerprint_hex: &str) -> bool {
+        self.matching_indices(domain)
+            .into_iter()
+            .any(|i| self.entries[i].fingerprint_hex == fingerprint_hex)
+    }
+
+    /// Whether the domain appears in the log at all (directly or through a
+    /// single-label wildcard entry).
     pub fn contains_domain(&self, domain: &str) -> bool {
-        self.by_domain.contains_key(domain)
+        let d = normalize(domain);
+        self.by_domain.contains_key(d.as_ref())
+            || wildcard_key(d.as_ref()).is_some_and(|k| self.by_domain.contains_key(&k))
     }
 
     /// All entries, in submission order.
@@ -85,12 +238,15 @@ impl CtLog {
     }
 
     /// Rebuild a log from stored entries (the file-based pipeline's path).
+    /// Entries are normalized and deduplicated on the way in, so feeding a
+    /// log its own [`CtLog::entries`] reproduces it exactly — same entries,
+    /// same tree, same log identity.
     pub fn from_entries(entries: Vec<CtEntry>) -> CtLog {
-        let mut by_domain: FxHashMap<String, Vec<usize>> = FxHashMap::default();
-        for (idx, entry) in entries.iter().enumerate() {
-            by_domain.entry(entry.domain.clone()).or_default().push(idx);
+        let mut log = CtLog::new();
+        for entry in entries {
+            log.submit_entry(entry);
         }
-        CtLog { entries, by_domain }
+        log
     }
 
     /// Total entry count.
@@ -101,6 +257,75 @@ impl CtLog {
     /// Whether the log is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// The log's identity (its signing key id).
+    pub fn log_id(&self) -> KeyId {
+        self.keypair.key_id()
+    }
+
+    /// The signing keypair (for registering with a [`mtls_crypto::KeyRegistry`]).
+    pub fn keypair(&self) -> &Keypair {
+        &self.keypair
+    }
+
+    /// Signed tree head over the first `tree_size` entries at a logical
+    /// timestamp. `None` when `tree_size` exceeds the log.
+    pub fn sth_at(&self, tree_size: u64, timestamp: u64) -> Option<SignedTreeHead> {
+        let root = self.tree.root_at(tree_size)?;
+        let msg = SignedTreeHead::signed_bytes(&self.keypair.key_id(), tree_size, timestamp, &root);
+        Some(SignedTreeHead {
+            log_id: self.keypair.key_id(),
+            tree_size,
+            timestamp,
+            root,
+            signature: self.keypair.sign(&msg),
+        })
+    }
+
+    /// Signed tree head over the whole log.
+    pub fn sth(&self, timestamp: u64) -> SignedTreeHead {
+        self.sth_at(self.len() as u64, timestamp)
+            .expect("own size is in range")
+    }
+
+    /// Audit path for entry `index` within the prefix of `tree_size`
+    /// entries.
+    pub fn prove_inclusion(&self, index: u64, tree_size: u64) -> Option<InclusionProof> {
+        Some(InclusionProof {
+            log_id: self.log_id(),
+            tree_size,
+            leaf_index: index,
+            path: self.tree.inclusion_proof(index, tree_size)?,
+        })
+    }
+
+    /// Audit paths for every entry of the prefix of `tree_size` entries,
+    /// in one `O(n log n)` pass (see [`MerkleTree::inclusion_proofs`]).
+    pub fn prove_all_inclusions(&self, tree_size: u64) -> Option<Vec<InclusionProof>> {
+        let paths = self.tree.inclusion_proofs(tree_size)?;
+        Some(
+            paths
+                .into_iter()
+                .enumerate()
+                .map(|(i, path)| InclusionProof {
+                    log_id: self.log_id(),
+                    tree_size,
+                    leaf_index: i as u64,
+                    path,
+                })
+                .collect(),
+        )
+    }
+
+    /// Consistency path between the prefixes of `old` and `new` entries.
+    pub fn prove_consistency(&self, old: u64, new: u64) -> Option<ConsistencyProof> {
+        Some(ConsistencyProof {
+            log_id: self.log_id(),
+            old_size: old,
+            new_size: new,
+            path: self.tree.consistency_proof(old, new)?,
+        })
     }
 }
 
@@ -129,6 +354,14 @@ mod tests {
                 )
                 .subject_key(k.key_id()),
         )
+    }
+
+    fn entry(domain: &str, issuer: &str, fp: &str) -> CtEntry {
+        CtEntry {
+            domain: domain.into(),
+            issuer_display: issuer.into(),
+            fingerprint_hex: fp.into(),
+        }
     }
 
     #[test]
@@ -165,5 +398,99 @@ mod tests {
         let log = CtLog::new();
         assert!(log.is_empty());
         assert!(log.issuers_for_domain("nope").is_empty());
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_both_ways() {
+        let mut log = CtLog::new();
+        log.submit(&cert_for("Example.COM", "DigiCert Inc"));
+        // Stored lowercased; any case matches at lookup time.
+        assert_eq!(log.entries()[0].domain, "example.com");
+        assert!(log.contains_domain("example.com"));
+        assert!(log.contains_domain("EXAMPLE.com"));
+        assert!(log.domain_has_issuer("eXaMpLe.CoM", "O=DigiCert Inc"));
+        assert_eq!(log.issuers_for_domain("EXAMPLE.COM").len(), 1);
+    }
+
+    #[test]
+    fn resubmission_is_deduplicated() {
+        let mut log = CtLog::new();
+        let cert = cert_for("dup.example.org", "DigiCert Inc");
+        log.submit(&cert);
+        log.submit(&cert);
+        assert_eq!(log.len(), 1);
+        // A different certificate for the same domain still appends.
+        log.submit(&cert_for("dup.example.org", "Sectigo Limited"));
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn from_entries_round_trips() {
+        let mut log = CtLog::new();
+        log.submit(&cert_for("a.example.org", "DigiCert Inc"));
+        log.submit(&cert_for("B.example.org", "Sectigo Limited"));
+        log.submit(&cert_for("a.example.org", "Let's Encrypt"));
+        let rebuilt = CtLog::from_entries(log.entries().to_vec());
+        assert_eq!(rebuilt.entries(), log.entries());
+        assert_eq!(rebuilt.log_id(), log.log_id());
+        assert_eq!(rebuilt.sth(7), log.sth(7));
+    }
+
+    #[test]
+    fn wildcard_matches_exactly_one_label() {
+        let mut log = CtLog::new();
+        log.submit_entry(entry("*.example.com", "O=DigiCert Inc", "aa"));
+        assert!(log.contains_domain("www.example.com"));
+        assert!(log.domain_has_issuer("www.example.com", "O=DigiCert Inc"));
+        assert_eq!(log.issuers_for_domain("WWW.Example.Com").len(), 1);
+        // No partial-label, multi-label, or bare-apex matches.
+        assert!(!log.contains_domain("example.com"));
+        assert!(!log.contains_domain("a.b.example.com"));
+        assert!(!log.domain_has_issuer("example.com", "O=DigiCert Inc"));
+        // A wildcard lookup matches the wildcard entry itself, and a
+        // partial-wildcard name never matches through the wildcard.
+        assert!(log.contains_domain("*.example.com"));
+        assert!(!log.contains_domain("w*.example.com"));
+        // `*.com` would be an effective-TLD wildcard; never consulted.
+        let mut tld = CtLog::new();
+        tld.submit_entry(entry("*.com", "O=Evil", "bb"));
+        assert!(!tld.contains_domain("example.com"));
+    }
+
+    #[test]
+    fn wildcard_and_exact_entries_merge_in_submission_order() {
+        let mut log = CtLog::new();
+        log.submit_entry(entry("www.example.com", "O=First", "01"));
+        log.submit_entry(entry("*.example.com", "O=Second", "02"));
+        log.submit_entry(entry("www.example.com", "O=Third", "03"));
+        assert_eq!(
+            log.issuers_for_domain("www.example.com"),
+            vec!["O=First", "O=Second", "O=Third"]
+        );
+        assert!(log.domain_has_fingerprint("www.example.com", "02"));
+        assert!(!log.domain_has_fingerprint("example.com", "02"));
+    }
+
+    #[test]
+    fn sths_and_proofs_verify() {
+        let mut log = CtLog::new();
+        for i in 0..9 {
+            log.submit_entry(entry(
+                &format!("h{i}.example.org"),
+                "O=CA",
+                &format!("{i:02x}"),
+            ));
+        }
+        let mut registry = mtls_crypto::KeyRegistry::new();
+        registry.register(log.keypair().clone());
+        let sth = log.sth(100);
+        assert!(sth.verify(&registry));
+        let old = log.sth_at(4, 50).unwrap();
+        assert!(log.prove_consistency(4, 9).unwrap().verify(&old, &sth));
+        for i in 0..9u64 {
+            let proof = log.prove_inclusion(i, 9).unwrap();
+            let leaf = CtLog::leaf_bytes(&log.entries()[i as usize]);
+            assert!(proof.verify(&leaf, &sth));
+        }
     }
 }

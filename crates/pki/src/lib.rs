@@ -10,7 +10,12 @@
 //!   paper's *public vs private CA* decision procedure;
 //! * [`chain`] — certificate-chain building and validation;
 //! * [`ctlog`] — an append-only Certificate Transparency log populated at
-//!   issuance time by public CAs, used by the interception filter;
+//!   issuance time by public CAs, used by the interception filter, backed
+//!   by an RFC 6962 Merkle tree ([`merkle`]) with signed tree heads and
+//!   inclusion/consistency proofs ([`sth`]);
+//! * [`gossip`] — aggregation-based STH gossip between simulated vantage
+//!   points (campus border vs. external monitor) and the
+//!   [`gossip::SplitViewDetector`] that flags equivocating logs;
 //! * [`policy`] — configurable client-authentication validation policies
 //!   (the validator whose real-world laxness the paper measures);
 //! * [`crl`] — DER-encoded certificate revocation lists (RFC 5280 §5) and
@@ -61,8 +66,11 @@ pub mod ca;
 pub mod chain;
 pub mod crl;
 pub mod ctlog;
+pub mod gossip;
 pub mod issuercat;
+pub mod merkle;
 pub mod policy;
+pub mod sth;
 pub mod truststore;
 
 pub use authz::{Authorizer, AuthzError, Tenant, OPS_ORGANIZATIONAL_UNIT};
@@ -70,6 +78,8 @@ pub use ca::CertificateAuthority;
 pub use chain::{validate_chain, ChainError, ValidatedChain};
 pub use crl::{CertificateRevocationList, CrlBuilder, RevocationReason};
 pub use ctlog::CtLog;
+pub use gossip::{CtAudit, CtObservation, GossipBundle, SplitViewDetector, Vantage, VerifiedCt};
 pub use issuercat::{classify_issuer_org, IssuerCategory};
 pub use policy::{ValidationPolicy, Violation};
+pub use sth::{ConsistencyProof, InclusionProof, SignedTreeHead};
 pub use truststore::{RootProgram, TrustAnchors, TrustStore};

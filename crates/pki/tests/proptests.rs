@@ -121,6 +121,54 @@ proptest! {
     }
 
     #[test]
+    fn any_prefix_proves_consistent_with_any_extension(
+        leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 1..96),
+        cut_a in any::<u64>(),
+        cut_b in any::<u64>(),
+    ) {
+        use mtls_pki::merkle::{verify_consistency, verify_inclusion, MerkleTree};
+
+        let mut tree = MerkleTree::new();
+        for leaf in &leaves {
+            tree.push(leaf);
+        }
+        let n = tree.size();
+        // Any prefix size m <= k <= n: PROOF(m, D[k]) links MTH(D[m]) to
+        // MTH(D[k]) — the tree never disowns its own history.
+        let k = cut_a % n + 1;
+        let m = cut_b % (k + 1);
+        let old_root = tree.root_at(m).unwrap();
+        let new_root = tree.root_at(k).unwrap();
+        let proof = tree.consistency_proof(m, k).unwrap();
+        prop_assert!(verify_consistency(m, k, &old_root, &new_root, &proof));
+        // A corrupted path must not verify (empty proofs only arise for
+        // the trivial prefixes, which need no path to corrupt).
+        if let Some(h) = proof.first() {
+            let mut bad = proof.clone();
+            bad[0] = {
+                let mut b = *h;
+                b[0] ^= 1;
+                b
+            };
+            prop_assert!(!verify_consistency(m, k, &old_root, &new_root, &bad));
+        }
+        // And every leaf of the prefix is provably included in it.
+        if k > 0 {
+            let i = cut_a % k;
+            let ipr = tree.inclusion_proof(i, k).unwrap();
+            prop_assert!(verify_inclusion(&leaves[i as usize], i, k, &ipr, &new_root));
+        }
+    }
+
+    #[test]
+    fn sth_and_proof_parsers_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        use mtls_pki::{ConsistencyProof, InclusionProof, SignedTreeHead};
+        let _ = SignedTreeHead::from_bytes(&bytes);
+        let _ = InclusionProof::from_bytes(&bytes);
+        let _ = ConsistencyProof::from_bytes(&bytes);
+    }
+
+    #[test]
     fn issuer_classification_is_total_and_stable(org in "\\PC{0,60}") {
         let a = classify_issuer_org(Some(&org), false);
         let b = classify_issuer_org(Some(&org), false);

@@ -52,6 +52,7 @@ fn main() {
         ssl,
         x509,
         ct: sim.ct.clone(),
+        gossip: sim.gossip.clone(),
     };
     let out = run_pipeline(inputs);
 

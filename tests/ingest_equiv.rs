@@ -337,7 +337,7 @@ fn streamed_pipeline_is_order_independent_and_matches_batch() {
         }
         let parts = builder.finish();
         let obs = Obs::new();
-        let out = run_pipeline_streamed_parallel_obs(parts, &inputs.ct, &obs, None);
+        let out = run_pipeline_streamed_parallel_obs(parts, &inputs.ct, &inputs.gossip, &obs, None);
         streamed.push((out.render_all(), obs.snapshot()));
         let _ = label;
     }
@@ -430,7 +430,7 @@ fn rolling_window_equals_batch_over_the_window_months() {
     sim.write_to_dir_rotated(&dir).expect("write rotated logs");
 
     const WINDOW: usize = 6;
-    let (parts, ct, _diag) = load_dir_streaming_obs(
+    let (parts, ct, gossip, _diag) = load_dir_streaming_obs(
         &dir,
         IngestMode::Strict,
         StreamOptions {
@@ -443,7 +443,7 @@ fn rolling_window_equals_batch_over_the_window_months() {
     assert_eq!(parts.summary.epochs_pushed, 23);
     assert_eq!(parts.summary.epochs_retired, 23 - WINDOW);
     let windowed_report =
-        run_pipeline_streamed_parallel_obs(parts, &ct, &Obs::noop(), None).render_all();
+        run_pipeline_streamed_parallel_obs(parts, &ct, &gossip, &Obs::noop(), None).render_all();
 
     // Oracle: a batch run over a directory holding only the last WINDOW
     // months' shards (plus the sidecars).
@@ -465,7 +465,7 @@ fn rolling_window_equals_batch_over_the_window_months() {
         months.sort();
         months.split_off(months.len() - WINDOW)
     };
-    for name in ["meta.tsv", "ct.log"] {
+    for name in ["meta.tsv", "ct.log", "ct_gossip.log"] {
         std::fs::copy(dir.join(name), oracle_dir.join(name)).expect("copy sidecar");
     }
     for month in &keep {
